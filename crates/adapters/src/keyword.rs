@@ -1,0 +1,252 @@
+//! The Keyword Generator: the paper's dynamic-system-evolution example.
+//!
+//! "The Keyword Generator subscribes to stories on major subjects and
+//! searches the text of each story for 'keywords' that have been
+//! designated under several major 'categories.' For each Story object, a
+//! list of keywords is constructed as a named Property object of the
+//! Story object and published under the same subject. It also supports an
+//! interactive interface that allows clients to browse categories and
+//! associated keywords." (§5.2)
+//!
+//! The generator can be brought on-line at any time; consumers like the
+//! News Monitor start receiving keyword properties immediately, with no
+//! change anywhere else (P4).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use infobus_core::{BusApp, BusCtx, BusMessage, QoS, RmiError, ServiceObject};
+use infobus_types::{DataObject, TypeDescriptor, Value, ValueType};
+
+use crate::newstypes::register_news_types;
+
+/// The keyword vocabulary: category → keywords (all lowercase).
+pub type Categories = BTreeMap<String, Vec<String>>;
+
+/// The default vocabulary used by examples and tests.
+pub fn default_categories() -> Categories {
+    let mut c = Categories::new();
+    c.insert(
+        "automotive".into(),
+        vec![
+            "motors".into(),
+            "auto".into(),
+            "plant".into(),
+            "michigan".into(),
+        ],
+    );
+    c.insert(
+        "finance".into(),
+        vec![
+            "estimates".into(),
+            "dividend".into(),
+            "results".into(),
+            "quarter".into(),
+        ],
+    );
+    c.insert(
+        "regulation".into(),
+        vec!["regulatory".into(), "inquiry".into(), "regulators".into()],
+    );
+    c
+}
+
+/// Scans text for vocabulary hits; returns matching keywords, sorted and
+/// deduplicated.
+pub fn extract_keywords(categories: &Categories, text: &str) -> Vec<String> {
+    let lower = text.to_lowercase();
+    let mut hits: Vec<String> = categories
+        .values()
+        .flatten()
+        .filter(|kw| lower.contains(kw.as_str()))
+        .cloned()
+        .collect();
+    hits.sort();
+    hits.dedup();
+    hits
+}
+
+/// The Keyword Generator application.
+///
+/// Subscribes to `news.>`, and for every `Story` (any subtype) publishes
+/// a `PropertyUpdate { ref_id, name: "keywords", value }` on the same
+/// subject. Also exports the interactive browsing interface as an RMI
+/// service under `svc.keywords`.
+pub struct KeywordGenerator {
+    categories: Rc<RefCell<Categories>>,
+    /// Stories analyzed.
+    pub analyzed: u64,
+    /// Keyword properties published.
+    pub published: u64,
+}
+
+impl Default for KeywordGenerator {
+    fn default() -> Self {
+        KeywordGenerator::new(default_categories())
+    }
+}
+
+impl KeywordGenerator {
+    /// A generator with the given vocabulary.
+    pub fn new(categories: Categories) -> Self {
+        KeywordGenerator {
+            categories: Rc::new(RefCell::new(categories)),
+            analyzed: 0,
+            published: 0,
+        }
+    }
+}
+
+impl BusApp for KeywordGenerator {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        register_news_types(&mut bus.registry().borrow_mut()).expect("news types");
+        bus.subscribe("news.>").expect("valid filter");
+        bus.export_service(
+            "svc.keywords",
+            Box::new(KeywordService {
+                categories: self.categories.clone(),
+            }),
+        )
+        .expect("service subject free");
+    }
+
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        let Some(obj) = msg.value.as_object() else {
+            return;
+        };
+        // Only analyze stories; ignore our own PropertyUpdate publications
+        // arriving on the same subjects.
+        let registry = bus.registry();
+        let is_story = registry.borrow().is_subtype(obj.type_name(), "Story");
+        if !is_story {
+            return;
+        }
+        self.analyzed += 1;
+        let id = obj
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let headline = obj.get("headline").and_then(Value::as_str).unwrap_or("");
+        let body = obj.get("body").and_then(Value::as_str).unwrap_or("");
+        let text = format!("{headline} {body}");
+        let keywords = extract_keywords(&self.categories.borrow(), &text);
+        if keywords.is_empty() {
+            return;
+        }
+        let mut update = DataObject::new("PropertyUpdate");
+        update.set("ref_id", id).set("name", "keywords").set(
+            "value",
+            Value::List(keywords.into_iter().map(Value::Str).collect()),
+        );
+        // "…published under the same subject."
+        bus.publish_object(msg.subject.as_str(), &update, QoS::Reliable)
+            .expect("publish update");
+        self.published += 1;
+    }
+}
+
+/// The interactive browsing interface of the Keyword Generator.
+///
+/// A brand-new service type: the News Monitor (or any introspective
+/// client) can pop up menus from its operation signatures without
+/// compile-time knowledge of it (§5.2).
+pub struct KeywordService {
+    categories: Rc<RefCell<Categories>>,
+}
+
+impl KeywordService {
+    /// The service's interface descriptor, available without an instance
+    /// (used by documentation and UI-generation demos).
+    pub fn descriptor_for_docs() -> TypeDescriptor {
+        TypeDescriptor::builder("KeywordBrowser")
+            .idempotent_operation("categories", vec![], ValueType::list_of(ValueType::Str))
+            .idempotent_operation(
+                "keywords",
+                vec![("category", ValueType::Str)],
+                ValueType::list_of(ValueType::Str),
+            )
+            .operation(
+                "add_keyword",
+                vec![("category", ValueType::Str), ("keyword", ValueType::Str)],
+                ValueType::Bool,
+            )
+            .build()
+    }
+}
+
+impl ServiceObject for KeywordService {
+    fn descriptor(&self) -> TypeDescriptor {
+        Self::descriptor_for_docs()
+    }
+
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        _bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        match op {
+            "categories" => Ok(Value::List(
+                self.categories
+                    .borrow()
+                    .keys()
+                    .cloned()
+                    .map(Value::Str)
+                    .collect(),
+            )),
+            "keywords" => {
+                let cat = args[0]
+                    .as_str()
+                    .ok_or_else(|| RmiError::App("category must be a string".into()))?;
+                match self.categories.borrow().get(cat) {
+                    Some(kws) => Ok(Value::List(kws.iter().cloned().map(Value::Str).collect())),
+                    None => Err(RmiError::App(format!("no category {cat:?}"))),
+                }
+            }
+            "add_keyword" => {
+                let cat = args[0]
+                    .as_str()
+                    .ok_or_else(|| RmiError::App("category must be a string".into()))?
+                    .to_owned();
+                let kw = args[1]
+                    .as_str()
+                    .ok_or_else(|| RmiError::App("keyword must be a string".into()))?
+                    .to_lowercase();
+                self.categories
+                    .borrow_mut()
+                    .entry(cat)
+                    .or_default()
+                    .push(kw);
+                Ok(Value::Bool(true))
+            }
+            other => Err(RmiError::BadOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_finds_hits_across_categories() {
+        let cats = default_categories();
+        let hits = extract_keywords(
+            &cats,
+            "GENERAL MOTORS BEATS ESTIMATES Analysts said the results exceeded expectations",
+        );
+        assert_eq!(hits, vec!["estimates", "motors", "results"]);
+        assert!(extract_keywords(&cats, "nothing relevant here").is_empty());
+    }
+
+    #[test]
+    fn extraction_is_case_insensitive_and_deduplicated() {
+        let mut cats = Categories::new();
+        cats.insert("x".into(), vec!["plant".into()]);
+        cats.insert("y".into(), vec!["plant".into()]);
+        let hits = extract_keywords(&cats, "PLANT plant Plant");
+        assert_eq!(hits, vec!["plant"]);
+    }
+}

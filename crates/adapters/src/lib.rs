@@ -1,0 +1,44 @@
+//! Adapters: mediating between legacy systems and the Information Bus.
+//!
+//! "To integrate existing applications into the Information Bus we use
+//! software modules called *adapters*. These adapters convert information
+//! from the data objects of the Information Bus into data understood by
+//! the applications, and vice versa. Adapters must live in two worlds at
+//! once, translating communication mechanisms and data schemas." (§4)
+//!
+//! This crate provides the three adapters/services the paper's examples
+//! revolve around:
+//!
+//! * [`newsfeed`] — the trading-floor feed adapters (§5, Figure 3): two
+//!   synthetic vendor wire formats (a fixed-prefix Dow-Jones-style record
+//!   format and a tagged Reuters-style line format), parsers into
+//!   vendor-specific subtypes of a common `Story` supertype, and bus
+//!   applications that publish each story under
+//!   `news.<category>.<ticker>`;
+//! * [`wip`] — the factory-floor legacy integration (§4): a simulated
+//!   Cobol-era Work-In-Progress system with only a forms/terminal
+//!   interface, plus an adapter that "acts as a virtual user to the
+//!   terminal interface", translating bus commands to keystrokes and
+//!   screen-scraping the results back into objects;
+//! * [`keyword`] — the Keyword Generator (§5.2): the dynamic-evolution
+//!   example service that subscribes to stories, extracts keywords by
+//!   category, and publishes them as Property objects on the same
+//!   subject — plus an interactive RMI interface for browsing categories.
+//!
+//! The paper's real feeds (Dow Jones, Reuters) and the customer's Cobol
+//! WIP system are proprietary; the synthetic generators here produce the
+//! same *shape* of input (distinct vendor formats, terminal screens), so
+//! the adapter code paths are exercised exactly as in the field.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod keyword;
+pub mod newsfeed;
+pub mod newstypes;
+pub mod wip;
+
+pub use keyword::{KeywordGenerator, KeywordService};
+pub use newsfeed::{DjFeedAdapter, DjWireParser, ReutersFeedAdapter, ReutersWireParser};
+pub use newstypes::register_news_types;
+pub use wip::{WipAdapter, WipLegacySystem};

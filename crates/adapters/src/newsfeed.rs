@@ -1,0 +1,524 @@
+//! News feed adapters: vendor wire formats → `Story` subtypes → the bus.
+//!
+//! "Two news adapters receive news stories from communication feeds
+//! connected to outside news services, such as Dow Jones and Reuters.
+//! Each raw news service defines its own news format. Each adapter parses
+//! the received data into an appropriate vendor-specific subtype of a
+//! common Story supertype, and publishes each story on the Information
+//! Bus under a subject describing the story's primary topic (for example,
+//! 'news.equity.gmc' for stories on General Motors)." (§5)
+
+use std::fmt;
+
+use infobus_core::{BusApp, BusCtx, QoS};
+use infobus_types::{DataObject, Value};
+
+use crate::newstypes::register_news_types;
+
+/// Parse errors for vendor wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedParseError {
+    /// A required field or line is missing.
+    Missing(&'static str),
+    /// A field failed to parse.
+    Bad {
+        /// Which field.
+        field: &'static str,
+        /// What was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for FeedParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedParseError::Missing(what) => write!(f, "missing {what}"),
+            FeedParseError::Bad { field, found } => write!(f, "bad {field}: {found:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedParseError {}
+
+// ---------------------------------------------------------------------------
+// Dow-Jones-style fixed-prefix record format
+// ---------------------------------------------------------------------------
+
+/// Parser for the DJ-style multi-line record format:
+///
+/// ```text
+/// DJ0042 GMC    EQU U
+/// HL GM BEATS ESTIMATES
+/// TX General Motors reported…
+/// CC US,CA
+/// IG AUTO,MANUF
+/// ```
+///
+/// Line prefixes: `DJ` header (sequence, ticker, category, urgency flag),
+/// `HL` headline, `TX` body text (repeatable), `CC` country codes,
+/// `IG` industry groups.
+pub struct DjWireParser;
+
+impl DjWireParser {
+    /// Parses one raw record into a `DjStory` data object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FeedParseError`] on malformed records.
+    pub fn parse(raw: &str) -> Result<DataObject, FeedParseError> {
+        let mut seq = None;
+        let mut ticker = None;
+        let mut category = None;
+        let mut urgent = false;
+        let mut headline = None;
+        let mut body = String::new();
+        let mut countries = Vec::new();
+        let mut groups = Vec::new();
+        for line in raw.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("DJ") {
+                let mut parts = rest.split_whitespace();
+                let seq_str = parts.next().ok_or(FeedParseError::Missing("sequence"))?;
+                seq = Some(seq_str.parse::<u64>().map_err(|_| FeedParseError::Bad {
+                    field: "sequence",
+                    found: seq_str.to_owned(),
+                })?);
+                ticker = Some(
+                    parts
+                        .next()
+                        .ok_or(FeedParseError::Missing("ticker"))?
+                        .to_owned(),
+                );
+                category = Some(
+                    parts
+                        .next()
+                        .ok_or(FeedParseError::Missing("category"))?
+                        .to_owned(),
+                );
+                urgent = parts.next() == Some("U");
+            } else if let Some(rest) = line.strip_prefix("HL ") {
+                headline = Some(rest.to_owned());
+            } else if let Some(rest) = line.strip_prefix("TX ") {
+                if !body.is_empty() {
+                    body.push(' ');
+                }
+                body.push_str(rest);
+            } else if let Some(rest) = line.strip_prefix("CC ") {
+                countries.extend(rest.split(',').map(|c| c.trim().to_owned()));
+            } else if let Some(rest) = line.strip_prefix("IG ") {
+                groups.extend(rest.split(',').map(|g| g.trim().to_owned()));
+            } else {
+                return Err(FeedParseError::Bad {
+                    field: "line prefix",
+                    found: line.to_owned(),
+                });
+            }
+        }
+        let seq = seq.ok_or(FeedParseError::Missing("DJ header"))?;
+        let ticker = ticker.ok_or(FeedParseError::Missing("ticker"))?;
+        let category = category.ok_or(FeedParseError::Missing("category"))?;
+        let headline = headline.ok_or(FeedParseError::Missing("HL headline"))?;
+
+        let source = DataObject::new("Source")
+            .with("name", "Dow Jones")
+            .with("priority", 1i64);
+        let mut story = DataObject::new("DjStory");
+        story
+            .set("id", format!("dj-{seq}"))
+            .set("headline", headline)
+            .set("body", body)
+            .set("ticker", ticker.clone())
+            .set("category", category)
+            .set("urgent", urgent)
+            .set(
+                "industry_groups",
+                Value::List(groups.into_iter().map(Value::Str).collect()),
+            )
+            .set(
+                "country_codes",
+                Value::List(countries.into_iter().map(Value::Str).collect()),
+            )
+            .set("sources", Value::List(vec![Value::object(source)]))
+            .set("dj_code", format!("DJ{seq:04}"));
+        Ok(story)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reuters-style tagged single-line format
+// ---------------------------------------------------------------------------
+
+/// Parser for the Reuters-style tagged line format:
+///
+/// ```text
+/// <RTRS seq=42 pri=2 ticker=GMC cat=EQU topics=M:AUT,M:MFG>HEADLINE|body text
+/// ```
+pub struct ReutersWireParser;
+
+impl ReutersWireParser {
+    /// Parses one raw line into an `RtrsStory` data object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FeedParseError`] on malformed lines.
+    pub fn parse(raw: &str) -> Result<DataObject, FeedParseError> {
+        let raw = raw.trim();
+        let rest = raw
+            .strip_prefix("<RTRS ")
+            .ok_or(FeedParseError::Missing("<RTRS prefix"))?;
+        let close = rest
+            .find('>')
+            .ok_or(FeedParseError::Missing("closing '>'"))?;
+        let (attrs, payload) = rest.split_at(close);
+        let payload = &payload[1..];
+        let mut seq = None;
+        let mut pri = 3i64;
+        let mut ticker = None;
+        let mut cat = None;
+        let mut topics = Vec::new();
+        for kv in attrs.split_whitespace() {
+            let Some((k, v)) = kv.split_once('=') else {
+                return Err(FeedParseError::Bad {
+                    field: "attribute",
+                    found: kv.to_owned(),
+                });
+            };
+            match k {
+                "seq" => {
+                    seq = Some(v.parse::<u64>().map_err(|_| FeedParseError::Bad {
+                        field: "seq",
+                        found: v.to_owned(),
+                    })?)
+                }
+                "pri" => {
+                    pri = v.parse().map_err(|_| FeedParseError::Bad {
+                        field: "pri",
+                        found: v.to_owned(),
+                    })?
+                }
+                "ticker" => ticker = Some(v.to_owned()),
+                "cat" => cat = Some(v.to_owned()),
+                "topics" => topics.extend(v.split(',').map(|t| t.to_owned())),
+                other => {
+                    return Err(FeedParseError::Bad {
+                        field: "attribute name",
+                        found: other.to_owned(),
+                    })
+                }
+            }
+        }
+        let seq = seq.ok_or(FeedParseError::Missing("seq"))?;
+        let ticker = ticker.ok_or(FeedParseError::Missing("ticker"))?;
+        let cat = cat.ok_or(FeedParseError::Missing("cat"))?;
+        let (headline, body) = payload.split_once('|').unwrap_or((payload, ""));
+        if headline.is_empty() {
+            return Err(FeedParseError::Missing("headline"));
+        }
+
+        let source = DataObject::new("Source")
+            .with("name", "Reuters")
+            .with("priority", pri);
+        let mut story = DataObject::new("RtrsStory");
+        story
+            .set("id", format!("rtrs-{seq}"))
+            .set("headline", headline)
+            .set("body", body)
+            .set("ticker", ticker)
+            .set("category", cat)
+            .set("urgent", pri <= 1)
+            .set("industry_groups", Value::List(vec![]))
+            .set("country_codes", Value::List(vec![]))
+            .set("sources", Value::List(vec![Value::object(source)]))
+            .set("priority", pri)
+            .set(
+                "topic_codes",
+                Value::List(topics.into_iter().map(Value::Str).collect()),
+            );
+        Ok(story)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic feed content
+// ---------------------------------------------------------------------------
+
+const TICKERS: &[(&str, &str, &str)] = &[
+    ("GMC", "EQU", "General Motors"),
+    ("IBM", "EQU", "IBM"),
+    ("XON", "ENE", "Exxon"),
+    ("T", "TEL", "AT&T"),
+    ("BA", "IND", "Boeing"),
+];
+
+const EVENTS: &[&str] = &[
+    "BEATS ESTIMATES BY WIDE MARGIN",
+    "ANNOUNCES LAYOFFS AT MICHIGAN PLANT",
+    "UNVEILS NEW PRODUCT LINE",
+    "FACES REGULATORY INQUIRY",
+    "RAISES DIVIDEND",
+];
+
+const BODIES: &[&str] = &[
+    "Analysts said the results exceeded expectations across all divisions.",
+    "The company cited weak demand and rising costs for the decision.",
+    "Executives described the launch as the most important in a decade.",
+    "Regulators declined to comment on the scope of the inquiry.",
+    "The board approved the change effective next quarter.",
+];
+
+/// Deterministically generates the `n`-th raw DJ record.
+pub fn synth_dj_record(n: u64) -> String {
+    let (ticker, cat, name) = TICKERS[(n as usize) % TICKERS.len()];
+    let event = EVENTS[(n as usize / TICKERS.len()) % EVENTS.len()];
+    let urgent = if n % 7 == 0 { " U" } else { "" };
+    format!(
+        "DJ{:04} {ticker} {cat}{urgent}\nHL {upper} {event}\nTX {body}\nCC US,CA\nIG AUTO,MANUF",
+        n,
+        upper = name.to_uppercase(),
+        event = event,
+        body = BODIES[(n as usize) % BODIES.len()],
+    )
+}
+
+/// Deterministically generates the `n`-th raw Reuters line.
+pub fn synth_rtrs_line(n: u64) -> String {
+    let (ticker, cat, name) = TICKERS[(n as usize) % TICKERS.len()];
+    let event = EVENTS[(n as usize / TICKERS.len()) % EVENTS.len()];
+    format!(
+        "<RTRS seq={n} pri={pri} ticker={ticker} cat={cat} topics=M:AUT,M:MFG>{upper} {event}|{body}",
+        pri = 1 + (n % 3),
+        upper = name.to_uppercase(),
+        body = BODIES[(n as usize) % BODIES.len()],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Adapter applications
+// ---------------------------------------------------------------------------
+
+fn story_subject(story: &DataObject) -> String {
+    let cat = story
+        .get("category")
+        .and_then(Value::as_str)
+        .unwrap_or("misc")
+        .to_lowercase();
+    let ticker = story
+        .get("ticker")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_lowercase();
+    format!("news.{cat}.{ticker}")
+}
+
+/// The Dow-Jones-side adapter: consumes raw DJ records (synthesized
+/// deterministically, standing in for the external line feed), parses
+/// them, and publishes `DjStory` objects on the bus.
+pub struct DjFeedAdapter {
+    /// How many records to emit.
+    pub count: u64,
+    /// Virtual microseconds between records.
+    pub period: u64,
+    /// Records published so far.
+    pub published: u64,
+    /// Records the parser rejected.
+    pub parse_errors: u64,
+}
+
+impl DjFeedAdapter {
+    /// An adapter that emits `count` records, one per `period` µs.
+    pub fn new(count: u64, period: u64) -> Self {
+        DjFeedAdapter {
+            count,
+            period,
+            published: 0,
+            parse_errors: 0,
+        }
+    }
+}
+
+impl BusApp for DjFeedAdapter {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        register_news_types(&mut bus.registry().borrow_mut()).expect("news types");
+        bus.set_timer(self.period, 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if self.published + self.parse_errors >= self.count {
+            return;
+        }
+        let raw = synth_dj_record(self.published + self.parse_errors);
+        match DjWireParser::parse(&raw) {
+            Ok(story) => {
+                let subject = story_subject(&story);
+                bus.publish_object(&subject, &story, QoS::Reliable)
+                    .expect("publish story");
+                self.published += 1;
+            }
+            Err(_) => self.parse_errors += 1,
+        }
+        bus.set_timer(self.period, 0);
+    }
+}
+
+/// The Reuters-side adapter (same shape, different wire format).
+pub struct ReutersFeedAdapter {
+    /// How many lines to emit.
+    pub count: u64,
+    /// Virtual microseconds between lines.
+    pub period: u64,
+    /// Lines published so far.
+    pub published: u64,
+    /// Lines the parser rejected.
+    pub parse_errors: u64,
+}
+
+impl ReutersFeedAdapter {
+    /// An adapter that emits `count` lines, one per `period` µs.
+    pub fn new(count: u64, period: u64) -> Self {
+        ReutersFeedAdapter {
+            count,
+            period,
+            published: 0,
+            parse_errors: 0,
+        }
+    }
+}
+
+impl BusApp for ReutersFeedAdapter {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        register_news_types(&mut bus.registry().borrow_mut()).expect("news types");
+        bus.set_timer(self.period, 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if self.published + self.parse_errors >= self.count {
+            return;
+        }
+        let raw = synth_rtrs_line(self.published + self.parse_errors);
+        match ReutersWireParser::parse(&raw) {
+            Ok(story) => {
+                let subject = story_subject(&story);
+                bus.publish_object(&subject, &story, QoS::Reliable)
+                    .expect("publish story");
+                self.published += 1;
+            }
+            Err(_) => self.parse_errors += 1,
+        }
+        bus.set_timer(self.period, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infobus_types::TypeRegistry;
+
+    #[test]
+    fn dj_parser_extracts_all_fields() {
+        let raw = "DJ0042 GMC EQU U\nHL GM BEATS ESTIMATES\nTX First sentence.\nTX Second sentence.\nCC US,CA\nIG AUTO,MANUF";
+        let story = DjWireParser::parse(raw).unwrap();
+        assert_eq!(story.type_name(), "DjStory");
+        assert_eq!(story.get("id"), Some(&Value::str("dj-42")));
+        assert_eq!(
+            story.get("headline"),
+            Some(&Value::str("GM BEATS ESTIMATES"))
+        );
+        assert_eq!(
+            story.get("body"),
+            Some(&Value::str("First sentence. Second sentence."))
+        );
+        assert_eq!(story.get("ticker"), Some(&Value::str("GMC")));
+        assert_eq!(story.get("urgent"), Some(&Value::Bool(true)));
+        assert_eq!(
+            story.get("country_codes"),
+            Some(&Value::List(vec![Value::str("US"), Value::str("CA")]))
+        );
+        assert_eq!(story.get("dj_code"), Some(&Value::str("DJ0042")));
+        let sources = story.get("sources").unwrap().as_list().unwrap();
+        assert_eq!(
+            sources[0].as_object().unwrap().get("name"),
+            Some(&Value::str("Dow Jones"))
+        );
+    }
+
+    #[test]
+    fn dj_parser_rejects_malformed() {
+        assert!(matches!(
+            DjWireParser::parse(""),
+            Err(FeedParseError::Missing(_))
+        ));
+        assert!(matches!(
+            DjWireParser::parse("DJxx GMC EQU\nHL X"),
+            Err(FeedParseError::Bad {
+                field: "sequence",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DjWireParser::parse("DJ0001 GMC EQU\nZZ nonsense"),
+            Err(FeedParseError::Bad {
+                field: "line prefix",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DjWireParser::parse("DJ0001 GMC EQU\nTX body only"),
+            Err(FeedParseError::Missing("HL headline"))
+        ));
+    }
+
+    #[test]
+    fn reuters_parser_extracts_all_fields() {
+        let raw = "<RTRS seq=42 pri=1 ticker=GMC cat=EQU topics=M:AUT,M:MFG>GM BEATS|The body.";
+        let story = ReutersWireParser::parse(raw).unwrap();
+        assert_eq!(story.type_name(), "RtrsStory");
+        assert_eq!(story.get("id"), Some(&Value::str("rtrs-42")));
+        assert_eq!(story.get("headline"), Some(&Value::str("GM BEATS")));
+        assert_eq!(story.get("body"), Some(&Value::str("The body.")));
+        assert_eq!(story.get("priority"), Some(&Value::I64(1)));
+        assert_eq!(story.get("urgent"), Some(&Value::Bool(true)));
+        assert_eq!(
+            story.get("topic_codes"),
+            Some(&Value::List(vec![Value::str("M:AUT"), Value::str("M:MFG")]))
+        );
+    }
+
+    #[test]
+    fn reuters_parser_rejects_malformed() {
+        assert!(ReutersWireParser::parse("garbage").is_err());
+        assert!(ReutersWireParser::parse("<RTRS seq=1 ticker=X cat=Y").is_err());
+        assert!(matches!(
+            ReutersWireParser::parse("<RTRS seq=zz ticker=X cat=Y>H|b"),
+            Err(FeedParseError::Bad { field: "seq", .. })
+        ));
+        assert!(matches!(
+            ReutersWireParser::parse("<RTRS seq=1 cat=Y>H|b"),
+            Err(FeedParseError::Missing("ticker"))
+        ));
+        assert!(matches!(
+            ReutersWireParser::parse("<RTRS seq=1 ticker=X cat=Y>|body"),
+            Err(FeedParseError::Missing("headline"))
+        ));
+    }
+
+    #[test]
+    fn synthetic_records_all_parse_and_validate() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        register_news_types(&mut reg).unwrap();
+        for n in 0..100 {
+            let dj = DjWireParser::parse(&synth_dj_record(n)).unwrap();
+            reg.validate(&dj).unwrap();
+            let rt = ReutersWireParser::parse(&synth_rtrs_line(n)).unwrap();
+            reg.validate(&rt).unwrap();
+            assert!(story_subject(&dj).starts_with("news."));
+            assert!(story_subject(&rt).starts_with("news."));
+        }
+    }
+
+    #[test]
+    fn subjects_follow_the_paper_convention() {
+        let story = DjWireParser::parse(&synth_dj_record(0)).unwrap();
+        assert_eq!(story_subject(&story), "news.equ.gmc");
+    }
+}

@@ -1,0 +1,78 @@
+//! The trading-floor type hierarchy: `Story` and its vendor subtypes.
+
+use infobus_types::{TypeDescriptor, TypeError, TypeRegistry, ValueType};
+
+/// Registers the news type hierarchy into a registry (idempotent).
+///
+/// The hierarchy mirrors §5: a `Story` supertype — "a highly structured
+/// object containing other objects such as lists of 'industry groups',
+/// 'sources', and 'country codes'" — with vendor-specific subtypes
+/// produced by each feed adapter.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] only if a conflicting definition is already
+/// registered.
+pub fn register_news_types(registry: &mut TypeRegistry) -> Result<(), TypeError> {
+    registry.register(
+        TypeDescriptor::builder("Source")
+            .attribute("name", ValueType::Str)
+            .attribute("priority", ValueType::I64)
+            .build(),
+    )?;
+    registry.register(
+        TypeDescriptor::builder("Story")
+            .attribute("id", ValueType::Str)
+            .attribute("headline", ValueType::Str)
+            .attribute("body", ValueType::Str)
+            .attribute("ticker", ValueType::Str)
+            .attribute("category", ValueType::Str)
+            .attribute("urgent", ValueType::Bool)
+            .attribute("industry_groups", ValueType::list_of(ValueType::Str))
+            .attribute("country_codes", ValueType::list_of(ValueType::Str))
+            .attribute("sources", ValueType::list_of(ValueType::object("Source")))
+            .build(),
+    )?;
+    registry.register(
+        TypeDescriptor::builder("DjStory")
+            .supertype("Story")
+            .attribute("dj_code", ValueType::Str)
+            .build(),
+    )?;
+    registry.register(
+        TypeDescriptor::builder("RtrsStory")
+            .supertype("Story")
+            .attribute("priority", ValueType::I64)
+            .attribute("topic_codes", ValueType::list_of(ValueType::Str))
+            .build(),
+    )?;
+    // The §5.2 property-carrier: associates dynamically generated
+    // properties with the object they reference (by story id).
+    registry.register(
+        TypeDescriptor::builder("PropertyUpdate")
+            .attribute("ref_id", ValueType::Str)
+            .attribute("name", ValueType::Str)
+            .attribute("value", ValueType::Any)
+            .build(),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_hierarchy_idempotently() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        register_news_types(&mut reg).unwrap();
+        register_news_types(&mut reg).unwrap();
+        assert!(reg.is_subtype("DjStory", "Story"));
+        assert!(reg.is_subtype("RtrsStory", "Story"));
+        assert!(!reg.is_subtype("DjStory", "RtrsStory"));
+        assert!(reg
+            .attribute_names("RtrsStory")
+            .unwrap()
+            .contains(&"headline".to_owned()));
+    }
+}

@@ -1,0 +1,312 @@
+//! The legacy Work-In-Progress system and its adapter.
+//!
+//! "In the factory floor example, our customer already had a Work In
+//! Progress (WIP) system with its own data schemas. We designed an
+//! adapter that allows the existing WIP software to communicate with the
+//! Information Bus. … the existing WIP system is written in Cobol, and
+//! there is only a primitive terminal interface. The adapter must act as
+//! a virtual user to the terminal interface." (§4)
+//!
+//! [`WipLegacySystem`] emulates that Cobol-era system: a line-oriented
+//! terminal with a sign-on screen and fixed-format commands; its *only*
+//! interface is typed commands and printed screens. [`WipAdapter`] is the
+//! virtual user: it signs on, translates bus command objects into
+//! keystrokes, scrapes the resulting screens, and publishes structured
+//! lot-status objects back onto the bus.
+
+use std::collections::BTreeMap;
+
+use infobus_core::{BusApp, BusCtx, BusMessage, QoS};
+use infobus_types::{DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+
+/// One lot tracked by the legacy system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Lot {
+    route: String,
+    station: String,
+    moves: u32,
+}
+
+/// The simulated legacy WIP system: state behind a terminal interface.
+///
+/// The terminal protocol (all the outside world ever sees):
+///
+/// ```text
+/// > SIGNON OPER7
+/// WIP SYSTEM V2.4 READY  USER=OPER7
+/// > ADD LOT L042 ROUTE-A
+/// LOT L042 CREATED ROUTE=ROUTE-A STATION=START
+/// > MOVE LOT L042 LITHO8
+/// LOT L042 MOVED STATION=LITHO8 MOVES=1
+/// > SHOW LOT L042
+/// LOT=L042 ROUTE=ROUTE-A STATION=LITHO8 MOVES=1
+/// > SHOW ALL
+/// LOT=L042 ROUTE=ROUTE-A STATION=LITHO8 MOVES=1
+/// END 1 LOTS
+/// ```
+pub struct WipLegacySystem {
+    signed_on: Option<String>,
+    lots: BTreeMap<String, Lot>,
+}
+
+impl Default for WipLegacySystem {
+    fn default() -> Self {
+        WipLegacySystem::new()
+    }
+}
+
+impl WipLegacySystem {
+    /// A fresh system with no lots.
+    pub fn new() -> Self {
+        WipLegacySystem {
+            signed_on: None,
+            lots: BTreeMap::new(),
+        }
+    }
+
+    /// Types one command line at the terminal; returns the printed
+    /// screen. This is the system's entire interface.
+    pub fn type_command(&mut self, line: &str) -> String {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["SIGNON", user] => {
+                self.signed_on = Some((*user).to_owned());
+                format!("WIP SYSTEM V2.4 READY  USER={user}")
+            }
+            _ if self.signed_on.is_none() => "SIGNON REQUIRED".to_owned(),
+            ["ADD", "LOT", id, route] => {
+                if self.lots.contains_key(*id) {
+                    return format!("ERROR LOT {id} EXISTS");
+                }
+                self.lots.insert(
+                    (*id).to_owned(),
+                    Lot {
+                        route: (*route).to_owned(),
+                        station: "START".to_owned(),
+                        moves: 0,
+                    },
+                );
+                format!("LOT {id} CREATED ROUTE={route} STATION=START")
+            }
+            ["MOVE", "LOT", id, station] => match self.lots.get_mut(*id) {
+                Some(lot) => {
+                    lot.station = (*station).to_owned();
+                    lot.moves += 1;
+                    format!("LOT {id} MOVED STATION={station} MOVES={}", lot.moves)
+                }
+                None => format!("ERROR LOT {id} UNKNOWN"),
+            },
+            ["SHOW", "LOT", id] => match self.lots.get(*id) {
+                Some(lot) => format!(
+                    "LOT={id} ROUTE={} STATION={} MOVES={}",
+                    lot.route, lot.station, lot.moves
+                ),
+                None => format!("ERROR LOT {id} UNKNOWN"),
+            },
+            ["SHOW", "ALL"] => {
+                let mut screen = String::new();
+                for (id, lot) in &self.lots {
+                    screen.push_str(&format!(
+                        "LOT={id} ROUTE={} STATION={} MOVES={}\n",
+                        lot.route, lot.station, lot.moves
+                    ));
+                }
+                screen.push_str(&format!("END {} LOTS", self.lots.len()));
+                screen
+            }
+            _ => format!("ERROR UNRECOGNIZED COMMAND: {line}"),
+        }
+    }
+}
+
+/// Registers the WIP-side bus types (idempotent).
+///
+/// # Errors
+///
+/// Returns an error only on conflicting registration.
+pub fn register_wip_types(registry: &mut TypeRegistry) -> Result<(), infobus_types::TypeError> {
+    registry.register(
+        TypeDescriptor::builder("WipCommand")
+            .attribute("verb", ValueType::Str)
+            .attribute("lot", ValueType::Str)
+            .attribute("arg", ValueType::Str)
+            .build(),
+    )?;
+    registry.register(
+        TypeDescriptor::builder("LotStatus")
+            .attribute("lot", ValueType::Str)
+            .attribute("route", ValueType::Str)
+            .attribute("station", ValueType::Str)
+            .attribute("moves", ValueType::I64)
+            .attribute("ok", ValueType::Bool)
+            .attribute("screen", ValueType::Str)
+            .build(),
+    )?;
+    Ok(())
+}
+
+/// Screen-scrapes a `LOT=… ROUTE=… STATION=… MOVES=…` line.
+fn scrape_lot_line(line: &str) -> Option<(String, String, String, i64)> {
+    let mut lot = None;
+    let mut route = None;
+    let mut station = None;
+    let mut moves = None;
+    for field in line.split_whitespace() {
+        let (k, v) = field.split_once('=')?;
+        match k {
+            "LOT" => lot = Some(v.to_owned()),
+            "ROUTE" => route = Some(v.to_owned()),
+            "STATION" => station = Some(v.to_owned()),
+            "MOVES" => moves = v.parse::<i64>().ok(),
+            _ => {}
+        }
+    }
+    Some((lot?, route?, station?, moves?))
+}
+
+/// The adapter: a virtual user at the legacy terminal.
+///
+/// Subscribes to `fab5.wip.cmd` command objects
+/// (`WipCommand { verb, lot, arg }` where verb is `ADD`, `MOVE`, or
+/// `SHOW`), types the corresponding command at the legacy terminal,
+/// scrapes the screen, and publishes a `LotStatus` object under
+/// `fab5.wip.status.<lot>`.
+pub struct WipAdapter {
+    legacy: WipLegacySystem,
+    /// Commands processed.
+    pub commands: u64,
+    /// Commands the legacy system rejected.
+    pub rejected: u64,
+}
+
+impl Default for WipAdapter {
+    fn default() -> Self {
+        WipAdapter::new()
+    }
+}
+
+impl WipAdapter {
+    /// A fresh adapter embedding a fresh legacy system.
+    pub fn new() -> Self {
+        WipAdapter {
+            legacy: WipLegacySystem::new(),
+            commands: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Driver/test access to the embedded legacy terminal.
+    pub fn legacy_mut(&mut self) -> &mut WipLegacySystem {
+        &mut self.legacy
+    }
+}
+
+impl BusApp for WipAdapter {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        register_wip_types(&mut bus.registry().borrow_mut()).expect("wip types");
+        // The virtual user signs on first.
+        let banner = self.legacy.type_command("SIGNON BUSADAPTER");
+        assert!(banner.contains("READY"), "legacy sign-on failed: {banner}");
+        bus.subscribe("fab5.wip.cmd").expect("valid filter");
+    }
+
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        let Some(cmd) = msg.value.as_object() else {
+            return;
+        };
+        if cmd.type_name() != "WipCommand" {
+            return;
+        }
+        let verb = cmd.get("verb").and_then(Value::as_str).unwrap_or("");
+        let lot = cmd.get("lot").and_then(Value::as_str).unwrap_or("");
+        let arg = cmd.get("arg").and_then(Value::as_str).unwrap_or("");
+        // Translate the command object to keystrokes.
+        let line = match verb {
+            "ADD" => format!("ADD LOT {lot} {arg}"),
+            "MOVE" => format!("MOVE LOT {lot} {arg}"),
+            "SHOW" => format!("SHOW LOT {lot}"),
+            other => {
+                self.rejected += 1;
+                bus.trace(|| format!("wip adapter: unknown verb {other:?}"));
+                return;
+            }
+        };
+        self.commands += 1;
+        let screen = self.legacy.type_command(&line);
+        // For mutations, ask the terminal for the authoritative record.
+        let status_screen = if verb == "SHOW" {
+            screen.clone()
+        } else {
+            self.legacy.type_command(&format!("SHOW LOT {lot}"))
+        };
+        let ok = !screen.starts_with("ERROR") && !status_screen.starts_with("ERROR");
+        let mut status = DataObject::new("LotStatus");
+        status
+            .set("lot", lot)
+            .set("ok", ok)
+            .set("screen", screen.clone());
+        if let Some((slot, route, station, moves)) = scrape_lot_line(&status_screen) {
+            status
+                .set("lot", slot)
+                .set("route", route)
+                .set("station", station)
+                .set("moves", moves);
+        } else {
+            self.rejected += 1;
+            status
+                .set("route", "")
+                .set("station", "")
+                .set("moves", -1i64);
+        }
+        let subject = format!("fab5.wip.status.{}", lot.to_lowercase());
+        // Lot state feeds databases downstream: use guaranteed delivery.
+        bus.publish_object(&subject, &status, QoS::Guaranteed)
+            .expect("publish status");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_terminal_protocol() {
+        let mut wip = WipLegacySystem::new();
+        assert_eq!(wip.type_command("SHOW ALL"), "SIGNON REQUIRED");
+        assert!(wip.type_command("SIGNON OPER7").contains("USER=OPER7"));
+        assert_eq!(
+            wip.type_command("ADD LOT L042 ROUTE-A"),
+            "LOT L042 CREATED ROUTE=ROUTE-A STATION=START"
+        );
+        assert_eq!(
+            wip.type_command("ADD LOT L042 ROUTE-B"),
+            "ERROR LOT L042 EXISTS"
+        );
+        assert_eq!(
+            wip.type_command("MOVE LOT L042 LITHO8"),
+            "LOT L042 MOVED STATION=LITHO8 MOVES=1"
+        );
+        assert_eq!(
+            wip.type_command("SHOW LOT L042"),
+            "LOT=L042 ROUTE=ROUTE-A STATION=LITHO8 MOVES=1"
+        );
+        assert_eq!(
+            wip.type_command("MOVE LOT L999 X"),
+            "ERROR LOT L999 UNKNOWN"
+        );
+        assert!(wip.type_command("FROB").starts_with("ERROR UNRECOGNIZED"));
+        let all = wip.type_command("SHOW ALL");
+        assert!(all.contains("LOT=L042"));
+        assert!(all.ends_with("END 1 LOTS"));
+    }
+
+    #[test]
+    fn screen_scraper() {
+        assert_eq!(
+            scrape_lot_line("LOT=L042 ROUTE=ROUTE-A STATION=LITHO8 MOVES=3"),
+            Some(("L042".into(), "ROUTE-A".into(), "LITHO8".into(), 3))
+        );
+        assert_eq!(scrape_lot_line("ERROR LOT L1 UNKNOWN"), None);
+        assert_eq!(scrape_lot_line("LOT=L1 ROUTE=R"), None, "incomplete line");
+    }
+}

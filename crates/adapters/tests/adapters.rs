@@ -1,0 +1,352 @@
+//! Integration tests: feeds, the WIP virtual user, and the Keyword
+//! Generator, all running over the simulated bus.
+
+use infobus_adapters::{DjFeedAdapter, KeywordGenerator, ReutersFeedAdapter, WipAdapter};
+use infobus_core::{
+    BusApp, BusConfig, BusCtx, BusFabric, BusMessage, CallId, QoS, RetryMode, RmiError,
+    SelectionPolicy,
+};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, HostId, NetBuilder, Sim};
+use infobus_types::{DataObject, Value};
+
+fn lan(seed: u64, n: usize) -> (Sim, Vec<HostId>) {
+    let mut b = NetBuilder::new(seed);
+    let seg = b.segment(EtherConfig::lan_10mbps());
+    let hosts: Vec<HostId> = (0..n).map(|i| b.host(&format!("h{i}"), &[seg])).collect();
+    (b.build(), hosts)
+}
+
+#[derive(Default)]
+struct Collector {
+    filters: Vec<String>,
+    messages: Vec<BusMessage>,
+}
+
+impl Collector {
+    fn new(filters: &[&str]) -> Self {
+        Collector {
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+            messages: Vec::new(),
+        }
+    }
+}
+
+impl BusApp for Collector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        for f in &self.filters {
+            bus.subscribe(f).unwrap();
+        }
+    }
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.messages.push(msg.clone());
+    }
+}
+
+#[test]
+fn both_feeds_publish_vendor_subtypes_under_news_subjects() {
+    let (mut sim, hosts) = lan(41, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "monitor",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "dj",
+        Box::new(DjFeedAdapter::new(10, millis(7))),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "rtrs",
+        Box::new(ReutersFeedAdapter::new(10, millis(9))),
+    );
+    sim.run_for(secs(2));
+    fabric
+        .with_app::<Collector, ()>(&mut sim, hosts[2], "monitor", |c| {
+            assert_eq!(c.messages.len(), 20);
+            let dj = c
+                .messages
+                .iter()
+                .filter(|m| {
+                    m.value
+                        .as_object()
+                        .is_some_and(|o| o.type_name() == "DjStory")
+                })
+                .count();
+            let rt = c
+                .messages
+                .iter()
+                .filter(|m| {
+                    m.value
+                        .as_object()
+                        .is_some_and(|o| o.type_name() == "RtrsStory")
+                })
+                .count();
+            assert_eq!((dj, rt), (10, 10));
+            assert!(c
+                .messages
+                .iter()
+                .all(|m| m.subject.as_str().starts_with("news.")));
+            // Structured content survived both vendor formats.
+            for m in &c.messages {
+                let obj = m.value.as_object().unwrap();
+                assert!(!obj.get("headline").unwrap().as_str().unwrap().is_empty());
+                assert!(!obj.get("sources").unwrap().as_list().unwrap().is_empty());
+            }
+        })
+        .unwrap();
+    // Adapter-side counters agree.
+    let (p, e) = fabric
+        .with_app::<DjFeedAdapter, (u64, u64)>(&mut sim, hosts[0], "dj", |a| {
+            (a.published, a.parse_errors)
+        })
+        .unwrap();
+    assert_eq!((p, e), (10, 0));
+}
+
+#[test]
+fn keyword_generator_comes_online_live() {
+    // §5.2: the generator is introduced *while* stories flow; consumers
+    // of the same subjects immediately see PropertyUpdate objects.
+    let (mut sim, hosts) = lan(42, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "monitor",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "dj",
+        Box::new(DjFeedAdapter::new(30, millis(30))),
+    );
+    sim.run_for(millis(400)); // ~13 stories flow without the generator
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "kw",
+        Box::new(KeywordGenerator::default()),
+    );
+    sim.run_for(secs(3));
+    let (stories, updates_before, updates_after) = fabric
+        .with_app::<Collector, (usize, usize, usize)>(&mut sim, hosts[2], "monitor", |c| {
+            let stories = c
+                .messages
+                .iter()
+                .filter(|m| {
+                    m.value
+                        .as_object()
+                        .is_some_and(|o| o.type_name() != "PropertyUpdate")
+                })
+                .count();
+            // Index of the first PropertyUpdate relative to stories seen.
+            let first_update = c
+                .messages
+                .iter()
+                .position(|m| {
+                    m.value
+                        .as_object()
+                        .is_some_and(|o| o.type_name() == "PropertyUpdate")
+                })
+                .unwrap_or(usize::MAX);
+            let before = c.messages[..first_update.min(c.messages.len())]
+                .iter()
+                .filter(|m| {
+                    m.value
+                        .as_object()
+                        .is_some_and(|o| o.type_name() != "PropertyUpdate")
+                })
+                .count();
+            let updates = c.messages.len() - stories;
+            (stories, before, updates)
+        })
+        .unwrap();
+    assert_eq!(stories, 30);
+    assert!(
+        updates_before >= 5,
+        "stories flowed before the generator ({updates_before})"
+    );
+    assert!(
+        updates_after >= 10,
+        "keyword updates flowed after it came online ({updates_after})"
+    );
+    let analyzed = fabric
+        .with_app::<KeywordGenerator, u64>(&mut sim, hosts[1], "kw", |k| k.analyzed)
+        .unwrap();
+    assert!(
+        analyzed >= 10 && analyzed <= 30,
+        "only post-start stories analyzed: {analyzed}"
+    );
+}
+
+#[test]
+fn keyword_browser_interface_over_rmi() {
+    let (mut sim, hosts) = lan(43, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "kw",
+        Box::new(KeywordGenerator::default()),
+    );
+    sim.run_for(millis(50));
+
+    #[derive(Default)]
+    struct Browser {
+        categories: Option<Vec<String>>,
+        keywords: Option<Vec<String>>,
+        calls: Vec<(CallId, &'static str)>,
+    }
+    impl BusApp for Browser {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            let c1 = bus
+                .rmi_call(
+                    "svc.keywords",
+                    "categories",
+                    vec![],
+                    SelectionPolicy::First,
+                    RetryMode::Failover,
+                )
+                .unwrap();
+            let c2 = bus
+                .rmi_call(
+                    "svc.keywords",
+                    "keywords",
+                    vec![Value::str("automotive")],
+                    SelectionPolicy::First,
+                    RetryMode::Failover,
+                )
+                .unwrap();
+            self.calls = vec![(c1, "cats"), (c2, "kws")];
+        }
+        fn on_rmi_reply(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            let tag = self
+                .calls
+                .iter()
+                .find(|(c, _)| *c == call)
+                .map(|(_, t)| *t)
+                .unwrap();
+            let list: Vec<String> = result
+                .expect("browse ok")
+                .as_list()
+                .unwrap()
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect();
+            match tag {
+                "cats" => self.categories = Some(list),
+                _ => self.keywords = Some(list),
+            }
+        }
+    }
+    fabric.attach_app(&mut sim, hosts[0], "browser", Box::new(Browser::default()));
+    sim.run_for(secs(2));
+    fabric
+        .with_app::<Browser, ()>(&mut sim, hosts[0], "browser", |b| {
+            assert_eq!(
+                b.categories.as_deref(),
+                Some(
+                    &[
+                        "automotive".to_owned(),
+                        "finance".to_owned(),
+                        "regulation".to_owned()
+                    ][..]
+                )
+            );
+            assert!(b.keywords.as_ref().unwrap().contains(&"motors".to_owned()));
+        })
+        .unwrap();
+}
+
+#[test]
+fn wip_adapter_acts_as_virtual_user() {
+    let (mut sim, hosts) = lan(44, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "wip", Box::new(WipAdapter::new()));
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "tracker",
+        Box::new(Collector::new(&["fab5.wip.status.>"])),
+    );
+    sim.run_for(millis(200));
+
+    /// Issues a scripted sequence of WIP commands over the bus.
+    struct Operator {
+        step: usize,
+    }
+    impl Operator {
+        fn command(verb: &str, lot: &str, arg: &str) -> DataObject {
+            DataObject::new("WipCommand")
+                .with("verb", verb)
+                .with("lot", lot)
+                .with("arg", arg)
+        }
+    }
+    impl BusApp for Operator {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            infobus_adapters::wip::register_wip_types(&mut bus.registry().borrow_mut()).unwrap();
+            bus.set_timer(millis(10), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            let cmd = match self.step {
+                0 => Self::command("ADD", "L042", "ROUTE-A"),
+                1 => Self::command("MOVE", "L042", "LITHO8"),
+                2 => Self::command("MOVE", "L042", "ETCH2"),
+                3 => Self::command("SHOW", "L042", ""),
+                4 => Self::command("MOVE", "L999", "NOWHERE"), // unknown lot
+                _ => return,
+            };
+            self.step += 1;
+            bus.publish_object("fab5.wip.cmd", &cmd, QoS::Reliable)
+                .unwrap();
+            bus.set_timer(millis(30), 0);
+        }
+    }
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "operator",
+        Box::new(Operator { step: 0 }),
+    );
+    sim.run_for(secs(3));
+    fabric
+        .with_app::<Collector, ()>(&mut sim, hosts[2], "tracker", |c| {
+            assert_eq!(c.messages.len(), 5);
+            let last_good = c.messages[3].value.as_object().unwrap();
+            assert_eq!(last_good.get("lot"), Some(&Value::str("L042")));
+            assert_eq!(last_good.get("station"), Some(&Value::str("ETCH2")));
+            assert_eq!(last_good.get("moves"), Some(&Value::I64(2)));
+            assert_eq!(last_good.get("ok"), Some(&Value::Bool(true)));
+            // Status updates are guaranteed-delivery (they feed databases).
+            assert_eq!(c.messages[3].qos, QoS::Guaranteed);
+            let failed = c.messages[4].value.as_object().unwrap();
+            assert_eq!(failed.get("ok"), Some(&Value::Bool(false)));
+            assert!(failed
+                .get("screen")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("ERROR"));
+        })
+        .unwrap();
+    let (commands, rejected) = fabric
+        .with_app::<WipAdapter, (u64, u64)>(&mut sim, hosts[1], "wip", |w| (w.commands, w.rejected))
+        .unwrap();
+    assert_eq!(commands, 5);
+    assert_eq!(rejected, 1);
+}

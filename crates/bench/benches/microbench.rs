@@ -1,0 +1,163 @@
+//! Wall-clock microbenchmarks of the data-path building blocks:
+//! subject-trie matching, self-describing marshalling, TDL dispatch, the
+//! relational engine, and the real-thread in-process bus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use infobus_core::inproc::InprocBus;
+use infobus_repo::{ColType, Column, Database, Datum, Pred, Schema};
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+use infobus_tdl::Interpreter;
+use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+
+fn bench_subject_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subject_matching");
+    for &n in &[100usize, 10_000, 100_000] {
+        let mut trie: SubjectTrie<usize> = SubjectTrie::new();
+        for i in 0..n {
+            trie.insert(
+                &SubjectFilter::new(&format!("plant{}.cc.st{}.>", i % 50, i)).unwrap(),
+                i,
+            );
+        }
+        let subject = Subject::new(&format!("plant17.cc.st{}.thick", n / 2)).unwrap();
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            b.iter(|| trie.matches(&subject).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_marshalling(c: &mut Criterion) {
+    let mut reg = TypeRegistry::with_fundamentals();
+    reg.register(
+        TypeDescriptor::builder("Story")
+            .attribute("headline", ValueType::Str)
+            .attribute("body", ValueType::Str)
+            .attribute("tags", ValueType::list_of(ValueType::Str))
+            .build(),
+    )
+    .unwrap();
+    let mut obj = reg.instantiate("Story").unwrap();
+    obj.set("headline", "GM BEATS ESTIMATES BY WIDE MARGIN");
+    obj.set("body", "x".repeat(1024));
+    obj.set(
+        "tags",
+        Value::List(vec![Value::str("auto"), Value::str("equity")]),
+    );
+    let value = Value::object(obj);
+    let bytes = wire::marshal_self_describing(&value, &reg).unwrap();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("marshal_self_describing_1k_story", |b| {
+        b.iter(|| wire::marshal_self_describing(&value, &reg).unwrap())
+    });
+    group.bench_function("unmarshal_1k_story", |b| {
+        b.iter(|| {
+            let mut fresh = TypeRegistry::with_fundamentals();
+            wire::unmarshal(&bytes, &mut fresh).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tdl_dispatch(c: &mut Criterion) {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(
+        r#"
+        (defclass story () ((headline :type str :initform "hi")))
+        (defclass dj-story (story) ((code :type str :initform "DJ")))
+        (defgeneric render (x))
+        (defmethod render ((s story)) (slot-value s 'headline))
+        (defmethod render ((s dj-story)) (concat "[dj]" (call-next-method)))
+        (set! inst (make-instance 'dj-story))
+        "#,
+    )
+    .unwrap();
+    c.bench_function("tdl_generic_dispatch_with_next_method", |b| {
+        b.iter(|| tdl.eval_str("(render inst)").unwrap())
+    });
+    c.bench_function("tdl_make_instance", |b| {
+        b.iter(|| tdl.eval_str("(make-instance 'dj-story)").unwrap())
+    });
+}
+
+fn bench_reldb(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Column::new("k", ColType::I64),
+            Column::new("v", ColType::Str),
+        ]),
+    )
+    .unwrap();
+    db.create_index("t", "k").unwrap();
+    for i in 0..10_000i64 {
+        db.insert(
+            "t",
+            vec![Datum::I64(i % 500), Datum::Str(format!("value-{i}"))],
+        )
+        .unwrap();
+    }
+    c.bench_function("reldb_indexed_select_10k_rows", |b| {
+        b.iter(|| {
+            db.select("t", &Pred::Eq("k".into(), Datum::I64(123)))
+                .unwrap()
+        })
+    });
+    c.bench_function("reldb_insert", |b| {
+        let mut db2 = Database::new();
+        db2.create_table(
+            "t",
+            Schema::new(vec![
+                Column::new("k", ColType::I64),
+                Column::new("v", ColType::Str),
+            ]),
+        )
+        .unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            db2.insert("t", vec![Datum::I64(i), Datum::Str("v".into())])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_inproc_bus(c: &mut Criterion) {
+    let bus = InprocBus::new();
+    bus.register_type(
+        TypeDescriptor::builder("Quote")
+            .attribute("px", ValueType::F64)
+            .attribute("sym", ValueType::Str)
+            .build(),
+    )
+    .unwrap();
+    let rx = bus.subscribe("news.>").unwrap();
+    for i in 0..999 {
+        // A realistic population of other subscriptions.
+        bus.subscribe(&format!("other.s{i}.>")).unwrap();
+    }
+    let obj = DataObject::new("Quote")
+        .with("px", 54.25f64)
+        .with("sym", "GMC");
+    let value = Value::object(obj);
+    c.bench_function("inproc_publish_deliver_1_subscriber", |b| {
+        b.iter(|| {
+            bus.publish("news.equity.gmc", &value).unwrap();
+            rx.recv().unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_subject_matching,
+    bench_marshalling,
+    bench_tdl_dispatch,
+    bench_reldb,
+    bench_inproc_bus
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Appendix claims about consumer count:
+//!
+//! * "the latency is independent of the number of consumers" (Figure 5
+//!   text), and
+//! * "the publication rate is independent of the number of subscribers.
+//!   Therefore, the cumulative throughput over all subscribers is
+//!   proportional to the number of subscribers."
+//!
+//! Both follow from Ethernet broadcast: one transmission serves any
+//! number of receivers.
+
+use infobus_bench::{emit_table, measure_latency, measure_throughput, ThroughputRun};
+
+fn main() {
+    let consumer_counts = [1usize, 2, 4, 8, 14];
+
+    let header = format!(
+        "{:>10} {:>14} {:>14}",
+        "consumers", "latency (ms)", "99% CI (ms)"
+    );
+    let mut rows = Vec::new();
+    for (i, &n) in consumer_counts.iter().enumerate() {
+        let stats = measure_latency(9_000 + i as u64, 1_024, n, 30);
+        rows.push(format!(
+            "{:>10} {:>14.3} {:>14.3}",
+            n, stats.mean_ms, stats.ci99_ms
+        ));
+    }
+    println!("CLAIM: latency is independent of the number of consumers (1 KB messages)\n");
+    emit_table("claim_consumers_latency", &header, &rows);
+
+    let header = format!(
+        "{:>10} {:>14} {:>14} {:>18}",
+        "consumers", "published/s", "per-cons KB/s", "cumulative KB/s"
+    );
+    let mut rows = Vec::new();
+    for (i, &n) in consumer_counts.iter().enumerate() {
+        let run = ThroughputRun {
+            seed: 9_100 + i as u64,
+            size: 1_024,
+            n_consumers: n,
+            window_s: 8,
+            ..Default::default()
+        };
+        let s = measure_throughput(&run);
+        rows.push(format!(
+            "{:>10} {:>14.1} {:>14.1} {:>18.1}",
+            n,
+            s.published_per_sec,
+            s.bytes_per_sec / 1_000.0,
+            s.cumulative_bytes_per_sec / 1_000.0
+        ));
+    }
+    println!(
+        "CLAIM: publication rate independent of subscribers; cumulative throughput proportional\n"
+    );
+    emit_table("claim_consumers_throughput", &header, &rows);
+}

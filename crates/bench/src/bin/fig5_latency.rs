@@ -1,0 +1,25 @@
+//! Figure 5 — "Latency vs Msg Size": one publisher, fourteen consumers
+//! on fifteen nodes, one subject, batching off, 99% confidence interval.
+//!
+//! Paper shape to reproduce: latency grows roughly linearly with message
+//! size; the appendix also states latency is independent of the number
+//! of consumers (checked by `claim_consumers`).
+
+use infobus_bench::{emit_table, measure_latency, SIZE_SWEEP};
+
+fn main() {
+    let header = format!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12}",
+        "size(B)", "samples", "mean (ms)", "99% CI (ms)", "var (ms^2)"
+    );
+    let mut rows = Vec::new();
+    for (i, &size) in SIZE_SWEEP.iter().enumerate() {
+        let stats = measure_latency(5_000 + i as u64, size, 14, 40);
+        rows.push(format!(
+            "{:>8} {:>10} {:>12.3} {:>14.3} {:>12.5}",
+            stats.size, stats.samples, stats.mean_ms, stats.ci99_ms, stats.variance
+        ));
+    }
+    println!("FIGURE 5: Latency of Publish/Subscribe Paradigm (batching off)\n");
+    emit_table("fig5_latency", &header, &rows);
+}

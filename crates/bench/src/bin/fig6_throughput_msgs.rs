@@ -1,0 +1,30 @@
+//! Figure 6 — "Throughput - Msgs/Sec vs Msg Size": one publisher, one
+//! subject, fourteen consumers, batching on.
+//!
+//! Paper shape to reproduce: messages/second falls monotonically as the
+//! message size grows; the rate is *per consumer* and independent of how
+//! many consumers listen (broadcast).
+
+use infobus_bench::{emit_table, measure_throughput, ThroughputRun, SIZE_SWEEP};
+
+fn main() {
+    let header = format!(
+        "{:>8} {:>14} {:>14} {:>16}",
+        "size(B)", "msgs/sec", "published/s", "var(consumers)"
+    );
+    let mut rows = Vec::new();
+    for (i, &size) in SIZE_SWEEP.iter().enumerate() {
+        let run = ThroughputRun {
+            seed: 6_000 + i as u64,
+            size,
+            ..Default::default()
+        };
+        let s = measure_throughput(&run);
+        rows.push(format!(
+            "{:>8} {:>14.1} {:>14.1} {:>16.2}",
+            s.size, s.msgs_per_sec, s.published_per_sec, s.variance_across_consumers
+        ));
+    }
+    println!("FIGURE 6: Throughput of Publish/Subscribe Paradigm, Msgs/Sec (batching on)\n");
+    emit_table("fig6_throughput_msgs", &header, &rows);
+}

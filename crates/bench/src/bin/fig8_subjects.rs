@@ -1,0 +1,41 @@
+//! Figure 8 — "Throughput - Effect of the Number of Subjects": identical
+//! to Figure 7 except the publisher cycles over 10,000 distinct subjects
+//! and every consumer holds 10,000 subscriptions.
+//!
+//! Paper shape to reproduce: "the number of subjects has an insignificant
+//! influence on the throughput."
+
+use infobus_bench::{emit_table, measure_throughput, ThroughputRun, SIZE_SWEEP};
+
+fn main() {
+    let header = format!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "size(B)", "KB/s (1 subj)", "KB/s (10k subj)", "ratio"
+    );
+    let mut rows = Vec::new();
+    for (i, &size) in SIZE_SWEEP.iter().enumerate() {
+        let one = measure_throughput(&ThroughputRun {
+            seed: 8_000 + i as u64,
+            size,
+            subjects: 1,
+            window_s: 8,
+            ..Default::default()
+        });
+        let many = measure_throughput(&ThroughputRun {
+            seed: 8_500 + i as u64,
+            size,
+            subjects: 10_000,
+            window_s: 8,
+            ..Default::default()
+        });
+        rows.push(format!(
+            "{:>8} {:>16.1} {:>16.1} {:>12.3}",
+            size,
+            one.bytes_per_sec / 1_000.0,
+            many.bytes_per_sec / 1_000.0,
+            many.bytes_per_sec / one.bytes_per_sec.max(1.0)
+        ));
+    }
+    println!("FIGURE 8: Effect of the Number of Subjects (10,000 subjects vs 1)\n");
+    emit_table("fig8_subjects", &header, &rows);
+}

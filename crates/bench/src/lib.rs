@@ -1,0 +1,576 @@
+//! The benchmark harness: regenerates every figure and quantitative claim
+//! of the paper's Appendix on the simulated testbed.
+//!
+//! The paper measured one publisher and fourteen consumers on fifteen
+//! Sun workstations sharing a lightly loaded 10 Mb/s Ethernet. The
+//! harness rebuilds that topology ([`paper_testbed`]) and drives it with
+//! the same parameter sweeps:
+//!
+//! * [`measure_latency`] — Figure 5 (latency vs message size, batching
+//!   off, 99% confidence intervals);
+//! * [`measure_throughput`] — Figures 6/7 (messages/sec and bytes/sec vs
+//!   message size, batching on), Figure 8 (10,000 subjects), and the
+//!   consumer-count and batching claims;
+//! * [`measure_raw_udp`] — the raw-UDP-socket baseline the paper compares
+//!   against ("it is difficult to drive more than 300 Kb/sec through
+//!   Ethernet with a raw UDP socket, suggesting that the Information Bus
+//!   represents a low overhead");
+//! * [`linda`] — an attribute-qualification (Linda-style) matching
+//!   baseline for the §6 claim that subject-based addressing scales
+//!   better.
+//!
+//! Binaries under `src/bin/` print one table per figure and write the
+//! same rows to `bench_results/`.
+
+#![forbid(unsafe_code)]
+
+pub mod linda;
+
+use infobus_core::{BusApp, BusConfig, BusCtx, BusFabric, BusMessage, QoS};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, HostId, Micros, NetBuilder, SegmentId, Sim};
+use infobus_types::Value;
+
+/// The paper's testbed: 1 publisher + `n_consumers` consumer hosts (the
+/// paper used 14) on one 10 Mb/s Ethernet.
+pub struct Testbed {
+    /// The simulation.
+    pub sim: Sim,
+    /// The daemons.
+    pub fabric: BusFabric,
+    /// The publisher's host.
+    pub publisher: HostId,
+    /// The consumer hosts.
+    pub consumers: Vec<HostId>,
+    /// The shared segment.
+    pub segment: SegmentId,
+}
+
+/// Builds the paper's 15-node testbed (or a variant).
+pub fn paper_testbed(seed: u64, n_consumers: usize, cfg: BusConfig, ether: EtherConfig) -> Testbed {
+    let mut b = NetBuilder::new(seed);
+    let segment = b.segment(ether);
+    let publisher = b.host("pub", &[segment]);
+    let consumers: Vec<HostId> = (0..n_consumers)
+        .map(|i| b.host(&format!("cons{i}"), &[segment]))
+        .collect();
+    let mut sim = b.build();
+    let mut hosts = vec![publisher];
+    hosts.extend(&consumers);
+    let fabric = BusFabric::install(&mut sim, &hosts, cfg);
+    Testbed {
+        sim,
+        fabric,
+        publisher,
+        consumers,
+        segment,
+    }
+}
+
+/// Builds a `Value` whose marshalled envelope payload is approximately
+/// `size` bytes: `[timestamp, padding]` when `with_ts`, else raw bytes.
+fn bench_payload(size: usize, with_ts: bool, now: Micros) -> Value {
+    if with_ts {
+        let pad = size.saturating_sub(24);
+        Value::List(vec![Value::I64(now as i64), Value::Bytes(vec![0xAB; pad])])
+    } else {
+        Value::Bytes(vec![0xAB; size.saturating_sub(6)])
+    }
+}
+
+/// The benchmark publisher: publishes fixed-size messages on a timer,
+/// cycling through `subjects`.
+pub struct BenchPublisher {
+    subjects: Vec<String>,
+    size: usize,
+    period: Micros,
+    with_ts: bool,
+    limit: Option<u64>,
+    /// Messages published so far.
+    pub sent: u64,
+}
+
+impl BenchPublisher {
+    /// A publisher of `size`-byte messages every `period` µs.
+    pub fn new(subjects: Vec<String>, size: usize, period: Micros, with_ts: bool) -> Self {
+        BenchPublisher {
+            subjects,
+            size,
+            period,
+            with_ts,
+            limit: None,
+            sent: 0,
+        }
+    }
+
+    /// Stop after `n` messages.
+    pub fn limited(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+}
+
+impl BusApp for BenchPublisher {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(self.period, 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if let Some(limit) = self.limit {
+            if self.sent >= limit {
+                return;
+            }
+        }
+        let subject = &self.subjects[(self.sent as usize) % self.subjects.len()];
+        let payload = bench_payload(self.size, self.with_ts, bus.now());
+        bus.publish(subject, &payload, QoS::Reliable)
+            .expect("bench publish");
+        self.sent += 1;
+        bus.set_timer(self.period, 0);
+    }
+}
+
+/// The benchmark consumer: counts deliveries, bytes, and (for latency
+/// runs) per-message one-way delays.
+#[derive(Default)]
+pub struct BenchConsumer {
+    filters: Vec<String>,
+    /// Messages delivered since the last reset.
+    pub received: u64,
+    /// Approximate payload bytes delivered since the last reset.
+    pub bytes: u64,
+    /// One-way latencies (µs) of timestamped messages.
+    pub latencies: Vec<u64>,
+}
+
+impl BenchConsumer {
+    /// A consumer subscribed to `filters`.
+    pub fn new(filters: Vec<String>) -> Self {
+        BenchConsumer {
+            filters,
+            ..Default::default()
+        }
+    }
+
+    /// Clears counters (used to discard warm-up).
+    pub fn reset(&mut self) {
+        self.received = 0;
+        self.bytes = 0;
+        self.latencies.clear();
+    }
+}
+
+impl BusApp for BenchConsumer {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        for f in &self.filters {
+            bus.subscribe(f).expect("bench filter");
+        }
+    }
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.received += 1;
+        self.bytes += msg.value.approx_size() as u64;
+        if let Some(items) = msg.value.as_list() {
+            if let Some(ts) = items.first().and_then(Value::as_i64) {
+                self.latencies.push(bus.now().saturating_sub(ts as u64));
+            }
+        }
+    }
+}
+
+/// Latency statistics for one configuration.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    /// Message size (bytes).
+    pub size: usize,
+    /// Number of samples.
+    pub samples: usize,
+    /// Mean one-way latency, milliseconds.
+    pub mean_ms: f64,
+    /// 99% confidence interval half-width, milliseconds.
+    pub ci99_ms: f64,
+    /// Sample variance (ms²).
+    pub variance: f64,
+}
+
+/// Measures one-way latency at one message size (Figure 5 methodology:
+/// batching off, paced publications so the system is unloaded, one
+/// publisher, `n_consumers` consumers, one subject).
+pub fn measure_latency(seed: u64, size: usize, n_consumers: usize, n_msgs: u64) -> LatencyStats {
+    // The paper's Ethernet was "lightly loaded", not idle: a little
+    // unrelated traffic makes samples vary, which is where the dashed
+    // 99%-confidence bands of Figure 5 come from.
+    let mut ether = EtherConfig::lan_10mbps();
+    ether.background_bps = 1_000_000;
+    let mut tb = paper_testbed(seed, n_consumers, BusConfig::latency(), ether);
+    for (i, host) in tb.consumers.clone().iter().enumerate() {
+        tb.fabric.attach_app(
+            &mut tb.sim,
+            *host,
+            &format!("cons{i}"),
+            Box::new(BenchConsumer::new(vec!["bench.lat".into()])),
+        );
+    }
+    tb.sim.run_for(millis(100));
+    // Paced: one message every 60 ms leaves the pipeline idle between
+    // publications (the paper disabled batching for exactly this test).
+    tb.fabric.attach_app(
+        &mut tb.sim,
+        tb.publisher,
+        "pub",
+        Box::new(
+            BenchPublisher::new(vec!["bench.lat".into()], size, millis(60), true).limited(n_msgs),
+        ),
+    );
+    tb.sim.run_for(millis(60) * (n_msgs + 20));
+
+    let mut all: Vec<u64> = Vec::new();
+    for (i, host) in tb.consumers.clone().iter().enumerate() {
+        let lat = tb
+            .fabric
+            .with_app::<BenchConsumer, Vec<u64>>(&mut tb.sim, *host, &format!("cons{i}"), |c| {
+                c.latencies.clone()
+            })
+            .expect("consumer alive");
+        all.extend(lat);
+    }
+    let n = all.len().max(1) as f64;
+    let mean_us = all.iter().sum::<u64>() as f64 / n;
+    let var_us2 = all
+        .iter()
+        .map(|&x| (x as f64 - mean_us).powi(2))
+        .sum::<f64>()
+        / n.max(2.0);
+    // 99% CI via the normal approximation (z = 2.576), as in the paper's
+    // dashed confidence bands.
+    let ci_us = 2.576 * (var_us2 / n).sqrt();
+    LatencyStats {
+        size,
+        samples: all.len(),
+        mean_ms: mean_us / 1_000.0,
+        ci99_ms: ci_us / 1_000.0,
+        variance: var_us2 / 1_000_000.0,
+    }
+}
+
+/// Throughput statistics for one configuration.
+#[derive(Debug, Clone)]
+pub struct ThroughputStats {
+    /// Message size (bytes).
+    pub size: usize,
+    /// Per-consumer delivery rate, messages/second.
+    pub msgs_per_sec: f64,
+    /// Per-consumer delivery rate, bytes/second.
+    pub bytes_per_sec: f64,
+    /// Publisher publication rate, messages/second.
+    pub published_per_sec: f64,
+    /// Cumulative delivery rate over all consumers, bytes/second.
+    pub cumulative_bytes_per_sec: f64,
+    /// Variance of per-consumer msgs/sec across consumers.
+    pub variance_across_consumers: f64,
+}
+
+/// Parameters for a throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    /// RNG seed.
+    pub seed: u64,
+    /// Message size in bytes.
+    pub size: usize,
+    /// Number of consumer hosts (paper: 14).
+    pub n_consumers: usize,
+    /// Number of distinct subjects cycled by the publisher (Figure 8
+    /// uses 10,000; everything else 1).
+    pub subjects: usize,
+    /// Batching on (Figures 6–8) or off.
+    pub batch: bool,
+    /// Offered background load on the segment, bits/second (the paper's
+    /// "collisions from unrelated network activity").
+    pub background_bps: u64,
+    /// Measurement window (virtual seconds) after warm-up.
+    pub window_s: u64,
+    /// Offered load as a fraction of the analytic send-path capacity
+    /// (period = service_time / pacing). Capacity measurements drive a
+    /// little above 1.0; runs with fault injection stay below it so
+    /// retransmission work has headroom.
+    pub pacing: f64,
+}
+
+impl Default for ThroughputRun {
+    fn default() -> Self {
+        ThroughputRun {
+            seed: 9301,
+            size: 1024,
+            n_consumers: 14,
+            subjects: 1,
+            batch: true,
+            background_bps: 0,
+            window_s: 12,
+            pacing: 1.1,
+        }
+    }
+}
+
+/// Measures saturated throughput for one configuration (Figures 6–8
+/// methodology: the publisher offers messages slightly faster than the
+/// send path can drain, so the pipeline bottleneck sets the rate).
+pub fn measure_throughput(run: &ThroughputRun) -> ThroughputStats {
+    measure_throughput_inner(run, false)
+}
+
+fn measure_throughput_inner(run: &ThroughputRun, debug: bool) -> ThroughputStats {
+    let cfg = if run.batch {
+        BusConfig::throughput()
+    } else {
+        BusConfig::latency()
+    };
+    let mut ether = EtherConfig::lan_10mbps();
+    ether.background_bps = run.background_bps;
+    if run.background_bps > 0 {
+        // Contending traffic occasionally collides with data frames. The
+        // rate is calibrated low: under saturation nearly every frame
+        // waits for the medium, and each loss costs NAK-recovery work at
+        // all fourteen receivers (the paper saw only "a slight decrease
+        // in throughput and increase in variance").
+        ether.faults.collision_loss = 0.0015;
+    }
+    let mut tb = paper_testbed(run.seed, run.n_consumers, cfg, ether);
+
+    let subjects: Vec<String> = if run.subjects == 1 {
+        vec!["bench.tput".into()]
+    } else {
+        (0..run.subjects)
+            .map(|i| format!("bench.s{i:05}"))
+            .collect()
+    };
+    // Consumers subscribe to every subject explicitly (the paper:
+    // "the fourteen consumers subscribed to all ten thousand subjects").
+    let filters: Vec<String> = subjects.clone();
+    for (i, host) in tb.consumers.clone().iter().enumerate() {
+        tb.fabric.attach_app(
+            &mut tb.sim,
+            *host,
+            &format!("cons{i}"),
+            Box::new(BenchConsumer::new(filters.clone())),
+        );
+    }
+    tb.sim.run_for(secs(1));
+
+    // Offer load slightly above the analytic send-path capacity so the
+    // sender stays saturated (queues bounded by the measurement window).
+    let host_cfg = infobus_netsim::HostConfig::default();
+    let frag = 1_472usize;
+    let envelope = run.size + 90; // payload + envelope framing
+    let per_msg_us = if run.batch && envelope < 1_400 {
+        // Batching packs ~n envelopes per packet, amortizing the
+        // per-packet send cost; the per-message IPC hop remains.
+        let n_per_batch = (1_400 / envelope).max(1);
+        let packet = (envelope * n_per_batch).min(frag);
+        host_cfg.ipc_cost(run.size) + host_cfg.send_cost(packet) / n_per_batch as u64
+    } else {
+        let n_frags = envelope.div_ceil(frag);
+        let mut us = host_cfg.ipc_cost(run.size);
+        let mut remaining = envelope;
+        for _ in 0..n_frags.max(1) {
+            us += host_cfg.send_cost(remaining.min(frag));
+            remaining = remaining.saturating_sub(frag);
+        }
+        us
+    };
+    let period = ((per_msg_us as f64) / run.pacing) as Micros;
+    tb.fabric.attach_app(
+        &mut tb.sim,
+        tb.publisher,
+        "pub",
+        Box::new(BenchPublisher::new(
+            subjects,
+            run.size,
+            period.max(50),
+            false,
+        )),
+    );
+
+    // Warm up, reset counters, measure.
+    tb.sim.run_for(secs(3));
+    let pub_sent_start = tb
+        .fabric
+        .with_app::<BenchPublisher, u64>(&mut tb.sim, tb.publisher, "pub", |p| p.sent)
+        .expect("publisher alive");
+    for (i, host) in tb.consumers.clone().iter().enumerate() {
+        tb.fabric
+            .with_app::<BenchConsumer, ()>(&mut tb.sim, *host, &format!("cons{i}"), |c| c.reset())
+            .expect("consumer alive");
+    }
+    tb.sim.run_for(secs(run.window_s));
+
+    let mut per_consumer_msgs: Vec<f64> = Vec::new();
+    let mut per_consumer_bytes: Vec<f64> = Vec::new();
+    for (i, host) in tb.consumers.clone().iter().enumerate() {
+        let (m, by) = tb
+            .fabric
+            .with_app::<BenchConsumer, (u64, u64)>(&mut tb.sim, *host, &format!("cons{i}"), |c| {
+                (c.received, c.bytes)
+            })
+            .expect("consumer alive");
+        per_consumer_msgs.push(m as f64 / run.window_s as f64);
+        per_consumer_bytes.push(by as f64 / run.window_s as f64);
+    }
+    let pub_sent_end = tb
+        .fabric
+        .with_app::<BenchPublisher, u64>(&mut tb.sim, tb.publisher, "pub", |p| p.sent)
+        .expect("publisher alive");
+
+    if debug {
+        let ps = tb.fabric.daemon_stats(&mut tb.sim, tb.publisher).unwrap();
+        eprintln!("publisher daemon: {ps:?}");
+        let cs = tb
+            .fabric
+            .daemon_stats(&mut tb.sim, tb.consumers[0])
+            .unwrap();
+        eprintln!("consumer0 daemon: {cs:?}");
+        let seg = tb.sim.segment_stats(tb.segment).clone();
+        eprintln!(
+            "segment: {seg:?}  util={:.3}",
+            seg.utilization(tb.sim.now())
+        );
+        eprintln!("net: {:?}", tb.sim.stats());
+        eprintln!("per-consumer msgs/s: {per_consumer_msgs:?}");
+    }
+    let n = per_consumer_msgs.len().max(1) as f64;
+    let mean_msgs = per_consumer_msgs.iter().sum::<f64>() / n;
+    let mean_bytes = per_consumer_bytes.iter().sum::<f64>() / n;
+    let variance = per_consumer_msgs
+        .iter()
+        .map(|&x| (x - mean_msgs).powi(2))
+        .sum::<f64>()
+        / n.max(2.0);
+    ThroughputStats {
+        size: run.size,
+        msgs_per_sec: mean_msgs,
+        bytes_per_sec: mean_bytes,
+        published_per_sec: (pub_sent_end - pub_sent_start) as f64 / run.window_s as f64,
+        cumulative_bytes_per_sec: per_consumer_bytes.iter().sum::<f64>(),
+        variance_across_consumers: variance,
+    }
+}
+
+/// Like [`measure_throughput`] but dumps daemon protocol counters to
+/// stderr afterwards (diagnostics for harness development).
+pub fn measure_throughput_debug(run: &ThroughputRun) -> ThroughputStats {
+    let stats = measure_throughput_inner(run, true);
+    stats
+}
+
+/// Measures the raw-UDP baseline: one process blasting datagrams at
+/// another over the same simulated Ethernet and host model, with no bus
+/// stack at all.
+pub fn measure_raw_udp(seed: u64, size: usize, window_s: u64) -> f64 {
+    use infobus_netsim::{Ctx, Datagram, Process};
+
+    struct Blaster {
+        size: usize,
+        period: Micros,
+    }
+    impl Process for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(100).unwrap();
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            let dst = ctx.peer_addr("sink", 200).unwrap();
+            let _ = ctx.send_datagram(dst, vec![0xCD; self.size]);
+            ctx.set_timer(self.period, 0);
+        }
+    }
+    #[derive(Default)]
+    struct Sink {
+        bytes: u64,
+    }
+    impl Process for Sink {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.bind(200).unwrap();
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+            self.bytes += dgram.payload.len() as u64;
+        }
+    }
+
+    let mut b = NetBuilder::new(seed);
+    let seg = b.segment(EtherConfig::lan_10mbps());
+    let src = b.host("src", &[seg]);
+    let dst = b.host("sink", &[seg]);
+    let mut sim = b.build();
+    let host_cfg = infobus_netsim::HostConfig::default();
+    let n_frags = size.div_ceil(1_472).max(1);
+    let mut service_us = 0;
+    let mut remaining = size;
+    for _ in 0..n_frags {
+        service_us += host_cfg.send_cost(remaining.min(1_472));
+        remaining = remaining.saturating_sub(1_472);
+    }
+    let blaster = sim.spawn(
+        src,
+        Box::new(Blaster {
+            size,
+            period: ((service_us as f64) * 0.9) as u64,
+        }),
+    );
+    let sink = sim.spawn(dst, Box::new(Sink::default()));
+    let _ = blaster;
+    sim.run_for(secs(2)); // warm-up
+    let start = sim.with_proc::<Sink, u64>(sink, |s| s.bytes).unwrap();
+    sim.run_for(secs(window_s));
+    let end = sim.with_proc::<Sink, u64>(sink, |s| s.bytes).unwrap();
+    (end - start) as f64 / window_s as f64
+}
+
+/// Prints an aligned table and writes it to `bench_results/<name>.txt`.
+pub fn emit_table(name: &str, header: &str, rows: &[String]) {
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    println!("{out}");
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{name}.txt")), out);
+}
+
+/// The message-size sweep used by Figures 5–8.
+pub const SIZE_SWEEP: &[usize] = &[64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_measurement_produces_samples() {
+        let stats = measure_latency(1, 512, 3, 10);
+        assert_eq!(stats.samples, 30, "10 messages × 3 consumers");
+        assert!(stats.mean_ms > 0.1 && stats.mean_ms < 100.0, "{stats:?}");
+    }
+
+    #[test]
+    fn throughput_measurement_is_sane() {
+        let run = ThroughputRun {
+            n_consumers: 2,
+            window_s: 5,
+            size: 1024,
+            ..Default::default()
+        };
+        let stats = measure_throughput(&run);
+        assert!(stats.msgs_per_sec > 50.0, "{stats:?}");
+        // Broadcast: every consumer sees (almost) every message.
+        assert!(stats.msgs_per_sec <= stats.published_per_sec * 1.05);
+    }
+
+    #[test]
+    fn raw_udp_baseline_is_host_limited() {
+        let bps = measure_raw_udp(3, 8192, 5);
+        // Far below the 1.25 MB/s wire rate: the host model dominates.
+        assert!(bps > 100_000.0 && bps < 1_250_000.0, "{bps}");
+    }
+}

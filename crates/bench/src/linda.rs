@@ -1,0 +1,151 @@
+//! An attribute-qualification (Linda-style) matching baseline.
+//!
+//! §6 of the paper: "Linda accesses data based on attribute
+//! qualification, just as relational databases do. Though this access
+//! mechanism is more powerful than subject-based addressing, we believe
+//! that it is more general than most applications require. … We also
+//! argue that subject-based addressing scales more easily, and has better
+//! performance, than attribute qualification."
+//!
+//! This module implements a faithful small tuple-space matcher so the
+//! claim can be measured: subscriptions are *templates* over typed tuple
+//! fields (exact value or wildcard), and matching a published tuple
+//! requires scanning templates — the cost grows with the number of
+//! subscriptions, while the subject trie's cost grows with subject depth.
+
+/// A tuple field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Integer field.
+    Int(i64),
+    /// String field.
+    Str(String),
+}
+
+/// A template field: a concrete value or a typed wildcard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateField {
+    /// Must equal this value.
+    Exact(Field),
+    /// Any integer.
+    AnyInt,
+    /// Any string.
+    AnyStr,
+}
+
+impl TemplateField {
+    fn matches(&self, field: &Field) -> bool {
+        match (self, field) {
+            (TemplateField::Exact(want), got) => want == got,
+            (TemplateField::AnyInt, Field::Int(_)) => true,
+            (TemplateField::AnyStr, Field::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A registered template (one "subscription" in the tuple-space model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// The template fields, positionally matched.
+    pub fields: Vec<TemplateField>,
+}
+
+impl Template {
+    /// Returns `true` if the template matches the tuple (same arity,
+    /// every field matches).
+    pub fn matches(&self, tuple: &[Field]) -> bool {
+        self.fields.len() == tuple.len() && self.fields.iter().zip(tuple).all(|(t, f)| t.matches(f))
+    }
+}
+
+/// A registry of templates matched by linear scan (the inherent cost
+/// model of attribute qualification without a value index — and general
+/// wildcard templates defeat simple value indexes).
+#[derive(Debug, Default)]
+pub struct TupleSpaceMatcher {
+    templates: Vec<Template>,
+}
+
+impl TupleSpaceMatcher {
+    /// An empty matcher.
+    pub fn new() -> Self {
+        TupleSpaceMatcher::default()
+    }
+
+    /// Registers a template; returns its index.
+    pub fn register(&mut self, template: Template) -> usize {
+        self.templates.push(template);
+        self.templates.len() - 1
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Returns `true` if no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Returns the indices of all templates matching `tuple`.
+    pub fn matches(&self, tuple: &[Field]) -> Vec<usize> {
+        self.templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.matches(tuple))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns `true` if any template matches (the cheap-filter analogue).
+    pub fn matches_any(&self, tuple: &[Field]) -> bool {
+        self.templates.iter().any(|t| t.matches(tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(topic: &str, station: &str, v: i64) -> Vec<Field> {
+        vec![
+            Field::Str(topic.into()),
+            Field::Str(station.into()),
+            Field::Int(v),
+        ]
+    }
+
+    #[test]
+    fn templates_match_positionally() {
+        let mut m = TupleSpaceMatcher::new();
+        let a = m.register(Template {
+            fields: vec![
+                TemplateField::Exact(Field::Str("thick".into())),
+                TemplateField::AnyStr,
+                TemplateField::AnyInt,
+            ],
+        });
+        let b = m.register(Template {
+            fields: vec![
+                TemplateField::AnyStr,
+                TemplateField::Exact(Field::Str("litho8".into())),
+                TemplateField::AnyInt,
+            ],
+        });
+        assert_eq!(m.matches(&tuple("thick", "litho8", 7)), vec![a, b]);
+        assert_eq!(m.matches(&tuple("temp", "litho8", 7)), vec![b]);
+        assert!(m.matches(&tuple("temp", "etch2", 7)).is_empty());
+        assert!(!m.matches_any(&[Field::Int(1)]), "arity mismatch");
+    }
+
+    #[test]
+    fn wildcards_are_typed() {
+        let t = Template {
+            fields: vec![TemplateField::AnyInt],
+        };
+        assert!(t.matches(&[Field::Int(3)]));
+        assert!(!t.matches(&[Field::Str("3".into())]));
+    }
+}

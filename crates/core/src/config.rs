@@ -1,0 +1,86 @@
+//! Tunable parameters of a bus daemon.
+
+use infobus_netsim::Micros;
+
+/// Configuration of one [`BusDaemon`](crate::BusDaemon).
+///
+/// Defaults reflect the paper's installation: batching available but
+/// controlled by a parameter (latency tests turn it off, throughput tests
+/// turn it on), NAK-based retransmission tuned for a LAN.
+#[derive(Debug, Clone)]
+pub struct BusConfig {
+    /// Gather small publications into MTU-sized packets ("the Information
+    /// Bus has a batch parameter that increases throughput by delaying
+    /// small messages, and gathering them together").
+    pub batch_enabled: bool,
+    /// Flush the batch once this many payload bytes are queued.
+    pub batch_bytes: usize,
+    /// Flush the batch after this much delay even if not full.
+    pub batch_delay_us: Micros,
+    /// How long a receiver waits on a sequence gap before NAKing.
+    pub nak_delay_us: Micros,
+    /// Period of the receiver's gap-scan timer.
+    pub nak_check_us: Micros,
+    /// Envelopes retained per (publisher, subject) stream for
+    /// retransmission.
+    pub retain_per_stream: usize,
+    /// Retry period for unacknowledged guaranteed messages.
+    pub gd_retry_us: Micros,
+    /// How long an RMI client collects server offers before choosing.
+    pub offer_window_us: Micros,
+    /// RMI request timeout before fail-over / failure.
+    pub rmi_timeout_us: Micros,
+    /// Maximum RMI attempts (initial + fail-overs) for retrying policies.
+    pub rmi_max_attempts: u32,
+    /// Period of full subscription-table announcements (soft state for
+    /// routers and guaranteed delivery).
+    pub announce_period_us: Micros,
+    /// Period of the publisher's stream-digest timer: idle streams
+    /// broadcast their top sequence number a few times so receivers can
+    /// detect tail losses.
+    pub sync_period_us: Micros,
+    /// How many digest rounds an idle stream broadcasts after its last
+    /// publication.
+    pub sync_rounds: u32,
+    /// How long a discovery request collects "I am" announcements.
+    pub discovery_window_us: Micros,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            batch_enabled: false,
+            batch_bytes: 1_400,
+            batch_delay_us: 2_000,
+            nak_delay_us: 8_000,
+            nak_check_us: 4_000,
+            retain_per_stream: 256,
+            gd_retry_us: 400_000,
+            offer_window_us: 30_000,
+            rmi_timeout_us: 900_000,
+            rmi_max_attempts: 3,
+            announce_period_us: 2_000_000,
+            sync_period_us: 250_000,
+            sync_rounds: 2,
+            discovery_window_us: 50_000,
+        }
+    }
+}
+
+impl BusConfig {
+    /// The latency-test configuration: batching off (as in Figure 5).
+    pub fn latency() -> Self {
+        BusConfig {
+            batch_enabled: false,
+            ..BusConfig::default()
+        }
+    }
+
+    /// The throughput-test configuration: batching on (Figures 6–8).
+    pub fn throughput() -> Self {
+        BusConfig {
+            batch_enabled: true,
+            ..BusConfig::default()
+        }
+    }
+}

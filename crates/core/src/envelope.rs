@@ -1,0 +1,237 @@
+//! Envelopes: the unit of publication carried by the bus protocol.
+
+use infobus_types::wire::{
+    get_byte_vec, get_string, get_u32, get_u64, get_u8, put_bytes, put_string, put_u32, put_u64,
+};
+use infobus_types::WireError;
+
+use crate::QoS;
+
+/// Identity of a publisher stream: one application incarnation on one
+/// host. Sequence numbers are per `(stream, subject)`.
+///
+/// The incarnation number distinguishes restarts of the same application:
+/// a restarted publisher begins a fresh stream, so receivers never confuse
+/// its new sequence numbers with the old ones (at-most-once across
+/// crashes). Stream identity is internal to the protocol — applications
+/// never see who published (principle P4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamKey {
+    /// Numeric id of the publishing host.
+    pub host: u32,
+    /// Name of the publishing application on that host.
+    pub app: String,
+    /// Incarnation (start counter) of the application.
+    pub inc: u64,
+}
+
+/// What an envelope carries. Control envelopes implement the discovery
+/// and RMI protocols *as publications on a subject*, exactly as §3.2–3.3
+/// describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeKind {
+    /// An application data object.
+    Data,
+    /// "Who's out there?" — a discovery query.
+    DiscoverQuery,
+    /// "I am" — a discovery announcement.
+    DiscoverAnnounce,
+    /// An RMI client looking for servers on this subject.
+    RmiQuery,
+    /// An RMI server publishing its point-to-point address.
+    RmiOffer,
+}
+
+impl EnvelopeKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            EnvelopeKind::Data => 0,
+            EnvelopeKind::DiscoverQuery => 1,
+            EnvelopeKind::DiscoverAnnounce => 2,
+            EnvelopeKind::RmiQuery => 3,
+            EnvelopeKind::RmiOffer => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => EnvelopeKind::Data,
+            1 => EnvelopeKind::DiscoverQuery,
+            2 => EnvelopeKind::DiscoverAnnounce,
+            3 => EnvelopeKind::RmiQuery,
+            4 => EnvelopeKind::RmiOffer,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// One publication in flight: subject, stream identity, sequence number,
+/// quality of service, and the marshalled payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The publisher stream.
+    pub stream: StreamKey,
+    /// Sequence number within `(stream, subject)`, starting at 1.
+    pub seq: u64,
+    /// Virtual time at which this `(stream, subject)` began (its first
+    /// publication). Receivers use it to decide whether they are entitled
+    /// to the whole stream (it started after they subscribed) or only to
+    /// messages from their first sighting onward.
+    pub stream_start: u64,
+    /// The subject this object was published under.
+    pub subject: String,
+    /// Delivery quality of service.
+    pub qos: QoS,
+    /// Envelope kind (data or protocol control).
+    pub kind: EnvelopeKind,
+    /// Correlation id for control envelopes (discovery / RMI).
+    pub corr: u64,
+    /// `true` when re-sent from a guaranteed-delivery ledger after a
+    /// publisher restart (consumers may see such messages more than once).
+    pub redelivery: bool,
+    /// Marshalled payload (see [`infobus_types::wire`]).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Approximate wire size of this envelope in bytes.
+    pub fn wire_size(&self) -> usize {
+        4 + self.stream.app.len()
+            + 8
+            + 8
+            + 8
+            + 4
+            + self.subject.len()
+            + 1
+            + 1
+            + 8
+            + 1
+            + 4
+            + self.payload.len()
+    }
+
+    /// Encodes this envelope onto `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.stream.host);
+        put_string(buf, &self.stream.app);
+        put_u64(buf, self.stream.inc);
+        put_u64(buf, self.seq);
+        put_u64(buf, self.stream_start);
+        put_string(buf, &self.subject);
+        buf.push(match self.qos {
+            QoS::Reliable => 0,
+            QoS::Guaranteed => 1,
+        });
+        buf.push(self.kind.to_u8());
+        put_u64(buf, self.corr);
+        buf.push(u8::from(self.redelivery));
+        put_bytes(buf, &self.payload);
+    }
+
+    /// Decodes one envelope from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let host = get_u32(buf)?;
+        let app = get_string(buf)?;
+        let inc = get_u64(buf)?;
+        let seq = get_u64(buf)?;
+        let stream_start = get_u64(buf)?;
+        let subject = get_string(buf)?;
+        let qos = match get_u8(buf)? {
+            0 => QoS::Reliable,
+            1 => QoS::Guaranteed,
+            other => return Err(WireError::BadTag(other)),
+        };
+        let kind = EnvelopeKind::from_u8(get_u8(buf)?)?;
+        let corr = get_u64(buf)?;
+        let redelivery = get_u8(buf)? != 0;
+        let payload = get_byte_vec(buf)?;
+        Ok(Envelope {
+            stream: StreamKey { host, app, inc },
+            seq,
+            stream_start,
+            subject,
+            qos,
+            kind,
+            corr,
+            redelivery,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            stream: StreamKey {
+                host: 3,
+                app: "feed".into(),
+                inc: 7,
+            },
+            seq: 42,
+            stream_start: 1_000,
+            subject: "news.equity.gmc".into(),
+            qos: QoS::Guaranteed,
+            kind: EnvelopeKind::Data,
+            corr: 0,
+            redelivery: true,
+            payload: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let e = sample();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let mut slice = &buf[..];
+        let back = Envelope::decode(&mut slice).unwrap();
+        assert_eq!(e, back);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for kind in [
+            EnvelopeKind::Data,
+            EnvelopeKind::DiscoverQuery,
+            EnvelopeKind::DiscoverAnnounce,
+            EnvelopeKind::RmiQuery,
+            EnvelopeKind::RmiOffer,
+        ] {
+            let mut e = sample();
+            e.kind = kind;
+            let mut buf = Vec::new();
+            e.encode(&mut buf);
+            assert_eq!(Envelope::decode(&mut &buf[..]).unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Envelope::decode(&mut &buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_size_close_to_actual() {
+        let e = sample();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let est = e.wire_size();
+        assert!(
+            (est as i64 - buf.len() as i64).abs() < 16,
+            "est {est}, actual {}",
+            buf.len()
+        );
+    }
+}

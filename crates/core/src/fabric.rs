@@ -1,0 +1,155 @@
+//! Driver-side helpers: install daemons, attach applications, inspect.
+
+use std::collections::HashMap;
+
+use infobus_netsim::{HostId, ProcId, Sim};
+
+use crate::app::BusApp;
+use crate::config::BusConfig;
+use crate::daemon::{BusDaemon, BusStats};
+
+/// Command: attach an application to a daemon.
+pub(crate) struct AttachApp {
+    pub name: String,
+    pub app: Box<dyn BusApp>,
+}
+
+/// Command: detach (crash) an application.
+pub(crate) struct DetachApp {
+    pub name: String,
+}
+
+/// Command: open an information-router link to a peer daemon.
+pub(crate) struct LinkBuses {
+    pub peer: HostId,
+    pub rewrite: Option<crate::router::RewriteRule>,
+}
+
+/// A driver-side handle over the daemons of one simulation.
+///
+/// `BusFabric` spawns a [`BusDaemon`] on each host and offers attach /
+/// detach / inspect operations, mirroring what an operator does on a real
+/// installation.
+///
+/// # Examples
+///
+/// ```
+/// use infobus_core::{BusConfig, BusFabric};
+/// use infobus_netsim::{EtherConfig, NetBuilder};
+///
+/// let mut b = NetBuilder::new(1);
+/// let seg = b.segment(EtherConfig::lan_10mbps());
+/// let h1 = b.host("alpha", &[seg]);
+/// let h2 = b.host("beta", &[seg]);
+/// let mut sim = b.build();
+/// let fabric = BusFabric::install(&mut sim, &[h1, h2], BusConfig::default());
+/// sim.run_for(infobus_netsim::time::millis(100));
+/// assert!(fabric.daemon(h1).is_some());
+/// ```
+pub struct BusFabric {
+    daemons: HashMap<HostId, ProcId>,
+}
+
+impl BusFabric {
+    /// Spawns one daemon per host and returns the fabric handle.
+    pub fn install(sim: &mut Sim, hosts: &[HostId], cfg: BusConfig) -> BusFabric {
+        let mut daemons = HashMap::new();
+        for &host in hosts {
+            let pid = sim.spawn(host, Box::new(BusDaemon::new(cfg.clone())));
+            daemons.insert(host, pid);
+        }
+        BusFabric { daemons }
+    }
+
+    /// The daemon process on `host`, if one was installed.
+    pub fn daemon(&self, host: HostId) -> Option<ProcId> {
+        self.daemons.get(&host).copied()
+    }
+
+    /// Attaches an application to the daemon on `host`. The application's
+    /// `on_start` runs when the simulation is next stepped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no daemon was installed on `host`.
+    pub fn attach_app(&self, sim: &mut Sim, host: HostId, name: &str, app: Box<dyn BusApp>) {
+        let pid = self.daemons[&host];
+        sim.send_command(
+            pid,
+            Box::new(AttachApp {
+                name: name.to_owned(),
+                app,
+            }),
+        );
+    }
+
+    /// Detaches (fail-stop) an application from the daemon on `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no daemon was installed on `host`.
+    pub fn detach_app(&self, sim: &mut Sim, host: HostId, name: &str) {
+        let pid = self.daemons[&host];
+        sim.send_command(
+            pid,
+            Box::new(DetachApp {
+                name: name.to_owned(),
+            }),
+        );
+    }
+
+    /// Crashes the daemon on `host` (taking its applications with it —
+    /// a node failure from the bus's point of view).
+    pub fn crash_daemon(&mut self, sim: &mut Sim, host: HostId) {
+        if let Some(pid) = self.daemons.get(&host) {
+            sim.crash(*pid);
+        }
+    }
+
+    /// Restarts a crashed daemon on `host`. Non-volatile state (the
+    /// guaranteed-delivery ledger) is reloaded; applications must be
+    /// re-attached.
+    pub fn restart_daemon(&mut self, sim: &mut Sim, host: HostId, cfg: BusConfig) {
+        let pid = sim.spawn(host, Box::new(BusDaemon::new(cfg)));
+        self.daemons.insert(host, pid);
+    }
+
+    /// Opens an information-router link from the daemon on `a` to the
+    /// daemon on `b` (their hosts must share a segment — usually a
+    /// dedicated WAN link). Publications flow both ways, filtered by each
+    /// side's aggregate subscriptions; `rewrite` transforms subjects
+    /// crossing from `a` to `b`'s side… applied on `a`'s outbound traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no daemon was installed on `a`.
+    pub fn link_buses(
+        &self,
+        sim: &mut Sim,
+        a: HostId,
+        b: HostId,
+        rewrite: Option<crate::router::RewriteRule>,
+    ) {
+        let pid = self.daemons[&a];
+        sim.send_command(pid, Box::new(LinkBuses { peer: b, rewrite }));
+    }
+
+    /// Runs `f` against a named application's concrete state.
+    pub fn with_app<T: BusApp, R>(
+        &self,
+        sim: &mut Sim,
+        host: HostId,
+        name: &str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let pid = self.daemons.get(&host)?;
+        sim.with_proc::<BusDaemon, Option<R>>(*pid, |d| d.with_app::<T, R>(name, f))
+            .flatten()
+    }
+
+    /// A snapshot of the daemon's protocol counters on `host`.
+    pub fn daemon_stats(&self, sim: &mut Sim, host: HostId) -> Option<BusStats> {
+        let pid = self.daemons.get(&host)?;
+        sim.with_proc::<BusDaemon, BusStats>(*pid, |d| d.stats().clone())
+    }
+}

@@ -1,0 +1,257 @@
+//! A real-thread transport carrying bus envelopes between OS threads.
+//!
+//! The simulator measures the protocol in *virtual* time; this module
+//! lets criterion measure the real wall-clock cost of the data path —
+//! marshalling, subject-trie matching, and hand-off — with actual threads
+//! and channels. It deliberately reuses the same wire format and subject
+//! matcher as the simulated bus.
+//!
+//! # Examples
+//!
+//! ```
+//! use infobus_core::inproc::InprocBus;
+//! use infobus_types::Value;
+//!
+//! let bus = InprocBus::new();
+//! let rx = bus.subscribe("news.>").unwrap();
+//! bus.publish("news.equity.gmc", &Value::str("hello")).unwrap();
+//! let msg = rx.recv().unwrap();
+//! assert_eq!(msg.subject, "news.equity.gmc");
+//! assert_eq!(msg.value().unwrap(), Value::str("hello"));
+//! ```
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
+use infobus_types::{wire, TypeRegistry, Value, WireError};
+
+use crate::BusError;
+
+/// A message delivered by the in-process bus: the subject plus the
+/// marshalled payload (unmarshal lazily with [`InprocMessage::value`]).
+#[derive(Debug, Clone)]
+pub struct InprocMessage {
+    /// The subject the value was published under.
+    pub subject: String,
+    /// The marshalled payload (shared among all subscribers).
+    pub payload: Arc<Vec<u8>>,
+}
+
+impl InprocMessage {
+    /// Unmarshals the payload. The bus publishes self-describing
+    /// messages, so any type descriptors travel with the data and no
+    /// pre-shared registry is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is malformed.
+    pub fn value(&self) -> Result<Value, WireError> {
+        let mut registry = TypeRegistry::with_fundamentals();
+        wire::unmarshal(&self.payload, &mut registry)
+    }
+
+    /// Unmarshals the payload into an existing registry (types carried by
+    /// the message are registered into it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is malformed or its schema
+    /// conflicts with `registry`.
+    pub fn value_into(&self, registry: &mut TypeRegistry) -> Result<Value, WireError> {
+        wire::unmarshal(&self.payload, registry)
+    }
+}
+
+struct Inner {
+    trie: RwLock<SubjectTrie<Sender<InprocMessage>>>,
+    registry: Mutex<TypeRegistry>,
+}
+
+/// A thread-safe publish/subscribe bus within one process.
+///
+/// `publish` runs the full data path — self-describing marshalling,
+/// subject-trie matching, per-subscriber channel hand-off — on the
+/// calling thread; subscribers receive on crossbeam channels from any
+/// thread.
+#[derive(Clone)]
+pub struct InprocBus {
+    inner: Arc<Inner>,
+}
+
+impl InprocBus {
+    /// Creates an empty bus with a fundamentals-only type registry.
+    pub fn new() -> Self {
+        InprocBus {
+            inner: Arc::new(Inner {
+                trie: RwLock::new(SubjectTrie::new()),
+                registry: Mutex::new(TypeRegistry::with_fundamentals()),
+            }),
+        }
+    }
+
+    /// Registers application types so objects can be marshalled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Marshal`] on conflicting registration.
+    pub fn register_type(&self, d: infobus_types::TypeDescriptor) -> Result<(), BusError> {
+        self.inner
+            .registry
+            .lock()
+            .register(d)
+            .map_err(|e| BusError::Marshal(e.to_string()))
+    }
+
+    /// Subscribes to a filter; matching publications arrive on the
+    /// returned channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters.
+    pub fn subscribe(&self, filter: &str) -> Result<Receiver<InprocMessage>, BusError> {
+        let filter = SubjectFilter::new(filter)?;
+        let (tx, rx) = unbounded();
+        self.inner.trie.write().insert(&filter, tx);
+        Ok(rx)
+    }
+
+    /// Subscribes and also returns the subscription id for later removal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters.
+    pub fn subscribe_with_id(
+        &self,
+        filter: &str,
+    ) -> Result<(SubscriptionId, Receiver<InprocMessage>), BusError> {
+        let filter = SubjectFilter::new(filter)?;
+        let (tx, rx) = unbounded();
+        let id = self.inner.trie.write().insert(&filter, tx);
+        Ok((id, rx))
+    }
+
+    /// Removes a subscription (its channel closes once drained).
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        self.inner.trie.write().remove(id);
+    }
+
+    /// Publishes a value; delivers to every matching subscriber.
+    /// Returns the number of subscribers the message was handed to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
+    pub fn publish(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
+        let subject_parsed = Subject::new(subject)?;
+        let payload = {
+            let registry = self.inner.registry.lock();
+            wire::marshal_self_describing(value, &registry)
+                .map_err(|e| BusError::Marshal(e.to_string()))?
+        };
+        let payload = Arc::new(payload);
+        let trie = self.inner.trie.read();
+        let mut delivered = 0usize;
+        for (_, tx) in trie.matches(&subject_parsed) {
+            let msg = InprocMessage {
+                subject: subject.to_owned(),
+                payload: payload.clone(),
+            };
+            if tx.send(msg).is_ok() {
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.trie.read().len()
+    }
+}
+
+impl Default for InprocBus {
+    fn default() -> Self {
+        InprocBus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn publish_subscribe_round_trip() {
+        let bus = InprocBus::new();
+        let rx = bus.subscribe("a.>").unwrap();
+        let n = bus.publish("a.b", &Value::I64(7)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(7));
+    }
+
+    #[test]
+    fn no_subscriber_no_delivery() {
+        let bus = InprocBus::new();
+        let _rx = bus.subscribe("a.b").unwrap();
+        assert_eq!(bus.publish("a.c", &Value::Nil).unwrap(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let bus = InprocBus::new();
+        let (id, rx) = bus.subscribe_with_id("x.*").unwrap();
+        bus.publish("x.1", &Value::Bool(true)).unwrap();
+        bus.unsubscribe(id);
+        assert_eq!(bus.publish("x.1", &Value::Bool(true)).unwrap(), 0);
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(bus.subscription_count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = InprocBus::new();
+        let rx = bus.subscribe("t.>").unwrap();
+        let publisher = {
+            let bus = bus.clone();
+            thread::spawn(move || {
+                for i in 0..100i64 {
+                    bus.publish("t.k", &Value::I64(i)).unwrap();
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            got.push(
+                rx.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .value()
+                    .unwrap(),
+            );
+        }
+        publisher.join().unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99], Value::I64(99));
+    }
+
+    #[test]
+    fn objects_with_registered_types() {
+        use infobus_types::{DataObject, TypeDescriptor, ValueType};
+        let bus = InprocBus::new();
+        bus.register_type(
+            TypeDescriptor::builder("Quote")
+                .attribute("px", ValueType::F64)
+                .build(),
+        )
+        .unwrap();
+        let rx = bus.subscribe("quotes.gmc").unwrap();
+        let obj = DataObject::new("Quote").with("px", 12.5f64);
+        bus.publish("quotes.gmc", &Value::object(obj.clone()))
+            .unwrap();
+        let got = rx.recv().unwrap().value().unwrap();
+        assert_eq!(got.as_object().unwrap(), &obj);
+    }
+}

@@ -1,0 +1,572 @@
+//! Daemon-to-daemon packets and RMI connection messages.
+
+use infobus_types::wire::{
+    get_byte_vec, get_string, get_u32, get_u64, get_u8, put_bytes, put_string, put_u32, put_u64,
+};
+use infobus_types::WireError;
+
+use crate::envelope::{Envelope, StreamKey};
+
+/// A packet exchanged between bus daemons over the datagram layer.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Packet {
+    /// One or more envelopes (a batch). Broadcast for fresh publications,
+    /// unicast for retransmissions.
+    Data {
+        envelopes: Vec<Envelope>,
+        retrans: bool,
+    },
+    /// A receiver asking a publisher's daemon to retransmit missing
+    /// sequence numbers of one `(stream, subject)`.
+    Nak {
+        stream: StreamKey,
+        subject: String,
+        requester: u32,
+        missing: Vec<u64>,
+    },
+    /// Publisher's daemon telling a receiver that sequences up to and
+    /// including `through` are no longer available (receiver must skip).
+    GapSkip {
+        stream: StreamKey,
+        subject: String,
+        through: u64,
+    },
+    /// Acknowledgment of a guaranteed envelope.
+    Ack {
+        stream: StreamKey,
+        subject: String,
+        seq: u64,
+        from_host: u32,
+    },
+    /// A daemon announcing (part of) its subscription table.
+    SubAnnounce {
+        host: u32,
+        full: bool,
+        add: Vec<String>,
+        remove: Vec<String>,
+    },
+    /// A daemon asking everyone to re-announce their tables (sent at
+    /// start-up: soft-state resynchronization).
+    SubResync { host: u32 },
+    /// Top sequence numbers of recently idle publisher streams, so
+    /// receivers can detect (and NAK) losses at the tail of a stream.
+    SeqSync { entries: Vec<SyncEntry> },
+}
+
+/// One stream digest in a [`Packet::SeqSync`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SyncEntry {
+    pub stream: StreamKey,
+    pub subject: String,
+    pub top_seq: u64,
+    pub stream_start: u64,
+}
+
+const PK_DATA: u8 = 1;
+const PK_NAK: u8 = 2;
+const PK_GAPSKIP: u8 = 3;
+const PK_ACK: u8 = 4;
+const PK_SUB: u8 = 5;
+const PK_RESYNC: u8 = 6;
+const PK_SEQSYNC: u8 = 7;
+
+fn put_stream(buf: &mut Vec<u8>, s: &StreamKey) {
+    put_u32(buf, s.host);
+    put_string(buf, &s.app);
+    put_u64(buf, s.inc);
+}
+
+fn get_stream(buf: &mut &[u8]) -> Result<StreamKey, WireError> {
+    Ok(StreamKey {
+        host: get_u32(buf)?,
+        app: get_string(buf)?,
+        inc: get_u64(buf)?,
+    })
+}
+
+impl Packet {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Packet::Data { envelopes, retrans } => {
+                buf.push(PK_DATA);
+                buf.push(u8::from(*retrans));
+                put_u32(&mut buf, envelopes.len() as u32);
+                for e in envelopes {
+                    e.encode(&mut buf);
+                }
+            }
+            Packet::Nak {
+                stream,
+                subject,
+                requester,
+                missing,
+            } => {
+                buf.push(PK_NAK);
+                put_stream(&mut buf, stream);
+                put_string(&mut buf, subject);
+                put_u32(&mut buf, *requester);
+                put_u32(&mut buf, missing.len() as u32);
+                for m in missing {
+                    put_u64(&mut buf, *m);
+                }
+            }
+            Packet::GapSkip {
+                stream,
+                subject,
+                through,
+            } => {
+                buf.push(PK_GAPSKIP);
+                put_stream(&mut buf, stream);
+                put_string(&mut buf, subject);
+                put_u64(&mut buf, *through);
+            }
+            Packet::Ack {
+                stream,
+                subject,
+                seq,
+                from_host,
+            } => {
+                buf.push(PK_ACK);
+                put_stream(&mut buf, stream);
+                put_string(&mut buf, subject);
+                put_u64(&mut buf, *seq);
+                put_u32(&mut buf, *from_host);
+            }
+            Packet::SubAnnounce {
+                host,
+                full,
+                add,
+                remove,
+            } => {
+                buf.push(PK_SUB);
+                put_u32(&mut buf, *host);
+                buf.push(u8::from(*full));
+                put_u32(&mut buf, add.len() as u32);
+                for f in add {
+                    put_string(&mut buf, f);
+                }
+                put_u32(&mut buf, remove.len() as u32);
+                for f in remove {
+                    put_string(&mut buf, f);
+                }
+            }
+            Packet::SubResync { host } => {
+                buf.push(PK_RESYNC);
+                put_u32(&mut buf, *host);
+            }
+            Packet::SeqSync { entries } => {
+                buf.push(PK_SEQSYNC);
+                put_u32(&mut buf, entries.len() as u32);
+                for e in entries {
+                    put_stream(&mut buf, &e.stream);
+                    put_string(&mut buf, &e.subject);
+                    put_u64(&mut buf, e.top_seq);
+                    put_u64(&mut buf, e.stream_start);
+                }
+            }
+        }
+        buf
+    }
+
+    pub fn decode(mut buf: &[u8]) -> Result<Packet, WireError> {
+        let buf = &mut buf;
+        let kind = get_u8(buf)?;
+        Ok(match kind {
+            PK_DATA => {
+                let retrans = get_u8(buf)? != 0;
+                let n = get_u32(buf)? as usize;
+                if n > 65_536 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                let mut envelopes = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    envelopes.push(Envelope::decode(buf)?);
+                }
+                Packet::Data { envelopes, retrans }
+            }
+            PK_NAK => {
+                let stream = get_stream(buf)?;
+                let subject = get_string(buf)?;
+                let requester = get_u32(buf)?;
+                let n = get_u32(buf)? as usize;
+                if n > 65_536 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                let mut missing = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    missing.push(get_u64(buf)?);
+                }
+                Packet::Nak {
+                    stream,
+                    subject,
+                    requester,
+                    missing,
+                }
+            }
+            PK_GAPSKIP => Packet::GapSkip {
+                stream: get_stream(buf)?,
+                subject: get_string(buf)?,
+                through: get_u64(buf)?,
+            },
+            PK_ACK => Packet::Ack {
+                stream: get_stream(buf)?,
+                subject: get_string(buf)?,
+                seq: get_u64(buf)?,
+                from_host: get_u32(buf)?,
+            },
+            PK_SUB => {
+                let host = get_u32(buf)?;
+                let full = get_u8(buf)? != 0;
+                let na = get_u32(buf)? as usize;
+                if na > 65_536 {
+                    return Err(WireError::BadLength(na as u64));
+                }
+                let mut add = Vec::with_capacity(na.min(1024));
+                for _ in 0..na {
+                    add.push(get_string(buf)?);
+                }
+                let nr = get_u32(buf)? as usize;
+                if nr > 65_536 {
+                    return Err(WireError::BadLength(nr as u64));
+                }
+                let mut remove = Vec::with_capacity(nr.min(1024));
+                for _ in 0..nr {
+                    remove.push(get_string(buf)?);
+                }
+                Packet::SubAnnounce {
+                    host,
+                    full,
+                    add,
+                    remove,
+                }
+            }
+            PK_RESYNC => Packet::SubResync {
+                host: get_u32(buf)?,
+            },
+            PK_SEQSYNC => {
+                let n = get_u32(buf)? as usize;
+                if n > 65_536 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(SyncEntry {
+                        stream: get_stream(buf)?,
+                        subject: get_string(buf)?,
+                        top_seq: get_u64(buf)?,
+                        stream_start: get_u64(buf)?,
+                    });
+                }
+                Packet::SeqSync { entries }
+            }
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// A message on an information-router link between two buses.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RouterMsg {
+    /// Link setup: identifies the connection as a router link (not RMI).
+    Hello { host: u32 },
+    /// The sending side's aggregate subscription set (its bus's local and
+    /// broadcast-learned filters, plus those of its *other* links —
+    /// split-horizon aggregation).
+    Subs { filters: Vec<String> },
+    /// A forwarded publication.
+    Forward { env: Envelope },
+}
+
+const RT_HELLO: u8 = 10;
+const RT_SUBS: u8 = 11;
+const RT_FORWARD: u8 = 12;
+
+impl RouterMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            RouterMsg::Hello { host } => {
+                buf.push(RT_HELLO);
+                put_u32(&mut buf, *host);
+            }
+            RouterMsg::Subs { filters } => {
+                buf.push(RT_SUBS);
+                put_u32(&mut buf, filters.len() as u32);
+                for f in filters {
+                    put_string(&mut buf, f);
+                }
+            }
+            RouterMsg::Forward { env } => {
+                buf.push(RT_FORWARD);
+                env.encode(&mut buf);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a router message; returns `Ok(None)` if the buffer is an
+    /// RMI message instead (the two share the connection port space).
+    pub fn decode(mut buf: &[u8]) -> Result<Option<RouterMsg>, WireError> {
+        let buf = &mut buf;
+        Ok(match get_u8(buf)? {
+            RT_HELLO => Some(RouterMsg::Hello {
+                host: get_u32(buf)?,
+            }),
+            RT_SUBS => {
+                let n = get_u32(buf)? as usize;
+                if n > 65_536 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                let mut filters = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    filters.push(get_string(buf)?);
+                }
+                Some(RouterMsg::Subs { filters })
+            }
+            RT_FORWARD => Some(RouterMsg::Forward {
+                env: Envelope::decode(buf)?,
+            }),
+            _ => None,
+        })
+    }
+}
+
+/// A message on an RMI point-to-point connection.
+///
+/// Arguments and results are *self-describing* marshalled values (see
+/// [`infobus_types::wire::marshal_self_describing`]): type descriptors
+/// travel with the call, so a server can receive instances of types it
+/// has never seen — the same property publications have.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RmiMsg {
+    /// Client request: invoke `op` on the service bound to `service`.
+    Request {
+        /// Unique id: (client host, client app, call number). Retries use
+        /// the same id so servers can deduplicate.
+        call: (u32, String, u64),
+        service: String,
+        op: String,
+        /// Self-describing marshalled argument values.
+        args: Vec<Vec<u8>>,
+    },
+    /// Server reply; `value` is a self-describing marshalled value.
+    Reply {
+        call: (u32, String, u64),
+        ok: bool,
+        value: Vec<u8>,
+        error: String,
+    },
+}
+
+const RM_REQUEST: u8 = 1;
+const RM_REPLY: u8 = 2;
+
+impl RmiMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            RmiMsg::Request {
+                call,
+                service,
+                op,
+                args,
+            } => {
+                buf.push(RM_REQUEST);
+                put_u32(&mut buf, call.0);
+                put_string(&mut buf, &call.1);
+                put_u64(&mut buf, call.2);
+                put_string(&mut buf, service);
+                put_string(&mut buf, op);
+                put_u32(&mut buf, args.len() as u32);
+                for a in args {
+                    put_bytes(&mut buf, a);
+                }
+            }
+            RmiMsg::Reply {
+                call,
+                ok,
+                value,
+                error,
+            } => {
+                buf.push(RM_REPLY);
+                put_u32(&mut buf, call.0);
+                put_string(&mut buf, &call.1);
+                put_u64(&mut buf, call.2);
+                buf.push(u8::from(*ok));
+                put_bytes(&mut buf, value);
+                put_string(&mut buf, error);
+            }
+        }
+        buf
+    }
+
+    pub fn decode(mut buf: &[u8]) -> Result<RmiMsg, WireError> {
+        let buf = &mut buf;
+        Ok(match get_u8(buf)? {
+            RM_REQUEST => {
+                let call = (get_u32(buf)?, get_string(buf)?, get_u64(buf)?);
+                let service = get_string(buf)?;
+                let op = get_string(buf)?;
+                let n = get_u32(buf)? as usize;
+                if n > 4_096 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                let mut args = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    args.push(get_byte_vec(buf)?);
+                }
+                RmiMsg::Request {
+                    call,
+                    service,
+                    op,
+                    args,
+                }
+            }
+            RM_REPLY => RmiMsg::Reply {
+                call: (get_u32(buf)?, get_string(buf)?, get_u64(buf)?),
+                ok: get_u8(buf)? != 0,
+                value: get_byte_vec(buf)?,
+                error: get_string(buf)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnvelopeKind, QoS};
+
+    fn env(seq: u64) -> Envelope {
+        Envelope {
+            stream: StreamKey {
+                host: 1,
+                app: "a".into(),
+                inc: 1,
+            },
+            seq,
+            stream_start: 5,
+            subject: "x.y".into(),
+            qos: QoS::Reliable,
+            kind: EnvelopeKind::Data,
+            corr: 0,
+            redelivery: false,
+            payload: vec![9; 10],
+        }
+    }
+
+    #[test]
+    fn packets_round_trip() {
+        let stream = StreamKey {
+            host: 2,
+            app: "pub".into(),
+            inc: 3,
+        };
+        let cases = vec![
+            Packet::Data {
+                envelopes: vec![env(1), env(2)],
+                retrans: false,
+            },
+            Packet::Data {
+                envelopes: vec![],
+                retrans: true,
+            },
+            Packet::Nak {
+                stream: stream.clone(),
+                subject: "a.b".into(),
+                requester: 9,
+                missing: vec![4, 5, 6],
+            },
+            Packet::GapSkip {
+                stream: stream.clone(),
+                subject: "a.b".into(),
+                through: 17,
+            },
+            Packet::Ack {
+                stream,
+                subject: "a.b".into(),
+                seq: 8,
+                from_host: 4,
+            },
+            Packet::SubAnnounce {
+                host: 5,
+                full: true,
+                add: vec!["news.>".into(), "fab5.*.x".into()],
+                remove: vec!["old.sub".into()],
+            },
+            Packet::SubResync { host: 1 },
+            Packet::SeqSync {
+                entries: vec![SyncEntry {
+                    stream: StreamKey {
+                        host: 1,
+                        app: "a".into(),
+                        inc: 1,
+                    },
+                    subject: "x.y".into(),
+                    top_seq: 9,
+                    stream_start: 5,
+                }],
+            },
+        ];
+        for p in cases {
+            let buf = p.encode();
+            assert_eq!(Packet::decode(&buf).unwrap(), p, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn rmi_msgs_round_trip() {
+        use infobus_types::{wire, Value};
+        let req = RmiMsg::Request {
+            call: (1, "client".into(), 42),
+            service: "svc.quotes".into(),
+            op: "lookup".into(),
+            args: vec![
+                wire::marshal_value(&Value::str("GMC")),
+                wire::marshal_value(&Value::I64(3)),
+            ],
+        };
+        let rep = RmiMsg::Reply {
+            call: (1, "client".into(), 42),
+            ok: true,
+            value: wire::marshal_value(&Value::F64(54.25)),
+            error: String::new(),
+        };
+        for m in [req, rep] {
+            let buf = m.encode();
+            assert_eq!(RmiMsg::decode(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn router_msgs_round_trip() {
+        let cases = vec![
+            RouterMsg::Hello { host: 3 },
+            RouterMsg::Subs {
+                filters: vec!["news.>".into(), "fab5.*".into()],
+            },
+            RouterMsg::Forward { env: env(5) },
+        ];
+        for m in cases {
+            let buf = m.encode();
+            assert_eq!(RouterMsg::decode(&buf).unwrap(), Some(m));
+        }
+        // RMI tags are not router messages.
+        let rmi = RmiMsg::Reply {
+            call: (0, "c".into(), 1),
+            ok: true,
+            value: Vec::new(),
+            error: String::new(),
+        };
+        assert_eq!(RouterMsg::decode(&rmi.encode()).unwrap(), None);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Packet::decode(&[]).is_err());
+        assert!(Packet::decode(&[99, 0, 0]).is_err());
+        assert!(RmiMsg::decode(&[7]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Remote method invocation: service objects, call policies, errors.
+
+use std::any::Any;
+use std::fmt;
+
+use infobus_types::{TypeDescriptor, Value};
+
+use crate::app::BusCtx;
+
+/// Identifier of an in-flight RMI call on the client side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallId(pub u64);
+
+/// How a client chooses among multiple servers answering on one subject.
+///
+/// "More than one server can respond to requests on a subject. Several
+/// server objects can be used to provide load balancing or
+/// fault-tolerance. Our system allows an application to choose between
+/// several different policies." (§3.3)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Take the first server that answers (lowest latency, no waiting).
+    #[default]
+    First,
+    /// Collect offers for the offer window, then pick uniformly at random
+    /// (spreads load without coordination).
+    Random,
+    /// Collect offers, then pick the server reporting the fewest
+    /// outstanding invocations (server-assisted load balancing).
+    LeastLoaded,
+}
+
+/// What the client does when a call fails mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryMode {
+    /// Standard RMI: exactly-once under normal operation, *at most once*
+    /// in the presence of failures — a broken call reports an error.
+    #[default]
+    AtMostOnce,
+    /// Fail over to another discovered server and retry with the *same*
+    /// call id. Servers deduplicate call ids, so a retry that reaches a
+    /// server that already executed returns the cached reply; combined
+    /// with idempotent operations this provides the "exactly-once …
+    /// built … above standard RMI" layer of §3.3.
+    Failover,
+}
+
+/// Errors reported for RMI calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmiError {
+    /// No server offered to handle the subject within the offer window.
+    NoServer,
+    /// The request or connection timed out.
+    Timeout,
+    /// The connection broke before the reply arrived.
+    ConnectionFailed,
+    /// The operation is not part of the service interface (or arity
+    /// mismatched).
+    BadOperation(String),
+    /// The service raised an application-level error.
+    App(String),
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::NoServer => write!(f, "no server answered on the subject"),
+            RmiError::Timeout => write!(f, "request timed out"),
+            RmiError::ConnectionFailed => write!(f, "connection failed before reply"),
+            RmiError::BadOperation(op) => write!(f, "bad operation: {op}"),
+            RmiError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RmiError {}
+
+/// A service object: a large-grained object invoked where it resides.
+///
+/// Service objects "encapsulate and control access to resources such as
+/// databases or devices … Instead of migrating to another node, they are
+/// invoked where they reside, using a form of remote procedure call" (§3).
+/// They are self-describing (P2): [`ServiceObject::descriptor`] exposes
+/// the interface — clients and UI generators work from the operation
+/// signatures alone.
+pub trait ServiceObject: Any {
+    /// The service's type descriptor (name + operation signatures).
+    fn descriptor(&self) -> TypeDescriptor;
+
+    /// Executes one operation. The service may publish, subscribe, or
+    /// make further calls through `bus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RmiError`] to be reported to the caller.
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError>;
+}
+
+/// A discovered server offer (internal; also surfaced in tests).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Offer {
+    pub host: u32,
+    pub port: u16,
+    pub load: i64,
+}

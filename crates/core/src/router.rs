@@ -1,0 +1,81 @@
+//! Information routers: splicing bus segments into one logical bus.
+//!
+//! "Our implementation uses application-level 'information routers' …
+//! Messages are received by one router using a subscription, transmitted
+//! to another router, and then re-published on another bus. The router is
+//! intelligent about which messages are sent to which routers: messages
+//! are only re-published on buses for which there exists a subscription on
+//! that subject; the router can also perform other functions, such as
+//! transforming subjects … Thus, the overall effect is to create the
+//! illusion of a single, large bus." (§3.1)
+//!
+//! In this implementation the router is a facility of the bus daemon: the
+//! driver links two daemons with
+//! [`BusFabric::link_buses`](crate::BusFabric::link_buses), which opens a
+//! point-to-point connection between them (their hosts must share a
+//! segment — typically a dedicated "WAN" link segment). Each side
+//! periodically sends its bus's aggregate subscription table over the
+//! link (with split-horizon aggregation, so chains of buses work), and
+//! forwards exactly the publications the remote side has subscribers for.
+//! Re-published messages appear on the remote bus as fresh publications
+//! from the router — producers and consumers notice nothing (P4).
+//!
+//! Cyclic router topologies are not supported (split horizon prevents
+//! two-bus echo and makes trees safe, but not rings); this matches the
+//! paper's tree-of-buses deployments.
+
+/// A subject-rewriting rule applied to publications crossing a link.
+///
+/// If a forwarded subject starts with `from_prefix` (element-wise), that
+/// prefix is replaced with `to_prefix`. For example,
+/// `{ from_prefix: "fab5", to_prefix: "hq.fab5" }` republishes
+/// `fab5.cc.litho8` as `hq.fab5.cc.litho8` on the remote bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteRule {
+    /// Element-wise subject prefix to match.
+    pub from_prefix: String,
+    /// Replacement prefix.
+    pub to_prefix: String,
+}
+
+impl RewriteRule {
+    /// Applies the rule to a subject string; returns the rewritten
+    /// subject, or `None` if the prefix does not match.
+    pub fn apply(&self, subject: &str) -> Option<String> {
+        if subject == self.from_prefix {
+            return Some(self.to_prefix.clone());
+        }
+        let rest = subject.strip_prefix(&self.from_prefix)?;
+        if !rest.starts_with('.') {
+            return None;
+        }
+        Some(format!("{}{}", self.to_prefix, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_on_element_boundaries() {
+        let r = RewriteRule {
+            from_prefix: "fab5".into(),
+            to_prefix: "hq.fab5".into(),
+        };
+        assert_eq!(r.apply("fab5.cc.litho8"), Some("hq.fab5.cc.litho8".into()));
+        assert_eq!(r.apply("fab5"), Some("hq.fab5".into()));
+        assert_eq!(r.apply("fab55.cc"), None, "no partial-element match");
+        assert_eq!(r.apply("news.fab5"), None);
+    }
+
+    #[test]
+    fn multi_element_prefix() {
+        let r = RewriteRule {
+            from_prefix: "news.equity".into(),
+            to_prefix: "ny.equity".into(),
+        };
+        assert_eq!(r.apply("news.equity.gmc"), Some("ny.equity.gmc".into()));
+        assert_eq!(r.apply("news.bond.gmc"), None);
+    }
+}

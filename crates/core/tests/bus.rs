@@ -1,0 +1,1270 @@
+//! End-to-end behavioural tests for the Information Bus: publish/subscribe
+//! semantics, delivery qualities of service, discovery, RMI, and routers.
+
+use infobus_core::{
+    BusApp, BusConfig, BusCtx, BusFabric, BusMessage, CallId, DiscoveryReply, QoS, RetryMode,
+    RmiError, SelectionPolicy, ServiceObject,
+};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, FaultPlan, HostId, NetBuilder, Sim};
+use infobus_types::{TypeDescriptor, Value, ValueType};
+
+// ---------------------------------------------------------------------------
+// Scriptable test applications
+// ---------------------------------------------------------------------------
+
+/// Subscribes to filters at start; records everything it receives.
+#[derive(Default)]
+struct Collector {
+    filters: Vec<String>,
+    messages: Vec<BusMessage>,
+}
+
+impl Collector {
+    fn new(filters: &[&str]) -> Self {
+        Collector {
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+            messages: Vec::new(),
+        }
+    }
+
+    fn ints(&self) -> Vec<i64> {
+        self.messages
+            .iter()
+            .filter_map(|m| m.value.as_i64())
+            .collect()
+    }
+}
+
+impl BusApp for Collector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        for f in &self.filters {
+            bus.subscribe(f).unwrap();
+        }
+    }
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.messages.push(msg.clone());
+    }
+}
+
+/// Publishes `count` integers on `subject` with `period` between them.
+struct Ticker {
+    subject: String,
+    count: i64,
+    sent: i64,
+    period: u64,
+    qos: QoS,
+}
+
+impl Ticker {
+    fn new(subject: &str, count: i64, period: u64) -> Self {
+        Ticker {
+            subject: subject.into(),
+            count,
+            sent: 0,
+            period,
+            qos: QoS::Reliable,
+        }
+    }
+
+    fn guaranteed(subject: &str, count: i64, period: u64) -> Self {
+        Ticker {
+            qos: QoS::Guaranteed,
+            ..Ticker::new(subject, count, period)
+        }
+    }
+}
+
+impl BusApp for Ticker {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(self.period, 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _token: u64) {
+        if self.sent < self.count {
+            let v = Value::I64(self.sent);
+            self.sent += 1;
+            bus.publish(&self.subject, &v, self.qos).unwrap();
+            bus.set_timer(self.period, 0);
+        }
+    }
+}
+
+fn lan_sim(seed: u64, n_hosts: usize) -> (Sim, Vec<HostId>) {
+    lan_sim_with(seed, n_hosts, EtherConfig::lan_10mbps())
+}
+
+fn lan_sim_with(seed: u64, n_hosts: usize, cfg: EtherConfig) -> (Sim, Vec<HostId>) {
+    let mut b = NetBuilder::new(seed);
+    let seg = b.segment(cfg);
+    let hosts: Vec<HostId> = (0..n_hosts)
+        .map(|i| b.host(&format!("h{i}"), &[seg]))
+        .collect();
+    (b.build(), hosts)
+}
+
+// ---------------------------------------------------------------------------
+// Publish/subscribe basics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn publish_subscribe_across_hosts() {
+    let (mut sim, hosts) = lan_sim(1, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "sub",
+        Box::new(Collector::new(&["news.equity.*"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("news.equity.gmc", 5, 1000)),
+    );
+    sim.run_for(secs(1));
+    for h in &hosts[1..] {
+        let ints = fabric
+            .with_app::<Collector, Vec<i64>>(&mut sim, *h, "sub", |c| c.ints())
+            .unwrap();
+        assert_eq!(ints, vec![0, 1, 2, 3, 4]);
+    }
+    // The received subject is the published one; communication is
+    // anonymous (the message exposes no producer identity).
+    let subj = fabric
+        .with_app::<Collector, String>(&mut sim, hosts[1], "sub", |c| {
+            c.messages[0].subject.as_str().to_owned()
+        })
+        .unwrap();
+    assert_eq!(subj, "news.equity.gmc");
+}
+
+#[test]
+fn non_matching_subjects_are_filtered() {
+    let (mut sim, hosts) = lan_sim(2, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["sports.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("news.equity.gmc", 5, 500)),
+    );
+    sim.run_for(secs(1));
+    let got = fabric
+        .with_app::<Collector, usize>(&mut sim, hosts[1], "sub", |c| c.messages.len())
+        .unwrap();
+    assert_eq!(got, 0);
+    let stats = fabric.daemon_stats(&mut sim, hosts[1]).unwrap();
+    assert!(
+        stats.filtered >= 5,
+        "daemon should cheaply filter: {stats:?}"
+    );
+}
+
+#[test]
+fn local_delivery_same_host_and_no_self_delivery() {
+    let (mut sim, hosts) = lan_sim(3, 1);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "sub",
+        Box::new(Collector::new(&["a.b"])),
+    );
+    // The publisher also subscribes to its own subject.
+    struct PubSub {
+        got: usize,
+    }
+    impl BusApp for PubSub {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.subscribe("a.b").unwrap();
+            bus.set_timer(1000, 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.publish("a.b", &Value::I64(1), QoS::Reliable).unwrap();
+        }
+        fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, _m: &BusMessage) {
+            self.got += 1;
+        }
+    }
+    fabric.attach_app(&mut sim, hosts[0], "pubsub", Box::new(PubSub { got: 0 }));
+    sim.run_for(millis(100));
+    // The co-resident subscriber received it; the publisher did not hear
+    // its own publication.
+    assert_eq!(
+        fabric.with_app::<Collector, usize>(&mut sim, hosts[0], "sub", |c| c.messages.len()),
+        Some(1)
+    );
+    assert_eq!(
+        fabric.with_app::<PubSub, usize>(&mut sim, hosts[0], "pubsub", |p| p.got),
+        Some(0)
+    );
+}
+
+#[test]
+fn late_subscriber_gets_new_messages_only() {
+    // P4: "A new subscriber can be introduced at any time and will start
+    // receiving immediately new objects that are being published."
+    let (mut sim, hosts) = lan_sim(4, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("feed.x", 50, millis(20))),
+    );
+    sim.run_for(millis(500)); // ~24 messages pass with nobody listening
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "late",
+        Box::new(Collector::new(&["feed.x"])),
+    );
+    sim.run_for(secs(2));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "late", |c| c.ints())
+        .unwrap();
+    assert!(!ints.is_empty());
+    assert!(
+        ints[0] > 5,
+        "history must not be replayed, first={}",
+        ints[0]
+    );
+    assert_eq!(*ints.last().unwrap(), 49);
+    // In-order, no duplicates.
+    let mut sorted = ints.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ints, sorted);
+}
+
+#[test]
+fn new_publisher_reaches_existing_subscribers() {
+    let (mut sim, hosts) = lan_sim(5, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "sub",
+        Box::new(Collector::new(&["feed.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub1",
+        Box::new(Ticker::new("feed.a", 3, 1000)),
+    );
+    sim.run_for(millis(500));
+    // A second publisher appears later on another host: subscribers
+    // receive from it with no reconfiguration anywhere.
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "pub2",
+        Box::new(Ticker::new("feed.b", 3, 1000)),
+    );
+    sim.run_for(secs(1));
+    let subjects = fabric
+        .with_app::<Collector, Vec<String>>(&mut sim, hosts[2], "sub", |c| {
+            c.messages
+                .iter()
+                .map(|m| m.subject.as_str().to_owned())
+                .collect()
+        })
+        .unwrap();
+    assert_eq!(subjects.iter().filter(|s| *s == "feed.a").count(), 3);
+    assert_eq!(subjects.iter().filter(|s| *s == "feed.b").count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery under faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reliable_delivery_recovers_from_loss_in_order() {
+    let mut cfg = EtherConfig::lan_10mbps();
+    cfg.faults = FaultPlan {
+        recv_loss: 0.15,
+        wire_loss: 0.02,
+        ..FaultPlan::none()
+    };
+    let (mut sim, hosts) = lan_sim_with(6, 3, cfg);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["data.x"])),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "sub",
+        Box::new(Collector::new(&["data.x"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("data.x", 200, millis(5))),
+    );
+    sim.run_for(secs(10));
+    for h in &hosts[1..] {
+        let ints = fabric
+            .with_app::<Collector, Vec<i64>>(&mut sim, *h, "sub", |c| c.ints())
+            .unwrap();
+        let expect: Vec<i64> = (0..200).collect();
+        assert_eq!(ints, expect, "exactly once, in order, despite 15% loss");
+    }
+    let pub_stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert!(
+        pub_stats.retransmitted > 0,
+        "loss must have triggered NAK recovery"
+    );
+}
+
+#[test]
+fn ordering_is_per_sender_per_subject() {
+    let (mut sim, hosts) = lan_sim(7, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "sub",
+        Box::new(Collector::new(&["m.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "p1",
+        Box::new(Ticker::new("m.a", 20, millis(3))),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "p2",
+        Box::new(Ticker::new("m.b", 20, millis(3))),
+    );
+    sim.run_for(secs(2));
+    let per_subject = fabric
+        .with_app::<Collector, (Vec<i64>, Vec<i64>)>(&mut sim, hosts[2], "sub", |c| {
+            let a = c
+                .messages
+                .iter()
+                .filter(|m| m.subject.as_str() == "m.a")
+                .filter_map(|m| m.value.as_i64())
+                .collect();
+            let b = c
+                .messages
+                .iter()
+                .filter(|m| m.subject.as_str() == "m.b")
+                .filter_map(|m| m.value.as_i64())
+                .collect();
+            (a, b)
+        })
+        .unwrap();
+    assert_eq!(per_subject.0, (0..20).collect::<Vec<i64>>());
+    assert_eq!(per_subject.1, (0..20).collect::<Vec<i64>>());
+}
+
+#[test]
+fn partition_gives_at_most_once_no_duplicates() {
+    let (mut sim, hosts) = lan_sim(8, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["p.x"])),
+    );
+    sim.run_for(millis(50));
+    // Publish fast enough that the retention window (256) rolls over
+    // during a long partition.
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("p.x", 600, millis(4))),
+    );
+    sim.run_for(millis(400));
+    sim.partition(&[&[hosts[0]], &[hosts[1]]]);
+    sim.run_for(millis(1500));
+    sim.heal();
+    sim.run_for(secs(8));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "sub", |c| c.ints())
+        .unwrap();
+    // No duplicates, strictly increasing (order preserved), both ends
+    // present, and a gap in the middle (messages beyond retention are
+    // skipped, not replayed out of order).
+    let mut sorted = ints.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ints, sorted, "in order and duplicate-free");
+    assert_eq!(*ints.last().unwrap(), 599, "delivery resumed after heal");
+    assert!(
+        ints.len() < 600,
+        "some messages were lost during the partition"
+    );
+    let stats = fabric.daemon_stats(&mut sim, hosts[1]).unwrap();
+    assert!(stats.gaps_skipped > 0, "gap-skip path exercised: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batching_reduces_packets_on_the_wire() {
+    fn frames_for(batch: bool) -> u64 {
+        let mut b = NetBuilder::new(9);
+        let seg = b.segment(EtherConfig::lan_10mbps());
+        let hosts = vec![b.host("p", &[seg]), b.host("c", &[seg])];
+        let mut sim = b.build();
+        let cfg = if batch {
+            BusConfig::throughput()
+        } else {
+            BusConfig::latency()
+        };
+        let fabric = BusFabric::install(&mut sim, &hosts, cfg);
+        fabric.attach_app(
+            &mut sim,
+            hosts[1],
+            "sub",
+            Box::new(Collector::new(&["b.x"])),
+        );
+        sim.run_for(millis(50));
+        // A bursty publisher: 20 messages per burst.
+        struct Burst {
+            bursts: usize,
+        }
+        impl BusApp for Burst {
+            fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+                bus.set_timer(millis(10), 0);
+            }
+            fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+                if self.bursts == 0 {
+                    return;
+                }
+                self.bursts -= 1;
+                for i in 0..20i64 {
+                    bus.publish("b.x", &Value::I64(i), QoS::Reliable).unwrap();
+                }
+                bus.set_timer(millis(10), 0);
+            }
+        }
+        fabric.attach_app(&mut sim, hosts[0], "pub", Box::new(Burst { bursts: 10 }));
+        sim.run_for(secs(2));
+        let got = fabric
+            .with_app::<Collector, usize>(&mut sim, hosts[1], "sub", |c| c.messages.len())
+            .unwrap();
+        assert_eq!(got, 200, "all messages delivered (batch={batch})");
+        sim.segment_stats(infobus_netsim::SegmentId(0)).frames_sent
+    }
+    let unbatched = frames_for(false);
+    let batched = frames_for(true);
+    assert!(
+        batched * 2 < unbatched,
+        "batching should at least halve frame count: {batched} vs {unbatched}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Guaranteed delivery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn guaranteed_delivery_completes_with_acks() {
+    let (mut sim, hosts) = lan_sim(10, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "db",
+        Box::new(Collector::new(&["wip.>"])),
+    );
+    sim.run_for(millis(200)); // let subscription announcements settle
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::guaranteed("wip.lot42", 5, millis(10))),
+    );
+    sim.run_for(secs(3));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "db", |c| c.ints())
+        .unwrap();
+    assert_eq!(ints, vec![0, 1, 2, 3, 4]);
+    let stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert_eq!(
+        stats.gd_pending, 0,
+        "all guaranteed messages acknowledged: {stats:?}"
+    );
+    assert_eq!(stats.gd_completed, 5);
+    let sub_stats = fabric.daemon_stats(&mut sim, hosts[1]).unwrap();
+    assert!(sub_stats.acks_sent >= 5);
+}
+
+#[test]
+fn guaranteed_delivery_survives_publisher_crash() {
+    let (mut sim, hosts) = lan_sim(11, 2);
+    let mut fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "db",
+        Box::new(Collector::new(&["wip.>"])),
+    );
+    sim.run_for(millis(200));
+    // Cut the subscriber off, publish guaranteed messages into the void,
+    // then crash the publisher daemon before anyone could ack.
+    sim.partition(&[&[hosts[0]], &[hosts[1]]]);
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::guaranteed("wip.lot7", 3, millis(5))),
+    );
+    sim.run_for(millis(300));
+    fabric.crash_daemon(&mut sim, hosts[0]);
+    sim.run_for(millis(100));
+    // Restart the daemon: the ledger (non-volatile) must be reloaded and
+    // the messages delivered once the partition heals.
+    fabric.restart_daemon(&mut sim, hosts[0], BusConfig::default());
+    sim.heal();
+    sim.run_for(secs(6));
+    let msgs = fabric
+        .with_app::<Collector, Vec<BusMessage>>(&mut sim, hosts[1], "db", |c| c.messages.clone())
+        .unwrap();
+    let ints: Vec<i64> = msgs.iter().filter_map(|m| m.value.as_i64()).collect();
+    assert_eq!(
+        ints,
+        vec![0, 1, 2],
+        "ledger redelivery after publisher restart"
+    );
+    assert!(
+        msgs.iter().all(|m| m.redelivery),
+        "redeliveries are flagged"
+    );
+    assert!(msgs.iter().all(|m| m.qos == QoS::Guaranteed));
+    let stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert_eq!(stats.gd_pending, 0, "ledger drained after acks: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn whos_out_there_discovery() {
+    let (mut sim, hosts) = lan_sim(12, 4);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+
+    struct Responder {
+        name: &'static str,
+    }
+    impl BusApp for Responder {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.respond_to_discovery("svc.quotes", Value::str(self.name))
+                .unwrap();
+        }
+    }
+    struct Seeker {
+        replies: Option<Vec<DiscoveryReply>>,
+    }
+    impl BusApp for Seeker {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.set_timer(millis(100), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.discover("svc.quotes", 77).unwrap();
+        }
+        fn on_discovery(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            token: u64,
+            replies: Vec<DiscoveryReply>,
+        ) {
+            assert_eq!(token, 77);
+            self.replies = Some(replies);
+        }
+    }
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "r1",
+        Box::new(Responder { name: "server-one" }),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "r2",
+        Box::new(Responder { name: "server-two" }),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "seeker",
+        Box::new(Seeker { replies: None }),
+    );
+    sim.run_for(secs(1));
+    let mut names = fabric
+        .with_app::<Seeker, Vec<String>>(&mut sim, hosts[0], "seeker", |s| {
+            s.replies
+                .as_ref()
+                .expect("discovery window closed")
+                .iter()
+                .filter_map(|r| r.info.as_str().map(str::to_owned))
+                .collect()
+        })
+        .unwrap();
+    names.sort();
+    assert_eq!(names, vec!["server-one", "server-two"]);
+}
+
+// ---------------------------------------------------------------------------
+// RMI
+// ---------------------------------------------------------------------------
+
+/// A calculator service with a self-describing interface.
+struct Calculator {
+    invocations: u64,
+}
+
+impl ServiceObject for Calculator {
+    fn descriptor(&self) -> TypeDescriptor {
+        TypeDescriptor::builder("CalculatorService")
+            .idempotent_operation(
+                "add",
+                vec![("a", ValueType::I64), ("b", ValueType::I64)],
+                ValueType::I64,
+            )
+            .idempotent_operation(
+                "div",
+                vec![("a", ValueType::I64), ("b", ValueType::I64)],
+                ValueType::I64,
+            )
+            .build()
+    }
+
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        _bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        self.invocations += 1;
+        let a = args[0]
+            .as_i64()
+            .ok_or_else(|| RmiError::App("a must be i64".into()))?;
+        let b = args[1]
+            .as_i64()
+            .ok_or_else(|| RmiError::App("b must be i64".into()))?;
+        match op {
+            "add" => Ok(Value::I64(a + b)),
+            "div" => {
+                if b == 0 {
+                    Err(RmiError::App("division by zero".into()))
+                } else {
+                    Ok(Value::I64(a / b))
+                }
+            }
+            other => Err(RmiError::BadOperation(other.into())),
+        }
+    }
+}
+
+struct CalcServer;
+impl BusApp for CalcServer {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.export_service("svc.calc", Box::new(Calculator { invocations: 0 }))
+            .unwrap();
+    }
+}
+
+/// Issues one RMI call and records the result.
+struct CalcClient {
+    op: &'static str,
+    args: Vec<Value>,
+    policy: SelectionPolicy,
+    retry: RetryMode,
+    result: Option<Result<Value, RmiError>>,
+}
+
+impl CalcClient {
+    fn add(a: i64, b: i64) -> Self {
+        CalcClient {
+            op: "add",
+            args: vec![Value::I64(a), Value::I64(b)],
+            policy: SelectionPolicy::First,
+            retry: RetryMode::AtMostOnce,
+            result: None,
+        }
+    }
+}
+
+impl BusApp for CalcClient {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(100), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        bus.rmi_call(
+            "svc.calc",
+            self.op,
+            self.args.clone(),
+            self.policy,
+            self.retry,
+        )
+        .unwrap();
+    }
+    fn on_rmi_reply(
+        &mut self,
+        _bus: &mut BusCtx<'_, '_>,
+        _call: CallId,
+        result: Result<Value, RmiError>,
+    ) {
+        self.result = Some(result);
+    }
+}
+
+#[test]
+fn rmi_round_trip() {
+    let (mut sim, hosts) = lan_sim(13, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "server", Box::new(CalcServer));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "client",
+        Box::new(CalcClient::add(2, 3)),
+    );
+    sim.run_for(secs(2));
+    let result = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(
+            &mut sim,
+            hosts[0],
+            "client",
+            |c| c.result.clone(),
+        )
+        .unwrap();
+    assert_eq!(result, Some(Ok(Value::I64(5))));
+}
+
+#[test]
+fn rmi_same_host_as_server() {
+    let (mut sim, hosts) = lan_sim(14, 1);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[0], "server", Box::new(CalcServer));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "client",
+        Box::new(CalcClient::add(40, 2)),
+    );
+    sim.run_for(secs(2));
+    let result = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(
+            &mut sim,
+            hosts[0],
+            "client",
+            |c| c.result.clone(),
+        )
+        .unwrap();
+    assert_eq!(result, Some(Ok(Value::I64(42))));
+}
+
+#[test]
+fn rmi_application_and_bad_operation_errors() {
+    let (mut sim, hosts) = lan_sim(15, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "server", Box::new(CalcServer));
+    let mut div0 = CalcClient::add(1, 0);
+    div0.op = "div";
+    fabric.attach_app(&mut sim, hosts[0], "div0", Box::new(div0));
+    let mut nosuch = CalcClient::add(1, 2);
+    nosuch.op = "frobnicate";
+    fabric.attach_app(&mut sim, hosts[0], "nosuch", Box::new(nosuch));
+    sim.run_for(secs(2));
+    let r1 = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(&mut sim, hosts[0], "div0", |c| {
+            c.result.clone()
+        })
+        .unwrap();
+    assert!(matches!(r1, Some(Err(RmiError::App(_)))), "{r1:?}");
+    let r2 = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(
+            &mut sim,
+            hosts[0],
+            "nosuch",
+            |c| c.result.clone(),
+        )
+        .unwrap();
+    assert!(matches!(r2, Some(Err(RmiError::BadOperation(_)))), "{r2:?}");
+}
+
+#[test]
+fn rmi_no_server_times_out() {
+    let (mut sim, hosts) = lan_sim(16, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "client",
+        Box::new(CalcClient::add(1, 1)),
+    );
+    sim.run_for(secs(2));
+    let result = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(
+            &mut sim,
+            hosts[0],
+            "client",
+            |c| c.result.clone(),
+        )
+        .unwrap();
+    assert_eq!(result, Some(Err(RmiError::NoServer)));
+}
+
+#[test]
+fn rmi_failover_to_surviving_server() {
+    let (mut sim, hosts) = lan_sim(17, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "server", Box::new(CalcServer));
+    fabric.attach_app(&mut sim, hosts[2], "server", Box::new(CalcServer));
+    sim.run_for(millis(50));
+    // Repeated calls with fail-over; midway, kill one server's host.
+    struct Repeater {
+        ok: usize,
+        err: usize,
+    }
+    impl BusApp for Repeater {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.set_timer(millis(50), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.rmi_call(
+                "svc.calc",
+                "add",
+                vec![Value::I64(1), Value::I64(1)],
+                SelectionPolicy::Random,
+                RetryMode::Failover,
+            )
+            .unwrap();
+        }
+        fn on_rmi_reply(
+            &mut self,
+            bus: &mut BusCtx<'_, '_>,
+            _call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            match result {
+                Ok(_) => self.ok += 1,
+                Err(_) => self.err += 1,
+            }
+            if self.ok + self.err < 20 {
+                bus.set_timer(millis(100), 0);
+            }
+        }
+    }
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "client",
+        Box::new(Repeater { ok: 0, err: 0 }),
+    );
+    sim.run_for(millis(700));
+    let mut fabric2 = fabric;
+    fabric2.crash_daemon(&mut sim, hosts[1]);
+    sim.run_for(secs(20));
+    let (ok, err) = fabric2
+        .with_app::<Repeater, (usize, usize)>(&mut sim, hosts[0], "client", |r| (r.ok, r.err))
+        .unwrap();
+    assert_eq!(ok + err, 20);
+    assert_eq!(
+        err, 0,
+        "fail-over should mask the crashed server ({ok} ok, {err} err)"
+    );
+}
+
+#[test]
+fn rmi_server_dedups_duplicate_requests() {
+    // A raw process replays the same request twice: the server must
+    // execute once and answer twice identically (the exactly-once layer).
+    use infobus_core::{DAEMON_PORT, RMI_PORT};
+    let _ = DAEMON_PORT;
+    struct Replayer {
+        replies: Vec<Vec<u8>>,
+    }
+    impl infobus_netsim::Process for Replayer {
+        fn on_start(&mut self, ctx: &mut infobus_netsim::Ctx<'_>) {
+            ctx.bind(5000).unwrap();
+            let dst = ctx.peer_addr("h1", RMI_PORT).unwrap();
+            let conn = ctx.connect(dst);
+            // Hand-encode a request (same bytes both times → same call id).
+            let req = encode_raw_request();
+            ctx.conn_send(conn, req.clone()).unwrap();
+            ctx.conn_send(conn, req).unwrap();
+        }
+        fn on_conn(
+            &mut self,
+            _ctx: &mut infobus_netsim::Ctx<'_>,
+            event: infobus_netsim::ConnEvent,
+        ) {
+            if let infobus_netsim::ConnEvent::Data { msg, .. } = event {
+                self.replies.push(msg);
+            }
+        }
+    }
+    fn encode_raw_request() -> Vec<u8> {
+        // Mirrors msg::RmiMsg::Request encoding.
+        let mut buf = vec![1u8]; // RM_REQUEST
+        infobus_types::wire::put_u32(&mut buf, 99); // client host
+        infobus_types::wire::put_string(&mut buf, "raw");
+        infobus_types::wire::put_u64(&mut buf, 1234); // call number
+        infobus_types::wire::put_string(&mut buf, "svc.calc");
+        infobus_types::wire::put_string(&mut buf, "add");
+        infobus_types::wire::put_u32(&mut buf, 2);
+        let a = infobus_types::wire::marshal_value(&Value::I64(20));
+        let b = infobus_types::wire::marshal_value(&Value::I64(22));
+        infobus_types::wire::put_bytes(&mut buf, &a);
+        infobus_types::wire::put_bytes(&mut buf, &b);
+        buf
+    }
+    let (mut sim, hosts) = lan_sim(18, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "server", Box::new(CalcServer));
+    sim.run_for(millis(50));
+    let replayer = sim.spawn(
+        hosts[0],
+        Box::new(Replayer {
+            replies: Vec::new(),
+        }),
+    );
+    sim.run_for(secs(2));
+    let replies = sim
+        .with_proc::<Replayer, Vec<Vec<u8>>>(replayer, |r| r.replies.clone())
+        .unwrap();
+    assert_eq!(replies.len(), 2, "both requests answered");
+    assert_eq!(replies[0], replies[1], "identical cached reply");
+    let stats = fabric.daemon_stats(&mut sim, hosts[1]).unwrap();
+    assert_eq!(stats.rmi_served, 1, "executed exactly once");
+    assert_eq!(stats.rmi_deduped, 1);
+}
+
+#[test]
+fn live_upgrade_old_server_replaced_without_downtime() {
+    // R1 continuous operation: a new server takes over a subject; the old
+    // one withdraws; clients notice nothing.
+    let (mut sim, hosts) = lan_sim(19, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+
+    struct UpgradableServer;
+    impl BusApp for UpgradableServer {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.export_service("svc.calc", Box::new(Calculator { invocations: 0 }))
+                .unwrap();
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.withdraw_service("svc.calc").unwrap();
+        }
+    }
+    struct Steady {
+        ok: usize,
+        err: usize,
+    }
+    impl BusApp for Steady {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.set_timer(millis(100), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.rmi_call(
+                "svc.calc",
+                "add",
+                vec![Value::I64(5), Value::I64(5)],
+                SelectionPolicy::First,
+                RetryMode::Failover,
+            )
+            .unwrap();
+        }
+        fn on_rmi_reply(
+            &mut self,
+            bus: &mut BusCtx<'_, '_>,
+            _call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            match result {
+                Ok(v) => {
+                    assert_eq!(v, Value::I64(10));
+                    self.ok += 1;
+                }
+                Err(_) => self.err += 1,
+            }
+            if self.ok + self.err < 15 {
+                bus.set_timer(millis(200), 0);
+            }
+        }
+    }
+    fabric.attach_app(&mut sim, hosts[1], "old", Box::new(UpgradableServer));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "client",
+        Box::new(Steady { ok: 0, err: 0 }),
+    );
+    sim.run_for(secs(1));
+    // Bring the new server online, then retire the old one.
+    fabric.attach_app(&mut sim, hosts[2], "new", Box::new(CalcServer));
+    sim.run_for(millis(300));
+    // Tell the old server to withdraw (timer token 0 → withdraw).
+    struct Withdraw;
+    impl BusApp for Withdraw {
+        fn on_start(&mut self, _bus: &mut BusCtx<'_, '_>) {}
+    }
+    let _ = Withdraw; // the withdrawal is driven via the app's own timer:
+    fabric
+        .with_app::<UpgradableServer, ()>(&mut sim, hosts[1], "old", |_s| {})
+        .unwrap();
+    // Trigger the old server's withdrawal via detach (fail-stop is even
+    // harsher than a clean withdrawal).
+    fabric.detach_app(&mut sim, hosts[1], "old");
+    sim.run_for(secs(6));
+    let (ok, err) = fabric
+        .with_app::<Steady, (usize, usize)>(&mut sim, hosts[0], "client", |s| (s.ok, s.err))
+        .unwrap();
+    assert_eq!(ok + err, 15);
+    assert_eq!(err, 0, "no client-visible downtime across the upgrade");
+}
+
+// ---------------------------------------------------------------------------
+// Information routers
+// ---------------------------------------------------------------------------
+
+fn two_bus_topology(seed: u64) -> (Sim, Vec<HostId>, Vec<HostId>, HostId, HostId) {
+    let mut b = NetBuilder::new(seed);
+    let lan_a = b.segment(EtherConfig::lan_10mbps());
+    let lan_b = b.segment(EtherConfig::lan_10mbps());
+    let wan = b.segment(EtherConfig::lan_10mbps());
+    let a_hosts: Vec<HostId> = (0..2).map(|i| b.host(&format!("a{i}"), &[lan_a])).collect();
+    let b_hosts: Vec<HostId> = (0..2).map(|i| b.host(&format!("b{i}"), &[lan_b])).collect();
+    let router_a = b.host("ra", &[lan_a, wan]);
+    let router_b = b.host("rb", &[lan_b, wan]);
+    (b.build(), a_hosts, b_hosts, router_a, router_b)
+}
+
+#[test]
+fn router_bridges_two_buses() {
+    let (mut sim, a_hosts, b_hosts, ra, rb) = two_bus_topology(20);
+    let all: Vec<HostId> = a_hosts
+        .iter()
+        .chain(b_hosts.iter())
+        .chain([&ra, &rb])
+        .copied()
+        .collect();
+    let fabric = BusFabric::install(&mut sim, &all, BusConfig::default());
+    fabric.link_buses(&mut sim, ra, rb, None);
+    fabric.attach_app(
+        &mut sim,
+        b_hosts[0],
+        "sub",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    fabric.attach_app(
+        &mut sim,
+        a_hosts[1],
+        "localsub",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    // Let subscription tables propagate across the link.
+    sim.run_for(secs(3));
+    fabric.attach_app(
+        &mut sim,
+        a_hosts[0],
+        "pub",
+        Box::new(Ticker::new("news.equity.gmc", 5, millis(10))),
+    );
+    sim.run_for(secs(3));
+    // Delivered on the remote bus…
+    let remote = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, b_hosts[0], "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(remote, vec![0, 1, 2, 3, 4], "bridged to the remote bus");
+    // …and still exactly once on the local bus (split horizon: no echo).
+    let local = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, a_hosts[1], "localsub", |c| c.ints())
+        .unwrap();
+    assert_eq!(
+        local,
+        vec![0, 1, 2, 3, 4],
+        "no duplicate echo on the origin bus"
+    );
+}
+
+#[test]
+fn router_forwards_only_subscribed_subjects() {
+    let (mut sim, a_hosts, b_hosts, ra, rb) = two_bus_topology(21);
+    let all: Vec<HostId> = a_hosts
+        .iter()
+        .chain(b_hosts.iter())
+        .chain([&ra, &rb])
+        .copied()
+        .collect();
+    let fabric = BusFabric::install(&mut sim, &all, BusConfig::default());
+    fabric.link_buses(&mut sim, ra, rb, None);
+    fabric.attach_app(
+        &mut sim,
+        b_hosts[0],
+        "sub",
+        Box::new(Collector::new(&["wanted.>"])),
+    );
+    sim.run_for(secs(3));
+    let before = sim.stats().conn_bytes_delivered;
+    fabric.attach_app(
+        &mut sim,
+        a_hosts[0],
+        "pub1",
+        Box::new(Ticker::new("wanted.x", 5, millis(10))),
+    );
+    fabric.attach_app(
+        &mut sim,
+        a_hosts[1],
+        "pub2",
+        Box::new(Ticker::new("unwanted.y", 50, millis(10))),
+    );
+    sim.run_for(secs(3));
+    let got = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, b_hosts[0], "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    // The 50 unwanted messages must not have crossed the WAN link (allow
+    // slack for subscription-table gossip).
+    let wan_bytes = sim.stats().conn_bytes_delivered - before;
+    assert!(
+        wan_bytes < 3_000,
+        "unsubscribed traffic crossed the link: {wan_bytes} bytes"
+    );
+}
+
+#[test]
+fn router_rewrites_subjects() {
+    use infobus_core::router::RewriteRule;
+    let (mut sim, a_hosts, b_hosts, ra, rb) = two_bus_topology(22);
+    let all: Vec<HostId> = a_hosts
+        .iter()
+        .chain(b_hosts.iter())
+        .chain([&ra, &rb])
+        .copied()
+        .collect();
+    let fabric = BusFabric::install(&mut sim, &all, BusConfig::default());
+    fabric.link_buses(
+        &mut sim,
+        ra,
+        rb,
+        Some(RewriteRule {
+            from_prefix: "fab5".into(),
+            to_prefix: "hq.fab5".into(),
+        }),
+    );
+    fabric.attach_app(
+        &mut sim,
+        b_hosts[0],
+        "sub",
+        Box::new(Collector::new(&["hq.fab5.>"])),
+    );
+    sim.run_for(secs(3));
+    fabric.attach_app(
+        &mut sim,
+        a_hosts[0],
+        "pub",
+        Box::new(Ticker::new("fab5.cc.litho8", 3, millis(10))),
+    );
+    sim.run_for(secs(3));
+    let subjects = fabric
+        .with_app::<Collector, Vec<String>>(&mut sim, b_hosts[0], "sub", |c| {
+            c.messages
+                .iter()
+                .map(|m| m.subject.as_str().to_owned())
+                .collect()
+        })
+        .unwrap();
+    assert_eq!(subjects.len(), 3);
+    assert!(
+        subjects.iter().all(|s| s == "hq.fab5.cc.litho8"),
+        "{subjects:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Self-describing objects across the bus
+// ---------------------------------------------------------------------------
+
+#[test]
+fn new_types_propagate_with_the_data() {
+    let (mut sim, hosts) = lan_sim(23, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    struct TypedPublisher;
+    impl BusApp for TypedPublisher {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.registry()
+                .borrow_mut()
+                .register(
+                    TypeDescriptor::builder("Story")
+                        .attribute("headline", ValueType::Str)
+                        .build(),
+                )
+                .unwrap();
+            bus.set_timer(millis(20), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            let mut obj = bus.registry().borrow().instantiate("Story").unwrap();
+            obj.set("headline", "GM beats estimates");
+            bus.publish_object("news.equity.gmc", &obj, QoS::Reliable)
+                .unwrap();
+        }
+    }
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["news.>"])),
+    );
+    sim.run_for(millis(10));
+    fabric.attach_app(&mut sim, hosts[0], "pub", Box::new(TypedPublisher));
+    sim.run_for(secs(1));
+    // The receiver got a structured object of a type it never registered…
+    let headline = fabric
+        .with_app::<Collector, Option<String>>(&mut sim, hosts[1], "sub", |c| {
+            c.messages.first().and_then(|m| {
+                m.value
+                    .as_object()
+                    .and_then(|o| o.get("headline"))
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+            })
+        })
+        .unwrap();
+    assert_eq!(headline.as_deref(), Some("GM beats estimates"));
+    // …and its daemon's registry now knows the type (P2+P3 across nodes).
+    let daemon_pid = fabric.daemon(hosts[1]).unwrap();
+    let knows = sim
+        .with_proc::<infobus_core::BusDaemon, bool>(daemon_pid, |d| {
+            d.registry().borrow().contains("Story")
+        })
+        .unwrap();
+    assert!(knows);
+}

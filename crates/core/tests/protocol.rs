@@ -1,0 +1,573 @@
+//! Protocol edge cases: subscription lifecycle, recovery entitlement,
+//! reordering, duplicates, discovery corner cases, and RMI policies.
+
+use infobus_core::{
+    BusApp, BusConfig, BusCtx, BusFabric, BusMessage, CallId, DiscoveryReply, QoS, RetryMode,
+    RmiError, SelectionPolicy, ServiceObject,
+};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, FaultPlan, HostId, NetBuilder, Sim};
+use infobus_subject::SubscriptionId;
+use infobus_types::{TypeDescriptor, Value, ValueType};
+
+fn lan(seed: u64, n: usize) -> (Sim, Vec<HostId>) {
+    let mut b = NetBuilder::new(seed);
+    let seg = b.segment(EtherConfig::lan_10mbps());
+    let hosts: Vec<HostId> = (0..n).map(|i| b.host(&format!("h{i}"), &[seg])).collect();
+    (b.build(), hosts)
+}
+
+#[derive(Default)]
+struct Collector {
+    filters: Vec<String>,
+    messages: Vec<BusMessage>,
+    sub_ids: Vec<SubscriptionId>,
+}
+
+impl Collector {
+    fn new(filters: &[&str]) -> Self {
+        Collector {
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+    fn ints(&self) -> Vec<i64> {
+        self.messages
+            .iter()
+            .filter_map(|m| m.value.as_i64())
+            .collect()
+    }
+}
+
+impl BusApp for Collector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        for f in &self.filters {
+            self.sub_ids.push(bus.subscribe(f).unwrap());
+        }
+    }
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.messages.push(msg.clone());
+    }
+}
+
+struct Ticker {
+    subject: String,
+    count: i64,
+    sent: i64,
+    period: u64,
+    qos: QoS,
+}
+
+impl Ticker {
+    fn new(subject: &str, count: i64, period: u64) -> Self {
+        Ticker {
+            subject: subject.into(),
+            count,
+            sent: 0,
+            period,
+            qos: QoS::Reliable,
+        }
+    }
+}
+
+impl BusApp for Ticker {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(self.period, 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if self.sent < self.count {
+            let v = Value::I64(self.sent);
+            self.sent += 1;
+            bus.publish(&self.subject, &v, self.qos).unwrap();
+            bus.set_timer(self.period, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsubscribe_stops_delivery() {
+    struct SubUnsub {
+        got_before: usize,
+        got_after: usize,
+        sub: Option<SubscriptionId>,
+        unsubscribed: bool,
+    }
+    impl BusApp for SubUnsub {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            self.sub = Some(bus.subscribe("u.x").unwrap());
+            bus.set_timer(millis(300), 1);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.unsubscribe(self.sub.take().expect("subscribed"));
+            self.unsubscribed = true;
+        }
+        fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, _m: &BusMessage) {
+            if self.unsubscribed {
+                self.got_after += 1;
+            } else {
+                self.got_before += 1;
+            }
+        }
+    }
+    let (mut sim, hosts) = lan(70, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "app",
+        Box::new(SubUnsub {
+            got_before: 0,
+            got_after: 0,
+            sub: None,
+            unsubscribed: false,
+        }),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("u.x", 30, millis(30))),
+    );
+    sim.run_for(secs(2));
+    let (before, after) = fabric
+        .with_app::<SubUnsub, (usize, usize)>(&mut sim, hosts[1], "app", |a| {
+            (a.got_before, a.got_after)
+        })
+        .unwrap();
+    assert!(before >= 5, "received while subscribed ({before})");
+    assert!(
+        after <= 1,
+        "delivery stops after unsubscribe (allowing one in flight), got {after}"
+    );
+}
+
+#[test]
+fn overlapping_subscriptions_deliver_once_per_subscription() {
+    // Like the original (each subscription is an independent request),
+    // a message matching two of an application's filters arrives twice.
+    let (mut sim, hosts) = lan(71, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "app",
+        Box::new(Collector::new(&["o.>", "o.x"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("o.x", 3, millis(20))),
+    );
+    sim.run_for(secs(1));
+    let n = fabric
+        .with_app::<Collector, usize>(&mut sim, hosts[1], "app", |c| c.messages.len())
+        .unwrap();
+    assert_eq!(
+        n, 6,
+        "two matching subscriptions → two deliveries per message"
+    );
+}
+
+#[test]
+fn entitled_subscriber_recovers_lost_stream_head() {
+    // The subscriber exists *before* the stream starts, so it is entitled
+    // to the stream from sequence 1 — even if the first messages are lost
+    // on the wire, NAK recovery (triggered by later traffic or digests)
+    // must fill them in.
+    let (mut sim, hosts) = lan(72, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["e.x"])),
+    );
+    sim.run_for(millis(100));
+    // Lose everything while the first three messages go out…
+    sim.set_faults(
+        infobus_netsim::SegmentId(0),
+        FaultPlan {
+            recv_loss: 1.0,
+            ..FaultPlan::none()
+        },
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("e.x", 10, millis(30))),
+    );
+    sim.run_for(millis(100)); // ~3 messages vanish
+    sim.set_faults(infobus_netsim::SegmentId(0), FaultPlan::none());
+    sim.run_for(secs(3));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(
+        ints,
+        (0..10).collect::<Vec<i64>>(),
+        "head of stream recovered via NAK"
+    );
+}
+
+#[test]
+fn tail_loss_detected_by_stream_digest() {
+    // The *last* messages of a stream are lost; no further traffic ever
+    // reveals the gap. The publisher's idle-stream digest must trigger
+    // recovery.
+    let (mut sim, hosts) = lan(73, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["t.x"])),
+    );
+    sim.run_for(millis(100));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("t.x", 10, millis(20))),
+    );
+    sim.run_for(millis(20 * 7 + 10)); // 7 messages delivered cleanly
+    sim.set_faults(
+        infobus_netsim::SegmentId(0),
+        FaultPlan {
+            recv_loss: 1.0,
+            ..FaultPlan::none()
+        },
+    );
+    sim.run_for(millis(20 * 3 + 10)); // the last 3 vanish — and nothing follows
+    sim.set_faults(infobus_netsim::SegmentId(0), FaultPlan::none());
+    sim.run_for(secs(4)); // digest rounds + NAK recovery
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(
+        ints,
+        (0..10).collect::<Vec<i64>>(),
+        "tail recovered via digest + NAK"
+    );
+}
+
+#[test]
+fn reordering_jitter_does_not_break_per_sender_order() {
+    let mut b = NetBuilder::new(74);
+    let mut cfg = EtherConfig::lan_10mbps();
+    cfg.faults.reorder_jitter_us = 4_000; // frames overtake one another
+    let seg = b.segment(cfg);
+    let h0 = b.host("h0", &[seg]);
+    let h1 = b.host("h1", &[seg]);
+    let mut sim = b.build();
+    let fabric = BusFabric::install(&mut sim, &[h0, h1], BusConfig::default());
+    fabric.attach_app(&mut sim, h1, "sub", Box::new(Collector::new(&["r.x"])));
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        h0,
+        "pub",
+        Box::new(Ticker::new("r.x", 60, millis(2))),
+    );
+    sim.run_for(secs(4));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, h1, "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(
+        ints,
+        (0..60).collect::<Vec<i64>>(),
+        "holdback restores sender order"
+    );
+}
+
+#[test]
+fn duplicate_frames_do_not_duplicate_delivery() {
+    let mut b = NetBuilder::new(75);
+    let mut cfg = EtherConfig::lan_10mbps();
+    cfg.faults.dup = 0.5;
+    let seg = b.segment(cfg);
+    let h0 = b.host("h0", &[seg]);
+    let h1 = b.host("h1", &[seg]);
+    let mut sim = b.build();
+    let fabric = BusFabric::install(&mut sim, &[h0, h1], BusConfig::default());
+    fabric.attach_app(&mut sim, h1, "sub", Box::new(Collector::new(&["d.x"])));
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        h0,
+        "pub",
+        Box::new(Ticker::new("d.x", 40, millis(5))),
+    );
+    sim.run_for(secs(3));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, h1, "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(
+        ints,
+        (0..40).collect::<Vec<i64>>(),
+        "sequence dedup absorbs duplicates"
+    );
+    let stats = fabric.daemon_stats(&mut sim, h1).unwrap();
+    assert!(
+        stats.dups_dropped > 0,
+        "duplicates actually occurred: {stats:?}"
+    );
+}
+
+#[test]
+fn discovery_with_no_responders_returns_empty() {
+    struct Seeker {
+        replies: Option<Vec<DiscoveryReply>>,
+    }
+    impl BusApp for Seeker {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.discover("svc.ghost", 1).unwrap();
+        }
+        fn on_discovery(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            _t: u64,
+            replies: Vec<DiscoveryReply>,
+        ) {
+            self.replies = Some(replies);
+        }
+    }
+    let (mut sim, hosts) = lan(76, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "seek",
+        Box::new(Seeker { replies: None }),
+    );
+    sim.run_for(secs(1));
+    let replies = fabric
+        .with_app::<Seeker, Option<Vec<DiscoveryReply>>>(&mut sim, hosts[0], "seek", |s| {
+            s.replies.clone()
+        })
+        .unwrap();
+    assert_eq!(replies, Some(vec![]), "window closes with zero replies");
+}
+
+#[test]
+fn discovery_responder_with_wildcard_filter() {
+    struct Responder;
+    impl BusApp for Responder {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            // One responder covers a whole family of service subjects.
+            bus.respond_to_discovery("svc.printers.>", Value::str("print-farm"))
+                .unwrap();
+        }
+    }
+    struct Seeker {
+        replies: Option<Vec<DiscoveryReply>>,
+    }
+    impl BusApp for Seeker {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.set_timer(millis(100), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.discover("svc.printers.floor3", 1).unwrap();
+        }
+        fn on_discovery(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            _t: u64,
+            replies: Vec<DiscoveryReply>,
+        ) {
+            self.replies = Some(replies);
+        }
+    }
+    let (mut sim, hosts) = lan(77, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "resp", Box::new(Responder));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "seek",
+        Box::new(Seeker { replies: None }),
+    );
+    sim.run_for(secs(1));
+    let replies = fabric
+        .with_app::<Seeker, Option<Vec<DiscoveryReply>>>(&mut sim, hosts[0], "seek", |s| {
+            s.replies.clone()
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].info, Value::str("print-farm"));
+}
+
+#[test]
+fn batching_flushes_on_delay_not_just_on_fullness() {
+    // A single small message with batching on must still arrive promptly
+    // (within the batch delay), not wait for the batch to fill.
+    let (mut sim, hosts) = lan(78, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::throughput());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["b.x"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("b.x", 1, millis(10))),
+    );
+    sim.run_for(millis(40)); // 10ms until publish + batch_delay 2ms + transit
+    let n = fabric
+        .with_app::<Collector, usize>(&mut sim, hosts[1], "sub", |c| c.messages.len())
+        .unwrap();
+    assert_eq!(n, 1, "lone message flushed by the batch timer");
+}
+
+#[test]
+fn rmi_random_policy_spreads_load() {
+    struct Echo {
+        invocations: u64,
+    }
+    impl ServiceObject for Echo {
+        fn descriptor(&self) -> TypeDescriptor {
+            TypeDescriptor::builder("Echo")
+                .idempotent_operation("ping", vec![], ValueType::I64)
+                .build()
+        }
+        fn invoke(
+            &mut self,
+            _op: &str,
+            _args: Vec<Value>,
+            _bus: &mut BusCtx<'_, '_>,
+        ) -> Result<Value, RmiError> {
+            self.invocations += 1;
+            Ok(Value::I64(self.invocations as i64))
+        }
+    }
+    struct Server;
+    impl BusApp for Server {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.export_service("svc.echo", Box::new(Echo { invocations: 0 }))
+                .unwrap();
+        }
+    }
+    struct Caller {
+        done: usize,
+    }
+    impl BusApp for Caller {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.set_timer(millis(100), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            bus.rmi_call(
+                "svc.echo",
+                "ping",
+                vec![],
+                SelectionPolicy::Random,
+                RetryMode::Failover,
+            )
+            .unwrap();
+        }
+        fn on_rmi_reply(
+            &mut self,
+            bus: &mut BusCtx<'_, '_>,
+            _call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            result.expect("ping ok");
+            self.done += 1;
+            if self.done < 40 {
+                bus.set_timer(millis(60), 0);
+            }
+        }
+    }
+    let (mut sim, hosts) = lan(79, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, hosts[1], "s1", Box::new(Server));
+    fabric.attach_app(&mut sim, hosts[2], "s2", Box::new(Server));
+    sim.run_for(millis(50));
+    fabric.attach_app(&mut sim, hosts[0], "caller", Box::new(Caller { done: 0 }));
+    sim.run_for(secs(10));
+    assert_eq!(
+        fabric.with_app::<Caller, usize>(&mut sim, hosts[0], "caller", |c| c.done),
+        Some(40)
+    );
+    let served1 = fabric.daemon_stats(&mut sim, hosts[1]).unwrap().rmi_served;
+    let served2 = fabric.daemon_stats(&mut sim, hosts[2]).unwrap().rmi_served;
+    assert_eq!(served1 + served2, 40);
+    assert!(
+        served1 >= 8 && served2 >= 8,
+        "random policy spreads calls: {served1} vs {served2}"
+    );
+}
+
+#[test]
+fn late_subscriber_not_flooded_by_digests() {
+    // A stream finishes and digests circulate; a subscriber that appears
+    // *afterwards* must not have the ended stream replayed into it.
+    let (mut sim, hosts) = lan(80, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "pub",
+        Box::new(Ticker::new("ld.x", 5, millis(10))),
+    );
+    sim.run_for(secs(1)); // stream over; digests have circulated
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "late",
+        Box::new(Collector::new(&["ld.x"])),
+    );
+    sim.run_for(secs(2));
+    let n = fabric
+        .with_app::<Collector, usize>(&mut sim, hosts[1], "late", |c| c.messages.len())
+        .unwrap();
+    assert_eq!(n, 0, "history is not replayed to late subscribers");
+}
+
+#[test]
+fn guaranteed_waits_for_subscriber_to_appear() {
+    // A guaranteed publication with *no* subscriber anywhere stays in the
+    // publisher's ledger and is delivered when a subscriber finally
+    // appears (retry-until-interested).
+    let (mut sim, hosts) = lan(81, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    struct OneShot;
+    impl BusApp for OneShot {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.publish("gw.x", &Value::I64(99), QoS::Guaranteed)
+                .unwrap();
+        }
+    }
+    fabric.attach_app(&mut sim, hosts[0], "pub", Box::new(OneShot));
+    sim.run_for(secs(2));
+    let stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert_eq!(
+        stats.gd_pending, 1,
+        "no subscriber yet: ledger holds the message"
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "sub",
+        Box::new(Collector::new(&["gw.x"])),
+    );
+    sim.run_for(secs(4));
+    let ints = fabric
+        .with_app::<Collector, Vec<i64>>(&mut sim, hosts[1], "sub", |c| c.ints())
+        .unwrap();
+    assert_eq!(ints, vec![99]);
+    let stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert_eq!(
+        stats.gd_pending, 0,
+        "ledger drained once the subscriber acked"
+    );
+}

@@ -1,0 +1,218 @@
+//! Configuration for segments, hosts, and fault injection.
+
+use crate::Micros;
+
+/// Parameters of one shared Ethernet segment.
+///
+/// The defaults model the paper's testbed: a lightly loaded 10 Mb/s
+/// Ethernet. Frames occupy the shared medium for their serialization time;
+/// broadcast frames are received by every attached host at the cost of one
+/// transmission — the property the Information Bus exploits so that
+/// "the same data can be delivered to a large number of destinations
+/// without a performance penalty".
+#[derive(Debug, Clone)]
+pub struct EtherConfig {
+    /// Raw medium bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Per-frame overhead bytes (preamble, MAC header, FCS, inter-frame gap).
+    pub frame_overhead: usize,
+    /// Minimum frame payload size on the wire, in bytes.
+    pub min_frame: usize,
+    /// Maximum datagram fragment payload per frame (UDP/IP payload per MTU).
+    pub mtu_payload: usize,
+    /// One-way propagation delay across the segment, in microseconds.
+    pub prop_us: Micros,
+    /// Fault plan applied to traffic on this segment.
+    pub faults: FaultPlan,
+    /// Offered background load from unrelated traffic, in bits per second.
+    ///
+    /// Background frames contend for the medium and can collide with data
+    /// frames (see [`FaultPlan::collision_loss`]). The paper attributes the
+    /// throughput dip between 5 KB and 10 KB messages to exactly such
+    /// "collisions from unrelated network activity".
+    pub background_bps: u64,
+    /// Size of each background frame, in bytes.
+    pub background_frame: usize,
+}
+
+impl EtherConfig {
+    /// The paper's testbed: 10 Mb/s shared Ethernet, no injected faults.
+    pub fn lan_10mbps() -> Self {
+        EtherConfig {
+            bandwidth_bps: 10_000_000,
+            frame_overhead: 38,
+            min_frame: 64,
+            mtu_payload: 1472,
+            prop_us: 5,
+            faults: FaultPlan::none(),
+            background_bps: 0,
+            background_frame: 800,
+        }
+    }
+}
+
+impl Default for EtherConfig {
+    fn default() -> Self {
+        EtherConfig::lan_10mbps()
+    }
+}
+
+/// Probabilistic fault injection applied to datagram traffic.
+///
+/// All probabilities are in `[0, 1]` and are evaluated with the
+/// simulation's seeded RNG, so fault sequences are reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability that a frame is corrupted on the wire (lost for *all*
+    /// receivers).
+    pub wire_loss: f64,
+    /// Probability that a given receiver independently drops an arriving
+    /// frame (input-queue overrun).
+    pub recv_loss: f64,
+    /// Probability that an arriving frame is duplicated at the receiver.
+    pub dup: f64,
+    /// Maximum extra delivery jitter, in microseconds, applied per frame
+    /// (produces reordering between fragments and datagrams).
+    pub reorder_jitter_us: Micros,
+    /// Probability that a frame which had to wait for a busy medium is
+    /// lost to a collision.
+    pub collision_loss: f64,
+}
+
+impl FaultPlan {
+    /// No injected faults: the network still orders frames per segment but
+    /// never drops, duplicates, or jitters them.
+    pub fn none() -> Self {
+        FaultPlan {
+            wire_loss: 0.0,
+            recv_loss: 0.0,
+            dup: 0.0,
+            reorder_jitter_us: 0,
+            collision_loss: 0.0,
+        }
+    }
+
+    /// A mildly lossy network: 1% receiver loss, small jitter.
+    pub fn lossy() -> Self {
+        FaultPlan {
+            wire_loss: 0.002,
+            recv_loss: 0.01,
+            dup: 0.002,
+            reorder_jitter_us: 400,
+            collision_loss: 0.0,
+        }
+    }
+
+    /// A harsh network for stress tests: heavy loss, duplication, jitter.
+    pub fn harsh() -> Self {
+        FaultPlan {
+            wire_loss: 0.02,
+            recv_loss: 0.08,
+            dup: 0.02,
+            reorder_jitter_us: 3_000,
+            collision_loss: 0.05,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Per-host processing-cost model.
+///
+/// The evaluation's throughput ceiling (~300 KB/s through a raw UDP socket
+/// on the paper's workstations) was host-limited, not wire-limited; these
+/// parameters reproduce that: each transmitted or received fragment charges
+/// a fixed cost plus a per-byte cost against the host's single CPU.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Fixed CPU cost to send one fragment, in microseconds.
+    pub send_fixed_us: Micros,
+    /// Per-byte CPU cost to send, in microseconds per byte.
+    pub send_per_byte_us: f64,
+    /// Fixed CPU cost to receive one fragment, in microseconds.
+    pub recv_fixed_us: Micros,
+    /// Per-byte CPU cost to receive, in microseconds per byte.
+    pub recv_per_byte_us: f64,
+    /// Latency of one non-volatile storage write, in microseconds.
+    pub nv_write_us: Micros,
+    /// Fixed cost of local inter-process delivery (application/daemon hop).
+    pub ipc_fixed_us: Micros,
+    /// Per-byte cost of local inter-process delivery.
+    pub ipc_per_byte_us: f64,
+}
+
+impl HostConfig {
+    /// Calibrated to the paper's SPARCstation-2-class hosts: the UDP path
+    /// tops out near 300–400 KB/s and per-packet costs dominate small
+    /// messages.
+    pub fn sparcstation2() -> Self {
+        HostConfig {
+            send_fixed_us: 200,
+            send_per_byte_us: 1.1,
+            recv_fixed_us: 200,
+            recv_per_byte_us: 1.1,
+            nv_write_us: 18_000,
+            ipc_fixed_us: 80,
+            ipc_per_byte_us: 0.45,
+        }
+    }
+
+    /// An effectively free host model, for protocol-logic tests that do
+    /// not care about timing realism.
+    pub fn instant() -> Self {
+        HostConfig {
+            send_fixed_us: 1,
+            send_per_byte_us: 0.0,
+            recv_fixed_us: 1,
+            recv_per_byte_us: 0.0,
+            nv_write_us: 1,
+            ipc_fixed_us: 1,
+            ipc_per_byte_us: 0.0,
+        }
+    }
+
+    /// CPU cost, in microseconds, to send `bytes` in one fragment.
+    pub fn send_cost(&self, bytes: usize) -> Micros {
+        self.send_fixed_us + (bytes as f64 * self.send_per_byte_us) as Micros
+    }
+
+    /// CPU cost, in microseconds, to receive `bytes` in one fragment.
+    pub fn recv_cost(&self, bytes: usize) -> Micros {
+        self.recv_fixed_us + (bytes as f64 * self.recv_per_byte_us) as Micros
+    }
+
+    /// Cost, in microseconds, of one local inter-process hop of `bytes`.
+    pub fn ipc_cost(&self, bytes: usize) -> Micros {
+        self.ipc_fixed_us + (bytes as f64 * self.ipc_per_byte_us) as Micros
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig::sparcstation2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_is_affine() {
+        let h = HostConfig::sparcstation2();
+        assert_eq!(h.send_cost(0), h.send_fixed_us);
+        assert!(h.send_cost(1000) > h.send_cost(100));
+        assert_eq!(h.ipc_cost(0), h.ipc_fixed_us);
+    }
+
+    #[test]
+    fn defaults_are_paper_testbed() {
+        let e = EtherConfig::default();
+        assert_eq!(e.bandwidth_bps, 10_000_000);
+        assert_eq!(e.faults.recv_loss, 0.0);
+    }
+}

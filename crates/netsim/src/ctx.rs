@@ -1,0 +1,249 @@
+//! The capability handle a process uses to interact with the simulated
+//! world.
+
+use crate::config::HostConfig;
+use crate::kernel::Kernel;
+use crate::{ConnId, HostId, Micros, NetError, ProcId, SegmentId, SockAddr};
+
+/// The interface between a [`crate::Process`] and the simulator kernel.
+///
+/// A `Ctx` is passed to every process handler. All operations take effect
+/// in virtual time: costs charged against the host CPU delay subsequent
+/// sends and receives, exactly as a busy workstation would.
+pub struct Ctx<'a> {
+    pub(crate) kernel: &'a mut Kernel,
+    pub(crate) proc: ProcId,
+    pub(crate) exited: bool,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(kernel: &'a mut Kernel, proc: ProcId) -> Self {
+        Ctx {
+            kernel,
+            proc,
+            exited: false,
+        }
+    }
+
+    /// Current virtual time, in microseconds.
+    pub fn now(&self) -> Micros {
+        self.kernel.now
+    }
+
+    /// This process's identifier.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> HostId {
+        self.kernel.host_of(self.proc)
+    }
+
+    /// The name of the host this process runs on.
+    pub fn host_name(&self) -> String {
+        self.kernel.hosts[self.host().0 as usize].name.clone()
+    }
+
+    /// The segments this process's host is attached to.
+    pub fn segments(&self) -> Vec<SegmentId> {
+        self.kernel.hosts[self.host().0 as usize].segments.clone()
+    }
+
+    /// The host's processing-cost model (for layered protocols that model
+    /// additional local hops, like the bus daemon's application delivery).
+    pub fn host_config(&self) -> HostConfig {
+        self.kernel.hosts[self.host().0 as usize].config.clone()
+    }
+
+    /// Resolves a host by name, returning an address on it.
+    ///
+    /// This is a driver/test convenience — bus protocols never need it
+    /// (communication is anonymous), but low-level tests do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] if no host has this name.
+    pub fn peer_addr(&self, host_name: &str, port: u16) -> Result<SockAddr, NetError> {
+        let host = self
+            .kernel
+            .host_names
+            .get(host_name)
+            .copied()
+            .ok_or_else(|| NetError::UnknownHost(host_name.to_owned()))?;
+        Ok(SockAddr::new(host, port))
+    }
+
+    /// The source address this process's datagrams carry.
+    pub fn local_addr(&self) -> SockAddr {
+        self.kernel.src_addr(self.proc)
+    }
+
+    /// Binds a datagram port on this host to this process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortInUse`] if another live process on the same
+    /// host already bound the port.
+    pub fn bind(&mut self, port: u16) -> Result<(), NetError> {
+        self.kernel.bind(self.proc, port)
+    }
+
+    /// Sends an unreliable datagram to `dst`, fragmenting if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] if the destination host shares no
+    /// segment with this host, or [`NetError::DatagramTooLarge`].
+    pub fn send_datagram(&mut self, dst: SockAddr, payload: Vec<u8>) -> Result<(), NetError> {
+        self.kernel
+            .send_datagram(self.proc, Some(dst), None, payload)
+    }
+
+    /// Broadcasts a datagram to `port` on every other host of every
+    /// segment this host is attached to.
+    ///
+    /// A broadcast costs one transmission per segment regardless of the
+    /// number of receivers — the Ethernet property the bus exploits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DatagramTooLarge`] for oversized payloads.
+    pub fn broadcast(&mut self, port: u16, payload: Vec<u8>) -> Result<(), NetError> {
+        self.kernel
+            .send_datagram(self.proc, None, Some((None, port)), payload)
+    }
+
+    /// Broadcasts a datagram on one specific segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DatagramTooLarge`] for oversized payloads.
+    pub fn broadcast_on(
+        &mut self,
+        segment: SegmentId,
+        port: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.kernel
+            .send_datagram(self.proc, None, Some((Some(segment), port)), payload)
+    }
+
+    /// Schedules a timer; `token` is returned to
+    /// [`crate::Process::on_timer`]. Returns a timer id usable with
+    /// [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: Micros, token: u64) -> u64 {
+        self.kernel.set_timer(self.proc, delay, token)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, timer_id: u64) {
+        self.kernel.cancel_timer(timer_id);
+    }
+
+    /// Charges `cost` microseconds against this host's CPU, delaying
+    /// subsequent network operations. Layered protocols use this to model
+    /// work the simulator cannot see (marshalling, local IPC hops).
+    pub fn charge_cpu(&mut self, cost: Micros) {
+        let host = self.host();
+        let h = &mut self.kernel.hosts[host.0 as usize];
+        let start = h.cpu_free.max(self.kernel.now);
+        h.cpu_free = start + cost;
+    }
+
+    // ----- connections ----------------------------------------------------
+
+    /// Starts accepting connections on `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortInUse`] if the port already has a listener.
+    pub fn listen_conn(&mut self, port: u16) -> Result<(), NetError> {
+        self.kernel.listen_conn(self.proc, port)
+    }
+
+    /// Opens a connection to `dst`. Completion is reported via
+    /// [`crate::ConnEvent::Connected`] (or `Closed` on failure). Messages
+    /// may be sent immediately; they are queued behind connection setup.
+    pub fn connect(&mut self, dst: SockAddr) -> ConnId {
+        self.kernel.connect(self.proc, dst)
+    }
+
+    /// Sends one framed message on a connection. Delivery is reliable and
+    /// in order while both endpoints are up and connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnClosed`] if the connection is unknown or
+    /// closed.
+    pub fn conn_send(&mut self, conn: ConnId, msg: Vec<u8>) -> Result<(), NetError> {
+        self.kernel.conn_send(self.proc, conn, msg)
+    }
+
+    /// Closes a connection; the peer receives
+    /// [`crate::ConnEvent::Closed`].
+    pub fn conn_close(&mut self, conn: ConnId) {
+        self.kernel.conn_close(self.proc, conn);
+    }
+
+    /// Returns the peer address of a connection, if it exists.
+    pub fn conn_peer(&self, conn: ConnId) -> Option<SockAddr> {
+        self.kernel.conn_peer_addr(conn, self.proc)
+    }
+
+    // ----- non-volatile storage ---------------------------------------------
+
+    /// Writes a value to this host's non-volatile storage. The write
+    /// charges the host CPU for the configured write latency. Values
+    /// survive process crashes and restarts.
+    pub fn nv_put(&mut self, key: &str, value: Vec<u8>) {
+        let host = self.host();
+        self.kernel.nv_put(host, key, value);
+    }
+
+    /// Reads a value from this host's non-volatile storage.
+    pub fn nv_get(&self, key: &str) -> Option<Vec<u8>> {
+        self.kernel.nv_get(self.host(), key).cloned()
+    }
+
+    /// Deletes a value; returns `true` if it existed.
+    pub fn nv_delete(&mut self, key: &str) -> bool {
+        let host = self.host();
+        self.kernel.nv_delete(host, key)
+    }
+
+    /// Lists keys with the given prefix, sorted.
+    pub fn nv_keys(&self, prefix: &str) -> Vec<String> {
+        self.kernel.nv_keys(self.host(), prefix)
+    }
+
+    // ----- process management -----------------------------------------------
+
+    /// Spawns a new process on `host`. The new process starts after the
+    /// current handler returns.
+    pub fn spawn(&mut self, host: HostId, process: Box<dyn crate::Process>) -> ProcId {
+        let id = self.kernel.alloc_proc(host);
+        self.kernel.pending_spawns.push((id, process));
+        id
+    }
+
+    /// Terminates this process cleanly after the current handler returns
+    /// (used, for example, by an obsolete server going off-line once its
+    /// outstanding requests are drained).
+    pub fn exit(&mut self) {
+        self.exited = true;
+    }
+
+    /// Draws a uniformly random `f64` in `[0, 1)` from the simulation's
+    /// deterministic RNG.
+    pub fn random(&mut self) -> f64 {
+        use rand::Rng;
+        self.kernel.rng.gen()
+    }
+
+    /// Appends a line to the simulation trace (when tracing is enabled).
+    pub fn trace(&mut self, line: impl FnOnce() -> String) {
+        self.kernel.trace(line);
+    }
+}

@@ -1,0 +1,92 @@
+//! Internal event types for the discrete-event kernel.
+
+use std::any::Any;
+use std::cmp::Ordering;
+
+use crate::{ConnId, HostId, Micros, ProcId, SegmentId, SockAddr};
+
+/// A scheduled occurrence. Ordered by `(at, seq)` so simultaneous events
+/// fire in schedule order, keeping runs deterministic.
+pub(crate) struct Event {
+    pub at: Micros,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One fragment of a datagram in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct Fragment {
+    pub src: SockAddr,
+    pub dst_port: u16,
+    pub broadcast: bool,
+    pub dgram_id: u64,
+    pub index: u16,
+    pub total: u16,
+    pub bytes: Vec<u8>,
+}
+
+pub(crate) enum EventKind {
+    /// Run `on_start` for a newly spawned process.
+    Start(ProcId),
+    /// A frame leaves the sender's CPU and contends for the medium.
+    FrameTx {
+        src_host: HostId,
+        segment: SegmentId,
+        unicast_to: Option<HostId>,
+        frag: Fragment,
+    },
+    /// A timer fires.
+    Timer {
+        proc: ProcId,
+        timer_id: u64,
+        token: u64,
+    },
+    /// A frame reaches a host's NIC (before receive-CPU charging).
+    FragArrive { dst_host: HostId, frag: Fragment },
+    /// A frame has been processed by the receiving host's CPU.
+    FragDeliver { dst_host: HostId, frag: Fragment },
+    /// Reassembly deadline for a partially received datagram.
+    ReasmTimeout {
+        dst_host: HostId,
+        key: (SockAddr, u64),
+    },
+    /// Deliver a driver command to a process.
+    Command { proc: ProcId, cmd: Box<dyn Any> },
+    /// Connection established (delivered to the named endpoint).
+    ConnUp {
+        proc: ProcId,
+        conn: ConnId,
+        accepted: Option<SockAddr>,
+    },
+    /// Connection message delivery.
+    ConnData {
+        proc: ProcId,
+        conn: ConnId,
+        msg: Vec<u8>,
+    },
+    /// Connection closed notification.
+    ConnClosed { proc: ProcId, conn: ConnId },
+    /// Background traffic generator tick for a segment.
+    Background { segment: SegmentId },
+}

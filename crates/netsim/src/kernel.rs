@@ -1,0 +1,954 @@
+//! The discrete-event kernel: time, the wire, hosts, connections, storage.
+
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{EtherConfig, HostConfig};
+use crate::event::{Event, EventKind, Fragment};
+use crate::proc::{ConnEvent, Datagram};
+use crate::stats::{SegmentStats, Stats};
+use crate::{ConnId, HostId, Micros, NetError, ProcId, SegmentId, SockAddr, MAX_DATAGRAM};
+
+/// How long a partial datagram waits for missing fragments.
+const REASSEMBLY_TIMEOUT: Micros = 3_000_000;
+/// Fixed part of connection setup latency.
+const CONN_SETUP_US: Micros = 600;
+/// How long a failed `connect` waits before reporting closure.
+const CONN_CONNECT_TIMEOUT: Micros = 1_500_000;
+/// How long a send on a partitioned connection waits before it breaks.
+const CONN_BREAK_DELAY: Micros = 800_000;
+/// Fixed per-message connection latency beyond serialization.
+const CONN_FIXED_US: Micros = 400;
+
+pub(crate) struct HostState {
+    pub name: String,
+    pub config: HostConfig,
+    pub segments: Vec<SegmentId>,
+    pub cpu_free: Micros,
+}
+
+pub(crate) struct SegmentState {
+    pub config: EtherConfig,
+    pub hosts: Vec<HostId>,
+    pub medium_free: Micros,
+    pub stats: SegmentStats,
+}
+
+pub(crate) struct ProcMeta {
+    pub host: HostId,
+    pub alive: bool,
+    pub bound_ports: Vec<u16>,
+}
+
+struct ConnState {
+    /// Endpoint 0 is the initiator, endpoint 1 the acceptor.
+    procs: [ProcId; 2],
+    addrs: [SockAddr; 2],
+    closed: bool,
+    /// Next permitted delivery time per direction (0 = from initiator).
+    next_deliver: [Micros; 2],
+}
+
+struct Reassembly {
+    total: u16,
+    have: Vec<bool>,
+    parts: Vec<Vec<u8>>,
+    received: u16,
+    dst_port: u16,
+    broadcast: bool,
+    src: SockAddr,
+}
+
+/// What the kernel asks the dispatcher (in [`crate::Sim`]) to run.
+pub(crate) enum Dispatch {
+    Start(ProcId),
+    Timer(ProcId, u64),
+    Datagram(ProcId, Datagram),
+    Conn(ProcId, ConnEvent),
+    Command(ProcId, Box<dyn Any>),
+}
+
+pub(crate) struct Kernel {
+    pub now: Micros,
+    queue: BinaryHeap<Event>,
+    next_seq: u64,
+    pub rng: SmallRng,
+    pub hosts: Vec<HostState>,
+    pub host_names: HashMap<String, HostId>,
+    pub segments: Vec<SegmentState>,
+    pub meta: Vec<ProcMeta>,
+    pub dgram_bindings: HashMap<(HostId, u16), ProcId>,
+    pub conn_listeners: HashMap<(HostId, u16), ProcId>,
+    conns: HashMap<ConnId, ConnState>,
+    next_conn: u64,
+    next_timer: u64,
+    cancelled_timers: HashSet<u64>,
+    next_dgram: u64,
+    reassembly: HashMap<(HostId, SockAddr, u64), Reassembly>,
+    nv: HashMap<(HostId, String), Vec<u8>>,
+    /// Unordered host pairs that cannot currently communicate.
+    blocked_pairs: HashSet<(u32, u32)>,
+    detached_hosts: HashSet<HostId>,
+    pub stats: Stats,
+    pub trace_enabled: bool,
+    pub trace: Vec<String>,
+    /// Processes spawned from inside a handler, installed by `Sim` after
+    /// the handler returns.
+    pub pending_spawns: Vec<(ProcId, Box<dyn crate::Process>)>,
+    /// Processes that asked to exit from inside a handler.
+    pub pending_exits: Vec<ProcId>,
+}
+
+impl Kernel {
+    pub fn new(seed: u64) -> Self {
+        Kernel {
+            now: 0,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            hosts: Vec::new(),
+            host_names: HashMap::new(),
+            segments: Vec::new(),
+            meta: Vec::new(),
+            dgram_bindings: HashMap::new(),
+            conn_listeners: HashMap::new(),
+            conns: HashMap::new(),
+            next_conn: 0,
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            next_dgram: 0,
+            reassembly: HashMap::new(),
+            nv: HashMap::new(),
+            blocked_pairs: HashSet::new(),
+            detached_hosts: HashSet::new(),
+            stats: Stats::default(),
+            trace_enabled: false,
+            trace: Vec::new(),
+            pending_spawns: Vec::new(),
+            pending_exits: Vec::new(),
+        }
+    }
+
+    pub fn schedule(&mut self, at: Micros, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event {
+            at: at.max(self.now),
+            seq,
+            kind,
+        });
+    }
+
+    pub fn next_event_at(&self) -> Option<Micros> {
+        self.queue.peek().map(|e| e.at)
+    }
+
+    pub fn pop_event(&mut self) -> Option<Event> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "time must not run backwards");
+        self.now = ev.at;
+        self.stats.events_processed += 1;
+        Some(ev)
+    }
+
+    pub fn trace(&mut self, f: impl FnOnce() -> String) {
+        if self.trace_enabled {
+            let line = format!("[{}] {}", crate::time::fmt_time(self.now), f());
+            self.trace.push(line);
+        }
+    }
+
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    // ----- topology ------------------------------------------------------
+
+    /// Allocates a process slot on `host`; the process box is installed by
+    /// `Sim` (immediately, or after the current handler for in-handler
+    /// spawns).
+    pub fn alloc_proc(&mut self, host: HostId) -> ProcId {
+        let id = ProcId(self.meta.len() as u32);
+        self.meta.push(ProcMeta {
+            host,
+            alive: true,
+            bound_ports: Vec::new(),
+        });
+        id
+    }
+
+    pub fn alive(&self, proc: ProcId) -> bool {
+        self.meta
+            .get(proc.0 as usize)
+            .map(|m| m.alive)
+            .unwrap_or(false)
+    }
+
+    pub fn host_of(&self, proc: ProcId) -> HostId {
+        self.meta[proc.0 as usize].host
+    }
+
+    pub fn reachable(&self, a: HostId, b: HostId) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.detached_hosts.contains(&a) || self.detached_hosts.contains(&b) {
+            return false;
+        }
+        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        !self.blocked_pairs.contains(&key)
+    }
+
+    pub fn block_pair(&mut self, a: HostId, b: HostId) {
+        if a != b {
+            let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            self.blocked_pairs.insert(key);
+        }
+    }
+
+    pub fn heal_all(&mut self) {
+        self.blocked_pairs.clear();
+        self.detached_hosts.clear();
+    }
+
+    pub fn detach_host(&mut self, h: HostId) {
+        self.detached_hosts.insert(h);
+    }
+
+    pub fn reattach_host(&mut self, h: HostId) {
+        self.detached_hosts.remove(&h);
+    }
+
+    /// Finds a segment shared by both hosts, preferring `from`'s order.
+    fn shared_segment(&self, from: HostId, to: HostId) -> Option<SegmentId> {
+        self.hosts[from.0 as usize]
+            .segments
+            .iter()
+            .copied()
+            .find(|seg| self.segments[seg.0 as usize].hosts.contains(&to))
+    }
+
+    // ----- timers ---------------------------------------------------------
+
+    pub fn set_timer(&mut self, proc: ProcId, delay: Micros, token: u64) -> u64 {
+        let timer_id = self.next_timer;
+        self.next_timer += 1;
+        self.schedule(
+            self.now + delay,
+            EventKind::Timer {
+                proc,
+                timer_id,
+                token,
+            },
+        );
+        timer_id
+    }
+
+    pub fn cancel_timer(&mut self, timer_id: u64) {
+        self.cancelled_timers.insert(timer_id);
+    }
+
+    // ----- datagram layer -------------------------------------------------
+
+    /// Source address a process's datagrams carry.
+    pub fn src_addr(&self, proc: ProcId) -> SockAddr {
+        let meta = &self.meta[proc.0 as usize];
+        let port = meta
+            .bound_ports
+            .first()
+            .copied()
+            .unwrap_or(40_000 + proc.0 as u16 % 20_000);
+        SockAddr::new(meta.host, port)
+    }
+
+    pub fn bind(&mut self, proc: ProcId, port: u16) -> Result<(), NetError> {
+        let host = self.host_of(proc);
+        if self.dgram_bindings.contains_key(&(host, port)) {
+            return Err(NetError::PortInUse(port));
+        }
+        self.dgram_bindings.insert((host, port), proc);
+        self.meta[proc.0 as usize].bound_ports.push(port);
+        Ok(())
+    }
+
+    /// Sends a datagram, fragmenting as needed. `segment` limits a
+    /// broadcast to one segment; unicast picks a shared segment.
+    pub fn send_datagram(
+        &mut self,
+        from: ProcId,
+        dst: Option<SockAddr>,
+        broadcast_port: Option<(Option<SegmentId>, u16)>,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        if payload.len() > MAX_DATAGRAM {
+            return Err(NetError::DatagramTooLarge(payload.len()));
+        }
+        let src_host = self.host_of(from);
+        let src = self.src_addr(from);
+        self.stats.datagrams_sent += 1;
+        let dgram_id = self.next_dgram;
+        self.next_dgram += 1;
+
+        match (dst, broadcast_port) {
+            (Some(dst), None) => {
+                if dst.host == src_host {
+                    self.send_loopback(src_host, src, dst, dgram_id, payload);
+                    return Ok(());
+                }
+                let seg = self
+                    .shared_segment(src_host, dst.host)
+                    .ok_or(NetError::NoRoute(dst.host))?;
+                self.send_on_segment(
+                    src_host,
+                    seg,
+                    src,
+                    dst.port,
+                    Some(dst.host),
+                    dgram_id,
+                    payload,
+                );
+                Ok(())
+            }
+            (None, Some((seg, port))) => {
+                let segs: Vec<SegmentId> = match seg {
+                    Some(s) => vec![s],
+                    None => self.hosts[src_host.0 as usize].segments.clone(),
+                };
+                for (i, seg) in segs.iter().enumerate() {
+                    // A broadcast on several segments re-sends the payload
+                    // on each; keep distinct datagram ids per segment.
+                    let id = if i == 0 {
+                        dgram_id
+                    } else {
+                        let id = self.next_dgram;
+                        self.next_dgram += 1;
+                        id
+                    };
+                    self.send_on_segment(src_host, *seg, src, port, None, id, payload.clone());
+                }
+                Ok(())
+            }
+            _ => unreachable!("exactly one of dst/broadcast is provided by Ctx"),
+        }
+    }
+
+    /// Local (same-host) delivery: no medium, no faults, CPU cost only.
+    fn send_loopback(
+        &mut self,
+        host: HostId,
+        src: SockAddr,
+        dst: SockAddr,
+        dgram_id: u64,
+        payload: Vec<u8>,
+    ) {
+        let cost = self.hosts[host.0 as usize].config.ipc_cost(payload.len());
+        let at = {
+            let h = &mut self.hosts[host.0 as usize];
+            let start = h.cpu_free.max(self.now);
+            h.cpu_free = start + cost;
+            h.cpu_free
+        };
+        let frag = Fragment {
+            src,
+            dst_port: dst.port,
+            broadcast: false,
+            dgram_id,
+            index: 0,
+            total: 1,
+            bytes: payload,
+        };
+        self.schedule(
+            at,
+            EventKind::FragDeliver {
+                dst_host: host,
+                frag,
+            },
+        );
+    }
+
+    /// Fragments `payload` and transmits each fragment over `seg`.
+    fn send_on_segment(
+        &mut self,
+        src_host: HostId,
+        seg: SegmentId,
+        src: SockAddr,
+        dst_port: u16,
+        unicast_to: Option<HostId>,
+        dgram_id: u64,
+        payload: Vec<u8>,
+    ) {
+        let mtu = self.segments[seg.0 as usize].config.mtu_payload;
+        let total = payload.len().div_ceil(mtu).max(1) as u16;
+        let mut offset = 0usize;
+        for index in 0..total {
+            let end = (offset + mtu).min(payload.len());
+            let bytes = payload[offset..end].to_vec();
+            offset = end;
+            let frag = Fragment {
+                src,
+                dst_port,
+                broadcast: unicast_to.is_none(),
+                dgram_id,
+                index,
+                total,
+                bytes,
+            };
+            self.transmit_frame(src_host, seg, unicast_to, frag);
+        }
+    }
+
+    /// Charges sender CPU, then schedules the frame to contend for the
+    /// medium once the CPU has finished serializing it (contention must
+    /// be evaluated *at transmit time*, against whatever else — data or
+    /// background traffic — occupies the medium then).
+    fn transmit_frame(
+        &mut self,
+        src_host: HostId,
+        seg: SegmentId,
+        unicast_to: Option<HostId>,
+        frag: Fragment,
+    ) {
+        let len = frag.bytes.len();
+        // Sender CPU.
+        let tx_ready = {
+            let h = &mut self.hosts[src_host.0 as usize];
+            let cost = h.config.send_cost(len);
+            let start = h.cpu_free.max(self.now);
+            h.cpu_free = start + cost;
+            h.cpu_free
+        };
+        self.schedule(
+            tx_ready,
+            EventKind::FrameTx {
+                src_host,
+                segment: seg,
+                unicast_to,
+                frag,
+            },
+        );
+    }
+
+    /// The frame is ready at the NIC: contend for the medium, apply
+    /// wire-level faults, and schedule per-receiver arrivals.
+    fn frame_tx(
+        &mut self,
+        src_host: HostId,
+        seg: SegmentId,
+        unicast_to: Option<HostId>,
+        frag: Fragment,
+    ) {
+        let len = frag.bytes.len();
+        let tx_ready = self.now;
+        // Medium contention.
+        let (arrive_base, waited) = {
+            let s = &mut self.segments[seg.0 as usize];
+            let wire_len = (len.max(s.config.min_frame) + s.config.frame_overhead) as u64;
+            let wire_time = wire_len * 8 * 1_000_000 / s.config.bandwidth_bps;
+            let start = s.medium_free.max(tx_ready);
+            let waited = start > tx_ready;
+            s.medium_free = start + wire_time;
+            s.stats.frames_sent += 1;
+            s.stats.wire_bytes += wire_len;
+            s.stats.busy_us += wire_time;
+            (start + wire_time + s.config.prop_us, waited)
+        };
+        // Wire-level corruption: the frame is lost for every receiver.
+        let faults = self.segments[seg.0 as usize].config.faults.clone();
+        if self.chance(faults.wire_loss) {
+            self.segments[seg.0 as usize].stats.wire_losses += 1;
+            return;
+        }
+        // Collision after waiting for a busy medium.
+        if waited && self.chance(faults.collision_loss) {
+            self.segments[seg.0 as usize].stats.collision_losses += 1;
+            return;
+        }
+        let receivers: Vec<HostId> = match unicast_to {
+            Some(h) => vec![h],
+            None => self.segments[seg.0 as usize]
+                .hosts
+                .iter()
+                .copied()
+                .filter(|h| *h != src_host)
+                .collect(),
+        };
+        for dst_host in receivers {
+            if !self.reachable(src_host, dst_host) {
+                self.stats.partition_drops += 1;
+                continue;
+            }
+            if self.chance(faults.recv_loss) {
+                self.stats.recv_losses += 1;
+                continue;
+            }
+            let jitter = if faults.reorder_jitter_us > 0 {
+                self.rng.gen_range(0..=faults.reorder_jitter_us)
+            } else {
+                0
+            };
+            self.schedule(
+                arrive_base + jitter,
+                EventKind::FragArrive {
+                    dst_host,
+                    frag: frag.clone(),
+                },
+            );
+            if self.chance(faults.dup) {
+                self.stats.dups += 1;
+                let extra = self.rng.gen_range(0..=faults.reorder_jitter_us.max(200));
+                self.schedule(
+                    arrive_base + jitter + extra,
+                    EventKind::FragArrive {
+                        dst_host,
+                        frag: frag.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Receive-side CPU charge for an arrived frame.
+    fn frag_arrive(&mut self, dst_host: HostId, frag: Fragment) {
+        let deliver_at = {
+            let h = &mut self.hosts[dst_host.0 as usize];
+            let cost = h.config.recv_cost(frag.bytes.len());
+            let start = h.cpu_free.max(self.now);
+            h.cpu_free = start + cost;
+            h.cpu_free
+        };
+        self.schedule(deliver_at, EventKind::FragDeliver { dst_host, frag });
+    }
+
+    /// Reassembles a processed frame; returns a completed datagram.
+    fn frag_deliver(&mut self, dst_host: HostId, frag: Fragment) -> Option<Dispatch> {
+        let key = (dst_host, frag.src, frag.dgram_id);
+        if frag.total == 1 {
+            return self.deliver_datagram(
+                dst_host,
+                frag.src,
+                frag.dst_port,
+                frag.broadcast,
+                frag.bytes,
+            );
+        }
+        let entry = self.reassembly.entry(key).or_insert_with(|| Reassembly {
+            total: frag.total,
+            have: vec![false; frag.total as usize],
+            parts: vec![Vec::new(); frag.total as usize],
+            received: 0,
+            dst_port: frag.dst_port,
+            broadcast: frag.broadcast,
+            src: frag.src,
+        });
+        let idx = frag.index as usize;
+        if entry.have[idx] {
+            return None;
+        }
+        entry.have[idx] = true;
+        entry.parts[idx] = frag.bytes;
+        entry.received += 1;
+        let first = entry.received == 1;
+        let complete = entry.received == entry.total;
+        if first {
+            self.schedule(
+                self.now + REASSEMBLY_TIMEOUT,
+                EventKind::ReasmTimeout {
+                    dst_host,
+                    key: (frag.src, frag.dgram_id),
+                },
+            );
+        }
+        if complete {
+            let entry = self.reassembly.remove(&key).expect("entry just inserted");
+            let mut payload = Vec::new();
+            for part in entry.parts {
+                payload.extend_from_slice(&part);
+            }
+            return self.deliver_datagram(
+                dst_host,
+                entry.src,
+                entry.dst_port,
+                entry.broadcast,
+                payload,
+            );
+        }
+        None
+    }
+
+    fn deliver_datagram(
+        &mut self,
+        dst_host: HostId,
+        src: SockAddr,
+        dst_port: u16,
+        broadcast: bool,
+        payload: Vec<u8>,
+    ) -> Option<Dispatch> {
+        let Some(&proc) = self.dgram_bindings.get(&(dst_host, dst_port)) else {
+            self.stats.unbound_drops += 1;
+            return None;
+        };
+        if !self.alive(proc) {
+            self.stats.unbound_drops += 1;
+            return None;
+        }
+        self.stats.datagrams_delivered += 1;
+        self.stats.payload_bytes_delivered += payload.len() as u64;
+        let dgram = Datagram {
+            src,
+            dst: SockAddr::new(dst_host, dst_port),
+            broadcast,
+            payload,
+        };
+        Some(Dispatch::Datagram(proc, dgram))
+    }
+
+    // ----- connections ----------------------------------------------------
+
+    pub fn listen_conn(&mut self, proc: ProcId, port: u16) -> Result<(), NetError> {
+        let host = self.host_of(proc);
+        if self.conn_listeners.contains_key(&(host, port)) {
+            return Err(NetError::PortInUse(port));
+        }
+        self.conn_listeners.insert((host, port), proc);
+        Ok(())
+    }
+
+    pub fn connect(&mut self, proc: ProcId, dst: SockAddr) -> ConnId {
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let src = self.src_addr(proc);
+        let listener = self.conn_listeners.get(&(dst.host, dst.port)).copied();
+        let src_host = self.host_of(proc);
+        match listener {
+            Some(server) if self.reachable(src_host, dst.host) && self.alive(server) => {
+                let setup = CONN_SETUP_US + 2 * self.prop_between(src_host, dst.host);
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        procs: [proc, server],
+                        addrs: [src, dst],
+                        closed: false,
+                        next_deliver: [self.now + setup; 2],
+                    },
+                );
+                self.schedule(
+                    self.now + setup,
+                    EventKind::ConnUp {
+                        proc: server,
+                        conn,
+                        accepted: Some(src),
+                    },
+                );
+                self.schedule(
+                    self.now + setup,
+                    EventKind::ConnUp {
+                        proc,
+                        conn,
+                        accepted: None,
+                    },
+                );
+            }
+            _ => {
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        procs: [proc, proc],
+                        addrs: [src, dst],
+                        closed: true,
+                        next_deliver: [0; 2],
+                    },
+                );
+                self.stats.conn_failures += 1;
+                self.schedule(
+                    self.now + CONN_CONNECT_TIMEOUT,
+                    EventKind::ConnClosed { proc, conn },
+                );
+            }
+        }
+        conn
+    }
+
+    fn prop_between(&self, a: HostId, b: HostId) -> Micros {
+        self.shared_segment(a, b)
+            .map(|s| self.segments[s.0 as usize].config.prop_us)
+            .unwrap_or(50)
+    }
+
+    pub fn conn_send(&mut self, proc: ProcId, conn: ConnId, msg: Vec<u8>) -> Result<(), NetError> {
+        let (peer_proc, dir, peer_host, src_host) = {
+            let state = self.conns.get(&conn).ok_or(NetError::ConnClosed(conn))?;
+            if state.closed {
+                return Err(NetError::ConnClosed(conn));
+            }
+            let dir = if state.procs[0] == proc && state.addrs[0].host == self.host_of(proc) {
+                0
+            } else if state.procs[1] == proc {
+                1
+            } else {
+                return Err(NetError::ConnClosed(conn));
+            };
+            let peer = state.procs[1 - dir];
+            (
+                peer,
+                dir,
+                self.host_of(state.procs[1 - dir]),
+                self.host_of(proc),
+            )
+        };
+        if !self.reachable(src_host, peer_host) || !self.alive(peer_proc) {
+            // The stream breaks: both ends learn after a timeout.
+            self.conns.get_mut(&conn).expect("checked above").closed = true;
+            self.stats.conn_failures += 1;
+            self.schedule(
+                self.now + CONN_BREAK_DELAY,
+                EventKind::ConnClosed { proc, conn },
+            );
+            if self.alive(peer_proc) {
+                self.schedule(
+                    self.now + CONN_BREAK_DELAY,
+                    EventKind::ConnClosed {
+                        proc: peer_proc,
+                        conn,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        let send_cost = self.hosts[src_host.0 as usize].config.send_cost(msg.len());
+        let recv_cost = self.hosts[peer_host.0 as usize].config.recv_cost(msg.len());
+        let wire = if src_host == peer_host {
+            0
+        } else {
+            // Connections are point-to-point; we model serialization time
+            // but do not contend for the broadcast medium.
+            let bw = self
+                .shared_segment(src_host, peer_host)
+                .map(|s| self.segments[s.0 as usize].config.bandwidth_bps)
+                .unwrap_or(10_000_000);
+            (msg.len() as u64 + 64) * 8 * 1_000_000 / bw
+        };
+        let delay = CONN_FIXED_US + send_cost + recv_cost + wire;
+        let state = self.conns.get_mut(&conn).expect("checked above");
+        let at = (self.now + delay).max(state.next_deliver[dir]);
+        state.next_deliver[dir] = at + 1;
+        self.stats.conn_msgs_delivered += 1;
+        self.stats.conn_bytes_delivered += msg.len() as u64;
+        self.schedule(
+            at,
+            EventKind::ConnData {
+                proc: peer_proc,
+                conn,
+                msg,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn conn_close(&mut self, proc: ProcId, conn: ConnId) {
+        if let Some(state) = self.conns.get_mut(&conn) {
+            if !state.closed {
+                state.closed = true;
+                let peer = if state.procs[0] == proc {
+                    state.procs[1]
+                } else {
+                    state.procs[0]
+                };
+                if self.alive(peer) {
+                    self.schedule(self.now + 500, EventKind::ConnClosed { proc: peer, conn });
+                }
+            }
+        }
+    }
+
+    pub fn conn_peer_addr(&self, conn: ConnId, proc: ProcId) -> Option<SockAddr> {
+        let state = self.conns.get(&conn)?;
+        if state.procs[0] == proc {
+            Some(state.addrs[1])
+        } else {
+            Some(state.addrs[0])
+        }
+    }
+
+    // ----- crash ----------------------------------------------------------
+
+    /// Fail-stop termination: no handler runs; bindings and connections
+    /// are torn down; non-volatile storage survives.
+    pub fn kill(&mut self, proc: ProcId) {
+        if !self.alive(proc) {
+            return;
+        }
+        self.meta[proc.0 as usize].alive = false;
+        let host = self.host_of(proc);
+        self.dgram_bindings.retain(|_, p| *p != proc);
+        self.conn_listeners.retain(|_, p| *p != proc);
+        self.meta[proc.0 as usize].bound_ports.clear();
+        let mut to_notify = Vec::new();
+        for (id, state) in self.conns.iter_mut() {
+            if state.closed {
+                continue;
+            }
+            if state.procs[0] == proc || state.procs[1] == proc {
+                state.closed = true;
+                let peer = if state.procs[0] == proc {
+                    state.procs[1]
+                } else {
+                    state.procs[0]
+                };
+                to_notify.push((peer, *id));
+            }
+        }
+        for (peer, id) in to_notify {
+            if self.alive(peer) {
+                self.schedule(
+                    self.now + 1_000,
+                    EventKind::ConnClosed {
+                        proc: peer,
+                        conn: id,
+                    },
+                );
+            }
+        }
+        self.stats.crashes += 1;
+        self.trace(|| format!("crash p{} on {}", proc.0, host.0));
+    }
+
+    // ----- non-volatile storage --------------------------------------------
+
+    pub fn nv_put(&mut self, host: HostId, key: &str, value: Vec<u8>) {
+        let cost = self.hosts[host.0 as usize].config.nv_write_us;
+        let h = &mut self.hosts[host.0 as usize];
+        let start = h.cpu_free.max(self.now);
+        h.cpu_free = start + cost;
+        self.stats.nv_writes += 1;
+        self.nv.insert((host, key.to_owned()), value);
+    }
+
+    pub fn nv_get(&self, host: HostId, key: &str) -> Option<&Vec<u8>> {
+        self.nv.get(&(host, key.to_owned()))
+    }
+
+    pub fn nv_delete(&mut self, host: HostId, key: &str) -> bool {
+        self.nv.remove(&(host, key.to_owned())).is_some()
+    }
+
+    pub fn nv_keys(&self, host: HostId, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .nv
+            .keys()
+            .filter(|(h, k)| *h == host && k.starts_with(prefix))
+            .map(|(_, k)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    // ----- background traffic ----------------------------------------------
+
+    pub fn start_background(&mut self) {
+        let with_background: Vec<SegmentId> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, seg)| seg.config.background_bps > 0)
+            .map(|(i, _)| SegmentId(i as u32))
+            .collect();
+        for segment in with_background {
+            self.schedule(0, EventKind::Background { segment });
+        }
+    }
+
+    fn background_tick(&mut self, seg_id: SegmentId) {
+        let (frame_bits, bps) = {
+            let s = &self.segments[seg_id.0 as usize];
+            (
+                ((s.config.background_frame + s.config.frame_overhead) * 8) as f64,
+                s.config.background_bps as f64,
+            )
+        };
+        // Occupy the medium for one background frame.
+        {
+            let s = &mut self.segments[seg_id.0 as usize];
+            let wire_time = (frame_bits / s.config.bandwidth_bps as f64 * 1e6) as Micros;
+            let start = s.medium_free.max(self.now);
+            s.medium_free = start + wire_time;
+            s.stats.background_frames += 1;
+            s.stats.busy_us += wire_time;
+            s.stats.wire_bytes += (frame_bits / 8.0) as u64;
+        }
+        // Exponential inter-arrival with mean matching the offered load.
+        let mean_us = frame_bits / bps * 1e6;
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap = (-mean_us * u.ln()).max(1.0) as Micros;
+        self.schedule(self.now + gap, EventKind::Background { segment: seg_id });
+    }
+
+    // ----- event processing -------------------------------------------------
+
+    /// Processes one event; returns a handler invocation for the dispatcher.
+    pub fn process(&mut self, kind: EventKind) -> Option<Dispatch> {
+        match kind {
+            EventKind::Start(proc) => self.alive(proc).then_some(Dispatch::Start(proc)),
+            EventKind::FrameTx {
+                src_host,
+                segment,
+                unicast_to,
+                frag,
+            } => {
+                self.frame_tx(src_host, segment, unicast_to, frag);
+                None
+            }
+            EventKind::Timer {
+                proc,
+                timer_id,
+                token,
+            } => {
+                if self.cancelled_timers.remove(&timer_id) {
+                    return None;
+                }
+                self.alive(proc).then_some(Dispatch::Timer(proc, token))
+            }
+            EventKind::FragArrive { dst_host, frag } => {
+                self.frag_arrive(dst_host, frag);
+                None
+            }
+            EventKind::FragDeliver { dst_host, frag } => self.frag_deliver(dst_host, frag),
+            EventKind::ReasmTimeout { dst_host, key } => {
+                let full_key = (dst_host, key.0, key.1);
+                if self.reassembly.remove(&full_key).is_some() {
+                    self.stats.reassembly_failures += 1;
+                }
+                None
+            }
+            EventKind::Command { proc, cmd } => {
+                self.alive(proc).then_some(Dispatch::Command(proc, cmd))
+            }
+            EventKind::ConnUp {
+                proc,
+                conn,
+                accepted,
+            } => {
+                if !self.alive(proc) {
+                    return None;
+                }
+                let event = match accepted {
+                    Some(peer) => ConnEvent::Accepted { conn, peer },
+                    None => ConnEvent::Connected { conn },
+                };
+                Some(Dispatch::Conn(proc, event))
+            }
+            EventKind::ConnData { proc, conn, msg } => self
+                .alive(proc)
+                .then_some(Dispatch::Conn(proc, ConnEvent::Data { conn, msg })),
+            EventKind::ConnClosed { proc, conn } => self
+                .alive(proc)
+                .then_some(Dispatch::Conn(proc, ConnEvent::Closed { conn })),
+            EventKind::Background { segment } => {
+                self.background_tick(segment);
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A deterministic discrete-event network and host simulator.
+//!
+//! This crate is the testbed substrate for the Information Bus
+//! reproduction. The paper's evaluation ran on fifteen Sun workstations on
+//! a lightly loaded 10 Mb/s Ethernet; this simulator models the parts of
+//! that environment the evaluation's results depend on:
+//!
+//! * a **shared-medium Ethernet segment** — frames serialize over a
+//!   configurable-bandwidth medium, broadcast frames reach every attached
+//!   host at the cost of a single transmission, and optional background
+//!   traffic contends for the medium,
+//! * an **unreliable datagram layer** (UDP-like) — MTU fragmentation and
+//!   reassembly, configurable loss, duplication, reordering, and network
+//!   partitions,
+//! * a **per-host CPU model** — fixed per-packet and per-byte processing
+//!   costs, which reproduce the era's host-limited UDP throughput ceiling,
+//! * **reliable connection-oriented streams** (TCP-like) for
+//!   point-to-point remote method invocation,
+//! * **simulated non-volatile storage** that survives process crashes, for
+//!   guaranteed-delivery ledgers,
+//! * **fail-stop process crashes and restarts** (the paper's §2 failure
+//!   model: no Byzantine failures; nodes eventually recover).
+//!
+//! Everything is driven by a virtual clock and a seeded RNG, so every run
+//! is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use infobus_netsim::{Ctx, Datagram, EtherConfig, NetBuilder, Process};
+//!
+//! struct Echo;
+//! impl Process for Echo {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.bind(9).unwrap();
+//!     }
+//!     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+//!         ctx.send_datagram(dgram.src, dgram.payload).unwrap();
+//!     }
+//! }
+//!
+//! struct Ping { got: bool }
+//! impl Process for Ping {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.bind(10).unwrap();
+//!         let peer = ctx.peer_addr("server", 9).unwrap();
+//!         ctx.send_datagram(peer, b"hello".to_vec()).unwrap();
+//!     }
+//!     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+//!         assert_eq!(dgram.payload, b"hello");
+//!         self.got = true;
+//!     }
+//! }
+//!
+//! let mut b = NetBuilder::new(42);
+//! let seg = b.segment(EtherConfig::lan_10mbps());
+//! let server = b.host("server", &[seg]);
+//! let client = b.host("client", &[seg]);
+//! let mut sim = b.build();
+//! sim.spawn(server, Box::new(Echo));
+//! let ping = sim.spawn(client, Box::new(Ping { got: false }));
+//! sim.run_for(infobus_netsim::time::secs(1));
+//! assert!(sim.with_proc::<Ping, bool>(ping, |p| p.got).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod ctx;
+mod event;
+mod kernel;
+mod proc;
+mod sim;
+mod stats;
+pub mod time;
+
+pub use config::{EtherConfig, FaultPlan, HostConfig};
+pub use ctx::Ctx;
+pub use proc::{ConnEvent, Datagram, Process};
+pub use sim::{NetBuilder, Sim};
+pub use stats::{SegmentStats, Stats};
+pub use time::Micros;
+
+use std::fmt;
+
+/// Identifier of a simulated host (node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// Identifier of a shared Ethernet segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+/// Identifier of a simulated process. Never reused within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Identifier of a connection-oriented stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// A datagram or connection endpoint: host plus port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockAddr {
+    /// The host part of the address.
+    pub host: HostId,
+    /// The port part of the address.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Builds a socket address from host and port.
+    pub fn new(host: HostId, port: u16) -> Self {
+        SockAddr { host, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:{}", self.host.0, self.port)
+    }
+}
+
+/// Errors surfaced to processes by [`Ctx`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The port is already bound on this host.
+    PortInUse(u16),
+    /// The destination host shares no segment with the sender and is not
+    /// the sender itself.
+    NoRoute(HostId),
+    /// The referenced connection does not exist or is closed.
+    ConnClosed(ConnId),
+    /// No host with this name exists.
+    UnknownHost(String),
+    /// The datagram exceeds the maximum size the layer will fragment.
+    DatagramTooLarge(usize),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PortInUse(p) => write!(f, "port {p} already bound on this host"),
+            NetError::NoRoute(h) => write!(f, "no route to host h{}", h.0),
+            NetError::ConnClosed(c) => write!(f, "connection {} is closed or unknown", c.0),
+            NetError::UnknownHost(n) => write!(f, "unknown host {n:?}"),
+            NetError::DatagramTooLarge(n) => write!(f, "datagram of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Maximum datagram payload the layer will fragment (64 KiB, like IPv4/UDP).
+pub const MAX_DATAGRAM: usize = 65_507;

@@ -1,0 +1,87 @@
+//! The process (actor) abstraction hosted by the simulator.
+
+use std::any::Any;
+
+use crate::{ConnId, Ctx, SockAddr};
+
+/// A datagram delivered to a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address (the sender's bound port, or an ephemeral port).
+    pub src: SockAddr,
+    /// Destination address on the receiving host.
+    pub dst: SockAddr,
+    /// `true` if this datagram arrived via a broadcast frame.
+    pub broadcast: bool,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Events delivered to a process about its connection-oriented streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// An outgoing [`Ctx::connect`] completed; the stream is usable.
+    Connected {
+        /// The connection this event refers to.
+        conn: ConnId,
+    },
+    /// A peer connected to a port this process listens on.
+    Accepted {
+        /// The connection this event refers to.
+        conn: ConnId,
+        /// Address of the connecting peer.
+        peer: SockAddr,
+    },
+    /// A framed message arrived on the stream.
+    Data {
+        /// The connection this event refers to.
+        conn: ConnId,
+        /// The message bytes (stream framing is preserved).
+        msg: Vec<u8>,
+    },
+    /// The stream closed (peer close, peer crash, partition, or timeout).
+    Closed {
+        /// The connection this event refers to.
+        conn: ConnId,
+    },
+}
+
+/// A simulated process: the unit of execution, failure, and restart.
+///
+/// Processes are single-threaded event handlers driven by the simulator:
+/// the kernel calls at most one handler at a time, and handlers observe a
+/// consistent virtual clock through [`Ctx::now`]. All default
+/// implementations do nothing, so a process only implements the events it
+/// cares about.
+///
+/// Processes are fail-stop: [`crate::Sim::crash`] destroys a process
+/// without warning (no handler runs), which models the paper's §2 failure
+/// assumptions. State placed in non-volatile storage via [`Ctx::nv_put`]
+/// survives; everything else is lost.
+pub trait Process: Any {
+    /// Called once when the process is spawned.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a datagram arrives on a bound port.
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        let _ = (ctx, dgram);
+    }
+
+    /// Called when a timer set with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called on connection events for this process's streams.
+    fn on_conn(&mut self, ctx: &mut Ctx<'_>, event: ConnEvent) {
+        let _ = (ctx, event);
+    }
+
+    /// Called when the driver injects a command via
+    /// [`crate::Sim::send_command`].
+    fn on_command(&mut self, ctx: &mut Ctx<'_>, cmd: Box<dyn Any>) {
+        let _ = (ctx, cmd);
+    }
+}

@@ -1,0 +1,65 @@
+//! Counters collected by the simulator, used by tests and the benchmark
+//! harness.
+
+use crate::Micros;
+
+/// Per-segment wire statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStats {
+    /// Data frames that entered the medium.
+    pub frames_sent: u64,
+    /// Total bytes on the wire, including frame overhead.
+    pub wire_bytes: u64,
+    /// Total time the medium was occupied, in microseconds.
+    pub busy_us: Micros,
+    /// Frames lost to wire corruption.
+    pub wire_losses: u64,
+    /// Frames lost to collisions after waiting for a busy medium.
+    pub collision_losses: u64,
+    /// Background (unrelated-traffic) frames generated.
+    pub background_frames: u64,
+}
+
+impl SegmentStats {
+    /// Medium utilization over `elapsed` microseconds of virtual time.
+    pub fn utilization(&self, elapsed: Micros) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / elapsed as f64
+        }
+    }
+}
+
+/// Global simulation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Datagrams submitted by processes (unicast and broadcast).
+    pub datagrams_sent: u64,
+    /// Datagrams fully reassembled and delivered to a process.
+    pub datagrams_delivered: u64,
+    /// Datagram payload bytes delivered to processes.
+    pub payload_bytes_delivered: u64,
+    /// Frames dropped at a receiver (input-queue overrun model).
+    pub recv_losses: u64,
+    /// Frames duplicated at a receiver.
+    pub dups: u64,
+    /// Frames dropped because sender and receiver were partitioned.
+    pub partition_drops: u64,
+    /// Datagrams whose reassembly timed out after fragment loss.
+    pub reassembly_failures: u64,
+    /// Datagrams dropped because no process was bound to the port.
+    pub unbound_drops: u64,
+    /// Connection messages delivered.
+    pub conn_msgs_delivered: u64,
+    /// Connection payload bytes delivered.
+    pub conn_bytes_delivered: u64,
+    /// Connections that failed or broke.
+    pub conn_failures: u64,
+    /// Processes crashed via the driver.
+    pub crashes: u64,
+    /// Non-volatile storage writes performed.
+    pub nv_writes: u64,
+    /// Events processed by the kernel.
+    pub events_processed: u64,
+}

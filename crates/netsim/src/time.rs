@@ -1,0 +1,32 @@
+//! Virtual time: the simulator clock counts microseconds from zero.
+
+/// A point in (or duration of) virtual time, in microseconds.
+pub type Micros = u64;
+
+/// Converts milliseconds to [`Micros`].
+pub const fn millis(ms: u64) -> Micros {
+    ms * 1_000
+}
+
+/// Converts seconds to [`Micros`].
+pub const fn secs(s: u64) -> Micros {
+    s * 1_000_000
+}
+
+/// Formats a virtual timestamp as `s.mmm_uuu` for traces.
+pub fn fmt_time(t: Micros) -> String {
+    format!("{}.{:06}", t / 1_000_000, t % 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(millis(3), 3_000);
+        assert_eq!(secs(2), 2_000_000);
+        assert_eq!(fmt_time(1_234_567), "1.234567");
+        assert_eq!(fmt_time(42), "0.000042");
+    }
+}

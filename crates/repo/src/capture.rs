@@ -1,0 +1,304 @@
+//! The repository's bus-facing configurations (§4): capture server and
+//! query server.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use infobus_core::{BusApp, BusCtx, BusMessage, RmiError, ServiceObject};
+use infobus_types::{TypeDescriptor, Value, ValueType};
+
+use crate::orm::{ObjectRepository, Oid};
+use crate::reldb::{Database, Datum, LogRecord, Pred};
+
+/// A repository shared between the capture application and the query
+/// service on one daemon.
+pub type SharedRepository = Rc<RefCell<ObjectRepository>>;
+
+/// The capture-server configuration: "it may be configured as a capture
+/// server that captures all objects for a given set of subjects and
+/// inserts those objects automatically into the repository".
+///
+/// Optionally also exports the query service
+/// ([`RepositoryService`]) under an RMI subject.
+pub struct CaptureServer {
+    filters: Vec<String>,
+    service_subject: Option<String>,
+    repo: SharedRepository,
+    /// Persist the write-ahead log to host non-volatile storage under
+    /// this key prefix, and recover from it at start (R1: the repository
+    /// survives its node crashing).
+    persist_prefix: Option<String>,
+    /// How many WAL records have been persisted so far.
+    wal_persisted: usize,
+    /// Objects successfully captured.
+    pub captured: u64,
+    /// Non-object or failed-store messages skipped.
+    pub errors: u64,
+}
+
+impl CaptureServer {
+    /// Captures everything matching `filters` into a fresh repository.
+    pub fn new(filters: &[&str]) -> Self {
+        CaptureServer {
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+            service_subject: None,
+            repo: Rc::new(RefCell::new(ObjectRepository::new())),
+            persist_prefix: None,
+            wal_persisted: 0,
+            captured: 0,
+            errors: 0,
+        }
+    }
+
+    /// Uses an existing shared repository.
+    pub fn with_repo(filters: &[&str], repo: SharedRepository) -> Self {
+        CaptureServer {
+            repo,
+            ..CaptureServer::new(filters)
+        }
+    }
+
+    /// Also export the query service under `subject` (the query-server
+    /// configuration, co-resident with capture).
+    pub fn with_query_service(mut self, subject: &str) -> Self {
+        self.service_subject = Some(subject.to_owned());
+        self
+    }
+
+    /// Persist the database's write-ahead log to the host's non-volatile
+    /// storage under `prefix`, and recover from it on (re)start. With
+    /// this, a crash of the repository node loses nothing that was
+    /// captured (pair with guaranteed publications for a loss-free
+    /// pipeline end to end).
+    pub fn persistent(mut self, prefix: &str) -> Self {
+        self.persist_prefix = Some(prefix.to_owned());
+        self
+    }
+
+    /// The shared repository handle.
+    pub fn repository(&self) -> SharedRepository {
+        self.repo.clone()
+    }
+
+    /// Writes WAL records beyond the persisted watermark to NV storage.
+    fn persist_new_records(&mut self, bus: &mut BusCtx<'_, '_>) {
+        let Some(prefix) = self.persist_prefix.clone() else {
+            return;
+        };
+        let records: Vec<(usize, Vec<u8>)> = {
+            let repo = self.repo.borrow();
+            repo.database().wal()[self.wal_persisted..]
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (self.wal_persisted + i, r.encode()))
+                .collect()
+        };
+        for (idx, bytes) in records {
+            bus.nv_put(&format!("{prefix}/{idx:010}"), bytes);
+            self.wal_persisted = idx + 1;
+        }
+    }
+
+    /// Recovers the repository from previously persisted WAL records.
+    fn recover_from_nv(&mut self, bus: &mut BusCtx<'_, '_>) {
+        let Some(prefix) = self.persist_prefix.clone() else {
+            return;
+        };
+        let keys = bus.nv_keys(&format!("{prefix}/"));
+        if keys.is_empty() {
+            return;
+        }
+        let mut log = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let Some(bytes) = bus.nv_get(key) else {
+                continue;
+            };
+            match LogRecord::decode(&bytes) {
+                Ok(record) => log.push(record),
+                Err(_) => break, // torn tail record: recover the prefix
+            }
+        }
+        let db = Database::recover(&log);
+        self.wal_persisted = log.len();
+        *self.repo.borrow_mut() = ObjectRepository::from_database(db);
+        bus.trace(|| format!("repository recovered {} WAL records from NV", log.len()));
+    }
+}
+
+impl BusApp for CaptureServer {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        self.recover_from_nv(bus);
+        for f in &self.filters {
+            bus.subscribe(f).expect("capture filter must be valid");
+        }
+        if let Some(subject) = &self.service_subject {
+            bus.export_service(
+                subject,
+                Box::new(RepositoryService {
+                    repo: self.repo.clone(),
+                }),
+            )
+            .expect("service subject must be free");
+        }
+    }
+
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        // Self-describing messages already registered their types into
+        // the daemon registry on receipt, so storing an instance of a
+        // type this repository has never seen "just works" (R2).
+        let Some(obj) = msg.value.as_object() else {
+            self.errors += 1;
+            return;
+        };
+        let registry = bus.registry();
+        let registry = registry.borrow();
+        let stored = self.repo.borrow_mut().store(&registry, obj);
+        drop(registry);
+        match stored {
+            Ok(_) => {
+                self.captured += 1;
+                self.persist_new_records(bus);
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// The query-server configuration: an RMI service over the repository.
+///
+/// Self-describing (P2): clients — including the Application Builder's
+/// automatic UI generator — can enumerate its operations from the
+/// descriptor alone.
+pub struct RepositoryService {
+    repo: SharedRepository,
+}
+
+impl RepositoryService {
+    /// Wraps a shared repository.
+    pub fn new(repo: SharedRepository) -> Self {
+        RepositoryService { repo }
+    }
+}
+
+fn value_to_datum(v: &Value) -> Result<Datum, RmiError> {
+    Ok(match v {
+        Value::Nil => Datum::Null,
+        Value::Bool(b) => Datum::Bool(*b),
+        Value::I64(i) => Datum::I64(*i),
+        Value::F64(x) => Datum::F64(*x),
+        Value::Str(s) => Datum::Str(s.clone()),
+        Value::Bytes(b) => Datum::Bytes(b.clone()),
+        other => {
+            return Err(RmiError::App(format!(
+                "query values must be scalars, got {}",
+                other.kind()
+            )))
+        }
+    })
+}
+
+impl ServiceObject for RepositoryService {
+    fn descriptor(&self) -> TypeDescriptor {
+        TypeDescriptor::builder("ObjectRepository")
+            .idempotent_operation("count", vec![("type", ValueType::Str)], ValueType::I64)
+            .idempotent_operation(
+                "query_eq",
+                vec![
+                    ("type", ValueType::Str),
+                    ("attribute", ValueType::Str),
+                    ("value", ValueType::Any),
+                ],
+                ValueType::list_of(ValueType::Any),
+            )
+            .idempotent_operation(
+                "query_contains",
+                vec![
+                    ("type", ValueType::Str),
+                    ("attribute", ValueType::Str),
+                    ("substring", ValueType::Str),
+                ],
+                ValueType::list_of(ValueType::Any),
+            )
+            .idempotent_operation("load", vec![("oid", ValueType::I64)], ValueType::Any)
+            .operation("store", vec![("object", ValueType::Any)], ValueType::I64)
+            .idempotent_operation("tables", vec![], ValueType::list_of(ValueType::Str))
+            .build()
+    }
+
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        let registry = bus.registry();
+        let registry = registry.borrow();
+        let as_str = |v: &Value, what: &str| -> Result<String, RmiError> {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| RmiError::App(format!("{what} must be a string")))
+        };
+        match op {
+            "count" => {
+                let ty = as_str(&args[0], "type")?;
+                let n = self
+                    .repo
+                    .borrow()
+                    .count(&registry, &ty)
+                    .map_err(|e| RmiError::App(e.to_string()))?;
+                Ok(Value::I64(n as i64))
+            }
+            "query_eq" | "query_contains" => {
+                let ty = as_str(&args[0], "type")?;
+                let attribute = as_str(&args[1], "attribute")?;
+                let pred = if op == "query_eq" {
+                    Pred::Eq(attribute, value_to_datum(&args[2])?)
+                } else {
+                    Pred::Contains(attribute, as_str(&args[2], "substring")?)
+                };
+                let hits = self
+                    .repo
+                    .borrow()
+                    .query(&registry, &ty, &pred)
+                    .map_err(|e| RmiError::App(e.to_string()))?;
+                Ok(Value::List(
+                    hits.into_iter()
+                        .map(|(_, obj)| Value::object(obj))
+                        .collect(),
+                ))
+            }
+            "load" => {
+                let oid = args[0]
+                    .as_i64()
+                    .ok_or_else(|| RmiError::App("oid must be an integer".into()))?;
+                let obj = self
+                    .repo
+                    .borrow()
+                    .load(&registry, Oid(oid as u64))
+                    .map_err(|e| RmiError::App(e.to_string()))?;
+                Ok(Value::object(obj))
+            }
+            "store" => {
+                let obj = args[0]
+                    .as_object()
+                    .ok_or_else(|| RmiError::App("store expects an object".into()))?;
+                let oid = self
+                    .repo
+                    .borrow_mut()
+                    .store(&registry, obj)
+                    .map_err(|e| RmiError::App(e.to_string()))?;
+                Ok(Value::I64(oid.0 as i64))
+            }
+            "tables" => Ok(Value::List(
+                self.repo
+                    .borrow()
+                    .database()
+                    .table_names()
+                    .into_iter()
+                    .map(Value::Str)
+                    .collect(),
+            )),
+            other => Err(RmiError::BadOperation(other.to_owned())),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The Object Repository: a metadata-driven bridge between the Information
+//! Bus object model and a relational database (§4 of the paper).
+//!
+//! Two layers live here:
+//!
+//! * [`reldb`] — a small relational engine built from scratch (typed
+//!   columns, B-tree indexes, predicate queries, a write-ahead log with
+//!   recovery). It stands in for the commercial RDBMS the paper's
+//!   repository wrapped; the repository logic runs unchanged on it.
+//! * [`orm`] — the repository's contribution: a *fully automatic* mapping
+//!   from self-describing objects to relations, driven only by type
+//!   metadata (P2). Complex objects decompose into parent/child tables;
+//!   queries respect the type hierarchy (querying a supertype returns
+//!   subtype instances); and when an instance of a *previously unknown
+//!   type* arrives, the schema extends itself on the fly (P3 + R2).
+//!
+//! On top sit the two §4 configurations: a **capture server**
+//! ([`CaptureServer`]) that subscribes to subjects and inserts everything
+//! it receives, and a **query server** ([`RepositoryService`]) answering
+//! RMI requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+pub mod orm;
+pub mod reldb;
+
+pub use capture::{CaptureServer, RepositoryService, SharedRepository};
+pub use orm::{ObjectRepository, Oid, OrmError};
+pub use reldb::{ColType, Column, Database, Datum, DbError, LogRecord, Pred, RowId, Schema};

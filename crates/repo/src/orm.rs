@@ -1,0 +1,807 @@
+//! The metadata-driven object ↔ relational mapping.
+//!
+//! "The repository behaves as a kind of schema converter from objects to
+//! database tables, and vice versa. … our conversion algorithm decomposes
+//! a complex object into one or more database tables and reconstructs a
+//! complex object from one or more database tables … This conversion
+//! respects the type hierarchy, enabling queries to return all objects
+//! that satisfy a constraint, including objects that are instances of a
+//! subtype. … This operation can be fully automated; only the type
+//! information is necessary to do the transformation. When the repository
+//! needs to store an instance of a previously unknown type, it is capable
+//! of generating one or more new database tables to represent the new
+//! type." (§4)
+//!
+//! Mapping rules:
+//!
+//! * every stored object gets an *oid* and a row in `obj_<Type>`; a master
+//!   `objects` directory maps oid → concrete type;
+//! * scalar attributes map to typed columns; `any` attributes are stored
+//!   as marshalled bytes;
+//! * object-valued attributes store the child's oid (plus its concrete
+//!   type) and the child decomposes recursively into its own tables;
+//! * list attributes decompose into ordered link tables
+//!   `lst_<Type>_<attr>`;
+//! * dynamically attached properties go to the shared `props` table.
+
+use std::fmt;
+
+use infobus_types::{wire, DataObject, TypeError, TypeRegistry, Value, ValueType, WireError};
+
+use crate::reldb::{ColType, Column, Database, Datum, DbError, Pred, Schema};
+
+/// Identifier of a stored object, unique across the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u64);
+
+/// Errors raised by the mapping layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrmError {
+    /// The relational engine rejected an operation.
+    Db(DbError),
+    /// The type system rejected the object.
+    Type(TypeError),
+    /// Marshalling of an `any` attribute failed.
+    Wire(WireError),
+    /// No stored object has this oid.
+    MissingObject(Oid),
+    /// The stored type no longer matches the registry (schema drift).
+    Corrupt(String),
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::Db(e) => write!(f, "database: {e}"),
+            OrmError::Type(e) => write!(f, "type: {e}"),
+            OrmError::Wire(e) => write!(f, "wire: {e}"),
+            OrmError::MissingObject(oid) => write!(f, "no object with oid {}", oid.0),
+            OrmError::Corrupt(msg) => write!(f, "corrupt repository state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Db(e)
+    }
+}
+
+impl From<TypeError> for OrmError {
+    fn from(e: TypeError) -> Self {
+        OrmError::Type(e)
+    }
+}
+
+impl From<WireError> for OrmError {
+    fn from(e: WireError) -> Self {
+        OrmError::Wire(e)
+    }
+}
+
+const DIRECTORY: &str = "objects";
+const PROPS: &str = "props";
+
+fn obj_table(ty: &str) -> String {
+    format!("obj_{ty}")
+}
+
+fn list_table(ty: &str, attr: &str) -> String {
+    format!("lst_{ty}_{attr}")
+}
+
+/// The Object Repository: stores, loads, and queries self-describing
+/// objects in a relational database, driven entirely by type metadata.
+pub struct ObjectRepository {
+    db: Database,
+    next_oid: u64,
+}
+
+impl Default for ObjectRepository {
+    fn default() -> Self {
+        ObjectRepository::new()
+    }
+}
+
+impl ObjectRepository {
+    /// An empty repository (bootstrap tables created lazily).
+    pub fn new() -> Self {
+        let mut db = Database::new();
+        db.create_table(
+            DIRECTORY,
+            Schema::new(vec![
+                Column::new("oid", ColType::I64),
+                Column::new("type", ColType::Str),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_index(DIRECTORY, "oid").expect("directory exists");
+        db.create_table(
+            PROPS,
+            Schema::new(vec![
+                Column::new("oid", ColType::I64),
+                Column::new("name", ColType::Str),
+                Column::new("value", ColType::Bytes),
+            ]),
+        )
+        .expect("fresh database");
+        db.create_index(PROPS, "oid").expect("props exists");
+        ObjectRepository { db, next_oid: 1 }
+    }
+
+    /// Rebuilds a repository around a recovered database (oid allocation
+    /// resumes after the highest stored oid).
+    pub fn from_database(db: Database) -> Self {
+        let next_oid = db
+            .select(DIRECTORY, &Pred::True)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|(_, row)| match row.first() {
+                        Some(Datum::I64(o)) => Some(*o as u64),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0)
+                    + 1
+            })
+            .unwrap_or(1);
+        ObjectRepository { db, next_oid }
+    }
+
+    /// Read access to the underlying database (inspection, tests,
+    /// reporting).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Column type for a declared attribute type.
+    fn col_type(ty: &ValueType) -> ColType {
+        match ty {
+            ValueType::Bool => ColType::Bool,
+            ValueType::I64 => ColType::I64,
+            ValueType::F64 => ColType::F64,
+            ValueType::Str => ColType::Str,
+            ValueType::Bytes | ValueType::Any => ColType::Bytes,
+            ValueType::Object(_) => ColType::I64,
+            ValueType::List(_) => unreachable!("lists map to link tables, not columns"),
+        }
+    }
+
+    /// Ensures the tables for a (possibly brand-new) type exist —
+    /// dynamic schema generation, requirement R2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::Type`] for unregistered types or
+    /// [`OrmError::Db`] on schema conflicts.
+    pub fn ensure_schema(&mut self, registry: &TypeRegistry, ty: &str) -> Result<(), OrmError> {
+        let attrs = registry.all_attributes(ty)?;
+        let mut columns = vec![Column::new("oid", ColType::I64)];
+        for attr in &attrs {
+            match &attr.ty {
+                ValueType::List(_) => {
+                    // Ordered link table for the list elements.
+                    let inner = match &attr.ty {
+                        ValueType::List(inner) => inner.as_ref().clone(),
+                        _ => unreachable!(),
+                    };
+                    let mut link_cols = vec![
+                        Column::new("parent_oid", ColType::I64),
+                        Column::new("ord", ColType::I64),
+                    ];
+                    match inner {
+                        ValueType::Object(_) => {
+                            link_cols.push(Column::nullable("value", ColType::I64));
+                            link_cols.push(Column::nullable("value_type", ColType::Str));
+                        }
+                        ValueType::List(_) => {
+                            // Nested lists are stored opaquely.
+                            link_cols.push(Column::nullable("value", ColType::Bytes));
+                        }
+                        other => {
+                            link_cols.push(Column::nullable("value", Self::col_type(&other)));
+                        }
+                    }
+                    let table = list_table(ty, &attr.name);
+                    self.db.create_table(&table, Schema::new(link_cols))?;
+                    self.db.create_index(&table, "parent_oid")?;
+                }
+                ValueType::Object(_) => {
+                    columns.push(Column::nullable(&attr.name, ColType::I64));
+                    columns.push(Column::nullable(
+                        &format!("{}__type", attr.name),
+                        ColType::Str,
+                    ));
+                }
+                other => {
+                    columns.push(Column::nullable(&attr.name, Self::col_type(other)));
+                }
+            }
+        }
+        let table = obj_table(ty);
+        self.db.create_table(&table, Schema::new(columns))?;
+        self.db.create_index(&table, "oid")?;
+        Ok(())
+    }
+
+    /// Stores an object (and, recursively, its components), generating
+    /// schema for unknown types on the fly. Returns the new oid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::Type`] if the object does not validate against
+    /// the registry.
+    pub fn store(&mut self, registry: &TypeRegistry, obj: &DataObject) -> Result<Oid, OrmError> {
+        registry.validate(obj)?;
+        self.store_unchecked(registry, obj)
+    }
+
+    fn store_unchecked(
+        &mut self,
+        registry: &TypeRegistry,
+        obj: &DataObject,
+    ) -> Result<Oid, OrmError> {
+        let ty = obj.type_name().to_owned();
+        self.ensure_schema(registry, &ty)?;
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        let attrs = registry.all_attributes(&ty)?;
+        let mut row = vec![Datum::I64(oid.0 as i64)];
+        let mut list_work: Vec<(String, Vec<Value>, ValueType)> = Vec::new();
+        for attr in &attrs {
+            let value = obj.get(&attr.name).cloned().unwrap_or(Value::Nil);
+            match &attr.ty {
+                ValueType::List(inner) => {
+                    let items = match value {
+                        Value::List(items) => items,
+                        Value::Nil => Vec::new(),
+                        other => {
+                            return Err(OrmError::Corrupt(format!(
+                                "attribute {} declared list, holds {}",
+                                attr.name,
+                                other.kind()
+                            )))
+                        }
+                    };
+                    list_work.push((attr.name.clone(), items, inner.as_ref().clone()));
+                }
+                ValueType::Object(_) => match value {
+                    Value::Nil => {
+                        row.push(Datum::Null);
+                        row.push(Datum::Null);
+                    }
+                    Value::Object(child) => {
+                        let child_ty = child.type_name().to_owned();
+                        let child_oid = self.store_unchecked(registry, &child)?;
+                        row.push(Datum::I64(child_oid.0 as i64));
+                        row.push(Datum::Str(child_ty));
+                    }
+                    other => {
+                        return Err(OrmError::Corrupt(format!(
+                            "attribute {} declared object, holds {}",
+                            attr.name,
+                            other.kind()
+                        )))
+                    }
+                },
+                ValueType::Any => {
+                    row.push(Datum::Bytes(wire::marshal_value(&value)));
+                }
+                _ => row.push(Self::scalar_datum(&value)),
+            }
+        }
+        self.db.insert(&obj_table(&ty), row)?;
+        self.db.insert(
+            DIRECTORY,
+            vec![Datum::I64(oid.0 as i64), Datum::Str(ty.clone())],
+        )?;
+        // Lists.
+        for (attr, items, inner) in list_work {
+            let table = list_table(&ty, &attr);
+            for (ord, item) in items.into_iter().enumerate() {
+                let mut link = vec![Datum::I64(oid.0 as i64), Datum::I64(ord as i64)];
+                match (&inner, item) {
+                    (ValueType::Object(_), Value::Object(child)) => {
+                        let child_ty = child.type_name().to_owned();
+                        let child_oid = self.store_unchecked(registry, &child)?;
+                        link.push(Datum::I64(child_oid.0 as i64));
+                        link.push(Datum::Str(child_ty));
+                    }
+                    (ValueType::Object(_), Value::Nil) => {
+                        link.push(Datum::Null);
+                        link.push(Datum::Null);
+                    }
+                    (ValueType::List(_), item) => {
+                        link.push(Datum::Bytes(wire::marshal_value(&item)));
+                    }
+                    (ValueType::Any, item) => {
+                        link.push(Datum::Bytes(wire::marshal_value(&item)));
+                    }
+                    (_, item) => link.push(Self::scalar_datum(&item)),
+                }
+                self.db.insert(&table, link)?;
+            }
+        }
+        // Properties.
+        for p in obj.properties() {
+            self.db.insert(
+                PROPS,
+                vec![
+                    Datum::I64(oid.0 as i64),
+                    Datum::Str(p.name.clone()),
+                    Datum::Bytes(wire::marshal_value(&p.value)),
+                ],
+            )?;
+        }
+        Ok(oid)
+    }
+
+    fn scalar_datum(value: &Value) -> Datum {
+        match value {
+            Value::Nil => Datum::Null,
+            Value::Bool(b) => Datum::Bool(*b),
+            Value::I64(i) => Datum::I64(*i),
+            Value::F64(x) => Datum::F64(*x),
+            Value::Str(s) => Datum::Str(s.clone()),
+            Value::Bytes(b) => Datum::Bytes(b.clone()),
+            // Declared-scalar slots holding compound values are stored
+            // opaquely (validation normally prevents this).
+            other => Datum::Bytes(wire::marshal_value(other)),
+        }
+    }
+
+    /// The concrete type of a stored object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::MissingObject`].
+    pub fn type_of(&self, oid: Oid) -> Result<String, OrmError> {
+        let rows = self
+            .db
+            .select(DIRECTORY, &Pred::Eq("oid".into(), Datum::I64(oid.0 as i64)))?;
+        let (_, row) = rows.first().ok_or(OrmError::MissingObject(oid))?;
+        match &row[1] {
+            Datum::Str(s) => Ok(s.clone()),
+            _ => Err(OrmError::Corrupt("directory row without type".into())),
+        }
+    }
+
+    /// Loads and reconstructs a stored object (recursively).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::MissingObject`] for unknown oids.
+    pub fn load(&self, registry: &TypeRegistry, oid: Oid) -> Result<DataObject, OrmError> {
+        let ty = self.type_of(oid)?;
+        let table = obj_table(&ty);
+        let rows = self
+            .db
+            .select(&table, &Pred::Eq("oid".into(), Datum::I64(oid.0 as i64)))?;
+        let (_, row) = rows.first().ok_or(OrmError::MissingObject(oid))?;
+        self.reconstruct(registry, &ty, oid, row)
+    }
+
+    fn reconstruct(
+        &self,
+        registry: &TypeRegistry,
+        ty: &str,
+        oid: Oid,
+        row: &[Datum],
+    ) -> Result<DataObject, OrmError> {
+        let schema = self.db.schema(&obj_table(ty))?.clone();
+        let attrs = registry.all_attributes(ty)?;
+        let mut obj = DataObject::new(ty);
+        for attr in &attrs {
+            let value = match &attr.ty {
+                ValueType::List(inner) => {
+                    let table = list_table(ty, &attr.name);
+                    let mut links = self.db.select(
+                        &table,
+                        &Pred::Eq("parent_oid".into(), Datum::I64(oid.0 as i64)),
+                    )?;
+                    links.sort_by_key(|(_, link)| match link[1] {
+                        Datum::I64(ord) => ord,
+                        _ => 0,
+                    });
+                    let mut items = Vec::with_capacity(links.len());
+                    for (_, link) in links {
+                        items.push(self.link_value(registry, inner, &link)?);
+                    }
+                    Value::List(items)
+                }
+                ValueType::Object(_) => {
+                    let idx = schema.col(&attr.name).ok_or_else(|| {
+                        OrmError::Corrupt(format!("missing column {}", attr.name))
+                    })?;
+                    match &row[idx] {
+                        Datum::Null => Value::Nil,
+                        Datum::I64(child) => {
+                            Value::Object(Box::new(self.load(registry, Oid(*child as u64))?))
+                        }
+                        other => {
+                            return Err(OrmError::Corrupt(format!(
+                                "object column {} holds {other}",
+                                attr.name
+                            )))
+                        }
+                    }
+                }
+                ValueType::Any => {
+                    let idx = schema.col(&attr.name).ok_or_else(|| {
+                        OrmError::Corrupt(format!("missing column {}", attr.name))
+                    })?;
+                    match &row[idx] {
+                        Datum::Null => Value::Nil,
+                        Datum::Bytes(b) => wire::unmarshal_value(b)?,
+                        other => {
+                            return Err(OrmError::Corrupt(format!(
+                                "any column {} holds {other}",
+                                attr.name
+                            )))
+                        }
+                    }
+                }
+                declared => {
+                    let idx = schema.col(&attr.name).ok_or_else(|| {
+                        OrmError::Corrupt(format!("missing column {}", attr.name))
+                    })?;
+                    Self::scalar_value(declared, &row[idx])?
+                }
+            };
+            obj.set(attr.name.clone(), value);
+        }
+        // Properties.
+        let props = self
+            .db
+            .select(PROPS, &Pred::Eq("oid".into(), Datum::I64(oid.0 as i64)))?;
+        for (_, prow) in props {
+            if let (Datum::Str(name), Datum::Bytes(bytes)) = (&prow[1], &prow[2]) {
+                obj.set_property(name.clone(), wire::unmarshal_value(bytes)?);
+            }
+        }
+        Ok(obj)
+    }
+
+    fn link_value(
+        &self,
+        registry: &TypeRegistry,
+        inner: &ValueType,
+        link: &[Datum],
+    ) -> Result<Value, OrmError> {
+        match inner {
+            ValueType::Object(_) => match &link[2] {
+                Datum::Null => Ok(Value::Nil),
+                Datum::I64(child) => Ok(Value::Object(Box::new(
+                    self.load(registry, Oid(*child as u64))?,
+                ))),
+                other => Err(OrmError::Corrupt(format!("object link holds {other}"))),
+            },
+            ValueType::List(_) | ValueType::Any => match &link[2] {
+                Datum::Null => Ok(Value::Nil),
+                Datum::Bytes(b) => Ok(wire::unmarshal_value(b)?),
+                other => Err(OrmError::Corrupt(format!("opaque link holds {other}"))),
+            },
+            declared => Self::scalar_value(declared, &link[2]),
+        }
+    }
+
+    fn scalar_value(declared: &ValueType, datum: &Datum) -> Result<Value, OrmError> {
+        Ok(match (declared, datum) {
+            (_, Datum::Null) => Value::Nil,
+            (ValueType::Bool, Datum::Bool(b)) => Value::Bool(*b),
+            (ValueType::I64, Datum::I64(i)) => Value::I64(*i),
+            (ValueType::F64, Datum::F64(x)) => Value::F64(*x),
+            (ValueType::F64, Datum::I64(i)) => Value::F64(*i as f64),
+            (ValueType::Str, Datum::Str(s)) => Value::Str(s.clone()),
+            (ValueType::Bytes, Datum::Bytes(b)) => Value::Bytes(b.clone()),
+            (declared, datum) => {
+                return Err(OrmError::Corrupt(format!(
+                    "column of type {declared} holds {datum}"
+                )))
+            }
+        })
+    }
+
+    /// Queries all stored instances of `ty` *or any of its subtypes*
+    /// whose scalar attributes satisfy `pred` ("old queries still work
+    /// even as new subtypes are introduced").
+    ///
+    /// Predicates name attributes; inherited attributes work on every
+    /// subtype because each concrete type's table carries its full
+    /// flattened attribute set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::Type`] for unregistered types.
+    pub fn query(
+        &self,
+        registry: &TypeRegistry,
+        ty: &str,
+        pred: &Pred,
+    ) -> Result<Vec<(Oid, DataObject)>, OrmError> {
+        if !registry.contains(ty) {
+            return Err(OrmError::Type(TypeError::UnknownType(ty.to_owned())));
+        }
+        let mut out = Vec::new();
+        for sub in registry.subtypes_of(ty) {
+            let table = obj_table(&sub);
+            if !self.db.has_table(&table) {
+                continue; // No instance of this subtype was ever stored.
+            }
+            for (_, row) in self.db.select(&table, pred)? {
+                let oid = match row[0] {
+                    Datum::I64(o) => Oid(o as u64),
+                    _ => return Err(OrmError::Corrupt("row without oid".into())),
+                };
+                out.push((oid, self.reconstruct(registry, &sub, oid, &row)?));
+            }
+        }
+        out.sort_by_key(|(oid, _)| *oid);
+        Ok(out)
+    }
+
+    /// Counts stored instances of `ty` including subtypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::Type`] for unregistered types.
+    pub fn count(&self, registry: &TypeRegistry, ty: &str) -> Result<usize, OrmError> {
+        Ok(self.query(registry, ty, &Pred::True)?.len())
+    }
+
+    /// Deletes a stored object's own rows (its directory entry, object
+    /// row, list links, and properties). Component objects remain (they
+    /// have their own oids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrmError::MissingObject`] for unknown oids.
+    pub fn delete(&mut self, registry: &TypeRegistry, oid: Oid) -> Result<(), OrmError> {
+        let ty = self.type_of(oid)?;
+        let key = Datum::I64(oid.0 as i64);
+        self.db
+            .delete(&obj_table(&ty), &Pred::Eq("oid".into(), key.clone()))?;
+        self.db
+            .delete(DIRECTORY, &Pred::Eq("oid".into(), key.clone()))?;
+        self.db
+            .delete(PROPS, &Pred::Eq("oid".into(), key.clone()))?;
+        if let Ok(attrs) = registry.all_attributes(&ty) {
+            for attr in attrs {
+                if matches!(attr.ty, ValueType::List(_)) {
+                    let table = list_table(&ty, &attr.name);
+                    if self.db.has_table(&table) {
+                        self.db
+                            .delete(&table, &Pred::Eq("parent_oid".into(), key.clone()))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infobus_types::TypeDescriptor;
+
+    fn story_registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::with_fundamentals();
+        reg.register(
+            TypeDescriptor::builder("Source")
+                .attribute("name", ValueType::Str)
+                .attribute("priority", ValueType::I64)
+                .build(),
+        )
+        .unwrap();
+        reg.register(
+            TypeDescriptor::builder("Story")
+                .attribute("headline", ValueType::Str)
+                .attribute("body", ValueType::Str)
+                .attribute("score", ValueType::F64)
+                .attribute("urgent", ValueType::Bool)
+                .attribute("industry_groups", ValueType::list_of(ValueType::Str))
+                .attribute("sources", ValueType::list_of(ValueType::object("Source")))
+                .attribute("main_source", ValueType::object("Source"))
+                .attribute("extra", ValueType::Any)
+                .build(),
+        )
+        .unwrap();
+        reg.register(
+            TypeDescriptor::builder("DjStory")
+                .supertype("Story")
+                .attribute("dj_code", ValueType::Str)
+                .build(),
+        )
+        .unwrap();
+        reg
+    }
+
+    fn sample_story(reg: &TypeRegistry, ty: &str, headline: &str) -> DataObject {
+        let mut obj = reg.instantiate(ty).unwrap();
+        let src = reg
+            .instantiate("Source")
+            .unwrap()
+            .with("name", "Reuters")
+            .with("priority", 2i64);
+        obj.set("headline", headline)
+            .set("body", "long text")
+            .set("score", 0.75f64)
+            .set("urgent", true)
+            .set(
+                "industry_groups",
+                Value::List(vec![Value::str("auto"), Value::str("manufacturing")]),
+            )
+            .set("sources", Value::List(vec![Value::object(src.clone())]))
+            .set("main_source", src)
+            .set("extra", Value::List(vec![Value::I64(1), Value::str("x")]));
+        obj.set_property("keywords", Value::List(vec![Value::str("gm")]));
+        obj
+    }
+
+    #[test]
+    fn store_load_round_trip_with_nesting_and_properties() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        let story = sample_story(&reg, "Story", "GM beats estimates");
+        let oid = repo.store(&reg, &story).unwrap();
+        let back = repo.load(&reg, oid).unwrap();
+        assert_eq!(back, story, "complete reconstruction from relations");
+        // The object really was decomposed into multiple tables.
+        let tables = repo.database().table_names();
+        assert!(tables.contains(&"obj_Story".to_owned()), "{tables:?}");
+        assert!(tables.contains(&"obj_Source".to_owned()));
+        assert!(tables.contains(&"lst_Story_sources".to_owned()));
+        assert!(tables.contains(&"lst_Story_industry_groups".to_owned()));
+    }
+
+    #[test]
+    fn unknown_type_generates_schema_on_the_fly() {
+        let mut reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        // A brand-new type arrives at run time (P3 + R2).
+        reg.register(
+            TypeDescriptor::builder("Recipe")
+                .attribute("equipment", ValueType::Str)
+                .attribute("steps", ValueType::list_of(ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        assert!(!repo.database().has_table("obj_Recipe"));
+        let mut recipe = reg.instantiate("Recipe").unwrap();
+        recipe.set("equipment", "litho8");
+        recipe.set(
+            "steps",
+            Value::List(vec![Value::str("coat"), Value::str("expose")]),
+        );
+        let oid = repo.store(&reg, &recipe).unwrap();
+        assert!(repo.database().has_table("obj_Recipe"));
+        assert_eq!(repo.load(&reg, oid).unwrap(), recipe);
+    }
+
+    #[test]
+    fn supertype_query_returns_subtype_instances() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        repo.store(&reg, &sample_story(&reg, "Story", "plain"))
+            .unwrap();
+        let mut dj = sample_story(&reg, "DjStory", "dow jones");
+        dj.set("dj_code", "DJX");
+        repo.store(&reg, &dj).unwrap();
+
+        // Query the supertype: both instances, including the subtype.
+        let all = repo.query(&reg, "Story", &Pred::True).unwrap();
+        assert_eq!(all.len(), 2);
+        let types: Vec<&str> = all.iter().map(|(_, o)| o.type_name()).collect();
+        assert!(types.contains(&"Story"));
+        assert!(types.contains(&"DjStory"));
+        // Constraint on an inherited attribute works across subtypes.
+        let hits = repo
+            .query(
+                &reg,
+                "Story",
+                &Pred::Eq("headline".into(), Datum::Str("dow jones".into())),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.type_name(), "DjStory");
+        assert_eq!(hits[0].1.get("dj_code"), Some(&Value::str("DJX")));
+        // Query the subtype alone: only it.
+        assert_eq!(repo.count(&reg, "DjStory").unwrap(), 1);
+    }
+
+    #[test]
+    fn old_queries_survive_new_subtypes() {
+        let mut reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        repo.store(&reg, &sample_story(&reg, "Story", "first"))
+            .unwrap();
+        assert_eq!(repo.count(&reg, "Story").unwrap(), 1);
+        // A new subtype is introduced and instances arrive…
+        reg.register(
+            TypeDescriptor::builder("RtrsStory")
+                .supertype("Story")
+                .attribute("rtrs_pri", ValueType::I64)
+                .build(),
+        )
+        .unwrap();
+        let mut r = sample_story(&reg, "RtrsStory", "reuters one");
+        r.set("rtrs_pri", 1i64);
+        repo.store(&reg, &r).unwrap();
+        // …and the *old* supertype query now returns them too.
+        assert_eq!(repo.count(&reg, "Story").unwrap(), 2);
+    }
+
+    #[test]
+    fn nil_object_attribute_and_empty_lists() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        let mut obj = reg.instantiate("Story").unwrap();
+        obj.set("headline", "bare");
+        // main_source stays Nil, lists stay empty.
+        let oid = repo.store(&reg, &obj).unwrap();
+        let back = repo.load(&reg, oid).unwrap();
+        assert_eq!(back.get("main_source"), Some(&Value::Nil));
+        assert_eq!(back.get("sources"), Some(&Value::List(vec![])));
+    }
+
+    #[test]
+    fn invalid_object_rejected() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        let mut obj = reg.instantiate("Story").unwrap();
+        obj.set("score", "not a number");
+        assert!(matches!(repo.store(&reg, &obj), Err(OrmError::Type(_))));
+        let ghost = DataObject::new("Ghost");
+        assert!(matches!(repo.store(&reg, &ghost), Err(OrmError::Type(_))));
+    }
+
+    #[test]
+    fn delete_removes_all_own_rows() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        let oid = repo
+            .store(&reg, &sample_story(&reg, "Story", "bye"))
+            .unwrap();
+        repo.delete(&reg, oid).unwrap();
+        assert!(matches!(
+            repo.load(&reg, oid),
+            Err(OrmError::MissingObject(_))
+        ));
+        assert_eq!(repo.count(&reg, "Story").unwrap(), 0);
+        assert_eq!(
+            repo.database()
+                .select(
+                    "lst_Story_sources",
+                    &Pred::Eq("parent_oid".into(), Datum::I64(oid.0 as i64))
+                )
+                .unwrap()
+                .len(),
+            0
+        );
+        assert!(matches!(
+            repo.delete(&reg, oid),
+            Err(OrmError::MissingObject(_))
+        ));
+    }
+
+    #[test]
+    fn many_instances_query_by_score() {
+        let reg = story_registry();
+        let mut repo = ObjectRepository::new();
+        for i in 0..50 {
+            let mut s = sample_story(&reg, "Story", &format!("h{i}"));
+            s.set("score", i as f64 / 50.0);
+            repo.store(&reg, &s).unwrap();
+        }
+        let hot = repo
+            .query(&reg, "Story", &Pred::Ge("score".into(), Datum::F64(0.8)))
+            .unwrap();
+        assert_eq!(hot.len(), 10);
+        assert!(hot
+            .iter()
+            .all(|(_, o)| o.get("score").unwrap().as_f64().unwrap() >= 0.8));
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end repository tests on the simulated bus: capture, dynamic
+//! schema evolution, and the query service.
+
+use infobus_core::{
+    BusApp, BusConfig, BusCtx, BusFabric, CallId, QoS, RetryMode, RmiError, SelectionPolicy,
+};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, HostId, NetBuilder, Sim};
+use infobus_repo::CaptureServer;
+use infobus_types::{DataObject, TypeDescriptor, Value, ValueType};
+
+fn lan(seed: u64, n: usize) -> (Sim, Vec<HostId>) {
+    let mut b = NetBuilder::new(seed);
+    let seg = b.segment(EtherConfig::lan_10mbps());
+    let hosts: Vec<HostId> = (0..n).map(|i| b.host(&format!("h{i}"), &[seg])).collect();
+    (b.build(), hosts)
+}
+
+/// Publishes typed Story objects, registering the types locally first;
+/// the receiving repository learns them from the wire.
+struct StoryFeed {
+    count: i64,
+    sent: i64,
+}
+
+impl StoryFeed {
+    fn register_types(bus: &mut BusCtx<'_, '_>) {
+        let registry = bus.registry();
+        let mut registry = registry.borrow_mut();
+        registry
+            .register(
+                TypeDescriptor::builder("Story")
+                    .attribute("headline", ValueType::Str)
+                    .attribute("industry_groups", ValueType::list_of(ValueType::Str))
+                    .build(),
+            )
+            .unwrap();
+        registry
+            .register(
+                TypeDescriptor::builder("DjStory")
+                    .supertype("Story")
+                    .attribute("dj_code", ValueType::Str)
+                    .build(),
+            )
+            .unwrap();
+    }
+}
+
+impl BusApp for StoryFeed {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        Self::register_types(bus);
+        bus.set_timer(millis(5), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if self.sent >= self.count {
+            return;
+        }
+        let i = self.sent;
+        self.sent += 1;
+        let registry = bus.registry();
+        let mut obj = if i % 2 == 0 {
+            let mut o = registry.borrow().instantiate("Story").unwrap();
+            o.set("headline", format!("plain {i}"));
+            o
+        } else {
+            let mut o = registry.borrow().instantiate("DjStory").unwrap();
+            o.set("headline", format!("dow jones {i}"));
+            o.set("dj_code", "DJX");
+            o
+        };
+        obj.set("industry_groups", Value::List(vec![Value::str("auto")]));
+        bus.publish_object("news.equity.gmc", &obj, QoS::Reliable)
+            .unwrap();
+        bus.set_timer(millis(5), 0);
+    }
+}
+
+#[test]
+fn capture_server_stores_what_it_hears() {
+    let (mut sim, hosts) = lan(31, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "repo",
+        Box::new(CaptureServer::new(&["news.>"])),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "feed",
+        Box::new(StoryFeed { count: 10, sent: 0 }),
+    );
+    sim.run_for(secs(2));
+    fabric
+        .with_app::<CaptureServer, ()>(&mut sim, hosts[1], "repo", |r| {
+            assert_eq!(r.captured, 10);
+            assert_eq!(r.errors, 0);
+            let repo = r.repository();
+            let repo = repo.borrow();
+            // The repository built obj_Story and obj_DjStory tables for
+            // types it had never seen (carried on the wire).
+            let tables = repo.database().table_names();
+            assert!(tables.contains(&"obj_Story".to_owned()), "{tables:?}");
+            assert!(tables.contains(&"obj_DjStory".to_owned()), "{tables:?}");
+        })
+        .unwrap();
+}
+
+#[test]
+fn query_service_answers_over_rmi_with_subtype_queries() {
+    let (mut sim, hosts) = lan(32, 3);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "repo",
+        Box::new(CaptureServer::new(&["news.>"]).with_query_service("svc.repository")),
+    );
+    sim.run_for(millis(50));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "feed",
+        Box::new(StoryFeed { count: 10, sent: 0 }),
+    );
+    sim.run_for(secs(2));
+
+    /// Asks the repository three questions over RMI.
+    #[derive(Default)]
+    struct Analyst {
+        count_all: Option<i64>,
+        count_dj: Option<i64>,
+        contains_hits: Option<usize>,
+        calls: Vec<(CallId, &'static str)>,
+    }
+    impl BusApp for Analyst {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            let c1 = bus
+                .rmi_call(
+                    "svc.repository",
+                    "count",
+                    vec![Value::str("Story")],
+                    SelectionPolicy::First,
+                    RetryMode::Failover,
+                )
+                .unwrap();
+            let c2 = bus
+                .rmi_call(
+                    "svc.repository",
+                    "count",
+                    vec![Value::str("DjStory")],
+                    SelectionPolicy::First,
+                    RetryMode::Failover,
+                )
+                .unwrap();
+            let c3 = bus
+                .rmi_call(
+                    "svc.repository",
+                    "query_contains",
+                    vec![
+                        Value::str("Story"),
+                        Value::str("headline"),
+                        Value::str("dow"),
+                    ],
+                    SelectionPolicy::First,
+                    RetryMode::Failover,
+                )
+                .unwrap();
+            self.calls = vec![(c1, "all"), (c2, "dj"), (c3, "contains")];
+        }
+        fn on_rmi_reply(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            let tag = self
+                .calls
+                .iter()
+                .find(|(c, _)| *c == call)
+                .map(|(_, t)| *t)
+                .unwrap();
+            let value = result.expect("repository query succeeds");
+            match tag {
+                "all" => self.count_all = value.as_i64(),
+                "dj" => self.count_dj = value.as_i64(),
+                "contains" => self.contains_hits = value.as_list().map(|l| l.len()),
+                _ => unreachable!(),
+            }
+        }
+    }
+    fabric.attach_app(&mut sim, hosts[2], "analyst", Box::new(Analyst::default()));
+    sim.run_for(secs(3));
+    fabric
+        .with_app::<Analyst, ()>(&mut sim, hosts[2], "analyst", |a| {
+            assert_eq!(a.count_all, Some(10), "supertype count includes subtypes");
+            assert_eq!(a.count_dj, Some(5));
+            assert_eq!(a.contains_hits, Some(5), "text search over headlines");
+        })
+        .unwrap();
+}
+
+#[test]
+fn store_via_rmi_and_load_back() {
+    let (mut sim, hosts) = lan(33, 2);
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "repo",
+        Box::new(CaptureServer::new(&["nothing.here"]).with_query_service("svc.repository")),
+    );
+    sim.run_for(millis(50));
+
+    struct Writer {
+        oid: Option<i64>,
+        loaded: Option<DataObject>,
+        store_call: Option<CallId>,
+        load_call: Option<CallId>,
+    }
+    impl BusApp for Writer {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            StoryFeed::register_types(bus);
+            let mut obj = bus.registry().borrow().instantiate("Story").unwrap();
+            obj.set("headline", "written via RMI");
+            self.store_call = Some(
+                bus.rmi_call(
+                    "svc.repository",
+                    "store",
+                    vec![Value::object(obj)],
+                    SelectionPolicy::First,
+                    RetryMode::AtMostOnce,
+                )
+                .unwrap(),
+            );
+        }
+        fn on_rmi_reply(
+            &mut self,
+            bus: &mut BusCtx<'_, '_>,
+            call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            let value = result.expect("rmi ok");
+            if Some(call) == self.store_call {
+                self.oid = value.as_i64();
+                self.load_call = Some(
+                    bus.rmi_call(
+                        "svc.repository",
+                        "load",
+                        vec![Value::I64(self.oid.unwrap())],
+                        SelectionPolicy::First,
+                        RetryMode::Failover,
+                    )
+                    .unwrap(),
+                );
+            } else {
+                self.loaded = value.as_object().cloned();
+            }
+        }
+    }
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "writer",
+        Box::new(Writer {
+            oid: None,
+            loaded: None,
+            store_call: None,
+            load_call: None,
+        }),
+    );
+    sim.run_for(secs(3));
+    fabric
+        .with_app::<Writer, ()>(&mut sim, hosts[0], "writer", |w| {
+            assert!(w.oid.is_some());
+            let obj = w.loaded.as_ref().expect("loaded object");
+            assert_eq!(obj.get("headline"), Some(&Value::str("written via RMI")));
+        })
+        .unwrap();
+}
+
+#[test]
+fn guaranteed_capture_survives_a_database_outage() {
+    // The paper's motivating case for guaranteed delivery: "particularly
+    // useful when sending data to a database over an unreliable network."
+    let (mut sim, hosts) = lan(34, 2);
+    let mut fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "repo",
+        Box::new(CaptureServer::new(&["wip.>"])),
+    );
+    sim.run_for(millis(200));
+
+    struct GdFeed {
+        sent: i64,
+    }
+    impl BusApp for GdFeed {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            StoryFeed::register_types(bus);
+            bus.set_timer(millis(10), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            if self.sent >= 5 {
+                return;
+            }
+            let mut obj = bus.registry().borrow().instantiate("Story").unwrap();
+            obj.set("headline", format!("lot {}", self.sent));
+            self.sent += 1;
+            bus.publish_object("wip.lots", &obj, QoS::Guaranteed)
+                .unwrap();
+            bus.set_timer(millis(10), 0);
+        }
+    }
+    // The repository's host goes down; guaranteed messages pile up in the
+    // publisher's ledger.
+    fabric.crash_daemon(&mut sim, hosts[1]);
+    sim.run_for(millis(50));
+    fabric.attach_app(&mut sim, hosts[0], "feed", Box::new(GdFeed { sent: 0 }));
+    sim.run_for(secs(1));
+    // The repository host recovers and a fresh capture server attaches.
+    fabric.restart_daemon(&mut sim, hosts[1], BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "repo",
+        Box::new(CaptureServer::new(&["wip.>"])),
+    );
+    sim.run_for(secs(6));
+    let captured = fabric
+        .with_app::<CaptureServer, u64>(&mut sim, hosts[1], "repo", |r| {
+            let repo = r.repository();
+            let n = {
+                let repo = repo.borrow();
+                repo.database().count("obj_Story").unwrap_or(0) as u64
+            };
+            assert_eq!(r.captured, n);
+            n
+        })
+        .unwrap();
+    assert_eq!(captured, 5, "every guaranteed message reached the database");
+    let stats = fabric.daemon_stats(&mut sim, hosts[0]).unwrap();
+    assert_eq!(stats.gd_pending, 0);
+}

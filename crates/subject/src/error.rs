@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced when parsing a [`Subject`](crate::Subject) or
+/// [`SubjectFilter`](crate::SubjectFilter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubjectError {
+    /// The string was empty.
+    Empty,
+    /// The string exceeded [`MAX_LENGTH`](crate::MAX_LENGTH) bytes.
+    TooLong {
+        /// Actual length of the offending string.
+        len: usize,
+    },
+    /// The string had more than [`MAX_ELEMENTS`](crate::MAX_ELEMENTS)
+    /// elements.
+    TooManyElements {
+        /// Actual number of elements.
+        count: usize,
+    },
+    /// An element was empty (leading, trailing, or doubled dot).
+    EmptyElement {
+        /// Zero-based index of the empty element.
+        index: usize,
+    },
+    /// An element contained a character outside the allowed set.
+    BadCharacter {
+        /// Zero-based index of the offending element.
+        index: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A wildcard (`*` or `>`) appeared in a plain [`Subject`](crate::Subject).
+    WildcardInSubject {
+        /// Zero-based index of the wildcard element.
+        index: usize,
+    },
+    /// A `>` wildcard appeared somewhere other than the final element.
+    TailWildcardNotLast {
+        /// Zero-based index of the misplaced `>`.
+        index: usize,
+    },
+    /// A wildcard character was combined with other characters in one
+    /// element (for example `foo*` or `ba>r`).
+    PartialWildcard {
+        /// Zero-based index of the offending element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SubjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubjectError::Empty => write!(f, "subject is empty"),
+            SubjectError::TooLong { len } => {
+                write!(
+                    f,
+                    "subject is {len} bytes, exceeding the maximum of {}",
+                    crate::MAX_LENGTH
+                )
+            }
+            SubjectError::TooManyElements { count } => write!(
+                f,
+                "subject has {count} elements, exceeding the maximum of {}",
+                crate::MAX_ELEMENTS
+            ),
+            SubjectError::EmptyElement { index } => {
+                write!(f, "element {index} is empty")
+            }
+            SubjectError::BadCharacter { index, ch } => {
+                write!(f, "element {index} contains disallowed character {ch:?}")
+            }
+            SubjectError::WildcardInSubject { index } => {
+                write!(
+                    f,
+                    "element {index} is a wildcard, which is not allowed in a plain subject"
+                )
+            }
+            SubjectError::TailWildcardNotLast { index } => {
+                write!(f, "'>' at element {index} must be the final element")
+            }
+            SubjectError::PartialWildcard { index } => {
+                write!(f, "element {index} mixes a wildcard with other characters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubjectError {}

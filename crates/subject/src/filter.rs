@@ -1,0 +1,296 @@
+use std::fmt;
+
+use crate::{is_element_char, Subject, SubjectError, MAX_ELEMENTS, MAX_LENGTH};
+
+/// One element of a [`SubjectFilter`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FilterElement {
+    /// Matches exactly this literal element.
+    Literal(String),
+    /// `*` — matches exactly one element, whatever it is.
+    AnyOne,
+    /// `>` — matches one or more trailing elements; only valid in the
+    /// final position.
+    Tail,
+}
+
+impl fmt::Display for FilterElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterElement::Literal(s) => f.write_str(s),
+            FilterElement::AnyOne => f.write_str("*"),
+            FilterElement::Tail => f.write_str(">"),
+        }
+    }
+}
+
+/// A subscription pattern over subjects.
+///
+/// A filter looks like a subject but may use wildcards: `*` matches exactly
+/// one element, and a final `>` matches one or more trailing elements.
+/// A filter with no wildcards matches exactly one subject.
+///
+/// # Examples
+///
+/// ```
+/// use infobus_subject::{Subject, SubjectFilter};
+///
+/// let f = SubjectFilter::new("news.*.gmc").unwrap();
+/// assert!(f.matches(&Subject::new("news.equity.gmc").unwrap()));
+/// assert!(!f.matches(&Subject::new("news.gmc").unwrap()));
+///
+/// let tail = SubjectFilter::new("fab5.>").unwrap();
+/// assert!(tail.matches(&Subject::new("fab5.cc.litho8.thick").unwrap()));
+/// assert!(!tail.matches(&Subject::new("fab5").unwrap()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SubjectFilter {
+    elements: Vec<FilterElement>,
+    text: String,
+}
+
+impl SubjectFilter {
+    /// Parses and validates a filter from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubjectError`] if the string is malformed, a `>` is not
+    /// final, or a wildcard is mixed with literal characters in a single
+    /// element.
+    pub fn new(text: &str) -> Result<Self, SubjectError> {
+        if text.is_empty() {
+            return Err(SubjectError::Empty);
+        }
+        if text.len() > MAX_LENGTH {
+            return Err(SubjectError::TooLong { len: text.len() });
+        }
+        let raw: Vec<&str> = text.split('.').collect();
+        if raw.len() > MAX_ELEMENTS {
+            return Err(SubjectError::TooManyElements { count: raw.len() });
+        }
+        let last = raw.len() - 1;
+        let mut elements = Vec::with_capacity(raw.len());
+        for (index, elem) in raw.iter().enumerate() {
+            if elem.is_empty() {
+                return Err(SubjectError::EmptyElement { index });
+            }
+            let parsed = match *elem {
+                "*" => FilterElement::AnyOne,
+                ">" => {
+                    if index != last {
+                        return Err(SubjectError::TailWildcardNotLast { index });
+                    }
+                    FilterElement::Tail
+                }
+                literal => {
+                    for ch in literal.chars() {
+                        if ch == '*' || ch == '>' {
+                            return Err(SubjectError::PartialWildcard { index });
+                        }
+                        if !is_element_char(ch) {
+                            return Err(SubjectError::BadCharacter { index, ch });
+                        }
+                    }
+                    FilterElement::Literal(literal.to_owned())
+                }
+            };
+            elements.push(parsed);
+        }
+        Ok(SubjectFilter {
+            elements,
+            text: text.to_owned(),
+        })
+    }
+
+    /// Builds the filter that matches exactly one subject.
+    pub fn exact(subject: &Subject) -> Self {
+        // A plain subject is always a valid literal-only filter.
+        SubjectFilter::new(subject.as_str()).expect("a valid subject is a valid filter")
+    }
+
+    /// Returns the textual form of this filter.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Returns the parsed elements of this filter.
+    pub fn elements(&self) -> &[FilterElement] {
+        &self.elements
+    }
+
+    /// Returns `true` if the filter contains any wildcard.
+    pub fn is_wildcarded(&self) -> bool {
+        self.elements
+            .iter()
+            .any(|e| matches!(e, FilterElement::AnyOne | FilterElement::Tail))
+    }
+
+    /// Returns `true` if this filter matches `subject`.
+    pub fn matches(&self, subject: &Subject) -> bool {
+        self.matches_elements(&subject.elements().collect::<Vec<_>>())
+    }
+
+    /// Returns `true` if this filter matches the given subject elements.
+    pub fn matches_elements(&self, subject: &[&str]) -> bool {
+        let mut si = 0;
+        for fe in &self.elements {
+            match fe {
+                FilterElement::Literal(lit) => {
+                    if si >= subject.len() || subject[si] != lit.as_str() {
+                        return false;
+                    }
+                    si += 1;
+                }
+                FilterElement::AnyOne => {
+                    if si >= subject.len() {
+                        return false;
+                    }
+                    si += 1;
+                }
+                FilterElement::Tail => {
+                    // `>` requires at least one remaining element and
+                    // consumes all of them.
+                    return si < subject.len();
+                }
+            }
+        }
+        si == subject.len()
+    }
+
+    /// Returns `true` if this filter provably matches a superset of the
+    /// subjects matched by `other`.
+    ///
+    /// Used by information routers to avoid forwarding duplicate
+    /// subscriptions upstream.
+    pub fn covers(&self, other: &SubjectFilter) -> bool {
+        covers(&self.elements, &other.elements)
+    }
+}
+
+fn covers(a: &[FilterElement], b: &[FilterElement]) -> bool {
+    match (a.first(), b.first()) {
+        (None, None) => true,
+        (Some(FilterElement::Tail), Some(_)) => {
+            // `>` covers any non-empty remainder.
+            true
+        }
+        (Some(FilterElement::AnyOne), Some(FilterElement::Tail)) => false,
+        (Some(FilterElement::AnyOne), Some(_)) => covers(&a[1..], &b[1..]),
+        (Some(FilterElement::Literal(x)), Some(FilterElement::Literal(y))) if x == y => {
+            covers(&a[1..], &b[1..])
+        }
+        _ => false,
+    }
+}
+
+impl fmt::Display for SubjectFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for SubjectFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubjectFilter({})", self.text)
+    }
+}
+
+impl std::str::FromStr for SubjectFilter {
+    type Err = SubjectError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SubjectFilter::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subj(s: &str) -> Subject {
+        Subject::new(s).unwrap()
+    }
+
+    #[test]
+    fn literal_filter_matches_exactly() {
+        let f = SubjectFilter::new("news.equity.gmc").unwrap();
+        assert!(f.matches(&subj("news.equity.gmc")));
+        assert!(!f.matches(&subj("news.equity")));
+        assert!(!f.matches(&subj("news.equity.gmc.more")));
+        assert!(!f.is_wildcarded());
+    }
+
+    #[test]
+    fn star_matches_exactly_one_element() {
+        let f = SubjectFilter::new("news.*.gmc").unwrap();
+        assert!(f.matches(&subj("news.equity.gmc")));
+        assert!(f.matches(&subj("news.bond.gmc")));
+        assert!(!f.matches(&subj("news.gmc")));
+        assert!(!f.matches(&subj("news.a.b.gmc")));
+        assert!(f.is_wildcarded());
+    }
+
+    #[test]
+    fn trailing_star() {
+        let f = SubjectFilter::new("news.equity.*").unwrap();
+        assert!(f.matches(&subj("news.equity.gmc")));
+        assert!(!f.matches(&subj("news.equity")));
+        assert!(!f.matches(&subj("news.equity.gmc.q1")));
+    }
+
+    #[test]
+    fn tail_matches_one_or_more() {
+        let f = SubjectFilter::new("fab5.>").unwrap();
+        assert!(f.matches(&subj("fab5.cc")));
+        assert!(f.matches(&subj("fab5.cc.litho8.thick")));
+        assert!(!f.matches(&subj("fab5")));
+        assert!(!f.matches(&subj("fab6.cc")));
+    }
+
+    #[test]
+    fn tail_must_be_last() {
+        assert_eq!(
+            SubjectFilter::new("a.>.b"),
+            Err(SubjectError::TailWildcardNotLast { index: 1 })
+        );
+    }
+
+    #[test]
+    fn partial_wildcards_rejected() {
+        assert_eq!(
+            SubjectFilter::new("ne*s.x"),
+            Err(SubjectError::PartialWildcard { index: 0 })
+        );
+        assert_eq!(
+            SubjectFilter::new("a.b>"),
+            Err(SubjectError::PartialWildcard { index: 1 })
+        );
+    }
+
+    #[test]
+    fn exact_round_trip() {
+        let s = subj("fab5.cc.litho8");
+        let f = SubjectFilter::exact(&s);
+        assert!(f.matches(&s));
+        assert!(!f.is_wildcarded());
+    }
+
+    #[test]
+    fn covers_relation() {
+        let gt = |a: &str, b: &str| {
+            SubjectFilter::new(a)
+                .unwrap()
+                .covers(&SubjectFilter::new(b).unwrap())
+        };
+        assert!(gt("news.>", "news.equity.gmc"));
+        assert!(gt("news.>", "news.*.gmc"));
+        assert!(gt("news.*.gmc", "news.equity.gmc"));
+        assert!(gt("a.b", "a.b"));
+        assert!(!gt("news.*.gmc", "news.>"));
+        assert!(!gt("news.equity.gmc", "news.*.gmc"));
+        assert!(!gt("a.b", "a.c"));
+        // `>` requires at least one element, so it does not cover the
+        // empty remainder.
+        assert!(!gt("a.>", "a"));
+    }
+}

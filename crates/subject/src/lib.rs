@@ -1,0 +1,61 @@
+//! Subject-based addressing for the Information Bus.
+//!
+//! Subjects are hierarchically structured, dot-separated names such as
+//! `fab5.cc.litho8.thick` (plant "fab5", cell controller, lithography
+//! station "litho8", wafer thickness). Data producers label every published
+//! object with a subject; consumers subscribe with a [`SubjectFilter`] that
+//! may be partially specified ("wildcarded"). The bus itself enforces no
+//! policy on the *interpretation* of subjects — conventions are established
+//! by system designers (principle P4, anonymous communication).
+//!
+//! This crate provides:
+//!
+//! * [`Subject`] — a validated, immutable subject name,
+//! * [`SubjectFilter`] — a subscription pattern with `*` (exactly one
+//!   element) and `>` (one or more trailing elements) wildcards,
+//! * [`SubjectTrie`] — an index from filters to subscriber values that
+//!   answers "which subscriptions match this published subject?" in time
+//!   proportional to the subject depth, not the number of subscriptions.
+//!
+//! # Examples
+//!
+//! ```
+//! use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+//!
+//! let subject = Subject::new("news.equity.gmc").unwrap();
+//! let filter = SubjectFilter::new("news.equity.*").unwrap();
+//! assert!(filter.matches(&subject));
+//!
+//! let mut trie: SubjectTrie<&'static str> = SubjectTrie::new();
+//! trie.insert(&SubjectFilter::new("news.>").unwrap(), "monitor");
+//! trie.insert(&SubjectFilter::new("fab5.cc.>").unwrap(), "wip");
+//! let hits: Vec<_> = trie.matches(&subject).map(|(_, v)| *v).collect();
+//! assert_eq!(hits, vec!["monitor"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod filter;
+mod name;
+mod trie;
+
+pub use error::SubjectError;
+pub use filter::{FilterElement, SubjectFilter};
+pub use name::Subject;
+pub use trie::{SubjectTrie, SubscriptionId};
+
+/// Maximum number of dot-separated elements in a subject or filter.
+pub const MAX_ELEMENTS: usize = 32;
+
+/// Maximum total length, in bytes, of a subject or filter string.
+pub const MAX_LENGTH: usize = 255;
+
+/// Returns `true` if `ch` may appear inside a subject element.
+///
+/// Elements may contain any printable ASCII character except the separator
+/// (`.`), the wildcards (`*`, `>`), and whitespace.
+pub(crate) fn is_element_char(ch: char) -> bool {
+    ch.is_ascii_graphic() && !matches!(ch, '.' | '*' | '>')
+}

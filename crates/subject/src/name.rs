@@ -1,0 +1,301 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{is_element_char, SubjectError, MAX_ELEMENTS, MAX_LENGTH};
+
+/// A validated, immutable, hierarchically structured subject name.
+///
+/// A subject is a sequence of one or more non-empty *elements* separated by
+/// dots, for example `fab5.cc.litho8.thick` or `news.equity.gmc`. Plain
+/// subjects never contain wildcards; wildcards belong to
+/// [`SubjectFilter`](crate::SubjectFilter).
+///
+/// `Subject` is cheap to clone (the text is reference-counted) and can be
+/// used as a map key.
+///
+/// # Examples
+///
+/// ```
+/// use infobus_subject::Subject;
+///
+/// let s = Subject::new("news.equity.gmc").unwrap();
+/// assert_eq!(s.depth(), 3);
+/// assert_eq!(s.element(1), Some("equity"));
+/// assert!(Subject::new("news..gmc").is_err());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Subject {
+    text: Arc<str>,
+}
+
+impl Subject {
+    /// Parses and validates a subject from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubjectError`] if the string is empty, too long, has
+    /// too many or empty elements, contains disallowed characters, or
+    /// contains a wildcard.
+    pub fn new(text: &str) -> Result<Self, SubjectError> {
+        validate_subject(text)?;
+        Ok(Subject {
+            text: Arc::from(text),
+        })
+    }
+
+    /// Builds a subject from individual elements, joining them with dots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubjectError`] under the same conditions as
+    /// [`Subject::new`].
+    pub fn from_elements<I, S>(elements: I) -> Result<Self, SubjectError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let joined = elements
+            .into_iter()
+            .map(|e| e.as_ref().to_owned())
+            .collect::<Vec<_>>()
+            .join(".");
+        Subject::new(&joined)
+    }
+
+    /// Returns the full textual form of the subject.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Returns the number of elements.
+    pub fn depth(&self) -> usize {
+        self.elements().count()
+    }
+
+    /// Iterates over the elements in order.
+    pub fn elements(&self) -> impl Iterator<Item = &str> {
+        self.text.split('.')
+    }
+
+    /// Returns the element at `index`, if any.
+    pub fn element(&self, index: usize) -> Option<&str> {
+        self.elements().nth(index)
+    }
+
+    /// Returns `true` if `prefix` is a prefix of this subject, element-wise.
+    ///
+    /// `news.equity` is a prefix of `news.equity.gmc` but not of
+    /// `news.equityx.gmc`.
+    pub fn has_prefix(&self, prefix: &Subject) -> bool {
+        let mut ours = self.elements();
+        for want in prefix.elements() {
+            match ours.next() {
+                Some(have) if have == want => continue,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Returns a new subject with `element` appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SubjectError`] if the resulting subject would be invalid.
+    pub fn child(&self, element: &str) -> Result<Subject, SubjectError> {
+        Subject::new(&format!("{}.{element}", self.text))
+    }
+
+    /// Returns the parent subject (all but the last element), or `None`
+    /// for a single-element subject.
+    pub fn parent(&self) -> Option<Subject> {
+        let idx = self.text.rfind('.')?;
+        Some(Subject {
+            text: Arc::from(&self.text[..idx]),
+        })
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Subject({})", self.text)
+    }
+}
+
+impl AsRef<str> for Subject {
+    fn as_ref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl Borrow<str> for Subject {
+    fn borrow(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::str::FromStr for Subject {
+    type Err = SubjectError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Subject::new(s)
+    }
+}
+
+/// Validates the textual form of a plain (wildcard-free) subject.
+fn validate_subject(text: &str) -> Result<(), SubjectError> {
+    if text.is_empty() {
+        return Err(SubjectError::Empty);
+    }
+    if text.len() > MAX_LENGTH {
+        return Err(SubjectError::TooLong { len: text.len() });
+    }
+    let mut count = 0;
+    for (index, element) in text.split('.').enumerate() {
+        count += 1;
+        if element.is_empty() {
+            return Err(SubjectError::EmptyElement { index });
+        }
+        if element == "*" || element == ">" {
+            return Err(SubjectError::WildcardInSubject { index });
+        }
+        for ch in element.chars() {
+            if ch == '*' || ch == '>' {
+                return Err(SubjectError::WildcardInSubject { index });
+            }
+            if !is_element_char(ch) {
+                return Err(SubjectError::BadCharacter { index, ch });
+            }
+        }
+    }
+    if count > MAX_ELEMENTS {
+        return Err(SubjectError::TooManyElements { count });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        for text in ["fab5.cc.litho8.thick", "news.equity.gmc", "a", "a.b"] {
+            let s = Subject::new(text).unwrap();
+            assert_eq!(s.as_str(), text);
+        }
+    }
+
+    #[test]
+    fn depth_and_elements() {
+        let s = Subject::new("fab5.cc.litho8.thick").unwrap();
+        assert_eq!(s.depth(), 4);
+        assert_eq!(
+            s.elements().collect::<Vec<_>>(),
+            vec!["fab5", "cc", "litho8", "thick"]
+        );
+        assert_eq!(s.element(0), Some("fab5"));
+        assert_eq!(s.element(3), Some("thick"));
+        assert_eq!(s.element(4), None);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(Subject::new(""), Err(SubjectError::Empty));
+        assert_eq!(
+            Subject::new("a..b"),
+            Err(SubjectError::EmptyElement { index: 1 })
+        );
+        assert_eq!(
+            Subject::new(".a"),
+            Err(SubjectError::EmptyElement { index: 0 })
+        );
+        assert_eq!(
+            Subject::new("a."),
+            Err(SubjectError::EmptyElement { index: 1 })
+        );
+        assert!(matches!(
+            Subject::new("a b"),
+            Err(SubjectError::BadCharacter { .. })
+        ));
+        assert!(matches!(
+            Subject::new("a\tb"),
+            Err(SubjectError::BadCharacter { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wildcards_in_plain_subjects() {
+        assert_eq!(
+            Subject::new("news.*"),
+            Err(SubjectError::WildcardInSubject { index: 1 })
+        );
+        assert_eq!(
+            Subject::new(">"),
+            Err(SubjectError::WildcardInSubject { index: 0 })
+        );
+        assert_eq!(
+            Subject::new("a.b>c"),
+            Err(SubjectError::WildcardInSubject { index: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_oversize() {
+        let long = "a".repeat(MAX_LENGTH + 1);
+        assert!(matches!(
+            Subject::new(&long),
+            Err(SubjectError::TooLong { .. })
+        ));
+        let deep = vec!["x"; MAX_ELEMENTS + 1].join(".");
+        assert!(matches!(
+            Subject::new(&deep),
+            Err(SubjectError::TooManyElements { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let full = Subject::new("news.equity.gmc").unwrap();
+        assert!(full.has_prefix(&Subject::new("news").unwrap()));
+        assert!(full.has_prefix(&Subject::new("news.equity").unwrap()));
+        assert!(full.has_prefix(&full));
+        assert!(!full.has_prefix(&Subject::new("news.equityx").unwrap()));
+        assert!(!full.has_prefix(&Subject::new("news.equity.gmc.extra").unwrap()));
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let s = Subject::new("news.equity").unwrap();
+        let c = s.child("gmc").unwrap();
+        assert_eq!(c.as_str(), "news.equity.gmc");
+        assert_eq!(c.parent().unwrap(), s);
+        assert_eq!(Subject::new("solo").unwrap().parent(), None);
+    }
+
+    #[test]
+    fn from_elements_round_trip() {
+        let s = Subject::from_elements(["fab5", "cc", "litho8"]).unwrap();
+        assert_eq!(s.as_str(), "fab5.cc.litho8");
+        assert!(Subject::from_elements(["ok", ""]).is_err());
+    }
+
+    #[test]
+    fn ordering_and_hashing_follow_text() {
+        let a = Subject::new("a.b").unwrap();
+        let b = Subject::new("a.c").unwrap();
+        assert!(a < b);
+        let a2 = Subject::new("a.b").unwrap();
+        assert_eq!(a, a2);
+        use std::collections::HashSet;
+        let set: HashSet<Subject> = [a.clone(), a2, b].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

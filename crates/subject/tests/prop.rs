@@ -1,0 +1,135 @@
+//! Property-based tests for subjects, filters, and the subscription trie.
+
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+use proptest::prelude::*;
+
+/// Strategy producing a valid subject element.
+fn element() -> impl Strategy<Value = String> {
+    "[a-z0-9_-]{1,8}"
+}
+
+/// Strategy producing a valid subject of 1..=6 elements.
+fn subject() -> impl Strategy<Value = Subject> {
+    prop::collection::vec(element(), 1..=6)
+        .prop_map(|elems| Subject::new(&elems.join(".")).expect("generated subject is valid"))
+}
+
+/// Strategy producing a valid filter of 1..=6 elements, with wildcards.
+fn filter() -> impl Strategy<Value = SubjectFilter> {
+    let elem = prop_oneof![
+        4 => element(),
+        1 => Just("*".to_owned()),
+    ];
+    (prop::collection::vec(elem, 1..=5), prop::bool::ANY).prop_map(|(mut elems, tail)| {
+        if tail {
+            elems.push(">".to_owned());
+        }
+        SubjectFilter::new(&elems.join(".")).expect("generated filter is valid")
+    })
+}
+
+proptest! {
+    /// Every valid subject round-trips through its textual form.
+    #[test]
+    fn subject_text_round_trip(s in subject()) {
+        let again = Subject::new(s.as_str()).unwrap();
+        prop_assert_eq!(&s, &again);
+        prop_assert_eq!(s.depth(), s.elements().count());
+    }
+
+    /// A subject used as an exact filter matches itself and nothing with a
+    /// different depth.
+    #[test]
+    fn exact_filter_matches_self(s in subject()) {
+        let f = SubjectFilter::exact(&s);
+        prop_assert!(f.matches(&s));
+        let deeper = s.child("zz").unwrap();
+        prop_assert!(!f.matches(&deeper));
+    }
+
+    /// `filter.matches(subject)` agrees with a naive reference matcher.
+    #[test]
+    fn filter_matches_reference(f in filter(), s in subject()) {
+        let reference = reference_match(
+            f.as_str(),
+            &s.elements().collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(f.matches(&s), reference, "filter={} subject={}", f, s);
+    }
+
+    /// The trie returns exactly the set of subscriptions whose filter
+    /// matches the subject, per a linear scan reference.
+    #[test]
+    fn trie_agrees_with_linear_scan(
+        filters in prop::collection::vec(filter(), 1..20),
+        subjects in prop::collection::vec(subject(), 1..20),
+    ) {
+        let mut trie = SubjectTrie::new();
+        let mut ids = Vec::new();
+        for (i, f) in filters.iter().enumerate() {
+            ids.push(trie.insert(f, i));
+        }
+        for s in &subjects {
+            let mut got: Vec<usize> = trie.matches(s).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            got.dedup();
+            let mut want: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(s))
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "subject={}", s);
+            prop_assert_eq!(trie.matches_any(s), !want.is_empty());
+        }
+    }
+
+    /// Removing every subscription empties the trie; removals only affect
+    /// the removed subscription.
+    #[test]
+    fn trie_remove_is_precise(
+        filters in prop::collection::vec(filter(), 1..15),
+        s in subject(),
+    ) {
+        let mut trie = SubjectTrie::new();
+        let ids: Vec<_> = filters.iter().enumerate().map(|(i, f)| (trie.insert(f, i), i)).collect();
+        let mut remaining: Vec<usize> = (0..filters.len()).collect();
+        for (id, i) in ids {
+            assert_eq!(trie.remove(id), Some(i));
+            remaining.retain(|&r| r != i);
+            let mut got: Vec<usize> = trie.matches(&s).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&r| filters[r].matches(&s))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(trie.is_empty());
+    }
+
+    /// If `a.covers(b)` then every subject matched by `b` is matched by `a`.
+    #[test]
+    fn covers_is_sound(a in filter(), b in filter(), s in subject()) {
+        if a.covers(&b) && b.matches(&s) {
+            prop_assert!(a.matches(&s), "a={} b={} s={}", a, b, s);
+        }
+    }
+}
+
+/// A deliberately naive matcher used as the test oracle.
+fn reference_match(filter: &str, subject: &[&str]) -> bool {
+    let felems: Vec<&str> = filter.split('.').collect();
+    fn go(f: &[&str], s: &[&str]) -> bool {
+        match f.first() {
+            None => s.is_empty(),
+            Some(&">") => !s.is_empty(),
+            Some(&"*") => !s.is_empty() && go(&f[1..], &s[1..]),
+            Some(&lit) => !s.is_empty() && s[0] == lit && go(&f[1..], &s[1..]),
+        }
+    }
+    go(&felems, subject)
+}

@@ -1,0 +1,471 @@
+//! Built-in functions installed into every interpreter.
+
+use infobus_types::print;
+use infobus_types::Value;
+
+use crate::error::TdlError;
+use crate::interp::{Interpreter, TdlValue};
+
+fn arity(callee: &str, expected: &str, got: usize) -> TdlError {
+    TdlError::ArgCount {
+        callee: callee.to_owned(),
+        expected: expected.to_owned(),
+        got,
+    }
+}
+
+fn num2(callee: &str, args: &[TdlValue]) -> Result<(f64, f64, bool), TdlError> {
+    if args.len() != 2 {
+        return Err(arity(callee, "2", args.len()));
+    }
+    let as_num = |v: &TdlValue| -> Result<(f64, bool), TdlError> {
+        match v {
+            TdlValue::Int(i) => Ok((*i as f64, true)),
+            TdlValue::Float(x) => Ok((*x, false)),
+            other => Err(TdlError::TypeMismatch(format!(
+                "{callee}: expected a number, got {}",
+                other.display()
+            ))),
+        }
+    };
+    let (a, ai) = as_num(&args[0])?;
+    let (b, bi) = as_num(&args[1])?;
+    Ok((a, b, ai && bi))
+}
+
+/// Installs the builtin function set into `interp`'s global environment.
+pub(crate) fn install(interp: &mut Interpreter) {
+    // ----- arithmetic -----------------------------------------------------
+    interp.define_native("+", |_, args| {
+        let mut int_acc: i64 = 0;
+        let mut float_acc: f64 = 0.0;
+        let mut is_int = true;
+        for a in &args {
+            match a {
+                TdlValue::Int(i) => {
+                    int_acc = int_acc.wrapping_add(*i);
+                    float_acc += *i as f64;
+                }
+                TdlValue::Float(x) => {
+                    is_int = false;
+                    float_acc += x;
+                }
+                other => {
+                    return Err(TdlError::TypeMismatch(format!(
+                        "+: expected numbers, got {}",
+                        other.display()
+                    )))
+                }
+            }
+        }
+        Ok(if is_int {
+            TdlValue::Int(int_acc)
+        } else {
+            TdlValue::Float(float_acc)
+        })
+    });
+    interp.define_native("-", |_, args| {
+        if args.is_empty() {
+            return Err(arity("-", "at least 1", 0));
+        }
+        if args.len() == 1 {
+            return match &args[0] {
+                TdlValue::Int(i) => Ok(TdlValue::Int(-i)),
+                TdlValue::Float(x) => Ok(TdlValue::Float(-x)),
+                other => Err(TdlError::TypeMismatch(format!("-: {}", other.display()))),
+            };
+        }
+        // Integer subtraction must stay in integer arithmetic: the f64
+        // path silently loses precision beyond 2^53.
+        if let (TdlValue::Int(a), TdlValue::Int(b)) = (&args[0], &args[1]) {
+            return Ok(TdlValue::Int(a.wrapping_sub(*b)));
+        }
+        let (a, b, _) = num2("-", &args)?;
+        Ok(TdlValue::Float(a - b))
+    });
+    interp.define_native("*", |_, args| {
+        let mut int_acc: i64 = 1;
+        let mut float_acc: f64 = 1.0;
+        let mut is_int = true;
+        for a in &args {
+            match a {
+                TdlValue::Int(i) => {
+                    int_acc = int_acc.wrapping_mul(*i);
+                    float_acc *= *i as f64;
+                }
+                TdlValue::Float(x) => {
+                    is_int = false;
+                    float_acc *= x;
+                }
+                other => {
+                    return Err(TdlError::TypeMismatch(format!(
+                        "*: expected numbers, got {}",
+                        other.display()
+                    )))
+                }
+            }
+        }
+        Ok(if is_int {
+            TdlValue::Int(int_acc)
+        } else {
+            TdlValue::Float(float_acc)
+        })
+    });
+    interp.define_native("/", |_, args| {
+        if let (Some(TdlValue::Int(a)), Some(TdlValue::Int(b))) = (args.first(), args.get(1)) {
+            if *b == 0 {
+                return Err(TdlError::TypeMismatch("/: division by zero".into()));
+            }
+            return Ok(TdlValue::Int(a.wrapping_div(*b)));
+        }
+        let (a, b, _) = num2("/", &args)?;
+        if b == 0.0 {
+            return Err(TdlError::TypeMismatch("/: division by zero".into()));
+        }
+        Ok(TdlValue::Float(a / b))
+    });
+    interp.define_native("mod", |_, args| {
+        if let (Some(TdlValue::Int(a)), Some(TdlValue::Int(b))) = (args.first(), args.get(1)) {
+            if *b == 0 {
+                return Err(TdlError::TypeMismatch("mod: division by zero".into()));
+            }
+            return Ok(TdlValue::Int(a.rem_euclid(*b)));
+        }
+        let (a, b, _) = num2("mod", &args)?;
+        if b == 0.0 {
+            return Err(TdlError::TypeMismatch("mod: division by zero".into()));
+        }
+        Ok(TdlValue::Int((a as i64).rem_euclid(b as i64)))
+    });
+    for (name, op) in [("<", 0usize), ("<=", 1), (">", 2), (">=", 3)] {
+        interp.define_native(
+            match name {
+                "<" => "<",
+                "<=" => "<=",
+                ">" => ">",
+                _ => ">=",
+            },
+            move |_, args| {
+                let (a, b, _) = num2("comparison", &args)?;
+                Ok(TdlValue::Bool(match op {
+                    0 => a < b,
+                    1 => a <= b,
+                    2 => a > b,
+                    _ => a >= b,
+                }))
+            },
+        );
+    }
+    interp.define_native("=", |_, args| {
+        if args.len() != 2 {
+            return Err(arity("=", "2", args.len()));
+        }
+        Ok(TdlValue::Bool(args[0] == args[1]))
+    });
+    interp.define_native("/=", |_, args| {
+        if args.len() != 2 {
+            return Err(arity("/=", "2", args.len()));
+        }
+        Ok(TdlValue::Bool(args[0] != args[1]))
+    });
+    interp.define_native("not", |_, args| {
+        if args.len() != 1 {
+            return Err(arity("not", "1", args.len()));
+        }
+        Ok(TdlValue::Bool(!args[0].truthy()))
+    });
+
+    // ----- strings ---------------------------------------------------------
+    interp.define_native("concat", |_, args| {
+        let mut s = String::new();
+        for a in &args {
+            s.push_str(&a.display());
+        }
+        Ok(TdlValue::Str(s))
+    });
+    interp.define_native("string-length", |_, args| match args.as_slice() {
+        [TdlValue::Str(s)] => Ok(TdlValue::Int(s.chars().count() as i64)),
+        _ => Err(TdlError::TypeMismatch(
+            "string-length expects one string".into(),
+        )),
+    });
+    interp.define_native("string-upcase", |_, args| match args.as_slice() {
+        [TdlValue::Str(s)] => Ok(TdlValue::Str(s.to_uppercase())),
+        _ => Err(TdlError::TypeMismatch(
+            "string-upcase expects one string".into(),
+        )),
+    });
+    interp.define_native("string-downcase", |_, args| match args.as_slice() {
+        [TdlValue::Str(s)] => Ok(TdlValue::Str(s.to_lowercase())),
+        _ => Err(TdlError::TypeMismatch(
+            "string-downcase expects one string".into(),
+        )),
+    });
+    interp.define_native("string-contains?", |_, args| match args.as_slice() {
+        [TdlValue::Str(hay), TdlValue::Str(needle)] => {
+            Ok(TdlValue::Bool(hay.contains(needle.as_str())))
+        }
+        _ => Err(TdlError::TypeMismatch(
+            "string-contains? expects two strings".into(),
+        )),
+    });
+    interp.define_native("string-split", |_, args| match args.as_slice() {
+        [TdlValue::Str(s), TdlValue::Str(sep)] => Ok(TdlValue::List(
+            s.split(sep.as_str())
+                .map(|p| TdlValue::Str(p.to_owned()))
+                .collect(),
+        )),
+        _ => Err(TdlError::TypeMismatch(
+            "string-split expects two strings".into(),
+        )),
+    });
+    interp.define_native("->string", |_, args| {
+        if args.len() != 1 {
+            return Err(arity("->string", "1", args.len()));
+        }
+        Ok(TdlValue::Str(args[0].display()))
+    });
+
+    // ----- lists ------------------------------------------------------------
+    interp.define_native("list", |_, args| Ok(TdlValue::List(args)));
+    interp.define_native("length", |_, args| match args.as_slice() {
+        [TdlValue::List(items)] => Ok(TdlValue::Int(items.len() as i64)),
+        [TdlValue::Str(s)] => Ok(TdlValue::Int(s.chars().count() as i64)),
+        [TdlValue::Nil] => Ok(TdlValue::Int(0)),
+        _ => Err(TdlError::TypeMismatch(
+            "length expects a list or string".into(),
+        )),
+    });
+    interp.define_native("nth", |_, args| match args.as_slice() {
+        [TdlValue::Int(i), TdlValue::List(items)] => {
+            Ok(items.get(*i as usize).cloned().unwrap_or(TdlValue::Nil))
+        }
+        _ => Err(TdlError::TypeMismatch(
+            "nth expects (nth index list)".into(),
+        )),
+    });
+    interp.define_native("append", |_, args| {
+        let mut out = Vec::new();
+        for a in args {
+            match a {
+                TdlValue::List(items) => out.extend(items),
+                TdlValue::Nil => {}
+                other => out.push(other),
+            }
+        }
+        Ok(TdlValue::List(out))
+    });
+    interp.define_native("cons", |_, args| {
+        if args.len() != 2 {
+            return Err(arity("cons", "2", args.len()));
+        }
+        let mut args = args;
+        let tail = args.pop().expect("len 2");
+        let head = args.pop().expect("len 2");
+        match tail {
+            TdlValue::List(mut items) => {
+                items.insert(0, head);
+                Ok(TdlValue::List(items))
+            }
+            TdlValue::Nil => Ok(TdlValue::List(vec![head])),
+            other => Ok(TdlValue::List(vec![head, other])),
+        }
+    });
+    interp.define_native("map", |interp, args| {
+        if args.len() != 2 {
+            return Err(arity("map", "2", args.len()));
+        }
+        let TdlValue::List(items) = &args[1] else {
+            return Err(TdlError::TypeMismatch("map expects (map f list)".into()));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(interp.apply(&args[0], vec![item.clone()])?);
+        }
+        Ok(TdlValue::List(out))
+    });
+    interp.define_native("filter", |interp, args| {
+        if args.len() != 2 {
+            return Err(arity("filter", "2", args.len()));
+        }
+        let TdlValue::List(items) = &args[1] else {
+            return Err(TdlError::TypeMismatch(
+                "filter expects (filter pred list)".into(),
+            ));
+        };
+        let mut out = Vec::new();
+        for item in items {
+            if interp.apply(&args[0], vec![item.clone()])?.truthy() {
+                out.push(item.clone());
+            }
+        }
+        Ok(TdlValue::List(out))
+    });
+    interp.define_native("funcall", |interp, args| {
+        let Some((f, rest)) = args.split_first() else {
+            return Err(arity("funcall", "at least 1", 0));
+        };
+        interp.apply(f, rest.to_vec())
+    });
+
+    // ----- output -------------------------------------------------------------
+    interp.define_native("print", |interp, args| {
+        for a in &args {
+            let text = a.display();
+            interp.write_output(&text);
+        }
+        Ok(TdlValue::Nil)
+    });
+    interp.define_native("println", |interp, args| {
+        for a in &args {
+            let text = a.display();
+            interp.write_output(&text);
+        }
+        interp.write_output("\n");
+        Ok(TdlValue::Nil)
+    });
+
+    // ----- slots & properties ----------------------------------------------------
+    interp.define_native("slot-value", |_, args| match args.as_slice() {
+        [TdlValue::Instance(obj), TdlValue::Symbol(slot) | TdlValue::Str(slot)] => {
+            let obj = obj.borrow();
+            obj.get(slot)
+                .map(TdlValue::from_value)
+                .ok_or_else(|| TdlError::SlotMissing {
+                    class: obj.type_name().to_owned(),
+                    slot: slot.clone(),
+                })
+        }
+        _ => Err(TdlError::TypeMismatch(
+            "slot-value expects (slot-value obj 'slot)".into(),
+        )),
+    });
+    interp.define_native("set-slot-value!", |interp, args| match args.as_slice() {
+        [TdlValue::Instance(obj), TdlValue::Symbol(slot) | TdlValue::Str(slot), value] => {
+            {
+                let mut o = obj.borrow_mut();
+                if o.get(slot).is_none() {
+                    return Err(TdlError::SlotMissing {
+                        class: o.type_name().to_owned(),
+                        slot: slot.clone(),
+                    });
+                }
+                o.set(slot.clone(), value.to_value()?);
+            }
+            // Typed slots keep their declared types: validate after write.
+            interp
+                .registry()
+                .borrow()
+                .validate(&obj.borrow())
+                .map_err(|e| TdlError::Registry(e.to_string()))?;
+            Ok(value.clone())
+        }
+        _ => Err(TdlError::TypeMismatch(
+            "set-slot-value! expects (set-slot-value! obj 'slot value)".into(),
+        )),
+    });
+    interp.define_native("property", |_, args| match args.as_slice() {
+        [TdlValue::Instance(obj), TdlValue::Symbol(name) | TdlValue::Str(name)] => Ok(obj
+            .borrow()
+            .property(name)
+            .map(TdlValue::from_value)
+            .unwrap_or(TdlValue::Nil)),
+        _ => Err(TdlError::TypeMismatch(
+            "property expects (property obj 'name)".into(),
+        )),
+    });
+    interp.define_native("set-property!", |_, args| match args.as_slice() {
+        [TdlValue::Instance(obj), TdlValue::Symbol(name) | TdlValue::Str(name), value] => {
+            obj.borrow_mut()
+                .set_property(name.clone(), value.to_value()?);
+            Ok(value.clone())
+        }
+        _ => Err(TdlError::TypeMismatch(
+            "set-property! expects (set-property! obj 'name value)".into(),
+        )),
+    });
+
+    // ----- meta-object protocol (P2 from scripts) ----------------------------------
+    interp.define_native("type-of", |_, args| {
+        if args.len() != 1 {
+            return Err(arity("type-of", "1", args.len()));
+        }
+        Ok(TdlValue::Symbol(args[0].dispatch_class()))
+    });
+    interp.define_native("attribute-names", |interp, args| {
+        if args.len() != 1 {
+            return Err(arity("attribute-names", "1", args.len()));
+        }
+        let class = match &args[0] {
+            TdlValue::Symbol(s) => s.clone(),
+            TdlValue::Instance(obj) => obj.borrow().type_name().to_owned(),
+            other => {
+                return Err(TdlError::TypeMismatch(format!(
+                    "attribute-names: expected a class or instance, got {}",
+                    other.display()
+                )))
+            }
+        };
+        let names = interp
+            .registry()
+            .borrow()
+            .attribute_names(&class)
+            .map_err(|e| TdlError::Registry(e.to_string()))?;
+        Ok(TdlValue::List(
+            names.into_iter().map(TdlValue::Symbol).collect(),
+        ))
+    });
+    interp.define_native("subtype?", |interp, args| match args.as_slice() {
+        [TdlValue::Symbol(sub), TdlValue::Symbol(sup)] => Ok(TdlValue::Bool(
+            interp.registry().borrow().is_subtype(sub, sup),
+        )),
+        _ => Err(TdlError::TypeMismatch(
+            "subtype? expects two class symbols".into(),
+        )),
+    });
+    interp.define_native("class-exists?", |interp, args| match args.as_slice() {
+        [TdlValue::Symbol(name)] => Ok(TdlValue::Bool(interp.registry().borrow().contains(name))),
+        _ => Err(TdlError::TypeMismatch(
+            "class-exists? expects a class symbol".into(),
+        )),
+    });
+    interp.define_native("describe-object", |interp, args| {
+        if args.len() != 1 {
+            return Err(arity("describe-object", "1", args.len()));
+        }
+        let value: Value = args[0].to_value()?;
+        Ok(TdlValue::Str(print::render(
+            &value,
+            &interp.registry().borrow(),
+        )))
+    });
+
+    // ----- predicates ---------------------------------------------------------------
+    interp.define_native("nil?", |_, args| {
+        Ok(TdlValue::Bool(matches!(args.first(), Some(TdlValue::Nil))))
+    });
+    interp.define_native("instance?", |_, args| {
+        Ok(TdlValue::Bool(matches!(
+            args.first(),
+            Some(TdlValue::Instance(_))
+        )))
+    });
+    interp.define_native("number?", |_, args| {
+        Ok(TdlValue::Bool(matches!(
+            args.first(),
+            Some(TdlValue::Int(_)) | Some(TdlValue::Float(_))
+        )))
+    });
+    interp.define_native("string?", |_, args| {
+        Ok(TdlValue::Bool(matches!(
+            args.first(),
+            Some(TdlValue::Str(_))
+        )))
+    });
+    interp.define_native("list?", |_, args| {
+        Ok(TdlValue::Bool(matches!(
+            args.first(),
+            Some(TdlValue::List(_))
+        )))
+    });
+}

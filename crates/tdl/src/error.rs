@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by the TDL lexer, parser, and interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdlError {
+    /// Lexical or syntactic error with source line.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A symbol had no binding.
+    Unbound(String),
+    /// A value was called that is not a function.
+    NotCallable(String),
+    /// Wrong number of arguments.
+    ArgCount {
+        /// What was being called.
+        callee: String,
+        /// Expected arity description.
+        expected: String,
+        /// Actual argument count.
+        got: usize,
+    },
+    /// A value had the wrong type for an operation.
+    TypeMismatch(String),
+    /// No method of a generic function is applicable to the arguments.
+    NoApplicableMethod {
+        /// The generic function.
+        generic: String,
+        /// The dispatch class of the first argument.
+        class: String,
+    },
+    /// `call-next-method` with no remaining less-specific method.
+    NoNextMethod(String),
+    /// An instance lacks the requested slot.
+    SlotMissing {
+        /// The instance's class.
+        class: String,
+        /// The missing slot.
+        slot: String,
+    },
+    /// The named class is not defined.
+    UnknownClass(String),
+    /// Registering the class with the shared type registry failed.
+    Registry(String),
+}
+
+impl fmt::Display for TdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdlError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            TdlError::Unbound(s) => write!(f, "unbound symbol {s:?}"),
+            TdlError::NotCallable(s) => write!(f, "{s} is not callable"),
+            TdlError::ArgCount {
+                callee,
+                expected,
+                got,
+            } => {
+                write!(f, "{callee}: expected {expected} arguments, got {got}")
+            }
+            TdlError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            TdlError::NoApplicableMethod { generic, class } => {
+                write!(f, "no applicable method for {generic} on class {class}")
+            }
+            TdlError::NoNextMethod(generic) => {
+                write!(f, "call-next-method: no next method in {generic}")
+            }
+            TdlError::SlotMissing { class, slot } => {
+                write!(f, "class {class} has no slot {slot:?}")
+            }
+            TdlError::UnknownClass(c) => write!(f, "unknown class {c:?}"),
+            TdlError::Registry(msg) => write!(f, "type registry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TdlError {}

@@ -1,0 +1,1085 @@
+//! The TDL evaluator: environments, classes, generic functions, dispatch.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use infobus_types::{DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+
+use crate::builtins;
+use crate::error::TdlError;
+use crate::parser::{parse_all, Expr};
+
+/// Maximum evaluation depth (guards runaway recursion in scripts).
+const MAX_DEPTH: usize = 256;
+
+/// A native (Rust-implemented) function callable from TDL.
+pub type NativeFn = dyn Fn(&mut Interpreter, Vec<TdlValue>) -> Result<TdlValue, TdlError>;
+
+/// A TDL run-time value.
+#[derive(Clone)]
+pub enum TdlValue {
+    /// The empty value (`nil`).
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<TdlValue>),
+    /// A quoted symbol (class names, slot names).
+    Symbol(String),
+    /// A class instance: a shared, mutable bus data object.
+    Instance(Rc<RefCell<DataObject>>),
+    /// A user-defined function or method closure.
+    Function(Rc<Lambda>),
+    /// A Rust-implemented builtin or host hook.
+    Native(&'static str, Rc<NativeFn>),
+}
+
+impl fmt::Debug for TdlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+impl PartialEq for TdlValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TdlValue::Nil, TdlValue::Nil) => true,
+            (TdlValue::Bool(a), TdlValue::Bool(b)) => a == b,
+            (TdlValue::Int(a), TdlValue::Int(b)) => a == b,
+            (TdlValue::Float(a), TdlValue::Float(b)) => a == b,
+            (TdlValue::Int(a), TdlValue::Float(b)) | (TdlValue::Float(b), TdlValue::Int(a)) => {
+                *a as f64 == *b
+            }
+            (TdlValue::Str(a), TdlValue::Str(b)) => a == b,
+            (TdlValue::Symbol(a), TdlValue::Symbol(b)) => a == b,
+            (TdlValue::List(a), TdlValue::List(b)) => a == b,
+            (TdlValue::Instance(a), TdlValue::Instance(b)) => *a.borrow() == *b.borrow(),
+            _ => false,
+        }
+    }
+}
+
+impl TdlValue {
+    /// Truthiness: everything except `nil` and `#f` is true.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, TdlValue::Nil | TdlValue::Bool(false))
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TdlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            TdlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The instance, if this is an instance.
+    pub fn as_instance(&self) -> Option<&Rc<RefCell<DataObject>>> {
+        match self {
+            TdlValue::Instance(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering (used by `print` and error messages).
+    pub fn display(&self) -> String {
+        match self {
+            TdlValue::Nil => "nil".into(),
+            TdlValue::Bool(b) => if *b { "#t" } else { "#f" }.into(),
+            TdlValue::Int(i) => i.to_string(),
+            TdlValue::Float(x) => format!("{x}"),
+            TdlValue::Str(s) => s.clone(),
+            TdlValue::Symbol(s) => s.clone(),
+            TdlValue::List(items) => {
+                let inner: Vec<String> = items.iter().map(TdlValue::display).collect();
+                format!("({})", inner.join(" "))
+            }
+            TdlValue::Instance(obj) => obj.borrow().to_string(),
+            TdlValue::Function(l) => format!("#<function {}>", l.name),
+            TdlValue::Native(name, _) => format!("#<native {name}>"),
+        }
+    }
+
+    /// Converts a bus [`Value`] into a TDL value (objects become shared
+    /// instances).
+    pub fn from_value(v: &Value) -> TdlValue {
+        match v {
+            Value::Nil => TdlValue::Nil,
+            Value::Bool(b) => TdlValue::Bool(*b),
+            Value::I64(i) => TdlValue::Int(*i),
+            Value::F64(x) => TdlValue::Float(*x),
+            Value::Str(s) => TdlValue::Str(s.clone()),
+            Value::Bytes(b) => TdlValue::List(b.iter().map(|x| TdlValue::Int(*x as i64)).collect()),
+            Value::List(items) => TdlValue::List(items.iter().map(TdlValue::from_value).collect()),
+            Value::Object(obj) => TdlValue::Instance(Rc::new(RefCell::new((**obj).clone()))),
+        }
+    }
+
+    /// Converts a TDL value into a bus [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Functions and natives have no data representation.
+    pub fn to_value(&self) -> Result<Value, TdlError> {
+        Ok(match self {
+            TdlValue::Nil => Value::Nil,
+            TdlValue::Bool(b) => Value::Bool(*b),
+            TdlValue::Int(i) => Value::I64(*i),
+            TdlValue::Float(x) => Value::F64(*x),
+            TdlValue::Str(s) | TdlValue::Symbol(s) => Value::Str(s.clone()),
+            TdlValue::List(items) => Value::List(
+                items
+                    .iter()
+                    .map(TdlValue::to_value)
+                    .collect::<Result<_, _>>()?,
+            ),
+            TdlValue::Instance(obj) => Value::Object(Box::new(obj.borrow().clone())),
+            TdlValue::Function(_) | TdlValue::Native(..) => {
+                return Err(TdlError::TypeMismatch(
+                    "functions cannot be converted to data".into(),
+                ))
+            }
+        })
+    }
+
+    /// The class name used for method dispatch.
+    pub fn dispatch_class(&self) -> String {
+        match self {
+            TdlValue::Nil => "nil".into(),
+            TdlValue::Bool(_) => "bool".into(),
+            TdlValue::Int(_) => "i64".into(),
+            TdlValue::Float(_) => "f64".into(),
+            TdlValue::Str(_) => "str".into(),
+            TdlValue::Symbol(_) => "symbol".into(),
+            TdlValue::List(_) => "list".into(),
+            TdlValue::Instance(obj) => obj.borrow().type_name().to_owned(),
+            TdlValue::Function(_) | TdlValue::Native(..) => "function".into(),
+        }
+    }
+}
+
+/// A user-defined function (or method body) closed over its environment.
+pub struct Lambda {
+    pub(crate) name: String,
+    pub(crate) params: Vec<String>,
+    pub(crate) body: Vec<Expr>,
+    pub(crate) env: Rc<RefCell<Env>>,
+}
+
+/// A lexical environment frame.
+pub(crate) struct Env {
+    vars: HashMap<String, TdlValue>,
+    parent: Option<Rc<RefCell<Env>>>,
+}
+
+impl Env {
+    fn root() -> Rc<RefCell<Env>> {
+        Rc::new(RefCell::new(Env {
+            vars: HashMap::new(),
+            parent: None,
+        }))
+    }
+
+    fn child(parent: &Rc<RefCell<Env>>) -> Rc<RefCell<Env>> {
+        Rc::new(RefCell::new(Env {
+            vars: HashMap::new(),
+            parent: Some(parent.clone()),
+        }))
+    }
+
+    fn get(env: &Rc<RefCell<Env>>, name: &str) -> Option<TdlValue> {
+        let mut cur = env.clone();
+        loop {
+            if let Some(v) = cur.borrow().vars.get(name) {
+                return Some(v.clone());
+            }
+            let parent = cur.borrow().parent.clone();
+            match parent {
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
+    fn define(env: &Rc<RefCell<Env>>, name: &str, value: TdlValue) {
+        env.borrow_mut().vars.insert(name.to_owned(), value);
+    }
+
+    /// Assigns to the nearest existing binding; defines at this frame if
+    /// none exists (so `set!` at top level creates globals).
+    fn set(env: &Rc<RefCell<Env>>, name: &str, value: TdlValue) {
+        let mut cur = env.clone();
+        loop {
+            if cur.borrow().vars.contains_key(name) {
+                cur.borrow_mut().vars.insert(name.to_owned(), value);
+                return;
+            }
+            let parent = cur.borrow().parent.clone();
+            match parent {
+                Some(p) => cur = p,
+                None => {
+                    env.borrow_mut().vars.insert(name.to_owned(), value);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One slot declaration of a TDL class.
+#[derive(Clone)]
+struct SlotDef {
+    name: String,
+    ty: ValueType,
+    initform: Option<Expr>,
+}
+
+/// Interpreter-side class metadata (the registry holds the public
+/// [`TypeDescriptor`]).
+#[derive(Clone)]
+struct ClassInfo {
+    supertype: Option<String>,
+    slots: Vec<SlotDef>,
+}
+
+/// One method of a generic function.
+#[derive(Clone)]
+struct Method {
+    /// Class the first parameter is specialized on (`t` = any).
+    specializer: String,
+    params: Vec<String>,
+    body: Vec<Expr>,
+}
+
+/// The TDL interpreter.
+///
+/// An interpreter owns a shared [`TypeRegistry`]; `defclass` forms
+/// register real bus types, so anything defined in scripts is immediately
+/// usable by the repository, the wire format, and introspection-driven
+/// tools (principle P3).
+pub struct Interpreter {
+    registry: Rc<RefCell<TypeRegistry>>,
+    globals: Rc<RefCell<Env>>,
+    classes: HashMap<String, ClassInfo>,
+    generics: HashMap<String, Vec<Method>>,
+    /// `call-next-method` chains, keyed by the address of the method's
+    /// environment frame. Entries are removed when the frame's invocation
+    /// finishes (success or error), so addresses cannot be observed stale.
+    pending_methods: HashMap<usize, Vec<Method>>,
+    output: String,
+    depth: usize,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with a fresh registry (fundamentals loaded).
+    pub fn new() -> Self {
+        Interpreter::with_registry(Rc::new(RefCell::new(TypeRegistry::with_fundamentals())))
+    }
+
+    /// Creates an interpreter sharing an existing registry (the normal
+    /// configuration on a bus node: scripts and the bus see one type
+    /// space).
+    pub fn with_registry(registry: Rc<RefCell<TypeRegistry>>) -> Self {
+        let mut interp = Interpreter {
+            registry,
+            globals: Env::root(),
+            classes: HashMap::new(),
+            generics: HashMap::new(),
+            pending_methods: HashMap::new(),
+            output: String::new(),
+            depth: 0,
+        };
+        builtins::install(&mut interp);
+        interp
+    }
+
+    /// The shared type registry.
+    pub fn registry(&self) -> Rc<RefCell<TypeRegistry>> {
+        self.registry.clone()
+    }
+
+    /// Defines a global variable.
+    pub fn set_global(&mut self, name: &str, value: TdlValue) {
+        Env::define(&self.globals, name, value);
+    }
+
+    /// Reads a global variable.
+    pub fn get_global(&self, name: &str) -> Option<TdlValue> {
+        Env::get(&self.globals, name)
+    }
+
+    /// Registers a Rust function callable from scripts.
+    pub fn define_native(
+        &mut self,
+        name: &'static str,
+        f: impl Fn(&mut Interpreter, Vec<TdlValue>) -> Result<TdlValue, TdlError> + 'static,
+    ) {
+        Env::define(&self.globals, name, TdlValue::Native(name, Rc::new(f)));
+    }
+
+    /// Takes the text accumulated by `print`/`println`.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Appends to the interpreter's output buffer (used by builtins).
+    pub(crate) fn write_output(&mut self, text: &str) {
+        self.output.push_str(text);
+    }
+
+    /// Parses and evaluates a source string; returns the last form's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or evaluation error.
+    pub fn eval_str(&mut self, src: &str) -> Result<TdlValue, TdlError> {
+        let exprs = parse_all(src)?;
+        let mut last = TdlValue::Nil;
+        let globals = self.globals.clone();
+        for expr in &exprs {
+            last = self.eval(expr, &globals)?;
+        }
+        Ok(last)
+    }
+
+    /// Calls a named global function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdlError::Unbound`] / [`TdlError::NotCallable`] or any
+    /// evaluation error from the body.
+    pub fn call(&mut self, name: &str, args: Vec<TdlValue>) -> Result<TdlValue, TdlError> {
+        if self.generics.contains_key(name) {
+            return self.dispatch_generic(name, args);
+        }
+        let f = Env::get(&self.globals, name).ok_or_else(|| TdlError::Unbound(name.to_owned()))?;
+        self.apply(&f, args)
+    }
+
+    /// Applies a callable value to arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdlError::NotCallable`] for non-functions.
+    pub fn apply(&mut self, callee: &TdlValue, args: Vec<TdlValue>) -> Result<TdlValue, TdlError> {
+        match callee {
+            TdlValue::Function(lambda) => self.invoke_lambda(lambda, args, None),
+            TdlValue::Native(_, f) => {
+                let f = f.clone();
+                f(self, args)
+            }
+            other => Err(TdlError::NotCallable(other.display())),
+        }
+    }
+
+    fn invoke_lambda(
+        &mut self,
+        lambda: &Rc<Lambda>,
+        args: Vec<TdlValue>,
+        next_methods: Option<(String, Vec<Method>, Vec<TdlValue>)>,
+    ) -> Result<TdlValue, TdlError> {
+        if args.len() != lambda.params.len() {
+            return Err(TdlError::ArgCount {
+                callee: lambda.name.clone(),
+                expected: lambda.params.len().to_string(),
+                got: args.len(),
+            });
+        }
+        let frame = Env::child(&lambda.env);
+        for (p, a) in lambda.params.iter().zip(args) {
+            Env::define(&frame, p, a);
+        }
+        if let Some((generic, methods, dispatch_args)) = next_methods {
+            Env::define(&frame, "%generic", TdlValue::Str(generic));
+            Env::define(&frame, "%next-args", TdlValue::List(dispatch_args));
+            self.pending_methods
+                .insert(Rc::as_ptr(&frame) as usize, methods);
+        }
+        let mut result = Ok(TdlValue::Nil);
+        for expr in &lambda.body {
+            result = self.eval(expr, &frame);
+            if result.is_err() {
+                break;
+            }
+        }
+        // Always clear the chain entry, even on error, so a recycled frame
+        // address can never observe a stale chain.
+        self.pending_methods.remove(&(Rc::as_ptr(&frame) as usize));
+        result
+    }
+
+    // ----- evaluation -------------------------------------------------------
+
+    pub(crate) fn eval(
+        &mut self,
+        expr: &Expr,
+        env: &Rc<RefCell<Env>>,
+    ) -> Result<TdlValue, TdlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(TdlError::TypeMismatch(
+                "maximum recursion depth exceeded".into(),
+            ));
+        }
+        let result = self.eval_inner(expr, env);
+        self.depth -= 1;
+        result
+    }
+
+    fn eval_inner(&mut self, expr: &Expr, env: &Rc<RefCell<Env>>) -> Result<TdlValue, TdlError> {
+        match expr {
+            Expr::Int(i) => Ok(TdlValue::Int(*i)),
+            Expr::Float(x) => Ok(TdlValue::Float(*x)),
+            Expr::Str(s) => Ok(TdlValue::Str(s.clone())),
+            Expr::Bool(b) => Ok(TdlValue::Bool(*b)),
+            Expr::Keyword(k) => Ok(TdlValue::Symbol(k.clone())),
+            Expr::Quoted(inner) => Ok(Self::quote(inner)),
+            Expr::Symbol(s) => match s.as_str() {
+                "nil" => Ok(TdlValue::Nil),
+                _ => Env::get(env, s).ok_or_else(|| TdlError::Unbound(s.clone())),
+            },
+            Expr::List(items) => {
+                let Some(head) = items.first() else {
+                    return Ok(TdlValue::Nil);
+                };
+                if let Some(sym) = head.as_symbol() {
+                    if let Some(result) = self.eval_special(sym, &items[1..], env)? {
+                        return Ok(result);
+                    }
+                    // Generic function call?
+                    if self.generics.contains_key(sym) && Env::get(env, sym).is_none() {
+                        let mut args = Vec::with_capacity(items.len() - 1);
+                        for a in &items[1..] {
+                            args.push(self.eval(a, env)?);
+                        }
+                        return self.dispatch_generic(sym, args);
+                    }
+                }
+                let callee = self.eval(head, env)?;
+                let mut args = Vec::with_capacity(items.len() - 1);
+                for a in &items[1..] {
+                    args.push(self.eval(a, env)?);
+                }
+                self.apply(&callee, args)
+            }
+        }
+    }
+
+    /// Converts a quoted expression to a datum.
+    fn quote(expr: &Expr) -> TdlValue {
+        match expr {
+            Expr::Int(i) => TdlValue::Int(*i),
+            Expr::Float(x) => TdlValue::Float(*x),
+            Expr::Str(s) => TdlValue::Str(s.clone()),
+            Expr::Bool(b) => TdlValue::Bool(*b),
+            Expr::Symbol(s) => TdlValue::Symbol(s.clone()),
+            Expr::Keyword(k) => TdlValue::Symbol(k.clone()),
+            Expr::Quoted(inner) => Self::quote(inner),
+            Expr::List(items) => TdlValue::List(items.iter().map(Self::quote).collect()),
+        }
+    }
+
+    /// Evaluates special forms; returns `Ok(None)` when `sym` is not one.
+    fn eval_special(
+        &mut self,
+        sym: &str,
+        rest: &[Expr],
+        env: &Rc<RefCell<Env>>,
+    ) -> Result<Option<TdlValue>, TdlError> {
+        let r = match sym {
+            "quote" => {
+                let [inner] = rest else {
+                    return Err(arity("quote", "1", rest.len()));
+                };
+                Self::quote(inner)
+            }
+            "if" => {
+                if rest.len() < 2 || rest.len() > 3 {
+                    return Err(arity("if", "2 or 3", rest.len()));
+                }
+                let cond = self.eval(&rest[0], env)?;
+                if cond.truthy() {
+                    self.eval(&rest[1], env)?
+                } else if let Some(alt) = rest.get(2) {
+                    self.eval(alt, env)?
+                } else {
+                    TdlValue::Nil
+                }
+            }
+            "cond" => {
+                let mut result = TdlValue::Nil;
+                for clause in rest {
+                    let Expr::List(parts) = clause else {
+                        return Err(TdlError::TypeMismatch("cond clause must be a list".into()));
+                    };
+                    let Some((test, body)) = parts.split_first() else {
+                        return Err(TdlError::TypeMismatch("empty cond clause".into()));
+                    };
+                    let is_else = test.as_symbol() == Some("else");
+                    if is_else || self.eval(test, env)?.truthy() {
+                        for e in body {
+                            result = self.eval(e, env)?;
+                        }
+                        return Ok(Some(result));
+                    }
+                }
+                result
+            }
+            "and" => {
+                let mut result = TdlValue::Bool(true);
+                for e in rest {
+                    result = self.eval(e, env)?;
+                    if !result.truthy() {
+                        return Ok(Some(TdlValue::Bool(false)));
+                    }
+                }
+                result
+            }
+            "or" => {
+                for e in rest {
+                    let v = self.eval(e, env)?;
+                    if v.truthy() {
+                        return Ok(Some(v));
+                    }
+                }
+                TdlValue::Bool(false)
+            }
+            "progn" => {
+                let mut result = TdlValue::Nil;
+                for e in rest {
+                    result = self.eval(e, env)?;
+                }
+                result
+            }
+            "while" => {
+                let Some((cond, body)) = rest.split_first() else {
+                    return Err(arity("while", "at least 1", rest.len()));
+                };
+                while self.eval(cond, env)?.truthy() {
+                    for e in body {
+                        self.eval(e, env)?;
+                    }
+                }
+                TdlValue::Nil
+            }
+            "let" | "let*" => {
+                let Some((bindings, body)) = rest.split_first() else {
+                    return Err(arity("let", "at least 1", rest.len()));
+                };
+                let Expr::List(pairs) = bindings else {
+                    return Err(TdlError::TypeMismatch("let bindings must be a list".into()));
+                };
+                let frame = Env::child(env);
+                for pair in pairs {
+                    let Expr::List(kv) = pair else {
+                        return Err(TdlError::TypeMismatch(
+                            "let binding must be (name value)".into(),
+                        ));
+                    };
+                    let [name, value] = kv.as_slice() else {
+                        return Err(TdlError::TypeMismatch(
+                            "let binding must be (name value)".into(),
+                        ));
+                    };
+                    let Some(name) = name.as_symbol() else {
+                        return Err(TdlError::TypeMismatch(
+                            "let binding name must be a symbol".into(),
+                        ));
+                    };
+                    // `let*` semantics: later bindings see earlier ones.
+                    let v = self.eval(value, &frame)?;
+                    Env::define(&frame, name, v);
+                }
+                let mut result = TdlValue::Nil;
+                for e in body {
+                    result = self.eval(e, &frame)?;
+                }
+                result
+            }
+            "set!" | "setq" => {
+                let [name, value] = rest else {
+                    return Err(arity("set!", "2", rest.len()));
+                };
+                let Some(name) = name.as_symbol() else {
+                    return Err(TdlError::TypeMismatch(
+                        "set! target must be a symbol".into(),
+                    ));
+                };
+                let v = self.eval(value, env)?;
+                Env::set(env, name, v.clone());
+                v
+            }
+            "lambda" => {
+                let Some((params, body)) = rest.split_first() else {
+                    return Err(arity("lambda", "at least 1", rest.len()));
+                };
+                let params = param_names(params)?;
+                TdlValue::Function(Rc::new(Lambda {
+                    name: "lambda".into(),
+                    params,
+                    body: body.to_vec(),
+                    env: env.clone(),
+                }))
+            }
+            "defun" => {
+                if rest.len() < 2 {
+                    return Err(arity("defun", "at least 2", rest.len()));
+                }
+                let Some(name) = rest[0].as_symbol() else {
+                    return Err(TdlError::TypeMismatch("defun name must be a symbol".into()));
+                };
+                let params = param_names(&rest[1])?;
+                let f = TdlValue::Function(Rc::new(Lambda {
+                    name: name.to_owned(),
+                    params,
+                    body: rest[2..].to_vec(),
+                    env: self.globals.clone(),
+                }));
+                Env::define(&self.globals, name, f);
+                TdlValue::Symbol(name.to_owned())
+            }
+            "defclass" => self.eval_defclass(rest)?,
+            "defgeneric" => {
+                if rest.is_empty() {
+                    return Err(arity("defgeneric", "at least 1", rest.len()));
+                }
+                let Some(name) = rest[0].as_symbol() else {
+                    return Err(TdlError::TypeMismatch(
+                        "defgeneric name must be a symbol".into(),
+                    ));
+                };
+                self.generics.entry(name.to_owned()).or_default();
+                TdlValue::Symbol(name.to_owned())
+            }
+            "defmethod" => self.eval_defmethod(rest)?,
+            "make-instance" => self.eval_make_instance(rest, env)?,
+            "call-next-method" => self.eval_call_next(env)?,
+            _ => return Ok(None),
+        };
+        Ok(Some(r))
+    }
+
+    // ----- classes -----------------------------------------------------------
+
+    fn eval_defclass(&mut self, rest: &[Expr]) -> Result<TdlValue, TdlError> {
+        if rest.len() < 2 {
+            return Err(arity("defclass", "at least 2", rest.len()));
+        }
+        let Some(name) = rest[0].as_symbol() else {
+            return Err(TdlError::TypeMismatch(
+                "defclass name must be a symbol".into(),
+            ));
+        };
+        let Expr::List(supers) = &rest[1] else {
+            return Err(TdlError::TypeMismatch(
+                "defclass superclass list must be a list".into(),
+            ));
+        };
+        if supers.len() > 1 {
+            return Err(TdlError::TypeMismatch(
+                "TDL supports single inheritance: at most one superclass".into(),
+            ));
+        }
+        let supertype = match supers.first() {
+            Some(e) => Some(
+                e.as_symbol()
+                    .ok_or_else(|| TdlError::TypeMismatch("superclass must be a symbol".into()))?
+                    .to_owned(),
+            ),
+            None => None,
+        };
+        let mut slots = Vec::new();
+        if let Some(Expr::List(slot_forms)) = rest.get(2) {
+            for form in slot_forms {
+                slots.push(parse_slot(form)?);
+            }
+        }
+        // Register the descriptor with the shared registry (P3).
+        let mut b = TypeDescriptor::builder(name);
+        if let Some(s) = &supertype {
+            b = b.supertype(s.clone());
+        }
+        for slot in &slots {
+            b = b.attribute(slot.name.clone(), slot.ty.clone());
+        }
+        self.registry
+            .borrow_mut()
+            .register(b.build())
+            .map_err(|e| TdlError::Registry(e.to_string()))?;
+        self.classes
+            .insert(name.to_owned(), ClassInfo { supertype, slots });
+        Ok(TdlValue::Symbol(name.to_owned()))
+    }
+
+    /// Collects the slot definitions of a class, inherited first.
+    ///
+    /// Classes defined in TDL contribute their slot forms (with
+    /// initforms); supertypes known only to the shared registry — for
+    /// example types registered by Rust code or learned from the wire —
+    /// contribute their declared attributes with type defaults. This is
+    /// what lets a script extend *any* bus type with `defclass`.
+    fn class_slots(&self, name: &str) -> Result<Vec<SlotDef>, TdlError> {
+        let mut chain = Vec::new();
+        let mut cur = Some(name.to_owned());
+        while let Some(c) = cur {
+            if c == "object" {
+                break;
+            }
+            let sup = if let Some(info) = self.classes.get(&c) {
+                info.supertype.clone()
+            } else if let Some(d) = self.registry.borrow().get(&c) {
+                d.supertype().map(str::to_owned)
+            } else {
+                return Err(TdlError::UnknownClass(c));
+            };
+            chain.push(c);
+            cur = sup;
+        }
+        let mut slots = Vec::new();
+        for class in chain.iter().rev() {
+            if let Some(info) = self.classes.get(class) {
+                slots.extend(info.slots.iter().cloned());
+            } else {
+                let registry = self.registry.borrow();
+                let d = registry.get(class).expect("chain classes are known");
+                for a in d.own_attributes() {
+                    slots.push(SlotDef {
+                        name: a.name.clone(),
+                        ty: a.ty.clone(),
+                        initform: None,
+                    });
+                }
+            }
+        }
+        Ok(slots)
+    }
+
+    fn eval_make_instance(
+        &mut self,
+        rest: &[Expr],
+        env: &Rc<RefCell<Env>>,
+    ) -> Result<TdlValue, TdlError> {
+        if rest.is_empty() {
+            return Err(arity("make-instance", "at least 1", rest.len()));
+        }
+        let class_val = self.eval(&rest[0], env)?;
+        let TdlValue::Symbol(class) = class_val else {
+            return Err(TdlError::TypeMismatch(
+                "make-instance expects a class symbol".into(),
+            ));
+        };
+        let slots = self.class_slots(&class)?;
+        let mut obj = DataObject::new(&class);
+        for slot in &slots {
+            let value = match &slot.initform {
+                Some(expr) => self.eval(expr, env)?.to_value()?,
+                None => slot.ty.default_value(),
+            };
+            obj.set(slot.name.clone(), value);
+        }
+        // Keyword overrides: (:slot value)*.
+        let mut i = 1;
+        while i < rest.len() {
+            let Expr::Keyword(k) = &rest[i] else {
+                return Err(TdlError::TypeMismatch(
+                    "make-instance arguments must be :keyword value pairs".into(),
+                ));
+            };
+            let Some(value_expr) = rest.get(i + 1) else {
+                return Err(TdlError::TypeMismatch(format!("missing value for :{k}")));
+            };
+            if !slots.iter().any(|s| &s.name == k) {
+                return Err(TdlError::SlotMissing {
+                    class: class.clone(),
+                    slot: k.clone(),
+                });
+            }
+            let v = self.eval(value_expr, env)?.to_value()?;
+            obj.set(k.clone(), v);
+            i += 2;
+        }
+        let instance = Rc::new(RefCell::new(obj));
+        self.registry
+            .borrow()
+            .validate(&instance.borrow())
+            .map_err(|e| TdlError::Registry(e.to_string()))?;
+        Ok(TdlValue::Instance(instance))
+    }
+
+    // ----- generic functions ----------------------------------------------------
+
+    fn eval_defmethod(&mut self, rest: &[Expr]) -> Result<TdlValue, TdlError> {
+        if rest.len() < 2 {
+            return Err(arity("defmethod", "at least 2", rest.len()));
+        }
+        let Some(name) = rest[0].as_symbol() else {
+            return Err(TdlError::TypeMismatch(
+                "defmethod name must be a symbol".into(),
+            ));
+        };
+        let Expr::List(params) = &rest[1] else {
+            return Err(TdlError::TypeMismatch(
+                "defmethod parameter list must be a list".into(),
+            ));
+        };
+        let mut specializer = "t".to_owned();
+        let mut names = Vec::new();
+        for (i, p) in params.iter().enumerate() {
+            match p {
+                Expr::Symbol(s) => names.push(s.clone()),
+                Expr::List(pair) => {
+                    let [pname, pclass] = pair.as_slice() else {
+                        return Err(TdlError::TypeMismatch(
+                            "specialized parameter must be (name class)".into(),
+                        ));
+                    };
+                    let (Some(pname), Some(pclass)) = (pname.as_symbol(), pclass.as_symbol())
+                    else {
+                        return Err(TdlError::TypeMismatch(
+                            "specialized parameter must be (name class)".into(),
+                        ));
+                    };
+                    if i == 0 {
+                        specializer = pclass.to_owned();
+                    }
+                    names.push(pname.to_owned());
+                }
+                _ => {
+                    return Err(TdlError::TypeMismatch(
+                        "bad parameter form in defmethod".into(),
+                    ))
+                }
+            }
+        }
+        let method = Method {
+            specializer,
+            params: names,
+            body: rest[2..].to_vec(),
+        };
+        let methods = self.generics.entry(name.to_owned()).or_default();
+        // Replace an existing method with the same specializer.
+        if let Some(existing) = methods
+            .iter_mut()
+            .find(|m| m.specializer == method.specializer)
+        {
+            *existing = method;
+        } else {
+            methods.push(method);
+        }
+        Ok(TdlValue::Symbol(name.to_owned()))
+    }
+
+    /// Orders the applicable methods of `generic` for a first argument of
+    /// class `class`, most specific first.
+    fn applicable_methods(&self, generic: &str, class: &str) -> Vec<Method> {
+        let Some(methods) = self.generics.get(generic) else {
+            return Vec::new();
+        };
+        let registry = self.registry.borrow();
+        // Lineage of the dispatch class, most specific first; fundamental
+        // kinds have a one-element lineage.
+        let lineage: Vec<String> = registry
+            .lineage(class)
+            .unwrap_or_else(|_| vec![class.to_owned()]);
+        let mut ranked: Vec<(usize, Method)> = Vec::new();
+        for m in methods {
+            let rank = if m.specializer == "t" {
+                lineage.len() + 1
+            } else if let Some(pos) = lineage.iter().position(|c| c == &m.specializer) {
+                pos
+            } else {
+                continue;
+            };
+            ranked.push((rank, m.clone()));
+        }
+        ranked.sort_by_key(|(rank, _)| *rank);
+        ranked.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn dispatch_generic(&mut self, name: &str, args: Vec<TdlValue>) -> Result<TdlValue, TdlError> {
+        let class = args
+            .first()
+            .map(TdlValue::dispatch_class)
+            .unwrap_or_else(|| "nil".to_owned());
+        let methods = self.applicable_methods(name, &class);
+        if methods.is_empty() {
+            return Err(TdlError::NoApplicableMethod {
+                generic: name.to_owned(),
+                class,
+            });
+        }
+        self.invoke_method_chain(name, methods, args)
+    }
+
+    fn invoke_method_chain(
+        &mut self,
+        generic: &str,
+        methods: Vec<Method>,
+        args: Vec<TdlValue>,
+    ) -> Result<TdlValue, TdlError> {
+        let (head, tail) = methods.split_first().expect("non-empty method chain");
+        let lambda = Rc::new(Lambda {
+            name: format!("{generic} ({})", head.specializer),
+            params: head.params.clone(),
+            body: head.body.clone(),
+            env: self.globals.clone(),
+        });
+        self.invoke_lambda(
+            &lambda,
+            args.clone(),
+            Some((generic.to_owned(), tail.to_vec(), args)),
+        )
+    }
+
+    fn eval_call_next(&mut self, env: &Rc<RefCell<Env>>) -> Result<TdlValue, TdlError> {
+        // Find the nearest frame with pending next-methods.
+        let mut cur = env.clone();
+        loop {
+            let key = Rc::as_ptr(&cur) as usize;
+            if self.pending_methods.contains_key(&key) {
+                let methods = self.pending_methods.get(&key).cloned().unwrap_or_default();
+                let generic = match Env::get(&cur, "%generic") {
+                    Some(TdlValue::Str(g)) => g,
+                    _ => "?".to_owned(),
+                };
+                let args = match Env::get(&cur, "%next-args") {
+                    Some(TdlValue::List(a)) => a,
+                    _ => Vec::new(),
+                };
+                if methods.is_empty() {
+                    return Err(TdlError::NoNextMethod(generic));
+                }
+                return self.invoke_method_chain(&generic, methods, args);
+            }
+            let parent = cur.borrow().parent.clone();
+            match parent {
+                Some(p) => cur = p,
+                None => return Err(TdlError::NoNextMethod("call-next-method".into())),
+            }
+        }
+    }
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new()
+    }
+}
+
+fn arity(callee: &str, expected: &str, got: usize) -> TdlError {
+    TdlError::ArgCount {
+        callee: callee.to_owned(),
+        expected: expected.to_owned(),
+        got,
+    }
+}
+
+fn param_names(expr: &Expr) -> Result<Vec<String>, TdlError> {
+    let Expr::List(items) = expr else {
+        return Err(TdlError::TypeMismatch(
+            "parameter list must be a list".into(),
+        ));
+    };
+    items
+        .iter()
+        .map(|e| {
+            e.as_symbol()
+                .map(str::to_owned)
+                .ok_or_else(|| TdlError::TypeMismatch("parameter must be a symbol".into()))
+        })
+        .collect()
+}
+
+/// Parses one slot form: `name` or `(name :type ty :initform expr)`.
+fn parse_slot(form: &Expr) -> Result<SlotDef, TdlError> {
+    match form {
+        Expr::Symbol(name) => Ok(SlotDef {
+            name: name.clone(),
+            ty: ValueType::Any,
+            initform: None,
+        }),
+        Expr::List(items) => {
+            let Some((name, opts)) = items.split_first() else {
+                return Err(TdlError::TypeMismatch("empty slot form".into()));
+            };
+            let Some(name) = name.as_symbol() else {
+                return Err(TdlError::TypeMismatch("slot name must be a symbol".into()));
+            };
+            let mut ty = ValueType::Any;
+            let mut initform = None;
+            let mut i = 0;
+            while i < opts.len() {
+                let Expr::Keyword(k) = &opts[i] else {
+                    return Err(TdlError::TypeMismatch(
+                        "slot options must be keywords".into(),
+                    ));
+                };
+                let Some(value) = opts.get(i + 1) else {
+                    return Err(TdlError::TypeMismatch(format!("missing value for :{k}")));
+                };
+                match k.as_str() {
+                    "type" => ty = parse_type(value)?,
+                    "initform" => initform = Some(value.clone()),
+                    other => {
+                        return Err(TdlError::TypeMismatch(format!(
+                            "unknown slot option :{other}"
+                        )))
+                    }
+                }
+                i += 2;
+            }
+            Ok(SlotDef {
+                name: name.to_owned(),
+                ty,
+                initform,
+            })
+        }
+        _ => Err(TdlError::TypeMismatch("bad slot form".into())),
+    }
+}
+
+/// Parses a type designator: `i64`, `str`, `(list str)`, a class name…
+fn parse_type(expr: &Expr) -> Result<ValueType, TdlError> {
+    match expr {
+        Expr::Symbol(s) => Ok(match s.as_str() {
+            "any" | "t" => ValueType::Any,
+            "bool" => ValueType::Bool,
+            "i64" | "int" | "integer" => ValueType::I64,
+            "f64" | "float" | "real" => ValueType::F64,
+            "str" | "string" => ValueType::Str,
+            "bytes" => ValueType::Bytes,
+            class => ValueType::Object(class.to_owned()),
+        }),
+        Expr::List(items) => {
+            let [head, inner] = items.as_slice() else {
+                return Err(TdlError::TypeMismatch(
+                    "compound type must be (list inner)".into(),
+                ));
+            };
+            if head.as_symbol() != Some("list") {
+                return Err(TdlError::TypeMismatch(
+                    "compound type must be (list inner)".into(),
+                ));
+            }
+            Ok(ValueType::List(Box::new(parse_type(inner)?)))
+        }
+        _ => Err(TdlError::TypeMismatch("bad type designator".into())),
+    }
+}

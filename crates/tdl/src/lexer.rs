@@ -1,0 +1,287 @@
+//! Tokenizer for TDL's s-expression surface syntax.
+
+use crate::error::TdlError;
+
+/// A lexical token with its source line (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub line: usize,
+    pub kind: TokenKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    LParen,
+    RParen,
+    /// `'` shorthand for `(quote …)`.
+    Quote,
+    Symbol(String),
+    /// `:foo` keyword arguments.
+    Keyword(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+/// Returns `true` for characters that may start or continue a symbol.
+fn is_symbol_char(c: char) -> bool {
+    c.is_alphanumeric() || "+-*/<>=!?_.%&^~".contains(c)
+}
+
+/// Tokenizes a complete source string.
+///
+/// Comments run from `;` to end of line. `#t`/`#f` are booleans.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, TdlError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::LParen,
+                });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::RParen,
+                });
+            }
+            '\'' => {
+                chars.next();
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Quote,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some(other) => {
+                                return Err(TdlError::Parse {
+                                    line,
+                                    msg: format!("unknown escape \\{other}"),
+                                })
+                            }
+                            None => break,
+                        },
+                        '\n' => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(TdlError::Parse {
+                        line,
+                        msg: "unterminated string".into(),
+                    });
+                }
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str(s),
+                });
+            }
+            '#' => {
+                chars.next();
+                match chars.next() {
+                    Some('t') => tokens.push(Token {
+                        line,
+                        kind: TokenKind::Bool(true),
+                    }),
+                    Some('f') => tokens.push(Token {
+                        line,
+                        kind: TokenKind::Bool(false),
+                    }),
+                    other => {
+                        return Err(TdlError::Parse {
+                            line,
+                            msg: format!("unknown # syntax: {other:?}"),
+                        })
+                    }
+                }
+            }
+            ':' => {
+                chars.next();
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_symbol_char(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(TdlError::Parse {
+                        line,
+                        msg: "empty keyword".into(),
+                    });
+                }
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Keyword(s),
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.clone().nth(1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(s.parse().map_err(|_| TdlError::Parse {
+                        line,
+                        msg: format!("bad float literal {s:?}"),
+                    })?)
+                } else {
+                    TokenKind::Int(s.parse().map_err(|_| TdlError::Parse {
+                        line,
+                        msg: format!("bad integer literal {s:?}"),
+                    })?)
+                };
+                tokens.push(Token { line, kind });
+            }
+            c if is_symbol_char(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_symbol_char(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    line,
+                    kind: TokenKind::Symbol(s),
+                });
+            }
+            other => {
+                return Err(TdlError::Parse {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds(r#"(defclass story () ((x :type i64 :initform 0)))"#),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("defclass".into()),
+                TokenKind::Symbol("story".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LParen,
+                TokenKind::LParen,
+                TokenKind::Symbol("x".into()),
+                TokenKind::Keyword("type".into()),
+                TokenKind::Symbol("i64".into()),
+                TokenKind::Keyword("initform".into()),
+                TokenKind::Int(0),
+                TokenKind::RParen,
+                TokenKind::RParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_strings_bools_quotes() {
+        assert_eq!(
+            kinds(r#"-42 3.5 "a\nb" #t #f 'x"#),
+            vec![
+                TokenKind::Int(-42),
+                TokenKind::Float(3.5),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+                TokenKind::Quote,
+                TokenKind::Symbol("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = tokenize("; first\n(a\n b)").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(tokenize("\"open"), Err(TdlError::Parse { .. })));
+        assert!(matches!(tokenize("#x"), Err(TdlError::Parse { .. })));
+        assert!(matches!(tokenize("{"), Err(TdlError::Parse { .. })));
+        assert!(matches!(tokenize(": "), Err(TdlError::Parse { .. })));
+    }
+
+    #[test]
+    fn minus_is_a_symbol_but_negative_numbers_lex() {
+        assert_eq!(
+            kinds("- -1"),
+            vec![TokenKind::Symbol("-".into()), TokenKind::Int(-1)]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! TDL — the Type Definition Language of the Information Bus.
+//!
+//! The paper (§3, P3 *dynamic classing*) describes TDL as "a small,
+//! interpreted language based on CLOS … a subset of CLOS that supports a
+//! full object model, but that could be supported in a small, efficient
+//! run-time environment". This crate implements that language:
+//!
+//! * `defclass` — classes with typed slots and initforms; each class
+//!   registers a [`TypeDescriptor`](infobus_types::TypeDescriptor) in a
+//!   shared [`TypeRegistry`](infobus_types::TypeRegistry), so types
+//!   defined *in the interpreter at run time* are immediately visible to
+//!   the repository, the monitors, and the wire format (P3);
+//! * `defgeneric` / `defmethod` — generic functions with class-based
+//!   dispatch and `call-next-method`;
+//! * `make-instance`, `slot-value`, `set-slot-value!` — instances are
+//!   ordinary bus [`DataObject`](infobus_types::DataObject)s;
+//! * meta-object protocol builtins — `type-of`, `attribute-names`,
+//!   `subtype?`, `property`, `set-property!` (P2 from inside scripts);
+//! * the usual functional core — `defun`, `lambda`, `let`, `if`, `while`,
+//!   `progn`, arithmetic, strings, lists.
+//!
+//! Deliberate simplification versus full CLOS (documented in DESIGN.md):
+//! single inheritance (matching the bus type system's single supertype)
+//! and dispatch on the first argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use infobus_tdl::Interpreter;
+//!
+//! let mut tdl = Interpreter::new();
+//! let out = tdl.eval_str(r#"
+//!   (defclass story ()
+//!     ((headline :type str :initform "")
+//!      (words :type i64 :initform 0)))
+//!   (defclass dj-story (story)
+//!     ((dj-code :type str :initform "DJ")))
+//!   (defgeneric describe (x))
+//!   (defmethod describe ((s story)) (concat "story: " (slot-value s 'headline)))
+//!   (defmethod describe ((s dj-story)) (concat "[dj] " (call-next-method)))
+//!   (describe (make-instance 'dj-story :headline "GM up 4%"))
+//! "#).unwrap();
+//! assert_eq!(out.as_str(), Some("[dj] story: GM up 4%"));
+//! // The class is now a first-class bus type:
+//! assert!(tdl.registry().borrow().is_subtype("dj-story", "story"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builtins;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+
+pub use error::TdlError;
+pub use interp::{Interpreter, NativeFn, TdlValue};
+pub use parser::Expr;

@@ -1,0 +1,153 @@
+//! Parser: tokens → s-expressions.
+
+use crate::error::TdlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// A parsed TDL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal (`#t` / `#f`).
+    Bool(bool),
+    /// A symbol (variable reference or special-form head).
+    Symbol(String),
+    /// A `:keyword` (used in argument lists and slot options).
+    Keyword(String),
+    /// A parenthesized form.
+    List(Vec<Expr>),
+    /// `'expr` — quoted datum.
+    Quoted(Box<Expr>),
+}
+
+impl Expr {
+    /// The symbol's name, if this is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Expr::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Checks that `src` is syntactically valid TDL without evaluating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TdlError::Parse`] found.
+    pub fn parse_check(src: &str) -> Result<(), TdlError> {
+        parse_all(src).map(|_| ())
+    }
+}
+
+/// Parses a source string into a sequence of top-level expressions.
+///
+/// # Errors
+///
+/// Returns [`TdlError::Parse`] on lexical or structural problems.
+pub fn parse_all(src: &str) -> Result<Vec<Expr>, TdlError> {
+    let tokens = tokenize(src)?;
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < tokens.len() {
+        let (expr, next) = parse_expr(&tokens, pos)?;
+        out.push(expr);
+        pos = next;
+    }
+    Ok(out)
+}
+
+fn parse_expr(tokens: &[Token], pos: usize) -> Result<(Expr, usize), TdlError> {
+    let Some(tok) = tokens.get(pos) else {
+        let line = tokens.last().map(|t| t.line).unwrap_or(1);
+        return Err(TdlError::Parse {
+            line,
+            msg: "unexpected end of input".into(),
+        });
+    };
+    match &tok.kind {
+        TokenKind::Int(i) => Ok((Expr::Int(*i), pos + 1)),
+        TokenKind::Float(x) => Ok((Expr::Float(*x), pos + 1)),
+        TokenKind::Str(s) => Ok((Expr::Str(s.clone()), pos + 1)),
+        TokenKind::Bool(b) => Ok((Expr::Bool(*b), pos + 1)),
+        TokenKind::Symbol(s) => Ok((Expr::Symbol(s.clone()), pos + 1)),
+        TokenKind::Keyword(s) => Ok((Expr::Keyword(s.clone()), pos + 1)),
+        TokenKind::Quote => {
+            let (inner, next) = parse_expr(tokens, pos + 1)?;
+            Ok((Expr::Quoted(Box::new(inner)), next))
+        }
+        TokenKind::LParen => {
+            let mut items = Vec::new();
+            let mut cur = pos + 1;
+            loop {
+                match tokens.get(cur) {
+                    Some(Token {
+                        kind: TokenKind::RParen,
+                        ..
+                    }) => {
+                        return Ok((Expr::List(items), cur + 1));
+                    }
+                    Some(_) => {
+                        let (expr, next) = parse_expr(tokens, cur)?;
+                        items.push(expr);
+                        cur = next;
+                    }
+                    None => {
+                        return Err(TdlError::Parse {
+                            line: tok.line,
+                            msg: "unclosed parenthesis".into(),
+                        })
+                    }
+                }
+            }
+        }
+        TokenKind::RParen => Err(TdlError::Parse {
+            line: tok.line,
+            msg: "unexpected ')'".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_forms() {
+        let exprs = parse_all("(f (g 1 2.5) \"s\" #t :kw 'sym)").unwrap();
+        assert_eq!(exprs.len(), 1);
+        let Expr::List(items) = &exprs[0] else {
+            panic!()
+        };
+        assert_eq!(items[0], Expr::Symbol("f".into()));
+        assert_eq!(
+            items[1],
+            Expr::List(vec![
+                Expr::Symbol("g".into()),
+                Expr::Int(1),
+                Expr::Float(2.5)
+            ])
+        );
+        assert_eq!(items[2], Expr::Str("s".into()));
+        assert_eq!(items[3], Expr::Bool(true));
+        assert_eq!(items[4], Expr::Keyword("kw".into()));
+        assert_eq!(items[5], Expr::Quoted(Box::new(Expr::Symbol("sym".into()))));
+    }
+
+    #[test]
+    fn multiple_top_level_forms() {
+        let exprs = parse_all("(a) (b) 42").unwrap();
+        assert_eq!(exprs.len(), 3);
+        assert_eq!(exprs[2], Expr::Int(42));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(parse_all("(a"), Err(TdlError::Parse { .. })));
+        assert!(matches!(parse_all(")"), Err(TdlError::Parse { .. })));
+        assert!(matches!(parse_all("'"), Err(TdlError::Parse { .. })));
+    }
+}

@@ -1,0 +1,561 @@
+//! Behavioural tests for the TDL language: functional core, classes,
+//! generic dispatch, the meta-object protocol, and registry integration.
+
+use infobus_tdl::{Interpreter, TdlError, TdlValue};
+use infobus_types::{Value, ValueType};
+
+fn eval(src: &str) -> TdlValue {
+    Interpreter::new().eval_str(src).unwrap()
+}
+
+fn eval_err(src: &str) -> TdlError {
+    Interpreter::new().eval_str(src).unwrap_err()
+}
+
+// ----- functional core --------------------------------------------------------
+
+#[test]
+fn arithmetic_and_comparison() {
+    assert_eq!(eval("(+ 1 2 3)"), TdlValue::Int(6));
+    assert_eq!(eval("(- 10 4)"), TdlValue::Int(6));
+    assert_eq!(eval("(- 5)"), TdlValue::Int(-5));
+    assert_eq!(eval("(* 2 3 4)"), TdlValue::Int(24));
+    assert_eq!(eval("(/ 9 2)"), TdlValue::Int(4));
+    assert_eq!(eval("(/ 9.0 2)"), TdlValue::Float(4.5));
+    assert_eq!(eval("(mod 7 3)"), TdlValue::Int(1));
+    assert_eq!(eval("(mod -1 5)"), TdlValue::Int(4));
+    assert_eq!(eval("(+ 1 2.5)"), TdlValue::Float(3.5));
+    assert_eq!(eval("(< 1 2)"), TdlValue::Bool(true));
+    assert_eq!(eval("(>= 2 2)"), TdlValue::Bool(true));
+    assert_eq!(eval("(= 3 3.0)"), TdlValue::Bool(true));
+    assert_eq!(eval("(/= 1 2)"), TdlValue::Bool(true));
+}
+
+#[test]
+fn division_by_zero_is_an_error() {
+    assert!(matches!(eval_err("(/ 1 0)"), TdlError::TypeMismatch(_)));
+    assert!(matches!(eval_err("(mod 1 0)"), TdlError::TypeMismatch(_)));
+}
+
+#[test]
+fn control_flow() {
+    assert_eq!(
+        eval("(if (> 2 1) \"yes\" \"no\")"),
+        TdlValue::Str("yes".into())
+    );
+    assert_eq!(eval("(if #f 1)"), TdlValue::Nil);
+    assert_eq!(
+        eval("(cond ((= 1 2) \"a\") ((= 1 1) \"b\") (else \"c\"))"),
+        TdlValue::Str("b".into())
+    );
+    assert_eq!(
+        eval("(cond ((= 1 2) \"a\") (else \"c\"))"),
+        TdlValue::Str("c".into())
+    );
+    assert_eq!(eval("(and 1 2 3)"), TdlValue::Int(3));
+    assert_eq!(eval("(and 1 #f 3)"), TdlValue::Bool(false));
+    assert_eq!(eval("(or #f nil 7)"), TdlValue::Int(7));
+    assert_eq!(eval("(or #f #f)"), TdlValue::Bool(false));
+    assert_eq!(eval("(progn 1 2 3)"), TdlValue::Int(3));
+}
+
+#[test]
+fn let_bindings_and_set() {
+    assert_eq!(eval("(let ((x 1) (y (+ x 1))) (+ x y))"), TdlValue::Int(3));
+    assert_eq!(
+        eval("(progn (set! g 10) (set! g (+ g 5)) g)"),
+        TdlValue::Int(15)
+    );
+}
+
+#[test]
+fn while_loop_accumulates() {
+    assert_eq!(
+        eval("(progn (set! i 0) (set! acc 0) (while (< i 5) (set! acc (+ acc i)) (set! i (+ i 1))) acc)"),
+        TdlValue::Int(10)
+    );
+}
+
+#[test]
+fn defun_lambda_closures_and_recursion() {
+    assert_eq!(
+        eval("(progn (defun sq (x) (* x x)) (sq 7))"),
+        TdlValue::Int(49)
+    );
+    assert_eq!(eval("((lambda (a b) (+ a b)) 1 2)"), TdlValue::Int(3));
+    assert_eq!(
+        eval("(progn (defun fact (n) (if (<= n 1) 1 (* n (fact (- n 1))))) (fact 10))"),
+        TdlValue::Int(3_628_800)
+    );
+    // Closures capture their defining environment.
+    assert_eq!(
+        eval("(progn (set! make-adder (lambda (n) (lambda (x) (+ x n)))) (funcall (funcall make-adder 10) 5))"),
+        TdlValue::Int(15)
+    );
+}
+
+#[test]
+fn unbounded_recursion_is_caught() {
+    assert!(matches!(
+        eval_err("(progn (defun loop (n) (loop (+ n 1))) (loop 0))"),
+        TdlError::TypeMismatch(_)
+    ));
+}
+
+#[test]
+fn strings_and_lists() {
+    assert_eq!(eval("(concat \"a\" 1 \"b\")"), TdlValue::Str("a1b".into()));
+    assert_eq!(eval("(string-upcase \"gm\")"), TdlValue::Str("GM".into()));
+    assert_eq!(
+        eval("(string-contains? \"general motors\" \"motor\")"),
+        TdlValue::Bool(true)
+    );
+    assert_eq!(
+        eval("(string-split \"a,b,c\" \",\")"),
+        TdlValue::List(vec![
+            TdlValue::Str("a".into()),
+            TdlValue::Str("b".into()),
+            TdlValue::Str("c".into())
+        ])
+    );
+    assert_eq!(eval("(length (list 1 2 3))"), TdlValue::Int(3));
+    assert_eq!(eval("(nth 1 (list 10 20 30))"), TdlValue::Int(20));
+    assert_eq!(eval("(nth 9 (list 1))"), TdlValue::Nil);
+    assert_eq!(
+        eval("(append (list 1) (list 2 3))"),
+        TdlValue::List(vec![TdlValue::Int(1), TdlValue::Int(2), TdlValue::Int(3)])
+    );
+    assert_eq!(
+        eval("(cons 0 (list 1))"),
+        TdlValue::List(vec![TdlValue::Int(0), TdlValue::Int(1)])
+    );
+    assert_eq!(
+        eval("(map (lambda (x) (* x x)) (list 1 2 3))"),
+        TdlValue::List(vec![TdlValue::Int(1), TdlValue::Int(4), TdlValue::Int(9)])
+    );
+    assert_eq!(
+        eval("(filter (lambda (x) (> x 1)) (list 0 1 2 3))"),
+        TdlValue::List(vec![TdlValue::Int(2), TdlValue::Int(3)])
+    );
+}
+
+#[test]
+fn print_accumulates_output() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str("(println \"hello \" 42)").unwrap();
+    tdl.eval_str("(print \"x\")").unwrap();
+    assert_eq!(tdl.take_output(), "hello 42\nx");
+    assert_eq!(tdl.take_output(), "");
+}
+
+#[test]
+fn quoting() {
+    assert_eq!(eval("'abc"), TdlValue::Symbol("abc".into()));
+    assert_eq!(
+        eval("'(1 two \"three\")"),
+        TdlValue::List(vec![
+            TdlValue::Int(1),
+            TdlValue::Symbol("two".into()),
+            TdlValue::Str("three".into())
+        ])
+    );
+}
+
+#[test]
+fn unbound_symbol_error() {
+    assert_eq!(eval_err("nosuch"), TdlError::Unbound("nosuch".into()));
+}
+
+// ----- classes & instances ---------------------------------------------------------
+
+const STORY_CLASSES: &str = r#"
+  (defclass story ()
+    ((headline :type str :initform "")
+     (body :type str :initform "")
+     (words :type i64 :initform 0)))
+  (defclass dj-story (story)
+    ((dj-code :type str :initform "DJ")))
+  (defclass rtrs-story (story)
+    ((priority :type i64 :initform 3)))
+"#;
+
+#[test]
+fn defclass_registers_bus_types() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    let reg = tdl.registry();
+    let reg = reg.borrow();
+    assert!(reg.contains("story"));
+    assert!(reg.is_subtype("dj-story", "story"));
+    assert!(reg.is_subtype("dj-story", "object"));
+    assert_eq!(
+        reg.attribute_names("dj-story").unwrap(),
+        vec!["headline", "body", "words", "dj-code"]
+    );
+    assert_eq!(
+        reg.attribute_type("rtrs-story", "priority").unwrap(),
+        ValueType::I64
+    );
+}
+
+#[test]
+fn make_instance_defaults_initforms_and_overrides() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    let v = tdl
+        .eval_str("(make-instance 'dj-story :headline \"GM up\")")
+        .unwrap();
+    let inst = v.as_instance().unwrap().borrow();
+    assert_eq!(inst.type_name(), "dj-story");
+    assert_eq!(inst.get("headline"), Some(&Value::str("GM up")));
+    assert_eq!(
+        inst.get("dj-code"),
+        Some(&Value::str("DJ")),
+        "initform applied"
+    );
+    assert_eq!(
+        inst.get("words"),
+        Some(&Value::I64(0)),
+        "typed default applied"
+    );
+}
+
+#[test]
+fn make_instance_rejects_unknown_class_and_slot() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    assert!(matches!(
+        tdl.eval_str("(make-instance 'ghost)").unwrap_err(),
+        TdlError::UnknownClass(_)
+    ));
+    assert!(matches!(
+        tdl.eval_str("(make-instance 'story :nope 1)").unwrap_err(),
+        TdlError::SlotMissing { .. }
+    ));
+}
+
+#[test]
+fn slot_access_and_typed_writes() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str("(set! s (make-instance 'story :headline \"x\"))")
+        .unwrap();
+    assert_eq!(
+        tdl.eval_str("(slot-value s 'headline)").unwrap(),
+        TdlValue::Str("x".into())
+    );
+    tdl.eval_str("(set-slot-value! s 'words 120)").unwrap();
+    assert_eq!(
+        tdl.eval_str("(slot-value s 'words)").unwrap(),
+        TdlValue::Int(120)
+    );
+    // Writing a string into an i64 slot violates the declared type.
+    assert!(matches!(
+        tdl.eval_str("(set-slot-value! s 'words \"many\")")
+            .unwrap_err(),
+        TdlError::Registry(_)
+    ));
+    // Unknown slot.
+    assert!(matches!(
+        tdl.eval_str("(slot-value s 'ghost)").unwrap_err(),
+        TdlError::SlotMissing { .. }
+    ));
+}
+
+#[test]
+fn instances_are_shared_references() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str(
+        "(progn (set! a (make-instance 'story)) (set! b a) (set-slot-value! b 'headline \"via b\"))",
+    )
+    .unwrap();
+    assert_eq!(
+        tdl.eval_str("(slot-value a 'headline)").unwrap(),
+        TdlValue::Str("via b".into())
+    );
+}
+
+#[test]
+fn duplicate_defclass_identical_ok_conflicting_rejected() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    // Re-evaluating the same definitions is idempotent.
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    // A conflicting redefinition is rejected by the registry.
+    assert!(matches!(
+        tdl.eval_str("(defclass story () ((totally :type i64)))")
+            .unwrap_err(),
+        TdlError::Registry(_)
+    ));
+}
+
+#[test]
+fn multiple_inheritance_rejected() {
+    assert!(matches!(
+        eval_err("(defclass a ()) (defclass b ()) (defclass c (a b))"),
+        TdlError::TypeMismatch(_)
+    ));
+}
+
+// ----- generic functions -----------------------------------------------------------
+
+#[test]
+fn dispatch_picks_most_specific_method() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str(
+        r#"
+        (defgeneric describe (x))
+        (defmethod describe ((s story)) "plain story")
+        (defmethod describe ((s dj-story)) "dow jones story")
+        "#,
+    )
+    .unwrap();
+    assert_eq!(
+        tdl.eval_str("(describe (make-instance 'dj-story))")
+            .unwrap(),
+        TdlValue::Str("dow jones story".into())
+    );
+    assert_eq!(
+        tdl.eval_str("(describe (make-instance 'rtrs-story))")
+            .unwrap(),
+        TdlValue::Str("plain story".into()),
+        "falls back to the supertype method"
+    );
+}
+
+#[test]
+fn call_next_method_chains_upward() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str(
+        r#"
+        (defgeneric render (x))
+        (defmethod render ((s story)) (concat "story:" (slot-value s 'headline)))
+        (defmethod render ((s dj-story)) (concat "[dj]" (call-next-method)))
+        "#,
+    )
+    .unwrap();
+    assert_eq!(
+        tdl.eval_str("(render (make-instance 'dj-story :headline \"hi\"))")
+            .unwrap(),
+        TdlValue::Str("[dj]story:hi".into())
+    );
+}
+
+#[test]
+fn call_next_method_without_next_errors() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str("(defmethod lonely ((s story)) (call-next-method))")
+        .unwrap();
+    assert!(matches!(
+        tdl.eval_str("(lonely (make-instance 'story))").unwrap_err(),
+        TdlError::NoNextMethod(_)
+    ));
+}
+
+#[test]
+fn dispatch_on_fundamental_kinds_and_t() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(
+        r#"
+        (defgeneric show (x))
+        (defmethod show ((x i64)) "an int")
+        (defmethod show ((x str)) "a string")
+        (defmethod show ((x t)) "something")
+        "#,
+    )
+    .unwrap();
+    assert_eq!(
+        tdl.eval_str("(show 3)").unwrap(),
+        TdlValue::Str("an int".into())
+    );
+    assert_eq!(
+        tdl.eval_str("(show \"s\")").unwrap(),
+        TdlValue::Str("a string".into())
+    );
+    assert_eq!(
+        tdl.eval_str("(show 1.5)").unwrap(),
+        TdlValue::Str("something".into())
+    );
+}
+
+#[test]
+fn no_applicable_method_error() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str("(defgeneric f (x)) (defmethod f ((x str)) x)")
+        .unwrap();
+    assert!(matches!(
+        tdl.eval_str("(f 3)").unwrap_err(),
+        TdlError::NoApplicableMethod { .. }
+    ));
+}
+
+#[test]
+fn redefining_a_method_replaces_it() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str("(defmethod g ((x i64)) \"v1\")").unwrap();
+    assert_eq!(tdl.eval_str("(g 1)").unwrap(), TdlValue::Str("v1".into()));
+    tdl.eval_str("(defmethod g ((x i64)) \"v2\")").unwrap();
+    assert_eq!(tdl.eval_str("(g 1)").unwrap(), TdlValue::Str("v2".into()));
+}
+
+// ----- meta-object protocol ---------------------------------------------------------
+
+#[test]
+fn mop_builtins() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    assert_eq!(
+        tdl.eval_str("(type-of 3)").unwrap(),
+        TdlValue::Symbol("i64".into())
+    );
+    assert_eq!(
+        tdl.eval_str("(type-of (make-instance 'dj-story))").unwrap(),
+        TdlValue::Symbol("dj-story".into())
+    );
+    assert_eq!(
+        tdl.eval_str("(subtype? 'dj-story 'story)").unwrap(),
+        TdlValue::Bool(true)
+    );
+    assert_eq!(
+        tdl.eval_str("(subtype? 'story 'dj-story)").unwrap(),
+        TdlValue::Bool(false)
+    );
+    assert_eq!(
+        tdl.eval_str("(class-exists? 'story)").unwrap(),
+        TdlValue::Bool(true)
+    );
+    assert_eq!(
+        tdl.eval_str("(class-exists? 'ghost)").unwrap(),
+        TdlValue::Bool(false)
+    );
+    let names = tdl.eval_str("(attribute-names 'dj-story)").unwrap();
+    assert_eq!(
+        names,
+        TdlValue::List(vec![
+            TdlValue::Symbol("headline".into()),
+            TdlValue::Symbol("body".into()),
+            TdlValue::Symbol("words".into()),
+            TdlValue::Symbol("dj-code".into()),
+        ])
+    );
+}
+
+#[test]
+fn generic_iteration_over_any_instance() {
+    // The paper's "print utility" pattern, written in TDL itself: walk an
+    // object's attributes via the MOP without knowing its class.
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str(
+        r#"
+        (defun show-all (obj)
+          (map (lambda (name) (concat name "=" (slot-value obj name)))
+               (attribute-names obj)))
+        "#,
+    )
+    .unwrap();
+    let out = tdl
+        .eval_str("(show-all (make-instance 'dj-story :headline \"h\" :words 2))")
+        .unwrap();
+    assert_eq!(
+        out,
+        TdlValue::List(vec![
+            TdlValue::Str("headline=h".into()),
+            TdlValue::Str("body=".into()),
+            TdlValue::Str("words=2".into()),
+            TdlValue::Str("dj-code=DJ".into()),
+        ])
+    );
+}
+
+#[test]
+fn properties_from_scripts() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    tdl.eval_str("(set! s (make-instance 'story))").unwrap();
+    assert_eq!(
+        tdl.eval_str("(property s 'keywords)").unwrap(),
+        TdlValue::Nil
+    );
+    tdl.eval_str("(set-property! s 'keywords (list \"auto\" \"gm\"))")
+        .unwrap();
+    assert_eq!(
+        tdl.eval_str("(property s 'keywords)").unwrap(),
+        TdlValue::List(vec![
+            TdlValue::Str("auto".into()),
+            TdlValue::Str("gm".into())
+        ])
+    );
+}
+
+#[test]
+fn describe_object_renders_via_introspection() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    let text = tdl
+        .eval_str("(describe-object (make-instance 'dj-story :headline \"GM\"))")
+        .unwrap();
+    let text = text.as_str().unwrap().to_owned();
+    assert!(text.contains("dj-story"), "{text}");
+    assert!(text.contains("headline"), "{text}");
+    assert!(text.contains("GM"), "{text}");
+}
+
+// ----- host integration ---------------------------------------------------------------
+
+#[test]
+fn native_functions_and_globals() {
+    let mut tdl = Interpreter::new();
+    tdl.define_native("double", |_, args| {
+        let n = args[0].as_int().expect("int arg");
+        Ok(TdlValue::Int(n * 2))
+    });
+    tdl.set_global("base", TdlValue::Int(20));
+    assert_eq!(
+        tdl.eval_str("(+ (double base) 2)").unwrap(),
+        TdlValue::Int(42)
+    );
+    assert_eq!(tdl.get_global("base").unwrap(), TdlValue::Int(20));
+}
+
+#[test]
+fn host_call_into_scripts() {
+    let mut tdl = Interpreter::new();
+    tdl.eval_str("(defun on-story (headline) (concat \"got: \" headline))")
+        .unwrap();
+    let out = tdl
+        .call("on-story", vec![TdlValue::Str("GM up".into())])
+        .unwrap();
+    assert_eq!(out, TdlValue::Str("got: GM up".into()));
+    // Calling a generic from the host dispatches too.
+    tdl.eval_str("(defmethod sized ((x str)) (string-length x))")
+        .unwrap();
+    assert_eq!(
+        tdl.call("sized", vec![TdlValue::Str("abc".into())])
+            .unwrap(),
+        TdlValue::Int(3)
+    );
+}
+
+#[test]
+fn value_round_trip_through_tdl() {
+    // A bus object handed to a script and back survives, including edits.
+    let mut tdl = Interpreter::new();
+    tdl.eval_str(STORY_CLASSES).unwrap();
+    let mut obj = infobus_types::DataObject::new("story");
+    obj.set("headline", "from-bus")
+        .set("body", "b")
+        .set("words", 1i64);
+    tdl.set_global("incoming", TdlValue::from_value(&Value::object(obj)));
+    tdl.eval_str("(set-slot-value! incoming 'words 99)")
+        .unwrap();
+    let back = tdl.get_global("incoming").unwrap().to_value().unwrap();
+    assert_eq!(
+        back.as_object().unwrap().get("words"),
+        Some(&Value::I64(99))
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for TDL: parser totality, arithmetic correctness
+//! against a Rust model, and value round-trips.
+
+use infobus_tdl::{Expr, Interpreter, TdlValue};
+use infobus_types::Value;
+use proptest::prelude::*;
+
+/// A tiny arithmetic expression AST with a Rust evaluator used as the
+/// oracle for the interpreter.
+#[derive(Debug, Clone)]
+enum Arith {
+    Lit(i64),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn eval(&self) -> i64 {
+        match self {
+            Arith::Lit(n) => *n,
+            Arith::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Arith::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Arith::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+
+    fn to_tdl(&self) -> String {
+        match self {
+            Arith::Lit(n) => {
+                if *n < 0 {
+                    // Negative literals lex fine, but exercise `-` too.
+                    format!("(- 0 {})", -n)
+                } else {
+                    n.to_string()
+                }
+            }
+            Arith::Add(a, b) => format!("(+ {} {})", a.to_tdl(), b.to_tdl()),
+            Arith::Sub(a, b) => format!("(- {} {})", a.to_tdl(), b.to_tdl()),
+            Arith::Mul(a, b) => format!("(* {} {})", a.to_tdl(), b.to_tdl()),
+        }
+    }
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = (-1000i64..1000).prop_map(Arith::Lit);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_is_total(src in "\\PC{0,200}") {
+        let _ = Expr::parse_check(&src);
+    }
+
+    /// Arithmetic agrees with the Rust oracle (wrapping semantics).
+    #[test]
+    fn arithmetic_matches_oracle(expr in arith_strategy()) {
+        let mut tdl = Interpreter::new();
+        let got = tdl.eval_str(&expr.to_tdl()).unwrap();
+        prop_assert_eq!(got, TdlValue::Int(expr.eval()));
+    }
+
+    /// Bus values round-trip through TDL and back unchanged.
+    #[test]
+    fn value_round_trip(
+        n in any::<i64>(),
+        s in "[ -~]{0,30}",
+        b in any::<bool>(),
+        items in prop::collection::vec(-100i64..100, 0..8),
+    ) {
+        for v in [
+            Value::I64(n),
+            Value::Str(s),
+            Value::Bool(b),
+            Value::List(items.into_iter().map(Value::I64).collect()),
+            Value::Nil,
+        ] {
+            let tdl = TdlValue::from_value(&v);
+            prop_assert_eq!(tdl.to_value().unwrap(), v);
+        }
+    }
+
+    /// Deeply nested balanced parens parse; unbalanced ones error
+    /// without panicking.
+    #[test]
+    fn nesting(depth in 1usize..60) {
+        let balanced = format!("{}1{}", "(list ".repeat(depth), ")".repeat(depth));
+        Expr::parse_check(&balanced).unwrap();
+        let unbalanced = format!("{}1", "(list ".repeat(depth));
+        prop_assert!(Expr::parse_check(&unbalanced).is_err());
+    }
+
+    /// String literals with arbitrary printable content round-trip
+    /// through eval.
+    #[test]
+    fn string_literals(s in "[a-zA-Z0-9 _.,!?-]{0,40}") {
+        let mut tdl = Interpreter::new();
+        let got = tdl.eval_str(&format!("{s:?}")).unwrap();
+        prop_assert_eq!(got, TdlValue::Str(s));
+    }
+}

@@ -1,0 +1,242 @@
+//! Type descriptors: the metadata behind self-describing objects.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// A declared attribute of a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// The attribute name.
+    pub name: String,
+    /// The attribute's declared type.
+    pub ty: ValueType,
+}
+
+/// A declared parameter of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// The parameter name.
+    pub name: String,
+    /// The parameter's declared type.
+    pub ty: ValueType,
+}
+
+/// A declared operation in a type's interface.
+///
+/// Operations make service objects *self-describing*: clients can fetch a
+/// server's descriptor, enumerate its operations, and construct calls (or
+/// user interfaces — the Application Builder does exactly that) from the
+/// signatures alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDef {
+    /// The operation name.
+    pub name: String,
+    /// Parameters in call order.
+    pub params: Vec<ParamDef>,
+    /// The result type.
+    pub result: ValueType,
+    /// `true` if the operation may be retried without changing the
+    /// outcome; the RMI layer uses this to offer exactly-once semantics
+    /// above standard at-most-once calls.
+    pub idempotent: bool,
+}
+
+impl fmt::Display for OperationDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", p.name, p.ty)?;
+        }
+        write!(f, ") -> {}", self.result)
+    }
+}
+
+/// The complete metadata of a type: name, supertype, attributes, and
+/// operation signatures (the *interface*).
+///
+/// A type is an abstraction whose behavior is defined by an interface; a
+/// class implements a type (classes live in the TDL crate). Descriptors
+/// are immutable once registered; evolution happens by registering new
+/// (sub)types — existing code adapts via introspection (P2) instead of
+/// recompilation (P3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDescriptor {
+    name: String,
+    supertype: Option<String>,
+    attributes: Vec<AttributeDef>,
+    operations: Vec<OperationDef>,
+}
+
+impl TypeDescriptor {
+    /// Starts building a descriptor for `name`.
+    pub fn builder(name: impl Into<String>) -> TypeDescriptorBuilder {
+        TypeDescriptorBuilder {
+            inner: TypeDescriptor {
+                name: name.into(),
+                supertype: None,
+                attributes: Vec::new(),
+                operations: Vec::new(),
+            },
+        }
+    }
+
+    /// The type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The direct supertype's name, if any.
+    pub fn supertype(&self) -> Option<&str> {
+        self.supertype.as_deref()
+    }
+
+    /// Attributes declared *directly* on this type (inherited attributes
+    /// come from walking the supertype chain via the registry).
+    pub fn own_attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Operations declared directly on this type.
+    pub fn own_operations(&self) -> &[OperationDef] {
+        &self.operations
+    }
+
+    /// Finds a directly declared attribute.
+    pub fn own_attribute(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Finds a directly declared operation.
+    pub fn own_operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Replaces the operation list (crate-internal, used by registry
+    /// normalization and the wire decoder).
+    pub(crate) fn set_operations(&mut self, ops: Vec<OperationDef>) {
+        self.operations = ops;
+    }
+}
+
+impl fmt::Display for TypeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type {}", self.name)?;
+        if let Some(s) = &self.supertype {
+            write!(f, " : {s}")?;
+        }
+        write!(f, " {{")?;
+        for a in &self.attributes {
+            write!(f, " {}: {};", a.name, a.ty)?;
+        }
+        for o in &self.operations {
+            write!(f, " {o};")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Builder for [`TypeDescriptor`].
+#[derive(Debug, Clone)]
+pub struct TypeDescriptorBuilder {
+    inner: TypeDescriptor,
+}
+
+impl TypeDescriptorBuilder {
+    /// Sets the supertype.
+    pub fn supertype(mut self, name: impl Into<String>) -> Self {
+        self.inner.supertype = Some(name.into());
+        self
+    }
+
+    /// Declares an attribute.
+    pub fn attribute(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.inner.attributes.push(AttributeDef {
+            name: name.into(),
+            ty,
+        });
+        self
+    }
+
+    /// Declares an operation.
+    pub fn operation(
+        mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, ValueType)>,
+        result: ValueType,
+    ) -> Self {
+        self.inner.operations.push(OperationDef {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, ty)| ParamDef {
+                    name: n.to_owned(),
+                    ty,
+                })
+                .collect(),
+            result,
+            idempotent: false,
+        });
+        self
+    }
+
+    /// Declares an idempotent operation (safe to retry).
+    pub fn idempotent_operation(
+        mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, ValueType)>,
+        result: ValueType,
+    ) -> Self {
+        self = self.operation(name, params, result);
+        self.inner
+            .operations
+            .last_mut()
+            .expect("just pushed")
+            .idempotent = true;
+        self
+    }
+
+    /// Finishes the descriptor.
+    pub fn build(self) -> TypeDescriptor {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_descriptor() {
+        let d = TypeDescriptor::builder("DjStory")
+            .supertype("Story")
+            .attribute("wire_code", ValueType::Str)
+            .operation(
+                "summarize",
+                vec![("max_len", ValueType::I64)],
+                ValueType::Str,
+            )
+            .idempotent_operation("word_count", vec![], ValueType::I64)
+            .build();
+        assert_eq!(d.name(), "DjStory");
+        assert_eq!(d.supertype(), Some("Story"));
+        assert_eq!(d.own_attributes().len(), 1);
+        assert_eq!(d.own_attribute("wire_code").unwrap().ty, ValueType::Str);
+        assert!(d.own_operation("summarize").is_some());
+        assert!(!d.own_operation("summarize").unwrap().idempotent);
+        assert!(d.own_operation("word_count").unwrap().idempotent);
+        assert!(d.own_operation("absent").is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = TypeDescriptor::builder("T")
+            .attribute("x", ValueType::I64)
+            .operation("f", vec![("a", ValueType::Str)], ValueType::Bool)
+            .build();
+        assert_eq!(d.to_string(), "type T { x: i64; f(a: str) -> bool; }");
+    }
+}

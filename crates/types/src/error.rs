@@ -1,0 +1,147 @@
+use std::fmt;
+
+/// Errors raised by the type system and meta-object protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The named type is not registered.
+    UnknownType(String),
+    /// A type with this name is already registered with a different shape.
+    AlreadyRegistered(String),
+    /// The named supertype is not registered.
+    UnknownSupertype {
+        /// The type being registered.
+        ty: String,
+        /// Its missing supertype.
+        supertype: String,
+    },
+    /// Registering this type would create a supertype cycle.
+    CyclicSupertype(String),
+    /// An object does not carry a declared attribute.
+    UnknownAttribute {
+        /// The object's type.
+        ty: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// An attribute value does not conform to its declared type.
+    BadAttributeType {
+        /// The object's type.
+        ty: String,
+        /// The offending attribute.
+        attribute: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An object carries a slot that its type does not declare.
+    UndeclaredSlot {
+        /// The object's type.
+        ty: String,
+        /// The undeclared slot.
+        slot: String,
+    },
+    /// A type declares the same attribute twice (directly or via
+    /// inheritance with a conflicting type).
+    DuplicateAttribute {
+        /// The type in question.
+        ty: String,
+        /// The duplicated attribute.
+        attribute: String,
+    },
+    /// The named operation is not part of the type's interface.
+    UnknownOperation {
+        /// The type in question.
+        ty: String,
+        /// The missing operation.
+        operation: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownType(t) => write!(f, "unknown type {t:?}"),
+            TypeError::AlreadyRegistered(t) => {
+                write!(
+                    f,
+                    "type {t:?} already registered with a different definition"
+                )
+            }
+            TypeError::UnknownSupertype { ty, supertype } => {
+                write!(f, "type {ty:?} names unknown supertype {supertype:?}")
+            }
+            TypeError::CyclicSupertype(t) => {
+                write!(f, "registering type {t:?} would create a supertype cycle")
+            }
+            TypeError::UnknownAttribute { ty, attribute } => {
+                write!(f, "type {ty:?} has no attribute {attribute:?}")
+            }
+            TypeError::BadAttributeType {
+                ty,
+                attribute,
+                detail,
+            } => {
+                write!(f, "attribute {attribute:?} of {ty:?}: {detail}")
+            }
+            TypeError::UndeclaredSlot { ty, slot } => {
+                write!(f, "object of type {ty:?} carries undeclared slot {slot:?}")
+            }
+            TypeError::DuplicateAttribute { ty, attribute } => {
+                write!(
+                    f,
+                    "type {ty:?} declares attribute {attribute:?} more than once"
+                )
+            }
+            TypeError::UnknownOperation { ty, operation } => {
+                write!(f, "type {ty:?} has no operation {operation:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Errors raised while marshalling or unmarshalling wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length field exceeded sane limits.
+    BadLength(u64),
+    /// The message referenced a type the receiver does not know and the
+    /// message carried no schema for it.
+    MissingType(String),
+    /// A schema carried by the message conflicts with a registered type.
+    SchemaConflict(String),
+    /// Trailing bytes remained after the value was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadLength(n) => write!(f, "implausible length field {n}"),
+            WireError::MissingType(t) => {
+                write!(
+                    f,
+                    "message references unknown type {t:?} and carries no schema for it"
+                )
+            }
+            WireError::SchemaConflict(t) => {
+                write!(
+                    f,
+                    "schema for type {t:?} conflicts with the registered definition"
+                )
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,61 @@
+//! The Information Bus object model: self-describing objects, a
+//! supertype/subtype hierarchy, dynamic type registration, and a
+//! self-describing wire format.
+//!
+//! This crate implements principles **P2** (self-describing objects) and
+//! the data-model half of **P3** (dynamic classing) from the paper:
+//!
+//! * every [`DataObject`] supports a *meta-object protocol* — queries
+//!   about its type, attribute names, attribute types, and (through its
+//!   [`TypeDescriptor`]) operation signatures;
+//! * new types can be defined and registered at run time
+//!   ([`TypeRegistry::register`]); existing generic code (printing,
+//!   storage mapping, display) operates on them immediately without
+//!   recompilation;
+//! * the wire format ([`wire`]) is *self-describing*: marshalled messages
+//!   can carry the type descriptors they depend on, so a receiver that has
+//!   never seen a type reconstructs it on receipt.
+//!
+//! The generic [`print`](mod@print) module is the paper's "print utility" example: it
+//! renders an object of *any* type using introspection only.
+//!
+//! # Examples
+//!
+//! ```
+//! use infobus_types::{DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+//!
+//! let mut reg = TypeRegistry::with_fundamentals();
+//! reg.register(
+//!     TypeDescriptor::builder("Story")
+//!         .attribute("headline", ValueType::Str)
+//!         .attribute("body", ValueType::Str)
+//!         .build(),
+//! ).unwrap();
+//!
+//! let mut story = DataObject::new("Story");
+//! story.set("headline", Value::str("GM announces earnings"));
+//! story.set("body", Value::str("…"));
+//! reg.validate(&story).unwrap();
+//!
+//! // Meta-object protocol: discover attributes without knowing the type.
+//! let names = reg.attribute_names("Story").unwrap();
+//! assert_eq!(names, vec!["headline".to_string(), "body".to_string()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod descriptor;
+mod error;
+mod object;
+pub mod print;
+mod registry;
+mod value;
+pub mod wire;
+
+pub use descriptor::TypeDescriptor;
+pub use descriptor::{AttributeDef, OperationDef, ParamDef, TypeDescriptorBuilder};
+pub use error::{TypeError, WireError};
+pub use object::{DataObject, Property};
+pub use registry::{TypeRegistry, ROOT_TYPE};
+pub use value::{Value, ValueType};

@@ -1,0 +1,209 @@
+//! Data objects and dynamically attached properties.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A name/value pair dynamically associated with an object.
+///
+/// Properties follow the OMG Object Services nomenclature the paper uses:
+/// they can be defined and attached at run time by parties other than the
+/// object's producer. The paper's Keyword Generator publishes a
+/// `keywords` property for each Story it analyzes; the News Monitor
+/// displays properties alongside an object's declared attributes without
+/// knowing who generated them (principle P4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    /// The property name (for example `"keywords"`).
+    pub name: String,
+    /// The property value.
+    pub value: Value,
+}
+
+impl Property {
+    /// Builds a property.
+    pub fn new(name: impl Into<String>, value: Value) -> Self {
+        Property {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// A structured, self-describing data object: an instance of a registered
+/// type.
+///
+/// Data objects are "at the granularity of typical C++ objects or database
+/// records": easily copied, marshalled, and transmitted. They carry their
+/// type *name*; the full type metadata lives in a
+/// [`TypeRegistry`](crate::TypeRegistry) (and can travel on the wire with
+/// the object — see [`wire`](crate::wire)).
+///
+/// Slot order is preserved (declaration order when built through the
+/// registry), which keeps marshalling deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataObject {
+    type_name: String,
+    slots: Vec<(String, Value)>,
+    properties: Vec<Property>,
+}
+
+impl DataObject {
+    /// Creates an empty object of the named type. Prefer
+    /// [`TypeRegistry::instantiate`](crate::TypeRegistry::instantiate),
+    /// which pre-fills declared attributes with defaults.
+    pub fn new(type_name: impl Into<String>) -> Self {
+        DataObject {
+            type_name: type_name.into(),
+            slots: Vec::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// The name of this object's type.
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// Slot names in order. (Use the registry for *declared* attribute
+    /// metadata; this reflects what the object actually carries.)
+    pub fn slot_names(&self) -> impl Iterator<Item = &str> {
+        self.slots.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// All slots in order.
+    pub fn slots(&self) -> &[(String, Value)] {
+        &self.slots
+    }
+
+    /// Reads a slot value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.slots.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Writes a slot, inserting it if absent. Returns `&mut self` for
+    /// chaining.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        match self.slots.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.slots.push((name, value)),
+        }
+        self
+    }
+
+    /// Builder-style [`DataObject::set`].
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Removes a slot, returning its value.
+    pub fn remove_slot(&mut self, name: &str) -> Option<Value> {
+        let idx = self.slots.iter().position(|(n, _)| n == name)?;
+        Some(self.slots.remove(idx).1)
+    }
+
+    /// The dynamically attached properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// Reads a property value by name.
+    pub fn property(&self, name: &str) -> Option<&Value> {
+        self.properties
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.value)
+    }
+
+    /// Attaches (or replaces) a property.
+    pub fn set_property(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        match self.properties.iter_mut().find(|p| p.name == name) {
+            Some(p) => p.value = value,
+            None => self.properties.push(Property { name, value }),
+        }
+    }
+
+    /// Removes a property, returning its value.
+    pub fn remove_property(&mut self, name: &str) -> Option<Value> {
+        let idx = self.properties.iter().position(|p| p.name == name)?;
+        Some(self.properties.remove(idx).value)
+    }
+
+    /// Approximate size in bytes (see [`Value::approx_size`]).
+    pub fn approx_size(&self) -> usize {
+        5 + self.type_name.len()
+            + self
+                .slots
+                .iter()
+                .map(|(n, v)| n.len() + 5 + v.approx_size())
+                .sum::<usize>()
+            + self
+                .properties
+                .iter()
+                .map(|p| p.name.len() + 5 + p.value.approx_size())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for DataObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#<{}", self.type_name)?;
+        for (name, value) in &self.slots {
+            write!(f, " {name}={value}")?;
+        }
+        for p in &self.properties {
+            write!(f, " @{}={}", p.name, p.value)?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_preserve_order_and_update_in_place() {
+        let mut o = DataObject::new("Story");
+        o.set("headline", "a").set("body", "b").set("headline", "c");
+        assert_eq!(o.slot_names().collect::<Vec<_>>(), vec!["headline", "body"]);
+        assert_eq!(o.get("headline"), Some(&Value::str("c")));
+        assert_eq!(o.remove_slot("headline"), Some(Value::str("c")));
+        assert_eq!(o.get("headline"), None);
+    }
+
+    #[test]
+    fn properties_attach_and_replace() {
+        let mut o = DataObject::new("Story");
+        assert!(o.property("keywords").is_none());
+        o.set_property("keywords", Value::List(vec![Value::str("auto")]));
+        o.set_property(
+            "keywords",
+            Value::List(vec![Value::str("auto"), Value::str("gm")]),
+        );
+        assert_eq!(o.properties().len(), 1);
+        assert_eq!(o.property("keywords").unwrap().as_list().unwrap().len(), 2);
+        assert!(o.remove_property("keywords").is_some());
+        assert!(o.properties().is_empty());
+    }
+
+    #[test]
+    fn display_shows_slots_and_properties() {
+        let mut o = DataObject::new("T");
+        o.set("x", 1i64);
+        o.set_property("p", Value::Bool(true));
+        assert_eq!(o.to_string(), "#<T x=1 @p=true>");
+    }
+
+    #[test]
+    fn nested_objects() {
+        let inner = DataObject::new("Source").with("name", "Reuters");
+        let outer = DataObject::new("Story").with("source", inner.clone());
+        assert_eq!(outer.get("source").unwrap().as_object().unwrap(), &inner);
+        assert!(outer.approx_size() > inner.approx_size());
+    }
+}

@@ -1,0 +1,160 @@
+//! The generic print utility from the paper.
+//!
+//! > "Our implementation of this utility can accept any object of any type
+//! > and produce a text description of the object. It examines the object
+//! > to determine its type, and then generates appropriate output. In the
+//! > case of a complex object, the utility will recursively descend into
+//! > the components of the object. The print utility only needs to
+//! > understand the fundamental types, such as integer or string, but it
+//! > can print an object of any type composed of those types."
+//!
+//! Nothing here depends on concrete application types: the renderer knows
+//! the fundamental value kinds and asks the meta-object protocol for
+//! everything else.
+
+use crate::registry::TypeRegistry;
+use crate::value::Value;
+use crate::DataObject;
+
+/// Renders any value as indented text using only introspection.
+///
+/// `registry` supplies declared attribute types (shown alongside values)
+/// for object types it knows; unknown types still render from the slots
+/// the object actually carries — the utility never fails on new types.
+///
+/// # Examples
+///
+/// ```
+/// use infobus_types::{DataObject, TypeRegistry, Value, print};
+///
+/// let obj = DataObject::new("Story").with("headline", "hello");
+/// let reg = TypeRegistry::with_fundamentals();
+/// let text = print::render(&Value::object(obj), &reg);
+/// assert!(text.contains("Story"));
+/// assert!(text.contains("headline"));
+/// ```
+pub fn render(value: &Value, registry: &TypeRegistry) -> String {
+    let mut out = String::new();
+    render_into(&mut out, value, registry, 0);
+    out
+}
+
+/// Renders a data object (the common case for monitors and debuggers).
+pub fn render_object(obj: &DataObject, registry: &TypeRegistry) -> String {
+    let mut out = String::new();
+    render_obj_into(&mut out, obj, registry, 0);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_into(out: &mut String, value: &Value, registry: &TypeRegistry, depth: usize) {
+    match value {
+        Value::Nil => out.push_str("nil"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(x) => out.push_str(&format!("{x}")),
+        Value::Str(s) => out.push_str(&format!("{s:?}")),
+        Value::Bytes(b) => out.push_str(&format!("<{} bytes>", b.len())),
+        Value::List(items) if items.is_empty() => out.push_str("[]"),
+        Value::List(items) => {
+            out.push_str("[\n");
+            for item in items {
+                indent(out, depth + 1);
+                render_into(out, item, registry, depth + 1);
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(obj) => render_obj_into(out, obj, registry, depth),
+    }
+}
+
+fn render_obj_into(out: &mut String, obj: &DataObject, registry: &TypeRegistry, depth: usize) {
+    let ty = obj.type_name();
+    out.push_str(ty);
+    // Show the lineage when the registry knows it: "DjStory (is-a Story)".
+    if let Ok(lineage) = registry.lineage(ty) {
+        if lineage.len() > 2 {
+            out.push_str(&format!(
+                " (is-a {})",
+                lineage[1..lineage.len() - 1].join(" < ")
+            ));
+        }
+    }
+    out.push_str(" {\n");
+    for (name, value) in obj.slots() {
+        indent(out, depth + 1);
+        out.push_str(name);
+        if let Ok(vt) = registry.attribute_type(ty, name) {
+            out.push_str(&format!(": {vt}"));
+        }
+        out.push_str(" = ");
+        render_into(out, value, registry, depth + 1);
+        out.push('\n');
+    }
+    for p in obj.properties() {
+        indent(out, depth + 1);
+        out.push_str(&format!("@{} = ", p.name));
+        render_into(out, &p.value, registry, depth + 1);
+        out.push('\n');
+    }
+    indent(out, depth);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TypeDescriptor, ValueType};
+
+    #[test]
+    fn renders_unknown_types_without_failing() {
+        let reg = TypeRegistry::with_fundamentals();
+        let obj = DataObject::new("NeverRegistered").with("x", 1i64);
+        let text = render_object(&obj, &reg);
+        assert!(text.contains("NeverRegistered"));
+        assert!(text.contains("x = 1"));
+    }
+
+    #[test]
+    fn renders_nested_structure_with_types_and_lineage() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        reg.register(
+            TypeDescriptor::builder("Story")
+                .attribute("headline", ValueType::Str)
+                .build(),
+        )
+        .unwrap();
+        reg.register(
+            TypeDescriptor::builder("DjStory")
+                .supertype("Story")
+                .attribute("codes", ValueType::list_of(ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        let mut obj = reg.instantiate("DjStory").unwrap();
+        obj.set("headline", "hi");
+        obj.set("codes", Value::List(vec![Value::str("a"), Value::str("b")]));
+        obj.set_property("keywords", Value::List(vec![Value::str("auto")]));
+        let text = render_object(&obj, &reg);
+        assert!(text.contains("DjStory (is-a Story)"), "{text}");
+        assert!(text.contains("headline: str = \"hi\""), "{text}");
+        assert!(text.contains("codes: list<str>"), "{text}");
+        assert!(text.contains("@keywords"), "{text}");
+    }
+
+    #[test]
+    fn scalars_render_directly() {
+        let reg = TypeRegistry::with_fundamentals();
+        assert_eq!(render(&Value::I64(7), &reg), "7");
+        assert_eq!(render(&Value::str("x"), &reg), "\"x\"");
+        assert_eq!(render(&Value::List(vec![]), &reg), "[]");
+        assert_eq!(render(&Value::Nil, &reg), "nil");
+    }
+}

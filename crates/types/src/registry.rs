@@ -1,0 +1,580 @@
+//! The type registry: the shared vocabulary of a bus installation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::descriptor::{AttributeDef, OperationDef, TypeDescriptor};
+use crate::error::TypeError;
+use crate::object::DataObject;
+use crate::value::{Value, ValueType};
+
+/// The root type every object type descends from.
+pub const ROOT_TYPE: &str = "object";
+
+/// A registry of [`TypeDescriptor`]s with a supertype/subtype hierarchy.
+///
+/// The registry is the run-time embodiment of principles P2 and P3:
+///
+/// * generic code asks the registry for an object's attribute names,
+///   attribute types, and operation signatures (the meta-object protocol);
+/// * *new* types register at any time ([`TypeRegistry::register`]) and are
+///   immediately usable by every registry client — no recompilation.
+///
+/// Registration is idempotent for identical definitions (messages carrying
+/// schemas re-register types freely) and rejects conflicting redefinitions.
+#[derive(Debug, Clone)]
+pub struct TypeRegistry {
+    types: HashMap<String, Arc<TypeDescriptor>>,
+}
+
+impl TypeRegistry {
+    /// An empty registry (no root type; mostly for tests).
+    pub fn new() -> Self {
+        TypeRegistry {
+            types: HashMap::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the fundamental `object` root type.
+    pub fn with_fundamentals() -> Self {
+        let mut reg = TypeRegistry::new();
+        reg.types.insert(
+            ROOT_TYPE.to_owned(),
+            Arc::new(TypeDescriptor::builder(ROOT_TYPE).build()),
+        );
+        reg
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` if no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Registers a new type.
+    ///
+    /// Types without an explicit supertype get [`ROOT_TYPE`] (when
+    /// registered in a registry that has it).
+    ///
+    /// # Errors
+    ///
+    /// * [`TypeError::AlreadyRegistered`] if a *different* definition
+    ///   exists under the same name (identical re-registration is a no-op);
+    /// * [`TypeError::UnknownSupertype`] if the supertype is missing;
+    /// * [`TypeError::DuplicateAttribute`] if an attribute is declared
+    ///   twice (directly or shadowing an inherited one with a different
+    ///   type).
+    pub fn register(&mut self, descriptor: TypeDescriptor) -> Result<(), TypeError> {
+        let descriptor = self.normalize(descriptor);
+        let name = descriptor.name().to_owned();
+        if let Some(existing) = self.types.get(&name) {
+            if **existing == descriptor {
+                return Ok(());
+            }
+            return Err(TypeError::AlreadyRegistered(name));
+        }
+        if let Some(sup) = descriptor.supertype() {
+            if !self.types.contains_key(sup) {
+                return Err(TypeError::UnknownSupertype {
+                    ty: name,
+                    supertype: sup.to_owned(),
+                });
+            }
+        }
+        // Check attribute uniqueness across the whole inheritance chain.
+        let mut seen: Vec<String> = Vec::new();
+        if let Some(sup) = descriptor.supertype() {
+            for a in self.all_attributes(sup).expect("supertype exists") {
+                seen.push(a.name);
+            }
+        }
+        for a in descriptor.own_attributes() {
+            if seen.iter().any(|s| s == &a.name) {
+                return Err(TypeError::DuplicateAttribute {
+                    ty: descriptor.name().to_owned(),
+                    attribute: a.name.clone(),
+                });
+            }
+            seen.push(a.name.clone());
+        }
+        self.types.insert(name, Arc::new(descriptor));
+        Ok(())
+    }
+
+    /// Defaults a missing supertype to [`ROOT_TYPE`] when available.
+    fn normalize(&self, descriptor: TypeDescriptor) -> TypeDescriptor {
+        if descriptor.supertype().is_none()
+            && descriptor.name() != ROOT_TYPE
+            && self.types.contains_key(ROOT_TYPE)
+        {
+            let mut b = TypeDescriptor::builder(descriptor.name()).supertype(ROOT_TYPE);
+            for a in descriptor.own_attributes() {
+                b = b.attribute(a.name.clone(), a.ty.clone());
+            }
+            let mut d = b.build();
+            // Copy operations verbatim (builder has no raw op setter).
+            d = TypeDescriptor::rebuild_with_operations(d, descriptor.own_operations().to_vec());
+            d
+        } else {
+            descriptor
+        }
+    }
+
+    /// Fetches a type descriptor.
+    pub fn get(&self, name: &str) -> Option<Arc<TypeDescriptor>> {
+        self.types.get(name).cloned()
+    }
+
+    /// Returns `true` if the type is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+
+    /// All registered type names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.types.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Returns `true` if `sub` is `sup` or a (transitive) subtype of it.
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        let mut current = sub;
+        loop {
+            if current == sup {
+                return true;
+            }
+            match self.types.get(current).and_then(|d| d.supertype()) {
+                Some(parent) => current = parent,
+                None => return false,
+            }
+        }
+    }
+
+    /// The supertype chain of `name`, starting with `name` itself.
+    pub fn lineage(&self, name: &str) -> Result<Vec<String>, TypeError> {
+        let mut chain = Vec::new();
+        let mut current = name.to_owned();
+        loop {
+            let d = self
+                .types
+                .get(&current)
+                .ok_or_else(|| TypeError::UnknownType(current.clone()))?;
+            chain.push(current.clone());
+            match d.supertype() {
+                Some(parent) => current = parent.to_owned(),
+                None => return Ok(chain),
+            }
+        }
+    }
+
+    /// All direct and transitive subtypes of `name`, including `name`.
+    pub fn subtypes_of(&self, name: &str) -> Vec<String> {
+        let mut result: Vec<String> = self
+            .types
+            .keys()
+            .filter(|t| self.is_subtype(t, name))
+            .cloned()
+            .collect();
+        result.sort();
+        result
+    }
+
+    /// All attributes of a type, inherited first, in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] for unregistered types.
+    pub fn all_attributes(&self, name: &str) -> Result<Vec<AttributeDef>, TypeError> {
+        let chain = self.lineage(name)?;
+        let mut attrs = Vec::new();
+        for ty in chain.iter().rev() {
+            attrs.extend(self.types[ty].own_attributes().iter().cloned());
+        }
+        Ok(attrs)
+    }
+
+    /// Attribute names of a type (meta-object protocol), inherited first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] for unregistered types.
+    pub fn attribute_names(&self, name: &str) -> Result<Vec<String>, TypeError> {
+        Ok(self
+            .all_attributes(name)?
+            .into_iter()
+            .map(|a| a.name)
+            .collect())
+    }
+
+    /// The declared type of one attribute, searching the whole chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] or [`TypeError::UnknownAttribute`].
+    pub fn attribute_type(&self, ty: &str, attribute: &str) -> Result<ValueType, TypeError> {
+        self.all_attributes(ty)?
+            .into_iter()
+            .find(|a| a.name == attribute)
+            .map(|a| a.ty)
+            .ok_or_else(|| TypeError::UnknownAttribute {
+                ty: ty.to_owned(),
+                attribute: attribute.to_owned(),
+            })
+    }
+
+    /// All operations of a type, inherited first (the type's interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] for unregistered types.
+    pub fn all_operations(&self, name: &str) -> Result<Vec<OperationDef>, TypeError> {
+        let chain = self.lineage(name)?;
+        let mut ops: Vec<OperationDef> = Vec::new();
+        for ty in chain.iter().rev() {
+            for op in self.types[ty].own_operations() {
+                // A subtype may override an inherited operation.
+                if let Some(existing) = ops.iter_mut().find(|o| o.name == op.name) {
+                    *existing = op.clone();
+                } else {
+                    ops.push(op.clone());
+                }
+            }
+        }
+        Ok(ops)
+    }
+
+    /// Looks up one operation signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] or [`TypeError::UnknownOperation`].
+    pub fn operation(&self, ty: &str, operation: &str) -> Result<OperationDef, TypeError> {
+        self.all_operations(ty)?
+            .into_iter()
+            .find(|o| o.name == operation)
+            .ok_or_else(|| TypeError::UnknownOperation {
+                ty: ty.to_owned(),
+                operation: operation.to_owned(),
+            })
+    }
+
+    /// Creates an instance with every declared attribute pre-filled with
+    /// its type's default value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownType`] for unregistered types.
+    pub fn instantiate(&self, name: &str) -> Result<DataObject, TypeError> {
+        let attrs = self.all_attributes(name)?;
+        let mut obj = DataObject::new(name);
+        for a in attrs {
+            obj.set(a.name, a.ty.default_value());
+        }
+        Ok(obj)
+    }
+
+    /// Checks that an object structurally conforms to its declared type:
+    /// every declared attribute is present with a conforming value, and no
+    /// undeclared slots exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, obj: &DataObject) -> Result<(), TypeError> {
+        let ty = obj.type_name();
+        let attrs = self.all_attributes(ty)?;
+        for a in &attrs {
+            let value = obj
+                .get(&a.name)
+                .ok_or_else(|| TypeError::UnknownAttribute {
+                    ty: ty.to_owned(),
+                    attribute: a.name.clone(),
+                })?;
+            self.check_value(ty, &a.name, &a.ty, value)?;
+        }
+        for slot in obj.slot_names() {
+            if !attrs.iter().any(|a| a.name == slot) {
+                return Err(TypeError::UndeclaredSlot {
+                    ty: ty.to_owned(),
+                    slot: slot.to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a single value against a declared type.
+    fn check_value(
+        &self,
+        ty: &str,
+        attribute: &str,
+        declared: &ValueType,
+        value: &Value,
+    ) -> Result<(), TypeError> {
+        let mismatch = |detail: String| TypeError::BadAttributeType {
+            ty: ty.to_owned(),
+            attribute: attribute.to_owned(),
+            detail,
+        };
+        match (declared, value) {
+            (ValueType::Any, _) => Ok(()),
+            (_, Value::Nil) => Ok(()), // Nil is the universal "absent".
+            (ValueType::Bool, Value::Bool(_))
+            | (ValueType::I64, Value::I64(_))
+            | (ValueType::F64, Value::F64(_))
+            | (ValueType::F64, Value::I64(_))
+            | (ValueType::Str, Value::Str(_))
+            | (ValueType::Bytes, Value::Bytes(_)) => Ok(()),
+            (ValueType::List(inner), Value::List(items)) => {
+                for item in items {
+                    self.check_value(ty, attribute, inner, item)?;
+                }
+                Ok(())
+            }
+            (ValueType::Object(want), Value::Object(obj)) => {
+                if !self.is_subtype(obj.type_name(), want) {
+                    return Err(mismatch(format!(
+                        "expected an object of type {want} (or subtype), got {}",
+                        obj.type_name()
+                    )));
+                }
+                self.validate(obj)
+            }
+            (declared, value) => Err(mismatch(format!(
+                "expected {declared}, got {}",
+                value.kind()
+            ))),
+        }
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        TypeRegistry::with_fundamentals()
+    }
+}
+
+impl TypeDescriptor {
+    /// Internal: rebuilds a descriptor replacing its operations (used by
+    /// registry normalization, which cannot reach private fields through
+    /// the builder alone).
+    fn rebuild_with_operations(base: TypeDescriptor, ops: Vec<OperationDef>) -> TypeDescriptor {
+        let mut b = TypeDescriptor::builder(base.name());
+        if let Some(s) = base.supertype() {
+            b = b.supertype(s);
+        }
+        for a in base.own_attributes() {
+            b = b.attribute(a.name.clone(), a.ty.clone());
+        }
+        let mut d = b.build();
+        d.set_operations(ops);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn story_registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::with_fundamentals();
+        reg.register(
+            TypeDescriptor::builder("Story")
+                .attribute("headline", ValueType::Str)
+                .attribute("body", ValueType::Str)
+                .attribute("sources", ValueType::list_of(ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        reg.register(
+            TypeDescriptor::builder("DjStory")
+                .supertype("Story")
+                .attribute("dj_code", ValueType::Str)
+                .build(),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn fundamentals_contain_root() {
+        let reg = TypeRegistry::with_fundamentals();
+        assert!(reg.contains(ROOT_TYPE));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn registration_and_lineage() {
+        let reg = story_registry();
+        assert_eq!(
+            reg.lineage("DjStory").unwrap(),
+            vec!["DjStory", "Story", "object"]
+        );
+        assert!(reg.is_subtype("DjStory", "Story"));
+        assert!(reg.is_subtype("DjStory", "object"));
+        assert!(!reg.is_subtype("Story", "DjStory"));
+        assert_eq!(reg.subtypes_of("Story"), vec!["DjStory", "Story"]);
+    }
+
+    #[test]
+    fn inherited_attributes_in_order() {
+        let reg = story_registry();
+        assert_eq!(
+            reg.attribute_names("DjStory").unwrap(),
+            vec!["headline", "body", "sources", "dj_code"]
+        );
+        assert_eq!(
+            reg.attribute_type("DjStory", "headline").unwrap(),
+            ValueType::Str
+        );
+        assert!(matches!(
+            reg.attribute_type("DjStory", "missing"),
+            Err(TypeError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_reregistration_conflicting_rejected() {
+        let mut reg = story_registry();
+        // Identical re-registration is fine (messages carry schemas).
+        reg.register(
+            TypeDescriptor::builder("Story")
+                .attribute("headline", ValueType::Str)
+                .attribute("body", ValueType::Str)
+                .attribute("sources", ValueType::list_of(ValueType::Str))
+                .build(),
+        )
+        .unwrap();
+        // A conflicting shape is rejected.
+        let err = reg
+            .register(
+                TypeDescriptor::builder("Story")
+                    .attribute("x", ValueType::I64)
+                    .build(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TypeError::AlreadyRegistered(_)));
+    }
+
+    #[test]
+    fn unknown_supertype_rejected() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        let err = reg
+            .register(TypeDescriptor::builder("X").supertype("Ghost").build())
+            .unwrap_err();
+        assert!(matches!(err, TypeError::UnknownSupertype { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut reg = story_registry();
+        let err = reg
+            .register(
+                TypeDescriptor::builder("Bad")
+                    .supertype("Story")
+                    .attribute("headline", ValueType::I64)
+                    .build(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateAttribute { .. }));
+        let err2 = reg
+            .register(
+                TypeDescriptor::builder("Bad2")
+                    .attribute("x", ValueType::I64)
+                    .attribute("x", ValueType::I64)
+                    .build(),
+            )
+            .unwrap_err();
+        assert!(matches!(err2, TypeError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn instantiate_prefills_defaults() {
+        let reg = story_registry();
+        let obj = reg.instantiate("DjStory").unwrap();
+        assert_eq!(obj.get("headline"), Some(&Value::Str(String::new())));
+        assert_eq!(obj.get("sources"), Some(&Value::List(vec![])));
+        assert_eq!(obj.get("dj_code"), Some(&Value::Str(String::new())));
+        reg.validate(&obj).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let reg = story_registry();
+        let mut obj = reg.instantiate("Story").unwrap();
+        obj.set("headline", 42i64);
+        assert!(matches!(
+            reg.validate(&obj),
+            Err(TypeError::BadAttributeType { .. })
+        ));
+
+        let mut obj2 = reg.instantiate("Story").unwrap();
+        obj2.set("rogue", Value::Bool(true));
+        assert!(matches!(
+            reg.validate(&obj2),
+            Err(TypeError::UndeclaredSlot { .. })
+        ));
+
+        let mut obj3 = reg.instantiate("Story").unwrap();
+        obj3.remove_slot("body");
+        assert!(matches!(
+            reg.validate(&obj3),
+            Err(TypeError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_subtype_substitution() {
+        let mut reg = story_registry();
+        reg.register(
+            TypeDescriptor::builder("Portfolio")
+                .attribute("top_story", ValueType::object("Story"))
+                .build(),
+        )
+        .unwrap();
+        let dj = reg.instantiate("DjStory").unwrap();
+        let mut p = reg.instantiate("Portfolio").unwrap();
+        p.set("top_story", dj);
+        // A DjStory is substitutable where a Story is declared.
+        reg.validate(&p).unwrap();
+
+        let mut bad = reg.instantiate("Portfolio").unwrap();
+        bad.set(
+            "top_story",
+            DataObject::new("Portfolio").with("top_story", Value::Nil),
+        );
+        assert!(matches!(
+            reg.validate(&bad),
+            Err(TypeError::BadAttributeType { .. })
+        ));
+    }
+
+    #[test]
+    fn operations_inherit_and_override() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        reg.register(
+            TypeDescriptor::builder("Service")
+                .operation("status", vec![], ValueType::Str)
+                .operation("restart", vec![], ValueType::Bool)
+                .build(),
+        )
+        .unwrap();
+        reg.register(
+            TypeDescriptor::builder("FancyService")
+                .supertype("Service")
+                .operation("status", vec![("verbose", ValueType::Bool)], ValueType::Str)
+                .build(),
+        )
+        .unwrap();
+        let ops = reg.all_operations("FancyService").unwrap();
+        assert_eq!(ops.len(), 2);
+        let status = reg.operation("FancyService", "status").unwrap();
+        assert_eq!(status.params.len(), 1, "override wins");
+        assert!(reg.operation("FancyService", "nope").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Dynamic values and their types.
+
+use std::fmt;
+
+use crate::object::DataObject;
+
+/// The type of a [`Value`], used in attribute and operation declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Any value, including `Nil`.
+    Any,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// UTF-8 string.
+    Str,
+    /// Raw bytes.
+    Bytes,
+    /// A homogeneous list whose elements conform to the inner type.
+    List(Box<ValueType>),
+    /// An object of the named type or any of its subtypes.
+    Object(String),
+}
+
+impl ValueType {
+    /// Convenience constructor for `List`.
+    pub fn list_of(inner: ValueType) -> ValueType {
+        ValueType::List(Box::new(inner))
+    }
+
+    /// Convenience constructor for `Object`.
+    pub fn object(name: &str) -> ValueType {
+        ValueType::Object(name.to_owned())
+    }
+
+    /// The natural default value for this type (used to pre-fill slots).
+    pub fn default_value(&self) -> Value {
+        match self {
+            ValueType::Any => Value::Nil,
+            ValueType::Bool => Value::Bool(false),
+            ValueType::I64 => Value::I64(0),
+            ValueType::F64 => Value::F64(0.0),
+            ValueType::Str => Value::Str(String::new()),
+            ValueType::Bytes => Value::Bytes(Vec::new()),
+            ValueType::List(_) => Value::List(Vec::new()),
+            ValueType::Object(_) => Value::Nil,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Any => write!(f, "any"),
+            ValueType::Bool => write!(f, "bool"),
+            ValueType::I64 => write!(f, "i64"),
+            ValueType::F64 => write!(f, "f64"),
+            ValueType::Str => write!(f, "str"),
+            ValueType::Bytes => write!(f, "bytes"),
+            ValueType::List(inner) => write!(f, "list<{inner}>"),
+            ValueType::Object(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A dynamically typed value: the unit of data carried by the bus.
+///
+/// Values compose the *fundamental types* of the paper's object model;
+/// complex application concepts are [`DataObject`]s whose slots are
+/// themselves values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The absence of a value.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A structured, self-describing object.
+    Object(Box<DataObject>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an object value.
+    pub fn object(obj: DataObject) -> Value {
+        Value::Object(Box::new(obj))
+    }
+
+    /// A short name for the value's runtime kind (for diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Returns the boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer, if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float, if this is an `F64` (or an `I64`, widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the object, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&DataObject> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns the object mutably, if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut DataObject> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Nil`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Approximate in-memory/wire size in bytes (used for batching
+    /// decisions and statistics, not exact accounting).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Nil | Value::Bool(_) => 1,
+            Value::I64(_) | Value::F64(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Bytes(b) => 5 + b.len(),
+            Value::List(items) => 5 + items.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Object(o) => o.approx_size(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(i) => write!(f, "{i}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(o) => write!(f, "#<{}>", o.type_name()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::I64(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::List(items)
+    }
+}
+
+impl From<DataObject> for Value {
+    fn from(obj: DataObject) -> Self {
+        Value::Object(Box::new(obj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_kinds() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::I64(7).as_i64(), Some(7));
+        assert_eq!(Value::I64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Nil.kind(), "nil");
+        assert!(Value::Nil.is_nil());
+        assert_eq!(Value::Bool(true).as_i64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Value::List(vec![Value::I64(1), Value::str("a")]).to_string(),
+            r#"[1, "a"]"#
+        );
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "<3 bytes>");
+    }
+
+    #[test]
+    fn default_values_conform() {
+        assert_eq!(ValueType::I64.default_value(), Value::I64(0));
+        assert_eq!(
+            ValueType::list_of(ValueType::Str).default_value(),
+            Value::List(vec![])
+        );
+        assert_eq!(ValueType::object("Story").default_value(), Value::Nil);
+    }
+
+    #[test]
+    fn value_type_display() {
+        assert_eq!(
+            ValueType::list_of(ValueType::Object("Story".into())).to_string(),
+            "list<Story>"
+        );
+    }
+}

@@ -1,0 +1,679 @@
+//! The self-describing binary wire format.
+//!
+//! Two framings exist:
+//!
+//! * **plain** ([`marshal_value`]) — just the value; both sides must
+//!   already know every type involved;
+//! * **self-describing** ([`marshal_self_describing`]) — the value is
+//!   preceded by the [`TypeDescriptor`]s of every object type it contains
+//!   (supertypes first), so a receiver that has *never seen* a type
+//!   registers it on receipt and can immediately introspect, display, and
+//!   store the object. This is what lets a new type introduced on one node
+//!   flow through repositories, monitors, and adapters everywhere else
+//!   with no recompilation (principles P2 + P3 across the network).
+//!
+//! The low-level primitive readers/writers are public because the bus
+//! protocol (envelopes, discovery, RMI) reuses them for its own framing.
+
+use bytes::{Buf, BufMut};
+
+use crate::descriptor::{OperationDef, ParamDef, TypeDescriptor};
+use crate::error::WireError;
+use crate::object::DataObject;
+use crate::registry::TypeRegistry;
+use crate::value::{Value, ValueType};
+
+/// Sanity cap on decoded length fields (counts and byte lengths).
+const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+const MAGIC_PLAIN: u8 = 0xB0;
+const MAGIC_SCHEMA: u8 = 0xB1;
+
+// ----- primitive writers ----------------------------------------------------
+
+/// Appends a `u32` (little-endian).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.put_u32_le(v);
+}
+
+/// Appends a `u64` (little-endian).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Appends length-prefixed raw bytes.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.put_slice(b);
+}
+
+// ----- primitive readers ----------------------------------------------------
+
+/// Reads a `u8`.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer is exhausted.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Reads a `u32` (little-endian).
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer is exhausted.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a `u64` (little-endian).
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer is exhausted.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Reads a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`], [`WireError::BadLength`], or
+/// [`WireError::BadUtf8`].
+pub fn get_string(buf: &mut &[u8]) -> Result<String, WireError> {
+    let bytes = get_byte_vec(buf)?;
+    String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+}
+
+/// Reads length-prefixed raw bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] or [`WireError::BadLength`].
+pub fn get_byte_vec(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = get_u32(buf)? as u64;
+    if len > MAX_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEof);
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Reads a count field with a sanity bound.
+fn get_count(buf: &mut &[u8]) -> Result<usize, WireError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(WireError::BadLength(n));
+    }
+    Ok(n as usize)
+}
+
+// ----- values ----------------------------------------------------------------
+
+const TAG_NIL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_OBJECT: u8 = 7;
+
+/// Appends a value (recursively).
+pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Nil => buf.put_u8(TAG_NIL),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::I64(i) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64_le(*i);
+        }
+        Value::F64(x) => {
+            buf.put_u8(TAG_F64);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_string(buf, s);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            put_bytes(buf, b);
+        }
+        Value::List(items) => {
+            buf.put_u8(TAG_LIST);
+            put_u32(buf, items.len() as u32);
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+        Value::Object(obj) => {
+            buf.put_u8(TAG_OBJECT);
+            put_string(buf, obj.type_name());
+            put_u32(buf, obj.slots().len() as u32);
+            for (name, v) in obj.slots() {
+                put_string(buf, name);
+                put_value(buf, v);
+            }
+            put_u32(buf, obj.properties().len() as u32);
+            for p in obj.properties() {
+                put_string(buf, &p.name);
+                put_value(buf, &p.value);
+            }
+        }
+    }
+}
+
+/// Reads a value (recursively).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input.
+pub fn get_value(buf: &mut &[u8]) -> Result<Value, WireError> {
+    let tag = get_u8(buf)?;
+    match tag {
+        TAG_NIL => Ok(Value::Nil),
+        TAG_BOOL => Ok(Value::Bool(get_u8(buf)? != 0)),
+        TAG_I64 => {
+            if buf.remaining() < 8 {
+                return Err(WireError::UnexpectedEof);
+            }
+            Ok(Value::I64(buf.get_i64_le()))
+        }
+        TAG_F64 => {
+            if buf.remaining() < 8 {
+                return Err(WireError::UnexpectedEof);
+            }
+            Ok(Value::F64(buf.get_f64_le()))
+        }
+        TAG_STR => Ok(Value::Str(get_string(buf)?)),
+        TAG_BYTES => Ok(Value::Bytes(get_byte_vec(buf)?)),
+        TAG_LIST => {
+            let n = get_count(buf)?;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(get_value(buf)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_OBJECT => {
+            let type_name = get_string(buf)?;
+            let mut obj = DataObject::new(type_name);
+            let nslots = get_count(buf)?;
+            for _ in 0..nslots {
+                let name = get_string(buf)?;
+                let v = get_value(buf)?;
+                obj.set(name, v);
+            }
+            let nprops = get_count(buf)?;
+            for _ in 0..nprops {
+                let name = get_string(buf)?;
+                let v = get_value(buf)?;
+                obj.set_property(name, v);
+            }
+            Ok(Value::Object(Box::new(obj)))
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+// ----- value types & descriptors ----------------------------------------------
+
+fn put_value_type(buf: &mut Vec<u8>, vt: &ValueType) {
+    match vt {
+        ValueType::Any => buf.put_u8(0),
+        ValueType::Bool => buf.put_u8(1),
+        ValueType::I64 => buf.put_u8(2),
+        ValueType::F64 => buf.put_u8(3),
+        ValueType::Str => buf.put_u8(4),
+        ValueType::Bytes => buf.put_u8(5),
+        ValueType::List(inner) => {
+            buf.put_u8(6);
+            put_value_type(buf, inner);
+        }
+        ValueType::Object(name) => {
+            buf.put_u8(7);
+            put_string(buf, name);
+        }
+    }
+}
+
+fn get_value_type(buf: &mut &[u8]) -> Result<ValueType, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(ValueType::Any),
+        1 => Ok(ValueType::Bool),
+        2 => Ok(ValueType::I64),
+        3 => Ok(ValueType::F64),
+        4 => Ok(ValueType::Str),
+        5 => Ok(ValueType::Bytes),
+        6 => Ok(ValueType::List(Box::new(get_value_type(buf)?))),
+        7 => Ok(ValueType::Object(get_string(buf)?)),
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Appends a full type descriptor.
+pub fn put_descriptor(buf: &mut Vec<u8>, d: &TypeDescriptor) {
+    put_string(buf, d.name());
+    match d.supertype() {
+        Some(s) => {
+            buf.put_u8(1);
+            put_string(buf, s);
+        }
+        None => buf.put_u8(0),
+    }
+    put_u32(buf, d.own_attributes().len() as u32);
+    for a in d.own_attributes() {
+        put_string(buf, &a.name);
+        put_value_type(buf, &a.ty);
+    }
+    put_u32(buf, d.own_operations().len() as u32);
+    for op in d.own_operations() {
+        put_string(buf, &op.name);
+        put_u32(buf, op.params.len() as u32);
+        for p in &op.params {
+            put_string(buf, &p.name);
+            put_value_type(buf, &p.ty);
+        }
+        put_value_type(buf, &op.result);
+        buf.put_u8(u8::from(op.idempotent));
+    }
+}
+
+/// Reads a full type descriptor.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input.
+pub fn get_descriptor(buf: &mut &[u8]) -> Result<TypeDescriptor, WireError> {
+    let name = get_string(buf)?;
+    let mut b = TypeDescriptor::builder(name);
+    if get_u8(buf)? == 1 {
+        b = b.supertype(get_string(buf)?);
+    }
+    let nattrs = get_count(buf)?;
+    for _ in 0..nattrs {
+        let name = get_string(buf)?;
+        let ty = get_value_type(buf)?;
+        b = b.attribute(name, ty);
+    }
+    let mut d = b.build();
+    let nops = get_count(buf)?;
+    let mut ops = Vec::with_capacity(nops.min(256));
+    for _ in 0..nops {
+        let name = get_string(buf)?;
+        let nparams = get_count(buf)?;
+        let mut params = Vec::with_capacity(nparams.min(64));
+        for _ in 0..nparams {
+            let pname = get_string(buf)?;
+            let pty = get_value_type(buf)?;
+            params.push(ParamDef {
+                name: pname,
+                ty: pty,
+            });
+        }
+        let result = get_value_type(buf)?;
+        let idempotent = get_u8(buf)? != 0;
+        ops.push(OperationDef {
+            name,
+            params,
+            result,
+            idempotent,
+        });
+    }
+    d.set_operations(ops);
+    Ok(d)
+}
+
+// ----- message framing -----------------------------------------------------------
+
+/// Marshals a value without schema information.
+pub fn marshal_value(value: &Value) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.approx_size() + 1);
+    buf.put_u8(MAGIC_PLAIN);
+    put_value(&mut buf, value);
+    buf
+}
+
+/// Collects the object type names used anywhere in a value.
+fn collect_type_names(value: &Value, out: &mut Vec<String>) {
+    match value {
+        Value::Object(obj) => {
+            if !out.iter().any(|t| t == obj.type_name()) {
+                out.push(obj.type_name().to_owned());
+            }
+            for (_, v) in obj.slots() {
+                collect_type_names(v, out);
+            }
+            for p in obj.properties() {
+                collect_type_names(&p.value, out);
+            }
+        }
+        Value::List(items) => {
+            for item in items {
+                collect_type_names(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Marshals a value *with* the descriptors of every object type it uses
+/// (each type's full supertype lineage, supertypes first).
+///
+/// # Errors
+///
+/// Returns [`crate::TypeError::UnknownType`] if the value references a
+/// type absent from `registry`.
+pub fn marshal_self_describing(
+    value: &Value,
+    registry: &TypeRegistry,
+) -> Result<Vec<u8>, crate::TypeError> {
+    let mut used = Vec::new();
+    collect_type_names(value, &mut used);
+    // Expand to full lineages, supertypes first, deduplicated.
+    let mut ordered: Vec<String> = Vec::new();
+    for ty in &used {
+        let lineage = registry.lineage(ty)?;
+        for name in lineage.iter().rev() {
+            if !ordered.iter().any(|t| t == name) {
+                ordered.push(name.clone());
+            }
+        }
+    }
+    let mut buf = Vec::with_capacity(value.approx_size() + 64 * ordered.len() + 8);
+    buf.put_u8(MAGIC_SCHEMA);
+    put_u32(&mut buf, ordered.len() as u32);
+    for name in &ordered {
+        let d = registry.get(name).expect("lineage types are registered");
+        put_descriptor(&mut buf, &d);
+    }
+    put_value(&mut buf, value);
+    Ok(buf)
+}
+
+/// Unmarshals a message produced by [`marshal_value`] or
+/// [`marshal_self_describing`], registering any carried type descriptors
+/// into `registry` first.
+///
+/// # Errors
+///
+/// Returns [`WireError::SchemaConflict`] if a carried descriptor
+/// contradicts an already-registered type, or other [`WireError`]s on
+/// malformed input.
+pub fn unmarshal(mut buf: &[u8], registry: &mut TypeRegistry) -> Result<Value, WireError> {
+    let magic = get_u8(&mut buf)?;
+    match magic {
+        MAGIC_PLAIN => finish_value(&mut buf),
+        MAGIC_SCHEMA => {
+            let n = get_count(&mut buf)?;
+            for _ in 0..n {
+                let d = get_descriptor(&mut buf)?;
+                let name = d.name().to_owned();
+                registry.register(d).map_err(|e| match e {
+                    crate::TypeError::AlreadyRegistered(_) => {
+                        WireError::SchemaConflict(name.clone())
+                    }
+                    _ => WireError::SchemaConflict(name.clone()),
+                })?;
+            }
+            finish_value(&mut buf)
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Unmarshals a plain message without consulting a registry.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input (including the
+/// self-describing framing, which requires a registry).
+pub fn unmarshal_value(mut buf: &[u8]) -> Result<Value, WireError> {
+    let magic = get_u8(&mut buf)?;
+    if magic != MAGIC_PLAIN {
+        return Err(WireError::BadTag(magic));
+    }
+    finish_value(&mut buf)
+}
+
+fn finish_value(buf: &mut &[u8]) -> Result<Value, WireError> {
+    let v = get_value(buf)?;
+    if buf.remaining() > 0 {
+        return Err(WireError::TrailingBytes(buf.remaining()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Property;
+
+    fn sample_value() -> Value {
+        let source = DataObject::new("Source")
+            .with("name", "Dow Jones")
+            .with("priority", 3i64);
+        let mut story = DataObject::new("DjStory");
+        story
+            .set("headline", "GM beats estimates")
+            .set("body", Value::Str("long text…".into()))
+            .set("score", 0.87f64)
+            .set("urgent", true)
+            .set("sources", Value::List(vec![Value::object(source)]))
+            .set("raw", Value::Bytes(vec![0, 1, 2, 255]));
+        story.set_property(
+            "keywords",
+            Value::List(vec![Value::str("auto"), Value::str("gm")]),
+        );
+        Value::object(story)
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let v = sample_value();
+        let buf = marshal_value(&v);
+        let back = unmarshal_value(&buf).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn properties_survive_the_wire() {
+        let v = sample_value();
+        let buf = marshal_value(&v);
+        let back = unmarshal_value(&buf).unwrap();
+        let obj = back.as_object().unwrap();
+        assert_eq!(
+            obj.properties(),
+            &[Property::new(
+                "keywords",
+                Value::List(vec![Value::str("auto"), Value::str("gm")])
+            )]
+        );
+    }
+
+    #[test]
+    fn every_scalar_round_trips() {
+        for v in [
+            Value::Nil,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(i64::MIN),
+            Value::I64(i64::MAX),
+            Value::F64(-0.0),
+            Value::F64(1e300),
+            Value::str(""),
+            Value::str("héllo ✓"),
+            Value::Bytes(vec![]),
+            Value::List(vec![]),
+        ] {
+            let buf = marshal_value(&v);
+            assert_eq!(unmarshal_value(&buf).unwrap(), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let v = sample_value();
+        let buf = marshal_value(&v);
+        for cut in 0..buf.len() {
+            let res = unmarshal_value(&buf[..cut]);
+            assert!(res.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = marshal_value(&Value::I64(1));
+        buf.push(0);
+        assert_eq!(unmarshal_value(&buf), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn descriptor_round_trip() {
+        let d = TypeDescriptor::builder("DjStory")
+            .supertype("Story")
+            .attribute("headline", ValueType::Str)
+            .attribute("tags", ValueType::list_of(ValueType::Str))
+            .attribute("source", ValueType::object("Source"))
+            .operation("summarize", vec![("max", ValueType::I64)], ValueType::Str)
+            .idempotent_operation("word_count", vec![], ValueType::I64)
+            .build();
+        let mut buf = Vec::new();
+        put_descriptor(&mut buf, &d);
+        let mut slice = &buf[..];
+        let back = get_descriptor(&mut slice).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(slice.len(), 0);
+    }
+
+    #[test]
+    fn self_describing_transfers_unknown_types() {
+        // Sender's registry knows the Story hierarchy.
+        let mut sender = TypeRegistry::with_fundamentals();
+        sender
+            .register(
+                TypeDescriptor::builder("Source")
+                    .attribute("name", ValueType::Str)
+                    .build(),
+            )
+            .unwrap();
+        sender
+            .register(
+                TypeDescriptor::builder("Story")
+                    .attribute("headline", ValueType::Str)
+                    .attribute("sources", ValueType::list_of(ValueType::object("Source")))
+                    .build(),
+            )
+            .unwrap();
+        sender
+            .register(
+                TypeDescriptor::builder("DjStory")
+                    .supertype("Story")
+                    .attribute("dj_code", ValueType::Str)
+                    .build(),
+            )
+            .unwrap();
+        let mut story = sender.instantiate("DjStory").unwrap();
+        story.set("headline", "hello");
+        story.set(
+            "sources",
+            Value::List(vec![Value::object(
+                sender.instantiate("Source").unwrap().with("name", "DJ"),
+            )]),
+        );
+        let msg = marshal_self_describing(&Value::object(story.clone()), &sender).unwrap();
+
+        // The receiver has *only* the fundamentals.
+        let mut receiver = TypeRegistry::with_fundamentals();
+        assert!(!receiver.contains("DjStory"));
+        let value = unmarshal(&msg, &mut receiver).unwrap();
+        // The types arrived with the data…
+        assert!(receiver.contains("DjStory"));
+        assert!(receiver.contains("Story"));
+        assert!(receiver.contains("Source"));
+        assert!(receiver.is_subtype("DjStory", "Story"));
+        // …and the object validates against them.
+        receiver.validate(value.as_object().unwrap()).unwrap();
+        assert_eq!(value.as_object().unwrap(), &story);
+    }
+
+    #[test]
+    fn schema_conflict_detected() {
+        let mut sender = TypeRegistry::with_fundamentals();
+        sender
+            .register(
+                TypeDescriptor::builder("T")
+                    .attribute("x", ValueType::I64)
+                    .build(),
+            )
+            .unwrap();
+        let obj = sender.instantiate("T").unwrap();
+        let msg = marshal_self_describing(&Value::object(obj), &sender).unwrap();
+
+        let mut receiver = TypeRegistry::with_fundamentals();
+        receiver
+            .register(
+                TypeDescriptor::builder("T")
+                    .attribute("x", ValueType::Str)
+                    .build(),
+            )
+            .unwrap();
+        assert!(matches!(
+            unmarshal(&msg, &mut receiver),
+            Err(WireError::SchemaConflict(_))
+        ));
+    }
+
+    #[test]
+    fn marshal_self_describing_requires_known_types() {
+        let reg = TypeRegistry::with_fundamentals();
+        let v = Value::object(DataObject::new("Ghost"));
+        assert!(matches!(
+            marshal_self_describing(&v, &reg),
+            Err(crate::TypeError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn idempotent_reregistration_via_wire() {
+        let mut reg = TypeRegistry::with_fundamentals();
+        reg.register(
+            TypeDescriptor::builder("T")
+                .attribute("x", ValueType::I64)
+                .build(),
+        )
+        .unwrap();
+        let obj = reg.instantiate("T").unwrap();
+        let msg = marshal_self_describing(&Value::object(obj), &reg).unwrap();
+        // Receiving our own schema back is harmless.
+        let mut same = reg.clone();
+        unmarshal(&msg, &mut same).unwrap();
+        assert_eq!(same.len(), reg.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests: wire round-trips and registry invariants.
+
+use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary values up to a bounded depth.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        // NaN breaks PartialEq-based round-trip checks; use finite floats.
+        (-1e15f64..1e15f64).prop_map(Value::F64),
+        "[ -~]{0,24}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
+            (
+                "[A-Za-z][A-Za-z0-9_]{0,8}",
+                prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner.clone()), 0..4),
+                prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner), 0..2),
+            )
+                .prop_map(|(ty, slots, props)| {
+                    let mut obj = DataObject::new(ty);
+                    for (name, v) in slots {
+                        obj.set(name, v);
+                    }
+                    for (name, v) in props {
+                        obj.set_property(name, v);
+                    }
+                    Value::object(obj)
+                }),
+        ]
+    })
+}
+
+proptest! {
+    /// Every value the model can represent survives the wire unchanged.
+    #[test]
+    fn wire_round_trip(v in value_strategy()) {
+        let buf = wire::marshal_value(&v);
+        let back = wire::unmarshal_value(&buf).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    /// Decoding never panics on arbitrary bytes (errors are fine).
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::unmarshal_value(&bytes);
+        let mut reg = TypeRegistry::with_fundamentals();
+        let _ = wire::unmarshal(&bytes, &mut reg);
+    }
+
+    /// Decoding any truncation of a valid message errors (never panics,
+    /// never silently succeeds with less data).
+    #[test]
+    fn truncations_error(v in value_strategy(), frac in 0.0f64..1.0) {
+        let buf = wire::marshal_value(&v);
+        let cut = ((buf.len() as f64) * frac) as usize;
+        if cut < buf.len() {
+            prop_assert!(wire::unmarshal_value(&buf[..cut]).is_err());
+        }
+    }
+
+    /// A registered chain of subtypes keeps `is_subtype` transitive and
+    /// `all_attributes` monotone (each subtype sees at least its parent's
+    /// attributes, in parent-first order).
+    #[test]
+    fn registry_chain_invariants(depth in 1usize..6, attrs_per in 0usize..3) {
+        let mut reg = TypeRegistry::with_fundamentals();
+        let mut prev = "object".to_owned();
+        let mut names = Vec::new();
+        for lvl in 0..depth {
+            let name = format!("T{lvl}");
+            let mut b = TypeDescriptor::builder(&name).supertype(&prev);
+            for a in 0..attrs_per {
+                b = b.attribute(format!("a{lvl}_{a}"), ValueType::I64);
+            }
+            reg.register(b.build()).unwrap();
+            names.push(name.clone());
+            prev = name;
+        }
+        for (i, ni) in names.iter().enumerate() {
+            for nj in names.iter().take(i + 1) {
+                prop_assert!(reg.is_subtype(ni, nj));
+            }
+            let n_attrs = reg.all_attributes(ni).unwrap().len();
+            prop_assert_eq!(n_attrs, (i + 1) * attrs_per);
+            // Instances of every level validate.
+            let obj = reg.instantiate(ni).unwrap();
+            reg.validate(&obj).unwrap();
+        }
+    }
+
+    /// Self-describing marshalling transfers hierarchies: a fresh registry
+    /// learns every type and validates the instance.
+    #[test]
+    fn self_describing_transfer(depth in 1usize..5) {
+        let mut sender = TypeRegistry::with_fundamentals();
+        let mut prev = "object".to_owned();
+        for lvl in 0..depth {
+            let name = format!("T{lvl}");
+            sender
+                .register(
+                    TypeDescriptor::builder(&name)
+                        .supertype(&prev)
+                        .attribute(format!("a{lvl}"), ValueType::Str)
+                        .build(),
+                )
+                .unwrap();
+            prev = name;
+        }
+        let leaf = format!("T{}", depth - 1);
+        let obj = sender.instantiate(&leaf).unwrap();
+        let msg = wire::marshal_self_describing(&Value::object(obj.clone()), &sender).unwrap();
+        let mut receiver = TypeRegistry::with_fundamentals();
+        let back = wire::unmarshal(&msg, &mut receiver).unwrap();
+        prop_assert!(receiver.contains(&leaf));
+        receiver.validate(back.as_object().unwrap()).unwrap();
+        prop_assert_eq!(back.as_object().unwrap(), &obj);
+    }
+}

@@ -1,0 +1,301 @@
+//! The IC-fabrication-plant scenario: "24 by 7" factory-floor automation.
+//!
+//! An IC fab must run around the clock (R1): equipment publishes process
+//! telemetry on `fab5.cc.<station>.<metric>` subjects; the legacy Cobol
+//! Work-In-Progress system is integrated through a terminal-scraping
+//! adapter (R3); lot status flows to a capturing repository with
+//! *guaranteed* delivery; and a key server is upgraded live — a new
+//! instance takes over its subject before the old one retires, with
+//! clients none the wiser (R1).
+//!
+//! Two plants are bridged by information routers over a WAN link, so
+//! headquarters sees `fab5.*` telemetry under `hq.fab5.*` subjects.
+//!
+//! Run with: `cargo run --example fab_floor`
+
+use infobus::adapters::WipAdapter;
+use infobus::builder::NewsMonitor;
+use infobus::bus::router::RewriteRule;
+use infobus::bus::{
+    BusApp, BusConfig, BusCtx, BusFabric, CallId, QoS, RetryMode, RmiError, SelectionPolicy,
+    ServiceObject,
+};
+use infobus::netsim::time::{millis, secs};
+use infobus::netsim::{EtherConfig, NetBuilder};
+use infobus::repo::CaptureServer;
+use infobus::types::{DataObject, TypeDescriptor, Value, ValueType};
+
+/// A lithography station publishing wafer-thickness telemetry.
+struct LithoStation {
+    station: &'static str,
+    readings: u32,
+    sent: u32,
+}
+
+impl BusApp for LithoStation {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(15), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        if self.sent >= self.readings {
+            return;
+        }
+        self.sent += 1;
+        let thickness = 1200.0 + 3.0 * f64::from(self.sent % 10) + bus.random();
+        let subject = format!("fab5.cc.{}.thick", self.station);
+        bus.publish(&subject, &Value::F64(thickness), QoS::Reliable)
+            .unwrap();
+        bus.set_timer(millis(15), 0);
+    }
+}
+
+/// The factory configuration service — the component we upgrade live.
+struct ConfigService {
+    version: &'static str,
+}
+
+impl ServiceObject for ConfigService {
+    fn descriptor(&self) -> TypeDescriptor {
+        TypeDescriptor::builder("FactoryConfig")
+            .idempotent_operation("recipe", vec![("station", ValueType::Str)], ValueType::Str)
+            .build()
+    }
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        _bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        match op {
+            "recipe" => Ok(Value::Str(format!(
+                "{}:recipe-for-{}",
+                self.version,
+                args[0].as_str().unwrap_or("?")
+            ))),
+            other => Err(RmiError::BadOperation(other.into())),
+        }
+    }
+}
+
+struct ConfigServer {
+    version: &'static str,
+}
+impl BusApp for ConfigServer {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.export_service(
+            "fab5.svc.config",
+            Box::new(ConfigService {
+                version: self.version,
+            }),
+        )
+        .unwrap();
+    }
+}
+
+/// A cell controller calling the config service continuously — it must
+/// never see an error across the upgrade.
+#[derive(Default)]
+struct CellController {
+    ok: u32,
+    errors: u32,
+    versions: Vec<String>,
+}
+
+impl BusApp for CellController {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(100), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        bus.rmi_call(
+            "fab5.svc.config",
+            "recipe",
+            vec![Value::str("litho8")],
+            SelectionPolicy::First,
+            RetryMode::Failover,
+        )
+        .unwrap();
+    }
+    fn on_rmi_reply(
+        &mut self,
+        bus: &mut BusCtx<'_, '_>,
+        _call: CallId,
+        result: Result<Value, RmiError>,
+    ) {
+        match result {
+            Ok(v) => {
+                self.ok += 1;
+                if let Some(s) = v.as_str() {
+                    let version = s.split(':').next().unwrap_or("?").to_owned();
+                    if self.versions.last() != Some(&version) {
+                        self.versions.push(version);
+                    }
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+        if self.ok + self.errors < 25 {
+            bus.set_timer(millis(120), 0);
+        }
+    }
+}
+
+/// Issues WIP commands as lots move through the line.
+struct LotDriver {
+    step: usize,
+}
+
+impl BusApp for LotDriver {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        infobus::adapters::wip::register_wip_types(&mut bus.registry().borrow_mut()).unwrap();
+        bus.set_timer(millis(40), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+        let script: &[(&str, &str, &str)] = &[
+            ("ADD", "L100", "ROUTE-A"),
+            ("ADD", "L101", "ROUTE-B"),
+            ("MOVE", "L100", "LITHO8"),
+            ("MOVE", "L101", "LITHO8"),
+            ("MOVE", "L100", "ETCH2"),
+            ("SHOW", "L100", ""),
+        ];
+        if self.step >= script.len() {
+            return;
+        }
+        let (verb, lot, arg) = script[self.step];
+        self.step += 1;
+        let cmd = DataObject::new("WipCommand")
+            .with("verb", verb)
+            .with("lot", lot)
+            .with("arg", arg);
+        bus.publish_object("fab5.wip.cmd", &cmd, QoS::Reliable)
+            .unwrap();
+        bus.set_timer(millis(40), 0);
+    }
+}
+
+fn main() {
+    // Topology: the fab LAN, the HQ LAN, and a WAN link between routers.
+    let mut b = NetBuilder::new(245);
+    let fab_lan = b.segment(EtherConfig::lan_10mbps());
+    let hq_lan = b.segment(EtherConfig::lan_10mbps());
+    let wan = b.segment(EtherConfig::lan_10mbps());
+    let litho = b.host("litho8", &[fab_lan]);
+    let wip_host = b.host("wip", &[fab_lan]);
+    let cc = b.host("cell-controller", &[fab_lan]);
+    let cfg_a = b.host("config-a", &[fab_lan]);
+    let cfg_b = b.host("config-b", &[fab_lan]);
+    let repo_host = b.host("fab-db", &[fab_lan]);
+    let router_fab = b.host("router-fab", &[fab_lan, wan]);
+    let router_hq = b.host("router-hq", &[hq_lan, wan]);
+    let hq_console = b.host("hq-console", &[hq_lan]);
+    let mut sim = b.build();
+
+    let all = sim.hosts();
+    let fabric = BusFabric::install(&mut sim, &all, BusConfig::default());
+    fabric.link_buses(
+        &mut sim,
+        router_fab,
+        router_hq,
+        Some(RewriteRule {
+            from_prefix: "fab5".into(),
+            to_prefix: "hq.fab5".into(),
+        }),
+    );
+
+    // HQ watches plant telemetry under rewritten subjects.
+    fabric.attach_app(
+        &mut sim,
+        hq_console,
+        "hq-monitor",
+        Box::new(NewsMonitor::new(&["hq.fab5.wip.status.>"], 50)),
+    );
+    // Plant-side infrastructure.
+    fabric.attach_app(
+        &mut sim,
+        wip_host,
+        "wip-adapter",
+        Box::new(WipAdapter::new()),
+    );
+    fabric.attach_app(
+        &mut sim,
+        repo_host,
+        "fab-db",
+        Box::new(CaptureServer::new(&["fab5.wip.status.>"])),
+    );
+    fabric.attach_app(
+        &mut sim,
+        cfg_a,
+        "config-v1",
+        Box::new(ConfigServer { version: "v1" }),
+    );
+    // Let subscriptions and the router's tables settle.
+    sim.run_for(secs(3));
+
+    // Work begins.
+    fabric.attach_app(
+        &mut sim,
+        litho,
+        "litho8",
+        Box::new(LithoStation {
+            station: "litho8",
+            readings: 40,
+            sent: 0,
+        }),
+    );
+    fabric.attach_app(
+        &mut sim,
+        cc,
+        "cell-controller",
+        Box::new(CellController::default()),
+    );
+    fabric.attach_app(&mut sim, cc, "lot-driver", Box::new(LotDriver { step: 0 }));
+    sim.run_for(secs(1));
+
+    // === R1: live upgrade of the configuration service. ===
+    println!("== live upgrade: v2 takes over fab5.svc.config, v1 retires ==");
+    fabric.attach_app(
+        &mut sim,
+        cfg_b,
+        "config-v2",
+        Box::new(ConfigServer { version: "v2" }),
+    );
+    sim.run_for(millis(300));
+    fabric.detach_app(&mut sim, cfg_a, "config-v1"); // old server off-line
+    sim.run_for(secs(4));
+
+    // The cell controller saw zero errors and both versions.
+    let (ok, errors, versions) = fabric
+        .with_app::<CellController, (u32, u32, Vec<String>)>(&mut sim, cc, "cell-controller", |c| {
+            (c.ok, c.errors, c.versions.clone())
+        })
+        .unwrap();
+    println!("cell controller calls: {ok} ok, {errors} errors; versions seen: {versions:?}");
+    assert_eq!(errors, 0, "continuous operation across the upgrade");
+    assert!(versions.contains(&"v1".to_owned()) && versions.contains(&"v2".to_owned()));
+
+    // The legacy WIP system processed every command.
+    let commands = fabric
+        .with_app::<WipAdapter, u64>(&mut sim, wip_host, "wip-adapter", |w| w.commands)
+        .unwrap();
+    println!("WIP adapter processed {commands} terminal commands as a virtual user");
+    assert_eq!(commands, 6);
+
+    // Lot status was captured (guaranteed delivery) in the plant database.
+    let lots = fabric
+        .with_app::<CaptureServer, u64>(&mut sim, repo_host, "fab-db", |r| r.captured)
+        .unwrap();
+    println!("fab database captured {lots} guaranteed lot-status records");
+    assert_eq!(lots, 6);
+
+    // HQ, across the routers, saw the lot telemetry under hq.* subjects.
+    let hq_seen = fabric
+        .with_app::<NewsMonitor, u64>(&mut sim, hq_console, "hq-monitor", |m| m.stories_received)
+        .unwrap();
+    println!("HQ monitor received {hq_seen} lot-status objects via the WAN routers");
+    assert!(hq_seen >= 6, "router bridged the plant bus to HQ");
+
+    println!(
+        "\nfab floor example complete at virtual time {} µs",
+        sim.now()
+    );
+}

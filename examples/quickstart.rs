@@ -1,0 +1,174 @@
+//! Quickstart: the smallest complete Information Bus session.
+//!
+//! Builds a three-host LAN, installs bus daemons, and demonstrates the
+//! two communication styles of the paper:
+//!
+//! 1. **publish/subscribe** — a producer publishes quotes under
+//!    hierarchical subjects; an anonymous consumer picks them up with a
+//!    wildcard subscription;
+//! 2. **request/reply (RMI)** — a calculator service is discovered by
+//!    subject and invoked over a point-to-point connection.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use infobus::bus::{
+    BusApp, BusConfig, BusCtx, BusFabric, BusMessage, CallId, QoS, RetryMode, RmiError,
+    SelectionPolicy, ServiceObject,
+};
+use infobus::netsim::time::{millis, secs};
+use infobus::netsim::{EtherConfig, NetBuilder};
+use infobus::types::{TypeDescriptor, Value, ValueType};
+
+/// Publishes a handful of quotes under `quotes.<exchange>.<ticker>`.
+struct QuotePublisher {
+    sent: usize,
+}
+
+impl BusApp for QuotePublisher {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(10), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _token: u64) {
+        const QUOTES: &[(&str, f64)] =
+            &[("nyse.gmc", 54.25), ("nyse.ibm", 101.5), ("amex.xon", 61.0)];
+        if self.sent < QUOTES.len() {
+            let (subject_tail, px) = QUOTES[self.sent];
+            self.sent += 1;
+            let subject = format!("quotes.{subject_tail}");
+            bus.publish(&subject, &Value::F64(px), QoS::Reliable)
+                .unwrap();
+            bus.set_timer(millis(10), 0);
+        }
+    }
+}
+
+/// Subscribes to every NYSE quote — it has no idea who publishes them.
+#[derive(Default)]
+struct QuoteWatcher {
+    seen: Vec<(String, f64)>,
+}
+
+impl BusApp for QuoteWatcher {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.subscribe("quotes.nyse.*").unwrap();
+    }
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        if let Some(px) = msg.value.as_f64() {
+            self.seen.push((msg.subject.as_str().to_owned(), px));
+        }
+    }
+}
+
+/// A self-describing calculator service, exported under a subject name.
+struct Calculator;
+
+impl ServiceObject for Calculator {
+    fn descriptor(&self) -> TypeDescriptor {
+        TypeDescriptor::builder("Calculator")
+            .idempotent_operation(
+                "add",
+                vec![("a", ValueType::I64), ("b", ValueType::I64)],
+                ValueType::I64,
+            )
+            .build()
+    }
+    fn invoke(
+        &mut self,
+        op: &str,
+        args: Vec<Value>,
+        _bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        match op {
+            "add" => Ok(Value::I64(
+                args[0].as_i64().unwrap_or(0) + args[1].as_i64().unwrap_or(0),
+            )),
+            other => Err(RmiError::BadOperation(other.into())),
+        }
+    }
+}
+
+struct CalcServer;
+impl BusApp for CalcServer {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.export_service("svc.calc", Box::new(Calculator))
+            .unwrap();
+    }
+}
+
+/// Finds the calculator by subject and calls it.
+#[derive(Default)]
+struct CalcClient {
+    result: Option<Result<Value, RmiError>>,
+}
+
+impl BusApp for CalcClient {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.rmi_call(
+            "svc.calc",
+            "add",
+            vec![Value::I64(19), Value::I64(23)],
+            SelectionPolicy::First,
+            RetryMode::Failover,
+        )
+        .unwrap();
+    }
+    fn on_rmi_reply(
+        &mut self,
+        _bus: &mut BusCtx<'_, '_>,
+        _call: CallId,
+        result: Result<Value, RmiError>,
+    ) {
+        self.result = Some(result);
+    }
+}
+
+fn main() {
+    // Topology: three workstations on one 10 Mb/s Ethernet.
+    let mut b = NetBuilder::new(2026);
+    let lan = b.segment(EtherConfig::lan_10mbps());
+    let alpha = b.host("alpha", &[lan]);
+    let beta = b.host("beta", &[lan]);
+    let gamma = b.host("gamma", &[lan]);
+    let mut sim = b.build();
+
+    // One bus daemon per host.
+    let fabric = BusFabric::install(&mut sim, &[alpha, beta, gamma], BusConfig::default());
+
+    // Pub/sub: watcher first (so it is subscribed), then publisher.
+    fabric.attach_app(&mut sim, beta, "watcher", Box::new(QuoteWatcher::default()));
+    // RMI: a server on gamma, a client on beta.
+    fabric.attach_app(&mut sim, gamma, "calc", Box::new(CalcServer));
+    sim.run_for(millis(100));
+    fabric.attach_app(
+        &mut sim,
+        alpha,
+        "quotes",
+        Box::new(QuotePublisher { sent: 0 }),
+    );
+    fabric.attach_app(&mut sim, beta, "client", Box::new(CalcClient::default()));
+
+    sim.run_for(secs(2));
+
+    let seen = fabric
+        .with_app::<QuoteWatcher, Vec<(String, f64)>>(&mut sim, beta, "watcher", |w| w.seen.clone())
+        .expect("watcher alive");
+    println!("quotes received by the anonymous subscriber (quotes.nyse.*):");
+    for (subject, px) in &seen {
+        println!("  {subject} = {px}");
+    }
+    assert_eq!(
+        seen.len(),
+        2,
+        "two NYSE quotes match, the AMEX one does not"
+    );
+
+    let result = fabric
+        .with_app::<CalcClient, Option<Result<Value, RmiError>>>(&mut sim, beta, "client", |c| {
+            c.result.clone()
+        })
+        .expect("client alive");
+    println!("rmi: 19 + 23 = {:?}", result);
+    assert_eq!(result, Some(Ok(Value::I64(42))));
+
+    println!("\nquickstart complete at virtual time {} µs", sim.now());
+}

@@ -1,0 +1,196 @@
+//! The §5 trading-floor scenario, end to end.
+//!
+//! Two news adapters (Dow-Jones-style and Reuters-style wire formats)
+//! parse vendor feeds into `Story` subtypes and publish them under
+//! `news.<category>.<ticker>`. A News Monitor displays headline summaries
+//! and introspective detail views; an Object Repository captures every
+//! story into relational tables it generates on the fly.
+//!
+//! Then — §5.2, dynamic system evolution — the Keyword Generator is
+//! brought on-line *while the system runs*: the monitor immediately
+//! starts showing keyword properties on new stories, and an analyst
+//! browses the generator's brand-new service interface purely from its
+//! self-description.
+//!
+//! Run with: `cargo run --example trading_floor`
+
+use infobus::adapters::{DjFeedAdapter, KeywordGenerator, ReutersFeedAdapter};
+use infobus::builder::{render_service_menu, NewsMonitor};
+use infobus::bus::{
+    BusApp, BusConfig, BusCtx, BusFabric, CallId, RetryMode, RmiError, SelectionPolicy,
+};
+use infobus::netsim::time::{millis, secs};
+use infobus::netsim::{EtherConfig, NetBuilder};
+use infobus::repo::CaptureServer;
+use infobus::types::Value;
+
+/// Uses introspection to browse the Keyword Generator's interactive
+/// interface — a service type that did not exist when this app was
+/// written.
+#[derive(Default)]
+struct Analyst {
+    categories: Option<Vec<String>>,
+}
+
+impl BusApp for Analyst {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.rmi_call(
+            "svc.keywords",
+            "categories",
+            vec![],
+            SelectionPolicy::First,
+            RetryMode::Failover,
+        )
+        .unwrap();
+    }
+    fn on_rmi_reply(
+        &mut self,
+        _bus: &mut BusCtx<'_, '_>,
+        _call: CallId,
+        result: Result<Value, RmiError>,
+    ) {
+        if let Ok(Value::List(items)) = result {
+            self.categories = Some(
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect(),
+            );
+        }
+    }
+}
+
+fn main() {
+    // The trading floor: six workstations on one Ethernet.
+    let mut b = NetBuilder::new(1993);
+    let lan = b.segment(EtherConfig::lan_10mbps());
+    let hosts: Vec<_> = [
+        "dj-feed",
+        "rtrs-feed",
+        "monitor",
+        "repository",
+        "kwgen",
+        "desk7",
+    ]
+    .iter()
+    .map(|n| b.host(n, &[lan]))
+    .collect();
+    let (h_dj, h_rtrs, h_mon, h_repo, h_kw, h_desk) =
+        (hosts[0], hosts[1], hosts[2], hosts[3], hosts[4], hosts[5]);
+    let mut sim = b.build();
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+
+    // Consumers first: the monitor and the capturing repository.
+    fabric.attach_app(
+        &mut sim,
+        h_mon,
+        "monitor",
+        Box::new(NewsMonitor::new(&["news.>"], 100)),
+    );
+    fabric.attach_app(
+        &mut sim,
+        h_repo,
+        "repository",
+        Box::new(CaptureServer::new(&["news.>"]).with_query_service("svc.repository")),
+    );
+    sim.run_for(millis(100));
+
+    // The feeds come up and stories start flowing.
+    fabric.attach_app(
+        &mut sim,
+        h_dj,
+        "dj",
+        Box::new(DjFeedAdapter::new(25, millis(80))),
+    );
+    fabric.attach_app(
+        &mut sim,
+        h_rtrs,
+        "rtrs",
+        Box::new(ReutersFeedAdapter::new(25, millis(90))),
+    );
+    sim.run_for(secs(1));
+
+    println!("== phase 1: stories flowing, no keyword generator yet ==");
+    fabric
+        .with_app::<NewsMonitor, ()>(&mut sim, h_mon, "monitor", |m| {
+            println!(
+                "{}\n",
+                m.summary().lines().take(8).collect::<Vec<_>>().join("\n")
+            );
+            assert!(m.stories_received > 10);
+            assert_eq!(m.properties_attached, 0);
+        })
+        .unwrap();
+
+    // §5.2: the Keyword Generator comes on-line *live*.
+    println!("== phase 2: keyword generator comes on-line ==");
+    fabric.attach_app(
+        &mut sim,
+        h_kw,
+        "kwgen",
+        Box::new(KeywordGenerator::default()),
+    );
+    // An analyst immediately explores the new service via introspection.
+    fabric.attach_app(&mut sim, h_desk, "analyst", Box::new(Analyst::default()));
+    sim.run_for(secs(4));
+
+    let daemon = fabric.daemon(h_mon).unwrap();
+    let registry = sim
+        .with_proc::<infobus::bus::BusDaemon, _>(daemon, |d| d.registry())
+        .unwrap();
+    fabric
+        .with_app::<NewsMonitor, ()>(&mut sim, h_mon, "monitor", |m| {
+            assert_eq!(m.stories_received, 50, "all 50 stories displayed");
+            assert!(
+                m.properties_attached > 10,
+                "keyword properties attached live"
+            );
+            let detail = m.select(m.len() - 1, &registry.borrow()).unwrap();
+            println!("monitor detail view of the latest story:\n{detail}\n");
+            assert!(
+                detail.contains("@keywords"),
+                "properties display with attributes"
+            );
+        })
+        .unwrap();
+
+    // The repository captured everything into generated tables.
+    fabric
+        .with_app::<CaptureServer, ()>(&mut sim, h_repo, "repository", |r| {
+            // The repository captures *everything* on news.> — all 50
+            // stories plus the keyword PropertyUpdate objects.
+            assert!(r.captured >= 50, "captured {}", r.captured);
+            let repo = r.repository();
+            let repo = repo.borrow();
+            let tables = repo.database().table_names();
+            println!("repository tables (generated from type metadata): {tables:?}");
+            assert!(tables.contains(&"obj_DjStory".to_owned()));
+            assert!(tables.contains(&"obj_RtrsStory".to_owned()));
+            let dj = repo.database().count("obj_DjStory").unwrap();
+            let rt = repo.database().count("obj_RtrsStory").unwrap();
+            println!("stored stories: {dj} DJ + {rt} Reuters");
+            assert_eq!(dj + rt, 50);
+        })
+        .unwrap();
+
+    // The analyst browsed the new service from its self-description.
+    let cats = fabric
+        .with_app::<Analyst, Option<Vec<String>>>(&mut sim, h_desk, "analyst", |a| {
+            a.categories.clone()
+        })
+        .unwrap()
+        .expect("analyst browsed the keyword service");
+    println!("analyst found keyword categories via RMI: {cats:?}");
+
+    // And for good measure: the generated menu for the new service type.
+    let kw_service = infobus::adapters::KeywordService::descriptor_for_docs();
+    println!(
+        "\nauto-generated UI for the new service:\n{}",
+        render_service_menu(&kw_service)
+    );
+
+    println!(
+        "\ntrading floor example complete at virtual time {} µs",
+        sim.now()
+    );
+}

@@ -1,0 +1,303 @@
+//! Whole-system integration tests spanning every crate: the paper's
+//! requirements (R1 continuous operation, R2 dynamic evolution, R3 legacy
+//! integration) exercised through the public facade.
+
+use infobus::adapters::{DjFeedAdapter, KeywordGenerator, ReutersFeedAdapter, WipAdapter};
+use infobus::builder::{NewsMonitor, ScriptedApp};
+use infobus::bus::{
+    BusApp, BusConfig, BusCtx, BusFabric, CallId, QoS, RetryMode, RmiError, SelectionPolicy,
+};
+use infobus::netsim::time::{millis, secs};
+use infobus::netsim::{EtherConfig, FaultPlan, NetBuilder};
+use infobus::repo::CaptureServer;
+use infobus::types::{DataObject, Value};
+
+/// R2 + R3 + §5 in one run: feeds, monitor, repository, keyword
+/// generator — over a *lossy* network, so the reliable protocol carries
+/// the whole scenario.
+#[test]
+fn trading_floor_on_a_lossy_network() {
+    let mut b = NetBuilder::new(61);
+    let mut cfg = EtherConfig::lan_10mbps();
+    cfg.faults = FaultPlan::lossy();
+    let lan = b.segment(cfg);
+    let hosts: Vec<_> = (0..5).map(|i| b.host(&format!("ws{i}"), &[lan])).collect();
+    let mut sim = b.build();
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+
+    fabric.attach_app(
+        &mut sim,
+        hosts[2],
+        "monitor",
+        Box::new(NewsMonitor::new(&["news.>"], 200)),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[3],
+        "repository",
+        Box::new(CaptureServer::new(&["news.>"]).with_query_service("svc.repository")),
+    );
+    sim.run_for(millis(100));
+    fabric.attach_app(
+        &mut sim,
+        hosts[0],
+        "dj",
+        Box::new(DjFeedAdapter::new(40, millis(40))),
+    );
+    fabric.attach_app(
+        &mut sim,
+        hosts[1],
+        "rtrs",
+        Box::new(ReutersFeedAdapter::new(40, millis(45))),
+    );
+    sim.run_for(millis(700));
+    fabric.attach_app(
+        &mut sim,
+        hosts[4],
+        "kw",
+        Box::new(KeywordGenerator::default()),
+    );
+    sim.run_for(secs(6));
+
+    // Despite ~1% loss everywhere, exactly-once delivery held.
+    fabric
+        .with_app::<NewsMonitor, ()>(&mut sim, hosts[2], "monitor", |m| {
+            assert_eq!(
+                m.stories_received, 80,
+                "all stories, exactly once, over a lossy LAN"
+            );
+            assert!(m.properties_attached > 10);
+        })
+        .unwrap();
+    // The repository holds every story (plus keyword updates).
+    fabric
+        .with_app::<CaptureServer, ()>(&mut sim, hosts[3], "repository", |r| {
+            let repo = r.repository();
+            let repo = repo.borrow();
+            let dj = repo.database().count("obj_DjStory").unwrap();
+            let rt = repo.database().count("obj_RtrsStory").unwrap();
+            assert_eq!(dj + rt, 80);
+        })
+        .unwrap();
+}
+
+/// R1: rolling restart of the *repository* node while guaranteed traffic
+/// flows; nothing is lost end to end.
+#[test]
+fn guaranteed_pipeline_survives_consumer_node_restart() {
+    let mut b = NetBuilder::new(62);
+    let lan = b.segment(EtherConfig::lan_10mbps());
+    let h_feed = b.host("feed", &[lan]);
+    let h_db = b.host("db", &[lan]);
+    let mut sim = b.build();
+    let mut fabric = BusFabric::install(&mut sim, &[h_feed, h_db], BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        h_db,
+        "capture",
+        Box::new(CaptureServer::new(&["fab5.wip.status.>"]).persistent("repo")),
+    );
+    sim.run_for(millis(200));
+
+    struct GdTicker {
+        sent: i64,
+    }
+    impl BusApp for GdTicker {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            infobus::adapters::wip::register_wip_types(&mut bus.registry().borrow_mut()).unwrap();
+            bus.set_timer(millis(50), 0);
+        }
+        fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _t: u64) {
+            if self.sent >= 20 {
+                return;
+            }
+            let status = DataObject::new("LotStatus")
+                .with("lot", format!("L{:03}", self.sent))
+                .with("route", "ROUTE-A")
+                .with("station", "LITHO8")
+                .with("moves", self.sent)
+                .with("ok", true)
+                .with("screen", "");
+            self.sent += 1;
+            bus.publish_object("fab5.wip.status.lot", &status, QoS::Guaranteed)
+                .unwrap();
+            bus.set_timer(millis(50), 0);
+        }
+    }
+    fabric.attach_app(&mut sim, h_feed, "ticker", Box::new(GdTicker { sent: 0 }));
+    sim.run_for(millis(400));
+    // The database node dies mid-stream and comes back.
+    fabric.crash_daemon(&mut sim, h_db);
+    sim.run_for(millis(500));
+    fabric.restart_daemon(&mut sim, h_db, BusConfig::default());
+    fabric.attach_app(
+        &mut sim,
+        h_db,
+        "capture",
+        Box::new(CaptureServer::new(&["fab5.wip.status.>"]).persistent("repo")),
+    );
+    sim.run_for(secs(8));
+
+    // At-least-once across the outage: every lot number is present
+    // (duplicates are permitted by the contract but each must appear).
+    let lots = fabric
+        .with_app::<CaptureServer, Vec<i64>>(&mut sim, h_db, "capture", |r| {
+            let repo = r.repository();
+            let repo = repo.borrow();
+            let registry = infobus::types::TypeRegistry::with_fundamentals();
+            let _ = &registry;
+            let rows = repo
+                .database()
+                .select("obj_LotStatus", &infobus::repo::Pred::True)
+                .unwrap();
+            let schema = repo.database().schema("obj_LotStatus").unwrap().clone();
+            let col = schema.col("moves").unwrap();
+            rows.iter()
+                .filter_map(|(_, row)| match &row[col] {
+                    infobus::repo::Datum::I64(v) => Some(*v),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap();
+    let mut seen = lots.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen,
+        (0..20).collect::<Vec<i64>>(),
+        "all 20 lots reached the database"
+    );
+    let stats = fabric.daemon_stats(&mut sim, h_feed).unwrap();
+    assert_eq!(stats.gd_pending, 0, "publisher ledger drained");
+}
+
+/// P3 end to end through the facade: a TDL script on one node mints a
+/// type; a monitor and an RMI-queried repository on other nodes handle it.
+#[test]
+fn tdl_minted_types_flow_through_monitor_and_repository() {
+    let mut b = NetBuilder::new(63);
+    let lan = b.segment(EtherConfig::lan_10mbps());
+    let h_script = b.host("scripted", &[lan]);
+    let h_mon = b.host("monitor", &[lan]);
+    let h_repo = b.host("repo", &[lan]);
+    let mut sim = b.build();
+    let hosts = sim.hosts();
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+
+    fabric.attach_app(
+        &mut sim,
+        h_mon,
+        "monitor",
+        Box::new(NewsMonitor::new(&["telemetry.>"], 20)),
+    );
+    fabric.attach_app(
+        &mut sim,
+        h_repo,
+        "repo",
+        Box::new(CaptureServer::new(&["telemetry.>"]).with_query_service("svc.repository")),
+    );
+    sim.run_for(millis(100));
+    let script = r#"
+      (defclass gauge-reading ()
+        ((id :type str :initform "g")
+         (headline :type str :initform "")
+         (bar :type f64 :initform 0.0)))
+      (set! n 0)
+      (defun on-start () (set-timer 10000 1))
+      (defun on-timer (token)
+        (set! n (+ n 1))
+        (publish "telemetry.press.gauge3"
+                 (make-instance 'gauge-reading
+                                :id (concat "g" n)
+                                :headline (concat "PRESSURE SAMPLE " n)
+                                :bar (* 1.5 n)))
+        (if (< n 5) (set-timer 10000 1)))
+    "#;
+    fabric.attach_app(
+        &mut sim,
+        h_script,
+        "gauge",
+        Box::new(ScriptedApp::new(script).unwrap()),
+    );
+    sim.run_for(secs(2));
+
+    fabric
+        .with_app::<ScriptedApp, ()>(&mut sim, h_script, "gauge", |s| {
+            assert!(s.errors.is_empty(), "script errors: {:?}", s.errors);
+        })
+        .unwrap();
+    fabric
+        .with_app::<NewsMonitor, ()>(&mut sim, h_mon, "monitor", |m| {
+            assert_eq!(m.stories_received, 5);
+            assert!(m.summary().contains("PRESSURE SAMPLE"));
+        })
+        .unwrap();
+
+    // Query the repository for the script-minted type over RMI.
+    #[derive(Default)]
+    struct Count {
+        n: Option<i64>,
+    }
+    impl BusApp for Count {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.rmi_call(
+                "svc.repository",
+                "count",
+                vec![Value::str("gauge-reading")],
+                SelectionPolicy::First,
+                RetryMode::Failover,
+            )
+            .unwrap();
+        }
+        fn on_rmi_reply(
+            &mut self,
+            _bus: &mut BusCtx<'_, '_>,
+            _call: CallId,
+            result: Result<Value, RmiError>,
+        ) {
+            self.n = result.ok().and_then(|v| v.as_i64());
+        }
+    }
+    fabric.attach_app(&mut sim, h_mon, "count", Box::new(Count::default()));
+    sim.run_for(secs(2));
+    let n = fabric
+        .with_app::<Count, Option<i64>>(&mut sim, h_mon, "count", |c| c.n)
+        .unwrap();
+    assert_eq!(n, Some(5));
+}
+
+/// The WIP legacy pipeline through the facade: commands in, guaranteed
+/// status out, captured relationally.
+#[test]
+fn wip_legacy_roundtrip_via_facade() {
+    let mut b = NetBuilder::new(64);
+    let lan = b.segment(EtherConfig::lan_10mbps());
+    let h_wip = b.host("wip", &[lan]);
+    let h_op = b.host("op", &[lan]);
+    let mut sim = b.build();
+    let hosts = sim.hosts();
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    fabric.attach_app(&mut sim, h_wip, "adapter", Box::new(WipAdapter::new()));
+    sim.run_for(millis(100));
+
+    struct Op;
+    impl BusApp for Op {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            infobus::adapters::wip::register_wip_types(&mut bus.registry().borrow_mut()).unwrap();
+            bus.subscribe("fab5.wip.status.>").unwrap();
+            let cmd = DataObject::new("WipCommand")
+                .with("verb", "ADD")
+                .with("lot", "L7")
+                .with("arg", "R1");
+            bus.publish_object("fab5.wip.cmd", &cmd, QoS::Reliable)
+                .unwrap();
+        }
+    }
+    fabric.attach_app(&mut sim, h_op, "op", Box::new(Op));
+    sim.run_for(secs(2));
+    let commands = fabric
+        .with_app::<WipAdapter, u64>(&mut sim, h_wip, "adapter", |w| w.commands)
+        .unwrap();
+    assert_eq!(commands, 1);
+}
