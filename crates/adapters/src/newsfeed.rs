@@ -273,7 +273,7 @@ const BODIES: &[&str] = &[
 pub fn synth_dj_record(n: u64) -> String {
     let (ticker, cat, name) = TICKERS[(n as usize) % TICKERS.len()];
     let event = EVENTS[(n as usize / TICKERS.len()) % EVENTS.len()];
-    let urgent = if n % 7 == 0 { " U" } else { "" };
+    let urgent = if n.is_multiple_of(7) { " U" } else { "" };
     format!(
         "DJ{:04} {ticker} {cat}{urgent}\nHL {upper} {event}\nTX {body}\nCC US,CA\nIG AUTO,MANUF",
         n,

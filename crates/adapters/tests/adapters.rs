@@ -183,7 +183,7 @@ fn keyword_generator_comes_online_live() {
         .with_app::<KeywordGenerator, u64>(&mut sim, hosts[1], "kw", |k| k.analyzed)
         .unwrap();
     assert!(
-        analyzed >= 10 && analyzed <= 30,
+        (10..=30).contains(&analyzed),
         "only post-start stories analyzed: {analyzed}"
     );
 }

@@ -1,8 +1,14 @@
 //! Wall-clock microbenchmarks of the data-path building blocks:
 //! subject-trie matching, self-describing marshalling, TDL dispatch, the
 //! relational engine, and the real-thread in-process bus.
+//!
+//! Self-contained harness (no external benchmarking crate): each case is
+//! warmed up, then timed over enough iterations to fill a measurement
+//! window, and the best of several samples is reported (the usual
+//! defense against scheduler noise). Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
 use infobus_repo::{ColType, Column, Database, Datum, Pred, Schema};
@@ -10,8 +16,38 @@ use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
 use infobus_tdl::Interpreter;
 use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
 
-fn bench_subject_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subject_matching");
+/// Times `f`, printing the best per-iteration cost over several samples.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const SAMPLES: usize = 7;
+    const WINDOW: Duration = Duration::from_millis(40);
+    // Warm-up and iteration-count calibration.
+    let start = Instant::now();
+    let mut calib = 0u64;
+    while start.elapsed() < WINDOW {
+        black_box(f());
+        calib += 1;
+    }
+    let iters = calib.max(1);
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best_ns = best_ns.min(ns);
+    }
+    let (scaled, unit) = if best_ns >= 1_000_000.0 {
+        (best_ns / 1_000_000.0, "ms")
+    } else if best_ns >= 1_000.0 {
+        (best_ns / 1_000.0, "µs")
+    } else {
+        (best_ns, "ns")
+    };
+    println!("{name:<48} {scaled:>10.2} {unit}/iter  ({iters} iters/sample)");
+}
+
+fn bench_subject_matching() {
     for &n in &[100usize, 10_000, 100_000] {
         let mut trie: SubjectTrie<usize> = SubjectTrie::new();
         for i in 0..n {
@@ -21,14 +57,13 @@ fn bench_subject_matching(c: &mut Criterion) {
             );
         }
         let subject = Subject::new(&format!("plant17.cc.st{}.thick", n / 2)).unwrap();
-        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
-            b.iter(|| trie.matches(&subject).count())
+        bench(&format!("subject_matching/trie/{n}"), || {
+            trie.matches(&subject).count()
         });
     }
-    group.finish();
 }
 
-fn bench_marshalling(c: &mut Criterion) {
+fn bench_marshalling() {
     let mut reg = TypeRegistry::with_fundamentals();
     reg.register(
         TypeDescriptor::builder("Story")
@@ -47,22 +82,18 @@ fn bench_marshalling(c: &mut Criterion) {
     );
     let value = Value::object(obj);
     let bytes = wire::marshal_self_describing(&value, &reg).unwrap();
+    println!("wire payload: {} bytes", bytes.len());
 
-    let mut group = c.benchmark_group("wire");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("marshal_self_describing_1k_story", |b| {
-        b.iter(|| wire::marshal_self_describing(&value, &reg).unwrap())
+    bench("wire/marshal_self_describing_1k_story", || {
+        wire::marshal_self_describing(&value, &reg).unwrap()
     });
-    group.bench_function("unmarshal_1k_story", |b| {
-        b.iter(|| {
-            let mut fresh = TypeRegistry::with_fundamentals();
-            wire::unmarshal(&bytes, &mut fresh).unwrap()
-        })
+    bench("wire/unmarshal_1k_story", || {
+        let mut fresh = TypeRegistry::with_fundamentals();
+        wire::unmarshal(&bytes, &mut fresh).unwrap()
     });
-    group.finish();
 }
 
-fn bench_tdl_dispatch(c: &mut Criterion) {
+fn bench_tdl_dispatch() {
     let mut tdl = Interpreter::new();
     tdl.eval_str(
         r#"
@@ -75,15 +106,15 @@ fn bench_tdl_dispatch(c: &mut Criterion) {
         "#,
     )
     .unwrap();
-    c.bench_function("tdl_generic_dispatch_with_next_method", |b| {
-        b.iter(|| tdl.eval_str("(render inst)").unwrap())
+    bench("tdl/generic_dispatch_with_next_method", || {
+        tdl.eval_str("(render inst)").unwrap()
     });
-    c.bench_function("tdl_make_instance", |b| {
-        b.iter(|| tdl.eval_str("(make-instance 'dj-story)").unwrap())
+    bench("tdl/make_instance", || {
+        tdl.eval_str("(make-instance 'dj-story)").unwrap()
     });
 }
 
-fn bench_reldb(c: &mut Criterion) {
+fn bench_reldb() {
     let mut db = Database::new();
     db.create_table(
         "t",
@@ -101,32 +132,28 @@ fn bench_reldb(c: &mut Criterion) {
         )
         .unwrap();
     }
-    c.bench_function("reldb_indexed_select_10k_rows", |b| {
-        b.iter(|| {
-            db.select("t", &Pred::Eq("k".into(), Datum::I64(123)))
-                .unwrap()
-        })
+    bench("reldb/indexed_select_10k_rows", || {
+        db.select("t", &Pred::Eq("k".into(), Datum::I64(123)))
+            .unwrap()
     });
-    c.bench_function("reldb_insert", |b| {
-        let mut db2 = Database::new();
-        db2.create_table(
-            "t",
-            Schema::new(vec![
-                Column::new("k", ColType::I64),
-                Column::new("v", ColType::Str),
-            ]),
-        )
-        .unwrap();
-        let mut i = 0i64;
-        b.iter(|| {
-            i += 1;
-            db2.insert("t", vec![Datum::I64(i), Datum::Str("v".into())])
-                .unwrap()
-        })
+    let mut db2 = Database::new();
+    db2.create_table(
+        "t",
+        Schema::new(vec![
+            Column::new("k", ColType::I64),
+            Column::new("v", ColType::Str),
+        ]),
+    )
+    .unwrap();
+    let mut i = 0i64;
+    bench("reldb/insert", || {
+        i += 1;
+        db2.insert("t", vec![Datum::I64(i), Datum::Str("v".into())])
+            .unwrap()
     });
 }
 
-fn bench_inproc_bus(c: &mut Criterion) {
+fn bench_inproc_bus() {
     let bus = InprocBus::new();
     bus.register_type(
         TypeDescriptor::builder("Quote")
@@ -144,20 +171,16 @@ fn bench_inproc_bus(c: &mut Criterion) {
         .with("px", 54.25f64)
         .with("sym", "GMC");
     let value = Value::object(obj);
-    c.bench_function("inproc_publish_deliver_1_subscriber", |b| {
-        b.iter(|| {
-            bus.publish("news.equity.gmc", &value).unwrap();
-            rx.recv().unwrap()
-        })
+    bench("inproc/publish_deliver_1_subscriber", || {
+        bus.publish("news.equity.gmc", &value).unwrap();
+        rx.recv().unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_subject_matching,
-    bench_marshalling,
-    bench_tdl_dispatch,
-    bench_reldb,
-    bench_inproc_bus
-);
-criterion_main!(benches);
+fn main() {
+    bench_subject_matching();
+    bench_marshalling();
+    bench_tdl_dispatch();
+    bench_reldb();
+    bench_inproc_bus();
+}

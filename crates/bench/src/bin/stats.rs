@@ -1,0 +1,245 @@
+//! Observability plane — the bus watching itself over a fab-floor
+//! workload.
+//!
+//! Three equipment cells publish readings on `fab.<cell>.reading`, a
+//! tracking host consumes `fab.>`, and a monitor host exercises RMI
+//! against a recipe service while subscribing to `_INBUS.STATS.>`. The
+//! Ethernet drops 3% of received frames, so the NAK machinery has real
+//! work to do. Every daemon publishes its [`infobus_core::BusStats`]
+//! snapshot twice a second; the monitor reconstructs them from the
+//! self-describing objects alone.
+//!
+//! Two tables come out: the ground truth read directly from each daemon,
+//! and the same counters as seen through the bus — they must agree.
+
+use std::collections::BTreeMap;
+
+use infobus_bench::{emit_daemon_stats, emit_table, BenchConsumer, BenchPublisher};
+use infobus_core::{
+    BusApp, BusConfig, BusCtx, BusFabric, BusMessage, BusStats, CallId, RetryMode, RmiError,
+    RmiLatency, SelectionPolicy, ServiceObject,
+};
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, FaultPlan, NetBuilder};
+use infobus_types::{TypeDescriptor, Value, ValueType};
+
+/// Collects `_INBUS.STATS.>` publications and reconstructs each
+/// daemon's counters purely from the self-describing objects.
+#[derive(Default)]
+struct StatsCollector {
+    /// `<host>.<daemon>` → (snapshots seen, latest counters).
+    snaps: BTreeMap<String, (u64, BusStats)>,
+    invalid: u64,
+}
+
+impl BusApp for StatsCollector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.subscribe("_INBUS.STATS.>").unwrap();
+    }
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        let Some(obj) = msg.value.as_object() else {
+            self.invalid += 1;
+            return;
+        };
+        if bus.registry().borrow().validate(obj).is_err() {
+            self.invalid += 1;
+            return;
+        }
+        let (Some(host), Some(daemon), Some(stats)) = (
+            obj.get("host").and_then(Value::as_str),
+            obj.get("daemon").and_then(Value::as_str),
+            BusStats::from_object(obj),
+        ) else {
+            self.invalid += 1;
+            return;
+        };
+        let entry = self
+            .snaps
+            .entry(format!("{host}.{daemon}"))
+            .or_insert((0, BusStats::default()));
+        entry.0 += 1;
+        entry.1 = stats;
+    }
+}
+
+/// A recipe lookup service: the fab-floor example of §2.
+struct RecipeService;
+
+impl ServiceObject for RecipeService {
+    fn descriptor(&self) -> TypeDescriptor {
+        TypeDescriptor::builder("RecipeService")
+            .idempotent_operation("lookup", vec![("recipe", ValueType::Str)], ValueType::I64)
+            .build()
+    }
+    fn invoke(
+        &mut self,
+        _op: &str,
+        args: Vec<Value>,
+        _bus: &mut BusCtx<'_, '_>,
+    ) -> Result<Value, RmiError> {
+        let len = args
+            .first()
+            .and_then(Value::as_str)
+            .map_or(0, |s| s.len() as i64);
+        Ok(Value::I64(len))
+    }
+}
+
+/// Looks up a recipe every 300 ms, feeding the RMI latency histogram.
+#[derive(Default)]
+struct RecipeClient {
+    replies: u64,
+}
+
+impl BusApp for RecipeClient {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(300), 1);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _token: u64) {
+        bus.rmi_call(
+            "fab.recipe",
+            "lookup",
+            vec![Value::str("wafer-etch-17")],
+            SelectionPolicy::First,
+            RetryMode::Failover,
+        )
+        .unwrap();
+        bus.set_timer(millis(300), 1);
+    }
+    fn on_rmi_reply(
+        &mut self,
+        _bus: &mut BusCtx<'_, '_>,
+        _call: CallId,
+        result: Result<Value, RmiError>,
+    ) {
+        if result.is_ok() {
+            self.replies += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut b = NetBuilder::new(7_100);
+    let mut ether = EtherConfig::lan_10mbps();
+    ether.faults = FaultPlan {
+        recv_loss: 0.03,
+        ..FaultPlan::none()
+    };
+    let seg = b.segment(ether);
+    let cells: Vec<_> = (0..3)
+        .map(|i| b.host(&format!("cell{i}"), &[seg]))
+        .collect();
+    let track = b.host("track", &[seg]);
+    let monitor = b.host("monitor", &[seg]);
+    let mut sim = b.build();
+    let hosts = sim.hosts();
+    let cfg = BusConfig::throughput().with_stats_period_us(millis(500));
+    let fabric = BusFabric::install(&mut sim, &hosts, cfg);
+
+    fabric.attach_app(
+        &mut sim,
+        track,
+        "track",
+        Box::new(BenchConsumer::new(vec!["fab.>".into()])),
+    );
+    fabric.attach_app(
+        &mut sim,
+        monitor,
+        "watch",
+        Box::new(StatsCollector::default()),
+    );
+    sim.run_for(millis(100));
+    for (i, &cell) in cells.iter().enumerate() {
+        fabric.attach_app(
+            &mut sim,
+            cell,
+            "pub",
+            Box::new(BenchPublisher::new(
+                vec![format!("fab.cell{i}.reading")],
+                256,
+                5_000,
+                false,
+            )),
+        );
+    }
+    struct Recipes;
+    impl BusApp for Recipes {
+        fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+            bus.export_service("fab.recipe", Box::new(RecipeService))
+                .unwrap();
+        }
+    }
+    fabric.attach_app(&mut sim, track, "recipes", Box::new(Recipes));
+    fabric.attach_app(
+        &mut sim,
+        monitor,
+        "client",
+        Box::new(RecipeClient::default()),
+    );
+
+    sim.run_for(secs(8));
+
+    println!("OBSERVABILITY: per-daemon protocol counters (ground truth)\n");
+    emit_daemon_stats("stats_daemons", &mut sim, &fabric);
+
+    let header = format!(
+        "{:<22} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "daemon (via bus)",
+        "snaps",
+        "published",
+        "delivered",
+        "naks_tx",
+        "retrans",
+        "flushes",
+        "occ"
+    );
+    let (rows, invalid) = fabric
+        .with_app::<StatsCollector, (Vec<String>, u64)>(&mut sim, monitor, "watch", |w| {
+            let rows = w
+                .snaps
+                .iter()
+                .map(|(name, (count, s))| {
+                    format!(
+                        "{:<22} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7.2}",
+                        name,
+                        count,
+                        s.published,
+                        s.delivered,
+                        s.naks_sent,
+                        s.retransmitted,
+                        s.batch_flushes,
+                        s.mean_batch_occupancy(),
+                    )
+                })
+                .collect();
+            (rows, w.invalid)
+        })
+        .unwrap();
+    let replies = fabric
+        .with_app::<RecipeClient, u64>(&mut sim, monitor, "client", |c| c.replies)
+        .unwrap_or(0);
+    println!("\nOBSERVABILITY: the same counters as seen over _INBUS.STATS.> \n");
+    emit_table("stats_plane", &header, &rows);
+
+    let mon = fabric.daemon_stats(&mut sim, monitor).unwrap();
+    let mut hist = String::new();
+    for (i, &n) in mon.rmi_latency.buckets().iter().enumerate() {
+        let label = RmiLatency::BOUNDS_US
+            .get(i)
+            .map_or("more".to_owned(), |b| format!("<={}ms", b / 1_000));
+        hist.push_str(&format!("{label}:{n} "));
+    }
+    println!(
+        "monitor RMI: {} replies, mean {:.0} us, histogram {}",
+        replies,
+        mon.rmi_latency.mean_us(),
+        hist.trim_end()
+    );
+    let net = sim.stats().clone();
+    println!(
+        "network: {} datagrams sent, {} receive losses repaired by NAK",
+        net.datagrams_sent, net.recv_losses
+    );
+    assert!(invalid == 0, "every stats object must validate");
+    assert!(rows.len() >= hosts.len(), "every daemon must report in");
+}

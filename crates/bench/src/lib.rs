@@ -433,6 +433,11 @@ fn measure_throughput_inner(run: &ThroughputRun, debug: bool) -> ThroughputStats
         );
         eprintln!("net: {:?}", tb.sim.stats());
         eprintln!("per-consumer msgs/s: {per_consumer_msgs:?}");
+        emit_daemon_stats(
+            &format!("daemon_stats_{}B", run.size),
+            &mut tb.sim,
+            &tb.fabric,
+        );
     }
     let n = per_consumer_msgs.len().max(1) as f64;
     let mean_msgs = per_consumer_msgs.iter().sum::<f64>() / n;
@@ -455,8 +460,7 @@ fn measure_throughput_inner(run: &ThroughputRun, debug: bool) -> ThroughputStats
 /// Like [`measure_throughput`] but dumps daemon protocol counters to
 /// stderr afterwards (diagnostics for harness development).
 pub fn measure_throughput_debug(run: &ThroughputRun) -> ThroughputStats {
-    let stats = measure_throughput_inner(run, true);
-    stats
+    measure_throughput_inner(run, true)
 }
 
 /// Measures the raw-UDP baseline: one process blasting datagrams at
@@ -520,6 +524,49 @@ pub fn measure_raw_udp(seed: u64, size: usize, window_s: u64) -> f64 {
     sim.run_for(secs(window_s));
     let end = sim.with_proc::<Sink, u64>(sink, |s| s.bytes).unwrap();
     (end - start) as f64 / window_s as f64
+}
+
+/// One table row per daemon of `fabric`, rendered from its
+/// [`infobus_core::BusStats`] snapshot and written to
+/// `bench_results/<name>.txt` via [`emit_table`]. The columns cover the
+/// counters that matter when tuning a workload: traffic in and out, NAK
+/// repair activity, batching effectiveness, and RMI latency.
+pub fn emit_daemon_stats(name: &str, sim: &mut Sim, fabric: &BusFabric) {
+    let header = format!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8} {:>7} {:>10}",
+        "daemon",
+        "published",
+        "pub_bytes",
+        "delivered",
+        "deliv_bytes",
+        "naks_tx",
+        "naks_rx",
+        "retrans",
+        "flushes",
+        "occ",
+        "rmi_us",
+    );
+    let rows: Vec<String> = fabric
+        .all_daemon_stats(sim)
+        .into_iter()
+        .map(|(host, s)| {
+            format!(
+                "{:<10} {:>10} {:>12} {:>10} {:>12} {:>8} {:>8} {:>8} {:>8} {:>7.2} {:>10.0}",
+                format!("d{}", host.0),
+                s.published,
+                s.published_bytes,
+                s.delivered,
+                s.delivered_bytes,
+                s.naks_sent,
+                s.naks_served,
+                s.retransmitted,
+                s.batch_flushes,
+                s.mean_batch_occupancy(),
+                s.rmi_latency.mean_us(),
+            )
+        })
+        .collect();
+    emit_table(name, &header, &rows);
 }
 
 /// Prints an aligned table and writes it to `bench_results/<name>.txt`.

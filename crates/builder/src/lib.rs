@@ -1,0 +1,27 @@
+//! The Application Builder layer of the Information Bus.
+//!
+//! The paper (§5) describes applications that are assembled from the bus
+//! rather than compiled against each other: the *News Monitor* displays
+//! whatever self-describing objects arrive on its subjects, attaching
+//! dynamically generated properties to objects it already holds; scripted
+//! applications are written in TDL and gain new behavior with no
+//! recompilation (P3); and user interfaces for brand-new service types
+//! are generated from type descriptors alone (P2).
+//!
+//! This crate provides those three pieces:
+//!
+//! * [`NewsMonitor`] — a generic subscribing view over any subject set;
+//! * [`ScriptedApp`] — a [`BusApp`] whose behavior is a TDL script;
+//! * [`render_service_menu`] — an auto-generated textual UI for a
+//!   service's [`TypeDescriptor`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod monitor;
+mod scripted;
+mod ui;
+
+pub use monitor::NewsMonitor;
+pub use scripted::ScriptedApp;
+pub use ui::render_service_menu;

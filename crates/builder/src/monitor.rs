@@ -1,0 +1,188 @@
+//! The News Monitor: a generic, introspective display application.
+
+use infobus_core::{BusApp, BusCtx, BusMessage};
+use infobus_types::{print, DataObject, TypeRegistry, Value};
+
+/// A display application that subscribes to a set of subject filters and
+/// keeps the most recent objects for browsing (§5.1).
+///
+/// The monitor has no compile-time knowledge of the types it displays:
+/// objects arrive self-describing, headlines are read through the
+/// meta-object protocol, and detail views are rendered by the generic
+/// print utility. `PropertyUpdate` objects (the §5.2 property-carrier
+/// published by the Keyword Generator) are not displayed themselves;
+/// instead their payload is attached as a property of the referenced
+/// object already on screen, exactly as the paper describes the monitor
+/// reacting to the Keyword Generator coming on-line.
+pub struct NewsMonitor {
+    filters: Vec<String>,
+    cap: usize,
+    stories: Vec<DataObject>,
+    /// Count of displayable (non-`PropertyUpdate`) objects received.
+    pub stories_received: u64,
+    /// Count of properties attached to held objects via `PropertyUpdate`.
+    pub properties_attached: u64,
+}
+
+impl NewsMonitor {
+    /// A monitor subscribing to `filters`, retaining at most `cap`
+    /// objects for browsing (counters keep running past the cap).
+    pub fn new(filters: &[&str], cap: usize) -> Self {
+        NewsMonitor {
+            filters: filters.iter().map(|s| (*s).to_owned()).collect(),
+            cap,
+            stories: Vec::new(),
+            stories_received: 0,
+            properties_attached: 0,
+        }
+    }
+
+    /// Number of objects currently held for browsing.
+    pub fn len(&self) -> usize {
+        self.stories.len()
+    }
+
+    /// `true` if no objects are held.
+    pub fn is_empty(&self) -> bool {
+        self.stories.is_empty()
+    }
+
+    /// The summary view: one line per held object, newest last, each
+    /// showing the object's type and its `headline` attribute (or a short
+    /// slot digest when the type has no headline). A `*` marks objects
+    /// that have dynamically attached properties.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "== news monitor: {} objects shown, {} received, {} properties attached ==\n",
+            self.stories.len(),
+            self.stories_received,
+            self.properties_attached
+        );
+        for (i, story) in self.stories.iter().enumerate() {
+            let headline = story
+                .get("headline")
+                .and_then(Value::as_str)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .unwrap_or_else(|| describe_without_headline(story));
+            let marker = if story.properties().is_empty() {
+                ' '
+            } else {
+                '*'
+            };
+            out.push_str(&format!(
+                "{i:>4} {marker} [{}] {headline}\n",
+                story.type_name()
+            ));
+        }
+        out
+    }
+
+    /// The detail view of the object at `idx`: the full object rendered
+    /// by the generic print utility, including its lineage, typed slots,
+    /// and any dynamically attached properties (`@name = …`).
+    pub fn select(&self, idx: usize, registry: &TypeRegistry) -> Option<String> {
+        self.stories
+            .get(idx)
+            .map(|story| print::render_object(story, registry))
+    }
+
+    /// Processes one incoming value: attaches `PropertyUpdate` payloads
+    /// to the referenced held object, displays anything else.
+    fn ingest(&mut self, value: &Value) {
+        let Some(obj) = value.as_object() else {
+            return;
+        };
+        if obj.type_name() == "PropertyUpdate" {
+            // §5.2: attach the carried property to the referenced object.
+            let ref_id = obj.get("ref_id").and_then(Value::as_str).unwrap_or("");
+            let name = obj.get("name").and_then(Value::as_str).unwrap_or("");
+            let value = obj.get("value").cloned().unwrap_or(Value::Nil);
+            if name.is_empty() {
+                return;
+            }
+            for story in &mut self.stories {
+                if story.get("id").and_then(Value::as_str) == Some(ref_id) {
+                    story.set_property(name, value);
+                    self.properties_attached += 1;
+                    return;
+                }
+            }
+            return;
+        }
+        self.stories_received += 1;
+        if self.stories.len() < self.cap {
+            self.stories.push(obj.clone());
+        }
+    }
+}
+
+/// A one-line description for objects whose type has no `headline`.
+fn describe_without_headline(obj: &DataObject) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (name, v) in obj.slots() {
+        match v {
+            Value::Str(s) if !s.is_empty() => parts.push(format!("{name}={s}")),
+            Value::I64(i) => parts.push(format!("{name}={i}")),
+            Value::Bool(b) => parts.push(format!("{name}={b}")),
+            _ => {}
+        }
+        if parts.len() >= 4 {
+            break;
+        }
+    }
+    parts.join(" ")
+}
+
+impl BusApp for NewsMonitor {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        for f in self.filters.clone() {
+            bus.subscribe(&f).expect("monitor filter is valid");
+        }
+    }
+
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.ingest(&msg.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn story(id: &str, headline: &str) -> Value {
+        Value::Object(Box::new(
+            DataObject::new("Story")
+                .with("id", id)
+                .with("headline", headline),
+        ))
+    }
+
+    #[test]
+    fn property_updates_attach_instead_of_display() {
+        let mut m = NewsMonitor::new(&["news.>"], 10);
+        m.ingest(&story("s1", "GM UP"));
+        assert_eq!(m.stories_received, 1);
+
+        let update = DataObject::new("PropertyUpdate")
+            .with("ref_id", "s1")
+            .with("name", "keywords")
+            .with("value", Value::List(vec![Value::str("motors")]));
+        m.ingest(&Value::Object(Box::new(update)));
+
+        assert_eq!(m.properties_attached, 1);
+        assert_eq!(m.stories_received, 1, "updates are not counted as stories");
+        assert!(m.summary().contains("GM UP"));
+        assert!(m.summary().contains('*'), "attached property is marked");
+    }
+
+    #[test]
+    fn cap_bounds_display_but_not_counters() {
+        let mut m = NewsMonitor::new(&["news.>"], 2);
+        for i in 0..5 {
+            m.ingest(&story(&format!("s{i}"), "H"));
+        }
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stories_received, 5);
+    }
+}

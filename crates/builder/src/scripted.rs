@@ -1,0 +1,217 @@
+//! TDL-scripted bus applications (P3: behavior defined at run time).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use infobus_core::{BusApp, BusCtx, BusMessage, QoS};
+use infobus_tdl::{Expr, Interpreter, TdlError, TdlValue};
+
+/// A side effect requested by a script, applied to the bus after the
+/// interpreter returns (natives cannot hold the bus context directly).
+enum Effect {
+    Publish {
+        subject: String,
+        value: infobus_types::Value,
+    },
+    Subscribe {
+        filter: String,
+    },
+    SetTimer {
+        delay: u64,
+        token: u64,
+    },
+}
+
+type EffectQueue = Rc<RefCell<Vec<Effect>>>;
+
+/// A [`BusApp`] whose behavior is a TDL script.
+///
+/// The script runs in an interpreter sharing the daemon's type registry,
+/// so `defclass` mints first-class bus types (P3). The script defines
+/// optional handler functions that mirror the [`BusApp`] callbacks:
+///
+/// * `(defun on-start () …)` — run once after the top-level forms;
+/// * `(defun on-timer (token) …)` — timers set with `set-timer`;
+/// * `(defun on-message (subject value) …)` — subscribed publications.
+///
+/// Scripts interact with the bus through three natives:
+///
+/// * `(publish subject value)` — publish an instance reliably;
+/// * `(subscribe filter)` — subscribe; deliveries invoke `on-message`;
+/// * `(set-timer delay-us token)` — arm an application timer.
+///
+/// Script errors never unwind into the daemon: they are collected in
+/// [`ScriptedApp::errors`] for the harness to inspect.
+pub struct ScriptedApp {
+    script: String,
+    interp: Option<Interpreter>,
+    effects: EffectQueue,
+    /// Errors raised by the script or by applying its bus effects.
+    pub errors: Vec<String>,
+    /// Text printed by the script via `print`/`println`.
+    pub printed: String,
+}
+
+impl ScriptedApp {
+    /// Creates an app from TDL source. The source is parsed eagerly so
+    /// malformed scripts fail here, at attach-definition time; evaluation
+    /// happens in [`BusApp::on_start`] once the daemon's registry is
+    /// available.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TdlError`] for unparsable source.
+    pub fn new(script: &str) -> Result<Self, TdlError> {
+        Expr::parse_check(script)?;
+        Ok(ScriptedApp {
+            script: script.to_owned(),
+            interp: None,
+            effects: Rc::new(RefCell::new(Vec::new())),
+            errors: Vec::new(),
+            printed: String::new(),
+        })
+    }
+
+    /// Reads a global variable from the script's interpreter (for tests
+    /// and harnesses inspecting script state).
+    pub fn global(&self, name: &str) -> Option<TdlValue> {
+        self.interp.as_ref().and_then(|i| i.get_global(name))
+    }
+
+    /// Calls the named script function if it is defined; collects any
+    /// error. An unbound name is not an error — handlers are optional.
+    fn call_hook(&mut self, name: &str, args: Vec<TdlValue>) {
+        let Some(interp) = self.interp.as_mut() else {
+            return;
+        };
+        match interp.call(name, args) {
+            Ok(_) => {}
+            Err(TdlError::Unbound(n)) if n == name => {}
+            Err(e) => self.errors.push(format!("{name}: {e}")),
+        }
+        self.printed.push_str(&interp.take_output());
+    }
+
+    /// Applies every effect the last evaluation queued.
+    fn drain_effects(&mut self, bus: &mut BusCtx<'_, '_>) {
+        let effects: Vec<Effect> = self.effects.borrow_mut().drain(..).collect();
+        for effect in effects {
+            match effect {
+                Effect::Publish { subject, value } => {
+                    if let Err(e) = bus.publish(&subject, &value, QoS::Reliable) {
+                        self.errors.push(format!("publish {subject:?}: {e}"));
+                    }
+                }
+                Effect::Subscribe { filter } => {
+                    if let Err(e) = bus.subscribe(&filter) {
+                        self.errors.push(format!("subscribe {filter:?}: {e}"));
+                    }
+                }
+                Effect::SetTimer { delay, token } => bus.set_timer(delay, token),
+            }
+        }
+    }
+}
+
+/// Installs the bus natives into a script interpreter, wiring them to the
+/// shared effect queue.
+fn install_natives(interp: &mut Interpreter, effects: &EffectQueue) {
+    let q = effects.clone();
+    interp.define_native("publish", move |_interp, args| {
+        let [subject, value] = &args[..] else {
+            return Err(TdlError::ArgCount {
+                callee: "publish".into(),
+                expected: "2".into(),
+                got: args.len(),
+            });
+        };
+        let TdlValue::Str(subject) = subject else {
+            return Err(TdlError::TypeMismatch(
+                "publish: subject must be a string".into(),
+            ));
+        };
+        q.borrow_mut().push(Effect::Publish {
+            subject: subject.clone(),
+            value: value.to_value()?,
+        });
+        Ok(TdlValue::Nil)
+    });
+    let q = effects.clone();
+    interp.define_native("subscribe", move |_interp, args| {
+        let [TdlValue::Str(filter)] = &args[..] else {
+            return Err(TdlError::TypeMismatch(
+                "subscribe: expected one string filter".into(),
+            ));
+        };
+        q.borrow_mut().push(Effect::Subscribe {
+            filter: filter.clone(),
+        });
+        Ok(TdlValue::Nil)
+    });
+    let q = effects.clone();
+    interp.define_native("set-timer", move |_interp, args| {
+        let [TdlValue::Int(delay), TdlValue::Int(token)] = &args[..] else {
+            return Err(TdlError::TypeMismatch(
+                "set-timer: expected (delay-us token) integers".into(),
+            ));
+        };
+        q.borrow_mut().push(Effect::SetTimer {
+            delay: (*delay).max(0) as u64,
+            token: (*token).max(0) as u64,
+        });
+        Ok(TdlValue::Nil)
+    });
+}
+
+impl BusApp for ScriptedApp {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        let mut interp = Interpreter::with_registry(bus.registry());
+        install_natives(&mut interp, &self.effects);
+        match interp.eval_str(&self.script) {
+            Ok(_) => {}
+            Err(e) => self.errors.push(format!("script: {e}")),
+        }
+        self.printed.push_str(&interp.take_output());
+        self.interp = Some(interp);
+        self.call_hook("on-start", vec![]);
+        self.drain_effects(bus);
+    }
+
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, token: u64) {
+        self.call_hook("on-timer", vec![TdlValue::Int(token as i64)]);
+        self.drain_effects(bus);
+    }
+
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.call_hook(
+            "on-message",
+            vec![
+                TdlValue::Str(msg.subject.as_str().to_owned()),
+                TdlValue::from_value(&msg.value),
+            ],
+        );
+        self.drain_effects(bus);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_scripts_fail_at_construction() {
+        assert!(ScriptedApp::new("(defun broken (").is_err());
+        assert!(ScriptedApp::new("(set! x 1)").is_ok());
+    }
+
+    #[test]
+    fn natives_queue_effects() {
+        let app = ScriptedApp::new("(set! x 1)").unwrap();
+        let mut interp = Interpreter::new();
+        install_natives(&mut interp, &app.effects);
+        interp
+            .eval_str(r#"(set-timer 1000 7) (subscribe "a.b") (publish "a.b" 42)"#)
+            .unwrap();
+        assert_eq!(app.effects.borrow().len(), 3);
+    }
+}

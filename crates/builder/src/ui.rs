@@ -1,0 +1,45 @@
+//! Auto-generated user interfaces from type descriptors (P2).
+
+use infobus_types::TypeDescriptor;
+
+/// Renders a textual menu for a service type, generated purely from its
+/// [`TypeDescriptor`] — the Application Builder's trick for putting an
+/// interactive UI in front of a service type that did not exist when the
+/// client was written (§5.2).
+///
+/// Each operation becomes a numbered menu entry showing its full
+/// signature; idempotent operations (safely retryable, exactly-once over
+/// RMI) are marked.
+pub fn render_service_menu(descriptor: &TypeDescriptor) -> String {
+    let mut out = format!("=== service: {} ===\n", descriptor.name());
+    if let Some(sup) = descriptor.supertype() {
+        out.push_str(&format!("    (is-a {sup})\n"));
+    }
+    if descriptor.own_operations().is_empty() {
+        out.push_str("    (no operations)\n");
+        return out;
+    }
+    for (i, op) in descriptor.own_operations().iter().enumerate() {
+        let tag = if op.idempotent { "  [idempotent]" } else { "" };
+        out.push_str(&format!("  [{}] {op}{tag}\n", i + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infobus_types::ValueType;
+
+    #[test]
+    fn menu_lists_signatures() {
+        let desc = TypeDescriptor::builder("Browser")
+            .idempotent_operation("categories", vec![], ValueType::list_of(ValueType::Str))
+            .operation("add", vec![("kw", ValueType::Str)], ValueType::Bool)
+            .build();
+        let menu = render_service_menu(&desc);
+        assert!(menu.contains("service: Browser"));
+        assert!(menu.contains("[1] categories() -> list<str>  [idempotent]"));
+        assert!(menu.contains("[2] add(kw: str) -> bool"));
+    }
+}

@@ -36,6 +36,24 @@ pub struct DiscoveryReply {
     pub info: Value,
 }
 
+/// A handle for one active subscription, returned by
+/// [`BusCtx::subscribe`] and consumed by [`BusCtx::unsubscribe`].
+///
+/// The handle is opaque: it identifies the subscription within its
+/// daemon and carries no other meaning. It deliberately wraps the trie's
+/// raw [`SubscriptionId`] so application code cannot confuse a data
+/// subscription with the daemon's internal control subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionHandle(pub(crate) SubscriptionId);
+
+impl SubscriptionHandle {
+    /// The underlying trie id (diagnostics only — cannot be turned back
+    /// into a handle).
+    pub fn id(&self) -> u64 {
+        self.0 .0
+    }
+}
+
 /// An application attached to a bus daemon.
 ///
 /// Applications are event handlers, like processes in the network
@@ -134,19 +152,25 @@ impl BusCtx<'_, '_> {
     }
 
     /// Subscribes this application to a subject filter. Matching
-    /// publications arrive via [`BusApp::on_message`].
+    /// publications arrive via [`BusApp::on_message`]. The returned
+    /// [`SubscriptionHandle`] cancels the subscription when passed to
+    /// [`BusCtx::unsubscribe`].
     ///
     /// # Errors
     ///
     /// Returns [`BusError::Subject`] for malformed filters.
-    pub fn subscribe(&mut self, filter: &str) -> Result<SubscriptionId, BusError> {
+    pub fn subscribe(&mut self, filter: &str) -> Result<SubscriptionHandle, BusError> {
         let filter = SubjectFilter::new(filter)?;
-        Ok(self.d.subscribe_app(self.net, self.app_idx, &filter))
+        Ok(SubscriptionHandle(self.d.subscribe_app(
+            self.net,
+            self.app_idx,
+            &filter,
+        )))
     }
 
-    /// Cancels a subscription.
-    pub fn unsubscribe(&mut self, id: SubscriptionId) {
-        self.d.unsubscribe(self.net, id);
+    /// Cancels a subscription made with [`BusCtx::subscribe`].
+    pub fn unsubscribe(&mut self, handle: SubscriptionHandle) {
+        self.d.unsubscribe(self.net, handle.0);
     }
 
     /// Starts a "Who's out there?" discovery (§3.2): publishes a query on

@@ -7,6 +7,19 @@ use infobus_netsim::Micros;
 /// Defaults reflect the paper's installation: batching available but
 /// controlled by a parameter (latency tests turn it off, throughput tests
 /// turn it on), NAK-based retransmission tuned for a LAN.
+///
+/// The struct is `#[non_exhaustive]`: build one from a preset
+/// ([`BusConfig::default`], [`BusConfig::latency`],
+/// [`BusConfig::throughput`]) and refine it with the chainable setters.
+///
+/// ```
+/// use infobus_core::BusConfig;
+/// let cfg = BusConfig::throughput()
+///     .with_batch_bytes(1_200)
+///     .with_stats_period_us(500_000);
+/// assert!(cfg.batch_enabled);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct BusConfig {
     /// Gather small publications into MTU-sized packets ("the Information
@@ -44,6 +57,13 @@ pub struct BusConfig {
     pub sync_rounds: u32,
     /// How long a discovery request collects "I am" announcements.
     pub discovery_window_us: Micros,
+    /// Period of the daemon's self-description on the observability
+    /// plane: every `stats_period_us` the daemon publishes a snapshot of
+    /// its [`BusStats`](crate::BusStats) as a self-describing object on
+    /// `_INBUS.STATS.<host>.<daemon>`. `0` (the default) disables the
+    /// publication; counters are still maintained and readable through
+    /// [`BusDaemon::stats`](crate::BusDaemon::stats).
+    pub stats_period_us: Micros,
 }
 
 impl Default for BusConfig {
@@ -63,6 +83,7 @@ impl Default for BusConfig {
             sync_period_us: 250_000,
             sync_rounds: 2,
             discovery_window_us: 50_000,
+            stats_period_us: 0,
         }
     }
 }
@@ -82,5 +103,129 @@ impl BusConfig {
             batch_enabled: true,
             ..BusConfig::default()
         }
+    }
+
+    /// Sets whether small publications are gathered into MTU-sized packets.
+    pub fn with_batch_enabled(mut self, enabled: bool) -> Self {
+        self.batch_enabled = enabled;
+        self
+    }
+
+    /// Sets the byte threshold at which a batch is flushed.
+    pub fn with_batch_bytes(mut self, bytes: usize) -> Self {
+        self.batch_bytes = bytes;
+        self
+    }
+
+    /// Sets the maximum delay before a partial batch is flushed.
+    pub fn with_batch_delay_us(mut self, us: Micros) -> Self {
+        self.batch_delay_us = us;
+        self
+    }
+
+    /// Sets how long a receiver waits on a sequence gap before NAKing.
+    pub fn with_nak_delay_us(mut self, us: Micros) -> Self {
+        self.nak_delay_us = us;
+        self
+    }
+
+    /// Sets the period of the receiver's gap-scan timer.
+    pub fn with_nak_check_us(mut self, us: Micros) -> Self {
+        self.nak_check_us = us;
+        self
+    }
+
+    /// Sets how many envelopes each (publisher, subject) stream retains
+    /// for retransmission.
+    pub fn with_retain_per_stream(mut self, n: usize) -> Self {
+        self.retain_per_stream = n;
+        self
+    }
+
+    /// Sets the retry period for unacknowledged guaranteed messages.
+    pub fn with_gd_retry_us(mut self, us: Micros) -> Self {
+        self.gd_retry_us = us;
+        self
+    }
+
+    /// Sets how long an RMI client collects server offers before choosing.
+    pub fn with_offer_window_us(mut self, us: Micros) -> Self {
+        self.offer_window_us = us;
+        self
+    }
+
+    /// Sets the RMI request timeout before fail-over / failure.
+    pub fn with_rmi_timeout_us(mut self, us: Micros) -> Self {
+        self.rmi_timeout_us = us;
+        self
+    }
+
+    /// Sets the maximum RMI attempts (initial + fail-overs).
+    pub fn with_rmi_max_attempts(mut self, n: u32) -> Self {
+        self.rmi_max_attempts = n;
+        self
+    }
+
+    /// Sets the period of full subscription-table announcements.
+    pub fn with_announce_period_us(mut self, us: Micros) -> Self {
+        self.announce_period_us = us;
+        self
+    }
+
+    /// Sets the period of the publisher's stream-digest timer.
+    pub fn with_sync_period_us(mut self, us: Micros) -> Self {
+        self.sync_period_us = us;
+        self
+    }
+
+    /// Sets how many digest rounds an idle stream broadcasts.
+    pub fn with_sync_rounds(mut self, n: u32) -> Self {
+        self.sync_rounds = n;
+        self
+    }
+
+    /// Sets how long a discovery request collects "I am" announcements.
+    pub fn with_discovery_window_us(mut self, us: Micros) -> Self {
+        self.discovery_window_us = us;
+        self
+    }
+
+    /// Sets the period of the daemon's [`BusStats`](crate::BusStats)
+    /// publication on `_INBUS.STATS.<host>.<daemon>` (`0` disables it).
+    pub fn with_stats_period_us(mut self, us: Micros) -> Self {
+        self.stats_period_us = us;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setters_chain_and_presets_hold() {
+        let cfg = BusConfig::latency()
+            .with_batch_enabled(true)
+            .with_batch_bytes(999)
+            .with_batch_delay_us(1)
+            .with_nak_delay_us(2)
+            .with_nak_check_us(3)
+            .with_retain_per_stream(4)
+            .with_gd_retry_us(5)
+            .with_offer_window_us(6)
+            .with_rmi_timeout_us(7)
+            .with_rmi_max_attempts(8)
+            .with_announce_period_us(9)
+            .with_sync_period_us(10)
+            .with_sync_rounds(11)
+            .with_discovery_window_us(12)
+            .with_stats_period_us(13);
+        assert!(cfg.batch_enabled);
+        assert_eq!(cfg.batch_bytes, 999);
+        assert_eq!(cfg.rmi_max_attempts, 8);
+        assert_eq!(cfg.stats_period_us, 13);
+        assert_eq!(BusConfig::default().stats_period_us, 0);
+        assert!(BusConfig::throughput().batch_enabled);
+        assert!(!BusConfig::latency().batch_enabled);
     }
 }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use infobus_netsim::{ConnEvent, ConnId, Ctx, Datagram, Micros, Process, SegmentId, SockAddr};
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
-use infobus_types::{wire, TypeRegistry, Value};
+use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
 
 use crate::app::{BusApp, BusCtx, BusMessage, DiscoveryReply};
 use crate::config::BusConfig;
@@ -37,8 +37,19 @@ const TOK_GD_RETRY: u64 = 3;
 const TOK_ANNOUNCE: u64 = 4;
 const TOK_SYNC: u64 = 5;
 const TOK_ANN_FLUSH: u64 = 6;
+const TOK_STATS: u64 = 7;
 /// Dynamic timer tokens start here.
 const TOK_DYN: u64 = 10;
+
+/// Reserved subject prefix of the observability plane: every daemon with
+/// [`BusConfig::stats_period_us`] set publishes its [`BusStats`] snapshot
+/// on `_INBUS.STATS.<host>.<daemon>`. Subscribe to `_INBUS.STATS.>` to
+/// watch the whole bus.
+pub const STATS_SUBJECT_PREFIX: &str = "_INBUS.STATS";
+
+/// The publisher slot used for daemon-originated publications (stats
+/// snapshots): not a real application index.
+const APP_STATS: usize = usize::MAX - 1;
 
 /// Cap on queued app deliveries drained per network event (guards against
 /// publish loops between co-located applications).
@@ -47,11 +58,68 @@ const DRAIN_CAP: usize = 10_000;
 /// Cap on per-service RMI deduplication entries.
 const DEDUP_CAP: usize = 1024;
 
+/// A small fixed-bucket histogram of RMI call latencies (request issue
+/// to reply delivery, in microseconds).
+///
+/// Bucket upper bounds are [`RmiLatency::BOUNDS_US`]; the final bucket is
+/// unbounded. The histogram also tracks count and sum, so the mean
+/// survives the trip through a stats snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RmiLatency {
+    buckets: [u64; 8],
+    count: u64,
+    sum_us: u64,
+}
+
+impl RmiLatency {
+    /// Upper bounds (inclusive, µs) of the first seven buckets; the
+    /// eighth bucket collects everything slower.
+    pub const BOUNDS_US: [u64; 7] = [1_000, 2_000, 5_000, 10_000, 50_000, 200_000, 1_000_000];
+
+    /// Records one completed call's latency.
+    pub fn record(&mut self, us: Micros) {
+        let idx = Self::BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(Self::BOUNDS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Per-bucket counts (aligned with [`RmiLatency::BOUNDS_US`] plus the
+    /// overflow bucket).
+    pub fn buckets(&self) -> &[u64; 8] {
+        &self.buckets
+    }
+
+    /// Number of recorded calls.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
 /// Counters exposed by a daemon (used by tests and the bench harness).
+///
+/// A snapshot converts to a self-describing [`DataObject`] with
+/// [`BusStats::to_object`]; daemons with
+/// [`BusConfig::stats_period_us`] set publish that object periodically on
+/// `_INBUS.STATS.<host>.<daemon>` (see [`STATS_SUBJECT_PREFIX`]).
 #[derive(Debug, Clone, Default)]
 pub struct BusStats {
     /// Envelopes published by local applications.
     pub published: u64,
+    /// Payload bytes published by local applications.
+    pub published_bytes: u64,
     /// Messages delivered to local applications.
     pub delivered: u64,
     /// Payload bytes delivered to local applications.
@@ -60,6 +128,8 @@ pub struct BusStats {
     pub filtered: u64,
     /// NAKs sent (gaps detected).
     pub naks_sent: u64,
+    /// NAK packets received and answered as a publisher.
+    pub naks_served: u64,
     /// Envelopes retransmitted in answer to NAKs.
     pub retransmitted: u64,
     /// Gap-skips issued (history no longer retained).
@@ -70,6 +140,8 @@ pub struct BusStats {
     pub dups_dropped: u64,
     /// Acks sent for guaranteed envelopes.
     pub acks_sent: u64,
+    /// Acks received for guaranteed envelopes we published.
+    pub gd_acks_received: u64,
     /// Guaranteed envelopes currently pending acknowledgment.
     pub gd_pending: u64,
     /// Guaranteed envelopes fully acknowledged and released.
@@ -78,10 +150,196 @@ pub struct BusStats {
     pub gd_retries: u64,
     /// Envelopes whose payload failed to unmarshal.
     pub unmarshal_errors: u64,
+    /// Batches flushed to the wire.
+    pub batch_flushes: u64,
+    /// Envelopes carried by those batches (mean occupancy =
+    /// [`BusStats::mean_batch_occupancy`]).
+    pub batch_envelopes: u64,
+    /// Discovery rounds started by local applications.
+    pub discovery_rounds: u64,
+    /// RMI calls issued by local applications.
+    pub rmi_calls: u64,
     /// RMI requests served.
     pub rmi_served: u64,
     /// RMI duplicate requests answered from the dedup cache.
     pub rmi_deduped: u64,
+    /// Latency histogram of completed RMI calls.
+    pub rmi_latency: RmiLatency,
+    /// Envelopes forwarded over information-router links.
+    pub router_forwarded: u64,
+    /// Stats snapshots published on the observability plane.
+    pub stats_published: u64,
+}
+
+/// Attribute names of the `"BusStats"` descriptor, in declaration order.
+/// One source of truth for registration, `to_object`, and `from_object`.
+const STATS_COUNTERS: &[&str] = &[
+    "published",
+    "published_bytes",
+    "delivered",
+    "delivered_bytes",
+    "filtered",
+    "naks_sent",
+    "naks_served",
+    "retransmitted",
+    "gapskips_sent",
+    "gaps_skipped",
+    "dups_dropped",
+    "acks_sent",
+    "gd_acks_received",
+    "gd_pending",
+    "gd_completed",
+    "gd_retries",
+    "unmarshal_errors",
+    "batch_flushes",
+    "batch_envelopes",
+    "discovery_rounds",
+    "rmi_calls",
+    "rmi_served",
+    "rmi_deduped",
+    "router_forwarded",
+    "stats_published",
+];
+
+impl BusStats {
+    /// Mean envelopes per flushed batch (0 when batching never flushed).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            0.0
+        } else {
+            self.batch_envelopes as f64 / self.batch_flushes as f64
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        match name {
+            "published" => self.published,
+            "published_bytes" => self.published_bytes,
+            "delivered" => self.delivered,
+            "delivered_bytes" => self.delivered_bytes,
+            "filtered" => self.filtered,
+            "naks_sent" => self.naks_sent,
+            "naks_served" => self.naks_served,
+            "retransmitted" => self.retransmitted,
+            "gapskips_sent" => self.gapskips_sent,
+            "gaps_skipped" => self.gaps_skipped,
+            "dups_dropped" => self.dups_dropped,
+            "acks_sent" => self.acks_sent,
+            "gd_acks_received" => self.gd_acks_received,
+            "gd_pending" => self.gd_pending,
+            "gd_completed" => self.gd_completed,
+            "gd_retries" => self.gd_retries,
+            "unmarshal_errors" => self.unmarshal_errors,
+            "batch_flushes" => self.batch_flushes,
+            "batch_envelopes" => self.batch_envelopes,
+            "discovery_rounds" => self.discovery_rounds,
+            "rmi_calls" => self.rmi_calls,
+            "rmi_served" => self.rmi_served,
+            "rmi_deduped" => self.rmi_deduped,
+            "router_forwarded" => self.router_forwarded,
+            "stats_published" => self.stats_published,
+            _ => 0,
+        }
+    }
+
+    fn counter_mut(&mut self, name: &str) -> Option<&mut u64> {
+        Some(match name {
+            "published" => &mut self.published,
+            "published_bytes" => &mut self.published_bytes,
+            "delivered" => &mut self.delivered,
+            "delivered_bytes" => &mut self.delivered_bytes,
+            "filtered" => &mut self.filtered,
+            "naks_sent" => &mut self.naks_sent,
+            "naks_served" => &mut self.naks_served,
+            "retransmitted" => &mut self.retransmitted,
+            "gapskips_sent" => &mut self.gapskips_sent,
+            "gaps_skipped" => &mut self.gaps_skipped,
+            "dups_dropped" => &mut self.dups_dropped,
+            "acks_sent" => &mut self.acks_sent,
+            "gd_acks_received" => &mut self.gd_acks_received,
+            "gd_pending" => &mut self.gd_pending,
+            "gd_completed" => &mut self.gd_completed,
+            "gd_retries" => &mut self.gd_retries,
+            "unmarshal_errors" => &mut self.unmarshal_errors,
+            "batch_flushes" => &mut self.batch_flushes,
+            "batch_envelopes" => &mut self.batch_envelopes,
+            "discovery_rounds" => &mut self.discovery_rounds,
+            "rmi_calls" => &mut self.rmi_calls,
+            "rmi_served" => &mut self.rmi_served,
+            "rmi_deduped" => &mut self.rmi_deduped,
+            "router_forwarded" => &mut self.router_forwarded,
+            "stats_published" => &mut self.stats_published,
+            _ => return None,
+        })
+    }
+
+    /// Registers the `"BusStats"` type descriptor (idempotent). Every
+    /// daemon does this at start-up, so published snapshots travel
+    /// self-describing and validate at any receiver.
+    pub fn register_type(reg: &mut TypeRegistry) {
+        if reg.contains("BusStats") {
+            return;
+        }
+        let mut b = TypeDescriptor::builder("BusStats")
+            .attribute("host", ValueType::Str)
+            .attribute("daemon", ValueType::Str)
+            .attribute("at_us", ValueType::I64);
+        for name in STATS_COUNTERS {
+            b = b.attribute(*name, ValueType::I64);
+        }
+        let b = b
+            .attribute("rmi_latency_buckets", ValueType::list_of(ValueType::I64))
+            .attribute("rmi_latency_count", ValueType::I64)
+            .attribute("rmi_latency_sum_us", ValueType::I64);
+        reg.register(b.build())
+            .expect("BusStats descriptor is well-formed");
+    }
+
+    /// Converts the snapshot into a self-describing `"BusStats"` object
+    /// stamped with the daemon's identity and the snapshot time.
+    pub fn to_object(&self, host: &str, daemon: &str, at_us: Micros) -> DataObject {
+        let mut obj = DataObject::new("BusStats")
+            .with("host", host)
+            .with("daemon", daemon)
+            .with("at_us", at_us as i64);
+        for name in STATS_COUNTERS {
+            obj.set(*name, self.counter(name) as i64);
+        }
+        obj.set(
+            "rmi_latency_buckets",
+            Value::List(
+                self.rmi_latency
+                    .buckets
+                    .iter()
+                    .map(|&c| Value::I64(c as i64))
+                    .collect(),
+            ),
+        );
+        obj.set("rmi_latency_count", self.rmi_latency.count as i64);
+        obj.set("rmi_latency_sum_us", self.rmi_latency.sum_us as i64);
+        obj
+    }
+
+    /// Reconstructs a snapshot from a `"BusStats"` object (the inverse of
+    /// [`BusStats::to_object`]); `None` if the object is not one.
+    pub fn from_object(obj: &DataObject) -> Option<BusStats> {
+        if obj.type_name() != "BusStats" {
+            return None;
+        }
+        let mut stats = BusStats::default();
+        for name in STATS_COUNTERS {
+            let v = obj.get(name)?.as_i64()?;
+            *stats.counter_mut(name)? = v as u64;
+        }
+        if let Some(items) = obj.get("rmi_latency_buckets").and_then(Value::as_list) {
+            for (slot, v) in stats.rmi_latency.buckets.iter_mut().zip(items) {
+                *slot = v.as_i64()? as u64;
+            }
+        }
+        stats.rmi_latency.count = obj.get("rmi_latency_count")?.as_i64()? as u64;
+        stats.rmi_latency.sum_us = obj.get("rmi_latency_sum_us")?.as_i64()? as u64;
+        Some(stats)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +414,8 @@ struct CallState {
     args: Vec<Value>,
     policy: SelectionPolicy,
     retry: RetryMode,
+    /// Virtual time the call was issued (feeds the latency histogram).
+    started: Micros,
     attempts: u32,
     offers: Vec<Offer>,
     tried: HashSet<u32>,
@@ -513,6 +773,7 @@ impl DaemonState {
         self.publish_payload(net, app_idx, subject, qos, EnvelopeKind::Data, 0, payload)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn publish_payload(
         &mut self,
         net: &mut Ctx<'_>,
@@ -525,6 +786,7 @@ impl DaemonState {
     ) -> Result<(), BusError> {
         let (app_name, inc) = match self.app_meta.get(app_idx).and_then(|m| m.as_ref()) {
             Some(m) => (m.name.clone(), m.inc),
+            None if app_idx == APP_STATS => ("_daemon".to_owned(), self.daemon_inc),
             None => ("router".to_owned(), self.daemon_inc),
         };
         // Model the application→daemon IPC hop.
@@ -566,6 +828,7 @@ impl DaemonState {
             stream.retain.pop_front();
         }
         self.stats.published += 1;
+        self.stats.published_bytes += env.payload.len() as u64;
 
         if qos == QoS::Guaranteed {
             self.gd_persist(net, &env);
@@ -620,6 +883,8 @@ impl DaemonState {
         }
         let envelopes = std::mem::take(&mut self.batch);
         self.batch_payload = 0;
+        self.stats.batch_flushes += 1;
+        self.stats.batch_envelopes += envelopes.len() as u64;
         self.send_packet_broadcast(
             net,
             &Packet::Data {
@@ -776,6 +1041,7 @@ impl DaemonState {
         from: u32,
     ) {
         let key = (stream.app.clone(), subject.to_owned(), seq);
+        self.stats.gd_acks_received += 1;
         if let Some(entry) = self.pending_gd.get_mut(&key) {
             entry.acked.insert(from);
             // Completion is decided on the next retry round, which also
@@ -1014,6 +1280,7 @@ impl DaemonState {
         requester: u32,
         missing: Vec<u64>,
     ) {
+        self.stats.naks_served += 1;
         let key = (stream.app.clone(), subject.clone());
         let Some(out) = self.out_streams.get(&key) else {
             // Unknown stream (for example, we restarted): tell the
@@ -1211,6 +1478,7 @@ impl DaemonState {
     ) -> Result<(), BusError> {
         let corr = self.next_corr;
         self.next_corr += 1;
+        self.stats.discovery_rounds += 1;
         let temp_sub =
             self.subscribe_internal(net, &SubjectFilter::exact(subject), SubTarget::Control);
         self.discoveries.insert(
@@ -1308,6 +1576,7 @@ impl DaemonState {
     ) -> CallId {
         let call_id = self.next_corr;
         self.next_corr += 1;
+        self.stats.rmi_calls += 1;
         let temp_sub =
             self.subscribe_internal(net, &SubjectFilter::exact(subject), SubTarget::Control);
         self.calls.insert(
@@ -1319,6 +1588,7 @@ impl DaemonState {
                 args,
                 policy,
                 retry,
+                started: net.now(),
                 attempts: 0,
                 offers: Vec::new(),
                 tried: HashSet::new(),
@@ -1558,6 +1828,9 @@ impl DaemonState {
         let Some(mut call) = self.calls.remove(&call_id) else {
             return;
         };
+        self.stats
+            .rmi_latency
+            .record(net.now().saturating_sub(call.started));
         if let CallPhase::Connecting { conn } = call.phase {
             self.conn_calls.remove(&conn);
             net.conn_close(conn);
@@ -1707,6 +1980,7 @@ impl DaemonState {
             .filter(|(conn, _)| Some(**conn) != from_link)
             .filter_map(|(conn, link)| Self::link_wants(link, &subject).map(|s| (*conn, s)))
             .collect();
+        self.stats.router_forwarded += targets.len() as u64;
         for (conn, forwarded_subject) in targets {
             let mut fwd = env.clone();
             fwd.subject = forwarded_subject;
@@ -1836,6 +2110,48 @@ impl DaemonState {
         for f in remove {
             entry.remove(&f);
         }
+    }
+
+    // ----- observability plane -----------------------------------------------------------
+
+    /// This daemon's identity element on the stats subject.
+    fn stats_daemon_name(&self) -> String {
+        format!("d{}", self.host32)
+    }
+
+    /// A host name reduced to a valid subject element (defensive: host
+    /// names in simulations are already plain identifiers).
+    fn subject_element(raw: &str) -> String {
+        let cleaned: String = raw
+            .chars()
+            .map(|c| {
+                if c.is_ascii_graphic() && c != '.' && c != '*' && c != '>' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        if cleaned.is_empty() {
+            "unknown".to_owned()
+        } else {
+            cleaned
+        }
+    }
+
+    /// Publishes the current [`BusStats`] snapshot as a self-describing
+    /// object on `_INBUS.STATS.<host>.<daemon>` and re-arms the timer.
+    fn publish_stats(&mut self, net: &mut Ctx<'_>) {
+        let host = Self::subject_element(&net.host_name());
+        let daemon = self.stats_daemon_name();
+        let obj = self.stats.to_object(&host, &daemon, net.now());
+        let text = format!("{STATS_SUBJECT_PREFIX}.{host}.{daemon}");
+        if let Ok(subject) = Subject::new(&text) {
+            let value = Value::Object(Box::new(obj));
+            let _ = self.publish(net, APP_STATS, &subject, &value, QoS::Reliable);
+            self.stats.stats_published += 1;
+        }
+        net.set_timer(self.cfg.stats_period_us, TOK_STATS);
     }
 }
 
@@ -2158,6 +2474,12 @@ impl Process for BusDaemon {
         ctx.set_timer(self.state.cfg.nak_check_us, TOK_NAK_CHECK);
         ctx.set_timer(self.state.cfg.announce_period_us, TOK_ANNOUNCE);
         ctx.set_timer(self.state.cfg.sync_period_us, TOK_SYNC);
+        // The observability plane: every daemon can describe its own
+        // counters, and publishes them when a stats period is configured.
+        BusStats::register_type(&mut self.state.registry.borrow_mut());
+        if self.state.cfg.stats_period_us > 0 {
+            ctx.set_timer(self.state.cfg.stats_period_us, TOK_STATS);
+        }
         // Reload the guaranteed-delivery ledger written before any crash.
         self.state.gd_load_ledger(ctx);
         self.drain(ctx);
@@ -2226,6 +2548,7 @@ impl Process for BusDaemon {
             }
             TOK_NAK_CHECK => self.state.nak_check(ctx),
             TOK_SYNC => self.state.sync_round(ctx),
+            TOK_STATS => self.state.publish_stats(ctx),
             TOK_ANN_FLUSH => self.state.flush_announcements(ctx),
             TOK_GD_RETRY => self.state.gd_retry_round(ctx),
             TOK_ANNOUNCE => {

@@ -152,4 +152,20 @@ impl BusFabric {
         let pid = self.daemons.get(&host)?;
         sim.with_proc::<BusDaemon, BusStats>(*pid, |d| d.stats().clone())
     }
+
+    /// The hosts with an installed daemon, in ascending id order.
+    pub fn hosts(&self) -> Vec<HostId> {
+        let mut hosts: Vec<HostId> = self.daemons.keys().copied().collect();
+        hosts.sort_by_key(|h| h.0);
+        hosts
+    }
+
+    /// Snapshots of every daemon's protocol counters, in ascending host
+    /// order (crashed daemons are skipped).
+    pub fn all_daemon_stats(&self, sim: &mut Sim) -> Vec<(HostId, BusStats)> {
+        self.hosts()
+            .into_iter()
+            .filter_map(|h| self.daemon_stats(sim, h).map(|s| (h, s)))
+            .collect()
+    }
 }

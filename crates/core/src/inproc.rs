@@ -1,7 +1,8 @@
 //! A real-thread transport carrying bus envelopes between OS threads.
 //!
 //! The simulator measures the protocol in *virtual* time; this module
-//! lets criterion measure the real wall-clock cost of the data path —
+//! lets the microbenchmark harness measure the real wall-clock cost of
+//! the data path —
 //! marshalling, subject-trie matching, and hand-off — with actual threads
 //! and channels. It deliberately reuses the same wire format and subject
 //! matcher as the simulated bus.
@@ -22,8 +23,8 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, RwLock};
 
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
 use infobus_types::{wire, TypeRegistry, Value, WireError};
@@ -74,7 +75,7 @@ struct Inner {
 ///
 /// `publish` runs the full data path — self-describing marshalling,
 /// subject-trie matching, per-subscriber channel hand-off — on the
-/// calling thread; subscribers receive on crossbeam channels from any
+/// calling thread; subscribers receive on mpsc channels from any other
 /// thread.
 #[derive(Clone)]
 pub struct InprocBus {
@@ -101,6 +102,7 @@ impl InprocBus {
         self.inner
             .registry
             .lock()
+            .expect("lock poisoned")
             .register(d)
             .map_err(|e| BusError::Marshal(e.to_string()))
     }
@@ -113,8 +115,12 @@ impl InprocBus {
     /// Returns [`BusError::Subject`] for malformed filters.
     pub fn subscribe(&self, filter: &str) -> Result<Receiver<InprocMessage>, BusError> {
         let filter = SubjectFilter::new(filter)?;
-        let (tx, rx) = unbounded();
-        self.inner.trie.write().insert(&filter, tx);
+        let (tx, rx) = channel();
+        self.inner
+            .trie
+            .write()
+            .expect("lock poisoned")
+            .insert(&filter, tx);
         Ok(rx)
     }
 
@@ -128,14 +134,19 @@ impl InprocBus {
         filter: &str,
     ) -> Result<(SubscriptionId, Receiver<InprocMessage>), BusError> {
         let filter = SubjectFilter::new(filter)?;
-        let (tx, rx) = unbounded();
-        let id = self.inner.trie.write().insert(&filter, tx);
+        let (tx, rx) = channel();
+        let id = self
+            .inner
+            .trie
+            .write()
+            .expect("lock poisoned")
+            .insert(&filter, tx);
         Ok((id, rx))
     }
 
     /// Removes a subscription (its channel closes once drained).
     pub fn unsubscribe(&self, id: SubscriptionId) {
-        self.inner.trie.write().remove(id);
+        self.inner.trie.write().expect("lock poisoned").remove(id);
     }
 
     /// Publishes a value; delivers to every matching subscriber.
@@ -147,12 +158,12 @@ impl InprocBus {
     pub fn publish(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
         let subject_parsed = Subject::new(subject)?;
         let payload = {
-            let registry = self.inner.registry.lock();
+            let registry = self.inner.registry.lock().expect("lock poisoned");
             wire::marshal_self_describing(value, &registry)
                 .map_err(|e| BusError::Marshal(e.to_string()))?
         };
         let payload = Arc::new(payload);
-        let trie = self.inner.trie.read();
+        let trie = self.inner.trie.read().expect("lock poisoned");
         let mut delivered = 0usize;
         for (_, tx) in trie.matches(&subject_parsed) {
             let msg = InprocMessage {
@@ -168,7 +179,7 @@ impl InprocBus {
 
     /// Number of active subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.inner.trie.read().len()
+        self.inner.trie.read().expect("lock poisoned").len()
     }
 }
 

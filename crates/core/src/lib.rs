@@ -27,14 +27,20 @@
 //! * **Information routers** ([`router`]) — application-level bridges
 //!   that splice bus segments into the illusion of one large bus,
 //!   forwarding only subjects the remote side subscribes to.
+//! * **Observability** — every daemon maintains protocol counters
+//!   ([`BusStats`]) and, when [`BusConfig::stats_period_us`] is set,
+//!   periodically publishes them as a self-describing object on the
+//!   reserved subject `_INBUS.STATS.<host>.<daemon>`; any application can
+//!   subscribe to `_INBUS.STATS.>` and watch the whole bus introspect
+//!   itself through its own publish/subscribe machinery.
 //!
 //! Everything an application does goes through [`BusCtx`]; applications
 //! implement [`BusApp`]. The driver-side [`BusFabric`] installs daemons
 //! and attaches applications inside a simulation.
 //!
 //! A second, real-thread transport ([`inproc`]) carries the same
-//! envelopes between OS threads and is used by the wall-clock criterion
-//! benchmarks.
+//! envelopes between OS threads and is used by the wall-clock
+//! microbenchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,9 +55,9 @@ mod msg;
 mod rmi;
 pub mod router;
 
-pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply};
+pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply, SubscriptionHandle};
 pub use config::BusConfig;
-pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
+pub use daemon::{BusDaemon, BusStats, RmiLatency, DAEMON_PORT, RMI_PORT, STATS_SUBJECT_PREFIX};
 pub use envelope::{Envelope, EnvelopeKind, StreamKey};
 pub use fabric::BusFabric;
 pub use rmi::{CallId, RetryMode, RmiError, SelectionPolicy, ServiceObject};
@@ -85,6 +91,11 @@ impl fmt::Display for QoS {
 }
 
 /// Errors surfaced by bus operations.
+///
+/// Marked `#[non_exhaustive]`: match with a wildcard arm so new error
+/// conditions (like observability-plane failures) compose without
+/// breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum BusError {
     /// The subject or filter failed to parse.
@@ -97,6 +108,8 @@ pub enum BusError {
     Duplicate(String),
     /// Referenced application, subscription, or service does not exist.
     NotFound(String),
+    /// A remote method invocation failed.
+    Rmi(RmiError),
 }
 
 impl fmt::Display for BusError {
@@ -107,6 +120,7 @@ impl fmt::Display for BusError {
             BusError::Net(e) => write!(f, "network: {e}"),
             BusError::Duplicate(n) => write!(f, "duplicate name {n:?}"),
             BusError::NotFound(n) => write!(f, "not found: {n}"),
+            BusError::Rmi(e) => write!(f, "rmi: {e}"),
         }
     }
 }
@@ -116,5 +130,11 @@ impl std::error::Error for BusError {}
 impl From<infobus_subject::SubjectError> for BusError {
     fn from(e: infobus_subject::SubjectError) -> Self {
         BusError::Subject(e)
+    }
+}
+
+impl From<RmiError> for BusError {
+    fn from(e: RmiError) -> Self {
+        BusError::Rmi(e)
     }
 }

@@ -3,11 +3,10 @@
 
 use infobus_core::{
     BusApp, BusConfig, BusCtx, BusFabric, BusMessage, CallId, DiscoveryReply, QoS, RetryMode,
-    RmiError, SelectionPolicy, ServiceObject,
+    RmiError, SelectionPolicy, ServiceObject, SubscriptionHandle,
 };
 use infobus_netsim::time::{millis, secs};
 use infobus_netsim::{EtherConfig, FaultPlan, HostId, NetBuilder, Sim};
-use infobus_subject::SubscriptionId;
 use infobus_types::{TypeDescriptor, Value, ValueType};
 
 fn lan(seed: u64, n: usize) -> (Sim, Vec<HostId>) {
@@ -21,7 +20,7 @@ fn lan(seed: u64, n: usize) -> (Sim, Vec<HostId>) {
 struct Collector {
     filters: Vec<String>,
     messages: Vec<BusMessage>,
-    sub_ids: Vec<SubscriptionId>,
+    sub_ids: Vec<SubscriptionHandle>,
 }
 
 impl Collector {
@@ -91,7 +90,7 @@ fn unsubscribe_stops_delivery() {
     struct SubUnsub {
         got_before: usize,
         got_after: usize,
-        sub: Option<SubscriptionId>,
+        sub: Option<SubscriptionHandle>,
         unsubscribed: bool,
     }
     impl BusApp for SubUnsub {

@@ -238,8 +238,7 @@ impl<'a> Ctx<'a> {
     /// Draws a uniformly random `f64` in `[0, 1)` from the simulation's
     /// deterministic RNG.
     pub fn random(&mut self) -> f64 {
-        use rand::Rng;
-        self.kernel.rng.gen()
+        self.kernel.rng.gen_f64()
     }
 
     /// Appends a line to the simulation trace (when tracing is enabled).

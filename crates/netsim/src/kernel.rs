@@ -3,8 +3,7 @@
 use std::any::Any;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 use crate::config::{EtherConfig, HostConfig};
 use crate::event::{Event, EventKind, Fragment};
@@ -75,7 +74,7 @@ pub(crate) struct Kernel {
     pub now: Micros,
     queue: BinaryHeap<Event>,
     next_seq: u64,
-    pub rng: SmallRng,
+    pub rng: SimRng,
     pub hosts: Vec<HostState>,
     pub host_names: HashMap<String, HostId>,
     pub segments: Vec<SegmentState>,
@@ -108,7 +107,7 @@ impl Kernel {
             now: 0,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             hosts: Vec::new(),
             host_names: HashMap::new(),
             segments: Vec::new(),
@@ -162,7 +161,7 @@ impl Kernel {
     }
 
     pub fn chance(&mut self, p: f64) -> bool {
-        p > 0.0 && self.rng.gen::<f64>() < p
+        p > 0.0 && self.rng.gen_f64() < p
     }
 
     // ----- topology ------------------------------------------------------
@@ -370,6 +369,7 @@ impl Kernel {
     }
 
     /// Fragments `payload` and transmits each fragment over `seg`.
+    #[allow(clippy::too_many_arguments)]
     fn send_on_segment(
         &mut self,
         src_host: HostId,
@@ -485,7 +485,7 @@ impl Kernel {
                 continue;
             }
             let jitter = if faults.reorder_jitter_us > 0 {
-                self.rng.gen_range(0..=faults.reorder_jitter_us)
+                self.rng.gen_range_inclusive(0, faults.reorder_jitter_us)
             } else {
                 0
             };
@@ -498,7 +498,9 @@ impl Kernel {
             );
             if self.chance(faults.dup) {
                 self.stats.dups += 1;
-                let extra = self.rng.gen_range(0..=faults.reorder_jitter_us.max(200));
+                let extra = self
+                    .rng
+                    .gen_range_inclusive(0, faults.reorder_jitter_us.max(200));
                 self.schedule(
                     arrive_base + jitter + extra,
                     EventKind::FragArrive {
@@ -880,7 +882,7 @@ impl Kernel {
         }
         // Exponential inter-arrival with mean matching the offered load.
         let mean_us = frame_bits / bps * 1e6;
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u: f64 = self.rng.gen_f64().max(1e-12);
         let gap = (-mean_us * u.ln()).max(1.0) as Micros;
         self.schedule(self.now + gap, EventKind::Background { segment: seg_id });
     }

@@ -71,6 +71,7 @@ mod ctx;
 mod event;
 mod kernel;
 mod proc;
+mod rng;
 mod sim;
 mod stats;
 pub mod time;
@@ -78,6 +79,7 @@ pub mod time;
 pub use config::{EtherConfig, FaultPlan, HostConfig};
 pub use ctx::Ctx;
 pub use proc::{ConnEvent, Datagram, Process};
+pub use rng::SimRng;
 pub use sim::{NetBuilder, Sim};
 pub use stats::{SegmentStats, Stats};
 pub use time::Micros;

@@ -1,8 +1,14 @@
-//! Property-based tests for the network simulator: determinism,
-//! conservation, and fragmentation invariants under random configurations.
+//! Randomized tests for the network simulator: determinism,
+//! conservation, and fragmentation invariants under random
+//! configurations.
+//!
+//! Deterministic property testing: configurations come from a seeded
+//! [`SimRng`], so each run explores the same sample and failures
+//! reproduce exactly.
 
-use infobus_netsim::{Ctx, Datagram, EtherConfig, FaultPlan, NetBuilder, Process, SegmentId, Sim};
-use proptest::prelude::*;
+use infobus_netsim::{
+    Ctx, Datagram, EtherConfig, FaultPlan, NetBuilder, Process, SegmentId, Sim, SimRng,
+};
 
 /// Broadcasts `payloads` (one per timer tick) to a fixed port.
 struct Blaster {
@@ -82,76 +88,82 @@ fn run_scenario(
     (got, stats.events_processed, frames)
 }
 
-fn payloads_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    prop::collection::vec(prop::collection::vec(any::<u8>(), 1..5000), 1..12)
-}
-
-fn faults_strategy() -> impl Strategy<Value = FaultPlan> {
-    (
-        0.0f64..0.2,
-        0.0f64..0.2,
-        0.0f64..0.1,
-        0u64..2000,
-        0.0f64..0.05,
-    )
-        .prop_map(|(wire, recv, dup, jitter, coll)| FaultPlan {
-            wire_loss: wire,
-            recv_loss: recv,
-            dup,
-            reorder_jitter_us: jitter,
-            collision_loss: coll,
+fn arb_payloads(r: &mut SimRng) -> Vec<Vec<u8>> {
+    (0..r.gen_range_inclusive(1, 11))
+        .map(|_| {
+            (0..r.gen_range_inclusive(1, 4999))
+                .map(|_| r.next_u64() as u8)
+                .collect()
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_faults(r: &mut SimRng) -> FaultPlan {
+    FaultPlan {
+        wire_loss: r.gen_f64() * 0.2,
+        recv_loss: r.gen_f64() * 0.2,
+        dup: r.gen_f64() * 0.1,
+        reorder_jitter_us: r.gen_range_inclusive(0, 1999),
+        collision_loss: r.gen_f64() * 0.05,
+    }
+}
 
-    /// Identical seeds and configurations produce bit-identical outcomes
-    /// (the foundation of every reproducible experiment in this repo).
-    #[test]
-    fn determinism(
-        seed in 0u64..1_000_000,
-        faults in faults_strategy(),
-        background in prop_oneof![Just(0u64), Just(500_000u64)],
-        payloads in payloads_strategy(),
-    ) {
+/// Identical seeds and configurations produce bit-identical outcomes
+/// (the foundation of every reproducible experiment in this repo).
+#[test]
+fn determinism() {
+    let mut r = SimRng::seed_from_u64(41);
+    for case in 0..8 {
+        let seed = r.gen_range_inclusive(0, 999_999);
+        let faults = arb_faults(&mut r);
+        let background = if case % 2 == 0 { 0 } else { 500_000 };
+        let payloads = arb_payloads(&mut r);
         let a = run_scenario(seed, faults.clone(), background, payloads.clone(), 3);
         let b = run_scenario(seed, faults, background, payloads, 3);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// With no faults, every receiver gets every datagram intact and in
-    /// order (fragmentation/reassembly is lossless), and the wire carries
-    /// one frame per fragment regardless of receiver count.
-    #[test]
-    fn lossless_delivery_and_broadcast_economy(
-        payloads in payloads_strategy(),
-        n_receivers in 1usize..6,
-    ) {
+/// With no faults, every receiver gets every datagram intact and in
+/// order (fragmentation/reassembly is lossless), and the wire carries
+/// one frame per fragment regardless of receiver count.
+#[test]
+fn lossless_delivery_and_broadcast_economy() {
+    let mut r = SimRng::seed_from_u64(42);
+    for _ in 0..8 {
+        let payloads = arb_payloads(&mut r);
+        let n_receivers = r.gen_range_inclusive(1, 5) as usize;
         let (got, _, frames) =
             run_scenario(42, FaultPlan::none(), 0, payloads.clone(), n_receivers);
         for sink in &got {
-            prop_assert_eq!(sink, &payloads);
+            assert_eq!(sink, &payloads);
         }
-        let expected_frames: u64 =
-            payloads.iter().map(|p| p.len().div_ceil(1_472).max(1) as u64).sum();
-        prop_assert_eq!(frames, expected_frames, "one transmission serves all receivers");
+        let expected_frames: u64 = payloads
+            .iter()
+            .map(|p| p.len().div_ceil(1_472).max(1) as u64)
+            .sum();
+        assert_eq!(
+            frames, expected_frames,
+            "one transmission serves all receivers"
+        );
     }
+}
 
-    /// Under arbitrary faults, receivers never see corrupted or invented
-    /// data: everything delivered is a subset (with possible duplicates)
-    /// of what was sent, and single-fragment duplicates are the only
-    /// source of repeats.
-    #[test]
-    fn no_corruption_under_faults(
-        seed in 0u64..100_000,
-        faults in faults_strategy(),
-        payloads in payloads_strategy(),
-    ) {
+/// Under arbitrary faults, receivers never see corrupted or invented
+/// data: everything delivered is a subset (with possible duplicates) of
+/// what was sent, and single-fragment duplicates are the only source of
+/// repeats.
+#[test]
+fn no_corruption_under_faults() {
+    let mut r = SimRng::seed_from_u64(43);
+    for _ in 0..12 {
+        let seed = r.gen_range_inclusive(0, 99_999);
+        let faults = arb_faults(&mut r);
+        let payloads = arb_payloads(&mut r);
         let (got, _, _) = run_scenario(seed, faults, 0, payloads.clone(), 2);
         for sink in &got {
             for delivered in sink {
-                prop_assert!(
+                assert!(
                     payloads.iter().any(|p| p == delivered),
                     "delivered datagram must match a sent one"
                 );

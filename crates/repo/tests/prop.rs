@@ -1,10 +1,15 @@
-//! Property-based tests: the object↔relational mapping reconstructs any
+//! Randomized tests: the object↔relational mapping reconstructs any
 //! valid object exactly, and the engine's WAL recovery is lossless under
 //! random workloads.
+//!
+//! Deterministic property testing: inputs come from a seeded [`SimRng`],
+//! so each run explores the same sample and failures reproduce exactly.
 
+use infobus_netsim::SimRng;
 use infobus_repo::{ColType, Column, Database, Datum, LogRecord, ObjectRepository, Pred, Schema};
 use infobus_types::{DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
-use proptest::prelude::*;
+
+const CASES: usize = 80;
 
 fn registry() -> TypeRegistry {
     let mut reg = TypeRegistry::with_fundamentals();
@@ -31,55 +36,69 @@ fn registry() -> TypeRegistry {
     reg
 }
 
-fn part_strategy() -> impl Strategy<Value = DataObject> {
-    ("[ -~]{0,12}", any::<i64>())
-        .prop_map(|(code, qty)| DataObject::new("Part").with("code", code).with("qty", qty))
+fn printable(r: &mut SimRng, max: u64) -> String {
+    (0..r.gen_range_inclusive(0, max))
+        .map(|_| r.gen_range_inclusive(0x20, 0x7E) as u8 as char)
+        .collect()
 }
 
-fn widget_strategy() -> impl Strategy<Value = DataObject> {
-    (
-        "[ -~]{0,20}",
-        -1.0e9f64..1.0e9,
-        any::<bool>(),
-        prop::collection::vec(any::<u8>(), 0..24),
-        prop::collection::vec("[ -~]{0,10}", 0..5),
-        prop::collection::vec(part_strategy(), 0..4),
-        prop::option::of(part_strategy()),
-        prop_oneof![
-            Just(Value::Nil),
-            any::<i64>().prop_map(Value::I64),
-            "[ -~]{0,10}".prop_map(Value::Str),
-            prop::collection::vec((-100i64..100).prop_map(Value::I64), 0..4).prop_map(Value::List),
-        ],
-    )
-        .prop_map(|(name, weight, active, blob, notes, parts, main, extra)| {
-            let mut w = DataObject::new("Widget");
-            w.set("name", name)
-                .set("weight", weight)
-                .set("active", active)
-                .set("blob", Value::Bytes(blob))
-                .set(
-                    "notes",
-                    Value::List(notes.into_iter().map(Value::Str).collect()),
-                )
-                .set(
-                    "parts",
-                    Value::List(parts.into_iter().map(Value::object).collect()),
-                )
-                .set("main_part", main.map(Value::object).unwrap_or(Value::Nil))
-                .set("extra", extra);
-            w.set_property("audit", Value::str("generated"));
-            w
-        })
+fn arb_part(r: &mut SimRng) -> DataObject {
+    DataObject::new("Part")
+        .with("code", printable(r, 12))
+        .with("qty", r.next_u64() as i64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_widget(r: &mut SimRng) -> DataObject {
+    let notes: Vec<Value> = (0..r.gen_range_inclusive(0, 4))
+        .map(|_| Value::Str(printable(r, 10)))
+        .collect();
+    let parts: Vec<Value> = (0..r.gen_range_inclusive(0, 3))
+        .map(|_| Value::object(arb_part(r)))
+        .collect();
+    let main = if r.gen_f64() < 0.5 {
+        Value::object(arb_part(r))
+    } else {
+        Value::Nil
+    };
+    let extra = match r.gen_range_inclusive(0, 3) {
+        0 => Value::Nil,
+        1 => Value::I64(r.next_u64() as i64),
+        2 => Value::Str(printable(r, 10)),
+        _ => Value::List(
+            (0..r.gen_range_inclusive(0, 3))
+                .map(|_| Value::I64(r.gen_range_inclusive(0, 199) as i64 - 100))
+                .collect(),
+        ),
+    };
+    let mut w = DataObject::new("Widget");
+    w.set("name", printable(r, 20))
+        .set("weight", (r.gen_f64() - 0.5) * 2.0e9)
+        .set("active", r.gen_f64() < 0.5)
+        .set(
+            "blob",
+            Value::Bytes(
+                (0..r.gen_range_inclusive(0, 23))
+                    .map(|_| r.next_u64() as u8)
+                    .collect(),
+            ),
+        )
+        .set("notes", Value::List(notes))
+        .set("parts", Value::List(parts))
+        .set("main_part", main)
+        .set("extra", extra);
+    w.set_property("audit", Value::str("generated"));
+    w
+}
 
-    /// Any valid object decomposes into relations and reconstructs
-    /// exactly — nested objects, lists, properties, `any` slots and all.
-    #[test]
-    fn store_load_round_trip(widgets in prop::collection::vec(widget_strategy(), 1..6)) {
+/// Any valid object decomposes into relations and reconstructs exactly —
+/// nested objects, lists, properties, `any` slots and all.
+#[test]
+fn store_load_round_trip() {
+    let mut r = SimRng::seed_from_u64(31);
+    for _ in 0..CASES {
+        let widgets: Vec<DataObject> = (0..r.gen_range_inclusive(1, 5))
+            .map(|_| arb_widget(&mut r))
+            .collect();
         let reg = registry();
         let mut repo = ObjectRepository::new();
         let mut oids = Vec::new();
@@ -88,57 +107,83 @@ proptest! {
         }
         for (oid, original) in oids.iter().zip(&widgets) {
             let back = repo.load(&reg, *oid).unwrap();
-            prop_assert_eq!(&back, original);
+            assert_eq!(&back, original);
         }
-        prop_assert_eq!(repo.count(&reg, "Widget").unwrap(), widgets.len());
+        assert_eq!(repo.count(&reg, "Widget").unwrap(), widgets.len());
     }
+}
 
-    /// Query results equal a linear filter over the stored population.
-    #[test]
-    fn query_matches_linear_filter(widgets in prop::collection::vec(widget_strategy(), 1..8)) {
+/// Query results equal a linear filter over the stored population.
+#[test]
+fn query_matches_linear_filter() {
+    let mut r = SimRng::seed_from_u64(32);
+    for _ in 0..CASES {
+        let widgets: Vec<DataObject> = (0..r.gen_range_inclusive(1, 7))
+            .map(|_| arb_widget(&mut r))
+            .collect();
         let reg = registry();
         let mut repo = ObjectRepository::new();
         for w in &widgets {
             repo.store(&reg, w).unwrap();
         }
         let hits = repo
-            .query(&reg, "Widget", &Pred::Eq("active".into(), Datum::Bool(true)))
+            .query(
+                &reg,
+                "Widget",
+                &Pred::Eq("active".into(), Datum::Bool(true)),
+            )
             .unwrap();
         let expected = widgets
             .iter()
             .filter(|w| w.get("active") == Some(&Value::Bool(true)))
             .count();
-        prop_assert_eq!(hits.len(), expected);
+        assert_eq!(hits.len(), expected);
         for (_, obj) in hits {
-            prop_assert_eq!(obj.get("active"), Some(&Value::Bool(true)));
+            assert_eq!(obj.get("active"), Some(&Value::Bool(true)));
         }
     }
+}
 
-    /// WAL recovery reproduces the database exactly under a random
-    /// workload of inserts and deletes, and the log survives its codec.
-    #[test]
-    fn wal_recovery_round_trip(
-        rows in prop::collection::vec(("[a-z]{1,8}", any::<i64>()), 1..30),
-        delete_below in any::<i64>(),
-    ) {
+/// WAL recovery reproduces the database exactly under a random workload
+/// of inserts and deletes, and the log survives its codec.
+#[test]
+fn wal_recovery_round_trip() {
+    let mut r = SimRng::seed_from_u64(33);
+    for _ in 0..CASES {
+        let rows: Vec<(String, i64)> = (0..r.gen_range_inclusive(1, 29))
+            .map(|_| {
+                let k: String = (0..r.gen_range_inclusive(1, 8))
+                    .map(|_| r.gen_range_inclusive(b'a' as u64, b'z' as u64) as u8 as char)
+                    .collect();
+                (k, r.next_u64() as i64)
+            })
+            .collect();
+        let delete_below = r.next_u64() as i64;
         let mut db = Database::new();
         db.create_table(
             "t",
-            Schema::new(vec![Column::new("k", ColType::Str), Column::new("v", ColType::I64)]),
+            Schema::new(vec![
+                Column::new("k", ColType::Str),
+                Column::new("v", ColType::I64),
+            ]),
         )
         .unwrap();
         db.create_index("t", "k").unwrap();
         for (k, v) in &rows {
-            db.insert("t", vec![Datum::Str(k.clone()), Datum::I64(*v)]).unwrap();
+            db.insert("t", vec![Datum::Str(k.clone()), Datum::I64(*v)])
+                .unwrap();
         }
-        db.delete("t", &Pred::Lt("v".into(), Datum::I64(delete_below))).unwrap();
+        db.delete("t", &Pred::Lt("v".into(), Datum::I64(delete_below)))
+            .unwrap();
 
         // Through the binary codec and back.
-        let encoded: Vec<Vec<u8>> = db.wal().iter().map(|r| r.encode()).collect();
-        let decoded: Vec<LogRecord> =
-            encoded.iter().map(|b| LogRecord::decode(b).unwrap()).collect();
+        let encoded: Vec<Vec<u8>> = db.wal().iter().map(|rec| rec.encode()).collect();
+        let decoded: Vec<LogRecord> = encoded
+            .iter()
+            .map(|b| LogRecord::decode(b).unwrap())
+            .collect();
         let recovered = Database::recover(&decoded);
-        prop_assert_eq!(
+        assert_eq!(
             recovered.select("t", &Pred::True).unwrap(),
             db.select("t", &Pred::True).unwrap()
         );

@@ -1,123 +1,47 @@
-//! Property-based tests for subjects, filters, and the subscription trie.
+//! Randomized tests for subjects, filters, and the subscription trie.
+//!
+//! Deterministic property testing: inputs are generated from a seeded
+//! [`SimRng`], so every run explores the same (large) sample of the input
+//! space and failures reproduce exactly.
 
+use infobus_netsim::SimRng;
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
-use proptest::prelude::*;
 
-/// Strategy producing a valid subject element.
-fn element() -> impl Strategy<Value = String> {
-    "[a-z0-9_-]{1,8}"
+const CASES: usize = 300;
+
+/// A valid subject element over `[a-z0-9_-]{1,8}`.
+fn element(r: &mut SimRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let len = r.gen_range_inclusive(1, 8) as usize;
+    (0..len)
+        .map(|_| CHARS[r.gen_range_inclusive(0, CHARS.len() as u64 - 1) as usize] as char)
+        .collect()
 }
 
-/// Strategy producing a valid subject of 1..=6 elements.
-fn subject() -> impl Strategy<Value = Subject> {
-    prop::collection::vec(element(), 1..=6)
-        .prop_map(|elems| Subject::new(&elems.join(".")).expect("generated subject is valid"))
+/// A valid subject of 1..=6 elements.
+fn subject(r: &mut SimRng) -> Subject {
+    let n = r.gen_range_inclusive(1, 6);
+    let elems: Vec<String> = (0..n).map(|_| element(r)).collect();
+    Subject::new(&elems.join(".")).expect("generated subject is valid")
 }
 
-/// Strategy producing a valid filter of 1..=6 elements, with wildcards.
-fn filter() -> impl Strategy<Value = SubjectFilter> {
-    let elem = prop_oneof![
-        4 => element(),
-        1 => Just("*".to_owned()),
-    ];
-    (prop::collection::vec(elem, 1..=5), prop::bool::ANY).prop_map(|(mut elems, tail)| {
-        if tail {
-            elems.push(">".to_owned());
-        }
-        SubjectFilter::new(&elems.join(".")).expect("generated filter is valid")
-    })
-}
-
-proptest! {
-    /// Every valid subject round-trips through its textual form.
-    #[test]
-    fn subject_text_round_trip(s in subject()) {
-        let again = Subject::new(s.as_str()).unwrap();
-        prop_assert_eq!(&s, &again);
-        prop_assert_eq!(s.depth(), s.elements().count());
+/// A valid filter of 1..=5 elements plus an optional `>` tail, with `*`
+/// wildcards mixed in.
+fn filter(r: &mut SimRng) -> SubjectFilter {
+    let n = r.gen_range_inclusive(1, 5);
+    let mut elems: Vec<String> = (0..n)
+        .map(|_| {
+            if r.gen_f64() < 0.2 {
+                "*".to_owned()
+            } else {
+                element(r)
+            }
+        })
+        .collect();
+    if r.gen_f64() < 0.5 {
+        elems.push(">".to_owned());
     }
-
-    /// A subject used as an exact filter matches itself and nothing with a
-    /// different depth.
-    #[test]
-    fn exact_filter_matches_self(s in subject()) {
-        let f = SubjectFilter::exact(&s);
-        prop_assert!(f.matches(&s));
-        let deeper = s.child("zz").unwrap();
-        prop_assert!(!f.matches(&deeper));
-    }
-
-    /// `filter.matches(subject)` agrees with a naive reference matcher.
-    #[test]
-    fn filter_matches_reference(f in filter(), s in subject()) {
-        let reference = reference_match(
-            f.as_str(),
-            &s.elements().collect::<Vec<_>>(),
-        );
-        prop_assert_eq!(f.matches(&s), reference, "filter={} subject={}", f, s);
-    }
-
-    /// The trie returns exactly the set of subscriptions whose filter
-    /// matches the subject, per a linear scan reference.
-    #[test]
-    fn trie_agrees_with_linear_scan(
-        filters in prop::collection::vec(filter(), 1..20),
-        subjects in prop::collection::vec(subject(), 1..20),
-    ) {
-        let mut trie = SubjectTrie::new();
-        let mut ids = Vec::new();
-        for (i, f) in filters.iter().enumerate() {
-            ids.push(trie.insert(f, i));
-        }
-        for s in &subjects {
-            let mut got: Vec<usize> = trie.matches(s).map(|(_, v)| *v).collect();
-            got.sort_unstable();
-            got.dedup();
-            let mut want: Vec<usize> = filters
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| f.matches(s))
-                .map(|(i, _)| i)
-                .collect();
-            want.sort_unstable();
-            prop_assert_eq!(&got, &want, "subject={}", s);
-            prop_assert_eq!(trie.matches_any(s), !want.is_empty());
-        }
-    }
-
-    /// Removing every subscription empties the trie; removals only affect
-    /// the removed subscription.
-    #[test]
-    fn trie_remove_is_precise(
-        filters in prop::collection::vec(filter(), 1..15),
-        s in subject(),
-    ) {
-        let mut trie = SubjectTrie::new();
-        let ids: Vec<_> = filters.iter().enumerate().map(|(i, f)| (trie.insert(f, i), i)).collect();
-        let mut remaining: Vec<usize> = (0..filters.len()).collect();
-        for (id, i) in ids {
-            assert_eq!(trie.remove(id), Some(i));
-            remaining.retain(|&r| r != i);
-            let mut got: Vec<usize> = trie.matches(&s).map(|(_, v)| *v).collect();
-            got.sort_unstable();
-            let mut want: Vec<usize> = remaining
-                .iter()
-                .copied()
-                .filter(|&r| filters[r].matches(&s))
-                .collect();
-            want.sort_unstable();
-            prop_assert_eq!(got, want);
-        }
-        prop_assert!(trie.is_empty());
-    }
-
-    /// If `a.covers(b)` then every subject matched by `b` is matched by `a`.
-    #[test]
-    fn covers_is_sound(a in filter(), b in filter(), s in subject()) {
-        if a.covers(&b) && b.matches(&s) {
-            prop_assert!(a.matches(&s), "a={} b={} s={}", a, b, s);
-        }
-    }
+    SubjectFilter::new(&elems.join(".")).expect("generated filter is valid")
 }
 
 /// A deliberately naive matcher used as the test oracle.
@@ -132,4 +56,123 @@ fn reference_match(filter: &str, subject: &[&str]) -> bool {
         }
     }
     go(&felems, subject)
+}
+
+/// Every valid subject round-trips through its textual form.
+#[test]
+fn subject_text_round_trip() {
+    let mut r = SimRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let s = subject(&mut r);
+        let again = Subject::new(s.as_str()).unwrap();
+        assert_eq!(s, again);
+        assert_eq!(s.depth(), s.elements().count());
+    }
+}
+
+/// A subject used as an exact filter matches itself and nothing with a
+/// different depth.
+#[test]
+fn exact_filter_matches_self() {
+    let mut r = SimRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let s = subject(&mut r);
+        let f = SubjectFilter::exact(&s);
+        assert!(f.matches(&s));
+        let deeper = s.child("zz").unwrap();
+        assert!(!f.matches(&deeper));
+    }
+}
+
+/// `filter.matches(subject)` agrees with the naive reference matcher.
+#[test]
+fn filter_matches_reference() {
+    let mut r = SimRng::seed_from_u64(3);
+    for _ in 0..CASES * 4 {
+        let f = filter(&mut r);
+        let s = subject(&mut r);
+        let reference = reference_match(f.as_str(), &s.elements().collect::<Vec<_>>());
+        assert_eq!(f.matches(&s), reference, "filter={f} subject={s}");
+    }
+}
+
+/// The trie returns exactly the set of subscriptions whose filter matches
+/// the subject, per a linear-scan reference.
+#[test]
+fn trie_agrees_with_linear_scan() {
+    let mut r = SimRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let filters: Vec<SubjectFilter> = (0..r.gen_range_inclusive(1, 19))
+            .map(|_| filter(&mut r))
+            .collect();
+        let subjects: Vec<Subject> = (0..r.gen_range_inclusive(1, 19))
+            .map(|_| subject(&mut r))
+            .collect();
+        let mut trie = SubjectTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        for s in &subjects {
+            let mut got: Vec<usize> = trie.matches(s).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            got.dedup();
+            let mut want: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(s))
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "subject={s}");
+            assert_eq!(trie.matches_any(s), !want.is_empty());
+        }
+    }
+}
+
+/// Removing every subscription empties the trie; removals only affect the
+/// removed subscription.
+#[test]
+fn trie_remove_is_precise() {
+    let mut r = SimRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let filters: Vec<SubjectFilter> = (0..r.gen_range_inclusive(1, 14))
+            .map(|_| filter(&mut r))
+            .collect();
+        let s = subject(&mut r);
+        let mut trie = SubjectTrie::new();
+        let ids: Vec<_> = filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (trie.insert(f, i), i))
+            .collect();
+        let mut remaining: Vec<usize> = (0..filters.len()).collect();
+        for (id, i) in ids {
+            assert_eq!(trie.remove(id), Some(i));
+            remaining.retain(|&x| x != i);
+            let mut got: Vec<usize> = trie.matches(&s).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&x| filters[x].matches(&s))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+        assert!(trie.is_empty());
+    }
+}
+
+/// If `a.covers(b)` then every subject matched by `b` is matched by `a`.
+#[test]
+fn covers_is_sound() {
+    let mut r = SimRng::seed_from_u64(6);
+    for _ in 0..CASES * 4 {
+        let a = filter(&mut r);
+        let b = filter(&mut r);
+        let s = subject(&mut r);
+        if a.covers(&b) && b.matches(&s) {
+            assert!(a.matches(&s), "a={a} b={b} s={s}");
+        }
+    }
 }

@@ -1,9 +1,14 @@
-//! Property-based tests for TDL: parser totality, arithmetic correctness
+//! Randomized tests for TDL: parser totality, arithmetic correctness
 //! against a Rust model, and value round-trips.
+//!
+//! Deterministic property testing: inputs come from a seeded [`SimRng`],
+//! so each run explores the same sample and failures reproduce exactly.
 
+use infobus_netsim::SimRng;
 use infobus_tdl::{Expr, Interpreter, TdlValue};
 use infobus_types::Value;
-use proptest::prelude::*;
+
+const CASES: usize = 200;
 
 /// A tiny arithmetic expression AST with a Rust evaluator used as the
 /// oracle for the interpreter.
@@ -42,68 +47,94 @@ impl Arith {
     }
 }
 
-fn arith_strategy() -> impl Strategy<Value = Arith> {
-    let leaf = (-1000i64..1000).prop_map(Arith::Lit);
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+fn arb_arith(r: &mut SimRng, depth: usize) -> Arith {
+    if depth == 0 || r.gen_f64() < 0.3 {
+        return Arith::Lit(r.gen_range_inclusive(0, 1999) as i64 - 1000);
+    }
+    let a = Box::new(arb_arith(r, depth - 1));
+    let b = Box::new(arb_arith(r, depth - 1));
+    match r.gen_range_inclusive(0, 2) {
+        0 => Arith::Add(a, b),
+        1 => Arith::Sub(a, b),
+        _ => Arith::Mul(a, b),
+    }
 }
 
-proptest! {
-    /// The parser never panics on arbitrary input (errors are fine).
-    #[test]
-    fn parser_is_total(src in "\\PC{0,200}") {
+/// The parser never panics on arbitrary input (errors are fine).
+#[test]
+fn parser_is_total() {
+    let mut r = SimRng::seed_from_u64(21);
+    // Bias toward characters that exercise the lexer's interesting paths.
+    const CHARS: &[u8] = b"()\"';abcxyz0189 .+-*<>\n\t\\#:!?";
+    for _ in 0..CASES * 4 {
+        let n = r.gen_range_inclusive(0, 200);
+        let src: String = (0..n)
+            .map(|_| CHARS[r.gen_range_inclusive(0, CHARS.len() as u64 - 1) as usize] as char)
+            .collect();
         let _ = Expr::parse_check(&src);
     }
+}
 
-    /// Arithmetic agrees with the Rust oracle (wrapping semantics).
-    #[test]
-    fn arithmetic_matches_oracle(expr in arith_strategy()) {
+/// Arithmetic agrees with the Rust oracle (wrapping semantics).
+#[test]
+fn arithmetic_matches_oracle() {
+    let mut r = SimRng::seed_from_u64(22);
+    for _ in 0..CASES {
+        let expr = arb_arith(&mut r, 5);
         let mut tdl = Interpreter::new();
         let got = tdl.eval_str(&expr.to_tdl()).unwrap();
-        prop_assert_eq!(got, TdlValue::Int(expr.eval()));
+        assert_eq!(got, TdlValue::Int(expr.eval()));
     }
+}
 
-    /// Bus values round-trip through TDL and back unchanged.
-    #[test]
-    fn value_round_trip(
-        n in any::<i64>(),
-        s in "[ -~]{0,30}",
-        b in any::<bool>(),
-        items in prop::collection::vec(-100i64..100, 0..8),
-    ) {
+/// Bus values round-trip through TDL and back unchanged.
+#[test]
+fn value_round_trip() {
+    let mut r = SimRng::seed_from_u64(23);
+    for _ in 0..CASES {
+        let s: String = (0..r.gen_range_inclusive(0, 30))
+            .map(|_| r.gen_range_inclusive(0x20, 0x7E) as u8 as char)
+            .collect();
+        let items: Vec<Value> = (0..r.gen_range_inclusive(0, 7))
+            .map(|_| Value::I64(r.gen_range_inclusive(0, 199) as i64 - 100))
+            .collect();
         for v in [
-            Value::I64(n),
+            Value::I64(r.next_u64() as i64),
             Value::Str(s),
-            Value::Bool(b),
-            Value::List(items.into_iter().map(Value::I64).collect()),
+            Value::Bool(r.gen_f64() < 0.5),
+            Value::List(items),
             Value::Nil,
         ] {
             let tdl = TdlValue::from_value(&v);
-            prop_assert_eq!(tdl.to_value().unwrap(), v);
+            assert_eq!(tdl.to_value().unwrap(), v);
         }
     }
+}
 
-    /// Deeply nested balanced parens parse; unbalanced ones error
-    /// without panicking.
-    #[test]
-    fn nesting(depth in 1usize..60) {
+/// Deeply nested balanced parens parse; unbalanced ones error without
+/// panicking.
+#[test]
+fn nesting() {
+    for depth in 1usize..60 {
         let balanced = format!("{}1{}", "(list ".repeat(depth), ")".repeat(depth));
         Expr::parse_check(&balanced).unwrap();
         let unbalanced = format!("{}1", "(list ".repeat(depth));
-        prop_assert!(Expr::parse_check(&unbalanced).is_err());
+        assert!(Expr::parse_check(&unbalanced).is_err());
     }
+}
 
-    /// String literals with arbitrary printable content round-trip
-    /// through eval.
-    #[test]
-    fn string_literals(s in "[a-zA-Z0-9 _.,!?-]{0,40}") {
+/// String literals with arbitrary printable content round-trip through
+/// eval.
+#[test]
+fn string_literals() {
+    let mut r = SimRng::seed_from_u64(24);
+    const CHARS: &[u8] = b"abcdefgXYZ0123456789 _.,!?-";
+    for _ in 0..CASES {
+        let s: String = (0..r.gen_range_inclusive(0, 40))
+            .map(|_| CHARS[r.gen_range_inclusive(0, CHARS.len() as u64 - 1) as usize] as char)
+            .collect();
         let mut tdl = Interpreter::new();
         let got = tdl.eval_str(&format!("{s:?}")).unwrap();
-        prop_assert_eq!(got, TdlValue::Str(s));
+        assert_eq!(got, TdlValue::Str(s));
     }
 }

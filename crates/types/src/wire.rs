@@ -15,13 +15,85 @@
 //! The low-level primitive readers/writers are public because the bus
 //! protocol (envelopes, discovery, RMI) reuses them for its own framing.
 
-use bytes::{Buf, BufMut};
-
 use crate::descriptor::{OperationDef, ParamDef, TypeDescriptor};
 use crate::error::WireError;
 use crate::object::DataObject;
 use crate::registry::TypeRegistry;
 use crate::value::{Value, ValueType};
+
+/// Little-endian write helpers over a plain `Vec<u8>` sink.
+///
+/// Callers always check lengths explicitly, so these are infallible.
+trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Little-endian read helpers over an advancing `&[u8]` cursor.
+///
+/// Each getter panics on underflow; callers guard with [`Buf::remaining`]
+/// first (the public `get_*` wrappers below turn that into
+/// [`WireError::Truncated`]).
+trait Buf {
+    fn remaining(&self) -> usize;
+    fn take(&mut self, n: usize) -> &[u8];
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(self.take(n));
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn take(&mut self, n: usize) -> &[u8] {
+        let whole = *self;
+        let (head, tail) = whole.split_at(n);
+        *self = tail;
+        head
+    }
+}
 
 /// Sanity cap on decoded length fields (counts and byte lengths).
 const MAX_LEN: u64 = 64 * 1024 * 1024;

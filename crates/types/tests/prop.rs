@@ -1,103 +1,148 @@
-//! Property-based tests: wire round-trips and registry invariants.
+//! Randomized tests: wire round-trips and registry invariants.
+//!
+//! Deterministic property testing: inputs come from a seeded [`SimRng`],
+//! so each run explores the same sample and failures reproduce exactly.
 
+use infobus_netsim::SimRng;
 use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
-use proptest::prelude::*;
 
-/// Strategy for arbitrary values up to a bounded depth.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Nil),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::I64),
-        // NaN breaks PartialEq-based round-trip checks; use finite floats.
-        (-1e15f64..1e15f64).prop_map(Value::F64),
-        "[ -~]{0,24}".prop_map(Value::Str),
-        prop::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-    ];
-    leaf.prop_recursive(3, 48, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
-            (
-                "[A-Za-z][A-Za-z0-9_]{0,8}",
-                prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner.clone()), 0..4),
-                prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner), 0..2),
-            )
-                .prop_map(|(ty, slots, props)| {
-                    let mut obj = DataObject::new(ty);
-                    for (name, v) in slots {
-                        obj.set(name, v);
-                    }
-                    for (name, v) in props {
-                        obj.set_property(name, v);
-                    }
-                    Value::object(obj)
-                }),
-        ]
-    })
+const CASES: usize = 300;
+
+/// A printable ASCII string of `0..=max` characters.
+fn printable(r: &mut SimRng, max: u64) -> String {
+    let len = r.gen_range_inclusive(0, max);
+    (0..len)
+        .map(|_| r.gen_range_inclusive(0x20, 0x7E) as u8 as char)
+        .collect()
 }
 
-proptest! {
-    /// Every value the model can represent survives the wire unchanged.
-    #[test]
-    fn wire_round_trip(v in value_strategy()) {
+/// An identifier `[a-z][a-z0-9_]{0,6}`.
+fn ident(r: &mut SimRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[r.gen_range_inclusive(0, FIRST.len() as u64 - 1) as usize] as char);
+    for _ in 0..r.gen_range_inclusive(0, 6) {
+        s.push(REST[r.gen_range_inclusive(0, REST.len() as u64 - 1) as usize] as char);
+    }
+    s
+}
+
+/// An arbitrary value up to a bounded depth.
+fn arb_value(r: &mut SimRng, depth: usize) -> Value {
+    let top = if depth == 0 { 5 } else { 7 };
+    match r.gen_range_inclusive(0, top) {
+        0 => Value::Nil,
+        1 => Value::Bool(r.gen_f64() < 0.5),
+        2 => Value::I64(r.next_u64() as i64),
+        // NaN breaks PartialEq-based round-trip checks; use finite floats.
+        3 => Value::F64((r.gen_f64() - 0.5) * 2e15),
+        4 => Value::Str(printable(r, 24)),
+        5 => Value::Bytes(
+            (0..r.gen_range_inclusive(0, 31))
+                .map(|_| r.next_u64() as u8)
+                .collect(),
+        ),
+        6 => Value::List(
+            (0..r.gen_range_inclusive(0, 4))
+                .map(|_| arb_value(r, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            let mut obj = DataObject::new(format!("T{}", ident(r)));
+            for _ in 0..r.gen_range_inclusive(0, 3) {
+                let v = arb_value(r, depth - 1);
+                obj.set(ident(r), v);
+            }
+            for _ in 0..r.gen_range_inclusive(0, 2) {
+                let v = arb_value(r, depth - 1);
+                obj.set_property(ident(r), v);
+            }
+            Value::object(obj)
+        }
+    }
+}
+
+/// Every value the model can represent survives the wire unchanged.
+#[test]
+fn wire_round_trip() {
+    let mut r = SimRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let v = arb_value(&mut r, 3);
         let buf = wire::marshal_value(&v);
         let back = wire::unmarshal_value(&buf).unwrap();
-        prop_assert_eq!(v, back);
+        assert_eq!(v, back);
     }
+}
 
-    /// Decoding never panics on arbitrary bytes (errors are fine).
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding never panics on arbitrary bytes (errors are fine).
+#[test]
+fn decoder_is_total() {
+    let mut r = SimRng::seed_from_u64(12);
+    for _ in 0..CASES * 2 {
+        let n = r.gen_range_inclusive(0, 255);
+        let bytes: Vec<u8> = (0..n).map(|_| r.next_u64() as u8).collect();
         let _ = wire::unmarshal_value(&bytes);
         let mut reg = TypeRegistry::with_fundamentals();
         let _ = wire::unmarshal(&bytes, &mut reg);
     }
+}
 
-    /// Decoding any truncation of a valid message errors (never panics,
-    /// never silently succeeds with less data).
-    #[test]
-    fn truncations_error(v in value_strategy(), frac in 0.0f64..1.0) {
+/// Decoding any truncation of a valid message errors (never panics,
+/// never silently succeeds with less data).
+#[test]
+fn truncations_error() {
+    let mut r = SimRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let v = arb_value(&mut r, 3);
         let buf = wire::marshal_value(&v);
-        let cut = ((buf.len() as f64) * frac) as usize;
+        let cut = ((buf.len() as f64) * r.gen_f64()) as usize;
         if cut < buf.len() {
-            prop_assert!(wire::unmarshal_value(&buf[..cut]).is_err());
+            assert!(wire::unmarshal_value(&buf[..cut]).is_err());
         }
     }
+}
 
-    /// A registered chain of subtypes keeps `is_subtype` transitive and
-    /// `all_attributes` monotone (each subtype sees at least its parent's
-    /// attributes, in parent-first order).
-    #[test]
-    fn registry_chain_invariants(depth in 1usize..6, attrs_per in 0usize..3) {
-        let mut reg = TypeRegistry::with_fundamentals();
-        let mut prev = "object".to_owned();
-        let mut names = Vec::new();
-        for lvl in 0..depth {
-            let name = format!("T{lvl}");
-            let mut b = TypeDescriptor::builder(&name).supertype(&prev);
-            for a in 0..attrs_per {
-                b = b.attribute(format!("a{lvl}_{a}"), ValueType::I64);
+/// A registered chain of subtypes keeps `is_subtype` transitive and
+/// `all_attributes` monotone (each subtype sees at least its parent's
+/// attributes, in parent-first order). The parameter space is small, so
+/// it is swept exhaustively.
+#[test]
+fn registry_chain_invariants() {
+    for depth in 1usize..6 {
+        for attrs_per in 0usize..3 {
+            let mut reg = TypeRegistry::with_fundamentals();
+            let mut prev = "object".to_owned();
+            let mut names = Vec::new();
+            for lvl in 0..depth {
+                let name = format!("T{lvl}");
+                let mut b = TypeDescriptor::builder(&name).supertype(&prev);
+                for a in 0..attrs_per {
+                    b = b.attribute(format!("a{lvl}_{a}"), ValueType::I64);
+                }
+                reg.register(b.build()).unwrap();
+                names.push(name.clone());
+                prev = name;
             }
-            reg.register(b.build()).unwrap();
-            names.push(name.clone());
-            prev = name;
-        }
-        for (i, ni) in names.iter().enumerate() {
-            for nj in names.iter().take(i + 1) {
-                prop_assert!(reg.is_subtype(ni, nj));
+            for (i, ni) in names.iter().enumerate() {
+                for nj in names.iter().take(i + 1) {
+                    assert!(reg.is_subtype(ni, nj));
+                }
+                let n_attrs = reg.all_attributes(ni).unwrap().len();
+                assert_eq!(n_attrs, (i + 1) * attrs_per);
+                // Instances of every level validate.
+                let obj = reg.instantiate(ni).unwrap();
+                reg.validate(&obj).unwrap();
             }
-            let n_attrs = reg.all_attributes(ni).unwrap().len();
-            prop_assert_eq!(n_attrs, (i + 1) * attrs_per);
-            // Instances of every level validate.
-            let obj = reg.instantiate(ni).unwrap();
-            reg.validate(&obj).unwrap();
         }
     }
+}
 
-    /// Self-describing marshalling transfers hierarchies: a fresh registry
-    /// learns every type and validates the instance.
-    #[test]
-    fn self_describing_transfer(depth in 1usize..5) {
+/// Self-describing marshalling transfers hierarchies: a fresh registry
+/// learns every type and validates the instance.
+#[test]
+fn self_describing_transfer() {
+    for depth in 1usize..5 {
         let mut sender = TypeRegistry::with_fundamentals();
         let mut prev = "object".to_owned();
         for lvl in 0..depth {
@@ -117,8 +162,8 @@ proptest! {
         let msg = wire::marshal_self_describing(&Value::object(obj.clone()), &sender).unwrap();
         let mut receiver = TypeRegistry::with_fundamentals();
         let back = wire::unmarshal(&msg, &mut receiver).unwrap();
-        prop_assert!(receiver.contains(&leaf));
+        assert!(receiver.contains(&leaf));
         receiver.validate(back.as_object().unwrap()).unwrap();
-        prop_assert_eq!(back.as_object().unwrap(), &obj);
+        assert_eq!(back.as_object().unwrap(), &obj);
     }
 }
