@@ -162,10 +162,12 @@ fn bench_inproc_bus() {
             .build(),
     )
     .unwrap();
-    let rx = bus.subscribe("news.>").unwrap();
+    let (_sub, rx) = bus.subscribe("news.>").unwrap();
+    let mut other_subs = Vec::new();
     for i in 0..999 {
         // A realistic population of other subscriptions.
-        bus.subscribe(&format!("other.s{i}.>")).unwrap();
+        let (sub, rx) = bus.subscribe(&format!("other.s{i}.>")).unwrap();
+        other_subs.push((sub, rx));
     }
     let obj = DataObject::new("Quote")
         .with("px", 54.25f64)

@@ -11,9 +11,10 @@
 //! This crate provides those three pieces:
 //!
 //! * [`NewsMonitor`] — a generic subscribing view over any subject set;
-//! * [`ScriptedApp`] — a [`BusApp`] whose behavior is a TDL script;
+//! * [`ScriptedApp`] — a [`BusApp`](infobus_core::BusApp) whose behavior
+//!   is a TDL script;
 //! * [`render_service_menu`] — an auto-generated textual UI for a
-//!   service's [`TypeDescriptor`].
+//!   service's [`TypeDescriptor`](infobus_types::TypeDescriptor).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,265 @@
+//! Application hosting: slot bookkeeping, the queued-event drain loop,
+//! and dynamic (per-app / per-call) timers.
+//!
+//! Applications run *inside* the daemon process (the paper's library
+//! model); the drain loop is what lets a handler publish, subscribe, or
+//! export services re-entrantly without aliasing the app box.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use infobus_netsim::{ConnId, Ctx};
+use infobus_subject::SubscriptionId;
+use infobus_types::Value;
+
+use crate::app::{BusApp, BusCtx, BusMessage, DiscoveryReply};
+use crate::daemon::{BusDaemon, DaemonState};
+use crate::engine::Micros;
+use crate::rmi::{CallId, RmiError};
+
+/// Cap on queued app deliveries drained per network event (guards against
+/// publish loops between co-located applications).
+const DRAIN_CAP: usize = 10_000;
+
+pub(crate) struct AppMeta {
+    pub(crate) name: String,
+    pub(crate) inc: u64,
+    pub(crate) subs: Vec<SubscriptionId>,
+}
+
+pub(crate) struct AppSlot {
+    pub(crate) app: Box<dyn BusApp>,
+}
+
+pub(crate) enum TimerTarget {
+    App { app_idx: usize, token: u64 },
+    DiscoveryClose { corr: u64 },
+    OfferWindowClose { call: u64 },
+    RmiTimeout { call: u64 },
+}
+
+/// Work queued for delivery to applications or services.
+pub(crate) enum AppEvent {
+    Start {
+        app_idx: usize,
+    },
+    Msg {
+        app_idx: usize,
+        msg: BusMessage,
+    },
+    Timer {
+        app_idx: usize,
+        token: u64,
+    },
+    Discovery {
+        app_idx: usize,
+        token: u64,
+        replies: Vec<DiscoveryReply>,
+    },
+    RmiReply {
+        app_idx: usize,
+        call: CallId,
+        result: Result<Value, RmiError>,
+    },
+    SvcInvoke {
+        svc_idx: usize,
+        conn: ConnId,
+        call: (u32, String, u64),
+        op: String,
+        args: Vec<Vec<u8>>,
+    },
+}
+
+/// Type alias kept local: the daemon's queue of pending app events.
+pub(crate) type AppQueue = VecDeque<AppEvent>;
+
+impl DaemonState {
+    pub(crate) fn app_name(&self, app_idx: usize) -> String {
+        self.app_meta
+            .get(app_idx)
+            .and_then(|m| m.as_ref())
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| "?".to_owned())
+    }
+
+    pub(crate) fn dyn_timer(
+        &mut self,
+        net: &mut Ctx<'_>,
+        delay: Micros,
+        target: TimerTarget,
+    ) -> u64 {
+        let token = self.next_dyn_token;
+        self.next_dyn_token += 1;
+        self.timer_targets.insert(token, target);
+        net.set_timer(delay, token);
+        token
+    }
+
+    /// Application timer (public to `BusCtx`).
+    pub(crate) fn set_app_timer(
+        &mut self,
+        net: &mut Ctx<'_>,
+        app_idx: usize,
+        delay: Micros,
+        token: u64,
+    ) {
+        self.dyn_timer(net, delay, TimerTarget::App { app_idx, token });
+    }
+}
+
+impl BusDaemon {
+    /// Runs `f` against a named application's concrete state (driver-side
+    /// inspection via `Sim::with_proc`).
+    pub fn with_app<T: BusApp, R>(&mut self, name: &str, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let idx = self.app_idx(name)?;
+        let slot = self.apps.get_mut(idx)?.as_mut()?;
+        let any: &mut dyn Any = slot.app.as_mut();
+        any.downcast_mut::<T>().map(f)
+    }
+
+    fn app_idx(&self, name: &str) -> Option<usize> {
+        self.state
+            .app_meta
+            .iter()
+            .position(|m| m.as_ref().is_some_and(|m| m.name == name))
+    }
+
+    /// Attaches an application (normally done via
+    /// [`BusFabric`](crate::BusFabric)).
+    pub fn attach(&mut self, net: &mut Ctx<'_>, name: &str, app: Box<dyn BusApp>) {
+        let app_idx = self.apps.len();
+        self.apps.push(Some(AppSlot { app }));
+        self.state.app_meta.push(Some(AppMeta {
+            name: name.to_owned(),
+            inc: net.now().max(1),
+            subs: Vec::new(),
+        }));
+        self.state.pending.push_back(AppEvent::Start { app_idx });
+        self.drain(net);
+    }
+
+    /// Detaches (crashes) an application: volatile state is dropped, its
+    /// subscriptions are removed.
+    pub fn detach(&mut self, net: &mut Ctx<'_>, name: &str) {
+        let Some(idx) = self.app_idx(name) else {
+            return;
+        };
+        self.apps[idx] = None;
+        if let Some(meta) = self.state.app_meta[idx].take() {
+            for sub in meta.subs {
+                self.state.unsubscribe(net, sub);
+            }
+        }
+        // Withdraw services exported by this application.
+        let subjects: Vec<String> = self
+            .state
+            .svc_meta
+            .iter()
+            .flatten()
+            .filter(|m| m.app_idx == idx)
+            .map(|m| m.subject.clone())
+            .collect();
+        for s in subjects {
+            let _ = self.state.withdraw_service(net, &s);
+        }
+        self.sync_services();
+    }
+
+    /// Moves newly exported service boxes into the daemon's table and
+    /// drops withdrawn ones.
+    fn sync_services(&mut self) {
+        for (idx, svc) in self.state.pending_services.drain(..) {
+            while self.services.len() <= idx {
+                self.services.push(None);
+            }
+            self.services[idx] = Some(svc);
+        }
+        for idx in self.state.dropped_services.drain(..) {
+            if idx < self.services.len() {
+                self.services[idx] = None;
+            }
+        }
+    }
+
+    /// Drains queued application events, allowing handlers to enqueue
+    /// more (up to a cap).
+    pub(crate) fn drain(&mut self, net: &mut Ctx<'_>) {
+        self.sync_services();
+        let mut processed = 0usize;
+        while let Some(event) = self.state.pending.pop_front() {
+            processed += 1;
+            if processed > DRAIN_CAP {
+                net.trace(|| "bus daemon: delivery drain cap hit; dropping remainder".to_owned());
+                self.state.pending.clear();
+                break;
+            }
+            match event {
+                AppEvent::Start { app_idx } => {
+                    self.with_app_slot(net, app_idx, |app, bus| app.on_start(bus));
+                }
+                AppEvent::Msg { app_idx, msg } => {
+                    self.with_app_slot(net, app_idx, |app, bus| app.on_message(bus, &msg));
+                }
+                AppEvent::Timer { app_idx, token } => {
+                    self.with_app_slot(net, app_idx, |app, bus| app.on_timer(bus, token));
+                }
+                AppEvent::Discovery {
+                    app_idx,
+                    token,
+                    replies,
+                } => {
+                    self.with_app_slot(net, app_idx, |app, bus| {
+                        app.on_discovery(bus, token, replies)
+                    });
+                }
+                AppEvent::RmiReply {
+                    app_idx,
+                    call,
+                    result,
+                } => {
+                    self.with_app_slot(net, app_idx, |app, bus| {
+                        app.on_rmi_reply(bus, call, result)
+                    });
+                }
+                AppEvent::SvcInvoke {
+                    svc_idx,
+                    conn,
+                    call,
+                    op,
+                    args,
+                } => {
+                    self.invoke_service(net, svc_idx, conn, call, op, args);
+                }
+            }
+            self.sync_services();
+        }
+    }
+
+    fn with_app_slot(
+        &mut self,
+        net: &mut Ctx<'_>,
+        app_idx: usize,
+        f: impl FnOnce(&mut dyn BusApp, &mut BusCtx<'_, '_>),
+    ) {
+        let Some(mut slot) = self.apps.get_mut(app_idx).and_then(Option::take) else {
+            return;
+        };
+        {
+            let mut bus = BusCtx {
+                d: &mut self.state,
+                net,
+                app_idx,
+            };
+            f(slot.app.as_mut(), &mut bus);
+        }
+        if self.apps.get(app_idx).is_some_and(Option::is_none)
+            && self
+                .state
+                .app_meta
+                .get(app_idx)
+                .is_some_and(Option::is_some)
+        {
+            self.apps[app_idx] = Some(slot);
+        }
+    }
+}

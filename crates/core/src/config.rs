@@ -1,6 +1,6 @@
 //! Tunable parameters of a bus daemon.
 
-use infobus_netsim::Micros;
+use crate::engine::Micros;
 
 /// Configuration of one [`BusDaemon`](crate::BusDaemon).
 ///

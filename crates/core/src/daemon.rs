@@ -1,4 +1,4 @@
-//! The per-host bus daemon.
+//! The per-host bus daemon: the netsim driver of the protocol engine.
 //!
 //! "In our implementation of subject-based addressing, we use a daemon on
 //! every host. Each application registers with its local daemon, and tells
@@ -6,22 +6,37 @@
 //! each message to each application that has subscribed. It uses the
 //! subject contained in the message to decide which application receives
 //! which message." (§3.1)
+//!
+//! All protocol logic (sequencing, NAK repair, guaranteed-delivery
+//! ledgers, batching) lives in the sans-I/O [`Engine`](crate::engine):
+//! this module translates simulator events into engine [`Event`]s and
+//! performs the returned [`Action`]s against the simulated network
+//! ([`DaemonTransport`]). Driver-only concerns stay here and in the
+//! sibling modules: interest management (`interest`), RMI calls and
+//! services (`calls`), router links (`links`), and application hosting
+//! (`apps`).
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
-use infobus_netsim::{ConnEvent, ConnId, Ctx, Datagram, Micros, Process, SegmentId, SockAddr};
+use infobus_netsim::{ConnEvent, ConnId, Ctx, Datagram, Process, SegmentId, SockAddr};
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
-use infobus_types::{wire, DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+use infobus_types::{wire, TypeRegistry, Value};
 
-use crate::app::{BusApp, BusCtx, BusMessage, DiscoveryReply};
+use crate::apps::{AppEvent, AppMeta, AppQueue, AppSlot, TimerTarget};
+use crate::calls::{CallPhase, CallState, SvcMeta};
 use crate::config::BusConfig;
-use crate::envelope::{Envelope, EnvelopeKind, StreamKey};
+use crate::engine::{
+    run_actions, Action, BusStats, Engine, Event, Micros, PubSource, TimerKind, Transport,
+    STATS_SUBJECT_PREFIX,
+};
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::interest::SubTarget;
+use crate::links::RouterLink;
 use crate::msg::{Packet, RmiMsg, RouterMsg, SyncEntry};
-use crate::rmi::{CallId, Offer, RetryMode, RmiError, SelectionPolicy, ServiceObject};
-use crate::router::RewriteRule;
+use crate::rmi::{RmiError, ServiceObject};
 use crate::{BusError, QoS};
 
 /// Datagram port used by bus daemons (broadcast and unicast).
@@ -36,515 +51,73 @@ const TOK_NAK_CHECK: u64 = 2;
 const TOK_GD_RETRY: u64 = 3;
 const TOK_ANNOUNCE: u64 = 4;
 const TOK_SYNC: u64 = 5;
-const TOK_ANN_FLUSH: u64 = 6;
+pub(crate) const TOK_ANN_FLUSH: u64 = 6;
 const TOK_STATS: u64 = 7;
 /// Dynamic timer tokens start here.
 const TOK_DYN: u64 = 10;
-
-/// Reserved subject prefix of the observability plane: every daemon with
-/// [`BusConfig::stats_period_us`] set publishes its [`BusStats`] snapshot
-/// on `_INBUS.STATS.<host>.<daemon>`. Subscribe to `_INBUS.STATS.>` to
-/// watch the whole bus.
-pub const STATS_SUBJECT_PREFIX: &str = "_INBUS.STATS";
 
 /// The publisher slot used for daemon-originated publications (stats
 /// snapshots): not a real application index.
 const APP_STATS: usize = usize::MAX - 1;
 
-/// Cap on queued app deliveries drained per network event (guards against
-/// publish loops between co-located applications).
-const DRAIN_CAP: usize = 10_000;
-
-/// Cap on per-service RMI deduplication entries.
-const DEDUP_CAP: usize = 1024;
-
-/// A small fixed-bucket histogram of RMI call latencies (request issue
-/// to reply delivery, in microseconds).
-///
-/// Bucket upper bounds are [`RmiLatency::BOUNDS_US`]; the final bucket is
-/// unbounded. The histogram also tracks count and sum, so the mean
-/// survives the trip through a stats snapshot.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RmiLatency {
-    buckets: [u64; 8],
-    count: u64,
-    sum_us: u64,
-}
-
-impl RmiLatency {
-    /// Upper bounds (inclusive, µs) of the first seven buckets; the
-    /// eighth bucket collects everything slower.
-    pub const BOUNDS_US: [u64; 7] = [1_000, 2_000, 5_000, 10_000, 50_000, 200_000, 1_000_000];
-
-    /// Records one completed call's latency.
-    pub fn record(&mut self, us: Micros) {
-        let idx = Self::BOUNDS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(Self::BOUNDS_US.len());
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_us += us;
-    }
-
-    /// Per-bucket counts (aligned with [`RmiLatency::BOUNDS_US`] plus the
-    /// overflow bucket).
-    pub fn buckets(&self) -> &[u64; 8] {
-        &self.buckets
-    }
-
-    /// Number of recorded calls.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean recorded latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
-    }
-}
-
-/// Counters exposed by a daemon (used by tests and the bench harness).
-///
-/// A snapshot converts to a self-describing [`DataObject`] with
-/// [`BusStats::to_object`]; daemons with
-/// [`BusConfig::stats_period_us`] set publish that object periodically on
-/// `_INBUS.STATS.<host>.<daemon>` (see [`STATS_SUBJECT_PREFIX`]).
-#[derive(Debug, Clone, Default)]
-pub struct BusStats {
-    /// Envelopes published by local applications.
-    pub published: u64,
-    /// Payload bytes published by local applications.
-    pub published_bytes: u64,
-    /// Messages delivered to local applications.
-    pub delivered: u64,
-    /// Payload bytes delivered to local applications.
-    pub delivered_bytes: u64,
-    /// Broadcast envelopes ignored because nothing local matched.
-    pub filtered: u64,
-    /// NAKs sent (gaps detected).
-    pub naks_sent: u64,
-    /// NAK packets received and answered as a publisher.
-    pub naks_served: u64,
-    /// Envelopes retransmitted in answer to NAKs.
-    pub retransmitted: u64,
-    /// Gap-skips issued (history no longer retained).
-    pub gapskips_sent: u64,
-    /// Sequences abandoned after a gap-skip (at-most-once path).
-    pub gaps_skipped: u64,
-    /// Duplicate envelopes dropped.
-    pub dups_dropped: u64,
-    /// Acks sent for guaranteed envelopes.
-    pub acks_sent: u64,
-    /// Acks received for guaranteed envelopes we published.
-    pub gd_acks_received: u64,
-    /// Guaranteed envelopes currently pending acknowledgment.
-    pub gd_pending: u64,
-    /// Guaranteed envelopes fully acknowledged and released.
-    pub gd_completed: u64,
-    /// Guaranteed retransmission rounds performed.
-    pub gd_retries: u64,
-    /// Envelopes whose payload failed to unmarshal.
-    pub unmarshal_errors: u64,
-    /// Batches flushed to the wire.
-    pub batch_flushes: u64,
-    /// Envelopes carried by those batches (mean occupancy =
-    /// [`BusStats::mean_batch_occupancy`]).
-    pub batch_envelopes: u64,
-    /// Discovery rounds started by local applications.
-    pub discovery_rounds: u64,
-    /// RMI calls issued by local applications.
-    pub rmi_calls: u64,
-    /// RMI requests served.
-    pub rmi_served: u64,
-    /// RMI duplicate requests answered from the dedup cache.
-    pub rmi_deduped: u64,
-    /// Latency histogram of completed RMI calls.
-    pub rmi_latency: RmiLatency,
-    /// Envelopes forwarded over information-router links.
-    pub router_forwarded: u64,
-    /// Stats snapshots published on the observability plane.
-    pub stats_published: u64,
-}
-
-/// Attribute names of the `"BusStats"` descriptor, in declaration order.
-/// One source of truth for registration, `to_object`, and `from_object`.
-const STATS_COUNTERS: &[&str] = &[
-    "published",
-    "published_bytes",
-    "delivered",
-    "delivered_bytes",
-    "filtered",
-    "naks_sent",
-    "naks_served",
-    "retransmitted",
-    "gapskips_sent",
-    "gaps_skipped",
-    "dups_dropped",
-    "acks_sent",
-    "gd_acks_received",
-    "gd_pending",
-    "gd_completed",
-    "gd_retries",
-    "unmarshal_errors",
-    "batch_flushes",
-    "batch_envelopes",
-    "discovery_rounds",
-    "rmi_calls",
-    "rmi_served",
-    "rmi_deduped",
-    "router_forwarded",
-    "stats_published",
-];
-
-impl BusStats {
-    /// Mean envelopes per flushed batch (0 when batching never flushed).
-    pub fn mean_batch_occupancy(&self) -> f64 {
-        if self.batch_flushes == 0 {
-            0.0
-        } else {
-            self.batch_envelopes as f64 / self.batch_flushes as f64
-        }
-    }
-
-    fn counter(&self, name: &str) -> u64 {
-        match name {
-            "published" => self.published,
-            "published_bytes" => self.published_bytes,
-            "delivered" => self.delivered,
-            "delivered_bytes" => self.delivered_bytes,
-            "filtered" => self.filtered,
-            "naks_sent" => self.naks_sent,
-            "naks_served" => self.naks_served,
-            "retransmitted" => self.retransmitted,
-            "gapskips_sent" => self.gapskips_sent,
-            "gaps_skipped" => self.gaps_skipped,
-            "dups_dropped" => self.dups_dropped,
-            "acks_sent" => self.acks_sent,
-            "gd_acks_received" => self.gd_acks_received,
-            "gd_pending" => self.gd_pending,
-            "gd_completed" => self.gd_completed,
-            "gd_retries" => self.gd_retries,
-            "unmarshal_errors" => self.unmarshal_errors,
-            "batch_flushes" => self.batch_flushes,
-            "batch_envelopes" => self.batch_envelopes,
-            "discovery_rounds" => self.discovery_rounds,
-            "rmi_calls" => self.rmi_calls,
-            "rmi_served" => self.rmi_served,
-            "rmi_deduped" => self.rmi_deduped,
-            "router_forwarded" => self.router_forwarded,
-            "stats_published" => self.stats_published,
-            _ => 0,
-        }
-    }
-
-    fn counter_mut(&mut self, name: &str) -> Option<&mut u64> {
-        Some(match name {
-            "published" => &mut self.published,
-            "published_bytes" => &mut self.published_bytes,
-            "delivered" => &mut self.delivered,
-            "delivered_bytes" => &mut self.delivered_bytes,
-            "filtered" => &mut self.filtered,
-            "naks_sent" => &mut self.naks_sent,
-            "naks_served" => &mut self.naks_served,
-            "retransmitted" => &mut self.retransmitted,
-            "gapskips_sent" => &mut self.gapskips_sent,
-            "gaps_skipped" => &mut self.gaps_skipped,
-            "dups_dropped" => &mut self.dups_dropped,
-            "acks_sent" => &mut self.acks_sent,
-            "gd_acks_received" => &mut self.gd_acks_received,
-            "gd_pending" => &mut self.gd_pending,
-            "gd_completed" => &mut self.gd_completed,
-            "gd_retries" => &mut self.gd_retries,
-            "unmarshal_errors" => &mut self.unmarshal_errors,
-            "batch_flushes" => &mut self.batch_flushes,
-            "batch_envelopes" => &mut self.batch_envelopes,
-            "discovery_rounds" => &mut self.discovery_rounds,
-            "rmi_calls" => &mut self.rmi_calls,
-            "rmi_served" => &mut self.rmi_served,
-            "rmi_deduped" => &mut self.rmi_deduped,
-            "router_forwarded" => &mut self.router_forwarded,
-            "stats_published" => &mut self.stats_published,
-            _ => return None,
-        })
-    }
-
-    /// Registers the `"BusStats"` type descriptor (idempotent). Every
-    /// daemon does this at start-up, so published snapshots travel
-    /// self-describing and validate at any receiver.
-    pub fn register_type(reg: &mut TypeRegistry) {
-        if reg.contains("BusStats") {
-            return;
-        }
-        let mut b = TypeDescriptor::builder("BusStats")
-            .attribute("host", ValueType::Str)
-            .attribute("daemon", ValueType::Str)
-            .attribute("at_us", ValueType::I64);
-        for name in STATS_COUNTERS {
-            b = b.attribute(*name, ValueType::I64);
-        }
-        let b = b
-            .attribute("rmi_latency_buckets", ValueType::list_of(ValueType::I64))
-            .attribute("rmi_latency_count", ValueType::I64)
-            .attribute("rmi_latency_sum_us", ValueType::I64);
-        reg.register(b.build())
-            .expect("BusStats descriptor is well-formed");
-    }
-
-    /// Converts the snapshot into a self-describing `"BusStats"` object
-    /// stamped with the daemon's identity and the snapshot time.
-    pub fn to_object(&self, host: &str, daemon: &str, at_us: Micros) -> DataObject {
-        let mut obj = DataObject::new("BusStats")
-            .with("host", host)
-            .with("daemon", daemon)
-            .with("at_us", at_us as i64);
-        for name in STATS_COUNTERS {
-            obj.set(*name, self.counter(name) as i64);
-        }
-        obj.set(
-            "rmi_latency_buckets",
-            Value::List(
-                self.rmi_latency
-                    .buckets
-                    .iter()
-                    .map(|&c| Value::I64(c as i64))
-                    .collect(),
-            ),
-        );
-        obj.set("rmi_latency_count", self.rmi_latency.count as i64);
-        obj.set("rmi_latency_sum_us", self.rmi_latency.sum_us as i64);
-        obj
-    }
-
-    /// Reconstructs a snapshot from a `"BusStats"` object (the inverse of
-    /// [`BusStats::to_object`]); `None` if the object is not one.
-    pub fn from_object(obj: &DataObject) -> Option<BusStats> {
-        if obj.type_name() != "BusStats" {
-            return None;
-        }
-        let mut stats = BusStats::default();
-        for name in STATS_COUNTERS {
-            let v = obj.get(name)?.as_i64()?;
-            *stats.counter_mut(name)? = v as u64;
-        }
-        if let Some(items) = obj.get("rmi_latency_buckets").and_then(Value::as_list) {
-            for (slot, v) in stats.rmi_latency.buckets.iter_mut().zip(items) {
-                *slot = v.as_i64()? as u64;
-            }
-        }
-        stats.rmi_latency.count = obj.get("rmi_latency_count")?.as_i64()? as u64;
-        stats.rmi_latency.sum_us = obj.get("rmi_latency_sum_us")?.as_i64()? as u64;
-        Some(stats)
+/// Maps an engine timer kind onto this driver's simulator timer token.
+fn timer_token(kind: TimerKind) -> u64 {
+    match kind {
+        TimerKind::Batch => TOK_BATCH,
+        TimerKind::NakScan => TOK_NAK_CHECK,
+        TimerKind::GdRetry => TOK_GD_RETRY,
+        TimerKind::Sync => TOK_SYNC,
     }
 }
 
 // ---------------------------------------------------------------------------
-// Internal tables
-// ---------------------------------------------------------------------------
-
-/// What a trie entry routes to.
-#[derive(Debug, Clone)]
-enum SubTarget {
-    /// A data subscription of a local application.
-    App { app_idx: usize },
-    /// A discovery responder ("I am") with its announced info.
-    Responder { app_idx: usize, info: Value },
-    /// A locally exported service (answers RMI queries on the subject).
-    Service { svc_idx: usize },
-    /// A transient control subscription for a pending discovery or RMI
-    /// call (lets offer/announce envelopes through the interest filter).
-    Control,
-}
-
-struct OutStream {
-    inc: u64,
-    next_seq: u64,
-    /// Sequences retransmitted recently (suppresses duplicate repairs
-    /// when several receivers NAK the same loss): seq → time sent.
-    recent_retrans: HashMap<u64, Micros>,
-    /// Virtual time of the stream's first publication.
-    started: Micros,
-    /// Virtual time of the most recent publication.
-    last_pub_at: Micros,
-    /// Idle-digest rounds remaining (reset on every publication).
-    digests_left: u32,
-    retain: VecDeque<Envelope>,
-}
-
-struct InStream {
-    expected: u64,
-    /// Highest sequence number known to exist (seen or digested).
-    known_top: u64,
-    holdback: BTreeMap<u64, Envelope>,
-    /// When the current gap was first observed (None = no gap).
-    gap_since: Option<Micros>,
-}
-
-struct GdEntry {
-    env: Envelope,
-    acked: HashSet<u32>,
-    /// A co-resident subscriber received it (local delivery counts as
-    /// acknowledgment).
-    local_done: bool,
-    /// Retry rounds already performed.
-    rounds: u32,
-}
-
-struct DiscoveryState {
-    app_idx: usize,
-    token: u64,
-    replies: Vec<DiscoveryReply>,
-    temp_sub: SubscriptionId,
-}
-
-enum CallPhase {
-    Discover,
-    Connecting { conn: ConnId },
-    Done,
-}
-
-struct CallState {
-    app_idx: usize,
-    subject: Subject,
-    op: String,
-    args: Vec<Value>,
-    policy: SelectionPolicy,
-    retry: RetryMode,
-    /// Virtual time the call was issued (feeds the latency histogram).
-    started: Micros,
-    attempts: u32,
-    offers: Vec<Offer>,
-    tried: HashSet<u32>,
-    rediscovered: bool,
-    phase: CallPhase,
-    temp_sub: Option<SubscriptionId>,
-    timeout_timer: Option<u64>,
-}
-
-struct SvcMeta {
-    subject: String,
-    app_idx: usize,
-    outstanding: i64,
-    dedup: HashMap<(u32, String, u64), Vec<u8>>,
-    dedup_order: VecDeque<(u32, String, u64)>,
-}
-
-struct AppMeta {
-    name: String,
-    inc: u64,
-    subs: Vec<SubscriptionId>,
-}
-
-/// One information-router link to a peer bus.
-struct RouterLink {
-    /// Peer daemon's host (kept for tracing/diagnostics).
-    #[allow(dead_code)]
-    peer_host: u32,
-    /// The remote bus's aggregate subscription set (what to forward).
-    subs: Vec<SubjectFilter>,
-    /// Subject rewriting applied to publications we forward out.
-    rewrite: Option<RewriteRule>,
-}
-
-enum TimerTarget {
-    App { app_idx: usize, token: u64 },
-    DiscoveryClose { corr: u64 },
-    OfferWindowClose { call: u64 },
-    RmiTimeout { call: u64 },
-}
-
-/// Work queued for delivery to applications or services.
-enum AppEvent {
-    Start {
-        app_idx: usize,
-    },
-    Msg {
-        app_idx: usize,
-        msg: BusMessage,
-    },
-    Timer {
-        app_idx: usize,
-        token: u64,
-    },
-    Discovery {
-        app_idx: usize,
-        token: u64,
-        replies: Vec<DiscoveryReply>,
-    },
-    RmiReply {
-        app_idx: usize,
-        call: CallId,
-        result: Result<Value, RmiError>,
-    },
-    SvcInvoke {
-        svc_idx: usize,
-        conn: ConnId,
-        call: (u32, String, u64),
-        op: String,
-        args: Vec<Vec<u8>>,
-    },
-}
-
-// ---------------------------------------------------------------------------
-// DaemonState: everything except the application/service boxes
+// DaemonState: the engine plus everything driver-side
 // ---------------------------------------------------------------------------
 
 pub(crate) struct DaemonState {
-    cfg: BusConfig,
-    host32: u32,
-    seg0: Option<SegmentId>,
-    registry: Rc<RefCell<TypeRegistry>>,
-    trie: SubjectTrie<SubTarget>,
-    app_meta: Vec<Option<AppMeta>>,
+    /// The sans-I/O protocol engine this daemon drives.
+    pub(crate) engine: Engine,
+    pub(crate) host32: u32,
+    pub(crate) seg0: Option<SegmentId>,
+    pub(crate) registry: Rc<RefCell<TypeRegistry>>,
+    pub(crate) trie: SubjectTrie<SubTarget>,
+    pub(crate) app_meta: Vec<Option<AppMeta>>,
     /// Aggregated filter strings announced to peers (refcounted).
-    my_filters: HashMap<String, u32>,
+    pub(crate) my_filters: HashMap<String, u32>,
     /// Filters whose announcement is pending the debounce flush (batching
     /// thousands of subscriptions into one packet).
-    pending_announce_add: Vec<String>,
-    pending_announce_remove: Vec<String>,
-    announce_flush_armed: bool,
+    pub(crate) pending_announce_add: Vec<String>,
+    pub(crate) pending_announce_remove: Vec<String>,
+    pub(crate) announce_flush_armed: bool,
     /// Virtual time each live subscription was created (first-contact
     /// stream policy).
-    sub_times: HashMap<SubscriptionId, Micros>,
-    peer_subs: HashMap<u32, HashMap<String, SubjectFilter>>,
-    out_streams: HashMap<(String, String), OutStream>,
-    in_streams: HashMap<(StreamKey, String), InStream>,
-    batch: Vec<Envelope>,
-    batch_payload: usize,
-    batch_timer_armed: bool,
-    pending_gd: BTreeMap<(String, String, u64), GdEntry>,
-    gd_timer_armed: bool,
-    discoveries: HashMap<u64, DiscoveryState>,
-    calls: HashMap<u64, CallState>,
-    conn_calls: HashMap<ConnId, u64>,
-    services: HashMap<String, usize>,
-    svc_meta: Vec<Option<SvcMeta>>,
-    server_conns: HashSet<ConnId>,
-    router_links: HashMap<ConnId, RouterLink>,
+    pub(crate) sub_times: HashMap<SubscriptionId, Micros>,
+    pub(crate) peer_subs: HashMap<u32, HashMap<String, SubjectFilter>>,
+    pub(crate) calls: HashMap<u64, CallState>,
+    pub(crate) conn_calls: HashMap<ConnId, u64>,
+    pub(crate) services: HashMap<String, usize>,
+    pub(crate) svc_meta: Vec<Option<SvcMeta>>,
+    pub(crate) server_conns: HashSet<ConnId>,
+    pub(crate) router_links: HashMap<ConnId, RouterLink>,
     /// Link the currently re-published forwarded envelope arrived on
     /// (split horizon: never forward it back there).
-    forward_horizon: Option<ConnId>,
-    daemon_inc: u64,
-    timer_targets: HashMap<u64, TimerTarget>,
-    next_dyn_token: u64,
-    next_corr: u64,
-    pending: VecDeque<AppEvent>,
+    pub(crate) forward_horizon: Option<ConnId>,
+    pub(crate) daemon_inc: u64,
+    pub(crate) timer_targets: HashMap<u64, TimerTarget>,
+    pub(crate) next_dyn_token: u64,
+    pub(crate) next_corr: u64,
+    pub(crate) pending: AppQueue,
     /// Service boxes exported during a handler, moved into the daemon's
     /// table after it returns.
-    pending_services: Vec<(usize, Box<dyn ServiceObject>)>,
+    pub(crate) pending_services: Vec<(usize, Box<dyn ServiceObject>)>,
     /// Service indices withdrawn during a handler.
-    dropped_services: Vec<usize>,
-    pub(crate) stats: BusStats,
+    pub(crate) dropped_services: Vec<usize>,
 }
 
 impl DaemonState {
     fn new(cfg: BusConfig) -> Self {
         DaemonState {
-            cfg,
+            engine: Engine::new(cfg, 0),
             host32: 0,
             seg0: None,
             registry: Rc::new(RefCell::new(TypeRegistry::with_fundamentals())),
@@ -556,14 +129,6 @@ impl DaemonState {
             announce_flush_armed: false,
             sub_times: HashMap::new(),
             peer_subs: HashMap::new(),
-            out_streams: HashMap::new(),
-            in_streams: HashMap::new(),
-            batch: Vec::new(),
-            batch_payload: 0,
-            batch_timer_armed: false,
-            pending_gd: BTreeMap::new(),
-            gd_timer_armed: false,
-            discoveries: HashMap::new(),
             calls: HashMap::new(),
             conn_calls: HashMap::new(),
             services: HashMap::new(),
@@ -578,7 +143,6 @@ impl DaemonState {
             pending: VecDeque::new(),
             pending_services: Vec::new(),
             dropped_services: Vec::new(),
-            stats: BusStats::default(),
         }
     }
 
@@ -586,171 +150,27 @@ impl DaemonState {
         self.registry.clone()
     }
 
-    pub(crate) fn app_name(&self, app_idx: usize) -> String {
-        self.app_meta
-            .get(app_idx)
-            .and_then(|m| m.as_ref())
-            .map(|m| m.name.clone())
-            .unwrap_or_else(|| "?".to_owned())
-    }
+    // ----- engine plumbing ----------------------------------------------------
 
-    fn dyn_timer(&mut self, net: &mut Ctx<'_>, delay: Micros, target: TimerTarget) -> u64 {
-        let token = self.next_dyn_token;
-        self.next_dyn_token += 1;
-        self.timer_targets.insert(token, target);
-        net.set_timer(delay, token);
-        token
-    }
-
-    // ----- subscription management ------------------------------------------
-
-    fn announce_add(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
-        let is_new = {
-            let count = self
-                .my_filters
-                .entry(filter.as_str().to_owned())
-                .or_insert(0);
-            *count += 1;
-            *count == 1
-        };
-        if is_new {
-            self.pending_announce_add.push(filter.as_str().to_owned());
-            self.arm_announce_flush(net);
-        }
-    }
-
-    /// Debounces announcements: thousands of subscriptions made in one
-    /// handler (Figure 8's 10,000-subject consumers) travel in one packet.
-    fn arm_announce_flush(&mut self, net: &mut Ctx<'_>) {
-        if !self.announce_flush_armed {
-            self.announce_flush_armed = true;
-            net.set_timer(5_000, TOK_ANN_FLUSH);
-        }
-    }
-
-    pub(crate) fn flush_announcements(&mut self, net: &mut Ctx<'_>) {
-        self.announce_flush_armed = false;
-        if self.pending_announce_add.is_empty() && self.pending_announce_remove.is_empty() {
+    /// Performs a batch of engine actions against the simulated network.
+    pub(crate) fn apply(&mut self, net: &mut Ctx<'_>, actions: Vec<Action>) {
+        if actions.is_empty() {
             return;
         }
-        let add = std::mem::take(&mut self.pending_announce_add);
-        let remove = std::mem::take(&mut self.pending_announce_remove);
-        self.send_packet_broadcast(
-            net,
-            &Packet::SubAnnounce {
-                host: self.host32,
-                full: false,
-                add,
-                remove,
-            },
-        );
-    }
-
-    fn announce_remove(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
-        let now_zero = match self.my_filters.get_mut(filter.as_str()) {
-            Some(count) => {
-                *count -= 1;
-                *count == 0
-            }
-            None => false,
-        };
-        if now_zero {
-            self.my_filters.remove(filter.as_str());
-            self.pending_announce_remove
-                .push(filter.as_str().to_owned());
-            self.arm_announce_flush(net);
-        }
-    }
-
-    fn announce_full(&mut self, net: &mut Ctx<'_>) {
-        let add: Vec<String> = self.my_filters.keys().cloned().collect();
-        self.send_packet_broadcast(
-            net,
-            &Packet::SubAnnounce {
-                host: self.host32,
-                full: true,
-                add,
-                remove: vec![],
-            },
-        );
-    }
-
-    pub(crate) fn subscribe_app(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        filter: &SubjectFilter,
-    ) -> SubscriptionId {
-        let id = self.trie.insert(filter, SubTarget::App { app_idx });
-        self.sub_times.insert(id, net.now());
-        if let Some(Some(meta)) = self.app_meta.get_mut(app_idx) {
-            meta.subs.push(id);
-        }
-        self.announce_add(net, filter);
-        id
-    }
-
-    fn subscribe_internal(
-        &mut self,
-        net: &mut Ctx<'_>,
-        filter: &SubjectFilter,
-        target: SubTarget,
-    ) -> SubscriptionId {
-        let id = self.trie.insert(filter, target);
-        self.sub_times.insert(id, net.now());
-        self.announce_add(net, filter);
-        id
-    }
-
-    pub(crate) fn unsubscribe(&mut self, net: &mut Ctx<'_>, id: SubscriptionId) {
-        let mut filter: Option<SubjectFilter> = None;
-        self.trie.for_each(|sid, f, _| {
-            if sid == id {
-                filter = Some(f.clone());
-            }
-        });
-        if self.trie.remove(id).is_some() {
-            self.sub_times.remove(&id);
-            if let Some(f) = filter {
-                self.announce_remove(net, &f);
-            }
-            for meta in self.app_meta.iter_mut().flatten() {
-                meta.subs.retain(|s| *s != id);
-            }
-        }
-    }
-
-    pub(crate) fn known_subscriptions(&self) -> Vec<SubjectFilter> {
-        let mut seen: HashSet<String> = HashSet::new();
-        let mut out = Vec::new();
-        for f in self.my_filters.keys() {
-            if seen.insert(f.clone()) {
-                if let Ok(filter) = SubjectFilter::new(f) {
-                    out.push(filter);
-                }
-            }
-        }
-        for peers in self.peer_subs.values() {
-            for (s, f) in peers {
-                if seen.insert(s.clone()) {
-                    out.push(f.clone());
-                }
-            }
-        }
-        out.sort_by(|a, b| a.as_str().cmp(b.as_str()));
-        out
+        let mut transport = DaemonTransport { d: self, net };
+        run_actions(actions, &mut transport);
     }
 
     // ----- packet transmission ------------------------------------------------
 
-    fn send_packet_broadcast(&mut self, net: &mut Ctx<'_>, packet: &Packet) {
+    pub(crate) fn send_packet_broadcast(&mut self, net: &mut Ctx<'_>, packet: &Packet) {
         let bytes = packet.encode();
         if let Some(seg) = self.seg0 {
             let _ = net.broadcast_on(seg, DAEMON_PORT, bytes);
         }
     }
 
-    fn send_packet_unicast(&mut self, net: &mut Ctx<'_>, host: u32, packet: &Packet) {
+    pub(crate) fn send_packet_unicast(&mut self, net: &mut Ctx<'_>, host: u32, packet: &Packet) {
         let bytes = packet.encode();
         let _ = net.send_datagram(
             SockAddr::new(infobus_netsim::HostId(host), DAEMON_PORT),
@@ -774,7 +194,7 @@ impl DaemonState {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn publish_payload(
+    pub(crate) fn publish_payload(
         &mut self,
         net: &mut Ctx<'_>,
         app_idx: usize,
@@ -792,47 +212,20 @@ impl DaemonState {
         // Model the application→daemon IPC hop.
         let ipc = net.host_config().ipc_cost(payload.len());
         net.charge_cpu(ipc);
-        let key = (app_name.clone(), subject.as_str().to_owned());
-        let now = net.now();
-        let sync_rounds = self.cfg.sync_rounds;
-        let stream = self.out_streams.entry(key).or_insert(OutStream {
-            inc,
-            next_seq: 1,
-            recent_retrans: HashMap::new(),
-            started: now,
-            last_pub_at: now,
-            digests_left: sync_rounds,
-            retain: VecDeque::new(),
-        });
-        stream.last_pub_at = now;
-        stream.digests_left = sync_rounds;
-        let env = Envelope {
-            stream: StreamKey {
-                host: self.host32,
-                app: app_name,
-                inc: stream.inc,
-            },
-            seq: stream.next_seq,
-            stream_start: stream.started,
-            subject: subject.as_str().to_owned(),
+        // Sequence through the engine; for guaranteed publications the
+        // pre-send actions log to non-volatile storage *before* the
+        // message hits the wire.
+        let source = PubSource { app: app_name, inc };
+        let (env, actions) = self.engine.publish(
+            net.now(),
+            &source,
+            subject.as_str(),
             qos,
             kind,
             corr,
-            redelivery: false,
             payload,
-        };
-        stream.next_seq += 1;
-        stream.retain.push_back(env.clone());
-        let retain_cap = self.cfg.retain_per_stream;
-        while stream.retain.len() > retain_cap {
-            stream.retain.pop_front();
-        }
-        self.stats.published += 1;
-        self.stats.published_bytes += env.payload.len() as u64;
-
-        if qos == QoS::Guaranteed {
-            self.gd_persist(net, &env);
-        }
+        );
+        self.apply(net, actions);
 
         // Local delivery to co-resident subscribers (excluding the
         // publishing application itself). Control envelopes route to the
@@ -842,212 +235,23 @@ impl DaemonState {
             EnvelopeKind::Data => {
                 let delivered = self.deliver_local(net, &env, Some(app_idx));
                 if qos == QoS::Guaranteed && delivered > 0 {
-                    if let Some(entry) = self.pending_gd.get_mut(&Self::gd_key(&env)) {
-                        entry.local_done = true;
-                    }
+                    self.engine.gd_local_done(&env);
                 }
             }
             EnvelopeKind::DiscoverQuery => self.answer_discovery(net, &env),
-            EnvelopeKind::DiscoverAnnounce => self.collect_discovery(&env),
+            EnvelopeKind::DiscoverAnnounce => self.engine.discovery_collect(&env),
             EnvelopeKind::RmiQuery => self.answer_rmi_query(net, &env),
             EnvelopeKind::RmiOffer => self.collect_offer(net, &env),
         }
 
         // Queue or send.
-        if self.cfg.batch_enabled {
-            self.batch_payload += env.wire_size();
-            self.batch.push(env.clone());
-            if self.batch_payload >= self.cfg.batch_bytes {
-                self.flush_batch(net);
-            } else if !self.batch_timer_armed {
-                self.batch_timer_armed = true;
-                net.set_timer(self.cfg.batch_delay_us, TOK_BATCH);
-            }
-        } else {
-            let packet = Packet::Data {
-                envelopes: vec![env.clone()],
-                retrans: false,
-            };
-            self.send_packet_broadcast(net, &packet);
-        }
+        let send_actions = self.engine.enqueue(&env);
+        self.apply(net, send_actions);
         // Forward locally published traffic to linked buses whose remote
         // side subscribes (split horizon for re-published forwards).
         let horizon = self.forward_horizon;
         self.maybe_forward(net, &env, horizon);
         Ok(())
-    }
-
-    fn flush_batch(&mut self, net: &mut Ctx<'_>) {
-        if self.batch.is_empty() {
-            return;
-        }
-        let envelopes = std::mem::take(&mut self.batch);
-        self.batch_payload = 0;
-        self.stats.batch_flushes += 1;
-        self.stats.batch_envelopes += envelopes.len() as u64;
-        self.send_packet_broadcast(
-            net,
-            &Packet::Data {
-                envelopes,
-                retrans: false,
-            },
-        );
-    }
-
-    // ----- guaranteed delivery ----------------------------------------------------
-
-    fn gd_key(env: &Envelope) -> (String, String, u64) {
-        (env.stream.app.clone(), env.subject.clone(), env.seq)
-    }
-
-    fn gd_nv_key(env: &Envelope) -> String {
-        format!("gd/{}/{}/{:016x}", env.stream.app, env.subject, env.seq)
-    }
-
-    fn gd_persist(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        // Log to non-volatile storage *before* the message is sent.
-        let mut bytes = Vec::new();
-        env.encode(&mut bytes);
-        net.nv_put(&Self::gd_nv_key(env), bytes);
-        self.pending_gd.insert(
-            Self::gd_key(env),
-            GdEntry {
-                env: env.clone(),
-                acked: HashSet::new(),
-                local_done: false,
-                rounds: 0,
-            },
-        );
-        self.stats.gd_pending = self.pending_gd.len() as u64;
-        if !self.gd_timer_armed {
-            self.gd_timer_armed = true;
-            net.set_timer(self.cfg.gd_retry_us, TOK_GD_RETRY);
-        }
-    }
-
-    fn gd_load_ledger(&mut self, net: &mut Ctx<'_>) {
-        for key in net.nv_keys("gd/") {
-            if let Some(bytes) = net.nv_get(&key) {
-                if let Ok(mut env) = Envelope::decode(&mut bytes.as_slice()) {
-                    env.redelivery = true;
-                    self.pending_gd.insert(
-                        Self::gd_key(&env),
-                        GdEntry {
-                            env,
-                            acked: HashSet::new(),
-                            local_done: false,
-                            rounds: 0,
-                        },
-                    );
-                }
-            }
-        }
-        self.stats.gd_pending = self.pending_gd.len() as u64;
-        if !self.pending_gd.is_empty() && !self.gd_timer_armed {
-            self.gd_timer_armed = true;
-            net.set_timer(self.cfg.gd_retry_us, TOK_GD_RETRY);
-        }
-    }
-
-    fn gd_retry_round(&mut self, net: &mut Ctx<'_>) {
-        let mut completed: Vec<(String, String, u64)> = Vec::new();
-        let mut to_send: Vec<Envelope> = Vec::new();
-        let mut to_deliver_locally: Vec<Envelope> = Vec::new();
-        for (key, entry) in self.pending_gd.iter_mut() {
-            let subject = match Subject::new(&entry.env.subject) {
-                Ok(s) => s,
-                Err(_) => {
-                    completed.push(key.clone());
-                    continue;
-                }
-            };
-            let interested: Vec<u32> = self
-                .peer_subs
-                .iter()
-                .filter(|(_, filters)| filters.values().any(|f| f.matches(&subject)))
-                .map(|(h, _)| *h)
-                .collect();
-            let outstanding: Vec<u32> = interested
-                .iter()
-                .copied()
-                .filter(|h| !entry.acked.contains(h))
-                .collect();
-            // The message is held "until a reply is received": completion
-            // requires that *someone* took delivery (a local subscriber
-            // or at least one remote ack) and that nobody currently
-            // interested is still un-acked. With no interested party at
-            // all the entry simply waits for one to appear.
-            let someone_has_it = entry.local_done || !entry.acked.is_empty();
-            if outstanding.is_empty() && entry.rounds > 0 && someone_has_it {
-                completed.push(key.clone());
-                continue;
-            }
-            entry.rounds += 1;
-            if !outstanding.is_empty() || (!someone_has_it && !interested.is_empty()) {
-                let mut env = entry.env.clone();
-                // Every retransmission is flagged: a receiver daemon that
-                // restarted since the original send must deliver it even
-                // though its sequencing state says "duplicate". Healthy
-                // receivers that merely lost an ack may see a duplicate —
-                // exactly the at-least-once contract.
-                env.redelivery = true;
-                to_send.push(env);
-            }
-            if !entry.local_done {
-                // A subscriber may have (re)attached on this very host
-                // after the daemon reloaded its ledger.
-                let mut env = entry.env.clone();
-                env.redelivery = true;
-                to_deliver_locally.push(env);
-            }
-        }
-        for env in to_send {
-            self.stats.gd_retries += 1;
-            self.send_packet_broadcast(
-                net,
-                &Packet::Data {
-                    envelopes: vec![env],
-                    retrans: true,
-                },
-            );
-        }
-        for env in to_deliver_locally {
-            if self.deliver_local(net, &env, None) > 0 {
-                if let Some(entry) = self.pending_gd.get_mut(&Self::gd_key(&env)) {
-                    entry.local_done = true;
-                }
-            }
-        }
-        for key in completed {
-            if let Some(entry) = self.pending_gd.remove(&key) {
-                net.nv_delete(&Self::gd_nv_key(&entry.env));
-                self.stats.gd_completed += 1;
-            }
-        }
-        self.stats.gd_pending = self.pending_gd.len() as u64;
-        if self.pending_gd.is_empty() {
-            self.gd_timer_armed = false;
-        } else {
-            net.set_timer(self.cfg.gd_retry_us, TOK_GD_RETRY);
-        }
-    }
-
-    fn gd_ack_received(
-        &mut self,
-        net: &mut Ctx<'_>,
-        stream: &StreamKey,
-        subject: &str,
-        seq: u64,
-        from: u32,
-    ) {
-        let key = (stream.app.clone(), subject.to_owned(), seq);
-        self.stats.gd_acks_received += 1;
-        if let Some(entry) = self.pending_gd.get_mut(&key) {
-            entry.acked.insert(from);
-            // Completion is decided on the next retry round, which also
-            // gives late subscribers one window to appear.
-            let _ = net;
-        }
     }
 
     // ----- receiving ---------------------------------------------------------------
@@ -1061,355 +265,50 @@ impl DaemonState {
         };
         if !self.trie.matches_any(&subject) && !self.link_interested(&subject) {
             // The cheap filter: nothing on this host (or linked bus) cares.
-            self.stats.filtered += 1;
+            self.engine.stats.filtered += 1;
             return;
         }
-        let skey = (env.stream.clone(), env.subject.clone());
-        if !self.in_streams.contains_key(&skey) {
-            // First contact with this stream. If the stream began after
-            // our earliest matching subscription, we are entitled to it
-            // from sequence 1 (losses of early messages are NAKed);
-            // otherwise we are a late subscriber and take it from here.
-            let entitled = self
-                .earliest_matching_sub(&subject)
-                .is_some_and(|sub_at| env.stream_start >= sub_at);
-            let expected = if entitled { 1 } else { env.seq };
-            self.in_streams.insert(
-                skey.clone(),
-                InStream {
-                    expected,
-                    known_top: 0,
-                    holdback: BTreeMap::new(),
-                    gap_since: None,
-                },
-            );
-        }
-        let st = self.in_streams.get_mut(&skey).expect("just ensured");
-        st.known_top = st.known_top.max(env.seq);
-        if env.seq < st.expected {
-            if env.qos == QoS::Guaranteed {
-                self.send_ack(net, &env);
-                if env.redelivery {
-                    // A guaranteed redelivery (ledger replay / repeated
-                    // retry): the consumer's delivery state may have been
-                    // lost with a restart, so deliver out of band rather
-                    // than dedup. At-least-once permits the duplicate.
-                    self.deliver_remote(net, &env);
-                    return;
-                }
-            }
-            self.stats.dups_dropped += 1;
-            return;
-        }
-        if env.seq == st.expected {
-            st.expected += 1;
-            // Drain any consecutive held-back envelopes.
-            let mut ready = vec![env];
-            loop {
-                let next_seq = {
-                    let key = (ready[0].stream.clone(), ready[0].subject.clone());
-                    let st = self.in_streams.get_mut(&key).expect("created above");
-                    if let Some(e) = st.holdback.remove(&st.expected) {
-                        st.expected += 1;
-                        Some(e)
-                    } else {
-                        let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
-                        st.gap_since = if gap { Some(net.now()) } else { None };
-                        None
-                    }
-                };
-                match next_seq {
-                    Some(e) => ready.push(e),
-                    None => break,
-                }
-            }
-            for e in ready {
-                if e.qos == QoS::Guaranteed {
-                    self.send_ack(net, &e);
-                }
-                self.deliver_remote(net, &e);
-            }
-        } else {
-            let now = net.now();
-            let st = self
-                .in_streams
-                .get_mut(&(env.stream.clone(), env.subject.clone()))
-                .expect("created above");
-            if st.gap_since.is_none() {
-                st.gap_since = Some(now);
-            }
-            st.holdback.insert(env.seq, env);
-        }
-    }
-
-    fn send_ack(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let packet = Packet::Ack {
-            stream: env.stream.clone(),
-            subject: env.subject.clone(),
-            seq: env.seq,
-            from_host: self.host32,
-        };
-        let host = env.stream.host;
-        self.send_packet_unicast(net, host, &packet);
-        self.stats.acks_sent += 1;
-    }
-
-    /// The earliest creation time among local subscriptions matching
-    /// `subject` (data, control, responder, or service entries alike).
-    fn earliest_matching_sub(&self, subject: &Subject) -> Option<Micros> {
-        self.trie
-            .matches(subject)
-            .filter_map(|(id, _)| self.sub_times.get(&id).copied())
-            .min()
-    }
-
-    /// Broadcasts top-sequence digests for streams idle since the last
-    /// sync period, so receivers can detect tail losses.
-    fn sync_round(&mut self, net: &mut Ctx<'_>) {
-        let now = net.now();
-        let period = self.cfg.sync_period_us;
-        let mut entries = Vec::new();
-        for ((app, subject), stream) in self.out_streams.iter_mut() {
-            if stream.digests_left == 0
-                || stream.next_seq == 1
-                || now.saturating_sub(stream.last_pub_at) < period
-            {
-                continue;
-            }
-            stream.digests_left -= 1;
-            entries.push(SyncEntry {
-                stream: StreamKey {
-                    host: self.host32,
-                    app: app.clone(),
-                    inc: stream.inc,
-                },
-                subject: subject.clone(),
-                top_seq: stream.next_seq - 1,
-                stream_start: stream.started,
-            });
-            if entries.len() >= 256 {
-                break;
-            }
-        }
-        if !entries.is_empty() {
-            self.send_packet_broadcast(net, &Packet::SeqSync { entries });
-        }
-        net.set_timer(self.cfg.sync_period_us, TOK_SYNC);
+        // The engine consults entitlement only on first contact with the
+        // stream: if the stream began after our earliest matching
+        // subscription we are owed it from sequence 1 (losses of early
+        // messages are NAKed); otherwise we take it from here.
+        let entitled = self
+            .earliest_matching_sub(&subject)
+            .is_some_and(|sub_at| env.stream_start >= sub_at);
+        let actions = self
+            .engine
+            .handle(net.now(), Event::Envelope { env, entitled });
+        self.apply(net, actions);
     }
 
     /// Handles a received stream digest: opens/extends gap detection.
     fn handle_seqsync(&mut self, net: &mut Ctx<'_>, entries: Vec<SyncEntry>) {
-        let now = net.now();
-        for e in entries {
-            if e.stream.host == self.host32 {
+        for entry in entries {
+            if entry.stream.host == self.host32 {
                 continue;
             }
-            let Ok(subject) = Subject::new(&e.subject) else {
-                continue;
-            };
-            let Some(sub_at) = self.earliest_matching_sub(&subject) else {
+            let Ok(subject) = Subject::new(&entry.subject) else {
                 continue;
             };
-            let skey = (e.stream.clone(), e.subject.clone());
-            if !self.in_streams.contains_key(&skey) {
-                // We never saw any message of this stream. If it began
-                // after we subscribed, we are entitled to all of it.
-                if e.stream_start < sub_at {
-                    continue;
-                }
-                self.in_streams.insert(
-                    skey.clone(),
-                    InStream {
-                        expected: 1,
-                        known_top: 0,
-                        holdback: BTreeMap::new(),
-                        gap_since: None,
-                    },
-                );
-            }
-            let st = self.in_streams.get_mut(&skey).expect("just ensured");
-            st.known_top = st.known_top.max(e.top_seq);
-            if st.expected <= st.known_top && st.gap_since.is_none() {
-                st.gap_since = Some(now);
-            }
-        }
-    }
-
-    /// Scans in-streams for aged gaps and sends NAKs.
-    fn nak_check(&mut self, net: &mut Ctx<'_>) {
-        let now = net.now();
-        let mut naks: Vec<Packet> = Vec::new();
-        for ((stream, subject), st) in self.in_streams.iter_mut() {
-            let Some(since) = st.gap_since else { continue };
-            if now.saturating_sub(since) < self.cfg.nak_delay_us {
-                continue;
-            }
-            let first_held = st.holdback.keys().next().copied();
-            let end = match first_held {
-                Some(k) => k,
-                None => st.known_top + 1,
-            };
-            let missing: Vec<u64> = (st.expected..end).take(64).collect();
-            if missing.is_empty() {
-                st.gap_since = None;
-                continue;
-            }
-            st.gap_since = Some(now); // re-NAK next period if still missing
-            naks.push(Packet::Nak {
-                stream: stream.clone(),
-                subject: subject.clone(),
-                requester: self.host32,
-                missing,
-            });
-        }
-        for nak in naks {
-            if let Packet::Nak { ref stream, .. } = nak {
-                let host = stream.host;
-                self.stats.naks_sent += 1;
-                self.send_packet_unicast(net, host, &nak);
-            }
-        }
-        net.set_timer(self.cfg.nak_check_us, TOK_NAK_CHECK);
-    }
-
-    fn handle_nak(
-        &mut self,
-        net: &mut Ctx<'_>,
-        stream: StreamKey,
-        subject: String,
-        requester: u32,
-        missing: Vec<u64>,
-    ) {
-        self.stats.naks_served += 1;
-        let key = (stream.app.clone(), subject.clone());
-        let Some(out) = self.out_streams.get(&key) else {
-            // Unknown stream (for example, we restarted): tell the
-            // receiver to skip everything it asked for.
-            let through = missing.iter().copied().max().unwrap_or(0);
-            self.stats.gapskips_sent += 1;
-            self.send_packet_unicast(
-                net,
-                requester,
-                &Packet::GapSkip {
-                    stream,
-                    subject,
-                    through,
-                },
-            );
-            return;
-        };
-        if out.inc != stream.inc {
-            let through = missing.iter().copied().max().unwrap_or(0);
-            self.stats.gapskips_sent += 1;
-            self.send_packet_unicast(
-                net,
-                requester,
-                &Packet::GapSkip {
-                    stream,
-                    subject,
-                    through,
-                },
-            );
-            return;
-        }
-        let now = net.now();
-        let out = self.out_streams.get_mut(&key).expect("checked above");
-        if std::env::var("IB_NAK_DEBUG").is_ok() {
-            let lo = out.retain.front().map(|e| e.seq).unwrap_or(0);
-            let hi = out.retain.back().map(|e| e.seq).unwrap_or(0);
-            eprintln!(
-                "NAK from {requester}: stream inc {} (out inc {}), missing {:?}, retention [{lo},{hi}]",
-                stream.inc, out.inc, &missing[..missing.len().min(5)]
-            );
-        }
-        out.recent_retrans
-            .retain(|_, at| now.saturating_sub(*at) < 20_000);
-        let mut found: Vec<Envelope> = Vec::new();
-        let mut lost_max: u64 = 0;
-        for seq in &missing {
-            if out.recent_retrans.contains_key(seq) {
-                // Another receiver already triggered this repair; the
-                // broadcast retransmission serves everyone.
-                continue;
-            }
-            match out.retain.iter().find(|e| e.seq == *seq) {
-                Some(e) => {
-                    found.push(e.clone());
-                    out.recent_retrans.insert(*seq, now);
-                }
-                None => lost_max = lost_max.max(*seq),
-            }
-        }
-        if !found.is_empty() {
-            self.stats.retransmitted += found.len() as u64;
-            // Retransmissions are *broadcast*: when several receivers
-            // lost the same frame (a collision corrupts it for everyone),
-            // one retransmission repairs them all; receivers that already
-            // have the sequence drop it as a duplicate.
-            self.send_packet_broadcast(
-                net,
-                &Packet::Data {
-                    envelopes: found,
-                    retrans: true,
-                },
-            );
-        }
-        if lost_max > 0 {
-            self.stats.gapskips_sent += 1;
-            self.send_packet_unicast(
-                net,
-                requester,
-                &Packet::GapSkip {
-                    stream,
-                    subject,
-                    through: lost_max,
-                },
-            );
-        }
-    }
-
-    fn handle_gapskip(
-        &mut self,
-        net: &mut Ctx<'_>,
-        stream: StreamKey,
-        subject: String,
-        through: u64,
-    ) {
-        let key = (stream, subject);
-        let Some(st) = self.in_streams.get_mut(&key) else {
-            return;
-        };
-        if through + 1 > st.expected {
-            self.stats.gaps_skipped += through + 1 - st.expected;
-            st.expected = through + 1;
-        }
-        // Drain anything now deliverable.
-        let mut ready = Vec::new();
-        while let Some(e) = st.holdback.remove(&st.expected) {
-            st.expected += 1;
-            ready.push(e);
-        }
-        let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
-        st.gap_since = if gap { Some(net.now()) } else { None };
-        for e in ready {
-            if e.qos == QoS::Guaranteed {
-                self.send_ack(net, &e);
-            }
-            self.deliver_remote(net, &e);
+            let sub_at = self.earliest_matching_sub(&subject);
+            let actions = self
+                .engine
+                .handle(net.now(), Event::Digest { entry, sub_at });
+            self.apply(net, actions);
         }
     }
 
     // ----- delivery --------------------------------------------------------------
 
     /// Routes a remotely received, in-order envelope.
-    fn deliver_remote(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
+    pub(crate) fn deliver_remote(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
         match env.kind {
             EnvelopeKind::Data => {
                 self.deliver_local(net, env, None);
                 self.maybe_forward(net, env, None);
             }
             EnvelopeKind::DiscoverQuery => self.answer_discovery(net, env),
-            EnvelopeKind::DiscoverAnnounce => self.collect_discovery(env),
+            EnvelopeKind::DiscoverAnnounce => self.engine.discovery_collect(env),
             EnvelopeKind::RmiQuery => self.answer_rmi_query(net, env),
             EnvelopeKind::RmiOffer => self.collect_offer(net, env),
         }
@@ -1417,7 +316,7 @@ impl DaemonState {
 
     /// Delivers a data envelope to matching local applications; returns
     /// how many local deliveries were queued.
-    fn deliver_local(
+    pub(crate) fn deliver_local(
         &mut self,
         net: &mut Ctx<'_>,
         env: &Envelope,
@@ -1443,7 +342,7 @@ impl DaemonState {
         let value = match wire::unmarshal(&env.payload, &mut self.registry.borrow_mut()) {
             Ok(v) => v,
             Err(_) => {
-                self.stats.unmarshal_errors += 1;
+                self.engine.stats.unmarshal_errors += 1;
                 return 0;
             }
         };
@@ -1452,11 +351,11 @@ impl DaemonState {
         for app_idx in targets {
             // Model the daemon→application IPC hop per recipient.
             net.charge_cpu(ipc);
-            self.stats.delivered += 1;
-            self.stats.delivered_bytes += env.payload.len() as u64;
+            self.engine.stats.delivered += 1;
+            self.engine.stats.delivered_bytes += env.payload.len() as u64;
             self.pending.push_back(AppEvent::Msg {
                 app_idx,
-                msg: BusMessage {
+                msg: crate::app::BusMessage {
                     subject: subject.clone(),
                     value: value.clone(),
                     qos: env.qos,
@@ -1467,652 +366,45 @@ impl DaemonState {
         delivered
     }
 
-    // ----- discovery ---------------------------------------------------------------
+    // ----- guaranteed-delivery driver glue ----------------------------------------
 
-    pub(crate) fn discover(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        subject: &Subject,
-        token: u64,
-    ) -> Result<(), BusError> {
-        let corr = self.next_corr;
-        self.next_corr += 1;
-        self.stats.discovery_rounds += 1;
-        let temp_sub =
-            self.subscribe_internal(net, &SubjectFilter::exact(subject), SubTarget::Control);
-        self.discoveries.insert(
-            corr,
-            DiscoveryState {
-                app_idx,
-                token,
-                replies: Vec::new(),
-                temp_sub,
-            },
-        );
-        // "Who's out there?" is itself a publication on the subject.
-        self.publish_payload(
-            net,
-            app_idx,
-            subject,
-            QoS::Reliable,
-            EnvelopeKind::DiscoverQuery,
-            corr,
-            wire::marshal_value(&Value::Nil),
-        )?;
-        let window = self.cfg.discovery_window_us;
-        self.dyn_timer(net, window, TimerTarget::DiscoveryClose { corr });
-        Ok(())
-    }
-
-    pub(crate) fn add_discovery_responder(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        filter: &SubjectFilter,
-        info: Value,
-    ) {
-        self.subscribe_internal(net, filter, SubTarget::Responder { app_idx, info });
-    }
-
-    /// A "Who's out there?" query arrived: matching responders publish
-    /// "I am" on the same subject.
-    fn answer_discovery(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
-        let responders: Vec<(usize, Value)> = self
-            .trie
-            .matches(&subject)
-            .filter_map(|(_, t)| match t {
-                SubTarget::Responder { app_idx, info } => Some((*app_idx, info.clone())),
-                _ => None,
-            })
-            .collect();
-        for (app_idx, info) in responders {
-            let _ = self.publish_payload(
-                net,
-                app_idx,
-                &subject,
-                QoS::Reliable,
-                EnvelopeKind::DiscoverAnnounce,
-                env.corr,
-                wire::marshal_value(&info),
-            );
-        }
-    }
-
-    fn collect_discovery(&mut self, env: &Envelope) {
-        if let Some(d) = self.discoveries.get_mut(&env.corr) {
-            if let Ok(info) = wire::unmarshal_value(&env.payload) {
-                d.replies.push(DiscoveryReply { info });
+    /// Reloads the guaranteed-delivery ledger written before any crash.
+    fn gd_load_ledger(&mut self, net: &mut Ctx<'_>) {
+        let mut envs = Vec::new();
+        for key in net.nv_keys("gd/") {
+            if let Some(bytes) = net.nv_get(&key) {
+                if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                    envs.push(env);
+                }
             }
         }
+        let actions = self.engine.gd_load(envs);
+        self.apply(net, actions);
     }
 
-    fn close_discovery(&mut self, net: &mut Ctx<'_>, corr: u64) {
-        if let Some(d) = self.discoveries.remove(&corr) {
-            self.unsubscribe(net, d.temp_sub);
-            self.pending.push_back(AppEvent::Discovery {
-                app_idx: d.app_idx,
-                token: d.token,
-                replies: d.replies,
-            });
-        }
-    }
-
-    // ----- RMI client -----------------------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn rmi_call(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        subject: &Subject,
-        op: &str,
-        args: Vec<Value>,
-        policy: SelectionPolicy,
-        retry: RetryMode,
-    ) -> CallId {
-        let call_id = self.next_corr;
-        self.next_corr += 1;
-        self.stats.rmi_calls += 1;
-        let temp_sub =
-            self.subscribe_internal(net, &SubjectFilter::exact(subject), SubTarget::Control);
-        self.calls.insert(
-            call_id,
-            CallState {
-                app_idx,
-                subject: subject.clone(),
-                op: op.to_owned(),
-                args,
-                policy,
-                retry,
-                started: net.now(),
-                attempts: 0,
-                offers: Vec::new(),
-                tried: HashSet::new(),
-                rediscovered: false,
-                phase: CallPhase::Discover,
-                temp_sub: Some(temp_sub),
-                timeout_timer: None,
-            },
-        );
-        // The client searches for all servers by publishing a query
-        // message on a subject specific to that service (§3.3, Figure 2).
-        let _ = self.publish_payload(
-            net,
-            app_idx,
-            subject,
-            QoS::Reliable,
-            EnvelopeKind::RmiQuery,
-            call_id,
-            wire::marshal_value(&Value::Nil),
-        );
-        let window = self.cfg.offer_window_us;
-        self.dyn_timer(net, window, TimerTarget::OfferWindowClose { call: call_id });
-        CallId(call_id)
-    }
-
-    /// An RMI query arrived: local services matching the subject publish
-    /// their point-to-point address.
-    fn answer_rmi_query(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
-        let services: Vec<usize> = self
-            .trie
-            .matches(&subject)
-            .filter_map(|(_, t)| match t {
-                SubTarget::Service { svc_idx } => Some(*svc_idx),
-                _ => None,
-            })
-            .collect();
-        for svc_idx in services {
-            let Some(Some(meta)) = self.svc_meta.get(svc_idx) else {
+    /// Snapshot of per-subject remote interest for the pending guaranteed
+    /// envelopes, fed to the engine's retry round.
+    fn gd_retry_round(&mut self, net: &mut Ctx<'_>) {
+        let mut interest: HashMap<String, Vec<u32>> = HashMap::new();
+        for s in self.engine.gd_subjects() {
+            let Ok(subject) = Subject::new(&s) else {
+                // Invalid subject: leave it out of the map and the engine
+                // completes (abandons) its entries.
                 continue;
             };
-            let offer = Value::List(vec![
-                Value::I64(self.host32 as i64),
-                Value::I64(RMI_PORT as i64),
-                Value::I64(meta.outstanding),
-            ]);
-            let app_idx = meta.app_idx;
-            let _ = self.publish_payload(
-                net,
-                app_idx,
-                &subject,
-                QoS::Reliable,
-                EnvelopeKind::RmiOffer,
-                env.corr,
-                wire::marshal_value(&offer),
-            );
-        }
-    }
-
-    fn collect_offer(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let Some(call) = self.calls.get_mut(&env.corr) else {
-            return;
-        };
-        if !matches!(call.phase, CallPhase::Discover) {
-            return;
-        }
-        let Ok(value) = wire::unmarshal_value(&env.payload) else {
-            return;
-        };
-        let Some(items) = value.as_list() else { return };
-        if items.len() < 3 {
-            return;
-        }
-        let (Some(host), Some(port), Some(load)) =
-            (items[0].as_i64(), items[1].as_i64(), items[2].as_i64())
-        else {
-            return;
-        };
-        call.offers.push(Offer {
-            host: host as u32,
-            port: port as u16,
-            load,
-        });
-        if matches!(call.policy, SelectionPolicy::First) {
-            self.try_connect(net, env.corr);
-        }
-    }
-
-    fn offer_window_closed(&mut self, net: &mut Ctx<'_>, call_id: u64) {
-        let Some(call) = self.calls.get(&call_id) else {
-            return;
-        };
-        if matches!(call.phase, CallPhase::Discover) {
-            if call.offers.is_empty() {
-                self.complete_call(net, call_id, Err(RmiError::NoServer));
-            } else {
-                self.try_connect(net, call_id);
-            }
-        }
-    }
-
-    fn try_connect(&mut self, net: &mut Ctx<'_>, call_id: u64) {
-        let host32 = self.host32;
-        let chosen: Option<Offer> = {
-            let Some(call) = self.calls.get(&call_id) else {
-                return;
-            };
-            let candidates: Vec<&Offer> = call
-                .offers
+            let interested: Vec<u32> = self
+                .peer_subs
                 .iter()
-                .filter(|o| !call.tried.contains(&o.host))
+                .filter(|(_, filters)| filters.values().any(|f| f.matches(&subject)))
+                .map(|(h, _)| *h)
                 .collect();
-            match call.policy {
-                SelectionPolicy::First => candidates.first().map(|o| (*o).clone()),
-                SelectionPolicy::Random => {
-                    if candidates.is_empty() {
-                        None
-                    } else {
-                        let idx = (net.random() * candidates.len() as f64) as usize;
-                        candidates
-                            .get(idx.min(candidates.len() - 1))
-                            .map(|o| (*o).clone())
-                    }
-                }
-                SelectionPolicy::LeastLoaded => candidates
-                    .iter()
-                    .min_by_key(|o| o.load)
-                    .map(|o| (*o).clone()),
-            }
-        };
-        let Some(offer) = chosen else {
-            self.complete_call(net, call_id, Err(RmiError::NoServer));
-            return;
-        };
-        let (app_idx, subject, op, args) = {
-            let Some(call) = self.calls.get_mut(&call_id) else {
-                return;
-            };
-            call.tried.insert(offer.host);
-            call.attempts += 1;
-            (
-                call.app_idx,
-                call.subject.clone(),
-                call.op.clone(),
-                call.args.clone(),
-            )
-        };
-        // Arguments travel self-describing so the server can handle
-        // instances of types it has never seen.
-        let args_bytes: Result<Vec<Vec<u8>>, _> = {
-            let registry = self.registry.borrow();
-            args.iter()
-                .map(|v| wire::marshal_self_describing(v, &registry))
-                .collect()
-        };
-        let args_bytes = match args_bytes {
-            Ok(b) => b,
-            Err(e) => {
-                self.complete_call(net, call_id, Err(RmiError::App(format!("marshal: {e}"))));
-                return;
-            }
-        };
-        let conn = net.connect(SockAddr::new(
-            infobus_netsim::HostId(offer.host),
-            offer.port,
-        ));
-        let request = RmiMsg::Request {
-            call: (host32, self.app_name(app_idx), call_id),
-            service: subject.as_str().to_owned(),
-            op,
-            args: args_bytes,
-        };
-        let _ = net.conn_send(conn, request.encode());
-        self.conn_calls.insert(conn, call_id);
-        let timeout = self.cfg.rmi_timeout_us;
-        let timer = self.dyn_timer(net, timeout, TimerTarget::RmiTimeout { call: call_id });
-        if let Some(call) = self.calls.get_mut(&call_id) {
-            call.phase = CallPhase::Connecting { conn };
-            call.timeout_timer = Some(timer);
+            interest.insert(s, interested);
         }
+        let actions = self.engine.handle(net.now(), Event::GdRetry { interest });
+        self.apply(net, actions);
     }
 
-    fn call_failed(&mut self, net: &mut Ctx<'_>, call_id: u64, error: RmiError) {
-        let (retry, attempts, max) = match self.calls.get(&call_id) {
-            Some(c) => (c.retry, c.attempts, self.cfg.rmi_max_attempts),
-            None => return,
-        };
-        if retry == RetryMode::Failover && attempts < max {
-            // Fail over to another offered server with the same call id.
-            let has_candidates = self
-                .calls
-                .get(&call_id)
-                .map(|c| c.offers.iter().any(|o| !c.tried.contains(&o.host)))
-                .unwrap_or(false);
-            if has_candidates {
-                self.try_connect(net, call_id);
-                return;
-            }
-            // No untried servers: rediscover once.
-            let rediscover = {
-                let call = self.calls.get_mut(&call_id).expect("checked above");
-                if !call.rediscovered {
-                    call.rediscovered = true;
-                    call.phase = CallPhase::Discover;
-                    call.offers.clear();
-                    call.tried.clear();
-                    true
-                } else {
-                    false
-                }
-            };
-            if rediscover {
-                let (subject, app_idx) = {
-                    let call = self.calls.get(&call_id).expect("checked above");
-                    (call.subject.clone(), call.app_idx)
-                };
-                let _ = self.publish_payload(
-                    net,
-                    app_idx,
-                    &subject,
-                    QoS::Reliable,
-                    EnvelopeKind::RmiQuery,
-                    call_id,
-                    wire::marshal_value(&Value::Nil),
-                );
-                let window = self.cfg.offer_window_us;
-                self.dyn_timer(net, window, TimerTarget::OfferWindowClose { call: call_id });
-                return;
-            }
-        }
-        self.complete_call(net, call_id, Err(error));
-    }
-
-    fn complete_call(&mut self, net: &mut Ctx<'_>, call_id: u64, result: Result<Value, RmiError>) {
-        let Some(mut call) = self.calls.remove(&call_id) else {
-            return;
-        };
-        self.stats
-            .rmi_latency
-            .record(net.now().saturating_sub(call.started));
-        if let CallPhase::Connecting { conn } = call.phase {
-            self.conn_calls.remove(&conn);
-            net.conn_close(conn);
-        }
-        call.phase = CallPhase::Done;
-        if let Some(sub) = call.temp_sub.take() {
-            self.unsubscribe(net, sub);
-        }
-        self.pending.push_back(AppEvent::RmiReply {
-            app_idx: call.app_idx,
-            call: CallId(call_id),
-            result,
-        });
-    }
-
-    // ----- RMI server ------------------------------------------------------------------
-
-    pub(crate) fn export_service(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        subject: &Subject,
-        service: Box<dyn ServiceObject>,
-    ) -> Result<(), BusError> {
-        if self.services.contains_key(subject.as_str()) {
-            return Err(BusError::Duplicate(subject.as_str().to_owned()));
-        }
-        let svc_idx = self.svc_meta.len();
-        self.svc_meta.push(Some(SvcMeta {
-            subject: subject.as_str().to_owned(),
-            app_idx,
-            outstanding: 0,
-            dedup: HashMap::new(),
-            dedup_order: VecDeque::new(),
-        }));
-        self.services.insert(subject.as_str().to_owned(), svc_idx);
-        self.subscribe_internal(
-            net,
-            &SubjectFilter::exact(subject),
-            SubTarget::Service { svc_idx },
-        );
-        self.pending_services.push((svc_idx, service));
-        Ok(())
-    }
-
-    pub(crate) fn withdraw_service(
-        &mut self,
-        net: &mut Ctx<'_>,
-        subject: &str,
-    ) -> Result<(), BusError> {
-        let Some(svc_idx) = self.services.remove(subject) else {
-            return Err(BusError::NotFound(format!("service {subject}")));
-        };
-        self.svc_meta[svc_idx] = None;
-        // Remove the trie entry pointing at this service.
-        let mut to_remove = Vec::new();
-        self.trie.for_each(|id, _, t| {
-            if matches!(t, SubTarget::Service { svc_idx: s } if *s == svc_idx) {
-                to_remove.push(id);
-            }
-        });
-        for id in to_remove {
-            self.unsubscribe(net, id);
-        }
-        self.dropped_services.push(svc_idx);
-        Ok(())
-    }
-
-    /// Handles an incoming RMI request on a server connection.
-    fn handle_rmi_request(
-        &mut self,
-        net: &mut Ctx<'_>,
-        conn: ConnId,
-        call: (u32, String, u64),
-        service: String,
-        op: String,
-        args: Vec<Vec<u8>>,
-    ) {
-        let Some(&svc_idx) = self.services.get(&service) else {
-            let reply = RmiMsg::Reply {
-                call,
-                ok: false,
-                value: wire::marshal_value(&Value::Nil),
-                error: format!("bad-operation: no service {service} here"),
-            };
-            let _ = net.conn_send(conn, reply.encode());
-            return;
-        };
-        let Some(Some(meta)) = self.svc_meta.get_mut(svc_idx) else {
-            return;
-        };
-        if let Some(cached) = meta.dedup.get(&call) {
-            // The retry layer: duplicate requests get the cached reply,
-            // so the operation executes at most once per server.
-            self.stats.rmi_deduped += 1;
-            let bytes = cached.clone();
-            let _ = net.conn_send(conn, bytes);
-            return;
-        }
-        meta.outstanding += 1;
-        self.pending.push_back(AppEvent::SvcInvoke {
-            svc_idx,
-            conn,
-            call,
-            op,
-            args,
-        });
-    }
-
-    // ----- information-router links ---------------------------------------------------------
-
-    fn link_interested(&self, subject: &Subject) -> bool {
-        self.router_links
-            .values()
-            .any(|link| Self::link_wants(link, subject).is_some())
-    }
-
-    /// Decides whether `link`'s remote side subscribes to this subject,
-    /// returning the subject to forward under (rewritten if the link has
-    /// a matching rewrite rule).
-    fn link_wants(link: &RouterLink, subject: &Subject) -> Option<String> {
-        let forwarded: String = match &link.rewrite {
-            Some(rule) => rule
-                .apply(subject.as_str())
-                .unwrap_or_else(|| subject.as_str().to_owned()),
-            None => subject.as_str().to_owned(),
-        };
-        let fsubj = Subject::new(&forwarded).ok()?;
-        link.subs
-            .iter()
-            .any(|f| f.matches(&fsubj))
-            .then_some(forwarded)
-    }
-
-    /// Forwards a data envelope over every link whose remote side
-    /// subscribes to its subject, except `from_link` (split horizon).
-    fn maybe_forward(&mut self, net: &mut Ctx<'_>, env: &Envelope, from_link: Option<ConnId>) {
-        if env.kind != EnvelopeKind::Data {
-            return;
-        }
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
-        let targets: Vec<(ConnId, String)> = self
-            .router_links
-            .iter()
-            .filter(|(conn, _)| Some(**conn) != from_link)
-            .filter_map(|(conn, link)| Self::link_wants(link, &subject).map(|s| (*conn, s)))
-            .collect();
-        self.stats.router_forwarded += targets.len() as u64;
-        for (conn, forwarded_subject) in targets {
-            let mut fwd = env.clone();
-            fwd.subject = forwarded_subject;
-            let _ = net.conn_send(conn, RouterMsg::Forward { env: fwd }.encode());
-        }
-    }
-
-    /// Opens a router link to a peer daemon (driver command).
-    pub(crate) fn open_link(&mut self, net: &mut Ctx<'_>, peer: u32, rewrite: Option<RewriteRule>) {
-        let conn = net.connect(SockAddr::new(infobus_netsim::HostId(peer), RMI_PORT));
-        self.router_links.insert(
-            conn,
-            RouterLink {
-                peer_host: peer,
-                subs: Vec::new(),
-                rewrite,
-            },
-        );
-        let _ = net.conn_send(conn, RouterMsg::Hello { host: self.host32 }.encode());
-        self.send_link_subs(net, Some(conn));
-    }
-
-    /// The subscription set advertised over `link`: everything this bus
-    /// knows locally or via broadcast announcements, plus the sets of all
-    /// *other* links (split-horizon aggregation for bus chains).
-    fn link_advertisement(&self, link: ConnId) -> Vec<String> {
-        let mut set: HashSet<String> = HashSet::new();
-        for f in self.my_filters.keys() {
-            set.insert(f.clone());
-        }
-        for peers in self.peer_subs.values() {
-            for f in peers.keys() {
-                set.insert(f.clone());
-            }
-        }
-        for (conn, other) in &self.router_links {
-            if *conn != link {
-                for f in &other.subs {
-                    set.insert(f.as_str().to_owned());
-                }
-            }
-        }
-        let mut v: Vec<String> = set.into_iter().collect();
-        v.sort();
-        v
-    }
-
-    /// Sends subscription advertisements over one or all links.
-    fn send_link_subs(&mut self, net: &mut Ctx<'_>, only: Option<ConnId>) {
-        let conns: Vec<ConnId> = self
-            .router_links
-            .keys()
-            .copied()
-            .filter(|c| only.is_none() || only == Some(*c))
-            .collect();
-        for conn in conns {
-            let filters = self.link_advertisement(conn);
-            let _ = net.conn_send(conn, RouterMsg::Subs { filters }.encode());
-        }
-    }
-
-    /// Handles a router message arriving on a connection.
-    fn handle_router_msg(&mut self, net: &mut Ctx<'_>, conn: ConnId, msg: RouterMsg) {
-        match msg {
-            RouterMsg::Hello { host } => {
-                // The accepting side learns this connection is a link.
-                self.router_links.entry(conn).or_insert(RouterLink {
-                    peer_host: host,
-                    subs: Vec::new(),
-                    rewrite: None,
-                });
-                self.send_link_subs(net, Some(conn));
-            }
-            RouterMsg::Subs { filters } => {
-                if let Some(link) = self.router_links.get_mut(&conn) {
-                    link.subs = filters
-                        .iter()
-                        .filter_map(|f| SubjectFilter::new(f).ok())
-                        .collect();
-                }
-            }
-            RouterMsg::Forward { env } => {
-                if !self.router_links.contains_key(&conn) {
-                    return;
-                }
-                let Ok(subject) = Subject::new(&env.subject) else {
-                    return;
-                };
-                // Re-publish on this bus as a fresh publication from the
-                // router; never forward it back where it came from.
-                self.forward_horizon = Some(conn);
-                let _ = self.publish_payload(
-                    net,
-                    usize::MAX,
-                    &subject,
-                    env.qos,
-                    EnvelopeKind::Data,
-                    0,
-                    env.payload,
-                );
-                self.forward_horizon = None;
-            }
-        }
-    }
-
-    // ----- subscription gossip -----------------------------------------------------------
-
-    fn handle_sub_announce(
-        &mut self,
-        host: u32,
-        full: bool,
-        add: Vec<String>,
-        remove: Vec<String>,
-    ) {
-        if host == self.host32 {
-            return;
-        }
-        let entry = self.peer_subs.entry(host).or_default();
-        if full {
-            entry.clear();
-        }
-        for f in add {
-            if let Ok(filter) = SubjectFilter::new(&f) {
-                entry.insert(f, filter);
-            }
-        }
-        for f in remove {
-            entry.remove(&f);
-        }
-    }
-
-    // ----- observability plane -----------------------------------------------------------
+    // ----- observability plane -----------------------------------------------------
 
     /// This daemon's identity element on the stats subject.
     fn stats_daemon_name(&self) -> String {
@@ -2144,14 +436,61 @@ impl DaemonState {
     fn publish_stats(&mut self, net: &mut Ctx<'_>) {
         let host = Self::subject_element(&net.host_name());
         let daemon = self.stats_daemon_name();
-        let obj = self.stats.to_object(&host, &daemon, net.now());
+        let obj = self.engine.stats.to_object(&host, &daemon, net.now());
         let text = format!("{STATS_SUBJECT_PREFIX}.{host}.{daemon}");
         if let Ok(subject) = Subject::new(&text) {
             let value = Value::Object(Box::new(obj));
             let _ = self.publish(net, APP_STATS, &subject, &value, QoS::Reliable);
-            self.stats.stats_published += 1;
+            self.engine.stats.stats_published += 1;
         }
-        net.set_timer(self.cfg.stats_period_us, TOK_STATS);
+        net.set_timer(self.engine.config().stats_period_us, TOK_STATS);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DaemonTransport: performs engine actions against the simulator
+// ---------------------------------------------------------------------------
+
+/// The netsim [`Transport`]: broadcasts ride the first attached segment,
+/// timers map onto the daemon's reserved tokens, deliveries route through
+/// the subject trie, and the guaranteed-delivery ledger lives in the
+/// simulator's non-volatile store.
+struct DaemonTransport<'a, 'b> {
+    d: &'a mut DaemonState,
+    net: &'a mut Ctx<'b>,
+}
+
+impl Transport for DaemonTransport<'_, '_> {
+    fn broadcast(&mut self, packet: Packet) {
+        self.d.send_packet_broadcast(self.net, &packet);
+    }
+
+    fn unicast(&mut self, host: u32, packet: Packet) {
+        self.d.send_packet_unicast(self.net, host, &packet);
+    }
+
+    fn set_timer(&mut self, delay_us: Micros, timer: TimerKind) {
+        self.net.set_timer(delay_us, timer_token(timer));
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        self.d.deliver_remote(self.net, &env);
+    }
+
+    fn deliver_gd(&mut self, env: Envelope) {
+        // A subscriber may have (re)attached on this very host after the
+        // daemon reloaded its ledger.
+        if self.d.deliver_local(self.net, &env, None) > 0 {
+            self.d.engine.gd_local_done(&env);
+        }
+    }
+
+    fn persist(&mut self, key: String, bytes: Vec<u8>) {
+        self.net.nv_put(&key, bytes);
+    }
+
+    fn unpersist(&mut self, key: &str) {
+        self.net.nv_delete(key);
     }
 }
 
@@ -2161,17 +500,14 @@ impl DaemonState {
 
 /// The bus daemon process: one per host.
 ///
-/// Owns the local applications ([`BusApp`]) and exported services
-/// ([`ServiceObject`]); implements the reliable and guaranteed delivery
-/// protocols, discovery, and RMI.
+/// Owns the local applications ([`BusApp`](crate::BusApp)) and exported services
+/// ([`ServiceObject`]); drives the protocol [`Engine`] for reliable and
+/// guaranteed delivery, and implements discovery windows, RMI, and router
+/// links on top.
 pub struct BusDaemon {
-    state: DaemonState,
-    apps: Vec<Option<AppSlot>>,
-    services: Vec<Option<Box<dyn ServiceObject>>>,
-}
-
-struct AppSlot {
-    app: Box<dyn BusApp>,
+    pub(crate) state: DaemonState,
+    pub(crate) apps: Vec<Option<AppSlot>>,
+    pub(crate) services: Vec<Option<Box<dyn ServiceObject>>>,
 }
 
 impl BusDaemon {
@@ -2186,280 +522,19 @@ impl BusDaemon {
 
     /// The daemon's protocol counters.
     pub fn stats(&self) -> &BusStats {
-        &self.state.stats
+        &self.state.engine.stats
     }
 
     /// The daemon's shared type registry.
     pub fn registry(&self) -> Rc<RefCell<TypeRegistry>> {
         self.state.registry()
     }
-
-    /// Runs `f` against a named application's concrete state (driver-side
-    /// inspection via `Sim::with_proc`).
-    pub fn with_app<T: BusApp, R>(&mut self, name: &str, f: impl FnOnce(&mut T) -> R) -> Option<R> {
-        let idx = self.app_idx(name)?;
-        let slot = self.apps.get_mut(idx)?.as_mut()?;
-        let any: &mut dyn Any = slot.app.as_mut();
-        any.downcast_mut::<T>().map(f)
-    }
-
-    fn app_idx(&self, name: &str) -> Option<usize> {
-        self.state
-            .app_meta
-            .iter()
-            .position(|m| m.as_ref().is_some_and(|m| m.name == name))
-    }
-
-    /// Attaches an application (normally done via
-    /// [`BusFabric`](crate::BusFabric)).
-    pub fn attach(&mut self, net: &mut Ctx<'_>, name: &str, app: Box<dyn BusApp>) {
-        let app_idx = self.apps.len();
-        self.apps.push(Some(AppSlot { app }));
-        self.state.app_meta.push(Some(AppMeta {
-            name: name.to_owned(),
-            inc: net.now().max(1),
-            subs: Vec::new(),
-        }));
-        self.state.pending.push_back(AppEvent::Start { app_idx });
-        self.drain(net);
-    }
-
-    /// Detaches (crashes) an application: volatile state is dropped, its
-    /// subscriptions are removed.
-    pub fn detach(&mut self, net: &mut Ctx<'_>, name: &str) {
-        let Some(idx) = self.app_idx(name) else {
-            return;
-        };
-        self.apps[idx] = None;
-        if let Some(meta) = self.state.app_meta[idx].take() {
-            for sub in meta.subs {
-                self.state.unsubscribe(net, sub);
-            }
-        }
-        // Withdraw services exported by this application.
-        let subjects: Vec<String> = self
-            .state
-            .svc_meta
-            .iter()
-            .flatten()
-            .filter(|m| m.app_idx == idx)
-            .map(|m| m.subject.clone())
-            .collect();
-        for s in subjects {
-            let _ = self.state.withdraw_service(net, &s);
-        }
-        self.sync_services();
-    }
-
-    /// Moves newly exported service boxes into the daemon's table and
-    /// drops withdrawn ones.
-    fn sync_services(&mut self) {
-        for (idx, svc) in self.state.pending_services.drain(..) {
-            while self.services.len() <= idx {
-                self.services.push(None);
-            }
-            self.services[idx] = Some(svc);
-        }
-        for idx in self.state.dropped_services.drain(..) {
-            if idx < self.services.len() {
-                self.services[idx] = None;
-            }
-        }
-    }
-
-    /// Drains queued application events, allowing handlers to enqueue
-    /// more (up to a cap).
-    fn drain(&mut self, net: &mut Ctx<'_>) {
-        self.sync_services();
-        let mut processed = 0usize;
-        while let Some(event) = self.state.pending.pop_front() {
-            processed += 1;
-            if processed > DRAIN_CAP {
-                net.trace(|| "bus daemon: delivery drain cap hit; dropping remainder".to_owned());
-                self.state.pending.clear();
-                break;
-            }
-            match event {
-                AppEvent::Start { app_idx } => {
-                    self.with_app_slot(net, app_idx, |app, bus| app.on_start(bus));
-                }
-                AppEvent::Msg { app_idx, msg } => {
-                    self.with_app_slot(net, app_idx, |app, bus| app.on_message(bus, &msg));
-                }
-                AppEvent::Timer { app_idx, token } => {
-                    self.with_app_slot(net, app_idx, |app, bus| app.on_timer(bus, token));
-                }
-                AppEvent::Discovery {
-                    app_idx,
-                    token,
-                    replies,
-                } => {
-                    self.with_app_slot(net, app_idx, |app, bus| {
-                        app.on_discovery(bus, token, replies)
-                    });
-                }
-                AppEvent::RmiReply {
-                    app_idx,
-                    call,
-                    result,
-                } => {
-                    self.with_app_slot(net, app_idx, |app, bus| {
-                        app.on_rmi_reply(bus, call, result)
-                    });
-                }
-                AppEvent::SvcInvoke {
-                    svc_idx,
-                    conn,
-                    call,
-                    op,
-                    args,
-                } => {
-                    self.invoke_service(net, svc_idx, conn, call, op, args);
-                }
-            }
-            self.sync_services();
-        }
-    }
-
-    fn with_app_slot(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        f: impl FnOnce(&mut dyn BusApp, &mut BusCtx<'_, '_>),
-    ) {
-        let Some(mut slot) = self.apps.get_mut(app_idx).and_then(Option::take) else {
-            return;
-        };
-        {
-            let mut bus = BusCtx {
-                d: &mut self.state,
-                net,
-                app_idx,
-            };
-            f(slot.app.as_mut(), &mut bus);
-        }
-        if self.apps.get(app_idx).is_some_and(Option::is_none)
-            && self
-                .state
-                .app_meta
-                .get(app_idx)
-                .is_some_and(Option::is_some)
-        {
-            self.apps[app_idx] = Some(slot);
-        }
-    }
-
-    fn invoke_service(
-        &mut self,
-        net: &mut Ctx<'_>,
-        svc_idx: usize,
-        conn: ConnId,
-        call: (u32, String, u64),
-        op: String,
-        args: Vec<Vec<u8>>,
-    ) {
-        let Some(mut service) = self.services.get_mut(svc_idx).and_then(Option::take) else {
-            return;
-        };
-        // Unmarshal the self-describing arguments, learning any carried
-        // types into this daemon's registry.
-        let args: Result<Vec<Value>, _> = {
-            let mut registry = self.state.registry.borrow_mut();
-            args.iter()
-                .map(|b| wire::unmarshal(b, &mut registry))
-                .collect()
-        };
-        let args = match args {
-            Ok(a) => a,
-            Err(e) => {
-                let reply = RmiMsg::Reply {
-                    call,
-                    ok: false,
-                    value: wire::marshal_value(&Value::Nil),
-                    error: format!("bad-operation: malformed arguments: {e}"),
-                };
-                let _ = net.conn_send(conn, reply.encode());
-                self.services[svc_idx] = Some(service);
-                return;
-            }
-        };
-        let app_idx = self
-            .state
-            .svc_meta
-            .get(svc_idx)
-            .and_then(|m| m.as_ref())
-            .map(|m| m.app_idx)
-            .unwrap_or(usize::MAX);
-        // Validate the operation against the self-describing interface.
-        let descriptor = service.descriptor();
-        let known = descriptor.own_operation(&op);
-        let result = match known {
-            None => Err(RmiError::BadOperation(format!(
-                "{op} is not in the interface"
-            ))),
-            Some(sig) if sig.params.len() != args.len() => Err(RmiError::BadOperation(format!(
-                "{op} expects {} arguments, got {}",
-                sig.params.len(),
-                args.len()
-            ))),
-            Some(_) => {
-                let mut bus = BusCtx {
-                    d: &mut self.state,
-                    net,
-                    app_idx,
-                };
-                service.invoke(&op, args, &mut bus)
-            }
-        };
-        self.state.stats.rmi_served += 1;
-        let reply = match result {
-            Ok(value) => {
-                let bytes = wire::marshal_self_describing(&value, &self.state.registry.borrow())
-                    .unwrap_or_else(|_| wire::marshal_value(&Value::Nil));
-                RmiMsg::Reply {
-                    call: call.clone(),
-                    ok: true,
-                    value: bytes,
-                    error: String::new(),
-                }
-            }
-            Err(e) => RmiMsg::Reply {
-                call: call.clone(),
-                ok: false,
-                value: wire::marshal_value(&Value::Nil),
-                error: match &e {
-                    RmiError::BadOperation(m) => format!("bad-operation: {m}"),
-                    other => format!("app: {other}"),
-                },
-            },
-        };
-        let bytes = reply.encode();
-        if let Some(Some(meta)) = self.state.svc_meta.get_mut(svc_idx) {
-            meta.outstanding -= 1;
-            meta.dedup.insert(call.clone(), bytes.clone());
-            meta.dedup_order.push_back(call);
-            while meta.dedup_order.len() > DEDUP_CAP {
-                if let Some(old) = meta.dedup_order.pop_front() {
-                    meta.dedup.remove(&old);
-                }
-            }
-        }
-        let _ = net.conn_send(conn, bytes);
-        // Put the service back if it was not withdrawn meanwhile.
-        if self
-            .state
-            .svc_meta
-            .get(svc_idx)
-            .is_some_and(Option::is_some)
-        {
-            self.services[svc_idx] = Some(service);
-        }
-    }
 }
 
 impl Process for BusDaemon {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.state.host32 = ctx.host().0;
+        self.state.engine.set_host(ctx.host().0);
         self.state.daemon_inc = ctx.now().max(1);
         self.state.seg0 = ctx.segments().first().copied();
         let _ = ctx.bind(DAEMON_PORT);
@@ -2471,14 +546,21 @@ impl Process for BusDaemon {
                 host: self.state.host32,
             },
         );
-        ctx.set_timer(self.state.cfg.nak_check_us, TOK_NAK_CHECK);
-        ctx.set_timer(self.state.cfg.announce_period_us, TOK_ANNOUNCE);
-        ctx.set_timer(self.state.cfg.sync_period_us, TOK_SYNC);
+        let cfg = self.state.engine.config();
+        let (nak_check, announce, sync, stats_period) = (
+            cfg.nak_check_us,
+            cfg.announce_period_us,
+            cfg.sync_period_us,
+            cfg.stats_period_us,
+        );
+        ctx.set_timer(nak_check, TOK_NAK_CHECK);
+        ctx.set_timer(announce, TOK_ANNOUNCE);
+        ctx.set_timer(sync, TOK_SYNC);
         // The observability plane: every daemon can describe its own
         // counters, and publishes them when a stats period is configured.
         BusStats::register_type(&mut self.state.registry.borrow_mut());
-        if self.state.cfg.stats_period_us > 0 {
-            ctx.set_timer(self.state.cfg.stats_period_us, TOK_STATS);
+        if stats_period > 0 {
+            ctx.set_timer(stats_period, TOK_STATS);
         }
         // Reload the guaranteed-delivery ledger written before any crash.
         self.state.gd_load_ledger(ctx);
@@ -2501,15 +583,31 @@ impl Process for BusDaemon {
                 requester,
                 missing,
             } => {
-                self.state
-                    .handle_nak(ctx, stream, subject, requester, missing);
+                let actions = self.state.engine.handle(
+                    ctx.now(),
+                    Event::Nak {
+                        stream,
+                        subject,
+                        requester,
+                        missing,
+                    },
+                );
+                self.state.apply(ctx, actions);
             }
             Packet::GapSkip {
                 stream,
                 subject,
                 through,
             } => {
-                self.state.handle_gapskip(ctx, stream, subject, through);
+                let actions = self.state.engine.handle(
+                    ctx.now(),
+                    Event::GapSkip {
+                        stream,
+                        subject,
+                        through,
+                    },
+                );
+                self.state.apply(ctx, actions);
             }
             Packet::Ack {
                 stream,
@@ -2517,8 +615,16 @@ impl Process for BusDaemon {
                 seq,
                 from_host,
             } => {
-                self.state
-                    .gd_ack_received(ctx, &stream, &subject, seq, from_host);
+                let actions = self.state.engine.handle(
+                    ctx.now(),
+                    Event::Ack {
+                        stream,
+                        subject,
+                        seq,
+                        from_host,
+                    },
+                );
+                self.state.apply(ctx, actions);
             }
             Packet::SubAnnounce {
                 host,
@@ -2543,18 +649,33 @@ impl Process for BusDaemon {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOK_BATCH => {
-                self.state.batch_timer_armed = false;
-                self.state.flush_batch(ctx);
+                let actions = self
+                    .state
+                    .engine
+                    .handle(ctx.now(), Event::Timer(TimerKind::Batch));
+                self.state.apply(ctx, actions);
             }
-            TOK_NAK_CHECK => self.state.nak_check(ctx),
-            TOK_SYNC => self.state.sync_round(ctx),
+            TOK_NAK_CHECK => {
+                let actions = self
+                    .state
+                    .engine
+                    .handle(ctx.now(), Event::Timer(TimerKind::NakScan));
+                self.state.apply(ctx, actions);
+            }
+            TOK_SYNC => {
+                let actions = self
+                    .state
+                    .engine
+                    .handle(ctx.now(), Event::Timer(TimerKind::Sync));
+                self.state.apply(ctx, actions);
+            }
             TOK_STATS => self.state.publish_stats(ctx),
             TOK_ANN_FLUSH => self.state.flush_announcements(ctx),
             TOK_GD_RETRY => self.state.gd_retry_round(ctx),
             TOK_ANNOUNCE => {
                 self.state.announce_full(ctx);
                 self.state.send_link_subs(ctx, None);
-                ctx.set_timer(self.state.cfg.announce_period_us, TOK_ANNOUNCE);
+                ctx.set_timer(self.state.engine.config().announce_period_us, TOK_ANNOUNCE);
             }
             dyn_token => {
                 let Some(target) = self.state.timer_targets.remove(&dyn_token) else {
@@ -2674,18 +795,5 @@ impl Process for BusDaemon {
             },
         }
         self.drain(ctx);
-    }
-}
-
-impl DaemonState {
-    /// Application timer (public to `BusCtx`).
-    pub(crate) fn set_app_timer(
-        &mut self,
-        net: &mut Ctx<'_>,
-        app_idx: usize,
-        delay: Micros,
-        token: u64,
-    ) {
-        self.dyn_timer(net, delay, TimerTarget::App { app_idx, token });
     }
 }

@@ -1,0 +1,73 @@
+//! Batching: the paper's batch parameter.
+//!
+//! "The Information Bus has a batch parameter that increases throughput
+//! by delaying small messages, and gathering them together." Sequenced
+//! envelopes accumulate until either the byte threshold trips (flush
+//! immediately) or the delay timer fires (flush whatever gathered).
+
+use crate::config::BusConfig;
+use crate::envelope::Envelope;
+use crate::msg::Packet;
+
+use super::stats::BusStats;
+use super::{Action, TimerKind};
+
+/// The outbound batch of one daemon.
+pub(super) struct Batcher {
+    queue: Vec<Envelope>,
+    payload: usize,
+    timer_armed: bool,
+}
+
+impl Batcher {
+    pub(super) fn new() -> Batcher {
+        Batcher {
+            queue: Vec::new(),
+            payload: 0,
+            timer_armed: false,
+        }
+    }
+
+    /// Appends a sequenced envelope; flushes when the byte threshold is
+    /// reached, otherwise arms the flush timer.
+    pub(super) fn push(
+        &mut self,
+        env: &Envelope,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        self.payload += env.wire_size();
+        self.queue.push(env.clone());
+        if self.payload >= cfg.batch_bytes {
+            self.flush(stats)
+        } else if !self.timer_armed {
+            self.timer_armed = true;
+            vec![Action::SetTimer {
+                delay_us: cfg.batch_delay_us,
+                timer: TimerKind::Batch,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The flush timer fired: send whatever gathered.
+    pub(super) fn timer_fired(&mut self, stats: &mut BusStats) -> Vec<Action> {
+        self.timer_armed = false;
+        self.flush(stats)
+    }
+
+    fn flush(&mut self, stats: &mut BusStats) -> Vec<Action> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let envelopes = std::mem::take(&mut self.queue);
+        self.payload = 0;
+        stats.batch_flushes += 1;
+        stats.batch_envelopes += envelopes.len() as u64;
+        vec![Action::Broadcast(Packet::Data {
+            envelopes,
+            retrans: false,
+        })]
+    }
+}

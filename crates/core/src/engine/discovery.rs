@@ -1,0 +1,59 @@
+//! Discovery correlation: collecting "I am" announcements per round.
+//!
+//! A discovery round is a publication ("Who's out there?") plus a
+//! collection window. The engine only correlates announcements to open
+//! rounds; opening the temporary subscription, issuing the query, and
+//! timing the window are driver concerns.
+
+use std::collections::HashMap;
+
+use infobus_subject::SubscriptionId;
+use infobus_types::wire;
+
+use crate::app::DiscoveryReply;
+use crate::envelope::Envelope;
+
+/// One open discovery round: who asked, and the replies gathered so far.
+pub struct PendingDiscovery {
+    /// Index of the application that issued the query.
+    pub app_idx: usize,
+    /// Application-chosen token echoed back with the result set.
+    pub token: u64,
+    /// "I am" replies collected inside the window.
+    pub replies: Vec<DiscoveryReply>,
+    /// The transient control subscription held open for the window.
+    pub temp_sub: SubscriptionId,
+}
+
+/// Open discovery rounds keyed by correlation id.
+pub(super) struct Correlations {
+    table: HashMap<u64, PendingDiscovery>,
+}
+
+impl Correlations {
+    pub(super) fn new() -> Correlations {
+        Correlations {
+            table: HashMap::new(),
+        }
+    }
+
+    /// Opens a round under `corr`.
+    pub(super) fn start(&mut self, corr: u64, pending: PendingDiscovery) {
+        self.table.insert(corr, pending);
+    }
+
+    /// Files an "I am" announcement with its round (ignored if the window
+    /// already closed or the payload fails to unmarshal).
+    pub(super) fn collect(&mut self, env: &Envelope) {
+        if let Some(d) = self.table.get_mut(&env.corr) {
+            if let Ok(info) = wire::unmarshal_value(&env.payload) {
+                d.replies.push(DiscoveryReply { info });
+            }
+        }
+    }
+
+    /// Closes a round, returning what was gathered.
+    pub(super) fn close(&mut self, corr: u64) -> Option<PendingDiscovery> {
+        self.table.remove(&corr)
+    }
+}

@@ -1,0 +1,248 @@
+//! Guaranteed delivery: the non-volatile ledger and retry rounds.
+//!
+//! "The message is logged to non-volatile storage *before* it is sent and
+//! retransmitted until every interested daemon acknowledges" —
+//! at-least-once, across publisher restarts. The ledger itself is pure
+//! state: persistence happens through [`Action::Persist`] /
+//! [`Action::Unpersist`], and the driver supplies the per-subject
+//! interest snapshot (which hosts subscribe) at each retry round.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::config::BusConfig;
+use crate::envelope::Envelope;
+use crate::msg::Packet;
+
+use super::stats::BusStats;
+use super::{Action, TimerKind};
+
+struct GdEntry {
+    env: Envelope,
+    acked: HashSet<u32>,
+    /// A co-resident subscriber received it (local delivery counts as
+    /// acknowledgment).
+    local_done: bool,
+    /// Retry rounds already performed.
+    rounds: u32,
+}
+
+/// Pending guaranteed envelopes, keyed (app, subject, seq) for a
+/// deterministic retry order.
+pub(super) struct GdLedger {
+    pending: BTreeMap<(String, String, u64), GdEntry>,
+    timer_armed: bool,
+}
+
+fn gd_key(env: &Envelope) -> (String, String, u64) {
+    (env.stream.app.clone(), env.subject.clone(), env.seq)
+}
+
+/// The non-volatile storage key of a ledger entry.
+pub(crate) fn gd_nv_key(env: &Envelope) -> String {
+    format!("gd/{}/{}/{:016x}", env.stream.app, env.subject, env.seq)
+}
+
+impl GdLedger {
+    pub(super) fn new() -> GdLedger {
+        GdLedger {
+            pending: BTreeMap::new(),
+            timer_armed: false,
+        }
+    }
+
+    /// Logs a freshly published guaranteed envelope. The returned actions
+    /// write the ledger entry (before anything is sent) and arm the retry
+    /// timer if idle.
+    pub(super) fn persist(
+        &mut self,
+        env: &Envelope,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Log to non-volatile storage *before* the message is sent.
+        let mut bytes = Vec::new();
+        env.encode(&mut bytes);
+        actions.push(Action::Persist {
+            key: gd_nv_key(env),
+            bytes,
+        });
+        self.pending.insert(
+            gd_key(env),
+            GdEntry {
+                env: env.clone(),
+                acked: HashSet::new(),
+                local_done: false,
+                rounds: 0,
+            },
+        );
+        stats.gd_pending = self.pending.len() as u64;
+        if !self.timer_armed {
+            self.timer_armed = true;
+            actions.push(Action::SetTimer {
+                delay_us: cfg.gd_retry_us,
+                timer: TimerKind::GdRetry,
+            });
+        }
+        actions
+    }
+
+    /// Reloads ledger envelopes after a restart (the driver read them
+    /// back from non-volatile storage). Entries are re-flagged as
+    /// redeliveries; arms the retry timer if anything is pending.
+    pub(super) fn load(
+        &mut self,
+        envs: Vec<Envelope>,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        for mut env in envs {
+            env.redelivery = true;
+            self.pending.insert(
+                gd_key(&env),
+                GdEntry {
+                    env,
+                    acked: HashSet::new(),
+                    local_done: false,
+                    rounds: 0,
+                },
+            );
+        }
+        stats.gd_pending = self.pending.len() as u64;
+        let mut actions = Vec::new();
+        if !self.pending.is_empty() && !self.timer_armed {
+            self.timer_armed = true;
+            actions.push(Action::SetTimer {
+                delay_us: cfg.gd_retry_us,
+                timer: TimerKind::GdRetry,
+            });
+        }
+        actions
+    }
+
+    /// Records a remote acknowledgment. Completion is decided on the next
+    /// retry round, which also gives late subscribers one window to
+    /// appear.
+    pub(super) fn ack_received(
+        &mut self,
+        stream: &crate::envelope::StreamKey,
+        subject: &str,
+        seq: u64,
+        from: u32,
+        stats: &mut BusStats,
+    ) {
+        let key = (stream.app.clone(), subject.to_owned(), seq);
+        stats.gd_acks_received += 1;
+        if let Some(entry) = self.pending.get_mut(&key) {
+            entry.acked.insert(from);
+        }
+    }
+
+    /// Marks an entry as locally delivered.
+    pub(super) fn local_done(&mut self, env: &Envelope) {
+        if let Some(entry) = self.pending.get_mut(&gd_key(env)) {
+            entry.local_done = true;
+        }
+    }
+
+    /// The distinct subjects with pending entries (for the driver's
+    /// interest computation).
+    pub(super) fn subjects(&self) -> Vec<String> {
+        let mut subjects: Vec<String> = Vec::new();
+        for (_, subject, _) in self.pending.keys() {
+            if subjects.last().map(String::as_str) != Some(subject.as_str()) {
+                subjects.push(subject.clone());
+            }
+        }
+        subjects.sort();
+        subjects.dedup();
+        subjects
+    }
+
+    /// One retry round. `interest` maps each pending subject to the
+    /// hosts currently interested; a subject absent from the map is
+    /// treated as invalid and its entries complete immediately.
+    ///
+    /// Emits, in order: broadcast retransmissions, local redeliveries
+    /// ([`Action::DeliverGd`]), ledger deletions for completed entries,
+    /// and the re-armed retry timer (while anything is still pending).
+    pub(super) fn retry_round(
+        &mut self,
+        interest: &HashMap<String, Vec<u32>>,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut completed: Vec<(String, String, u64)> = Vec::new();
+        let mut to_send: Vec<Envelope> = Vec::new();
+        let mut to_deliver_locally: Vec<Envelope> = Vec::new();
+        for (key, entry) in self.pending.iter_mut() {
+            let Some(interested) = interest.get(&entry.env.subject) else {
+                // Malformed subject: nobody can ever subscribe to it.
+                completed.push(key.clone());
+                continue;
+            };
+            let outstanding: Vec<u32> = interested
+                .iter()
+                .copied()
+                .filter(|h| !entry.acked.contains(h))
+                .collect();
+            // The message is held "until a reply is received": completion
+            // requires that *someone* took delivery (a local subscriber
+            // or at least one remote ack) and that nobody currently
+            // interested is still un-acked. With no interested party at
+            // all the entry simply waits for one to appear.
+            let someone_has_it = entry.local_done || !entry.acked.is_empty();
+            if outstanding.is_empty() && entry.rounds > 0 && someone_has_it {
+                completed.push(key.clone());
+                continue;
+            }
+            entry.rounds += 1;
+            if !outstanding.is_empty() || (!someone_has_it && !interested.is_empty()) {
+                let mut env = entry.env.clone();
+                // Every retransmission is flagged: a receiver daemon that
+                // restarted since the original send must deliver it even
+                // though its sequencing state says "duplicate". Healthy
+                // receivers that merely lost an ack may see a duplicate —
+                // exactly the at-least-once contract.
+                env.redelivery = true;
+                to_send.push(env);
+            }
+            if !entry.local_done {
+                // A subscriber may have (re)attached on this very host
+                // after the daemon reloaded its ledger.
+                let mut env = entry.env.clone();
+                env.redelivery = true;
+                to_deliver_locally.push(env);
+            }
+        }
+        for env in to_send {
+            stats.gd_retries += 1;
+            actions.push(Action::Broadcast(Packet::Data {
+                envelopes: vec![env],
+                retrans: true,
+            }));
+        }
+        for env in to_deliver_locally {
+            actions.push(Action::DeliverGd(env));
+        }
+        for key in completed {
+            if let Some(entry) = self.pending.remove(&key) {
+                actions.push(Action::Unpersist {
+                    key: gd_nv_key(&entry.env),
+                });
+                stats.gd_completed += 1;
+            }
+        }
+        stats.gd_pending = self.pending.len() as u64;
+        if self.pending.is_empty() {
+            self.timer_armed = false;
+        } else {
+            actions.push(Action::SetTimer {
+                delay_us: cfg.gd_retry_us,
+                timer: TimerKind::GdRetry,
+            });
+        }
+        actions
+    }
+}

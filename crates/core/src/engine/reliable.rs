@@ -1,0 +1,470 @@
+//! Reliable delivery: per-(publisher, subject) sequencing with NAK-based
+//! retransmission.
+//!
+//! "Under normal operation messages arrive exactly once, in the order
+//! sent by each sender; after crashes or partitions, at most once."
+//! `Publisher` owns the outbound side (sequence numbers, retention
+//! rings, retransmission, idle-stream digests); `Receiver` owns the
+//! inbound side (expected sequence, holdback reassembly, gap detection,
+//! NAK generation, gap-skips). Both are pure: inputs are
+//! `(now, event data)`, outputs are [`Action`]s.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::config::BusConfig;
+use crate::envelope::{Envelope, EnvelopeKind, StreamKey};
+use crate::msg::{Packet, SyncEntry};
+use crate::QoS;
+
+use super::stats::BusStats;
+use super::{Action, Micros, PubSource, TimerKind};
+
+struct OutStream {
+    inc: u64,
+    next_seq: u64,
+    /// Sequences retransmitted recently (suppresses duplicate repairs
+    /// when several receivers NAK the same loss): seq → time sent.
+    recent_retrans: HashMap<u64, Micros>,
+    /// Time of the stream's first publication.
+    started: Micros,
+    /// Time of the most recent publication.
+    last_pub_at: Micros,
+    /// Idle-digest rounds remaining (reset on every publication).
+    digests_left: u32,
+    retain: VecDeque<Envelope>,
+}
+
+struct InStream {
+    expected: u64,
+    /// Highest sequence number known to exist (seen or digested).
+    known_top: u64,
+    holdback: BTreeMap<u64, Envelope>,
+    /// When the current gap was first observed (None = no gap).
+    gap_since: Option<Micros>,
+}
+
+/// How long a retransmitted sequence suppresses further repairs of the
+/// same loss (several receivers NAKing one collision).
+const RETRANS_SUPPRESS_US: Micros = 20_000;
+
+/// The outbound half of reliable delivery.
+pub(super) struct Publisher {
+    streams: HashMap<(String, String), OutStream>,
+}
+
+impl Publisher {
+    pub(super) fn new() -> Publisher {
+        Publisher {
+            streams: HashMap::new(),
+        }
+    }
+
+    /// Stamps a publication with the next sequence number of its
+    /// (application, subject) stream, retaining a copy for
+    /// retransmission.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn sequence(
+        &mut self,
+        now: Micros,
+        host32: u32,
+        source: &PubSource,
+        subject: &str,
+        qos: QoS,
+        kind: EnvelopeKind,
+        corr: u64,
+        payload: Vec<u8>,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Envelope {
+        let key = (source.app.clone(), subject.to_owned());
+        let sync_rounds = cfg.sync_rounds;
+        let stream = self.streams.entry(key).or_insert(OutStream {
+            inc: source.inc,
+            next_seq: 1,
+            recent_retrans: HashMap::new(),
+            started: now,
+            last_pub_at: now,
+            digests_left: sync_rounds,
+            retain: VecDeque::new(),
+        });
+        stream.last_pub_at = now;
+        stream.digests_left = sync_rounds;
+        let env = Envelope {
+            stream: StreamKey {
+                host: host32,
+                app: source.app.clone(),
+                inc: stream.inc,
+            },
+            seq: stream.next_seq,
+            stream_start: stream.started,
+            subject: subject.to_owned(),
+            qos,
+            kind,
+            corr,
+            redelivery: false,
+            payload,
+        };
+        stream.next_seq += 1;
+        stream.retain.push_back(env.clone());
+        while stream.retain.len() > cfg.retain_per_stream {
+            stream.retain.pop_front();
+        }
+        stats.published += 1;
+        stats.published_bytes += env.payload.len() as u64;
+        env
+    }
+
+    /// Answers a NAK: broadcasts retained envelopes (one repair serves
+    /// every receiver that lost the frame), suppresses repairs already in
+    /// flight, and gap-skips sequences no longer retained or belonging to
+    /// an earlier incarnation.
+    pub(super) fn handle_nak(
+        &mut self,
+        now: Micros,
+        stream: StreamKey,
+        subject: String,
+        requester: u32,
+        missing: Vec<u64>,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        stats.naks_served += 1;
+        let key = (stream.app.clone(), subject.clone());
+        let known = self
+            .streams
+            .get(&key)
+            .is_some_and(|out| out.inc == stream.inc);
+        if !known {
+            // Unknown stream (for example, we restarted): tell the
+            // receiver to skip everything it asked for.
+            let through = missing.iter().copied().max().unwrap_or(0);
+            stats.gapskips_sent += 1;
+            actions.push(Action::Unicast {
+                host: requester,
+                packet: Packet::GapSkip {
+                    stream,
+                    subject,
+                    through,
+                },
+            });
+            return actions;
+        }
+        let out = self.streams.get_mut(&key).expect("checked above");
+        if std::env::var("IB_NAK_DEBUG").is_ok() {
+            let lo = out.retain.front().map(|e| e.seq).unwrap_or(0);
+            let hi = out.retain.back().map(|e| e.seq).unwrap_or(0);
+            eprintln!(
+                "NAK from {requester}: stream inc {} (out inc {}), missing {:?}, retention [{lo},{hi}]",
+                stream.inc, out.inc, &missing[..missing.len().min(5)]
+            );
+        }
+        out.recent_retrans
+            .retain(|_, at| now.saturating_sub(*at) < RETRANS_SUPPRESS_US);
+        let mut found: Vec<Envelope> = Vec::new();
+        let mut lost_max: u64 = 0;
+        for seq in &missing {
+            if out.recent_retrans.contains_key(seq) {
+                // Another receiver already triggered this repair; the
+                // broadcast retransmission serves everyone.
+                continue;
+            }
+            match out.retain.iter().find(|e| e.seq == *seq) {
+                Some(e) => {
+                    found.push(e.clone());
+                    out.recent_retrans.insert(*seq, now);
+                }
+                None => lost_max = lost_max.max(*seq),
+            }
+        }
+        if !found.is_empty() {
+            stats.retransmitted += found.len() as u64;
+            // Retransmissions are *broadcast*: when several receivers
+            // lost the same frame (a collision corrupts it for everyone),
+            // one retransmission repairs them all; receivers that already
+            // have the sequence drop it as a duplicate.
+            actions.push(Action::Broadcast(Packet::Data {
+                envelopes: found,
+                retrans: true,
+            }));
+        }
+        if lost_max > 0 {
+            stats.gapskips_sent += 1;
+            actions.push(Action::Unicast {
+                host: requester,
+                packet: Packet::GapSkip {
+                    stream,
+                    subject,
+                    through: lost_max,
+                },
+            });
+        }
+        actions
+    }
+
+    /// Broadcasts top-sequence digests for streams idle since the last
+    /// sync period, so receivers can detect tail losses, then re-arms the
+    /// sync timer.
+    pub(super) fn sync_round(&mut self, now: Micros, host32: u32, cfg: &BusConfig) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let period = cfg.sync_period_us;
+        let mut entries = Vec::new();
+        for ((app, subject), stream) in self.streams.iter_mut() {
+            if stream.digests_left == 0
+                || stream.next_seq == 1
+                || now.saturating_sub(stream.last_pub_at) < period
+            {
+                continue;
+            }
+            stream.digests_left -= 1;
+            entries.push(SyncEntry {
+                stream: StreamKey {
+                    host: host32,
+                    app: app.clone(),
+                    inc: stream.inc,
+                },
+                subject: subject.clone(),
+                top_seq: stream.next_seq - 1,
+                stream_start: stream.started,
+            });
+            if entries.len() >= 256 {
+                break;
+            }
+        }
+        if !entries.is_empty() {
+            actions.push(Action::Broadcast(Packet::SeqSync { entries }));
+        }
+        actions.push(Action::SetTimer {
+            delay_us: cfg.sync_period_us,
+            timer: TimerKind::Sync,
+        });
+        actions
+    }
+}
+
+/// The inbound half of reliable delivery.
+pub(super) struct Receiver {
+    streams: HashMap<(StreamKey, String), InStream>,
+}
+
+impl Receiver {
+    pub(super) fn new() -> Receiver {
+        Receiver {
+            streams: HashMap::new(),
+        }
+    }
+
+    /// Accepts an envelope from the wire: dedups, acknowledges guaranteed
+    /// envelopes, delivers in sender order, and holds back out-of-order
+    /// arrivals until the gap fills (or a gap-skip abandons it).
+    pub(super) fn accept(
+        &mut self,
+        now: Micros,
+        env: Envelope,
+        entitled: bool,
+        host32: u32,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let skey = (env.stream.clone(), env.subject.clone());
+        if !self.streams.contains_key(&skey) {
+            // First contact with this stream. If the stream began after
+            // our earliest matching subscription, we are entitled to it
+            // from sequence 1 (losses of early messages are NAKed);
+            // otherwise we are a late subscriber and take it from here.
+            let expected = if entitled { 1 } else { env.seq };
+            self.streams.insert(
+                skey.clone(),
+                InStream {
+                    expected,
+                    known_top: 0,
+                    holdback: BTreeMap::new(),
+                    gap_since: None,
+                },
+            );
+        }
+        let st = self.streams.get_mut(&skey).expect("just ensured");
+        st.known_top = st.known_top.max(env.seq);
+        if env.seq < st.expected {
+            if env.qos == QoS::Guaranteed {
+                actions.push(ack_action(&env, host32, stats));
+                if env.redelivery {
+                    // A guaranteed redelivery (ledger replay / repeated
+                    // retry): the consumer's delivery state may have been
+                    // lost with a restart, so deliver out of band rather
+                    // than dedup. At-least-once permits the duplicate.
+                    actions.push(Action::Deliver(env));
+                    return actions;
+                }
+            }
+            stats.dups_dropped += 1;
+            return actions;
+        }
+        if env.seq == st.expected {
+            st.expected += 1;
+            // Drain any consecutive held-back envelopes.
+            let mut ready = vec![env];
+            loop {
+                if let Some(e) = st.holdback.remove(&st.expected) {
+                    st.expected += 1;
+                    ready.push(e);
+                } else {
+                    let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
+                    st.gap_since = if gap { Some(now) } else { None };
+                    break;
+                }
+            }
+            for e in ready {
+                if e.qos == QoS::Guaranteed {
+                    actions.push(ack_action(&e, host32, stats));
+                }
+                actions.push(Action::Deliver(e));
+            }
+        } else {
+            if st.gap_since.is_none() {
+                st.gap_since = Some(now);
+            }
+            st.holdback.insert(env.seq, env);
+        }
+        actions
+    }
+
+    /// Handles a gap-skip from the publisher: abandons unavailable
+    /// sequences and drains whatever became deliverable.
+    pub(super) fn handle_gapskip(
+        &mut self,
+        now: Micros,
+        stream: StreamKey,
+        subject: String,
+        through: u64,
+        host32: u32,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let key = (stream, subject);
+        let Some(st) = self.streams.get_mut(&key) else {
+            return actions;
+        };
+        if through + 1 > st.expected {
+            stats.gaps_skipped += through + 1 - st.expected;
+            st.expected = through + 1;
+        }
+        // Drain anything now deliverable.
+        let mut ready = Vec::new();
+        while let Some(e) = st.holdback.remove(&st.expected) {
+            st.expected += 1;
+            ready.push(e);
+        }
+        let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
+        st.gap_since = if gap { Some(now) } else { None };
+        for e in ready {
+            if e.qos == QoS::Guaranteed {
+                actions.push(ack_action(&e, host32, stats));
+            }
+            actions.push(Action::Deliver(e));
+        }
+        actions
+    }
+
+    /// Handles one received stream digest: opens/extends gap detection
+    /// for tail losses. `sub_at` is the driver's earliest matching local
+    /// subscription time (`None` = nothing local cares).
+    pub(super) fn handle_digest(
+        &mut self,
+        now: Micros,
+        entry: SyncEntry,
+        sub_at: Option<Micros>,
+        host32: u32,
+        loopback: bool,
+    ) {
+        if !loopback && entry.stream.host == host32 {
+            return;
+        }
+        let Some(sub_at) = sub_at else {
+            return;
+        };
+        let skey = (entry.stream.clone(), entry.subject.clone());
+        if !self.streams.contains_key(&skey) {
+            // We never saw any message of this stream. If it began after
+            // we subscribed, we are entitled to all of it.
+            if entry.stream_start < sub_at {
+                return;
+            }
+            self.streams.insert(
+                skey.clone(),
+                InStream {
+                    expected: 1,
+                    known_top: 0,
+                    holdback: BTreeMap::new(),
+                    gap_since: None,
+                },
+            );
+        }
+        let st = self.streams.get_mut(&skey).expect("just ensured");
+        st.known_top = st.known_top.max(entry.top_seq);
+        if st.expected <= st.known_top && st.gap_since.is_none() {
+            st.gap_since = Some(now);
+        }
+    }
+
+    /// Scans in-streams for aged gaps, emits NAKs, and re-arms the scan
+    /// timer.
+    pub(super) fn scan_gaps(
+        &mut self,
+        now: Micros,
+        host32: u32,
+        cfg: &BusConfig,
+        stats: &mut BusStats,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut naks: Vec<Packet> = Vec::new();
+        for ((stream, subject), st) in self.streams.iter_mut() {
+            let Some(since) = st.gap_since else { continue };
+            if now.saturating_sub(since) < cfg.nak_delay_us {
+                continue;
+            }
+            let first_held = st.holdback.keys().next().copied();
+            let end = match first_held {
+                Some(k) => k,
+                None => st.known_top + 1,
+            };
+            let missing: Vec<u64> = (st.expected..end).take(64).collect();
+            if missing.is_empty() {
+                st.gap_since = None;
+                continue;
+            }
+            st.gap_since = Some(now); // re-NAK next period if still missing
+            naks.push(Packet::Nak {
+                stream: stream.clone(),
+                subject: subject.clone(),
+                requester: host32,
+                missing,
+            });
+        }
+        for nak in naks {
+            if let Packet::Nak { ref stream, .. } = nak {
+                let host = stream.host;
+                stats.naks_sent += 1;
+                actions.push(Action::Unicast { host, packet: nak });
+            }
+        }
+        actions.push(Action::SetTimer {
+            delay_us: cfg.nak_check_us,
+            timer: TimerKind::NakScan,
+        });
+        actions
+    }
+}
+
+/// Builds the unicast acknowledgment for a guaranteed envelope.
+fn ack_action(env: &Envelope, host32: u32, stats: &mut BusStats) -> Action {
+    stats.acks_sent += 1;
+    Action::Unicast {
+        host: env.stream.host,
+        packet: Packet::Ack {
+            stream: env.stream.clone(),
+            subject: env.subject.clone(),
+            seq: env.seq,
+            from_host: host32,
+        },
+    }
+}

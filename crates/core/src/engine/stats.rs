@@ -1,0 +1,303 @@
+//! Protocol counters: the observability face of the engine.
+//!
+//! [`BusStats`] is maintained by the pure protocol engine and read by
+//! drivers, tests, and the bench harness. A snapshot converts to a
+//! self-describing [`DataObject`] with [`BusStats::to_object`]; the netsim
+//! daemon publishes that object periodically on
+//! `_INBUS.STATS.<host>.<daemon>` (see
+//! [`STATS_SUBJECT_PREFIX`]).
+
+use infobus_types::{DataObject, TypeDescriptor, TypeRegistry, Value, ValueType};
+
+use super::Micros;
+
+/// Reserved subject prefix of the observability plane: every daemon with
+/// [`BusConfig::stats_period_us`](crate::BusConfig::stats_period_us) set
+/// publishes its [`BusStats`] snapshot on `_INBUS.STATS.<host>.<daemon>`.
+/// Subscribe to `_INBUS.STATS.>` to watch the whole bus.
+pub const STATS_SUBJECT_PREFIX: &str = "_INBUS.STATS";
+
+/// A small fixed-bucket histogram of RMI call latencies (request issue
+/// to reply delivery, in microseconds).
+///
+/// Bucket upper bounds are [`RmiLatency::BOUNDS_US`]; the final bucket is
+/// unbounded. The histogram also tracks count and sum, so the mean
+/// survives the trip through a stats snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RmiLatency {
+    buckets: [u64; 8],
+    count: u64,
+    sum_us: u64,
+}
+
+impl RmiLatency {
+    /// Upper bounds (inclusive, µs) of the first seven buckets; the
+    /// eighth bucket collects everything slower.
+    pub const BOUNDS_US: [u64; 7] = [1_000, 2_000, 5_000, 10_000, 50_000, 200_000, 1_000_000];
+
+    /// Records one completed call's latency.
+    pub fn record(&mut self, us: Micros) {
+        let idx = Self::BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(Self::BOUNDS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Per-bucket counts (aligned with [`RmiLatency::BOUNDS_US`] plus the
+    /// overflow bucket).
+    pub fn buckets(&self) -> &[u64; 8] {
+        &self.buckets
+    }
+
+    /// Number of recorded calls.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Counters exposed by a daemon (used by tests and the bench harness).
+///
+/// A snapshot converts to a self-describing [`DataObject`] with
+/// [`BusStats::to_object`]; daemons with
+/// [`BusConfig::stats_period_us`](crate::BusConfig::stats_period_us) set
+/// publish that object periodically on `_INBUS.STATS.<host>.<daemon>`
+/// (see [`STATS_SUBJECT_PREFIX`]).
+#[derive(Debug, Clone, Default)]
+pub struct BusStats {
+    /// Envelopes published by local applications.
+    pub published: u64,
+    /// Payload bytes published by local applications.
+    pub published_bytes: u64,
+    /// Messages delivered to local applications.
+    pub delivered: u64,
+    /// Payload bytes delivered to local applications.
+    pub delivered_bytes: u64,
+    /// Broadcast envelopes ignored because nothing local matched.
+    pub filtered: u64,
+    /// NAKs sent (gaps detected).
+    pub naks_sent: u64,
+    /// NAK packets received and answered as a publisher.
+    pub naks_served: u64,
+    /// Envelopes retransmitted in answer to NAKs.
+    pub retransmitted: u64,
+    /// Gap-skips issued (history no longer retained).
+    pub gapskips_sent: u64,
+    /// Sequences abandoned after a gap-skip (at-most-once path).
+    pub gaps_skipped: u64,
+    /// Duplicate envelopes dropped.
+    pub dups_dropped: u64,
+    /// Acks sent for guaranteed envelopes.
+    pub acks_sent: u64,
+    /// Acks received for guaranteed envelopes we published.
+    pub gd_acks_received: u64,
+    /// Guaranteed envelopes currently pending acknowledgment.
+    pub gd_pending: u64,
+    /// Guaranteed envelopes fully acknowledged and released.
+    pub gd_completed: u64,
+    /// Guaranteed retransmission rounds performed.
+    pub gd_retries: u64,
+    /// Envelopes whose payload failed to unmarshal.
+    pub unmarshal_errors: u64,
+    /// Batches flushed to the wire.
+    pub batch_flushes: u64,
+    /// Envelopes carried by those batches (mean occupancy =
+    /// [`BusStats::mean_batch_occupancy`]).
+    pub batch_envelopes: u64,
+    /// Discovery rounds started by local applications.
+    pub discovery_rounds: u64,
+    /// RMI calls issued by local applications.
+    pub rmi_calls: u64,
+    /// RMI requests served.
+    pub rmi_served: u64,
+    /// RMI duplicate requests answered from the dedup cache.
+    pub rmi_deduped: u64,
+    /// Latency histogram of completed RMI calls.
+    pub rmi_latency: RmiLatency,
+    /// Envelopes forwarded over information-router links.
+    pub router_forwarded: u64,
+    /// Stats snapshots published on the observability plane.
+    pub stats_published: u64,
+}
+
+/// Attribute names of the `"BusStats"` descriptor, in declaration order.
+/// One source of truth for registration, `to_object`, and `from_object`.
+const STATS_COUNTERS: &[&str] = &[
+    "published",
+    "published_bytes",
+    "delivered",
+    "delivered_bytes",
+    "filtered",
+    "naks_sent",
+    "naks_served",
+    "retransmitted",
+    "gapskips_sent",
+    "gaps_skipped",
+    "dups_dropped",
+    "acks_sent",
+    "gd_acks_received",
+    "gd_pending",
+    "gd_completed",
+    "gd_retries",
+    "unmarshal_errors",
+    "batch_flushes",
+    "batch_envelopes",
+    "discovery_rounds",
+    "rmi_calls",
+    "rmi_served",
+    "rmi_deduped",
+    "router_forwarded",
+    "stats_published",
+];
+
+impl BusStats {
+    /// Mean envelopes per flushed batch (0 when batching never flushed).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            0.0
+        } else {
+            self.batch_envelopes as f64 / self.batch_flushes as f64
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        match name {
+            "published" => self.published,
+            "published_bytes" => self.published_bytes,
+            "delivered" => self.delivered,
+            "delivered_bytes" => self.delivered_bytes,
+            "filtered" => self.filtered,
+            "naks_sent" => self.naks_sent,
+            "naks_served" => self.naks_served,
+            "retransmitted" => self.retransmitted,
+            "gapskips_sent" => self.gapskips_sent,
+            "gaps_skipped" => self.gaps_skipped,
+            "dups_dropped" => self.dups_dropped,
+            "acks_sent" => self.acks_sent,
+            "gd_acks_received" => self.gd_acks_received,
+            "gd_pending" => self.gd_pending,
+            "gd_completed" => self.gd_completed,
+            "gd_retries" => self.gd_retries,
+            "unmarshal_errors" => self.unmarshal_errors,
+            "batch_flushes" => self.batch_flushes,
+            "batch_envelopes" => self.batch_envelopes,
+            "discovery_rounds" => self.discovery_rounds,
+            "rmi_calls" => self.rmi_calls,
+            "rmi_served" => self.rmi_served,
+            "rmi_deduped" => self.rmi_deduped,
+            "router_forwarded" => self.router_forwarded,
+            "stats_published" => self.stats_published,
+            _ => 0,
+        }
+    }
+
+    fn counter_mut(&mut self, name: &str) -> Option<&mut u64> {
+        Some(match name {
+            "published" => &mut self.published,
+            "published_bytes" => &mut self.published_bytes,
+            "delivered" => &mut self.delivered,
+            "delivered_bytes" => &mut self.delivered_bytes,
+            "filtered" => &mut self.filtered,
+            "naks_sent" => &mut self.naks_sent,
+            "naks_served" => &mut self.naks_served,
+            "retransmitted" => &mut self.retransmitted,
+            "gapskips_sent" => &mut self.gapskips_sent,
+            "gaps_skipped" => &mut self.gaps_skipped,
+            "dups_dropped" => &mut self.dups_dropped,
+            "acks_sent" => &mut self.acks_sent,
+            "gd_acks_received" => &mut self.gd_acks_received,
+            "gd_pending" => &mut self.gd_pending,
+            "gd_completed" => &mut self.gd_completed,
+            "gd_retries" => &mut self.gd_retries,
+            "unmarshal_errors" => &mut self.unmarshal_errors,
+            "batch_flushes" => &mut self.batch_flushes,
+            "batch_envelopes" => &mut self.batch_envelopes,
+            "discovery_rounds" => &mut self.discovery_rounds,
+            "rmi_calls" => &mut self.rmi_calls,
+            "rmi_served" => &mut self.rmi_served,
+            "rmi_deduped" => &mut self.rmi_deduped,
+            "router_forwarded" => &mut self.router_forwarded,
+            "stats_published" => &mut self.stats_published,
+            _ => return None,
+        })
+    }
+
+    /// Registers the `"BusStats"` type descriptor (idempotent). Every
+    /// daemon does this at start-up, so published snapshots travel
+    /// self-describing and validate at any receiver.
+    pub fn register_type(reg: &mut TypeRegistry) {
+        if reg.contains("BusStats") {
+            return;
+        }
+        let mut b = TypeDescriptor::builder("BusStats")
+            .attribute("host", ValueType::Str)
+            .attribute("daemon", ValueType::Str)
+            .attribute("at_us", ValueType::I64);
+        for name in STATS_COUNTERS {
+            b = b.attribute(*name, ValueType::I64);
+        }
+        let b = b
+            .attribute("rmi_latency_buckets", ValueType::list_of(ValueType::I64))
+            .attribute("rmi_latency_count", ValueType::I64)
+            .attribute("rmi_latency_sum_us", ValueType::I64);
+        reg.register(b.build())
+            .expect("BusStats descriptor is well-formed");
+    }
+
+    /// Converts the snapshot into a self-describing `"BusStats"` object
+    /// stamped with the daemon's identity and the snapshot time.
+    pub fn to_object(&self, host: &str, daemon: &str, at_us: Micros) -> DataObject {
+        let mut obj = DataObject::new("BusStats")
+            .with("host", host)
+            .with("daemon", daemon)
+            .with("at_us", at_us as i64);
+        for name in STATS_COUNTERS {
+            obj.set(*name, self.counter(name) as i64);
+        }
+        obj.set(
+            "rmi_latency_buckets",
+            Value::List(
+                self.rmi_latency
+                    .buckets
+                    .iter()
+                    .map(|&c| Value::I64(c as i64))
+                    .collect(),
+            ),
+        );
+        obj.set("rmi_latency_count", self.rmi_latency.count as i64);
+        obj.set("rmi_latency_sum_us", self.rmi_latency.sum_us as i64);
+        obj
+    }
+
+    /// Reconstructs a snapshot from a `"BusStats"` object (the inverse of
+    /// [`BusStats::to_object`]); `None` if the object is not one.
+    pub fn from_object(obj: &DataObject) -> Option<BusStats> {
+        if obj.type_name() != "BusStats" {
+            return None;
+        }
+        let mut stats = BusStats::default();
+        for name in STATS_COUNTERS {
+            let v = obj.get(name)?.as_i64()?;
+            *stats.counter_mut(name)? = v as u64;
+        }
+        if let Some(items) = obj.get("rmi_latency_buckets").and_then(Value::as_list) {
+            for (slot, v) in stats.rmi_latency.buckets.iter_mut().zip(items) {
+                *slot = v.as_i64()? as u64;
+            }
+        }
+        stats.rmi_latency.count = obj.get("rmi_latency_count")?.as_i64()? as u64;
+        stats.rmi_latency.sum_us = obj.get("rmi_latency_sum_us")?.as_i64()? as u64;
+        Some(stats)
+    }
+}

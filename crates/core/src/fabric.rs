@@ -6,7 +6,8 @@ use infobus_netsim::{HostId, ProcId, Sim};
 
 use crate::app::BusApp;
 use crate::config::BusConfig;
-use crate::daemon::{BusDaemon, BusStats};
+use crate::daemon::BusDaemon;
+use crate::engine::BusStats;
 
 /// Command: attach an application to a daemon.
 pub(crate) struct AttachApp {

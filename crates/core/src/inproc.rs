@@ -2,10 +2,17 @@
 //!
 //! The simulator measures the protocol in *virtual* time; this module
 //! lets the microbenchmark harness measure the real wall-clock cost of
-//! the data path —
-//! marshalling, subject-trie matching, and hand-off — with actual threads
-//! and channels. It deliberately reuses the same wire format and subject
-//! matcher as the simulated bus.
+//! the data path — marshalling, reliable-layer sequencing, subject-trie
+//! matching, and hand-off — with actual threads and channels.
+//!
+//! The bus is a second driver of the same sans-I/O
+//! [`Engine`](crate::engine) the simulated daemon runs: every publication
+//! is sequenced into an [`Envelope`], the
+//! resulting broadcast action is looped straight back into the engine's
+//! receive path (loopback mode), and only envelopes the reliable layer
+//! releases *in order* reach subscriber channels. Duplicates injected by
+//! a buggy caller would be dropped, exactly as on the wire. Protocol time
+//! is a monotonic counter — the engine never reads a clock.
 //!
 //! # Examples
 //!
@@ -14,22 +21,26 @@
 //! use infobus_types::Value;
 //!
 //! let bus = InprocBus::new();
-//! let rx = bus.subscribe("news.>").unwrap();
+//! let (_sub, rx) = bus.subscribe("news.>").unwrap();
 //! bus.publish("news.equity.gmc", &Value::str("hello")).unwrap();
 //! let msg = rx.recv().unwrap();
 //! assert_eq!(msg.subject, "news.equity.gmc");
 //! assert_eq!(msg.value().unwrap(), Value::str("hello"));
 //! ```
 
-use std::sync::Arc;
-
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
 use infobus_types::{wire, TypeRegistry, Value, WireError};
 
-use crate::BusError;
+use crate::app::SubscriptionHandle;
+use crate::config::BusConfig;
+use crate::engine::{Action, BusStats, Engine, Event, Micros, PubSource};
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::msg::Packet;
+use crate::{BusError, QoS};
 
 /// A message delivered by the in-process bus: the subject plus the
 /// marshalled payload (unmarshal lazily with [`InprocMessage::value`]).
@@ -66,17 +77,27 @@ impl InprocMessage {
     }
 }
 
+/// The single-node host id the in-process engine publishes under.
+const INPROC_HOST: u32 = 1;
+
 struct Inner {
+    /// The protocol engine, in loopback mode: broadcasts from our own
+    /// host are accepted back into the receive path.
+    engine: Mutex<Engine>,
     trie: RwLock<SubjectTrie<Sender<InprocMessage>>>,
     registry: Mutex<TypeRegistry>,
+    /// Monotonic protocol time (the engine is sans-I/O and never reads a
+    /// clock; one tick per publication is plenty for a lossless loop).
+    now: AtomicU64,
 }
 
-/// A thread-safe publish/subscribe bus within one process.
+/// A thread-safe publish/subscribe bus within one process, driving the
+/// same protocol [`Engine`] as the simulated daemon.
 ///
 /// `publish` runs the full data path — self-describing marshalling,
-/// subject-trie matching, per-subscriber channel hand-off — on the
-/// calling thread; subscribers receive on mpsc channels from any other
-/// thread.
+/// reliable-layer sequencing, loopback receive, subject-trie matching,
+/// per-subscriber channel hand-off — on the calling thread; subscribers
+/// receive on mpsc channels from any other thread.
 #[derive(Clone)]
 pub struct InprocBus {
     inner: Arc<Inner>,
@@ -87,8 +108,10 @@ impl InprocBus {
     pub fn new() -> Self {
         InprocBus {
             inner: Arc::new(Inner {
+                engine: Mutex::new(Engine::new_loopback(BusConfig::default(), INPROC_HOST)),
                 trie: RwLock::new(SubjectTrie::new()),
                 registry: Mutex::new(TypeRegistry::with_fundamentals()),
+                now: AtomicU64::new(0),
             }),
         }
     }
@@ -108,31 +131,16 @@ impl InprocBus {
     }
 
     /// Subscribes to a filter; matching publications arrive on the
-    /// returned channel.
+    /// returned channel, and the [`SubscriptionHandle`] cancels the
+    /// subscription when passed to [`InprocBus::unsubscribe`].
     ///
     /// # Errors
     ///
     /// Returns [`BusError::Subject`] for malformed filters.
-    pub fn subscribe(&self, filter: &str) -> Result<Receiver<InprocMessage>, BusError> {
-        let filter = SubjectFilter::new(filter)?;
-        let (tx, rx) = channel();
-        self.inner
-            .trie
-            .write()
-            .expect("lock poisoned")
-            .insert(&filter, tx);
-        Ok(rx)
-    }
-
-    /// Subscribes and also returns the subscription id for later removal.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BusError::Subject`] for malformed filters.
-    pub fn subscribe_with_id(
+    pub fn subscribe(
         &self,
         filter: &str,
-    ) -> Result<(SubscriptionId, Receiver<InprocMessage>), BusError> {
+    ) -> Result<(SubscriptionHandle, Receiver<InprocMessage>), BusError> {
         let filter = SubjectFilter::new(filter)?;
         let (tx, rx) = channel();
         let id = self
@@ -141,45 +149,148 @@ impl InprocBus {
             .write()
             .expect("lock poisoned")
             .insert(&filter, tx);
-        Ok((id, rx))
+        Ok((SubscriptionHandle(id), rx))
     }
 
     /// Removes a subscription (its channel closes once drained).
-    pub fn unsubscribe(&self, id: SubscriptionId) {
-        self.inner.trie.write().expect("lock poisoned").remove(id);
+    pub fn unsubscribe(&self, handle: SubscriptionHandle) {
+        self.inner
+            .trie
+            .write()
+            .expect("lock poisoned")
+            .remove(handle.0);
     }
 
-    /// Publishes a value; delivers to every matching subscriber.
+    /// Publishes a value; the reliable layer sequences it and delivers to
+    /// every matching subscriber in publication order.
     /// Returns the number of subscribers the message was handed to.
     ///
     /// # Errors
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
-        let subject_parsed = Subject::new(subject)?;
+        Subject::new(subject)?;
         let payload = {
             let registry = self.inner.registry.lock().expect("lock poisoned");
             wire::marshal_self_describing(value, &registry)
                 .map_err(|e| BusError::Marshal(e.to_string()))?
         };
-        let payload = Arc::new(payload);
-        let trie = self.inner.trie.read().expect("lock poisoned");
-        let mut delivered = 0usize;
-        for (_, tx) in trie.matches(&subject_parsed) {
-            let msg = InprocMessage {
+        let now = self.inner.now.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut engine = self.inner.engine.lock().expect("lock poisoned");
+        let actions = engine.handle(
+            now,
+            Event::Publish {
+                source: PubSource {
+                    app: "inproc".to_owned(),
+                    inc: 1,
+                },
                 subject: subject.to_owned(),
+                qos: QoS::Reliable,
+                kind: EnvelopeKind::Data,
+                corr: 0,
+                payload,
+            },
+        );
+        let mut delivered = 0usize;
+        self.loopback(&mut engine, now, actions, &mut delivered);
+        Ok(delivered)
+    }
+
+    /// Performs engine actions in loopback: broadcasts feed straight back
+    /// into the engine's receive path, acks loop to the publisher side,
+    /// and deliveries fan out to subscriber channels. Timers and the
+    /// non-volatile ledger have no substrate here and are dropped — with
+    /// a lossless in-memory loop there is never a gap to scan for.
+    fn loopback(
+        &self,
+        engine: &mut Engine,
+        now: Micros,
+        actions: Vec<Action>,
+        delivered: &mut usize,
+    ) {
+        for action in actions {
+            match action {
+                Action::Broadcast(Packet::Data { envelopes, .. }) => {
+                    for env in envelopes {
+                        let next = engine.handle(
+                            now,
+                            Event::Envelope {
+                                env,
+                                entitled: true,
+                            },
+                        );
+                        self.loopback(engine, now, next, delivered);
+                    }
+                }
+                Action::Broadcast(_) => {}
+                Action::Unicast { packet, .. } => {
+                    if let Packet::Ack {
+                        stream,
+                        subject,
+                        seq,
+                        from_host,
+                    } = packet
+                    {
+                        let next = engine.handle(
+                            now,
+                            Event::Ack {
+                                stream,
+                                subject,
+                                seq,
+                                from_host,
+                            },
+                        );
+                        self.loopback(engine, now, next, delivered);
+                    }
+                }
+                Action::Deliver(env) => {
+                    *delivered += self.fan_out(engine, &env);
+                }
+                Action::DeliverGd(env) => {
+                    if self.fan_out(engine, &env) > 0 {
+                        engine.gd_local_done(&env);
+                    }
+                }
+                Action::SetTimer { .. } | Action::Persist { .. } | Action::Unpersist { .. } => {}
+            }
+        }
+    }
+
+    /// Hands an in-order envelope to every matching subscriber channel.
+    fn fan_out(&self, engine: &mut Engine, env: &Envelope) -> usize {
+        let Ok(subject) = Subject::new(&env.subject) else {
+            return 0;
+        };
+        let payload = Arc::new(env.payload.clone());
+        let trie = self.inner.trie.read().expect("lock poisoned");
+        let mut count = 0usize;
+        for (_, tx) in trie.matches(&subject) {
+            let msg = InprocMessage {
+                subject: env.subject.clone(),
                 payload: payload.clone(),
             };
             if tx.send(msg).is_ok() {
-                delivered += 1;
+                count += 1;
             }
         }
-        Ok(delivered)
+        engine.stats.delivered += count as u64;
+        engine.stats.delivered_bytes += (env.payload.len() * count) as u64;
+        count
     }
 
     /// Number of active subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.inner.trie.read().expect("lock poisoned").len()
+    }
+
+    /// A snapshot of the engine's protocol counters.
+    pub fn stats(&self) -> BusStats {
+        self.inner
+            .engine
+            .lock()
+            .expect("lock poisoned")
+            .stats
+            .clone()
     }
 }
 
@@ -198,7 +309,7 @@ mod tests {
     #[test]
     fn publish_subscribe_round_trip() {
         let bus = InprocBus::new();
-        let rx = bus.subscribe("a.>").unwrap();
+        let (_sub, rx) = bus.subscribe("a.>").unwrap();
         let n = bus.publish("a.b", &Value::I64(7)).unwrap();
         assert_eq!(n, 1);
         assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(7));
@@ -207,16 +318,16 @@ mod tests {
     #[test]
     fn no_subscriber_no_delivery() {
         let bus = InprocBus::new();
-        let _rx = bus.subscribe("a.b").unwrap();
+        let (_sub, _rx) = bus.subscribe("a.b").unwrap();
         assert_eq!(bus.publish("a.c", &Value::Nil).unwrap(), 0);
     }
 
     #[test]
     fn unsubscribe_stops_delivery() {
         let bus = InprocBus::new();
-        let (id, rx) = bus.subscribe_with_id("x.*").unwrap();
+        let (sub, rx) = bus.subscribe("x.*").unwrap();
         bus.publish("x.1", &Value::Bool(true)).unwrap();
-        bus.unsubscribe(id);
+        bus.unsubscribe(sub);
         assert_eq!(bus.publish("x.1", &Value::Bool(true)).unwrap(), 0);
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(bus.subscription_count(), 0);
@@ -225,7 +336,7 @@ mod tests {
     #[test]
     fn cross_thread_delivery() {
         let bus = InprocBus::new();
-        let rx = bus.subscribe("t.>").unwrap();
+        let (_sub, rx) = bus.subscribe("t.>").unwrap();
         let publisher = {
             let bus = bus.clone();
             thread::spawn(move || {
@@ -258,11 +369,26 @@ mod tests {
                 .build(),
         )
         .unwrap();
-        let rx = bus.subscribe("quotes.gmc").unwrap();
+        let (_sub, rx) = bus.subscribe("quotes.gmc").unwrap();
         let obj = DataObject::new("Quote").with("px", 12.5f64);
         bus.publish("quotes.gmc", &Value::object(obj.clone()))
             .unwrap();
         let got = rx.recv().unwrap().value().unwrap();
         assert_eq!(got.as_object().unwrap(), &obj);
+    }
+
+    #[test]
+    fn engine_sequences_publications() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus.subscribe("s.>").unwrap();
+        for i in 0..10i64 {
+            bus.publish("s.k", &Value::I64(i)).unwrap();
+        }
+        let got: Vec<Value> = rx.try_iter().map(|m| m.value().unwrap()).collect();
+        assert_eq!(got, (0..10).map(Value::I64).collect::<Vec<_>>());
+        let stats = bus.stats();
+        assert_eq!(stats.published, 10);
+        assert_eq!(stats.delivered, 10);
+        assert_eq!(stats.dups_dropped, 0);
     }
 }

@@ -1,0 +1,207 @@
+//! Interest management: the local subject trie, debounced subscription
+//! announcements, and the peer-daemon gossip tables.
+//!
+//! This is driver state, not engine state: the trie routes deliveries to
+//! application slots, and announcements ride the simulated broadcast
+//! segment. The engine only sees the *derived* facts (entitlement
+//! verdicts, per-subject interest snapshots).
+
+use std::collections::HashSet;
+
+use infobus_netsim::Ctx;
+use infobus_subject::{Subject, SubjectFilter, SubscriptionId};
+use infobus_types::Value;
+
+use crate::daemon::DaemonState;
+use crate::engine::Micros;
+use crate::msg::Packet;
+
+/// What a trie entry routes to.
+#[derive(Debug, Clone)]
+pub(crate) enum SubTarget {
+    /// A data subscription of a local application.
+    App { app_idx: usize },
+    /// A discovery responder ("I am") with its announced info.
+    Responder { app_idx: usize, info: Value },
+    /// A locally exported service (answers RMI queries on the subject).
+    Service { svc_idx: usize },
+    /// A transient control subscription for a pending discovery or RMI
+    /// call (lets offer/announce envelopes through the interest filter).
+    Control,
+}
+
+/// Debounce delay for subscription announcements.
+const ANN_FLUSH_DELAY_US: Micros = 5_000;
+
+impl DaemonState {
+    fn announce_add(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
+        let is_new = {
+            let count = self
+                .my_filters
+                .entry(filter.as_str().to_owned())
+                .or_insert(0);
+            *count += 1;
+            *count == 1
+        };
+        if is_new {
+            self.pending_announce_add.push(filter.as_str().to_owned());
+            self.arm_announce_flush(net);
+        }
+    }
+
+    /// Debounces announcements: thousands of subscriptions made in one
+    /// handler (Figure 8's 10,000-subject consumers) travel in one packet.
+    fn arm_announce_flush(&mut self, net: &mut Ctx<'_>) {
+        if !self.announce_flush_armed {
+            self.announce_flush_armed = true;
+            net.set_timer(ANN_FLUSH_DELAY_US, crate::daemon::TOK_ANN_FLUSH);
+        }
+    }
+
+    pub(crate) fn flush_announcements(&mut self, net: &mut Ctx<'_>) {
+        self.announce_flush_armed = false;
+        if self.pending_announce_add.is_empty() && self.pending_announce_remove.is_empty() {
+            return;
+        }
+        let add = std::mem::take(&mut self.pending_announce_add);
+        let remove = std::mem::take(&mut self.pending_announce_remove);
+        self.send_packet_broadcast(
+            net,
+            &Packet::SubAnnounce {
+                host: self.host32,
+                full: false,
+                add,
+                remove,
+            },
+        );
+    }
+
+    fn announce_remove(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
+        let now_zero = match self.my_filters.get_mut(filter.as_str()) {
+            Some(count) => {
+                *count -= 1;
+                *count == 0
+            }
+            None => false,
+        };
+        if now_zero {
+            self.my_filters.remove(filter.as_str());
+            self.pending_announce_remove
+                .push(filter.as_str().to_owned());
+            self.arm_announce_flush(net);
+        }
+    }
+
+    pub(crate) fn announce_full(&mut self, net: &mut Ctx<'_>) {
+        let add: Vec<String> = self.my_filters.keys().cloned().collect();
+        self.send_packet_broadcast(
+            net,
+            &Packet::SubAnnounce {
+                host: self.host32,
+                full: true,
+                add,
+                remove: vec![],
+            },
+        );
+    }
+
+    pub(crate) fn subscribe_app(
+        &mut self,
+        net: &mut Ctx<'_>,
+        app_idx: usize,
+        filter: &SubjectFilter,
+    ) -> SubscriptionId {
+        let id = self.trie.insert(filter, SubTarget::App { app_idx });
+        self.sub_times.insert(id, net.now());
+        if let Some(Some(meta)) = self.app_meta.get_mut(app_idx) {
+            meta.subs.push(id);
+        }
+        self.announce_add(net, filter);
+        id
+    }
+
+    pub(crate) fn subscribe_internal(
+        &mut self,
+        net: &mut Ctx<'_>,
+        filter: &SubjectFilter,
+        target: SubTarget,
+    ) -> SubscriptionId {
+        let id = self.trie.insert(filter, target);
+        self.sub_times.insert(id, net.now());
+        self.announce_add(net, filter);
+        id
+    }
+
+    pub(crate) fn unsubscribe(&mut self, net: &mut Ctx<'_>, id: SubscriptionId) {
+        let mut filter: Option<SubjectFilter> = None;
+        self.trie.for_each(|sid, f, _| {
+            if sid == id {
+                filter = Some(f.clone());
+            }
+        });
+        if self.trie.remove(id).is_some() {
+            self.sub_times.remove(&id);
+            if let Some(f) = filter {
+                self.announce_remove(net, &f);
+            }
+            for meta in self.app_meta.iter_mut().flatten() {
+                meta.subs.retain(|s| *s != id);
+            }
+        }
+    }
+
+    pub(crate) fn known_subscriptions(&self) -> Vec<SubjectFilter> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut out = Vec::new();
+        for f in self.my_filters.keys() {
+            if seen.insert(f.clone()) {
+                if let Ok(filter) = SubjectFilter::new(f) {
+                    out.push(filter);
+                }
+            }
+        }
+        for peers in self.peer_subs.values() {
+            for (s, f) in peers {
+                if seen.insert(s.clone()) {
+                    out.push(f.clone());
+                }
+            }
+        }
+        out.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        out
+    }
+
+    /// The earliest creation time among local subscriptions matching
+    /// `subject` (data, control, responder, or service entries alike).
+    /// Feeds the engine's first-contact entitlement checks.
+    pub(crate) fn earliest_matching_sub(&self, subject: &Subject) -> Option<Micros> {
+        self.trie
+            .matches(subject)
+            .filter_map(|(id, _)| self.sub_times.get(&id).copied())
+            .min()
+    }
+
+    pub(crate) fn handle_sub_announce(
+        &mut self,
+        host: u32,
+        full: bool,
+        add: Vec<String>,
+        remove: Vec<String>,
+    ) {
+        if host == self.host32 {
+            return;
+        }
+        let entry = self.peer_subs.entry(host).or_default();
+        if full {
+            entry.clear();
+        }
+        for f in add {
+            if let Ok(filter) = SubjectFilter::new(&f) {
+                entry.insert(f, filter);
+            }
+        }
+        for f in remove {
+            entry.remove(&f);
+        }
+    }
+}

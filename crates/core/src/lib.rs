@@ -38,26 +38,37 @@
 //! implement [`BusApp`]. The driver-side [`BusFabric`] installs daemons
 //! and attaches applications inside a simulation.
 //!
-//! A second, real-thread transport ([`inproc`]) carries the same
-//! envelopes between OS threads and is used by the wall-clock
-//! microbenchmarks.
+//! The protocol itself — sequencing, NAK repair, guaranteed-delivery
+//! ledgers, batching, discovery correlation — lives in the sans-I/O
+//! [`engine`] module as pure state machines consuming `(now, Event)` and
+//! emitting `Action`s. Two transports drive the same engine: the netsim
+//! daemon ([`BusDaemon`]) and the real-thread in-process bus
+//! ([`inproc`]), which carries the same envelopes between OS threads and
+//! is used by the wall-clock microbenchmarks. New transports implement
+//! [`engine::Transport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod app;
+mod apps;
+mod calls;
 mod config;
 mod daemon;
+pub mod engine;
 mod envelope;
 mod fabric;
 pub mod inproc;
-mod msg;
+mod interest;
+mod links;
+pub mod msg;
 mod rmi;
 pub mod router;
 
 pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply, SubscriptionHandle};
 pub use config::BusConfig;
-pub use daemon::{BusDaemon, BusStats, RmiLatency, DAEMON_PORT, RMI_PORT, STATS_SUBJECT_PREFIX};
+pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
+pub use engine::{BusStats, RmiLatency, STATS_SUBJECT_PREFIX};
 pub use envelope::{Envelope, EnvelopeKind, StreamKey};
 pub use fabric::BusFabric;
 pub use rmi::{CallId, RetryMode, RmiError, SelectionPolicy, ServiceObject};

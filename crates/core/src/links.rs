@@ -1,0 +1,175 @@
+//! Information-router links: application-level bridges that splice bus
+//! segments into the illusion of one large bus, forwarding only subjects
+//! the remote side subscribes to.
+
+use std::collections::HashSet;
+
+use infobus_netsim::{ConnId, Ctx, SockAddr};
+use infobus_subject::{Subject, SubjectFilter};
+
+use crate::daemon::{DaemonState, RMI_PORT};
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::msg::RouterMsg;
+use crate::router::RewriteRule;
+
+/// One information-router link to a peer bus.
+pub(crate) struct RouterLink {
+    /// Peer daemon's host (kept for tracing/diagnostics).
+    #[allow(dead_code)]
+    peer_host: u32,
+    /// The remote bus's aggregate subscription set (what to forward).
+    subs: Vec<SubjectFilter>,
+    /// Subject rewriting applied to publications we forward out.
+    rewrite: Option<RewriteRule>,
+}
+
+impl DaemonState {
+    pub(crate) fn link_interested(&self, subject: &Subject) -> bool {
+        self.router_links
+            .values()
+            .any(|link| link_wants(link, subject).is_some())
+    }
+
+    /// Forwards a data envelope over every link whose remote side
+    /// subscribes to its subject, except `from_link` (split horizon).
+    pub(crate) fn maybe_forward(
+        &mut self,
+        net: &mut Ctx<'_>,
+        env: &Envelope,
+        from_link: Option<ConnId>,
+    ) {
+        if env.kind != EnvelopeKind::Data {
+            return;
+        }
+        let Ok(subject) = Subject::new(&env.subject) else {
+            return;
+        };
+        let targets: Vec<(ConnId, String)> = self
+            .router_links
+            .iter()
+            .filter(|(conn, _)| Some(**conn) != from_link)
+            .filter_map(|(conn, link)| link_wants(link, &subject).map(|s| (*conn, s)))
+            .collect();
+        self.engine.stats.router_forwarded += targets.len() as u64;
+        for (conn, forwarded_subject) in targets {
+            let mut fwd = env.clone();
+            fwd.subject = forwarded_subject;
+            let _ = net.conn_send(conn, RouterMsg::Forward { env: fwd }.encode());
+        }
+    }
+
+    /// Opens a router link to a peer daemon (driver command).
+    pub(crate) fn open_link(&mut self, net: &mut Ctx<'_>, peer: u32, rewrite: Option<RewriteRule>) {
+        let conn = net.connect(SockAddr::new(infobus_netsim::HostId(peer), RMI_PORT));
+        self.router_links.insert(
+            conn,
+            RouterLink {
+                peer_host: peer,
+                subs: Vec::new(),
+                rewrite,
+            },
+        );
+        let _ = net.conn_send(conn, RouterMsg::Hello { host: self.host32 }.encode());
+        self.send_link_subs(net, Some(conn));
+    }
+
+    /// The subscription set advertised over `link`: everything this bus
+    /// knows locally or via broadcast announcements, plus the sets of all
+    /// *other* links (split-horizon aggregation for bus chains).
+    fn link_advertisement(&self, link: ConnId) -> Vec<String> {
+        let mut set: HashSet<String> = HashSet::new();
+        for f in self.my_filters.keys() {
+            set.insert(f.clone());
+        }
+        for peers in self.peer_subs.values() {
+            for f in peers.keys() {
+                set.insert(f.clone());
+            }
+        }
+        for (conn, other) in &self.router_links {
+            if *conn != link {
+                for f in &other.subs {
+                    set.insert(f.as_str().to_owned());
+                }
+            }
+        }
+        let mut v: Vec<String> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Sends subscription advertisements over one or all links.
+    pub(crate) fn send_link_subs(&mut self, net: &mut Ctx<'_>, only: Option<ConnId>) {
+        let conns: Vec<ConnId> = self
+            .router_links
+            .keys()
+            .copied()
+            .filter(|c| only.is_none() || only == Some(*c))
+            .collect();
+        for conn in conns {
+            let filters = self.link_advertisement(conn);
+            let _ = net.conn_send(conn, RouterMsg::Subs { filters }.encode());
+        }
+    }
+
+    /// Handles a router message arriving on a connection.
+    pub(crate) fn handle_router_msg(&mut self, net: &mut Ctx<'_>, conn: ConnId, msg: RouterMsg) {
+        match msg {
+            RouterMsg::Hello { host } => {
+                // The accepting side learns this connection is a link.
+                self.router_links.entry(conn).or_insert(RouterLink {
+                    peer_host: host,
+                    subs: Vec::new(),
+                    rewrite: None,
+                });
+                self.send_link_subs(net, Some(conn));
+            }
+            RouterMsg::Subs { filters } => {
+                if let Some(link) = self.router_links.get_mut(&conn) {
+                    link.subs = filters
+                        .iter()
+                        .filter_map(|f| SubjectFilter::new(f).ok())
+                        .collect();
+                }
+            }
+            RouterMsg::Forward { env } => {
+                if !self.router_links.contains_key(&conn) {
+                    return;
+                }
+                let Ok(subject) = Subject::new(&env.subject) else {
+                    return;
+                };
+                // Re-publish on this bus as a fresh publication from the
+                // router; never forward it back where it came from.
+                self.forward_horizon = Some(conn);
+                let _ = self.publish_payload(
+                    net,
+                    usize::MAX,
+                    &subject,
+                    env.qos,
+                    EnvelopeKind::Data,
+                    0,
+                    env.payload,
+                );
+                self.forward_horizon = None;
+            }
+        }
+    }
+}
+
+/// Decides whether `link`'s remote side subscribes to this subject,
+/// returning the subject to forward under (rewritten if the link has a
+/// matching rewrite rule).
+fn link_wants(link: &RouterLink, subject: &Subject) -> Option<String> {
+    let forwarded: String = match &link.rewrite {
+        Some(rule) => rule
+            .apply(subject.as_str())
+            .unwrap_or_else(|| subject.as_str().to_owned()),
+        None => subject.as_str().to_owned(),
+    };
+    let fsubj = Subject::new(&forwarded).ok()?;
+    link.subs
+        .iter()
+        .any(|f| f.matches(&fsubj))
+        .then_some(forwarded)
+}

@@ -8,8 +8,14 @@ use infobus_types::WireError;
 use crate::envelope::{Envelope, StreamKey};
 
 /// A packet exchanged between bus daemons over the datagram layer.
+///
+/// Packets are also the currency of the sans-I/O engine: the engine
+/// emits them inside [`Action`](crate::engine::Action)s, and transports
+/// decide how to move the bytes (simulated datagrams, loopback, real
+/// sockets).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Packet {
+#[allow(missing_docs)] // variant fields are documented on the variants
+pub enum Packet {
     /// One or more envelopes (a batch). Broadcast for fresh publications,
     /// unicast for retransmissions.
     Data {
@@ -55,10 +61,14 @@ pub(crate) enum Packet {
 
 /// One stream digest in a [`Packet::SeqSync`].
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) struct SyncEntry {
+pub struct SyncEntry {
+    /// The publishing stream.
     pub stream: StreamKey,
+    /// The stream's subject.
     pub subject: String,
+    /// Highest sequence number published so far.
     pub top_seq: u64,
+    /// Time the stream started (first-contact entitlement checks).
     pub stream_start: u64,
 }
 
@@ -85,6 +95,7 @@ fn get_stream(buf: &mut &[u8]) -> Result<StreamKey, WireError> {
 }
 
 impl Packet {
+    /// Encodes the packet for the wire.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
@@ -169,6 +180,7 @@ impl Packet {
         buf
     }
 
+    /// Decodes a packet from the wire.
     pub fn decode(mut buf: &[u8]) -> Result<Packet, WireError> {
         let buf = &mut buf;
         let kind = get_u8(buf)?;
