@@ -359,6 +359,9 @@ impl DaemonState {
     }
 
     pub(crate) fn call_failed(&mut self, net: &mut Ctx<'_>, call_id: u64, error: RmiError) {
+        // Presence of `call_id` is established here and nothing below
+        // removes it, so the later `.expect("checked above")` lookups are
+        // invariant re-borrows, not fallible wire-driven accesses.
         let (retry, attempts, max) = match self.calls.get(&call_id) {
             Some(c) => (c.retry, c.attempts, self.engine.config().rmi_max_attempts),
             None => return,

@@ -64,6 +64,15 @@ pub struct BusConfig {
     /// publication; counters are still maintained and readable through
     /// [`BusDaemon::stats`](crate::BusDaemon::stats).
     pub stats_period_us: Micros,
+    /// Backpressure bound for real-thread drivers (the in-process and UDP
+    /// buses): the maximum number of undrained messages queued per
+    /// subscriber. When a subscriber stalls and its queue reaches the
+    /// cap, the *oldest* queued message is dropped to admit the newest
+    /// (and counted in
+    /// [`BusStats::sub_queue_dropped`](crate::BusStats::sub_queue_dropped)),
+    /// so a stalled consumer can no longer grow memory without bound.
+    /// `0` (the default) keeps queues unbounded.
+    pub subscriber_queue_cap: usize,
 }
 
 impl Default for BusConfig {
@@ -84,6 +93,7 @@ impl Default for BusConfig {
             sync_rounds: 2,
             discovery_window_us: 50_000,
             stats_period_us: 0,
+            subscriber_queue_cap: 0,
         }
     }
 }
@@ -196,6 +206,13 @@ impl BusConfig {
         self.stats_period_us = us;
         self
     }
+
+    /// Sets the per-subscriber queue cap for real-thread drivers
+    /// (drop-oldest once full; `0` = unbounded).
+    pub fn with_subscriber_queue_cap(mut self, cap: usize) -> Self {
+        self.subscriber_queue_cap = cap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -219,12 +236,15 @@ mod tests {
             .with_sync_period_us(10)
             .with_sync_rounds(11)
             .with_discovery_window_us(12)
-            .with_stats_period_us(13);
+            .with_stats_period_us(13)
+            .with_subscriber_queue_cap(14);
         assert!(cfg.batch_enabled);
         assert_eq!(cfg.batch_bytes, 999);
         assert_eq!(cfg.rmi_max_attempts, 8);
         assert_eq!(cfg.stats_period_us, 13);
+        assert_eq!(cfg.subscriber_queue_cap, 14);
         assert_eq!(BusConfig::default().stats_period_us, 0);
+        assert_eq!(BusConfig::default().subscriber_queue_cap, 0);
         assert!(BusConfig::throughput().batch_enabled);
         assert!(!BusConfig::latency().batch_enabled);
     }

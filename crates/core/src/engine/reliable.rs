@@ -149,6 +149,7 @@ impl Publisher {
             });
             return actions;
         }
+        // Infallible: `known` above proved the key is present.
         let out = self.streams.get_mut(&key).expect("checked above");
         if std::env::var("IB_NAK_DEBUG").is_ok() {
             let lo = out.retain.front().map(|e| e.seq).unwrap_or(0);
@@ -266,23 +267,16 @@ impl Receiver {
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         let skey = (env.stream.clone(), env.subject.clone());
-        if !self.streams.contains_key(&skey) {
-            // First contact with this stream. If the stream began after
-            // our earliest matching subscription, we are entitled to it
-            // from sequence 1 (losses of early messages are NAKed);
-            // otherwise we are a late subscriber and take it from here.
-            let expected = if entitled { 1 } else { env.seq };
-            self.streams.insert(
-                skey.clone(),
-                InStream {
-                    expected,
-                    known_top: 0,
-                    holdback: BTreeMap::new(),
-                    gap_since: None,
-                },
-            );
-        }
-        let st = self.streams.get_mut(&skey).expect("just ensured");
+        // First contact with a stream: if it began after our earliest
+        // matching subscription, we are entitled to it from sequence 1
+        // (losses of early messages are NAKed); otherwise we are a late
+        // subscriber and take it from here.
+        let st = self.streams.entry(skey).or_insert_with(|| InStream {
+            expected: if entitled { 1 } else { env.seq },
+            known_top: 0,
+            holdback: BTreeMap::new(),
+            gap_since: None,
+        });
         st.known_top = st.known_top.max(env.seq);
         if env.seq < st.expected {
             if env.qos == QoS::Guaranteed {
@@ -300,12 +294,14 @@ impl Receiver {
             return actions;
         }
         if env.seq == st.expected {
-            st.expected += 1;
+            // Saturating: `seq` is wire data, and `expected` can be
+            // pinned at `u64::MAX` by a (hostile) GapSkip.
+            st.expected = st.expected.saturating_add(1);
             // Drain any consecutive held-back envelopes.
             let mut ready = vec![env];
             loop {
                 if let Some(e) = st.holdback.remove(&st.expected) {
-                    st.expected += 1;
+                    st.expected = st.expected.saturating_add(1);
                     ready.push(e);
                 } else {
                     let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
@@ -344,14 +340,18 @@ impl Receiver {
         let Some(st) = self.streams.get_mut(&key) else {
             return actions;
         };
-        if through + 1 > st.expected {
-            stats.gaps_skipped += through + 1 - st.expected;
-            st.expected = through + 1;
+        // `through` rides in from the wire; saturate so a hostile
+        // `u64::MAX` can't overflow the +1 (it pins `expected` at MAX,
+        // which just means "skip everything").
+        let new_expected = through.saturating_add(1);
+        if new_expected > st.expected {
+            stats.gaps_skipped += new_expected - st.expected;
+            st.expected = new_expected;
         }
         // Drain anything now deliverable.
         let mut ready = Vec::new();
         while let Some(e) = st.holdback.remove(&st.expected) {
-            st.expected += 1;
+            st.expected = st.expected.saturating_add(1);
             ready.push(e);
         }
         let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
@@ -383,23 +383,17 @@ impl Receiver {
             return;
         };
         let skey = (entry.stream.clone(), entry.subject.clone());
-        if !self.streams.contains_key(&skey) {
-            // We never saw any message of this stream. If it began after
-            // we subscribed, we are entitled to all of it.
-            if entry.stream_start < sub_at {
-                return;
-            }
-            self.streams.insert(
-                skey.clone(),
-                InStream {
-                    expected: 1,
-                    known_top: 0,
-                    holdback: BTreeMap::new(),
-                    gap_since: None,
-                },
-            );
+        // If we never saw any message of this stream and it predates our
+        // subscription, the digest implies nothing owed to us.
+        if !self.streams.contains_key(&skey) && entry.stream_start < sub_at {
+            return;
         }
-        let st = self.streams.get_mut(&skey).expect("just ensured");
+        let st = self.streams.entry(skey).or_insert_with(|| InStream {
+            expected: 1,
+            known_top: 0,
+            holdback: BTreeMap::new(),
+            gap_since: None,
+        });
         st.known_top = st.known_top.max(entry.top_seq);
         if st.expected <= st.known_top && st.gap_since.is_none() {
             st.gap_since = Some(now);
@@ -425,7 +419,9 @@ impl Receiver {
             let first_held = st.holdback.keys().next().copied();
             let end = match first_held {
                 Some(k) => k,
-                None => st.known_top + 1,
+                // `known_top` is learned from peer digests (wire data):
+                // saturate rather than trust it not to be `u64::MAX`.
+                None => st.known_top.saturating_add(1),
             };
             let missing: Vec<u64> = (st.expected..end).take(64).collect();
             if missing.is_empty() {

@@ -129,6 +129,31 @@ pub struct BusStats {
     pub router_forwarded: u64,
     /// Stats snapshots published on the observability plane.
     pub stats_published: u64,
+    /// Messages currently queued across subscriber queues (a gauge,
+    /// sampled when the snapshot is taken; real-thread drivers only).
+    pub sub_queue_depth: u64,
+    /// Messages evicted from full subscriber queues under the drop-oldest
+    /// backpressure policy
+    /// ([`BusConfig::subscriber_queue_cap`](crate::BusConfig::subscriber_queue_cap)).
+    pub sub_queue_dropped: u64,
+    /// Datagrams sent by a socket transport (UDP driver).
+    pub net_tx_packets: u64,
+    /// Bytes sent by a socket transport.
+    pub net_tx_bytes: u64,
+    /// Datagrams received by a socket transport.
+    pub net_rx_packets: u64,
+    /// Bytes received by a socket transport.
+    pub net_rx_bytes: u64,
+    /// Datagrams abandoned after send retries were exhausted.
+    pub net_send_errors: u64,
+    /// Send retries performed after transient socket errors.
+    pub net_send_retries: u64,
+    /// Received datagrams that failed frame/packet decoding (truncation,
+    /// bad magic, version mismatch, garbage).
+    pub net_decode_errors: u64,
+    /// Received datagrams deliberately dropped by the transport's
+    /// loss-injection knob (testing/fault drills).
+    pub net_recv_dropped: u64,
 }
 
 /// Attribute names of the `"BusStats"` descriptor, in declaration order.
@@ -159,6 +184,16 @@ const STATS_COUNTERS: &[&str] = &[
     "rmi_deduped",
     "router_forwarded",
     "stats_published",
+    "sub_queue_depth",
+    "sub_queue_dropped",
+    "net_tx_packets",
+    "net_tx_bytes",
+    "net_rx_packets",
+    "net_rx_bytes",
+    "net_send_errors",
+    "net_send_retries",
+    "net_decode_errors",
+    "net_recv_dropped",
 ];
 
 impl BusStats {
@@ -198,6 +233,16 @@ impl BusStats {
             "rmi_deduped" => self.rmi_deduped,
             "router_forwarded" => self.router_forwarded,
             "stats_published" => self.stats_published,
+            "sub_queue_depth" => self.sub_queue_depth,
+            "sub_queue_dropped" => self.sub_queue_dropped,
+            "net_tx_packets" => self.net_tx_packets,
+            "net_tx_bytes" => self.net_tx_bytes,
+            "net_rx_packets" => self.net_rx_packets,
+            "net_rx_bytes" => self.net_rx_bytes,
+            "net_send_errors" => self.net_send_errors,
+            "net_send_retries" => self.net_send_retries,
+            "net_decode_errors" => self.net_decode_errors,
+            "net_recv_dropped" => self.net_recv_dropped,
             _ => 0,
         }
     }
@@ -229,6 +274,16 @@ impl BusStats {
             "rmi_deduped" => &mut self.rmi_deduped,
             "router_forwarded" => &mut self.router_forwarded,
             "stats_published" => &mut self.stats_published,
+            "sub_queue_depth" => &mut self.sub_queue_depth,
+            "sub_queue_dropped" => &mut self.sub_queue_dropped,
+            "net_tx_packets" => &mut self.net_tx_packets,
+            "net_tx_bytes" => &mut self.net_tx_bytes,
+            "net_rx_packets" => &mut self.net_rx_packets,
+            "net_rx_bytes" => &mut self.net_rx_bytes,
+            "net_send_errors" => &mut self.net_send_errors,
+            "net_send_retries" => &mut self.net_send_retries,
+            "net_decode_errors" => &mut self.net_decode_errors,
+            "net_recv_dropped" => &mut self.net_recv_dropped,
             _ => return None,
         })
     }
@@ -251,6 +306,8 @@ impl BusStats {
             .attribute("rmi_latency_buckets", ValueType::list_of(ValueType::I64))
             .attribute("rmi_latency_count", ValueType::I64)
             .attribute("rmi_latency_sum_us", ValueType::I64);
+        // Infallible: the descriptor is built from static attribute names
+        // and the duplicate-registration case returned above already.
         reg.register(b.build())
             .expect("BusStats descriptor is well-formed");
     }

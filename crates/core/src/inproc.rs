@@ -29,7 +29,6 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
@@ -40,7 +39,13 @@ use crate::config::BusConfig;
 use crate::engine::{Action, BusStats, Engine, Event, Micros, PubSource};
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::msg::Packet;
+use crate::queue::{sub_queue, SubReceiver, SubSender};
 use crate::{BusError, QoS};
+
+/// The receiving half of an in-process subscription: a bounded
+/// drop-oldest queue (see [`crate::queue`]) with an `mpsc`-compatible
+/// API.
+pub type InprocReceiver = SubReceiver<InprocMessage>;
 
 /// A message delivered by the in-process bus: the subject plus the
 /// marshalled payload (unmarshal lazily with [`InprocMessage::value`]).
@@ -80,15 +85,24 @@ impl InprocMessage {
 /// The single-node host id the in-process engine publishes under.
 const INPROC_HOST: u32 = 1;
 
+// Lock discipline: every `.expect("lock poisoned")` below is deliberate.
+// A lock only poisons if a holder panicked mid-critical-section, leaving
+// engine/trie state possibly inconsistent; propagating the panic to every
+// other bus user is safer than limping on with torn state.
 struct Inner {
     /// The protocol engine, in loopback mode: broadcasts from our own
     /// host are accepted back into the receive path.
     engine: Mutex<Engine>,
-    trie: RwLock<SubjectTrie<Sender<InprocMessage>>>,
+    trie: RwLock<SubjectTrie<SubSender<InprocMessage>>>,
     registry: Mutex<TypeRegistry>,
     /// Monotonic protocol time (the engine is sans-I/O and never reads a
     /// clock; one tick per publication is plenty for a lossless loop).
     now: AtomicU64,
+    /// Per-subscriber queue cap (0 = unbounded), from
+    /// [`BusConfig::subscriber_queue_cap`].
+    queue_cap: usize,
+    /// Cumulative drop-oldest evictions across all subscriber queues.
+    queue_dropped: Arc<AtomicU64>,
 }
 
 /// A thread-safe publish/subscribe bus within one process, driving the
@@ -106,12 +120,22 @@ pub struct InprocBus {
 impl InprocBus {
     /// Creates an empty bus with a fundamentals-only type registry.
     pub fn new() -> Self {
+        InprocBus::with_config(BusConfig::default())
+    }
+
+    /// Creates an empty bus with the given configuration (notably
+    /// [`BusConfig::subscriber_queue_cap`], the backpressure bound for
+    /// slow subscribers).
+    pub fn with_config(cfg: BusConfig) -> Self {
+        let queue_cap = cfg.subscriber_queue_cap;
         InprocBus {
             inner: Arc::new(Inner {
-                engine: Mutex::new(Engine::new_loopback(BusConfig::default(), INPROC_HOST)),
+                engine: Mutex::new(Engine::new_loopback(cfg, INPROC_HOST)),
                 trie: RwLock::new(SubjectTrie::new()),
                 registry: Mutex::new(TypeRegistry::with_fundamentals()),
                 now: AtomicU64::new(0),
+                queue_cap,
+                queue_dropped: Arc::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -140,9 +164,9 @@ impl InprocBus {
     pub fn subscribe(
         &self,
         filter: &str,
-    ) -> Result<(SubscriptionHandle, Receiver<InprocMessage>), BusError> {
+    ) -> Result<(SubscriptionHandle, InprocReceiver), BusError> {
         let filter = SubjectFilter::new(filter)?;
-        let (tx, rx) = channel();
+        let (tx, rx) = sub_queue(self.inner.queue_cap, self.inner.queue_dropped.clone());
         let id = self
             .inner
             .trie
@@ -283,14 +307,23 @@ impl InprocBus {
         self.inner.trie.read().expect("lock poisoned").len()
     }
 
-    /// A snapshot of the engine's protocol counters.
+    /// A snapshot of the engine's protocol counters, with the live
+    /// backpressure gauges (queued backlog and drop-oldest evictions)
+    /// folded in.
     pub fn stats(&self) -> BusStats {
-        self.inner
+        let mut stats = self
+            .inner
             .engine
             .lock()
             .expect("lock poisoned")
             .stats
-            .clone()
+            .clone();
+        let trie = self.inner.trie.read().expect("lock poisoned");
+        let mut depth = 0u64;
+        trie.for_each(|_, _, tx| depth += tx.queued() as u64);
+        stats.sub_queue_depth = depth;
+        stats.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -375,6 +408,32 @@ mod tests {
             .unwrap();
         let got = rx.recv().unwrap().value().unwrap();
         assert_eq!(got.as_object().unwrap(), &obj);
+    }
+
+    #[test]
+    fn stalled_subscriber_memory_is_bounded() {
+        // A subscriber that never drains must not grow memory without
+        // bound: with a queue cap, the oldest messages are evicted and
+        // counted, and the newest `cap` messages are retained.
+        let cap = 64usize;
+        let bus = InprocBus::with_config(BusConfig::default().with_subscriber_queue_cap(cap));
+        let (_stalled, stalled_rx) = bus.subscribe("load.>").unwrap();
+        let total = 10_000i64;
+        for i in 0..total {
+            bus.publish("load.k", &Value::I64(i)).unwrap();
+        }
+        let stats = bus.stats();
+        assert_eq!(stats.sub_queue_depth, cap as u64);
+        assert_eq!(stats.sub_queue_dropped, (total as u64) - cap as u64);
+        // The retained backlog is exactly the newest `cap` messages.
+        let got: Vec<i64> = stalled_rx
+            .try_iter()
+            .map(|m| m.value().unwrap().as_i64().unwrap())
+            .collect();
+        let expect: Vec<i64> = (total - cap as i64..total).collect();
+        assert_eq!(got, expect);
+        // Draining brings the gauge back to zero.
+        assert_eq!(bus.stats().sub_queue_depth, 0);
     }
 
     #[test]

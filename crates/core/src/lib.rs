@@ -62,6 +62,7 @@ pub mod inproc;
 mod interest;
 mod links;
 pub mod msg;
+pub mod queue;
 mod rmi;
 pub mod router;
 

@@ -1,0 +1,269 @@
+//! Bounded subscriber queues with a drop-oldest overflow policy.
+//!
+//! The engine's `Deliver` actions are unbounded: a publisher that keeps
+//! publishing while a subscriber never drains its channel would grow
+//! memory without limit. Real-thread drivers (the in-process bus and the
+//! UDP bus) therefore hand envelopes to subscribers through these queues
+//! instead of raw `std::sync::mpsc` channels: when
+//! [`BusConfig::subscriber_queue_cap`](crate::BusConfig::subscriber_queue_cap)
+//! is non-zero and a queue is full, the *oldest* queued message is evicted
+//! to make room for the newest (slow consumers observe a gap, fast
+//! publishers never block), and every eviction is counted into
+//! [`BusStats::sub_queue_dropped`](crate::BusStats::sub_queue_dropped).
+//!
+//! Each subscription owns exactly one sender (held in the driver's
+//! subject trie) and one receiver (returned to the application). The
+//! receiver API mirrors the subset of `mpsc::Receiver` the rest of the
+//! workspace uses (`recv`, `recv_timeout`, `try_recv`, `try_iter`), and
+//! reuses the standard error types, so swapping a raw channel for a
+//! bounded queue is call-site compatible.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    items: VecDeque<T>,
+    tx_alive: bool,
+    rx_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    /// 0 = unbounded.
+    cap: usize,
+    /// Cumulative drop-oldest evictions, shared with the owning bus so
+    /// they surface in its stats snapshot.
+    dropped: Arc<AtomicU64>,
+}
+
+/// Creates a subscriber queue. `cap` bounds the number of queued
+/// messages (`0` = unbounded); `dropped` receives one increment per
+/// drop-oldest eviction.
+pub fn sub_queue<T>(cap: usize, dropped: Arc<AtomicU64>) -> (SubSender<T>, SubReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            items: VecDeque::new(),
+            tx_alive: true,
+            rx_alive: true,
+        }),
+        cv: Condvar::new(),
+        cap,
+        dropped,
+    });
+    (
+        SubSender {
+            shared: shared.clone(),
+        },
+        SubReceiver { shared },
+    )
+}
+
+/// The driver-held half of a subscriber queue.
+pub struct SubSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> SubSender<T> {
+    /// Enqueues a message. When the queue is at capacity the oldest
+    /// queued message is evicted first (and counted). Returns the message
+    /// back if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        // A panic while holding this short critical section poisons the
+        // queue for one subscriber only; propagating it is correct.
+        let mut st = self.shared.state.lock().expect("subscriber queue poisoned");
+        if !st.rx_alive {
+            return Err(msg);
+        }
+        if self.shared.cap != 0 && st.items.len() >= self.shared.cap {
+            st.items.pop_front();
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        st.items.push_back(msg);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued (the subscriber's backlog).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("subscriber queue poisoned")
+            .items
+            .len()
+    }
+}
+
+impl<T> Drop for SubSender<T> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.tx_alive = false;
+        }
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The application-held half of a subscriber queue.
+pub struct SubReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> SubReceiver<T> {
+    /// Blocks until a message arrives or the sender side is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the queue is drained and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().expect("subscriber queue poisoned");
+        loop {
+            if let Some(msg) = st.items.pop_front() {
+                return Ok(msg);
+            }
+            if !st.tx_alive {
+                return Err(RecvError);
+            }
+            st = self.shared.cv.wait(st).expect("subscriber queue poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] on expiry, or
+    /// [`RecvTimeoutError::Disconnected`] once drained and disconnected.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("subscriber queue poisoned");
+        loop {
+            if let Some(msg) = st.items.pop_front() {
+                return Ok(msg);
+            }
+            if !st.tx_alive {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("subscriber queue poisoned");
+            st = guard;
+        }
+    }
+
+    /// Takes a message if one is queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued, or
+    /// [`TryRecvError::Disconnected`] once drained and disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().expect("subscriber queue poisoned");
+        match st.items.pop_front() {
+            Some(msg) => Ok(msg),
+            None if st.tx_alive => Err(TryRecvError::Empty),
+            None => Err(TryRecvError::Disconnected),
+        }
+    }
+
+    /// Drains currently queued messages without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("subscriber queue poisoned")
+            .items
+            .len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SubReceiver<T> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.rx_alive = false;
+            // Free the backlog eagerly: nobody can drain it anymore.
+            st.items.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue(0, dropped);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn drop_oldest_bounds_the_queue() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue(3, dropped.clone());
+        for i in 0..10 {
+            tx.send(i).unwrap();
+            assert!(tx.queued() <= 3);
+        }
+        assert_eq!(dropped.load(Ordering::Relaxed), 7);
+        // The newest three survive.
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn send_after_receiver_drop_fails() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue::<i32>(0, dropped);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(5));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue::<i32>(0, dropped);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 1);
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue(0, dropped);
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

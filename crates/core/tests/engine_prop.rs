@@ -355,3 +355,308 @@ fn gap_skip_abandons_unretained_history() {
     assert!(receiver.stats.gaps_skipped > 0);
     assert!(publisher.stats.gapskips_sent > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Guaranteed delivery across a publisher crash/restart
+// ---------------------------------------------------------------------------
+
+/// Applies a batch's `Persist`/`Unpersist` actions to a fake
+/// non-volatile store, as a driver would.
+fn apply_ledger(ledger: &mut std::collections::BTreeMap<String, Vec<u8>>, actions: &[Action]) {
+    for a in actions {
+        match a {
+            Action::Persist { key, bytes } => {
+                ledger.insert(key.clone(), bytes.clone());
+            }
+            Action::Unpersist { key } => {
+                ledger.remove(key);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects the receiver's `Unicast(Ack)` packets.
+fn acks(actions: &[Action]) -> Vec<Packet> {
+    let mut out = Vec::new();
+    for a in actions {
+        if let Action::Unicast { packet, .. } = a {
+            if matches!(packet, Packet::Ack { .. }) {
+                out.push(packet.clone());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn publisher_crash_restart_redrives_guaranteed_ledger() {
+    // A publisher sends guaranteed messages, crashes mid-stream before
+    // seeing any acknowledgment, and restarts from its non-volatile
+    // ledger (`gd_load`). Retry rounds must then redrive every unacked
+    // envelope until the interested receiver has acknowledged all of
+    // them — at-least-once across the crash, with the ledger draining
+    // to empty.
+    for seed in 0..10u64 {
+        let mut rng = SimRng::seed_from_u64(77_000 + seed);
+        let cfg = BusConfig::default;
+        let mut publisher = Engine::new(cfg(), 1);
+        let mut receiver = Engine::new(cfg(), 2);
+        let mut ledger = std::collections::BTreeMap::new();
+        let mut now: Micros = 0;
+        let source = PubSource {
+            app: "prop".to_owned(),
+            inc: 1,
+        };
+
+        let n = 3 + rng.gen_range_inclusive(0, 17);
+        let mut wire = Vec::new();
+        for i in 0..n {
+            now += 10;
+            let actions = publisher.handle(
+                now,
+                Event::Publish {
+                    source: source.clone(),
+                    subject: SUBJECT.to_owned(),
+                    qos: QoS::Guaranteed,
+                    kind: EnvelopeKind::Data,
+                    corr: 0,
+                    payload: vec![(i & 0xff) as u8],
+                },
+            );
+            apply_ledger(&mut ledger, &actions);
+            wire.extend(broadcast_envelopes(&actions));
+        }
+        assert_eq!(ledger.len() as u64, n, "persist-before-send must log all");
+
+        // A random prefix reaches the receiver before the crash; the
+        // receiver's acks are lost with the crashing publisher.
+        let k = rng.gen_range_inclusive(0, n) as usize;
+        let prefix: Vec<Envelope> = wire[..k].to_vec();
+        let mut seen: Vec<Vec<u8>> = receive_all(&mut receiver, prefix, &mut now)
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
+
+        // Crash: the engine is dropped; only the ledger survives.
+        drop(publisher);
+        let mut restarted = Engine::new(cfg(), 1);
+        let recovered: Vec<Envelope> = ledger
+            .values()
+            .map(|bytes| Envelope::decode(&mut bytes.as_slice()).expect("ledger entry decodes"))
+            .collect();
+        let load_actions = restarted.gd_load(recovered);
+        assert!(
+            load_actions
+                .iter()
+                .any(|a| matches!(a, Action::SetTimer { .. })),
+            "reload with pending entries must re-arm the retry timer"
+        );
+        assert_eq!(restarted.stats.gd_pending, n);
+
+        // Retry rounds: redeliveries go out flagged, the receiver acks,
+        // completion unpersists. Bounded so a regression fails fast.
+        let interest: HashMap<String, Vec<u32>> = HashMap::from([(SUBJECT.to_owned(), vec![2u32])]);
+        for _round in 0..6 {
+            now += restarted.config().gd_retry_us + 1;
+            let actions = restarted.handle(
+                now,
+                Event::GdRetry {
+                    interest: interest.clone(),
+                },
+            );
+            apply_ledger(&mut ledger, &actions);
+            let redelivered = broadcast_envelopes(&actions);
+            for env in &redelivered {
+                assert!(env.redelivery, "post-restart copies must be flagged");
+            }
+            for env in redelivered {
+                now += 10;
+                let r_actions = receiver.handle(
+                    now,
+                    Event::Envelope {
+                        env,
+                        entitled: true,
+                    },
+                );
+                seen.extend(delivered(&r_actions).into_iter().map(|e| e.payload));
+                for ack in acks(&r_actions) {
+                    let Packet::Ack {
+                        stream,
+                        subject,
+                        seq,
+                        from_host,
+                    } = ack
+                    else {
+                        continue;
+                    };
+                    now += 10;
+                    let a = restarted.handle(
+                        now,
+                        Event::Ack {
+                            stream,
+                            subject,
+                            seq,
+                            from_host,
+                        },
+                    );
+                    apply_ledger(&mut ledger, &a);
+                }
+            }
+            if restarted.stats.gd_pending == 0 {
+                break;
+            }
+        }
+        assert_eq!(restarted.stats.gd_pending, 0, "ledger never drained");
+        assert!(ledger.is_empty(), "completed entries must be unpersisted");
+        // At-least-once across the crash: every payload seen (duplicates
+        // for the pre-crash prefix are permitted and flagged).
+        for i in 0..n {
+            let payload = vec![(i & 0xff) as u8];
+            assert!(
+                seen.contains(&payload),
+                "payload {i} lost across crash/restart (seed {seed})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial digest / NAK interleavings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn adversarial_digests_and_naks_do_not_corrupt_state() {
+    // Interleave real traffic with hostile control packets: digests for
+    // unknown streams, stale digests, digests claiming a *lower* top
+    // sequence than already seen, NAKs for sequences never published or
+    // far in the future, duplicate NAKs, and gap-skips for
+    // already-delivered ranges. None of it may panic, deliver out of
+    // order, or duplicate a delivery; afterwards normal repair must
+    // still converge.
+    use infobus_core::msg::SyncEntry;
+    use infobus_core::StreamKey;
+
+    for seed in 0..15u64 {
+        let mut rng = SimRng::seed_from_u64(88_000 + seed);
+        let cfg = BusConfig::default;
+        let mut publisher = Engine::new(cfg(), 1);
+        let mut receiver = Engine::new(cfg(), 2);
+        let mut now: Micros = 0;
+        let n = 40 + rng.gen_range_inclusive(0, 60);
+        let wire = publish_n(&mut publisher, n, &mut now);
+        let real_stream = wire[0].stream.clone();
+        let stream_start = wire[0].stream_start;
+        let phantom_stream = StreamKey {
+            host: 9,
+            app: "ghost".to_owned(),
+            inc: 3,
+        };
+
+        let mangled = mangle(&mut rng, wire, 0.2, 0.2);
+        let mut got = Vec::new();
+        for env in mangled {
+            now += 10;
+            got.extend(delivered(&receiver.handle(
+                now,
+                Event::Envelope {
+                    env,
+                    entitled: true,
+                },
+            )));
+
+            // Hostile interleavings between data packets.
+            match rng.gen_range_inclusive(0, 5) {
+                0 => {
+                    // Digest for a stream nobody publishes.
+                    let entry = SyncEntry {
+                        stream: phantom_stream.clone(),
+                        subject: "ghost.subject".to_owned(),
+                        top_seq: rng.gen_range_inclusive(1, 1000),
+                        stream_start: now,
+                    };
+                    let sub_at = if rng.gen_f64() < 0.5 { Some(0) } else { None };
+                    receiver.handle(now, Event::Digest { entry, sub_at });
+                }
+                1 => {
+                    // Stale digest: lower top_seq than already observed.
+                    let entry = SyncEntry {
+                        stream: real_stream.clone(),
+                        subject: SUBJECT.to_owned(),
+                        top_seq: 1,
+                        stream_start,
+                    };
+                    receiver.handle(
+                        now,
+                        Event::Digest {
+                            entry,
+                            sub_at: Some(0),
+                        },
+                    );
+                }
+                2 => {
+                    // NAK at the publisher for never-published sequences.
+                    publisher.handle(
+                        now,
+                        Event::Nak {
+                            stream: real_stream.clone(),
+                            subject: SUBJECT.to_owned(),
+                            requester: 2,
+                            missing: vec![n + 50, n + 51, u64::MAX],
+                        },
+                    );
+                }
+                3 => {
+                    // NAK for a stream this publisher never owned.
+                    publisher.handle(
+                        now,
+                        Event::Nak {
+                            stream: phantom_stream.clone(),
+                            subject: "ghost.subject".to_owned(),
+                            requester: 2,
+                            missing: vec![1, 2, 3],
+                        },
+                    );
+                }
+                4 => {
+                    // Gap-skip for ground already covered: must not
+                    // rewind (it may legitimately drain the holdback of
+                    // envelopes that were already deliverable).
+                    let actions = receiver.handle(
+                        now,
+                        Event::GapSkip {
+                            stream: real_stream.clone(),
+                            subject: SUBJECT.to_owned(),
+                            through: 0,
+                        },
+                    );
+                    got.extend(delivered(&actions));
+                }
+                5 => {
+                    // Gap-skip with a hostile `u64::MAX` bound on the
+                    // phantom stream: must saturate, not overflow, and
+                    // must leave the real stream untouched.
+                    receiver.handle(
+                        now,
+                        Event::GapSkip {
+                            stream: phantom_stream.clone(),
+                            subject: "ghost.subject".to_owned(),
+                            through: u64::MAX,
+                        },
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Normal repair still converges after the abuse (one hole per
+        // scan round, so allow as many rounds as the sibling loss test).
+        for _ in 0..64 {
+            if got.len() as u64 == n {
+                break;
+            }
+            got.extend(repair_round(&mut publisher, &mut receiver, &mut now));
+        }
+        assert_in_order_exactly_once(&got, n);
+    }
+}

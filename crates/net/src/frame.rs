@@ -1,0 +1,129 @@
+//! The datagram frame: a versioned header around one daemon [`Packet`].
+//!
+//! Every UDP datagram on the bus is one frame:
+//!
+//! ```text
+//! +------+---------+-----------+----------------------+
+//! | IBUS | version | host: u32 | Packet (msg codec)   |
+//! +------+---------+-----------+----------------------+
+//!   4 B      1 B       4 B          rest of datagram
+//! ```
+//!
+//! The magic keeps stray datagrams (port scans, other protocols) out of
+//! the decoder cheaply; the version byte lets future frame layouts
+//! coexist on one segment (a receiver drops versions it does not speak,
+//! counting a decode error, instead of misparsing); the host id
+//! identifies the sender so receivers can learn peer addresses from
+//! traffic. Decoding is truncation-safe end to end: every length is
+//! bounds-checked by the underlying wire readers and a short buffer
+//! yields [`WireError::UnexpectedEof`], never a panic or an
+//! out-of-bounds read.
+
+use infobus_core::msg::Packet;
+use infobus_types::wire::{get_u32, get_u8};
+use infobus_types::WireError;
+
+/// Frame magic: the first four bytes of every bus datagram.
+pub const FRAME_MAGIC: [u8; 4] = *b"IBUS";
+
+/// Current frame version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes of frame header preceding the packet body.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Encodes a packet from `host` into a framed datagram.
+pub fn encode_frame(host: u32, packet: &Packet) -> Vec<u8> {
+    let body = packet.encode();
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(FRAME_VERSION);
+    buf.extend_from_slice(&host.to_le_bytes());
+    buf.extend_from_slice(&body);
+    buf
+}
+
+/// Decodes a framed datagram into `(sender host, packet)`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for truncated input, wrong magic, an
+/// unsupported version, or a malformed packet body.
+pub fn decode_frame(datagram: &[u8]) -> Result<(u32, Packet), WireError> {
+    let buf = &mut &datagram[..];
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = get_u8(buf)?;
+    }
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadTag(magic[0]));
+    }
+    let version = get_u8(buf)?;
+    if version != FRAME_VERSION {
+        return Err(WireError::BadTag(version));
+    }
+    let host = get_u32(buf)?;
+    let packet = Packet::decode(buf)?;
+    Ok((host, packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infobus_core::{Envelope, EnvelopeKind, QoS, StreamKey};
+
+    fn sample_packet() -> Packet {
+        Packet::Data {
+            envelopes: vec![Envelope {
+                stream: StreamKey {
+                    host: 9,
+                    app: "feed".into(),
+                    inc: 2,
+                },
+                seq: 5,
+                stream_start: 100,
+                subject: "news.x".into(),
+                qos: QoS::Guaranteed,
+                kind: EnvelopeKind::Data,
+                corr: 0,
+                redelivery: false,
+                payload: vec![1, 2, 3],
+            }],
+            retrans: false,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample_packet();
+        let buf = encode_frame(7, &p);
+        let (host, back) = decode_frame(&buf).unwrap();
+        assert_eq!(host, 7);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let buf = encode_frame(7, &sample_packet());
+        for cut in 0..buf.len() {
+            assert!(decode_frame(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut buf = encode_frame(7, &sample_packet());
+        buf[0] = b'X';
+        assert!(decode_frame(&buf).is_err());
+        let mut buf = encode_frame(7, &sample_packet());
+        buf[4] = FRAME_VERSION + 1;
+        assert!(decode_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode_frame(&[]).is_err());
+        assert!(decode_frame(&[0xff; 64]).is_err());
+        assert!(decode_frame(b"IBUS").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic inbound loss injection for tests and fault drills.
+//!
+//! Loopback UDP essentially never drops datagrams, so exercising the NAK
+//! repair machinery over *real* sockets needs induced loss. A
+//! [`UdpConfig`](crate::UdpConfig) may set a seeded drop probability for
+//! the receive path; the RNG is a self-contained xorshift64* so the
+//! crate stays std-only and runs are reproducible per seed. This models
+//! receiver-side loss (a corrupted or overrun frame) — exactly the case
+//! the paper's NAK-based retransmission repairs.
+
+/// A tiny deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct LossRng {
+    state: u64,
+}
+
+impl LossRng {
+    /// Seeds the generator (a zero seed is remapped to a fixed odd
+    /// constant; xorshift has a zero fixpoint).
+    pub fn new(seed: u64) -> LossRng {
+        LossRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = LossRng::new(42);
+        let mut b = LossRng::new(42);
+        for _ in 0..1000 {
+            let (x, y) = (a.gen_f64(), b.gen_f64());
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = LossRng::new(7);
+        let hits = (0..10_000).filter(|_| rng.gen_f64() < 0.25).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`tdl`] | `infobus-tdl` | the CLOS-subset Type Definition Language (dynamic classing) |
 //! | [`netsim`] | `infobus-netsim` | deterministic network + host simulator |
 //! | [`bus`] | `infobus-core` | daemons, QoS, discovery, RMI, routers |
+//! | [`net`] | `infobus-net` | real UDP socket transport (wall-clock driver of the engine) |
 //! | [`repo`] | `infobus-repo` | relational engine + the Object Repository |
 //! | [`adapters`] | `infobus-adapters` | news feeds, legacy WIP terminal, Keyword Generator |
 //! | [`builder`] | `infobus-builder` | views, scripted apps, News Monitor, auto-UIs |
@@ -72,6 +73,7 @@
 pub use infobus_adapters as adapters;
 pub use infobus_builder as builder;
 pub use infobus_core as bus;
+pub use infobus_net as net;
 pub use infobus_netsim as netsim;
 pub use infobus_repo as repo;
 pub use infobus_subject as subject;
