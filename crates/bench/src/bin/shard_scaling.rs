@@ -1,0 +1,157 @@
+//! Shard scaling — contended publishers on the in-process bus.
+//!
+//! Four OS threads publish concurrently, each on its own
+//! first-segment-distinct subject, and we measure two things per
+//! configuration:
+//!
+//! - **publisher-side** throughput: messages/second until the last
+//!   *publisher* returns — the cost publishers actually observe;
+//! - **end-to-end** throughput: messages/second until every message has
+//!   reached its subscriber's queue.
+//!
+//! Three configurations:
+//!
+//! 1. `sync, 1 shard` — every publish serializes the full
+//!    marshal → sequence → loopback → deliver chain on one engine
+//!    mutex. Publisher-side and end-to-end coincide (publish returns
+//!    post-delivery).
+//! 2. `sync, 4 shards` — per-shard locks: each subject's chain runs
+//!    under its own mutex. On this harness's **single-CPU host** the
+//!    chain is CPU-bound, so removing lock contention recovers only the
+//!    futex/context-switch overhead (a few percent); with real cores
+//!    the shards would run in parallel.
+//! 3. `workers, 4 shards` — [`InprocBus::with_workers`]: one worker
+//!    thread per shard, publishers marshal + hand off and return. This
+//!    is the configuration the contended-publisher speedup targets:
+//!    publish no longer waits on any engine lock or on other subjects'
+//!    delivery work, so publisher-side throughput rises by an order of
+//!    magnitude even on one CPU. End-to-end throughput stays at the
+//!    single-CPU ceiling — the protocol work still has to run
+//!    somewhere — which is why both columns are reported.
+//!
+//! The headline number (and the `assert!`) is the publisher-side
+//! speedup of workers over the single-shard baseline.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use infobus_bench::emit_table;
+use infobus_core::inproc::InprocBus;
+use infobus_core::{shard_of_subject, BusConfig};
+use infobus_types::Value;
+
+const SUBJECTS: [&str; 4] = ["alpha.bench", "bravo.bench", "charlie.bench", "delta.bench"];
+const MSGS_PER_THREAD: usize = 50_000;
+const ITERATIONS: usize = 3;
+
+/// Throughputs of one configuration: (publisher-side, end-to-end),
+/// total messages per second, best of [`ITERATIONS`].
+fn run_contended(shards: usize, workers: bool) -> (f64, f64) {
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..ITERATIONS {
+        let cfg = BusConfig::default().with_shards(shards);
+        let bus = if workers {
+            InprocBus::with_workers(cfg)
+        } else {
+            InprocBus::with_config(cfg)
+        };
+        // One subscriber per subject, drained by a consumer thread, so
+        // each message traverses the full path including the wake of a
+        // blocked receiver.
+        let consumers: Vec<_> = SUBJECTS
+            .iter()
+            .map(|s| {
+                let (_sub, rx) = bus.subscribe(s).unwrap();
+                std::thread::spawn(move || while rx.recv().is_ok() {})
+            })
+            .collect();
+        let barrier = Arc::new(Barrier::new(SUBJECTS.len() + 1));
+        let handles: Vec<_> = SUBJECTS
+            .iter()
+            .map(|subject| {
+                let bus = bus.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..MSGS_PER_THREAD {
+                        bus.publish(subject, &Value::I64(i as i64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let pub_elapsed = start.elapsed().as_secs_f64();
+        // drain() blocks until the shard workers have delivered every
+        // queued hand-off (no-op in sync mode, where publish already
+        // returned post-delivery).
+        bus.drain();
+        let e2e_elapsed = start.elapsed().as_secs_f64();
+        let total = (SUBJECTS.len() * MSGS_PER_THREAD) as u64;
+        let delivered = bus.stats().delivered;
+        assert_eq!(delivered, total, "bench lost messages");
+        // Dropping the last bus handle drops the queue senders, which
+        // closes the consumer channels and lets the drains exit.
+        drop(bus);
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let pub_rate = total as f64 / pub_elapsed;
+        let e2e_rate = total as f64 / e2e_elapsed;
+        if pub_rate > best.0 {
+            best = (pub_rate, e2e_rate);
+        }
+    }
+    best
+}
+
+fn main() {
+    let spread: Vec<String> = SUBJECTS
+        .iter()
+        .map(|s| format!("{s}→{}", shard_of_subject(s, 4)))
+        .collect();
+    let configs = [("sync", 1, false), ("sync", 4, false), ("workers", 4, true)];
+    let results: Vec<(f64, f64)> = configs
+        .iter()
+        .map(|&(_, shards, workers)| run_contended(shards, workers))
+        .collect();
+    let baseline = results[0].0;
+
+    let header = format!(
+        "{:>8} {:>7} {:>8} {:>14} {:>14} {:>9}",
+        "mode", "shards", "threads", "pub msgs/sec", "e2e msgs/sec", "speedup"
+    );
+    let mut rows: Vec<String> = configs
+        .iter()
+        .zip(&results)
+        .map(|(&(mode, shards, _), &(pub_rate, e2e_rate))| {
+            format!(
+                "{:>8} {:>7} {:>8} {:>14.0} {:>14.0} {:>8.2}x",
+                mode,
+                shards,
+                SUBJECTS.len(),
+                pub_rate,
+                e2e_rate,
+                pub_rate / baseline
+            )
+        })
+        .collect();
+    rows.push(format!("routing: {}", spread.join(" ")));
+    println!(
+        "SHARD SCALING: {} contended publishers, distinct first segments, \
+         {} msgs each (single-CPU host: end-to-end is CPU-bound; the win \
+         is publisher-side, via per-shard locks + worker hand-off)\n",
+        SUBJECTS.len(),
+        MSGS_PER_THREAD
+    );
+    emit_table("shard_scaling", &header, &rows);
+    let speedup = results[2].0 / baseline;
+    assert!(
+        speedup >= 1.5,
+        "contended-publisher throughput with shard workers only {speedup:.2}x \
+         the single-shard bus (target >= 1.5x)"
+    );
+}

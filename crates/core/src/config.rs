@@ -73,6 +73,15 @@ pub struct BusConfig {
     /// so a stalled consumer can no longer grow memory without bound.
     /// `0` (the default) keeps queues unbounded.
     pub subscriber_queue_cap: usize,
+    /// Number of independent engine shards behind the daemon. Subjects
+    /// are routed to a shard by a stable hash of their first segment
+    /// (see [`shard_of_subject`](crate::engine::sharded::shard_of_subject)),
+    /// so every (publisher, subject) stream lives entirely inside one
+    /// shard and per-sender-per-subject ordering is preserved. `1` (the
+    /// default) reproduces the unsharded daemon byte-for-byte; values
+    /// `> 1` let independent subjects stop contending on one state
+    /// machine. `0` is treated as `1`.
+    pub shards: usize,
 }
 
 impl Default for BusConfig {
@@ -94,6 +103,7 @@ impl Default for BusConfig {
             discovery_window_us: 50_000,
             stats_period_us: 0,
             subscriber_queue_cap: 0,
+            shards: 1,
         }
     }
 }
@@ -213,6 +223,14 @@ impl BusConfig {
         self.subscriber_queue_cap = cap;
         self
     }
+
+    /// Sets the number of engine shards (`1` = the unsharded daemon,
+    /// byte-identical to the paper-figure configurations; `0` is treated
+    /// as `1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -237,14 +255,17 @@ mod tests {
             .with_sync_rounds(11)
             .with_discovery_window_us(12)
             .with_stats_period_us(13)
-            .with_subscriber_queue_cap(14);
+            .with_subscriber_queue_cap(14)
+            .with_shards(15);
         assert!(cfg.batch_enabled);
         assert_eq!(cfg.batch_bytes, 999);
         assert_eq!(cfg.rmi_max_attempts, 8);
         assert_eq!(cfg.stats_period_us, 13);
         assert_eq!(cfg.subscriber_queue_cap, 14);
+        assert_eq!(cfg.shards, 15);
         assert_eq!(BusConfig::default().stats_period_us, 0);
         assert_eq!(BusConfig::default().subscriber_queue_cap, 0);
+        assert_eq!(BusConfig::default().shards, 1);
         assert!(BusConfig::throughput().batch_enabled);
         assert!(!BusConfig::latency().batch_enabled);
     }

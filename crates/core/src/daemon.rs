@@ -29,8 +29,8 @@ use crate::apps::{AppEvent, AppMeta, AppQueue, AppSlot, TimerTarget};
 use crate::calls::{CallPhase, CallState, SvcMeta};
 use crate::config::BusConfig;
 use crate::engine::{
-    run_actions, Action, BusStats, Engine, Event, Micros, PubSource, TimerKind, Transport,
-    STATS_SUBJECT_PREFIX,
+    run_sharded_actions, Action, BusStats, Event, Micros, PubSource, ShardId, ShardTransport,
+    ShardedEngine, ShardedStats, TimerKind, Transport, STATS_SUBJECT_PREFIX,
 };
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::interest::SubTarget;
@@ -46,28 +46,42 @@ pub const DAEMON_PORT: u16 = 75;
 pub const RMI_PORT: u16 = 76;
 
 /// Reserved timer tokens.
-const TOK_BATCH: u64 = 1;
-const TOK_NAK_CHECK: u64 = 2;
-const TOK_GD_RETRY: u64 = 3;
 const TOK_ANNOUNCE: u64 = 4;
-const TOK_SYNC: u64 = 5;
 pub(crate) const TOK_ANN_FLUSH: u64 = 6;
 const TOK_STATS: u64 = 7;
 /// Dynamic timer tokens start here.
 const TOK_DYN: u64 = 10;
+/// Shard-tagged engine timers start here: token =
+/// `TOK_SHARD_BASE + shard * 4 + kind`. The base sits far above any
+/// dynamic token a simulation could allocate (they increment from
+/// [`TOK_DYN`]), so the ranges cannot collide.
+const TOK_SHARD_BASE: u64 = 1 << 32;
 
 /// The publisher slot used for daemon-originated publications (stats
 /// snapshots): not a real application index.
 const APP_STATS: usize = usize::MAX - 1;
 
-/// Maps an engine timer kind onto this driver's simulator timer token.
-fn timer_token(kind: TimerKind) -> u64 {
-    match kind {
-        TimerKind::Batch => TOK_BATCH,
-        TimerKind::NakScan => TOK_NAK_CHECK,
-        TimerKind::GdRetry => TOK_GD_RETRY,
-        TimerKind::Sync => TOK_SYNC,
-    }
+/// Maps a shard's engine timer onto this driver's simulator timer token.
+fn shard_token(shard: ShardId, kind: TimerKind) -> u64 {
+    let k = match kind {
+        TimerKind::Batch => 0,
+        TimerKind::NakScan => 1,
+        TimerKind::GdRetry => 2,
+        TimerKind::Sync => 3,
+    };
+    TOK_SHARD_BASE + shard as u64 * 4 + k
+}
+
+/// Inverse of [`shard_token`]; `None` for non-engine tokens.
+fn decode_shard_token(token: u64) -> Option<(ShardId, TimerKind)> {
+    let off = token.checked_sub(TOK_SHARD_BASE)?;
+    let kind = match off % 4 {
+        0 => TimerKind::Batch,
+        1 => TimerKind::NakScan,
+        2 => TimerKind::GdRetry,
+        _ => TimerKind::Sync,
+    };
+    Some(((off / 4) as ShardId, kind))
 }
 
 // ---------------------------------------------------------------------------
@@ -75,8 +89,10 @@ fn timer_token(kind: TimerKind) -> u64 {
 // ---------------------------------------------------------------------------
 
 pub(crate) struct DaemonState {
-    /// The sans-I/O protocol engine this daemon drives.
-    pub(crate) engine: Engine,
+    /// The sans-I/O protocol engine this daemon drives — sharded by the
+    /// subject's first segment ([`BusConfig::shards`] instances; one by
+    /// default).
+    pub(crate) engine: ShardedEngine,
     pub(crate) host32: u32,
     pub(crate) seg0: Option<SegmentId>,
     pub(crate) registry: Rc<RefCell<TypeRegistry>>,
@@ -117,7 +133,7 @@ pub(crate) struct DaemonState {
 impl DaemonState {
     fn new(cfg: BusConfig) -> Self {
         DaemonState {
-            engine: Engine::new(cfg, 0),
+            engine: ShardedEngine::new(cfg, 0),
             host32: 0,
             seg0: None,
             registry: Rc::new(RefCell::new(TypeRegistry::with_fundamentals())),
@@ -152,13 +168,14 @@ impl DaemonState {
 
     // ----- engine plumbing ----------------------------------------------------
 
-    /// Performs a batch of engine actions against the simulated network.
-    pub(crate) fn apply(&mut self, net: &mut Ctx<'_>, actions: Vec<Action>) {
+    /// Performs a batch of shard-tagged engine actions against the
+    /// simulated network.
+    pub(crate) fn apply(&mut self, net: &mut Ctx<'_>, actions: Vec<(ShardId, Action)>) {
         if actions.is_empty() {
             return;
         }
         let mut transport = DaemonTransport { d: self, net };
-        run_actions(actions, &mut transport);
+        run_sharded_actions(actions, &mut transport);
     }
 
     // ----- packet transmission ------------------------------------------------
@@ -383,8 +400,10 @@ impl DaemonState {
     }
 
     /// Snapshot of per-subject remote interest for the pending guaranteed
-    /// envelopes, fed to the engine's retry round.
-    fn gd_retry_round(&mut self, net: &mut Ctx<'_>) {
+    /// envelopes, fed to one shard's retry round. The interest map covers
+    /// the union of every shard's pending subjects (each shard only
+    /// consults the subjects its own ledger slice holds).
+    fn gd_retry_round(&mut self, net: &mut Ctx<'_>, shard: ShardId) {
         let mut interest: HashMap<String, Vec<u32>> = HashMap::new();
         for s in self.engine.gd_subjects() {
             let Ok(subject) = Subject::new(&s) else {
@@ -400,7 +419,7 @@ impl DaemonState {
                 .collect();
             interest.insert(s, interested);
         }
-        let actions = self.engine.handle(net.now(), Event::GdRetry { interest });
+        let actions = self.engine.handle_gd_retry(net.now(), shard, interest);
         self.apply(net, actions);
     }
 
@@ -436,7 +455,11 @@ impl DaemonState {
     fn publish_stats(&mut self, net: &mut Ctx<'_>) {
         let host = Self::subject_element(&net.host_name());
         let daemon = self.stats_daemon_name();
-        let obj = self.engine.stats.to_object(&host, &daemon, net.now());
+        // The published snapshot fans the shards in: one merged object.
+        let obj = self
+            .engine
+            .merged_stats()
+            .to_object(&host, &daemon, net.now());
         let text = format!("{STATS_SUBJECT_PREFIX}.{host}.{daemon}");
         if let Ok(subject) = Subject::new(&text) {
             let value = Value::Object(Box::new(obj));
@@ -470,7 +493,9 @@ impl Transport for DaemonTransport<'_, '_> {
     }
 
     fn set_timer(&mut self, delay_us: Micros, timer: TimerKind) {
-        self.net.set_timer(delay_us, timer_token(timer));
+        // Untagged fallback: attribute to shard 0 (only correct when
+        // unsharded; the sharded path below is what apply() uses).
+        self.net.set_timer(delay_us, shard_token(0, timer));
     }
 
     fn deliver(&mut self, env: Envelope) {
@@ -494,6 +519,12 @@ impl Transport for DaemonTransport<'_, '_> {
     }
 }
 
+impl ShardTransport for DaemonTransport<'_, '_> {
+    fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind) {
+        self.net.set_timer(delay_us, shard_token(shard, timer));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The daemon process
 // ---------------------------------------------------------------------------
@@ -501,9 +532,10 @@ impl Transport for DaemonTransport<'_, '_> {
 /// The bus daemon process: one per host.
 ///
 /// Owns the local applications ([`BusApp`](crate::BusApp)) and exported services
-/// ([`ServiceObject`]); drives the protocol [`Engine`] for reliable and
-/// guaranteed delivery, and implements discovery windows, RMI, and router
-/// links on top.
+/// ([`ServiceObject`]); drives the protocol [`Engine`](crate::engine::Engine)
+/// (one per shard, behind a [`ShardedEngine`](crate::engine::ShardedEngine))
+/// for reliable and guaranteed delivery, and implements discovery windows,
+/// RMI, and router links on top.
 pub struct BusDaemon {
     pub(crate) state: DaemonState,
     pub(crate) apps: Vec<Option<AppSlot>>,
@@ -520,9 +552,15 @@ impl BusDaemon {
         }
     }
 
-    /// The daemon's protocol counters.
-    pub fn stats(&self) -> &BusStats {
-        &self.state.engine.stats
+    /// The daemon's protocol counters, merged across engine shards.
+    pub fn stats(&self) -> BusStats {
+        self.state.engine.merged_stats()
+    }
+
+    /// The merged counters together with the per-shard breakdown (depth
+    /// and occupancy maxima survive only in the breakdown).
+    pub fn sharded_stats(&self) -> ShardedStats {
+        self.state.engine.sharded_stats()
     }
 
     /// The daemon's shared type registry.
@@ -553,9 +591,16 @@ impl Process for BusDaemon {
             cfg.sync_period_us,
             cfg.stats_period_us,
         );
-        ctx.set_timer(nak_check, TOK_NAK_CHECK);
+        // Each shard scans its own gaps and digests its own idle streams,
+        // so the periodic engine timers are per shard (tagged tokens).
+        let shards = self.state.engine.shard_count();
+        for shard in 0..shards {
+            ctx.set_timer(nak_check, shard_token(shard, TimerKind::NakScan));
+        }
         ctx.set_timer(announce, TOK_ANNOUNCE);
-        ctx.set_timer(sync, TOK_SYNC);
+        for shard in 0..shards {
+            ctx.set_timer(sync, shard_token(shard, TimerKind::Sync));
+        }
         // The observability plane: every daemon can describe its own
         // counters, and publishes them when a stats period is configured.
         BusStats::register_type(&mut self.state.registry.borrow_mut());
@@ -647,31 +692,22 @@ impl Process for BusDaemon {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some((shard, kind)) = decode_shard_token(token) {
+            if shard < self.state.engine.shard_count() {
+                match kind {
+                    TimerKind::GdRetry => self.state.gd_retry_round(ctx, shard),
+                    kind => {
+                        let actions = self.state.engine.handle_timer(ctx.now(), shard, kind);
+                        self.state.apply(ctx, actions);
+                    }
+                }
+            }
+            self.drain(ctx);
+            return;
+        }
         match token {
-            TOK_BATCH => {
-                let actions = self
-                    .state
-                    .engine
-                    .handle(ctx.now(), Event::Timer(TimerKind::Batch));
-                self.state.apply(ctx, actions);
-            }
-            TOK_NAK_CHECK => {
-                let actions = self
-                    .state
-                    .engine
-                    .handle(ctx.now(), Event::Timer(TimerKind::NakScan));
-                self.state.apply(ctx, actions);
-            }
-            TOK_SYNC => {
-                let actions = self
-                    .state
-                    .engine
-                    .handle(ctx.now(), Event::Timer(TimerKind::Sync));
-                self.state.apply(ctx, actions);
-            }
             TOK_STATS => self.state.publish_stats(ctx),
             TOK_ANN_FLUSH => self.state.flush_announcements(ctx),
-            TOK_GD_RETRY => self.state.gd_retry_round(ctx),
             TOK_ANNOUNCE => {
                 self.state.announce_full(ctx);
                 self.state.send_link_subs(ctx, None);

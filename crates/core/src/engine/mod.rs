@@ -32,6 +32,7 @@ pub mod batch;
 pub mod discovery;
 pub mod guaranteed;
 pub mod reliable;
+pub mod sharded;
 pub mod stats;
 
 use crate::config::BusConfig;
@@ -41,6 +42,9 @@ use crate::QoS;
 
 use std::collections::HashMap;
 
+pub use sharded::{
+    run_sharded_actions, shard_of_subject, ShardId, ShardTransport, ShardedEngine, ShardedStats,
+};
 pub use stats::{BusStats, RmiLatency, STATS_SUBJECT_PREFIX};
 
 /// Microseconds of protocol time. The engine does not read clocks: every

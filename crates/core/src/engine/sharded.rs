@@ -1,0 +1,512 @@
+//! The sharded engine: N independent [`Engine`] instances behind the
+//! same `(now_us, Event) → actions` contract.
+//!
+//! One [`Engine`] serializes every subject through a single state
+//! machine; at trading-floor fan-in that single engine becomes the
+//! bottleneck even though independent subjects share no protocol state.
+//! [`ShardedEngine`] splits the daemon into `shards` engines and routes
+//! each event to the shard that owns its subject, chosen by a **stable
+//! hash of the subject's first segment** ([`shard_of_subject`]).
+//!
+//! # Why the first segment
+//!
+//! Subjects are hierarchical (`equity.ibm.trade`): the first segment
+//! names the category, and category is how real installations partition
+//! load. Hashing only the first segment keeps whole categories on one
+//! shard, so wildcard subscriptions like `equity.>` still see every
+//! matching stream repaired by one engine, and a publisher's related
+//! subjects stay adjacent.
+//!
+//! # Ordering contract
+//!
+//! Every `(publisher, subject)` stream lives entirely inside one shard:
+//! sequencing, holdback, NAK repair, and guaranteed-delivery retries for
+//! a stream never cross shards. Per-sender-per-subject order is
+//! therefore exactly what the single engine guaranteed. Ordering
+//! *between* subjects on different shards is unconstrained — they are
+//! independent state machines, as the bus never promised inter-subject
+//! order anyway.
+//!
+//! # Timers carry a shard tag
+//!
+//! The NAK-scan and sync timers re-arm themselves: each firing returns a
+//! `SetTimer` that keeps the scan alive. If timer firings were fanned
+//! out to every shard untagged, each shard's re-arm would multiply —
+//! N shards × N re-arms per firing is a timer storm. Actions from a
+//! sharded engine are therefore `(ShardId, Action)` pairs, drivers arm
+//! timers per shard ([`ShardTransport::set_shard_timer`]), and a firing
+//! is reported back to exactly the shard that armed it via
+//! [`ShardedEngine::handle_timer`].
+//!
+//! # What fans out (and what it costs)
+//!
+//! * **Discovery** correlation state is subject-independent (keyed by
+//!   correlation id), so it lives on shard 0 — no fan-out at all.
+//! * **Stats** snapshots fan *in*: [`ShardedEngine::merged_stats`] sums
+//!   the per-shard [`BusStats`] (cost: O(shards) counter adds per
+//!   snapshot), and [`ShardedEngine::sharded_stats`] keeps the
+//!   per-shard breakdown so depth/occupancy maxima survive the merge.
+//! * **Guaranteed-delivery retry rounds** fan out: the driver computes
+//!   one interest map for the union of [`ShardedEngine::gd_subjects`]
+//!   and every shard scans its own ledger slice against it (a shard
+//!   only consults subjects it owns, so the shared map is safe).
+//! * An *untagged* [`Event::Timer`] fans out to all shards as a
+//!   documented fallback — correct (each shard ignores timers it has no
+//!   state for, and any re-arms come back tagged) but N× the work of a
+//!   tagged firing.
+//!
+//! With `shards = 1` (the default) every subject maps to shard 0, every
+//! action is tagged `(0, _)`, and the produced action sequence is
+//! exactly the single engine's — the paper-figure configurations are
+//! reproduced byte-for-byte.
+
+use std::collections::HashMap;
+
+use crate::config::BusConfig;
+use crate::envelope::{Envelope, EnvelopeKind};
+use crate::QoS;
+
+use super::discovery::PendingDiscovery;
+use super::{Action, BusStats, Engine, Event, Micros, PubSource, TimerKind, Transport};
+
+/// Index of one shard within a [`ShardedEngine`] (`0..shard_count`).
+pub type ShardId = usize;
+
+/// Maps a subject to the shard that owns it: an FNV-1a hash of the
+/// subject's **first segment** (the text before the first `.`), modulo
+/// the shard count.
+///
+/// The hash is deliberately fixed — no per-process seed — so the same
+/// subject lands on the same shard across restarts, across hosts, and
+/// across drivers. That stability is what lets a restarted publisher
+/// reload only its own shards' ledger slices and keep every stream's
+/// repair state on the engine that sequenced it.
+pub fn shard_of_subject(subject: &str, shards: usize) -> ShardId {
+    if shards <= 1 {
+        return 0;
+    }
+    let first = match subject.find('.') {
+        Some(dot) => &subject[..dot],
+        None => subject,
+    };
+    // FNV-1a, 64-bit: tiny, allocation-free, and stable by construction.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in first.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as ShardId
+}
+
+/// A merged [`BusStats`] snapshot plus the per-shard breakdown it was
+/// merged from, so aggregate-destroying views (maximum queue depth,
+/// per-shard batch occupancy) remain available after the fan-in.
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    /// All shards (plus the driver's shared counters) summed into one
+    /// snapshot — what the observability plane publishes.
+    pub merged: BusStats,
+    /// One snapshot per shard, in shard order.
+    pub per_shard: Vec<BusStats>,
+}
+
+impl ShardedStats {
+    /// The deepest per-shard subscriber-queue gauge (the merged snapshot
+    /// only has the sum).
+    pub fn max_sub_queue_depth(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.sub_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest per-shard count of guaranteed envelopes still pending
+    /// acknowledgment.
+    pub fn max_gd_pending(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.gd_pending)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard mean batch occupancy, in shard order.
+    pub fn batch_occupancy(&self) -> Vec<f64> {
+        self.per_shard
+            .iter()
+            .map(BusStats::mean_batch_occupancy)
+            .collect()
+    }
+}
+
+/// The driver side of a sharded engine: a [`Transport`] that can also
+/// arm per-shard timers. When a shard-tagged timer fires, the driver
+/// reports it back to that shard alone via
+/// [`ShardedEngine::handle_timer`] (or
+/// [`ShardedEngine::handle_gd_retry`] for [`TimerKind::GdRetry`]).
+pub trait ShardTransport: Transport {
+    /// Arm a one-shot protocol timer owned by `shard`.
+    fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind);
+}
+
+/// Performs a batch of shard-tagged actions, in order, against a
+/// transport. Timer arms go to [`ShardTransport::set_shard_timer`];
+/// every other action is shard-agnostic at the wire and routes to the
+/// base [`Transport`] methods.
+pub fn run_sharded_actions(actions: Vec<(ShardId, Action)>, t: &mut impl ShardTransport) {
+    for (shard, action) in actions {
+        match action {
+            Action::Broadcast(packet) => t.broadcast(packet),
+            Action::Unicast { host, packet } => t.unicast(host, packet),
+            Action::SetTimer { delay_us, timer } => t.set_shard_timer(shard, delay_us, timer),
+            Action::Deliver(env) => t.deliver(env),
+            Action::DeliverGd(env) => t.deliver_gd(env),
+            Action::Persist { key, bytes } => t.persist(key, bytes),
+            Action::Unpersist { key } => t.unpersist(&key),
+        }
+    }
+}
+
+/// N independent protocol engines routed by subject hash — the sharded
+/// face of [`Engine`], consumed the same way: feed it
+/// `(now, `[`Event`]`)` pairs, perform the returned actions in order.
+/// The only contract difference is that each action carries the
+/// [`ShardId`] that produced it, so timer arms stay attributable.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// Counters for driver-side events that are not attributable to one
+    /// shard (RMI bookkeeping, router forwards, socket totals). Merged
+    /// with every shard's own counters by [`ShardedEngine::merged_stats`].
+    pub stats: BusStats,
+}
+
+impl ShardedEngine {
+    /// Creates `cfg.shards` engines (at least one) for the daemon on
+    /// `host32`.
+    pub fn new(cfg: BusConfig, host32: u32) -> ShardedEngine {
+        Self::build(cfg, host32, false)
+    }
+
+    /// Creates a loopback sharded engine (every shard accepts envelopes
+    /// from its own host; see [`Engine::new_loopback`]).
+    pub fn new_loopback(cfg: BusConfig, host32: u32) -> ShardedEngine {
+        Self::build(cfg, host32, true)
+    }
+
+    fn build(cfg: BusConfig, host32: u32, loopback: bool) -> ShardedEngine {
+        let n = cfg.shards.max(1);
+        let shards = (0..n)
+            .map(|_| {
+                if loopback {
+                    Engine::new_loopback(cfg.clone(), host32)
+                } else {
+                    Engine::new(cfg.clone(), host32)
+                }
+            })
+            .collect();
+        ShardedEngine {
+            shards,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `subject`.
+    pub fn shard_of(&self, subject: &str) -> ShardId {
+        shard_of_subject(subject, self.shards.len())
+    }
+
+    /// Borrows one shard's engine (tests and benches).
+    pub fn shard(&self, id: ShardId) -> &Engine {
+        &self.shards[id]
+    }
+
+    /// Mutably borrows one shard's engine (tests and benches).
+    pub fn shard_mut(&mut self, id: ShardId) -> &mut Engine {
+        &mut self.shards[id]
+    }
+
+    /// Decomposes into the per-shard engines. Drivers that want
+    /// independent per-shard locking (the in-process bus puts each shard
+    /// behind its own mutex so publishers on different subjects stop
+    /// contending) flatten the sharded engine with this and route with
+    /// [`shard_of_subject`] themselves.
+    pub fn into_shards(self) -> Vec<Engine> {
+        self.shards
+    }
+
+    /// The host id the shards publish under.
+    pub fn host32(&self) -> u32 {
+        self.shards[0].host32()
+    }
+
+    /// Sets the host id on every shard (drivers that learn their address
+    /// after construction call this once, before traffic flows).
+    pub fn set_host(&mut self, host32: u32) {
+        for s in &mut self.shards {
+            s.set_host(host32);
+        }
+    }
+
+    /// The configuration the engines were built with.
+    pub fn config(&self) -> &BusConfig {
+        self.shards[0].config()
+    }
+
+    /// Handles one event, returning shard-tagged actions to perform in
+    /// order.
+    ///
+    /// Subject-bearing events go to the owning shard. An untagged
+    /// [`Event::Timer`] fans out to every shard (prefer
+    /// [`ShardedEngine::handle_timer`] when the driver knows which shard
+    /// armed it); [`Event::GdRetry`] fans out by design — each shard
+    /// scans its own ledger slice against the shared interest map.
+    pub fn handle(&mut self, now: Micros, event: Event) -> Vec<(ShardId, Action)> {
+        let owner = match &event {
+            Event::Publish { subject, .. }
+            | Event::Nak { subject, .. }
+            | Event::GapSkip { subject, .. }
+            | Event::Ack { subject, .. } => Some(self.shard_of(subject)),
+            Event::Envelope { env, .. } => Some(self.shard_of(env.subject.as_str())),
+            Event::Digest { entry, .. } => Some(self.shard_of(entry.subject.as_str())),
+            Event::Timer(_) | Event::GdRetry { .. } => None,
+        };
+        if let Some(shard) = owner {
+            return self.route(now, shard, event);
+        }
+        let mut out = Vec::new();
+        match event {
+            Event::Timer(kind) => {
+                for shard in 0..self.shards.len() {
+                    out.extend(self.handle_timer(now, shard, kind));
+                }
+            }
+            Event::GdRetry { interest } => {
+                for shard in 0..self.shards.len() {
+                    out.extend(self.handle_gd_retry(now, shard, interest.clone()));
+                }
+            }
+            // Every subject-bearing event returned through `owner` above.
+            _ => unreachable!("subject-bearing events are routed above"),
+        }
+        out
+    }
+
+    /// Reports a shard-tagged timer firing to the shard that armed it.
+    pub fn handle_timer(
+        &mut self,
+        now: Micros,
+        shard: ShardId,
+        kind: TimerKind,
+    ) -> Vec<(ShardId, Action)> {
+        self.route(now, shard, Event::Timer(kind))
+    }
+
+    /// Runs one shard's guaranteed-delivery retry round. `interest` may
+    /// cover the union of all shards' pending subjects
+    /// ([`ShardedEngine::gd_subjects`]): the shard only consults the
+    /// subjects its own ledger slice holds.
+    pub fn handle_gd_retry(
+        &mut self,
+        now: Micros,
+        shard: ShardId,
+        interest: HashMap<String, Vec<u32>>,
+    ) -> Vec<(ShardId, Action)> {
+        self.route(now, shard, Event::GdRetry { interest })
+    }
+
+    fn route(&mut self, now: Micros, shard: ShardId, event: Event) -> Vec<(ShardId, Action)> {
+        self.shards[shard]
+            .handle(now, event)
+            .into_iter()
+            .map(|a| (shard, a))
+            .collect()
+    }
+
+    /// Sequences a publication on the owning shard without transmitting
+    /// it — the split entry point mirroring [`Engine::publish`] for
+    /// drivers that interleave local routing between sequencing and
+    /// transmission.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish(
+        &mut self,
+        now: Micros,
+        source: &PubSource,
+        subject: &str,
+        qos: QoS,
+        kind: EnvelopeKind,
+        corr: u64,
+        payload: Vec<u8>,
+    ) -> (Envelope, Vec<(ShardId, Action)>) {
+        let shard = self.shard_of(subject);
+        let (env, actions) =
+            self.shards[shard].publish(now, source, subject, qos, kind, corr, payload);
+        (env, actions.into_iter().map(|a| (shard, a)).collect())
+    }
+
+    /// Queues a sequenced envelope for transmission on its owning shard
+    /// (the second half of the split publish path; see
+    /// [`Engine::enqueue`]).
+    pub fn enqueue(&mut self, env: &Envelope) -> Vec<(ShardId, Action)> {
+        let shard = self.shard_of(env.subject.as_str());
+        self.shards[shard]
+            .enqueue(env)
+            .into_iter()
+            .map(|a| (shard, a))
+            .collect()
+    }
+
+    // ----- guaranteed-delivery hooks ----------------------------------------
+
+    /// Marks a pending guaranteed envelope as locally delivered on its
+    /// owning shard.
+    pub fn gd_local_done(&mut self, env: &Envelope) {
+        let shard = self.shard_of(env.subject.as_str());
+        self.shards[shard].gd_local_done(env);
+    }
+
+    /// The distinct subjects with pending guaranteed envelopes, across
+    /// all shards (sorted, deduplicated). The driver computes interest
+    /// for this union once and hands the same map to every shard's retry
+    /// round.
+    pub fn gd_subjects(&self) -> Vec<String> {
+        let mut subjects: Vec<String> = self.shards.iter().flat_map(Engine::gd_subjects).collect();
+        subjects.sort();
+        subjects.dedup();
+        subjects
+    }
+
+    /// Loads ledger envelopes read back after a restart, each onto the
+    /// shard that owns its subject. Because [`shard_of_subject`] is
+    /// stable across restarts, a driver replaying a single shard's
+    /// persist map touches only that shard's state.
+    pub fn gd_load(&mut self, envs: Vec<Envelope>) -> Vec<(ShardId, Action)> {
+        let mut by_shard: Vec<Vec<Envelope>> = vec![Vec::new(); self.shards.len()];
+        for env in envs {
+            by_shard[self.shard_of(env.subject.as_str())].push(env);
+        }
+        let mut out = Vec::new();
+        for (shard, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            out.extend(
+                self.shards[shard]
+                    .gd_load(batch)
+                    .into_iter()
+                    .map(|a| (shard, a)),
+            );
+        }
+        out
+    }
+
+    // ----- discovery correlation hooks --------------------------------------
+    //
+    // Correlation windows are keyed by correlation id, not subject, so
+    // they live on shard 0: discovery costs nothing extra under
+    // sharding (queries and replies are ordinary publications that route
+    // by their own subjects).
+
+    /// Opens a discovery correlation window (on shard 0).
+    pub fn discovery_start(&mut self, corr: u64, pending: PendingDiscovery) {
+        self.shards[0].discovery_start(corr, pending);
+    }
+
+    /// Collects an "I am" announcement into its correlation window.
+    pub fn discovery_collect(&mut self, env: &Envelope) {
+        self.shards[0].discovery_collect(env);
+    }
+
+    /// Closes a correlation window, returning the collected replies.
+    pub fn discovery_close(&mut self, corr: u64) -> Option<PendingDiscovery> {
+        self.shards[0].discovery_close(corr)
+    }
+
+    // ----- stats fan-in ------------------------------------------------------
+
+    /// One merged snapshot: the driver-side shared counters plus every
+    /// shard's protocol counters summed (histograms included).
+    pub fn merged_stats(&self) -> BusStats {
+        let mut total = self.stats.clone();
+        for s in &self.shards {
+            total.merge_from(&s.stats);
+        }
+        total
+    }
+
+    /// Per-shard snapshots, in shard order (protocol counters only — the
+    /// driver's shared counters are not per-shard).
+    pub fn shard_stats(&self) -> Vec<BusStats> {
+        self.shards.iter().map(|s| s.stats.clone()).collect()
+    }
+
+    /// The merged snapshot together with its per-shard breakdown.
+    pub fn sharded_stats(&self) -> ShardedStats {
+        ShardedStats {
+            merged: self.merged_stats(),
+            per_shard: self.shard_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_first_segment_keyed() {
+        for shards in [1, 2, 4, 7] {
+            for subject in ["equity.ibm.trade", "bond.t30.quote", "x", "a.b"] {
+                let s1 = shard_of_subject(subject, shards);
+                let s2 = shard_of_subject(subject, shards);
+                assert_eq!(s1, s2, "unstable hash for {subject}");
+                assert!(s1 < shards);
+            }
+        }
+        // Same first segment → same shard, regardless of the tail.
+        for shards in [2, 4, 16] {
+            assert_eq!(
+                shard_of_subject("equity.ibm.trade", shards),
+                shard_of_subject("equity.dec.quote", shards),
+            );
+        }
+        // One shard degenerates to the unsharded engine.
+        assert_eq!(shard_of_subject("anything.at.all", 1), 0);
+        assert_eq!(shard_of_subject("anything.at.all", 0), 0);
+    }
+
+    #[test]
+    fn distinct_categories_spread_across_shards() {
+        // Not a uniformity proof — just that the hash is not degenerate:
+        // 26 single-letter categories must touch every one of 4 shards.
+        let mut hit = [false; 4];
+        for c in b'a'..=b'z' {
+            let subject = format!("{}.data", c as char);
+            hit[shard_of_subject(&subject, 4)] = true;
+        }
+        assert!(
+            hit.iter().all(|h| *h),
+            "4 shards not all reachable: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_stats_fan_in_preserves_breakdown() {
+        let mut se = ShardedEngine::new(BusConfig::default().with_shards(3), 9);
+        se.stats.rmi_calls = 5;
+        se.shard_mut(0).stats.published = 10;
+        se.shard_mut(1).stats.published = 20;
+        se.shard_mut(2).stats.sub_queue_depth = 7;
+        let snap = se.sharded_stats();
+        assert_eq!(snap.merged.published, 30);
+        assert_eq!(snap.merged.rmi_calls, 5);
+        assert_eq!(snap.merged.sub_queue_depth, 7);
+        assert_eq!(snap.per_shard.len(), 3);
+        assert_eq!(snap.max_sub_queue_depth(), 7);
+    }
+}

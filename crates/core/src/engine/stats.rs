@@ -65,6 +65,18 @@ impl RmiLatency {
             self.sum_us as f64 / self.count as f64
         }
     }
+
+    /// Adds another histogram into this one, bucket by bucket. Because
+    /// every shard uses the same [`RmiLatency::BOUNDS_US`], merging shard
+    /// histograms loses nothing: counts, sums, and per-bucket tallies all
+    /// add.
+    pub fn merge_from(&mut self, other: &RmiLatency) {
+        for (slot, add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += add;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
 }
 
 /// Counters exposed by a daemon (used by tests and the bench harness).
@@ -74,7 +86,7 @@ impl RmiLatency {
 /// [`BusConfig::stats_period_us`](crate::BusConfig::stats_period_us) set
 /// publish that object periodically on `_INBUS.STATS.<host>.<daemon>`
 /// (see [`STATS_SUBJECT_PREFIX`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Envelopes published by local applications.
     pub published: u64,
@@ -197,6 +209,31 @@ const STATS_COUNTERS: &[&str] = &[
 ];
 
 impl BusStats {
+    /// Adds every counter of `other` into this snapshot, including the
+    /// RMI latency histogram. This is how per-shard snapshots combine
+    /// into one daemon-level snapshot: monotonic counters sum, and the
+    /// two gauges (`gd_pending`, `sub_queue_depth`) sum too because each
+    /// shard owns a disjoint slice of the pending set and the queues.
+    pub fn merge_from(&mut self, other: &BusStats) {
+        for name in STATS_COUNTERS {
+            let add = other.counter(name);
+            if let Some(slot) = self.counter_mut(name) {
+                *slot += add;
+            }
+        }
+        self.rmi_latency.merge_from(&other.rmi_latency);
+    }
+
+    /// Merges a set of snapshots (per-shard breakdowns, typically) into
+    /// one combined snapshot.
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a BusStats>) -> BusStats {
+        let mut total = BusStats::default();
+        for s in snaps {
+            total.merge_from(s);
+        }
+        total
+    }
+
     /// Mean envelopes per flushed batch (0 when batching never flushed).
     pub fn mean_batch_occupancy(&self) -> f64 {
         if self.batch_flushes == 0 {
@@ -356,5 +393,117 @@ impl BusStats {
         stats.rmi_latency.count = obj.get("rmi_latency_count")?.as_i64()? as u64;
         stats.rmi_latency.sum_us = obj.get("rmi_latency_sum_us")?.as_i64()? as u64;
         Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A snapshot with every counter set to a distinct nonzero value and
+    /// a populated latency histogram, so a lossy merge of any field shows
+    /// up as an inequality.
+    fn dense() -> BusStats {
+        let mut s = BusStats::default();
+        for (i, name) in STATS_COUNTERS.iter().enumerate() {
+            *s.counter_mut(name).expect("known counter") = 100 + i as u64 * 7;
+        }
+        for us in [500, 1_500, 9_000, 40_000, 3_000_000] {
+            s.rmi_latency.record(us);
+        }
+        s
+    }
+
+    /// Splits a snapshot into `k` shard-like parts whose counters sum
+    /// back to the original: counter value `v` becomes `v / k` per part
+    /// plus the remainder on part 0, and each histogram observation goes
+    /// to one part round-robin.
+    fn split(s: &BusStats, k: usize) -> Vec<BusStats> {
+        let mut parts = vec![BusStats::default(); k];
+        for name in STATS_COUNTERS {
+            let v = s.counter(name);
+            for (i, p) in parts.iter_mut().enumerate() {
+                let share = v / k as u64 + if i == 0 { v % k as u64 } else { 0 };
+                *p.counter_mut(name).expect("known counter") = share;
+            }
+        }
+        for (b, &count) in s.rmi_latency.buckets().iter().enumerate() {
+            // Reconstruct per-bucket observations at the bucket's bound
+            // (anything past the last bound lands in the overflow bucket;
+            // the sums are overwritten below).
+            let us = RmiLatency::BOUNDS_US.get(b).copied().unwrap_or(2_000_000);
+            for obs in 0..count {
+                parts[obs as usize % k].rmi_latency.record(us);
+            }
+        }
+        // record() re-derives sum_us from the reconstructed observations;
+        // overwrite the parts' sums so they add up to the original
+        // exactly (merge must preserve sums bit-for-bit).
+        for p in parts.iter_mut() {
+            p.rmi_latency.sum_us = s.rmi_latency.sum_us / k as u64;
+        }
+        parts[0].rmi_latency.sum_us += s.rmi_latency.sum_us % k as u64;
+        parts
+    }
+
+    #[test]
+    fn merge_of_split_is_identity() {
+        let s = dense();
+        for k in [1, 2, 4, 7] {
+            let parts = split(&s, k);
+            let merged = BusStats::merged(parts.iter());
+            assert_eq!(merged, s, "merge(split(s, {k})) != s");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_sums_and_histogram_buckets() {
+        let a = dense();
+        let mut b = dense();
+        b.naks_sent = 3;
+        b.sub_queue_depth = 999;
+        b.rmi_latency.record(123);
+        let merged = BusStats::merged([&a, &b]);
+        for name in STATS_COUNTERS {
+            assert_eq!(
+                merged.counter(name),
+                a.counter(name) + b.counter(name),
+                "counter {name} did not sum"
+            );
+        }
+        for (i, bucket) in merged.rmi_latency.buckets().iter().enumerate() {
+            assert_eq!(
+                *bucket,
+                a.rmi_latency.buckets()[i] + b.rmi_latency.buckets()[i],
+                "histogram bucket {i} did not sum"
+            );
+        }
+        assert_eq!(
+            merged.rmi_latency.count(),
+            a.rmi_latency.count() + b.rmi_latency.count()
+        );
+    }
+
+    #[test]
+    fn merge_keeps_per_shard_max_depth_recoverable() {
+        // The merged gauge is the *total* queue depth; the per-shard
+        // breakdown (what ShardedEngine::shard_stats returns) is what
+        // preserves the max. Verify both views agree on one dataset.
+        let mut parts = vec![BusStats::default(); 4];
+        for (i, p) in parts.iter_mut().enumerate() {
+            p.sub_queue_depth = (i as u64 + 1) * 10;
+        }
+        let merged = BusStats::merged(parts.iter());
+        assert_eq!(merged.sub_queue_depth, 10 + 20 + 30 + 40);
+        let max = parts.iter().map(|p| p.sub_queue_depth).max().unwrap();
+        assert_eq!(max, 40);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let s = dense();
+        let mut m = s.clone();
+        m.merge_from(&BusStats::default());
+        assert_eq!(m, s);
     }
 }

@@ -151,7 +151,7 @@ impl BusFabric {
     /// A snapshot of the daemon's protocol counters on `host`.
     pub fn daemon_stats(&self, sim: &mut Sim, host: HostId) -> Option<BusStats> {
         let pid = self.daemons.get(&host)?;
-        sim.with_proc::<BusDaemon, BusStats>(*pid, |d| d.stats().clone())
+        sim.with_proc::<BusDaemon, BusStats>(*pid, |d| d.stats())
     }
 
     /// The hosts with an installed daemon, in ascending id order.

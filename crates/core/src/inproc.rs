@@ -14,6 +14,13 @@
 //! a buggy caller would be dropped, exactly as on the wire. Protocol time
 //! is a monotonic counter — the engine never reads a clock.
 //!
+//! By default `publish` runs that whole chain synchronously on the
+//! calling thread. [`InprocBus::with_workers`] instead runs one worker
+//! thread per engine shard: publishers marshal and hand off to the
+//! owning shard's worker, which does the sequencing and delivery — the
+//! in-process analogue of the paper's application-to-daemon hand-off
+//! (see the constructor's docs for the contract).
+//!
 //! # Examples
 //!
 //! ```
@@ -29,14 +36,17 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
 use infobus_types::{wire, TypeRegistry, Value, WireError};
 
 use crate::app::SubscriptionHandle;
 use crate::config::BusConfig;
-use crate::engine::{Action, BusStats, Engine, Event, Micros, PubSource};
+use crate::engine::{
+    shard_of_subject, Action, BusStats, Engine, Event, Micros, PubSource, ShardedEngine,
+    ShardedStats,
+};
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::msg::Packet;
 use crate::queue::{sub_queue, SubReceiver, SubSender};
@@ -85,14 +95,28 @@ impl InprocMessage {
 /// The single-node host id the in-process engine publishes under.
 const INPROC_HOST: u32 = 1;
 
+/// Work handed from a publishing thread to a shard's worker thread
+/// (worker mode only; see [`InprocBus::with_workers`]).
+enum Job {
+    /// A subject-validated, already-marshalled publication.
+    Publish { subject: String, payload: Vec<u8> },
+    /// A drain marker: the worker acks once every job queued before it
+    /// has been fully processed (the hand-off channel is FIFO).
+    Flush(mpsc::Sender<()>),
+}
+
 // Lock discipline: every `.expect("lock poisoned")` below is deliberate.
 // A lock only poisons if a holder panicked mid-critical-section, leaving
 // engine/trie state possibly inconsistent; propagating the panic to every
 // other bus user is safer than limping on with torn state.
 struct Inner {
     /// The protocol engine, in loopback mode: broadcasts from our own
-    /// host are accepted back into the receive path.
-    engine: Mutex<Engine>,
+    /// host are accepted back into the receive path. A [`ShardedEngine`]
+    /// flattened so each shard sits behind its *own* mutex: publishers
+    /// on subjects owned by different shards take different locks and
+    /// stop contending on one state machine ([`BusConfig::shards`]
+    /// shards; one — the unsharded bus — by default).
+    shards: Vec<Mutex<Engine>>,
     trie: RwLock<SubjectTrie<SubSender<InprocMessage>>>,
     registry: Mutex<TypeRegistry>,
     /// Monotonic protocol time (the engine is sans-I/O and never reads a
@@ -103,6 +127,12 @@ struct Inner {
     queue_cap: usize,
     /// Cumulative drop-oldest evictions across all subscriber queues.
     queue_dropped: Arc<AtomicU64>,
+    /// Worker mode: one hand-off channel per shard, indexed by shard id.
+    /// `None` in the default synchronous mode. Workers hold only a
+    /// [`Weak`] back-reference, so dropping the last bus handle drops
+    /// these senders, which disconnects the receivers and lets every
+    /// worker thread exit.
+    workers: Option<Vec<mpsc::Sender<Job>>>,
 }
 
 /// A thread-safe publish/subscribe bus within one process, driving the
@@ -128,16 +158,76 @@ impl InprocBus {
     /// slow subscribers).
     pub fn with_config(cfg: BusConfig) -> Self {
         let queue_cap = cfg.subscriber_queue_cap;
+        let shards: Vec<Mutex<Engine>> = ShardedEngine::new_loopback(cfg, INPROC_HOST)
+            .into_shards()
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
         InprocBus {
             inner: Arc::new(Inner {
-                engine: Mutex::new(Engine::new_loopback(cfg, INPROC_HOST)),
+                shards,
                 trie: RwLock::new(SubjectTrie::new()),
                 registry: Mutex::new(TypeRegistry::with_fundamentals()),
                 now: AtomicU64::new(0),
                 queue_cap,
                 queue_dropped: Arc::new(AtomicU64::new(0)),
+                workers: None,
             }),
         }
+    }
+
+    /// Creates a bus that runs one worker thread per engine shard
+    /// (worker mode). [`InprocBus::publish`] then marshals on the
+    /// calling thread, hands the payload to the owning shard's worker
+    /// over a FIFO channel, and returns without waiting for delivery —
+    /// the sequencing → loopback → trie-match → subscriber hand-off
+    /// chain runs on the worker. Publishers on different subjects
+    /// therefore never contend on an engine lock, and a publisher is
+    /// never blocked behind another subject's delivery work; this is
+    /// the in-process analogue of the paper's application-to-daemon
+    /// hand-off.
+    ///
+    /// Ordering is unchanged: one worker per shard and a FIFO hand-off
+    /// channel preserve per-subject publication order end to end.
+    ///
+    /// Caveats of the asynchronous contract:
+    /// - the hand-off queue is unbounded — publishers that outrun a
+    ///   shard's worker trade memory for publisher-side latency;
+    /// - the return value of `publish` counts subscribers matching *at
+    ///   hand-off time*, not at delivery;
+    /// - publications still queued when the last bus handle drops are
+    ///   discarded (the workers exit as their channels disconnect).
+    ///   Call [`InprocBus::drain`] first for a clean shutdown.
+    pub fn with_workers(cfg: BusConfig) -> Self {
+        let queue_cap = cfg.subscriber_queue_cap;
+        let shards: Vec<Mutex<Engine>> = ShardedEngine::new_loopback(cfg, INPROC_HOST)
+            .into_shards()
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let inner = Arc::new_cyclic(|weak: &Weak<Inner>| {
+            let txs = (0..shards.len())
+                .map(|shard| {
+                    let (tx, rx) = mpsc::channel::<Job>();
+                    let weak = weak.clone();
+                    std::thread::Builder::new()
+                        .name(format!("inproc-shard-{shard}"))
+                        .spawn(move || shard_worker(shard, &weak, &rx))
+                        .expect("spawn shard worker");
+                    tx
+                })
+                .collect();
+            Inner {
+                shards,
+                trie: RwLock::new(SubjectTrie::new()),
+                registry: Mutex::new(TypeRegistry::with_fundamentals()),
+                now: AtomicU64::new(0),
+                queue_cap,
+                queue_dropped: Arc::new(AtomicU64::new(0)),
+                workers: Some(txs),
+            }
+        });
+        InprocBus { inner }
     }
 
     /// Registers application types so objects can be marshalled.
@@ -193,14 +283,44 @@ impl InprocBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
-        Subject::new(subject)?;
+        let parsed = Subject::new(subject)?;
         let payload = {
             let registry = self.inner.registry.lock().expect("lock poisoned");
             wire::marshal_self_describing(value, &registry)
                 .map_err(|e| BusError::Marshal(e.to_string()))?
         };
+        let shard = shard_of_subject(subject, self.inner.shards.len());
+        if let Some(workers) = &self.inner.workers {
+            // Worker mode: count the matching subscribers now (the
+            // caller's view at hand-off time), then let the owning
+            // shard's worker run the protocol and delivery off the
+            // caller's thread.
+            let count = {
+                let trie = self.inner.trie.read().expect("lock poisoned");
+                trie.matches(&parsed).count()
+            };
+            workers[shard]
+                .send(Job::Publish {
+                    subject: subject.to_owned(),
+                    payload,
+                })
+                .expect("shard worker exited");
+            return Ok(count);
+        }
+        Ok(self.publish_on_shard(shard, subject, payload))
+    }
+
+    /// The synchronous tail of a publish: sequence the marshalled
+    /// payload through the owning shard's engine and loop the resulting
+    /// actions back until delivery. Runs on the calling thread in the
+    /// default mode and on the shard's worker thread in worker mode.
+    /// Returns the number of subscribers the message was handed to.
+    fn publish_on_shard(&self, shard: usize, subject: &str, payload: Vec<u8>) -> usize {
         let now = self.inner.now.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut engine = self.inner.engine.lock().expect("lock poisoned");
+        // Only the owning shard's lock is taken: the entire publish →
+        // loopback → deliver chain for a subject happens inside one
+        // shard, so publishers on other shards proceed in parallel.
+        let mut engine = self.inner.shards[shard].lock().expect("lock poisoned");
         let actions = engine.handle(
             now,
             Event::Publish {
@@ -217,7 +337,31 @@ impl InprocBus {
         );
         let mut delivered = 0usize;
         self.loopback(&mut engine, now, actions, &mut delivered);
-        Ok(delivered)
+        delivered
+    }
+
+    /// Blocks until every publication handed off before this call has
+    /// been fully processed (sequenced and delivered to subscriber
+    /// queues). A no-op in the default synchronous mode, where
+    /// [`InprocBus::publish`] already returns post-delivery. In worker
+    /// mode this is the barrier between "handed to the bus" and
+    /// "visible to subscribers" — call it before reading
+    /// [`InprocBus::stats`] or shutting down.
+    pub fn drain(&self) {
+        let Some(workers) = &self.inner.workers else {
+            return;
+        };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for tx in workers {
+            tx.send(Job::Flush(ack_tx.clone()))
+                .expect("shard worker exited");
+        }
+        drop(ack_tx);
+        // One ack per worker; the hand-off channels are FIFO, so each
+        // ack proves that shard's earlier jobs are done.
+        for _ in workers {
+            ack_rx.recv().expect("shard worker exited");
+        }
     }
 
     /// Performs engine actions in loopback: broadcasts feed straight back
@@ -307,29 +451,61 @@ impl InprocBus {
         self.inner.trie.read().expect("lock poisoned").len()
     }
 
-    /// A snapshot of the engine's protocol counters, with the live
-    /// backpressure gauges (queued backlog and drop-oldest evictions)
-    /// folded in.
+    /// Number of engine shards behind this bus (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// A snapshot of the engine's protocol counters merged across
+    /// shards, with the live backpressure gauges (queued backlog and
+    /// drop-oldest evictions) folded in.
     pub fn stats(&self) -> BusStats {
-        let mut stats = self
+        self.sharded_stats().merged
+    }
+
+    /// The merged counters plus the per-shard breakdown. The queue
+    /// gauges live on the bus, not a shard, and are folded into the
+    /// merged snapshot only.
+    pub fn sharded_stats(&self) -> ShardedStats {
+        let per_shard: Vec<BusStats> = self
             .inner
-            .engine
-            .lock()
-            .expect("lock poisoned")
-            .stats
-            .clone();
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("lock poisoned").stats.clone())
+            .collect();
+        let mut merged = BusStats::merged(per_shard.iter());
         let trie = self.inner.trie.read().expect("lock poisoned");
         let mut depth = 0u64;
         trie.for_each(|_, _, tx| depth += tx.queued() as u64);
-        stats.sub_queue_depth = depth;
-        stats.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
-        stats
+        merged.sub_queue_depth = depth;
+        merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        ShardedStats { merged, per_shard }
     }
 }
 
 impl Default for InprocBus {
     fn default() -> Self {
         InprocBus::new()
+    }
+}
+
+/// A shard worker's main loop (worker mode): run publications for one
+/// shard until every bus handle is gone. The worker holds only a
+/// [`Weak`] so it cannot keep the bus alive; once the last handle drops,
+/// the senders owned by [`Inner`] drop with it, the channel
+/// disconnects, and the loop — and thread — ends.
+fn shard_worker(shard: usize, weak: &Weak<Inner>, rx: &mpsc::Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Publish { subject, payload } => {
+                let Some(inner) = weak.upgrade() else { return };
+                let bus = InprocBus { inner };
+                bus.publish_on_shard(shard, &subject, payload);
+            }
+            Job::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
     }
 }
 
@@ -449,5 +625,102 @@ mod tests {
         assert_eq!(stats.published, 10);
         assert_eq!(stats.delivered, 10);
         assert_eq!(stats.dups_dropped, 0);
+    }
+
+    #[test]
+    fn sharded_bus_keeps_per_subject_order_and_merges_stats() {
+        let bus = InprocBus::with_config(BusConfig::default().with_shards(4));
+        assert_eq!(bus.shard_count(), 4);
+        let subjects = ["alpha.k", "bravo.k", "charlie.k", "delta.k", "echo.k"];
+        let mut rxs = Vec::new();
+        for s in subjects {
+            rxs.push(bus.subscribe(s).unwrap().1);
+        }
+        for i in 0..50i64 {
+            for s in subjects {
+                bus.publish(s, &Value::I64(i)).unwrap();
+            }
+        }
+        for rx in &rxs {
+            let got: Vec<Value> = rx.try_iter().map(|m| m.value().unwrap()).collect();
+            assert_eq!(got, (0..50).map(Value::I64).collect::<Vec<_>>());
+        }
+        let snap = bus.sharded_stats();
+        assert_eq!(snap.per_shard.len(), 4);
+        assert_eq!(snap.merged.published, 250);
+        assert_eq!(snap.merged.delivered, 250);
+        // The publications really spread over more than one shard.
+        let active = snap.per_shard.iter().filter(|s| s.published > 0).count();
+        assert!(active > 1, "all subjects hashed to one shard");
+        let sum: u64 = snap.per_shard.iter().map(|s| s.published).sum();
+        assert_eq!(sum, snap.merged.published);
+    }
+
+    #[test]
+    fn worker_mode_delivers_everything_in_order_after_drain() {
+        let bus = InprocBus::with_workers(BusConfig::default().with_shards(4));
+        let subjects = ["alpha.w", "bravo.w", "charlie.w", "delta.w"];
+        let mut rxs = Vec::new();
+        for s in subjects {
+            rxs.push(bus.subscribe(s).unwrap().1);
+        }
+        for i in 0..50i64 {
+            for s in subjects {
+                // Hand-off time: one matching subscriber per subject.
+                assert_eq!(bus.publish(s, &Value::I64(i)).unwrap(), 1);
+            }
+        }
+        // The barrier: after drain, every hand-off has been sequenced
+        // and delivered, so the queues and counters are settled.
+        bus.drain();
+        for rx in &rxs {
+            let got: Vec<Value> = rx.try_iter().map(|m| m.value().unwrap()).collect();
+            assert_eq!(got, (0..50).map(Value::I64).collect::<Vec<_>>());
+        }
+        let snap = bus.sharded_stats();
+        assert_eq!(snap.merged.published, 200);
+        assert_eq!(snap.merged.delivered, 200);
+        assert_eq!(snap.merged.dups_dropped, 0);
+        let active = snap.per_shard.iter().filter(|s| s.published > 0).count();
+        assert!(active > 1, "all subjects hashed to one shard");
+    }
+
+    #[test]
+    fn worker_mode_concurrent_publishers_keep_per_subject_order() {
+        let bus = InprocBus::with_workers(BusConfig::default().with_shards(4));
+        let subjects = ["alpha.mt", "bravo.mt", "charlie.mt", "delta.mt"];
+        let mut rxs = Vec::new();
+        for s in subjects {
+            rxs.push(bus.subscribe(s).unwrap().1);
+        }
+        let handles: Vec<_> = subjects
+            .into_iter()
+            .map(|s| {
+                let bus = bus.clone();
+                thread::spawn(move || {
+                    for i in 0..200i64 {
+                        bus.publish(s, &Value::I64(i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        bus.drain();
+        for rx in &rxs {
+            let got: Vec<Value> = rx.try_iter().map(|m| m.value().unwrap()).collect();
+            assert_eq!(got, (0..200).map(Value::I64).collect::<Vec<_>>());
+        }
+        assert_eq!(bus.stats().delivered, 800);
+    }
+
+    #[test]
+    fn worker_mode_drain_on_sync_bus_is_a_no_op() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus.subscribe("a.b").unwrap();
+        bus.publish("a.b", &Value::I64(1)).unwrap();
+        bus.drain();
+        assert_eq!(rx.try_iter().count(), 1);
     }
 }

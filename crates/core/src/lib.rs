@@ -69,7 +69,9 @@ pub mod router;
 pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply, SubscriptionHandle};
 pub use config::BusConfig;
 pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
-pub use engine::{BusStats, RmiLatency, STATS_SUBJECT_PREFIX};
+pub use engine::{
+    shard_of_subject, BusStats, RmiLatency, ShardedEngine, ShardedStats, STATS_SUBJECT_PREFIX,
+};
 pub use envelope::{Envelope, EnvelopeKind, StreamKey};
 pub use fabric::BusFabric;
 pub use rmi::{CallId, RetryMode, RmiError, SelectionPolicy, ServiceObject};

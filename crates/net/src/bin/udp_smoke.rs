@@ -22,7 +22,13 @@ const GUARANTEED_COUNT: i64 = 50;
 const DEADLINE: Duration = Duration::from_secs(60);
 
 /// Protocol timers tightened so repair converges in smoke-test time.
+/// `INFOBUS_SHARDS` selects the engine shard count (default 1); the
+/// child inherits the environment, so both processes agree.
 fn smoke_cfg() -> BusConfig {
+    let shards = std::env::var("INFOBUS_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     BusConfig::default()
         .with_batch_enabled(false)
         .with_nak_delay_us(5_000)
@@ -30,6 +36,7 @@ fn smoke_cfg() -> BusConfig {
         .with_sync_period_us(25_000)
         .with_gd_retry_us(25_000)
         .with_retain_per_stream(4096)
+        .with_shards(shards)
 }
 
 fn main() {
@@ -55,6 +62,7 @@ fn parent() {
     .expect("bind parent");
     let (_data_sub, data_rx) = bus.subscribe("smoke.data.>").expect("subscribe data");
     let (_gd_sub, gd_rx) = bus.subscribe("smoke.gd.>").expect("subscribe gd");
+    let (_stats_sub, stats_rx) = bus.subscribe("smoke.stats.>").expect("subscribe stats");
 
     // The child learns us from argv; we learn the child from its frames.
     let mut child = Command::new(std::env::current_exe().expect("current exe"))
@@ -110,17 +118,55 @@ fn parent() {
         failures.push(format!("child failed: {status}"));
     }
 
+    // The child's last guaranteed publication carries its own
+    // `net_tx_packets` sample; the child only exits once it is acked, so
+    // it must already be queued here.
+    let reported_tx = match stats_rx.recv_timeout(Duration::from_secs(5)) {
+        Ok(msg) => match msg.value().expect("unmarshal stats") {
+            Value::I64(v) if v > 0 => v as u64,
+            other => {
+                failures.push(format!("bad child tx report: {other:?}"));
+                0
+            }
+        },
+        Err(_) => {
+            failures.push("child never reported its tx counter".into());
+            0
+        }
+    };
+
     let stats = bus.stats();
     println!(
-        "parent stats: rx={} dropped={} naks_sent={} dups_dropped={} acks_sent={}",
+        "parent stats: rx={} dropped={} child_tx={} naks_sent={} dups_dropped={} acks_sent={}",
         stats.net_rx_packets,
         stats.net_recv_dropped,
+        reported_tx,
         stats.naks_sent,
         stats.dups_dropped,
         stats.acks_sent
     );
     if stats.net_recv_dropped == 0 {
         failures.push("loss injection never fired".into());
+    }
+    if stats.net_rx_packets == 0 {
+        failures.push("rx counter never moved".into());
+    }
+    // Socket-counter consistency: every datagram the child sent was
+    // either received or dropped by the injected loss here (the child is
+    // our only peer). The child keeps transmitting a little after it
+    // samples its counter (the report itself, retries, final acks) and
+    // the OS may shed a datagram under load, hence a tolerance rather
+    // than equality.
+    if reported_tx > 0 {
+        let accounted = stats.net_rx_packets + stats.net_recv_dropped;
+        let tolerance = 50 + reported_tx / 10;
+        if accounted.abs_diff(reported_tx) > tolerance {
+            failures.push(format!(
+                "socket counters inconsistent: rx {} + dropped {} = {accounted}, \
+                 child reported tx {reported_tx} (tolerance {tolerance})",
+                stats.net_rx_packets, stats.net_recv_dropped
+            ));
+        }
     }
     if stats.naks_sent == 0 {
         failures.push("no NAKs sent — repair path not exercised".into());
@@ -149,13 +195,25 @@ fn child(parent_addr: SocketAddr) {
     bus.add_peer(1, parent_addr).expect("add parent peer");
     let (_ctl_sub, ctl_rx) = bus.subscribe("smoke.ctl.>").expect("subscribe ctl");
 
+    // Paced, not flooded: on a single-CPU box an unbroken burst
+    // overruns the parent's socket buffer while its process is
+    // descheduled, and those kernel drops are invisible to both ends'
+    // counters — which would void the parent's tx/rx/drop consistency
+    // check. NAK repair would still recover the data; the pacing keeps
+    // the counters honest.
     for i in 0..RELIABLE_COUNT {
         bus.publish("smoke.data.tick", &Value::I64(i), QoS::Reliable)
             .expect("publish data");
+        if i % 20 == 19 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
     for i in 0..GUARANTEED_COUNT {
         bus.publish("smoke.gd.order", &Value::I64(i), QoS::Guaranteed)
             .expect("publish gd");
+        if i % 20 == 19 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     // Stay alive serving NAK retransmissions and guaranteed retries
@@ -163,6 +221,7 @@ fn child(parent_addr: SocketAddr) {
     // guaranteed ledger has drained (every envelope acked).
     let end = Instant::now() + DEADLINE;
     let mut released = false;
+    let mut reported_tx = false;
     loop {
         if Instant::now() >= end {
             eprintln!(
@@ -173,6 +232,17 @@ fn child(parent_addr: SocketAddr) {
         }
         released = released || ctl_rx.recv_timeout(Duration::from_millis(10)).is_ok();
         if released && bus.stats().gd_pending == 0 {
+            if !reported_tx {
+                // Everything above is acked: sample how many datagrams
+                // this side sent and report it, guaranteed so the
+                // parent's injected loss cannot swallow it. The parent
+                // checks rx + dropped against this figure.
+                let tx = bus.stats().net_tx_packets;
+                bus.publish("smoke.stats.tx", &Value::I64(tx as i64), QoS::Guaranteed)
+                    .expect("publish stats");
+                reported_tx = true;
+                continue; // wait for the report itself to be acked
+            }
             exit(0);
         }
     }

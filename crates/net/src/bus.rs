@@ -1,8 +1,8 @@
 //! The UDP bus daemon: sockets, threads, and queues around the engine.
 //!
 //! A [`UdpBus`] owns one `std::net::UdpSocket`, one protocol
-//! [`Engine`] behind a mutex, and one reader thread. The division of
-//! labour is strict:
+//! [`ShardedEngine`] behind a mutex, and one reader thread. The
+//! division of labour is strict:
 //!
 //! * the **engine** decides (sequencing, NAK repair, dedup, guaranteed
 //!   delivery, batching) — identical state machines to the simulator's
@@ -28,7 +28,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use infobus_core::engine::{
-    run_actions, Action, BusStats, Engine, Event, Micros, PubSource, TimerKind, Transport,
+    run_sharded_actions, Action, BusStats, Event, Micros, PubSource, ShardId, ShardTransport,
+    ShardedEngine, ShardedStats, TimerKind, Transport,
 };
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubReceiver, SubSender};
@@ -213,7 +214,9 @@ struct Inner {
     socket: UdpSocket,
     local: SocketAddr,
     clock: MonoClock,
-    engine: Mutex<Engine>,
+    /// The protocol engine, sharded by the subject's first segment
+    /// ([`BusConfig::shards`] instances; one by default).
+    engine: Mutex<ShardedEngine>,
     trie: RwLock<SubjectTrie<SubEntry>>,
     registry: Mutex<TypeRegistry>,
     timers: Mutex<TimerWheel>,
@@ -265,16 +268,17 @@ impl UdpBus {
         }
         let local = socket.local_addr().map_err(net_err)?;
         let queue_cap = cfg.bus.subscriber_queue_cap;
+        let shards = cfg.bus.shards.max(1);
         let inner = Arc::new(Inner {
             host: cfg.host,
             app: cfg.app,
             socket,
             local,
             clock: MonoClock::new(),
-            engine: Mutex::new(Engine::new(cfg.bus, cfg.host)),
+            engine: Mutex::new(ShardedEngine::new(cfg.bus, cfg.host)),
             trie: RwLock::new(SubjectTrie::new()),
             registry: Mutex::new(TypeRegistry::with_fundamentals()),
-            timers: Mutex::new(TimerWheel::new()),
+            timers: Mutex::new(TimerWheel::new(shards)),
             peers: RwLock::new(cfg.peers.into_iter().collect()),
             peer_subs: Mutex::new(HashMap::new()),
             ledger: Mutex::new(BTreeMap::new()),
@@ -295,9 +299,13 @@ impl UdpBus {
             let mut engine = poisoned(inner.engine.lock());
             let (nak, sync) = (engine.config().nak_check_us, engine.config().sync_period_us);
             {
+                // Every shard scans its own gaps and digests its own
+                // idle streams.
                 let mut wheel = poisoned(inner.timers.lock());
-                wheel.arm(now + nak, TimerKind::NakScan);
-                wheel.arm(now + sync, TimerKind::Sync);
+                for shard in 0..engine.shard_count() {
+                    wheel.arm(now + nak, shard, TimerKind::NakScan);
+                    wheel.arm(now + sync, shard, TimerKind::Sync);
+                }
             }
             let host = inner.host;
             inner.send_broadcast_packet(&Packet::SubResync { host }, &mut engine.stats);
@@ -464,15 +472,23 @@ impl UdpBus {
         Ok(delivered)
     }
 
-    /// A snapshot of the protocol counters, including the socket-level
-    /// `net_*` counters and subscriber-queue gauges.
+    /// A snapshot of the protocol counters merged across every shard,
+    /// including the socket-level `net_*` counters and subscriber-queue
+    /// gauges.
     pub fn stats(&self) -> BusStats {
-        let mut stats = poisoned(self.inner.engine.lock()).stats.clone();
+        self.sharded_stats().merged
+    }
+
+    /// The merged counter snapshot plus the per-shard breakdown (the
+    /// merged view carries the subscriber-queue gauges, which are not
+    /// attributable to a single shard).
+    pub fn sharded_stats(&self) -> ShardedStats {
+        let mut stats = poisoned(self.inner.engine.lock()).sharded_stats();
         let trie = poisoned(self.inner.trie.read());
         let mut depth = 0u64;
         trie.for_each(|_, _, e| depth += e.tx.queued() as u64);
-        stats.sub_queue_depth = depth;
-        stats.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        stats.merged.sub_queue_depth = depth;
+        stats.merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
         stats
     }
 
@@ -558,9 +574,15 @@ impl Inner {
 
     // ----- engine plumbing --------------------------------------------------
 
-    /// Performs a batch of engine actions; reports guaranteed local
-    /// deliveries back to the engine. Returns local deliveries made.
-    fn run_engine_actions(&self, engine: &mut Engine, now: Micros, actions: Vec<Action>) -> usize {
+    /// Performs a batch of shard-tagged engine actions; reports
+    /// guaranteed local deliveries back to the engine. Returns local
+    /// deliveries made.
+    fn run_engine_actions(
+        &self,
+        engine: &mut ShardedEngine,
+        now: Micros,
+        actions: Vec<(ShardId, Action)>,
+    ) -> usize {
         if actions.is_empty() {
             return 0;
         }
@@ -571,7 +593,7 @@ impl Inner {
             gd_done: Vec::new(),
             delivered: 0,
         };
-        run_actions(actions, &mut t);
+        run_sharded_actions(actions, &mut t);
         let UdpTransport {
             gd_done, delivered, ..
         } = t;
@@ -613,8 +635,10 @@ impl Inner {
 
     /// Per-subject interested hosts for a guaranteed-delivery retry
     /// round, from announced remote tables. Local interest is handled
-    /// via [`Engine::gd_local_done`], so self is excluded.
-    fn gd_interest(&self, engine: &Engine) -> HashMap<String, Vec<u32>> {
+    /// via [`ShardedEngine::gd_local_done`], so self is excluded. The
+    /// interest map spans every shard's ledger; each shard only
+    /// consults the subjects its own slice holds.
+    fn gd_interest(&self, engine: &ShardedEngine) -> HashMap<String, Vec<u32>> {
         let peer_subs = poisoned(self.peer_subs.lock());
         let mut interest = HashMap::new();
         for text in engine.gd_subjects() {
@@ -670,14 +694,14 @@ impl Inner {
             return;
         }
         let mut engine = poisoned(self.engine.lock());
-        for kind in due {
-            let event = match kind {
-                TimerKind::GdRetry => Event::GdRetry {
-                    interest: self.gd_interest(&engine),
-                },
-                other => Event::Timer(other),
+        for (shard, kind) in due {
+            let actions = match kind {
+                TimerKind::GdRetry => {
+                    let interest = self.gd_interest(&engine);
+                    engine.handle_gd_retry(now, shard, interest)
+                }
+                other => engine.handle_timer(now, shard, other),
             };
-            let actions = engine.handle(now, event);
             self.run_engine_actions(&mut engine, now, actions);
         }
     }
@@ -814,15 +838,16 @@ impl Inner {
     }
 }
 
-/// The [`Transport`] the UDP bus hands to [`run_actions`]: performs
-/// engine actions against the socket, the timer wheel, the ledger map,
-/// and the subscriber queues.
+/// The [`Transport`] the UDP bus hands to [`run_sharded_actions`]:
+/// performs engine actions against the socket, the timer wheel, the
+/// ledger map, and the subscriber queues.
 struct UdpTransport<'a> {
     inner: &'a Inner,
     now: Micros,
     stats: &'a mut BusStats,
     /// Guaranteed envelopes locally delivered during this batch, to be
-    /// reported back via [`Engine::gd_local_done`] once the borrow ends.
+    /// reported back via [`ShardedEngine::gd_local_done`] once the
+    /// borrow ends.
     gd_done: Vec<Envelope>,
     delivered: usize,
 }
@@ -843,7 +868,9 @@ impl Transport for UdpTransport<'_> {
     }
 
     fn set_timer(&mut self, delay_us: Micros, timer: TimerKind) {
-        poisoned(self.inner.timers.lock()).arm(self.now + delay_us, timer);
+        // Untagged fallback: attribute the deadline to shard 0 (only
+        // reachable when actions bypass the shard router).
+        poisoned(self.inner.timers.lock()).arm(self.now + delay_us, 0, timer);
     }
 
     fn deliver(&mut self, env: Envelope) {
@@ -866,6 +893,12 @@ impl Transport for UdpTransport<'_> {
 
     fn unpersist(&mut self, key: &str) {
         poisoned(self.inner.ledger.lock()).remove(key);
+    }
+}
+
+impl ShardTransport for UdpTransport<'_> {
+    fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind) {
+        poisoned(self.inner.timers.lock()).arm(self.now + delay_us, shard, timer);
     }
 }
 

@@ -10,12 +10,21 @@
 //! medium loses packets — NAK-based gap repair that restores the full
 //! sequence. The assertions are shared; only the harness differs, which
 //! is the point: the protocol lives in the engine, not the driver.
+//!
+//! Every harness is additionally parameterized by the engine shard
+//! count. The contract is shard-blind: each driver must deliver
+//! *identical* per-subject sequences at `shards = 1` and `shards = 4`,
+//! because a subject's whole stream lives in exactly one shard. The
+//! cross-shard cases then drive subjects with distinct first segments —
+//! provably spread over several shards — and check that
+//! per-sender-per-subject ordering still holds while inter-subject
+//! ordering is left explicitly unconstrained.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
-use infobus_core::{BusApp, BusConfig, BusCtx, BusFabric, BusMessage, QoS};
+use infobus_core::{shard_of_subject, BusApp, BusConfig, BusCtx, BusFabric, BusMessage, QoS};
 use infobus_net::{UdpBus, UdpConfig};
 use infobus_netsim::time::{millis, secs};
 use infobus_netsim::{EtherConfig, FaultPlan, NetBuilder};
@@ -96,7 +105,7 @@ impl BusApp for Ticker {
     }
 }
 
-fn run_netsim(recv_loss: f64) -> RunResult {
+fn run_netsim(recv_loss: f64, shards: usize) -> RunResult {
     let mut ether = EtherConfig::lan_10mbps();
     ether.faults = FaultPlan {
         recv_loss,
@@ -106,7 +115,7 @@ fn run_netsim(recv_loss: f64) -> RunResult {
     let seg = b.segment(ether);
     let hosts: Vec<_> = (0..3).map(|i| b.host(&format!("h{i}"), &[seg])).collect();
     let mut sim = b.build();
-    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default());
+    let fabric = BusFabric::install(&mut sim, &hosts, BusConfig::default().with_shards(shards));
     fabric.attach_app(&mut sim, hosts[0], "sub", Box::<Collector>::default());
     sim.run_for(millis(50));
     for (i, subject) in STREAMS.iter().enumerate() {
@@ -141,21 +150,37 @@ fn run_netsim(recv_loss: f64) -> RunResult {
 
 #[test]
 fn netsim_conformant_lossless() {
-    assert_conformant(&run_netsim(0.0), false);
+    assert_conformant(&run_netsim(0.0, 1), false);
 }
 
 #[test]
 fn netsim_conformant_with_loss() {
-    assert_conformant(&run_netsim(0.15), true);
+    assert_conformant(&run_netsim(0.15, 1), true);
+}
+
+#[test]
+fn netsim_sharded_matches_unsharded() {
+    let one = run_netsim(0.0, 1);
+    let four = run_netsim(0.0, 4);
+    assert_conformant(&one, false);
+    assert_conformant(&four, false);
+    assert_eq!(
+        one.by_subject, four.by_subject,
+        "shard count changed the delivered sequences"
+    );
+}
+
+#[test]
+fn netsim_sharded_conformant_with_loss() {
+    assert_conformant(&run_netsim(0.15, 4), true);
 }
 
 // ---------------------------------------------------------------------------
 // Driver 2: the in-process bus (real threads, loopback engine)
 // ---------------------------------------------------------------------------
 
-#[test]
-fn inproc_conformant() {
-    let bus = InprocBus::new();
+fn run_inproc(shards: usize) -> RunResult {
+    let bus = InprocBus::with_config(BusConfig::default().with_shards(shards));
     let (_sub, rx) = bus.subscribe("conf.>").unwrap();
     // Interleave the two streams, as two senders would.
     for i in 0..COUNT {
@@ -170,13 +195,27 @@ fn inproc_conformant() {
         }
     }
     let stats = bus.stats();
-    assert_conformant(
-        &RunResult {
-            by_subject,
-            naks_sent: stats.naks_sent,
-            dups_dropped: stats.dups_dropped,
-        },
-        false,
+    RunResult {
+        by_subject,
+        naks_sent: stats.naks_sent,
+        dups_dropped: stats.dups_dropped,
+    }
+}
+
+#[test]
+fn inproc_conformant() {
+    assert_conformant(&run_inproc(1), false);
+}
+
+#[test]
+fn inproc_sharded_matches_unsharded() {
+    let one = run_inproc(1);
+    let four = run_inproc(4);
+    assert_conformant(&one, false);
+    assert_conformant(&four, false);
+    assert_eq!(
+        one.by_subject, four.by_subject,
+        "shard count changed the delivered sequences"
     );
 }
 
@@ -184,13 +223,14 @@ fn inproc_conformant() {
 // Driver 3: the UDP bus (real sockets, wall-clock time)
 // ---------------------------------------------------------------------------
 
-fn run_udp(recv_loss: f64) -> RunResult {
+fn run_udp(recv_loss: f64, shards: usize) -> RunResult {
     let fast = BusConfig::default()
         .with_batch_enabled(false)
         .with_nak_delay_us(2_000)
         .with_nak_check_us(1_000)
         .with_sync_period_us(10_000)
-        .with_retain_per_stream(4096);
+        .with_retain_per_stream(4096)
+        .with_shards(shards);
     let sub = UdpBus::bind(
         UdpConfig::new(1)
             .with_bus(fast.clone())
@@ -234,10 +274,110 @@ fn run_udp(recv_loss: f64) -> RunResult {
 
 #[test]
 fn udp_conformant_lossless() {
-    assert_conformant(&run_udp(0.0), false);
+    assert_conformant(&run_udp(0.0, 1), false);
 }
 
 #[test]
 fn udp_conformant_with_loss() {
-    assert_conformant(&run_udp(0.20), true);
+    assert_conformant(&run_udp(0.20, 1), true);
+}
+
+#[test]
+fn udp_sharded_matches_unsharded() {
+    let one = run_udp(0.0, 1);
+    let four = run_udp(0.0, 4);
+    assert_conformant(&one, false);
+    assert_conformant(&four, false);
+    assert_eq!(
+        one.by_subject, four.by_subject,
+        "shard count changed the delivered sequences"
+    );
+}
+
+#[test]
+fn udp_sharded_conformant_with_loss() {
+    assert_conformant(&run_udp(0.20, 4), true);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard traffic: one sender, subjects spread over several shards
+// ---------------------------------------------------------------------------
+
+/// Subjects with distinct first segments, so a 4-shard engine routes
+/// them to different shards (asserted, not assumed).
+const SPREAD: [&str; 4] = ["alpha.ticks", "bravo.ticks", "charlie.ticks", "delta.ticks"];
+const SPREAD_SHARDS: usize = 4;
+
+/// Per-sender-per-subject ordering must survive sharding; ordering
+/// *between* subjects in different shards is explicitly unconstrained —
+/// the assertion sorts per subject and never compares across subjects.
+fn assert_cross_shard(by_subject: &BTreeMap<String, Vec<i64>>) {
+    let hit: std::collections::BTreeSet<usize> = SPREAD
+        .iter()
+        .map(|s| shard_of_subject(s, SPREAD_SHARDS))
+        .collect();
+    assert!(
+        hit.len() >= 2,
+        "spread subjects all landed in one shard; the case proves nothing"
+    );
+    for subject in SPREAD {
+        let got = by_subject
+            .get(subject)
+            .unwrap_or_else(|| panic!("no messages at all on {subject}"));
+        let want: Vec<i64> = (0..COUNT).collect();
+        assert_eq!(got, &want, "stream {subject} not in-order exactly-once");
+    }
+}
+
+#[test]
+fn inproc_cross_shard_per_subject_order() {
+    let bus = InprocBus::with_config(BusConfig::default().with_shards(SPREAD_SHARDS));
+    let (_sub, rx) = bus.subscribe(">").unwrap();
+    for i in 0..COUNT {
+        for subject in SPREAD {
+            bus.publish(subject, &Value::I64(i)).unwrap();
+        }
+    }
+    let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    while let Ok(msg) = rx.try_recv() {
+        if let Ok(Value::I64(v)) = msg.value() {
+            by_subject.entry(msg.subject.clone()).or_default().push(v);
+        }
+    }
+    assert_cross_shard(&by_subject);
+}
+
+#[test]
+fn udp_cross_shard_per_subject_order() {
+    let fast = BusConfig::default()
+        .with_batch_enabled(false)
+        .with_nak_delay_us(2_000)
+        .with_nak_check_us(1_000)
+        .with_sync_period_us(10_000)
+        .with_retain_per_stream(4096)
+        .with_shards(SPREAD_SHARDS);
+    let sub = UdpBus::bind(UdpConfig::new(1).with_bus(fast.clone()).with_app("sub")).unwrap();
+    let publisher = UdpBus::bind(UdpConfig::new(2).with_bus(fast).with_app("pub")).unwrap();
+    publisher.add_peer(1, sub.local_addr()).unwrap();
+    sub.add_peer(2, publisher.local_addr()).unwrap();
+    let (_s, rx) = sub.subscribe(">").unwrap();
+    for i in 0..COUNT {
+        for subject in SPREAD {
+            publisher
+                .publish(subject, &Value::I64(i), QoS::Reliable)
+                .unwrap();
+        }
+    }
+    let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    let end = Instant::now() + Duration::from_secs(30);
+    let mut have = 0usize;
+    while have < SPREAD.len() * COUNT as usize && Instant::now() < end {
+        if let Ok(msg) = rx.recv_timeout(Duration::from_millis(200)) {
+            if let Ok(Value::I64(v)) = msg.value() {
+                by_subject.entry(msg.subject.clone()).or_default().push(v);
+                have += 1;
+            }
+        }
+    }
+    assert_cross_shard(&by_subject);
 }
