@@ -11,6 +11,7 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
+use infobus_core::QoS;
 use infobus_repo::{ColType, Column, Database, Datum, Pred, Schema};
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
 use infobus_tdl::Interpreter;
@@ -174,7 +175,8 @@ fn bench_inproc_bus() {
         .with("sym", "GMC");
     let value = Value::object(obj);
     bench("inproc/publish_deliver_1_subscriber", || {
-        bus.publish("news.equity.gmc", &value).unwrap();
+        bus.publish("news.equity.gmc", &value, QoS::Reliable)
+            .unwrap();
         rx.recv().unwrap()
     });
 }

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use infobus_bench::emit_table;
 use infobus_core::inproc::InprocBus;
-use infobus_core::{shard_of_subject, BusConfig};
+use infobus_core::{shard_of_subject, BusConfig, QoS};
 use infobus_types::Value;
 
 const SUBJECTS: [&str; 4] = ["alpha.bench", "bravo.bench", "charlie.bench", "delta.bench"];
@@ -74,7 +74,8 @@ fn run_contended(shards: usize, workers: bool) -> (f64, f64) {
                 std::thread::spawn(move || {
                     barrier.wait();
                     for i in 0..MSGS_PER_THREAD {
-                        bus.publish(subject, &Value::I64(i as i64)).unwrap();
+                        bus.publish(subject, &Value::I64(i as i64), QoS::Reliable)
+                            .unwrap();
                     }
                 })
             })

@@ -52,6 +52,25 @@ impl SubscriptionHandle {
     pub fn id(&self) -> u64 {
         self.0 .0
     }
+
+    /// Wraps a raw trie [`SubscriptionId`] in a handle.
+    ///
+    /// Driver-facing: bus drivers living outside this crate (the UDP
+    /// transport, the edge reactor) allocate subscriptions in their own
+    /// [`SubjectTrie`](infobus_subject::SubjectTrie) and hand the id out
+    /// through the unified [`Bus`](crate::bus::Bus) surface. Application
+    /// code never needs this — handles come from `subscribe`.
+    pub fn from_raw(id: SubscriptionId) -> SubscriptionHandle {
+        SubscriptionHandle(id)
+    }
+
+    /// The raw trie [`SubscriptionId`] this handle wraps.
+    ///
+    /// Driver-facing counterpart of [`SubscriptionHandle::from_raw`]:
+    /// drivers need the trie id back to honour an unsubscribe.
+    pub fn raw(&self) -> SubscriptionId {
+        self.0
+    }
 }
 
 /// An application attached to a bus daemon.
@@ -75,6 +94,17 @@ pub trait BusApp: Any {
     /// fires.
     fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, token: u64) {
         let _ = (bus, token);
+    }
+
+    /// Called when the driver injects a command with
+    /// [`BusFabric::send_app_command`](crate::BusFabric::send_app_command).
+    ///
+    /// This is the driver-side escape hatch: unlike
+    /// [`BusFabric::with_app`](crate::BusFabric::with_app), the handler
+    /// runs with a live [`BusCtx`], so it can publish, subscribe, or set
+    /// timers in response.
+    fn on_command(&mut self, bus: &mut BusCtx<'_, '_>, cmd: Box<dyn Any>) {
+        let _ = (bus, cmd);
     }
 
     /// Called when a discovery window started with [`BusCtx::discover`]

@@ -51,6 +51,10 @@ pub(crate) enum AppEvent {
         app_idx: usize,
         token: u64,
     },
+    Command {
+        app_idx: usize,
+        cmd: Box<dyn Any>,
+    },
     Discovery {
         app_idx: usize,
         token: u64,
@@ -117,7 +121,7 @@ impl BusDaemon {
         any.downcast_mut::<T>().map(f)
     }
 
-    fn app_idx(&self, name: &str) -> Option<usize> {
+    pub(crate) fn app_idx(&self, name: &str) -> Option<usize> {
         self.state
             .app_meta
             .iter()
@@ -202,6 +206,9 @@ impl BusDaemon {
                 }
                 AppEvent::Timer { app_idx, token } => {
                     self.with_app_slot(net, app_idx, |app, bus| app.on_timer(bus, token));
+                }
+                AppEvent::Command { app_idx, cmd } => {
+                    self.with_app_slot(net, app_idx, |app, bus| app.on_command(bus, cmd));
                 }
                 AppEvent::Discovery {
                     app_idx,

@@ -82,6 +82,22 @@ pub struct BusConfig {
     /// `> 1` let independent subjects stop contending on one state
     /// machine. `0` is treated as `1`.
     pub shards: usize,
+    /// Edge-tier session supervision: how long a thin-client session may
+    /// go without *any* frame (heartbeat, ack, publish…) before the
+    /// session broker evicts it. Defaults to `3_000_000` (3 s) — three
+    /// missed default heartbeats.
+    pub session_timeout_us: Micros,
+    /// Edge-tier session supervision: the heartbeat period the broker
+    /// advertises to thin clients in the `welcome` frame, and the period
+    /// of its own freshness scan. Defaults to `1_000_000` (1 s).
+    pub heartbeat_period_us: Micros,
+    /// Edge-tier backpressure: the maximum number of unacknowledged
+    /// delivery cursors a session may lag behind before the broker stops
+    /// sending (pause) and buffers; a session whose buffer exceeds four
+    /// times this lag has its oldest buffered deliveries dropped and
+    /// counted ([`BusStats::sess_dropped`](crate::BusStats::sess_dropped)).
+    /// Defaults to `64`.
+    pub session_cursor_lag: u64,
 }
 
 impl Default for BusConfig {
@@ -104,6 +120,9 @@ impl Default for BusConfig {
             stats_period_us: 0,
             subscriber_queue_cap: 0,
             shards: 1,
+            session_timeout_us: 3_000_000,
+            heartbeat_period_us: 1_000_000,
+            session_cursor_lag: 64,
         }
     }
 }
@@ -231,6 +250,28 @@ impl BusConfig {
         self.shards = shards;
         self
     }
+
+    /// Sets how long a thin-client session may stay silent before the
+    /// edge session broker evicts it.
+    pub fn with_session_timeout_us(mut self, us: Micros) -> Self {
+        self.session_timeout_us = us;
+        self
+    }
+
+    /// Sets the heartbeat period the edge session broker advertises to
+    /// thin clients (and the period of its freshness scan).
+    pub fn with_heartbeat_period_us(mut self, us: Micros) -> Self {
+        self.heartbeat_period_us = us;
+        self
+    }
+
+    /// Sets the maximum unacknowledged delivery-cursor lag before a
+    /// session is paused (buffer bounded at four times the lag,
+    /// drop-oldest past that).
+    pub fn with_session_cursor_lag(mut self, lag: u64) -> Self {
+        self.session_cursor_lag = lag;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -256,16 +297,25 @@ mod tests {
             .with_discovery_window_us(12)
             .with_stats_period_us(13)
             .with_subscriber_queue_cap(14)
-            .with_shards(15);
+            .with_shards(15)
+            .with_session_timeout_us(16)
+            .with_heartbeat_period_us(17)
+            .with_session_cursor_lag(18);
         assert!(cfg.batch_enabled);
         assert_eq!(cfg.batch_bytes, 999);
         assert_eq!(cfg.rmi_max_attempts, 8);
         assert_eq!(cfg.stats_period_us, 13);
         assert_eq!(cfg.subscriber_queue_cap, 14);
         assert_eq!(cfg.shards, 15);
+        assert_eq!(cfg.session_timeout_us, 16);
+        assert_eq!(cfg.heartbeat_period_us, 17);
+        assert_eq!(cfg.session_cursor_lag, 18);
         assert_eq!(BusConfig::default().stats_period_us, 0);
         assert_eq!(BusConfig::default().subscriber_queue_cap, 0);
         assert_eq!(BusConfig::default().shards, 1);
+        assert_eq!(BusConfig::default().session_timeout_us, 3_000_000);
+        assert_eq!(BusConfig::default().heartbeat_period_us, 1_000_000);
+        assert_eq!(BusConfig::default().session_cursor_lag, 64);
         assert!(BusConfig::throughput().batch_enabled);
         assert!(!BusConfig::latency().batch_enabled);
     }

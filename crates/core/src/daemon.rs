@@ -822,12 +822,25 @@ impl Process for BusDaemon {
             }
             Err(cmd) => match cmd.downcast::<crate::fabric::DetachApp>() {
                 Ok(detach) => self.detach(ctx, &detach.name),
-                Err(cmd) => {
-                    if let Ok(link) = cmd.downcast::<crate::fabric::LinkBuses>() {
-                        let link = *link;
-                        self.state.open_link(ctx, link.peer.0, link.rewrite);
+                Err(cmd) => match cmd.downcast::<crate::fabric::AppCommand>() {
+                    Ok(appcmd) => {
+                        let appcmd = *appcmd;
+                        if let Some(app_idx) = self.app_idx(&appcmd.name) {
+                            self.state
+                                .pending
+                                .push_back(crate::apps::AppEvent::Command {
+                                    app_idx,
+                                    cmd: appcmd.cmd,
+                                });
+                        }
                     }
-                }
+                    Err(cmd) => {
+                        if let Ok(link) = cmd.downcast::<crate::fabric::LinkBuses>() {
+                            let link = *link;
+                            self.state.open_link(ctx, link.peer.0, link.rewrite);
+                        }
+                    }
+                },
             },
         }
         self.drain(ctx);

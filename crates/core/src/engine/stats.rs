@@ -166,6 +166,34 @@ pub struct BusStats {
     /// Received datagrams deliberately dropped by the transport's
     /// loss-injection knob (testing/fault drills).
     pub net_recv_dropped: u64,
+    /// Thin-client sessions currently live on the edge session broker (a
+    /// gauge, like `gd_pending`).
+    pub sess_active: u64,
+    /// Sessions admitted by a `bus-v1` hello handshake.
+    pub sess_opened: u64,
+    /// Hello frames rejected (wrong protocol, bad capability token, or a
+    /// session already bound to the connection).
+    pub sess_rejected: u64,
+    /// Sessions closed by an explicit client `bye`.
+    pub sess_closed: u64,
+    /// Sessions evicted by the freshness scan after
+    /// [`BusConfig::session_timeout_us`](crate::BusConfig::session_timeout_us)
+    /// of silence.
+    pub sess_evicted: u64,
+    /// Heartbeat frames received from sessions.
+    pub sess_heartbeats: u64,
+    /// Publications accepted from sessions (edge fan-in).
+    pub sess_published: u64,
+    /// Deliveries sent to sessions (edge fan-out; one matched publication
+    /// delivered to N sessions counts N).
+    pub sess_delivered: u64,
+    /// Deliveries buffered instead of sent because the session exceeded
+    /// its unacknowledged cursor lag
+    /// ([`BusConfig::session_cursor_lag`](crate::BusConfig::session_cursor_lag)).
+    pub sess_paused: u64,
+    /// Buffered deliveries dropped (oldest first) after a paused session's
+    /// buffer overflowed its bound.
+    pub sess_dropped: u64,
 }
 
 /// Attribute names of the `"BusStats"` descriptor, in declaration order.
@@ -206,14 +234,25 @@ const STATS_COUNTERS: &[&str] = &[
     "net_send_retries",
     "net_decode_errors",
     "net_recv_dropped",
+    "sess_active",
+    "sess_opened",
+    "sess_rejected",
+    "sess_closed",
+    "sess_evicted",
+    "sess_heartbeats",
+    "sess_published",
+    "sess_delivered",
+    "sess_paused",
+    "sess_dropped",
 ];
 
 impl BusStats {
     /// Adds every counter of `other` into this snapshot, including the
     /// RMI latency histogram. This is how per-shard snapshots combine
     /// into one daemon-level snapshot: monotonic counters sum, and the
-    /// two gauges (`gd_pending`, `sub_queue_depth`) sum too because each
-    /// shard owns a disjoint slice of the pending set and the queues.
+    /// gauges (`gd_pending`, `sub_queue_depth`, `sess_active`) sum too
+    /// because each shard (or broker) owns a disjoint slice of the
+    /// pending set, the queues, and the sessions.
     pub fn merge_from(&mut self, other: &BusStats) {
         for name in STATS_COUNTERS {
             let add = other.counter(name);
@@ -280,6 +319,16 @@ impl BusStats {
             "net_send_retries" => self.net_send_retries,
             "net_decode_errors" => self.net_decode_errors,
             "net_recv_dropped" => self.net_recv_dropped,
+            "sess_active" => self.sess_active,
+            "sess_opened" => self.sess_opened,
+            "sess_rejected" => self.sess_rejected,
+            "sess_closed" => self.sess_closed,
+            "sess_evicted" => self.sess_evicted,
+            "sess_heartbeats" => self.sess_heartbeats,
+            "sess_published" => self.sess_published,
+            "sess_delivered" => self.sess_delivered,
+            "sess_paused" => self.sess_paused,
+            "sess_dropped" => self.sess_dropped,
             _ => 0,
         }
     }
@@ -321,6 +370,16 @@ impl BusStats {
             "net_send_retries" => &mut self.net_send_retries,
             "net_decode_errors" => &mut self.net_decode_errors,
             "net_recv_dropped" => &mut self.net_recv_dropped,
+            "sess_active" => &mut self.sess_active,
+            "sess_opened" => &mut self.sess_opened,
+            "sess_rejected" => &mut self.sess_rejected,
+            "sess_closed" => &mut self.sess_closed,
+            "sess_evicted" => &mut self.sess_evicted,
+            "sess_heartbeats" => &mut self.sess_heartbeats,
+            "sess_published" => &mut self.sess_published,
+            "sess_delivered" => &mut self.sess_delivered,
+            "sess_paused" => &mut self.sess_paused,
+            "sess_dropped" => &mut self.sess_dropped,
             _ => return None,
         })
     }

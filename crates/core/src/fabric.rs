@@ -20,6 +20,12 @@ pub(crate) struct DetachApp {
     pub name: String,
 }
 
+/// Command: deliver a driver-side command to a named application.
+pub(crate) struct AppCommand {
+    pub name: String,
+    pub cmd: Box<dyn std::any::Any>,
+}
+
 /// Command: open an information-router link to a peer daemon.
 pub(crate) struct LinkBuses {
     pub peer: HostId,
@@ -133,6 +139,33 @@ impl BusFabric {
     ) {
         let pid = self.daemons[&a];
         sim.send_command(pid, Box::new(LinkBuses { peer: b, rewrite }));
+    }
+
+    /// Delivers `cmd` to the named application's
+    /// [`BusApp::on_command`](crate::BusApp::on_command) handler.
+    ///
+    /// Unlike [`BusFabric::with_app`], the handler runs inside the
+    /// simulation with a live [`BusCtx`](crate::BusCtx), so the app can
+    /// publish or subscribe in response — this is how out-of-sim drivers
+    /// (the edge tier's netsim shim) push work onto the bus.
+    ///
+    /// No-op if no daemon was installed on `host`.
+    pub fn send_app_command(
+        &self,
+        sim: &mut Sim,
+        host: HostId,
+        name: &str,
+        cmd: Box<dyn std::any::Any>,
+    ) {
+        if let Some(pid) = self.daemons.get(&host) {
+            sim.send_command(
+                *pid,
+                Box::new(AppCommand {
+                    name: name.to_owned(),
+                    cmd,
+                }),
+            );
+        }
     }
 
     /// Runs `f` against a named application's concrete state.

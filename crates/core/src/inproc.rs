@@ -25,23 +25,27 @@
 //!
 //! ```
 //! use infobus_core::inproc::InprocBus;
+//! use infobus_core::QoS;
 //! use infobus_types::Value;
 //!
 //! let bus = InprocBus::new();
 //! let (_sub, rx) = bus.subscribe("news.>").unwrap();
-//! bus.publish("news.equity.gmc", &Value::str("hello")).unwrap();
+//! bus.publish("news.equity.gmc", &Value::str("hello"), QoS::Reliable)
+//!     .unwrap();
 //! let msg = rx.recv().unwrap();
 //! assert_eq!(msg.subject, "news.equity.gmc");
 //! assert_eq!(msg.value().unwrap(), Value::str("hello"));
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
-use infobus_types::{wire, TypeRegistry, Value, WireError};
+use infobus_types::{wire, TypeRegistry, Value};
 
 use crate::app::SubscriptionHandle;
+use crate::bus::{Bus, BusReceiver, Delivery};
 use crate::config::BusConfig;
 use crate::engine::{
     shard_of_subject, Action, BusStats, Engine, Event, Micros, PubSource, ShardedEngine,
@@ -54,43 +58,13 @@ use crate::{BusError, QoS};
 
 /// The receiving half of an in-process subscription: a bounded
 /// drop-oldest queue (see [`crate::queue`]) with an `mpsc`-compatible
-/// API.
+/// API. Same type as [`BusReceiver`] — the unified [`Bus`] receiver.
 pub type InprocReceiver = SubReceiver<InprocMessage>;
 
-/// A message delivered by the in-process bus: the subject plus the
-/// marshalled payload (unmarshal lazily with [`InprocMessage::value`]).
-#[derive(Debug, Clone)]
-pub struct InprocMessage {
-    /// The subject the value was published under.
-    pub subject: String,
-    /// The marshalled payload (shared among all subscribers).
-    pub payload: Arc<Vec<u8>>,
-}
-
-impl InprocMessage {
-    /// Unmarshals the payload. The bus publishes self-describing
-    /// messages, so any type descriptors travel with the data and no
-    /// pre-shared registry is needed.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`WireError`] if the payload is malformed.
-    pub fn value(&self) -> Result<Value, WireError> {
-        let mut registry = TypeRegistry::with_fundamentals();
-        wire::unmarshal(&self.payload, &mut registry)
-    }
-
-    /// Unmarshals the payload into an existing registry (types carried by
-    /// the message are registered into it).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`WireError`] if the payload is malformed or its schema
-    /// conflicts with `registry`.
-    pub fn value_into(&self, registry: &mut TypeRegistry) -> Result<Value, WireError> {
-        wire::unmarshal(&self.payload, registry)
-    }
-}
+/// A message delivered by the in-process bus — the driver-independent
+/// [`Delivery`] (unmarshal lazily with [`Delivery::value`]). The name
+/// survives from before the unified [`Bus`] surface.
+pub type InprocMessage = Delivery;
 
 /// The single-node host id the in-process engine publishes under.
 const INPROC_HOST: u32 = 1;
@@ -99,7 +73,11 @@ const INPROC_HOST: u32 = 1;
 /// (worker mode only; see [`InprocBus::with_workers`]).
 enum Job {
     /// A subject-validated, already-marshalled publication.
-    Publish { subject: String, payload: Vec<u8> },
+    Publish {
+        subject: String,
+        payload: Vec<u8>,
+        qos: QoS,
+    },
     /// A drain marker: the worker acks once every job queued before it
     /// has been fully processed (the hand-off channel is FIFO).
     Flush(mpsc::Sender<()>),
@@ -275,14 +253,24 @@ impl InprocBus {
             .remove(handle.0);
     }
 
-    /// Publishes a value; the reliable layer sequences it and delivers to
-    /// every matching subscriber in publication order.
+    /// Publishes a value with the requested delivery guarantee; the
+    /// reliable layer sequences it and delivers to every matching
+    /// subscriber in publication order.
     /// Returns the number of subscribers the message was handed to.
+    ///
+    /// [`QoS::Guaranteed`] runs the full guaranteed-delivery ledger —
+    /// persist-before-send, local-delivery acknowledgment, completion —
+    /// with the retry rounds executed synchronously after the publish
+    /// (the in-process loop has no timer substrate). A guaranteed
+    /// publication nobody subscribes to stays pending
+    /// ([`BusStats::gd_pending`]) until a later guaranteed publish on
+    /// the same shard finds a subscriber to redeliver to, exactly the
+    /// at-least-once contract.
     ///
     /// # Errors
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
-    pub fn publish(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
+    pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
         let parsed = Subject::new(subject)?;
         let payload = {
             let registry = self.inner.registry.lock().expect("lock poisoned");
@@ -303,11 +291,19 @@ impl InprocBus {
                 .send(Job::Publish {
                     subject: subject.to_owned(),
                     payload,
+                    qos,
                 })
                 .expect("shard worker exited");
             return Ok(count);
         }
-        Ok(self.publish_on_shard(shard, subject, payload))
+        Ok(self.publish_on_shard(shard, subject, payload, qos))
+    }
+
+    /// Publishes with [`QoS::Reliable`] — the pre-redesign signature,
+    /// kept one release for callers that have not migrated.
+    #[deprecated(note = "use `publish(subject, value, qos)` (the unified `Bus` surface)")]
+    pub fn publish_reliable(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
+        self.publish(subject, value, QoS::Reliable)
     }
 
     /// The synchronous tail of a publish: sequence the marshalled
@@ -315,7 +311,7 @@ impl InprocBus {
     /// actions back until delivery. Runs on the calling thread in the
     /// default mode and on the shard's worker thread in worker mode.
     /// Returns the number of subscribers the message was handed to.
-    fn publish_on_shard(&self, shard: usize, subject: &str, payload: Vec<u8>) -> usize {
+    fn publish_on_shard(&self, shard: usize, subject: &str, payload: Vec<u8>, qos: QoS) -> usize {
         let now = self.inner.now.fetch_add(1, Ordering::Relaxed) + 1;
         // Only the owning shard's lock is taken: the entire publish →
         // loopback → deliver chain for a subject happens inside one
@@ -329,7 +325,7 @@ impl InprocBus {
                     inc: 1,
                 },
                 subject: subject.to_owned(),
-                qos: QoS::Reliable,
+                qos,
                 kind: EnvelopeKind::Data,
                 corr: 0,
                 payload,
@@ -337,7 +333,32 @@ impl InprocBus {
         );
         let mut delivered = 0usize;
         self.loopback(&mut engine, now, actions, &mut delivered);
+        if qos == QoS::Guaranteed {
+            self.gd_rounds(&mut engine, now, &mut delivered);
+        }
         delivered
+    }
+
+    /// Runs the guaranteed-delivery ledger's retry rounds synchronously
+    /// (the in-process loop has no timer substrate to fire
+    /// [`TimerKind::GdRetry`](crate::engine::TimerKind)). Two rounds
+    /// suffice when someone took delivery: the first gives a
+    /// just-attached subscriber its redelivery window, the second
+    /// completes the entry. Single host, so the interest snapshot maps
+    /// every pending subject to "no remote hosts".
+    fn gd_rounds(&self, engine: &mut Engine, now: Micros, delivered: &mut usize) {
+        for _ in 0..2 {
+            let interest: HashMap<String, Vec<u32>> = engine
+                .gd_subjects()
+                .into_iter()
+                .map(|s| (s, Vec::new()))
+                .collect();
+            if interest.is_empty() {
+                return;
+            }
+            let actions = engine.handle(now, Event::GdRetry { interest });
+            self.loopback(engine, now, actions, delivered);
+        }
     }
 
     /// Blocks until every publication handed off before this call has
@@ -365,10 +386,12 @@ impl InprocBus {
     }
 
     /// Performs engine actions in loopback: broadcasts feed straight back
-    /// into the engine's receive path, acks loop to the publisher side,
-    /// and deliveries fan out to subscriber channels. Timers and the
-    /// non-volatile ledger have no substrate here and are dropped — with
-    /// a lossless in-memory loop there is never a gap to scan for.
+    /// into the engine's receive path and deliveries fan out to
+    /// subscriber channels; local delivery doubles as the guaranteed
+    /// acknowledgment. Timers and the non-volatile ledger have no
+    /// substrate here and are dropped — with a lossless in-memory loop
+    /// there is never a gap to scan for, and guaranteed retry rounds run
+    /// synchronously after each guaranteed publish instead.
     fn loopback(
         &self,
         engine: &mut Engine,
@@ -391,28 +414,23 @@ impl InprocBus {
                     }
                 }
                 Action::Broadcast(_) => {}
-                Action::Unicast { packet, .. } => {
-                    if let Packet::Ack {
-                        stream,
-                        subject,
-                        seq,
-                        from_host,
-                    } = packet
-                    {
-                        let next = engine.handle(
-                            now,
-                            Event::Ack {
-                                stream,
-                                subject,
-                                seq,
-                                from_host,
-                            },
-                        );
-                        self.loopback(engine, now, next, delivered);
-                    }
-                }
+                // Unicasts here can only be acks for our own guaranteed
+                // envelopes, looped back from the receive path. A real
+                // daemon never hears its own broadcast, so feeding the
+                // self-ack back would complete ledger entries nobody
+                // received; on a single host, local delivery (below) is
+                // the only acknowledgment that counts.
+                Action::Unicast { .. } => {}
                 Action::Deliver(env) => {
-                    *delivered += self.fan_out(engine, &env);
+                    let count = self.fan_out(engine, &env);
+                    // The loopback receive path delivers guaranteed
+                    // envelopes as ordinary in-order deliveries; report
+                    // them into the ledger like the daemon driver does at
+                    // publish time.
+                    if env.qos == QoS::Guaranteed && count > 0 {
+                        engine.gd_local_done(&env);
+                    }
+                    *delivered += count;
                 }
                 Action::DeliverGd(env) => {
                     if self.fan_out(engine, &env) > 0 {
@@ -433,9 +451,10 @@ impl InprocBus {
         let trie = self.inner.trie.read().expect("lock poisoned");
         let mut count = 0usize;
         for (_, tx) in trie.matches(&subject) {
-            let msg = InprocMessage {
+            let msg = Delivery {
                 subject: env.subject.clone(),
                 payload: payload.clone(),
+                redelivery: env.redelivery,
             };
             if tx.send(msg).is_ok() {
                 count += 1;
@@ -489,6 +508,31 @@ impl Default for InprocBus {
     }
 }
 
+impl Bus for InprocBus {
+    fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        InprocBus::subscribe(self, filter)
+    }
+
+    fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
+        InprocBus::publish(self, subject, value, qos)
+    }
+
+    fn unsubscribe(&self, sub: SubscriptionHandle) {
+        InprocBus::unsubscribe(self, sub)
+    }
+
+    /// Full barrier: in the default synchronous mode delivery already
+    /// happened inside `publish`; in worker mode this waits for every
+    /// queued hand-off (see [`InprocBus::drain`]).
+    fn drain(&self) {
+        InprocBus::drain(self)
+    }
+
+    fn stats(&self) -> BusStats {
+        InprocBus::stats(self)
+    }
+}
+
 /// A shard worker's main loop (worker mode): run publications for one
 /// shard until every bus handle is gone. The worker holds only a
 /// [`Weak`] so it cannot keep the bus alive; once the last handle drops,
@@ -497,10 +541,14 @@ impl Default for InprocBus {
 fn shard_worker(shard: usize, weak: &Weak<Inner>, rx: &mpsc::Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         match job {
-            Job::Publish { subject, payload } => {
+            Job::Publish {
+                subject,
+                payload,
+                qos,
+            } => {
                 let Some(inner) = weak.upgrade() else { return };
                 let bus = InprocBus { inner };
-                bus.publish_on_shard(shard, &subject, payload);
+                bus.publish_on_shard(shard, &subject, payload, qos);
             }
             Job::Flush(ack) => {
                 let _ = ack.send(());
@@ -519,7 +567,7 @@ mod tests {
     fn publish_subscribe_round_trip() {
         let bus = InprocBus::new();
         let (_sub, rx) = bus.subscribe("a.>").unwrap();
-        let n = bus.publish("a.b", &Value::I64(7)).unwrap();
+        let n = bus.publish("a.b", &Value::I64(7), QoS::Reliable).unwrap();
         assert_eq!(n, 1);
         assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(7));
     }
@@ -528,16 +576,21 @@ mod tests {
     fn no_subscriber_no_delivery() {
         let bus = InprocBus::new();
         let (_sub, _rx) = bus.subscribe("a.b").unwrap();
-        assert_eq!(bus.publish("a.c", &Value::Nil).unwrap(), 0);
+        assert_eq!(bus.publish("a.c", &Value::Nil, QoS::Reliable).unwrap(), 0);
     }
 
     #[test]
     fn unsubscribe_stops_delivery() {
         let bus = InprocBus::new();
         let (sub, rx) = bus.subscribe("x.*").unwrap();
-        bus.publish("x.1", &Value::Bool(true)).unwrap();
+        bus.publish("x.1", &Value::Bool(true), QoS::Reliable)
+            .unwrap();
         bus.unsubscribe(sub);
-        assert_eq!(bus.publish("x.1", &Value::Bool(true)).unwrap(), 0);
+        assert_eq!(
+            bus.publish("x.1", &Value::Bool(true), QoS::Reliable)
+                .unwrap(),
+            0
+        );
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(bus.subscription_count(), 0);
     }
@@ -550,7 +603,7 @@ mod tests {
             let bus = bus.clone();
             thread::spawn(move || {
                 for i in 0..100i64 {
-                    bus.publish("t.k", &Value::I64(i)).unwrap();
+                    bus.publish("t.k", &Value::I64(i), QoS::Reliable).unwrap();
                 }
             })
         };
@@ -580,7 +633,7 @@ mod tests {
         .unwrap();
         let (_sub, rx) = bus.subscribe("quotes.gmc").unwrap();
         let obj = DataObject::new("Quote").with("px", 12.5f64);
-        bus.publish("quotes.gmc", &Value::object(obj.clone()))
+        bus.publish("quotes.gmc", &Value::object(obj.clone()), QoS::Reliable)
             .unwrap();
         let got = rx.recv().unwrap().value().unwrap();
         assert_eq!(got.as_object().unwrap(), &obj);
@@ -596,7 +649,8 @@ mod tests {
         let (_stalled, stalled_rx) = bus.subscribe("load.>").unwrap();
         let total = 10_000i64;
         for i in 0..total {
-            bus.publish("load.k", &Value::I64(i)).unwrap();
+            bus.publish("load.k", &Value::I64(i), QoS::Reliable)
+                .unwrap();
         }
         let stats = bus.stats();
         assert_eq!(stats.sub_queue_depth, cap as u64);
@@ -617,7 +671,7 @@ mod tests {
         let bus = InprocBus::new();
         let (_sub, rx) = bus.subscribe("s.>").unwrap();
         for i in 0..10i64 {
-            bus.publish("s.k", &Value::I64(i)).unwrap();
+            bus.publish("s.k", &Value::I64(i), QoS::Reliable).unwrap();
         }
         let got: Vec<Value> = rx.try_iter().map(|m| m.value().unwrap()).collect();
         assert_eq!(got, (0..10).map(Value::I64).collect::<Vec<_>>());
@@ -638,7 +692,7 @@ mod tests {
         }
         for i in 0..50i64 {
             for s in subjects {
-                bus.publish(s, &Value::I64(i)).unwrap();
+                bus.publish(s, &Value::I64(i), QoS::Reliable).unwrap();
             }
         }
         for rx in &rxs {
@@ -667,7 +721,7 @@ mod tests {
         for i in 0..50i64 {
             for s in subjects {
                 // Hand-off time: one matching subscriber per subject.
-                assert_eq!(bus.publish(s, &Value::I64(i)).unwrap(), 1);
+                assert_eq!(bus.publish(s, &Value::I64(i), QoS::Reliable).unwrap(), 1);
             }
         }
         // The barrier: after drain, every hand-off has been sequenced
@@ -699,7 +753,7 @@ mod tests {
                 let bus = bus.clone();
                 thread::spawn(move || {
                     for i in 0..200i64 {
-                        bus.publish(s, &Value::I64(i)).unwrap();
+                        bus.publish(s, &Value::I64(i), QoS::Reliable).unwrap();
                     }
                 })
             })
@@ -719,8 +773,86 @@ mod tests {
     fn worker_mode_drain_on_sync_bus_is_a_no_op() {
         let bus = InprocBus::new();
         let (_sub, rx) = bus.subscribe("a.b").unwrap();
-        bus.publish("a.b", &Value::I64(1)).unwrap();
+        bus.publish("a.b", &Value::I64(1), QoS::Reliable).unwrap();
         bus.drain();
         assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn guaranteed_publish_delivers_and_completes_the_ledger() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus.subscribe("gd.>").unwrap();
+        let n = bus
+            .publish("gd.k", &Value::I64(9), QoS::Guaranteed)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(9));
+        let stats = bus.stats();
+        // Persist-before-send happened, the local delivery acknowledged
+        // it, and the synchronous retry rounds released the entry.
+        assert_eq!(stats.gd_completed, 1);
+        assert_eq!(stats.gd_pending, 0);
+    }
+
+    #[test]
+    fn guaranteed_publish_without_subscriber_stays_pending_until_one_appears() {
+        let bus = InprocBus::new();
+        bus.publish("gd.orphan", &Value::I64(1), QoS::Guaranteed)
+            .unwrap();
+        assert_eq!(bus.stats().gd_pending, 1);
+        // A subscriber attaches; the next guaranteed publish on the shard
+        // runs a retry round, which redelivers the pending entry.
+        let (_sub, rx) = bus.subscribe("gd.>").unwrap();
+        bus.publish("gd.other", &Value::I64(2), QoS::Guaranteed)
+            .unwrap();
+        let subjects: Vec<String> = rx.try_iter().map(|m| m.subject).collect();
+        assert!(subjects.contains(&"gd.orphan".to_owned()), "{subjects:?}");
+        let stats = bus.stats();
+        assert_eq!(stats.gd_pending, 0);
+        assert_eq!(stats.gd_completed, 2);
+    }
+
+    #[test]
+    fn guaranteed_redelivery_is_flagged() {
+        let bus = InprocBus::new();
+        bus.publish("gd.flag", &Value::I64(1), QoS::Guaranteed)
+            .unwrap();
+        let (_sub, rx) = bus.subscribe("gd.flag").unwrap();
+        bus.publish("gd.flag", &Value::I64(2), QoS::Guaranteed)
+            .unwrap();
+        let msgs: Vec<Delivery> = rx.try_iter().collect();
+        let redelivered = msgs.iter().find(|m| m.redelivery).expect("a redelivery");
+        assert_eq!(redelivered.value().unwrap(), Value::I64(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_publish_reliable_still_works() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus.subscribe("old.api").unwrap();
+        assert_eq!(bus.publish_reliable("old.api", &Value::I64(3)).unwrap(), 1);
+        assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn bus_trait_object_drives_the_inproc_bus() {
+        let boxed: Box<dyn Bus> = Box::new(InprocBus::new());
+        let (sub, rx) = boxed.subscribe("dyn.>").unwrap();
+        assert_eq!(
+            boxed
+                .publish("dyn.k", &Value::I64(5), QoS::Reliable)
+                .unwrap(),
+            1
+        );
+        boxed.drain();
+        assert_eq!(rx.try_recv().unwrap().value().unwrap(), Value::I64(5));
+        boxed.unsubscribe(sub);
+        assert_eq!(
+            boxed
+                .publish("dyn.k", &Value::I64(6), QoS::Reliable)
+                .unwrap(),
+            0
+        );
+        assert_eq!(boxed.stats().published, 2);
     }
 }

@@ -52,6 +52,7 @@
 
 mod app;
 mod apps;
+pub mod bus;
 mod calls;
 mod config;
 mod daemon;
@@ -67,6 +68,7 @@ mod rmi;
 pub mod router;
 
 pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply, SubscriptionHandle};
+pub use bus::{Bus, BusReceiver, Delivery, Receiver};
 pub use config::BusConfig;
 pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
 pub use engine::{

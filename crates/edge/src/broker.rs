@@ -1,0 +1,609 @@
+//! The session broker: a sans-I/O state machine over thin-client
+//! sessions.
+//!
+//! Like the protocol [`engine`](infobus_core::engine), the broker never
+//! touches a socket or a clock: every entry point takes `now` and an
+//! input, and returns a list of [`SessOut`] actions for the driver to
+//! perform. That keeps the session rules — capability-gated hello,
+//! cursor-stamped fan-out, cumulative acks, heartbeat eviction, bounded
+//! backpressure — testable at memory speed and shared between the real
+//! reactor and the stadium bench.
+//!
+//! A session is identified by an opaque [`ConnId`] the *driver* assigns
+//! (the reactor keys it off the client's socket address; a bench keys it
+//! off a loop index). The broker never sees addresses.
+//!
+//! **Backpressure.** Each session has a delivery cursor; the client acks
+//! cumulatively. When `cursor_next - 1 - cursor_acked` reaches the
+//! configured lag ceiling the session *pauses*: further matches are
+//! buffered, not sent (`sess_paused` counts transitions). The buffer is
+//! itself bounded at 4× the lag ceiling; beyond that the oldest buffered
+//! delivery is dropped and counted in `sess_dropped`. A slow consumer
+//! costs itself, never the bus — queue growth is capped per session, as
+//! the paper's daemon caps per-subscriber queues.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use infobus_core::engine::{BusStats, Micros};
+use infobus_core::{BusConfig, QoS};
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
+
+use crate::session::{SessionFrame, SESSION_PROTO};
+
+/// Opaque session/connection key, assigned by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// One action the driver must perform for the broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessOut {
+    /// Send `frame` to the session's transport endpoint.
+    Send {
+        /// Which session to send to.
+        conn: ConnId,
+        /// The frame to encode onto its connection.
+        frame: SessionFrame,
+    },
+    /// Publish fan-in traffic onto the bus proper (the payload is
+    /// already-marshalled self-describing bytes).
+    Publish {
+        /// Subject to publish under.
+        subject: String,
+        /// Requested delivery quality of service.
+        qos: QoS,
+        /// Marshalled self-describing payload.
+        payload: Vec<u8>,
+        /// The client name to attribute the publication to.
+        client: String,
+    },
+    /// The aggregate session interest gained its first instance of
+    /// `filter` — the hosting daemon should announce it to peers.
+    FilterAdded(String),
+    /// The last session subscription on `filter` went away — the
+    /// hosting daemon should announce the removal.
+    FilterRemoved(String),
+    /// The session is gone (bye, eviction, or rejected hello); the
+    /// driver should forget its transport mapping.
+    Closed {
+        /// The session that ended.
+        conn: ConnId,
+    },
+}
+
+struct Session {
+    id: u64,
+    client: String,
+    last_heard: Micros,
+    /// Next delivery cursor to stamp (cursors start at 1).
+    cursor_next: u64,
+    /// Highest cumulative ack from the client.
+    cursor_acked: u64,
+    paused: bool,
+    /// Deliveries withheld while paused, oldest first. Bounded at
+    /// 4 × `cursor_lag`; overflow drops the oldest (counted).
+    backlog: VecDeque<SessionFrame>,
+    /// Client subscription id → trie id.
+    subs: HashMap<u64, SubscriptionId>,
+}
+
+/// The sans-I/O session broker. See the [module docs](self).
+pub struct SessionBroker {
+    token: u64,
+    session_timeout_us: Micros,
+    heartbeat_period_us: Micros,
+    cursor_lag: u64,
+    sessions: HashMap<ConnId, Session>,
+    /// Matches subjects to sessions: value is `(conn, since)` where
+    /// `since` feeds the hosting daemon's entitlement check.
+    trie: SubjectTrie<(ConnId, Micros)>,
+    /// Aggregate filter refcounts, for `FilterAdded`/`FilterRemoved`.
+    filter_refs: HashMap<String, usize>,
+    /// Trie id → canonical filter text (drives the refcounts above).
+    sub_texts: HashMap<SubscriptionId, String>,
+    next_session_id: u64,
+    opened: u64,
+    rejected: u64,
+    closed: u64,
+    evicted: u64,
+    heartbeats: u64,
+    published: u64,
+    delivered: u64,
+    paused: u64,
+    dropped: u64,
+}
+
+impl SessionBroker {
+    /// Builds a broker from the session knobs of `cfg`, gating hellos on
+    /// `token`.
+    pub fn new(cfg: &BusConfig, token: u64) -> SessionBroker {
+        SessionBroker {
+            token,
+            session_timeout_us: cfg.session_timeout_us,
+            heartbeat_period_us: cfg.heartbeat_period_us,
+            cursor_lag: cfg.session_cursor_lag.max(1),
+            sessions: HashMap::new(),
+            trie: SubjectTrie::new(),
+            filter_refs: HashMap::new(),
+            sub_texts: HashMap::new(),
+            next_session_id: 1,
+            opened: 0,
+            rejected: 0,
+            closed: 0,
+            evicted: 0,
+            heartbeats: 0,
+            delivered: 0,
+            published: 0,
+            paused: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of open sessions.
+    pub fn active(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The heartbeat period advertised in welcomes — the driver should
+    /// call [`SessionBroker::on_tick`] at least this often.
+    pub fn scan_period_us(&self) -> Micros {
+        self.heartbeat_period_us
+    }
+
+    /// `true` if any session subscription matches `subject`; `Some` of
+    /// the earliest subscription time for the hosting daemon's
+    /// first-contact entitlement check.
+    pub fn earliest_matching_sub(&self, subject: &Subject) -> Option<Micros> {
+        self.trie
+            .matches(subject)
+            .map(|(_, (_, since))| *since)
+            .min()
+    }
+
+    /// Every distinct filter currently held by some session (the
+    /// aggregate interest the hosting daemon announces to peers).
+    pub fn filters(&self) -> Vec<String> {
+        self.filter_refs.keys().cloned().collect()
+    }
+
+    /// Handles one inbound frame from `conn`.
+    pub fn handle_frame(&mut self, now: Micros, conn: ConnId, frame: SessionFrame) -> Vec<SessOut> {
+        let mut out = Vec::new();
+        if let Some(sess) = self.sessions.get_mut(&conn) {
+            sess.last_heard = now;
+        } else if !matches!(frame, SessionFrame::Hello { .. }) {
+            // No session: anything but a hello earns an eviction notice
+            // so a restarted client learns to re-handshake.
+            out.push(SessOut::Send {
+                conn,
+                frame: SessionFrame::Evict {
+                    reason: "unknown session".into(),
+                },
+            });
+            return out;
+        }
+        match frame {
+            SessionFrame::Hello {
+                proto,
+                token,
+                client,
+            } => {
+                if proto != SESSION_PROTO || token != self.token {
+                    self.rejected += 1;
+                    let reason = if proto != SESSION_PROTO {
+                        format!("unsupported protocol {proto:?}")
+                    } else {
+                        "bad capability token".to_owned()
+                    };
+                    out.push(SessOut::Send {
+                        conn,
+                        frame: SessionFrame::Reject { reason },
+                    });
+                    out.push(SessOut::Closed { conn });
+                    return out;
+                }
+                let id = match self.sessions.get(&conn) {
+                    // Duplicate hello (client retry): re-welcome, same
+                    // session.
+                    Some(sess) => sess.id,
+                    None => {
+                        let id = self.next_session_id;
+                        self.next_session_id += 1;
+                        self.opened += 1;
+                        self.sessions.insert(
+                            conn,
+                            Session {
+                                id,
+                                client,
+                                last_heard: now,
+                                cursor_next: 1,
+                                cursor_acked: 0,
+                                paused: false,
+                                backlog: VecDeque::new(),
+                                subs: HashMap::new(),
+                            },
+                        );
+                        id
+                    }
+                };
+                out.push(SessOut::Send {
+                    conn,
+                    frame: SessionFrame::Welcome {
+                        session: id,
+                        heartbeat_period_us: self.heartbeat_period_us,
+                        session_timeout_us: self.session_timeout_us,
+                        cursor_lag: self.cursor_lag,
+                    },
+                });
+            }
+            SessionFrame::Subscribe { sub, filter } => match SubjectFilter::new(&filter) {
+                Ok(f) => {
+                    let text = f.as_str().to_owned();
+                    let trie_id = self.trie.insert(&f, (conn, now));
+                    self.sub_texts.insert(trie_id, text.clone());
+                    let refs = self.filter_refs.entry(text.clone()).or_insert(0);
+                    *refs += 1;
+                    if *refs == 1 {
+                        out.push(SessOut::FilterAdded(text));
+                    }
+                    let replaced = {
+                        let sess = self.sessions.get_mut(&conn).expect("checked above");
+                        sess.subs.insert(sub, trie_id)
+                    };
+                    // Client reused a sub id: the old subscription is
+                    // replaced.
+                    if let Some(old) = replaced {
+                        self.drop_trie_sub(old, &mut out);
+                    }
+                }
+                Err(e) => out.push(SessOut::Send {
+                    conn,
+                    frame: SessionFrame::Reject {
+                        reason: format!("bad filter {filter:?}: {e}"),
+                    },
+                }),
+            },
+            SessionFrame::Unsubscribe { sub } => {
+                let sess = self.sessions.get_mut(&conn).expect("checked above");
+                if let Some(trie_id) = sess.subs.remove(&sub) {
+                    self.drop_trie_sub(trie_id, &mut out);
+                }
+            }
+            SessionFrame::Publish {
+                subject,
+                qos,
+                payload,
+            } => {
+                self.published += 1;
+                let client = self.sessions[&conn].client.clone();
+                out.push(SessOut::Publish {
+                    subject,
+                    qos,
+                    payload,
+                    client,
+                });
+            }
+            SessionFrame::Ack { cursor } => {
+                let lag_cap = self.cursor_lag;
+                let sess = self.sessions.get_mut(&conn).expect("checked above");
+                sess.cursor_acked = sess.cursor_acked.max(cursor);
+                // Resume: flush backlog while the lag window has room.
+                while sess.paused {
+                    let lag = (sess.cursor_next - 1).saturating_sub(sess.cursor_acked);
+                    if lag >= lag_cap {
+                        break;
+                    }
+                    match sess.backlog.pop_front() {
+                        Some(mut frame) => {
+                            if let SessionFrame::Deliver { cursor, .. } = &mut frame {
+                                *cursor = sess.cursor_next;
+                            }
+                            sess.cursor_next += 1;
+                            out.push(SessOut::Send { conn, frame });
+                        }
+                        None => sess.paused = false,
+                    }
+                }
+            }
+            SessionFrame::Heartbeat => self.heartbeats += 1,
+            SessionFrame::Bye => {
+                self.closed += 1;
+                self.close_session(conn, &mut out);
+            }
+            // Daemon-originated frames arriving inbound are client bugs;
+            // drop them (the session stays fresh — any frame is life).
+            SessionFrame::Welcome { .. }
+            | SessionFrame::Reject { .. }
+            | SessionFrame::Deliver { .. }
+            | SessionFrame::Evict { .. } => {}
+        }
+        out
+    }
+
+    /// Fans one bus delivery out to every matching session.
+    ///
+    /// `subject` must be the parsed form of `text`. Sessions with
+    /// multiple matching filters get one copy. Paused sessions buffer
+    /// (bounded, drop-oldest) instead of sending.
+    pub fn on_deliver(
+        &mut self,
+        subject: &Subject,
+        text: &str,
+        payload: &[u8],
+        redelivery: bool,
+    ) -> Vec<SessOut> {
+        let mut out = Vec::new();
+        let conns: BTreeSet<ConnId> = self.trie.matches(subject).map(|(_, (c, _))| *c).collect();
+        for conn in conns {
+            let lag_cap = self.cursor_lag;
+            let Some(sess) = self.sessions.get_mut(&conn) else {
+                continue;
+            };
+            self.delivered += 1;
+            if sess.paused {
+                if sess.backlog.len() >= (lag_cap as usize) * 4 {
+                    sess.backlog.pop_front();
+                    self.dropped += 1;
+                }
+                // Cursor assigned on send, so the stream stays gapless
+                // after drops.
+                sess.backlog.push_back(SessionFrame::Deliver {
+                    cursor: 0,
+                    subject: text.to_owned(),
+                    redelivery,
+                    payload: payload.to_vec(),
+                });
+                continue;
+            }
+            let cursor = sess.cursor_next;
+            sess.cursor_next += 1;
+            out.push(SessOut::Send {
+                conn,
+                frame: SessionFrame::Deliver {
+                    cursor,
+                    subject: text.to_owned(),
+                    redelivery,
+                    payload: payload.to_vec(),
+                },
+            });
+            let lag = (sess.cursor_next - 1).saturating_sub(sess.cursor_acked);
+            if lag >= lag_cap {
+                sess.paused = true;
+                self.paused += 1;
+            }
+        }
+        out
+    }
+
+    /// Freshness scan: evicts every session silent for longer than the
+    /// session timeout. Call at least every
+    /// [`scan_period_us`](SessionBroker::scan_period_us).
+    pub fn on_tick(&mut self, now: Micros) -> Vec<SessOut> {
+        let mut out = Vec::new();
+        let stale: Vec<ConnId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.saturating_sub(s.last_heard) > self.session_timeout_us)
+            .map(|(&c, _)| c)
+            .collect();
+        for conn in stale {
+            self.evicted += 1;
+            out.push(SessOut::Send {
+                conn,
+                frame: SessionFrame::Evict {
+                    reason: "heartbeat timeout".into(),
+                },
+            });
+            self.close_session(conn, &mut out);
+        }
+        out
+    }
+
+    /// Writes the session counters into `stats` (the `sess_*` family).
+    pub fn stats_into(&self, stats: &mut BusStats) {
+        stats.sess_active = self.sessions.len() as u64;
+        stats.sess_opened = self.opened;
+        stats.sess_rejected = self.rejected;
+        stats.sess_closed = self.closed;
+        stats.sess_evicted = self.evicted;
+        stats.sess_heartbeats = self.heartbeats;
+        stats.sess_published = self.published;
+        stats.sess_delivered = self.delivered;
+        stats.sess_paused = self.paused;
+        stats.sess_dropped = self.dropped;
+    }
+
+    fn drop_trie_sub(&mut self, trie_id: SubscriptionId, out: &mut Vec<SessOut>) {
+        if self.trie.remove(trie_id).is_none() {
+            return;
+        }
+        let Some(text) = self.sub_texts.remove(&trie_id) else {
+            return;
+        };
+        if let Some(refs) = self.filter_refs.get_mut(&text) {
+            *refs -= 1;
+            if *refs == 0 {
+                self.filter_refs.remove(&text);
+                out.push(SessOut::FilterRemoved(text));
+            }
+        }
+    }
+
+    fn close_session(&mut self, conn: ConnId, out: &mut Vec<SessOut>) {
+        let Some(sess) = self.sessions.remove(&conn) else {
+            return;
+        };
+        for (_, trie_id) in sess.subs {
+            self.drop_trie_sub(trie_id, out);
+        }
+        out.push(SessOut::Closed { conn });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BusConfig {
+        BusConfig::default()
+            .with_session_timeout_us(3_000)
+            .with_heartbeat_period_us(1_000)
+            .with_session_cursor_lag(4)
+    }
+
+    fn hello(token: u64) -> SessionFrame {
+        SessionFrame::Hello {
+            proto: SESSION_PROTO.into(),
+            token,
+            client: "t".into(),
+        }
+    }
+
+    fn open(b: &mut SessionBroker, conn: ConnId, now: Micros) {
+        let out = b.handle_frame(now, conn, hello(9));
+        assert!(matches!(
+            out[0],
+            SessOut::Send {
+                frame: SessionFrame::Welcome { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn capability_gate() {
+        let mut b = SessionBroker::new(&cfg(), 9);
+        let out = b.handle_frame(0, ConnId(1), hello(8));
+        assert!(matches!(
+            out[0],
+            SessOut::Send {
+                frame: SessionFrame::Reject { .. },
+                ..
+            }
+        ));
+        assert!(matches!(out[1], SessOut::Closed { .. }));
+        assert_eq!(b.active(), 0);
+        let mut s = BusStats::default();
+        b.stats_into(&mut s);
+        assert_eq!(s.sess_rejected, 1);
+    }
+
+    #[test]
+    fn deliveries_are_cursor_stamped_per_session() {
+        let mut b = SessionBroker::new(&cfg(), 9);
+        open(&mut b, ConnId(1), 0);
+        let out = b.handle_frame(
+            0,
+            ConnId(1),
+            SessionFrame::Subscribe {
+                sub: 1,
+                filter: "m.>".into(),
+            },
+        );
+        assert_eq!(out, vec![SessOut::FilterAdded("m.>".into())]);
+        let subject = Subject::new("m.x").unwrap();
+        for want in 1..=3u64 {
+            let out = b.on_deliver(&subject, "m.x", b"p", false);
+            match &out[0] {
+                SessOut::Send {
+                    frame: SessionFrame::Deliver { cursor, .. },
+                    ..
+                } => assert_eq!(*cursor, want),
+                other => panic!("{other:?}"),
+            }
+            // Keep the window open.
+            b.handle_frame(0, ConnId(1), SessionFrame::Ack { cursor: want });
+        }
+    }
+
+    #[test]
+    fn backpressure_pauses_then_drops_oldest() {
+        let mut b = SessionBroker::new(&cfg(), 9); // lag 4, backlog cap 16
+        open(&mut b, ConnId(1), 0);
+        b.handle_frame(
+            0,
+            ConnId(1),
+            SessionFrame::Subscribe {
+                sub: 1,
+                filter: "m.x".into(),
+            },
+        );
+        let subject = Subject::new("m.x").unwrap();
+        let mut sent = 0;
+        for _ in 0..40 {
+            sent += b.on_deliver(&subject, "m.x", b"p", false).len();
+        }
+        // Lag ceiling 4: exactly 4 sent, the rest buffered/dropped.
+        assert_eq!(sent, 4);
+        let mut s = BusStats::default();
+        b.stats_into(&mut s);
+        assert_eq!(s.sess_paused, 1);
+        // 36 buffered candidates into a 16-slot backlog → 20 dropped.
+        assert_eq!(s.sess_dropped, 20);
+        // Ack everything sent: backlog flushes 4 more (window size).
+        let out = b.handle_frame(0, ConnId(1), SessionFrame::Ack { cursor: 4 });
+        let cursors: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                SessOut::Send {
+                    frame: SessionFrame::Deliver { cursor, .. },
+                    ..
+                } => Some(*cursor),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cursors, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn heartbeat_timeout_evicts() {
+        let mut b = SessionBroker::new(&cfg(), 9);
+        open(&mut b, ConnId(1), 0);
+        open(&mut b, ConnId(2), 0);
+        // Session 2 stays fresh; session 1 goes silent.
+        b.handle_frame(2_500, ConnId(2), SessionFrame::Heartbeat);
+        let out = b.on_tick(3_500);
+        assert!(matches!(
+            out[0],
+            SessOut::Send {
+                conn: ConnId(1),
+                frame: SessionFrame::Evict { .. },
+            }
+        ));
+        assert!(matches!(out[1], SessOut::Closed { conn: ConnId(1) }));
+        assert_eq!(b.active(), 1);
+        let mut s = BusStats::default();
+        b.stats_into(&mut s);
+        assert_eq!((s.sess_evicted, s.sess_active), (1, 1));
+    }
+
+    #[test]
+    fn bye_releases_filters() {
+        let mut b = SessionBroker::new(&cfg(), 9);
+        open(&mut b, ConnId(1), 0);
+        b.handle_frame(
+            0,
+            ConnId(1),
+            SessionFrame::Subscribe {
+                sub: 1,
+                filter: "m.>".into(),
+            },
+        );
+        let out = b.handle_frame(1, ConnId(1), SessionFrame::Bye);
+        assert!(out.contains(&SessOut::FilterRemoved("m.>".into())));
+        assert!(out.contains(&SessOut::Closed { conn: ConnId(1) }));
+        assert_eq!(b.filters().len(), 0);
+    }
+
+    #[test]
+    fn frames_without_session_get_evict_notice() {
+        let mut b = SessionBroker::new(&cfg(), 9);
+        let out = b.handle_frame(0, ConnId(5), SessionFrame::Heartbeat);
+        assert!(matches!(
+            out[0],
+            SessOut::Send {
+                frame: SessionFrame::Evict { .. },
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,496 @@
+//! [`SimBus`]: the netsim daemon behind the unified [`Bus`] trait.
+//!
+//! The fourth driver. The simulated daemon normally runs event-style —
+//! applications implement [`BusApp`] and the driver steps virtual time —
+//! which the thread-style [`Bus`] trait cannot express directly. This
+//! shim bridges the two: a background *pump thread* owns the simulation
+//! (a two-host segment with a daemon on each, optionally faulty), and
+//! the `Bus` methods post commands to it over a channel. Publications go
+//! in on the **pub host**, subscriptions live on the **sub host**, so
+//! every message crosses the simulated Ethernet — with a lossy
+//! [`FaultPlan`], conformance traffic genuinely exercises NAK repair and
+//! guaranteed-delivery retries inside the simulator.
+//!
+//! Commands reach the in-sim applications through
+//! [`BusFabric::send_app_command`] / [`BusApp::on_command`], so publish
+//! and subscribe run with a live [`BusCtx`] inside the simulation, not
+//! by reaching around it. Deliveries come back out through the same
+//! bounded drop-oldest queues every other driver uses.
+//!
+//! The pump advances virtual time continuously while idle (a fixed
+//! virtual slice per real poll tick), so `recv_timeout` works like on
+//! the real-thread drivers; [`Bus::drain`] runs one configured *settle
+//! horizon* of virtual time synchronously, which is this driver's
+//! delivery barrier — generous enough to cover repair under loss.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use infobus_core::engine::BusStats;
+use infobus_core::queue::{sub_queue, SubSender};
+use infobus_core::{
+    Bus, BusApp, BusConfig, BusCtx, BusError, BusFabric, BusMessage, BusReceiver, Delivery, QoS,
+    SubscriptionHandle,
+};
+use infobus_netsim::{EtherConfig, FaultPlan, HostId, Micros, NetBuilder, Sim};
+use infobus_subject::SubjectFilter;
+use infobus_types::{wire, Value};
+
+/// Configuration for a [`SimBus`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Protocol configuration installed on both simulated daemons.
+    pub bus: BusConfig,
+    /// Simulation seed (faults and jitter are deterministic per seed).
+    pub seed: u64,
+    /// Fault plan for the segment between the pub and sub hosts.
+    pub faults: FaultPlan,
+    /// Virtual time one [`Bus::drain`] advances. The default
+    /// (200 ms) covers NAK repair under the `lossy` fault plan.
+    pub settle_us: Micros,
+}
+
+impl SimConfig {
+    /// Default configuration: seed 1, no faults, 200 ms settle horizon.
+    pub fn new() -> SimConfig {
+        SimConfig {
+            bus: BusConfig::default(),
+            seed: 1,
+            faults: FaultPlan::none(),
+            settle_us: 200_000,
+        }
+    }
+
+    /// Sets the protocol configuration.
+    pub fn with_bus(mut self, bus: BusConfig) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the segment fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the settle horizon (see [`SimConfig::settle_us`]).
+    pub fn with_settle_us(mut self, us: Micros) -> Self {
+        self.settle_us = us;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new()
+    }
+}
+
+/// Virtual time the pump advances per idle poll tick.
+const IDLE_SLICE_US: Micros = 10_000;
+/// Virtual time the pump advances after injecting a command.
+const CMD_SLICE_US: Micros = 5_000;
+
+// ----- commands: caller thread → pump thread -------------------------------
+
+enum Cmd {
+    Subscribe {
+        filter: String,
+        reply: mpsc::Sender<Result<(SubscriptionHandle, BusReceiver), BusError>>,
+    },
+    Publish {
+        subject: String,
+        value: Value,
+        qos: QoS,
+        reply: mpsc::Sender<Result<usize, BusError>>,
+    },
+    Unsubscribe(SubscriptionHandle),
+    Drain {
+        reply: mpsc::Sender<()>,
+    },
+    Stats {
+        reply: mpsc::Sender<BusStats>,
+    },
+}
+
+// ----- in-sim app commands: pump thread → applications ---------------------
+
+struct AppSubscribe {
+    filter: String,
+    tx: SubSender<Delivery>,
+    reply: mpsc::Sender<Result<SubscriptionHandle, BusError>>,
+}
+
+struct AppUnsubscribe {
+    handle: SubscriptionHandle,
+}
+
+struct AppPublish {
+    subject: String,
+    value: Value,
+    qos: QoS,
+    reply: mpsc::Sender<Result<usize, BusError>>,
+}
+
+/// The sub-host application: holds the subscriber queues and forwards
+/// matching publications out of the simulation.
+#[derive(Default)]
+struct Collector {
+    subs: Vec<(SubscriptionHandle, SubjectFilter, SubSender<Delivery>)>,
+}
+
+impl BusApp for Collector {
+    fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        // Re-marshal: the queue carries wire bytes so the out-of-sim
+        // subscriber unmarshals lazily, exactly like the other drivers.
+        let registry = bus.registry();
+        let Ok(payload) = wire::marshal_self_describing(&msg.value, &registry.borrow()) else {
+            return;
+        };
+        let payload = Arc::new(payload);
+        for (_, filter, tx) in &self.subs {
+            if filter.matches(&msg.subject) {
+                let _ = tx.send(Delivery {
+                    subject: msg.subject.to_string(),
+                    payload: Arc::clone(&payload),
+                    redelivery: msg.redelivery,
+                });
+            }
+        }
+    }
+
+    fn on_command(&mut self, bus: &mut BusCtx<'_, '_>, cmd: Box<dyn std::any::Any>) {
+        match cmd.downcast::<AppSubscribe>() {
+            Ok(sub) => {
+                let sub = *sub;
+                let result = SubjectFilter::new(&sub.filter)
+                    .map_err(BusError::from)
+                    .and_then(|f| bus.subscribe(&sub.filter).map(|h| (h, f)));
+                let _ = sub.reply.send(match result {
+                    Ok((handle, filter)) => {
+                        self.subs.push((handle, filter, sub.tx));
+                        Ok(handle)
+                    }
+                    Err(e) => Err(e),
+                });
+            }
+            Err(cmd) => {
+                if let Ok(unsub) = cmd.downcast::<AppUnsubscribe>() {
+                    bus.unsubscribe(unsub.handle);
+                    self.subs.retain(|(h, _, _)| *h != unsub.handle);
+                }
+            }
+        }
+    }
+}
+
+/// The pub-host application: publishes on command.
+#[derive(Default)]
+struct Publisher;
+
+impl BusApp for Publisher {
+    fn on_command(&mut self, bus: &mut BusCtx<'_, '_>, cmd: Box<dyn std::any::Any>) {
+        if let Ok(p) = cmd.downcast::<AppPublish>() {
+            let p = *p;
+            // Local matches at the publishing daemon: none, by
+            // construction (subscribers live on the sub host).
+            let _ = p
+                .reply
+                .send(bus.publish(&p.subject, &p.value, p.qos).map(|()| 0));
+        }
+    }
+}
+
+// ----- the pump ------------------------------------------------------------
+
+struct Pump {
+    sim: Sim,
+    fabric: BusFabric,
+    pub_host: HostId,
+    sub_host: HostId,
+    queue_cap: usize,
+    queue_dropped: Arc<AtomicU64>,
+    settle_us: Micros,
+}
+
+impl Pump {
+    const PUB_APP: &'static str = "edge-pump-pub";
+    const SUB_APP: &'static str = "edge-pump-sub";
+
+    fn build(cfg: &SimConfig) -> Pump {
+        let mut b = NetBuilder::new(cfg.seed);
+        let mut ether = EtherConfig::lan_10mbps();
+        ether.faults = cfg.faults.clone();
+        let seg = b.segment(ether);
+        let pub_host = b.host("edge-pub", &[seg]);
+        let sub_host = b.host("edge-sub", &[seg]);
+        let mut sim = b.build();
+        let fabric = BusFabric::install(&mut sim, &[pub_host, sub_host], cfg.bus.clone());
+        fabric.attach_app(
+            &mut sim,
+            pub_host,
+            Self::PUB_APP,
+            Box::<Publisher>::default(),
+        );
+        fabric.attach_app(
+            &mut sim,
+            sub_host,
+            Self::SUB_APP,
+            Box::<Collector>::default(),
+        );
+        // Let the daemons start and exchange subscription tables.
+        sim.run_for(50_000);
+        Pump {
+            sim,
+            fabric,
+            pub_host,
+            sub_host,
+            queue_cap: cfg.bus.subscriber_queue_cap,
+            queue_dropped: Arc::new(AtomicU64::new(0)),
+            settle_us: cfg.settle_us,
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<Cmd>) {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(cmd) => self.handle(cmd),
+                // Idle: virtual time keeps flowing so timers (NAK
+                // scans, retries, digests) fire without commands.
+                Err(RecvTimeoutError::Timeout) => self.sim.run_for(IDLE_SLICE_US),
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn handle(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::Subscribe { filter, reply } => {
+                let (tx, rx) = sub_queue(self.queue_cap, Arc::clone(&self.queue_dropped));
+                let (app_tx, app_rx) = mpsc::channel();
+                self.fabric.send_app_command(
+                    &mut self.sim,
+                    self.sub_host,
+                    Self::SUB_APP,
+                    Box::new(AppSubscribe {
+                        filter,
+                        tx,
+                        reply: app_tx,
+                    }),
+                );
+                self.sim.run_for(CMD_SLICE_US);
+                let result = match app_rx.try_recv() {
+                    Ok(r) => r.map(|handle| (handle, rx)),
+                    Err(_) => Err(BusError::Net("sim subscribe lost".into())),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Publish {
+                subject,
+                value,
+                qos,
+                reply,
+            } => {
+                let (app_tx, app_rx) = mpsc::channel();
+                self.fabric.send_app_command(
+                    &mut self.sim,
+                    self.pub_host,
+                    Self::PUB_APP,
+                    Box::new(AppPublish {
+                        subject,
+                        value,
+                        qos,
+                        reply: app_tx,
+                    }),
+                );
+                self.sim.run_for(CMD_SLICE_US);
+                let result = match app_rx.try_recv() {
+                    Ok(r) => r,
+                    Err(_) => Err(BusError::Net("sim publish lost".into())),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Unsubscribe(handle) => {
+                self.fabric.send_app_command(
+                    &mut self.sim,
+                    self.sub_host,
+                    Self::SUB_APP,
+                    Box::new(AppUnsubscribe { handle }),
+                );
+                self.sim.run_for(CMD_SLICE_US);
+            }
+            Cmd::Drain { reply } => {
+                self.sim.run_for(self.settle_us);
+                let _ = reply.send(());
+            }
+            Cmd::Stats { reply } => {
+                let mut merged = BusStats::default();
+                for host in [self.pub_host, self.sub_host] {
+                    if let Some(s) = self.fabric.daemon_stats(&mut self.sim, host) {
+                        merged.merge_from(&s);
+                    }
+                }
+                let _ = reply.send(merged);
+            }
+        }
+    }
+}
+
+/// A simulated two-host bus behind the [`Bus`] trait. See the
+/// [module docs](self).
+pub struct SimBus {
+    tx: Mutex<mpsc::Sender<Cmd>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+/// How long `Bus` calls wait for the pump before giving up (generous:
+/// the pump answers within a few poll ticks).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl SimBus {
+    /// Builds the simulation and starts the pump thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Net`] if the pump thread cannot be spawned.
+    pub fn start(cfg: SimConfig) -> Result<SimBus, BusError> {
+        let (tx, rx) = mpsc::channel();
+        // The simulation is single-threaded by construction (processes
+        // hold non-Send state), so it is built *inside* the pump thread
+        // and never crosses a thread boundary.
+        let handle = std::thread::Builder::new()
+            .name("infobus-edge-sim".into())
+            .spawn(move || Pump::build(&cfg).run(rx))
+            .map_err(|e| BusError::Net(format!("spawn pump: {e}")))?;
+        Ok(SimBus {
+            tx: Mutex::new(tx),
+            pump: Some(handle),
+        })
+    }
+
+    fn send(&self, cmd: Cmd) {
+        let tx = match self.tx.lock() {
+            Ok(t) => t,
+            Err(e) => panic!("lock poisoned: {e}"),
+        };
+        let _ = tx.send(cmd);
+    }
+
+    fn ask<T>(&self, rx: &mpsc::Receiver<T>, what: &str) -> Result<T, BusError> {
+        rx.recv_timeout(REPLY_TIMEOUT)
+            .map_err(|_| BusError::Net(format!("sim pump unresponsive ({what})")))
+    }
+}
+
+impl Drop for SimBus {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the pump's receiver; the pump
+        // returns on its next poll tick.
+        {
+            let (dead_tx, _dead_rx) = mpsc::channel();
+            if let Ok(mut tx) = self.tx.lock() {
+                *tx = dead_tx;
+            }
+        }
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Bus for SimBus {
+    fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        let (reply, rx) = mpsc::channel();
+        self.send(Cmd::Subscribe {
+            filter: filter.to_owned(),
+            reply,
+        });
+        self.ask(&rx, "subscribe")?
+    }
+
+    /// Publishes on the simulation's pub host. Returns 0: subscribers
+    /// live on the sub host, so no queue matches at the publishing
+    /// daemon.
+    fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
+        let (reply, rx) = mpsc::channel();
+        self.send(Cmd::Publish {
+            subject: subject.to_owned(),
+            value: value.clone(),
+            qos,
+            reply,
+        });
+        self.ask(&rx, "publish")?
+    }
+
+    fn unsubscribe(&self, sub: SubscriptionHandle) {
+        self.send(Cmd::Unsubscribe(sub));
+    }
+
+    /// Advances the simulation one settle horizon
+    /// ([`SimConfig::settle_us`]) of virtual time and returns once it
+    /// completes: every publication this thread finished before the call
+    /// has been delivered, repaired, or dropped by then.
+    fn drain(&self) {
+        let (reply, rx) = mpsc::channel();
+        self.send(Cmd::Drain { reply });
+        let _ = self.ask(&rx, "drain");
+    }
+
+    /// Both simulated daemons' counters, merged.
+    fn stats(&self) -> BusStats {
+        let (reply, rx) = mpsc::channel();
+        self.send(Cmd::Stats { reply });
+        self.ask(&rx, "stats").unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_bus_round_trip() {
+        let bus = SimBus::start(SimConfig::new()).unwrap();
+        let (sub, rx) = Bus::subscribe(&bus, "s.>").unwrap();
+        for i in 0..10i64 {
+            Bus::publish(&bus, "s.x", &Value::I64(i), QoS::Reliable).unwrap();
+        }
+        bus.drain();
+        for i in 0..10i64 {
+            assert_eq!(rx.try_recv().unwrap().value().unwrap(), Value::I64(i));
+        }
+        Bus::unsubscribe(&bus, sub);
+        let stats = Bus::stats(&bus);
+        assert!(stats.published >= 10);
+    }
+
+    #[test]
+    fn lossy_sim_still_delivers_in_order() {
+        let bus = SimBus::start(
+            SimConfig::new()
+                .with_faults(FaultPlan::lossy())
+                .with_seed(42),
+        )
+        .unwrap();
+        let (_sub, rx) = Bus::subscribe(&bus, "l.>").unwrap();
+        for i in 0..50i64 {
+            Bus::publish(&bus, "l.x", &Value::I64(i), QoS::Reliable).unwrap();
+        }
+        bus.drain();
+        for i in 0..50i64 {
+            let msg = rx
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("message {i}: {e}"));
+            assert_eq!(msg.value().unwrap(), Value::I64(i));
+        }
+    }
+}

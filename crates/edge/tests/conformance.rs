@@ -1,0 +1,272 @@
+//! Cross-driver conformance: the same assertions against every driver
+//! of the unified [`Bus`] trait — the in-process bus, the UDP bus, the
+//! edge reactor, and the netsim daemon shim.
+//!
+//! The suite is written once against `Arc<dyn Bus>` pairs (publisher
+//! role, subscriber role — the same object for single-daemon drivers)
+//! and checks the contract that matters to applications:
+//!
+//! * **in order** — per subject, deliveries arrive in publish order;
+//! * **exactly once** — no duplicates, no silent losses;
+//! * **NAK repair** — both properties hold under seeded datagram loss
+//!   (socket drivers) or a lossy fault plan (the simulator);
+//!
+//! each at shard counts 1 and 4. Subjects are spread over four distinct
+//! first segments so the sharded engine actually exercises multiple
+//! shards.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use infobus_core::inproc::InprocBus;
+use infobus_core::{Bus, BusConfig, QoS};
+use infobus_edge::{EdgeConfig, ReactorBus, SimBus, SimConfig};
+use infobus_net::{UdpBus, UdpConfig};
+use infobus_netsim::FaultPlan;
+use infobus_types::Value;
+
+/// Four distinct first segments → four distinct shards at `shards = 4`.
+const SUBJECTS: [&str; 4] = ["c0.feed", "c1.feed", "c2.feed", "c3.feed"];
+const PER_SUBJECT: i64 = 15;
+
+fn fast(shards: usize) -> BusConfig {
+    BusConfig::default()
+        .with_shards(shards)
+        .with_batch_enabled(false)
+        .with_nak_delay_us(2_000)
+        .with_nak_check_us(1_000)
+        .with_sync_period_us(10_000)
+        // Tail loss is only repairable while idle digests keep coming:
+        // at 25% receive loss the default 2 rounds can both be lost.
+        .with_sync_rounds(50)
+        .with_gd_retry_us(10_000)
+}
+
+/// One driver under test: a publisher-role bus and a subscriber-role bus
+/// (the same object for single-daemon drivers), plus how long to wait
+/// after subscribing before the first publish (socket drivers need their
+/// announce exchanged and clocks ordered; zero for loopback drivers).
+struct Harness {
+    publisher: Arc<dyn Bus>,
+    subscriber: Arc<dyn Bus>,
+    settle: Duration,
+}
+
+fn inproc(shards: usize) -> Harness {
+    let bus: Arc<dyn Bus> = Arc::new(InprocBus::with_config(fast(shards)));
+    Harness {
+        publisher: Arc::clone(&bus),
+        subscriber: bus,
+        settle: Duration::ZERO,
+    }
+}
+
+fn udp(shards: usize, loss: bool) -> Harness {
+    let mut pub_cfg = UdpConfig::new(1).with_bus(fast(shards)).with_app("pub");
+    let mut sub_cfg = UdpConfig::new(2).with_bus(fast(shards)).with_app("sub");
+    if loss {
+        // Loss on the subscriber's inbound path: data datagrams drop and
+        // only NAK repair can restore order and completeness.
+        sub_cfg = sub_cfg.with_recv_loss(0.25, 7);
+        pub_cfg = pub_cfg.with_recv_loss(0.10, 11);
+    }
+    let p = UdpBus::bind(pub_cfg).unwrap();
+    let s = UdpBus::bind(sub_cfg).unwrap();
+    p.add_peer(2, s.local_addr()).unwrap();
+    s.add_peer(1, p.local_addr()).unwrap();
+    Harness {
+        publisher: Arc::new(p),
+        subscriber: Arc::new(s),
+        settle: Duration::from_millis(100),
+    }
+}
+
+fn reactor(shards: usize, loss: bool) -> Harness {
+    let mut pub_cfg = EdgeConfig::new(1).with_bus(fast(shards)).with_app("pub");
+    let mut sub_cfg = EdgeConfig::new(2).with_bus(fast(shards)).with_app("sub");
+    if loss {
+        sub_cfg = sub_cfg.with_recv_loss(0.25, 7);
+        pub_cfg = pub_cfg.with_recv_loss(0.10, 11);
+    }
+    let p = ReactorBus::bind(pub_cfg).unwrap();
+    let s = ReactorBus::bind(sub_cfg).unwrap();
+    p.add_peer(2, s.local_addr()).unwrap();
+    s.add_peer(1, p.local_addr()).unwrap();
+    Harness {
+        publisher: Arc::new(p),
+        subscriber: Arc::new(s),
+        settle: Duration::from_millis(100),
+    }
+}
+
+fn sim(shards: usize, lossy: bool) -> Harness {
+    let faults = if lossy {
+        FaultPlan::lossy()
+    } else {
+        FaultPlan::none()
+    };
+    let bus: Arc<dyn Bus> = Arc::new(
+        SimBus::start(
+            SimConfig::new()
+                .with_bus(fast(shards))
+                .with_faults(faults)
+                .with_seed(42),
+        )
+        .unwrap(),
+    );
+    Harness {
+        publisher: Arc::clone(&bus),
+        subscriber: bus,
+        settle: Duration::ZERO,
+    }
+}
+
+/// The shared conformance body: subscribe to all four subject groups,
+/// publish `PER_SUBJECT` sequenced messages per subject round-robin,
+/// then assert every subject's stream arrives complete, in order, and
+/// exactly once.
+fn ordered_exactly_once(h: &Harness, qos: QoS) {
+    let mut rxs = Vec::new();
+    for (i, _) in SUBJECTS.iter().enumerate() {
+        let (_sub, rx) = h.subscriber.subscribe(&format!("c{i}.>")).unwrap();
+        rxs.push(rx);
+    }
+    std::thread::sleep(h.settle);
+
+    for seq in 0..PER_SUBJECT {
+        for subject in SUBJECTS {
+            h.publisher.publish(subject, &Value::I64(seq), qos).unwrap();
+        }
+    }
+    h.publisher.drain();
+    h.subscriber.drain();
+
+    // In order and complete: each queue yields 0..PER_SUBJECT in order.
+    // The timeout is per message, not a shared deadline: the whole suite
+    // runs in parallel and a loaded machine stalls repair rounds without
+    // breaking them. Guaranteed QoS is at-least-once by contract — a
+    // retransmission racing the ack may arrive as a redelivery-flagged
+    // repeat, which is tolerated; an unflagged duplicate never is.
+    for (i, rx) in rxs.iter().enumerate() {
+        for want in 0..PER_SUBJECT {
+            let got = loop {
+                let msg = rx
+                    .recv_timeout(Duration::from_secs(60))
+                    .unwrap_or_else(|e| panic!("{}[{want}]: {e}", SUBJECTS[i]));
+                assert_eq!(msg.subject, SUBJECTS[i]);
+                let got = msg.value().unwrap();
+                if qos == QoS::Guaranteed && msg.redelivery && got != Value::I64(want) {
+                    continue; // at-least-once repeat of an earlier message
+                }
+                break got;
+            };
+            assert_eq!(got, Value::I64(want), "{} out of order", SUBJECTS[i]);
+        }
+    }
+    // Exactly once: nothing further arrives after a settle (modulo
+    // redelivery-flagged guaranteed repeats, which announce themselves).
+    h.subscriber.drain();
+    std::thread::sleep(h.settle.max(Duration::from_millis(50)));
+    for (i, rx) in rxs.iter().enumerate() {
+        while let Ok(msg) = rx.try_recv() {
+            assert!(
+                qos == QoS::Guaranteed && msg.redelivery,
+                "{} delivered a duplicate",
+                SUBJECTS[i]
+            );
+        }
+    }
+}
+
+// ----- clean transport: in order, exactly once ------------------------------
+
+#[test]
+fn inproc_ordered_shard1() {
+    ordered_exactly_once(&inproc(1), QoS::Reliable);
+}
+
+#[test]
+fn inproc_ordered_shard4() {
+    ordered_exactly_once(&inproc(4), QoS::Reliable);
+}
+
+#[test]
+fn udp_ordered_shard1() {
+    ordered_exactly_once(&udp(1, false), QoS::Reliable);
+}
+
+#[test]
+fn udp_ordered_shard4() {
+    ordered_exactly_once(&udp(4, false), QoS::Reliable);
+}
+
+#[test]
+fn reactor_ordered_shard1() {
+    ordered_exactly_once(&reactor(1, false), QoS::Reliable);
+}
+
+#[test]
+fn reactor_ordered_shard4() {
+    ordered_exactly_once(&reactor(4, false), QoS::Reliable);
+}
+
+#[test]
+fn sim_ordered_shard1() {
+    ordered_exactly_once(&sim(1, false), QoS::Reliable);
+}
+
+#[test]
+fn sim_ordered_shard4() {
+    ordered_exactly_once(&sim(4, false), QoS::Reliable);
+}
+
+// ----- lossy transport: NAK repair restores both properties -----------------
+
+#[test]
+fn udp_nak_repair_shard1() {
+    let h = udp(1, true);
+    ordered_exactly_once(&h, QoS::Reliable);
+    assert!(
+        h.subscriber.stats().naks_sent > 0,
+        "loss was configured but no NAK repair happened"
+    );
+}
+
+#[test]
+fn udp_nak_repair_shard4() {
+    ordered_exactly_once(&udp(4, true), QoS::Reliable);
+}
+
+#[test]
+fn reactor_nak_repair_shard1() {
+    let h = reactor(1, true);
+    ordered_exactly_once(&h, QoS::Reliable);
+    assert!(
+        h.subscriber.stats().naks_sent > 0,
+        "loss was configured but no NAK repair happened"
+    );
+}
+
+#[test]
+fn reactor_nak_repair_shard4() {
+    ordered_exactly_once(&reactor(4, true), QoS::Reliable);
+}
+
+#[test]
+fn sim_lossy_shard1() {
+    ordered_exactly_once(&sim(1, true), QoS::Reliable);
+}
+
+#[test]
+fn sim_lossy_shard4() {
+    ordered_exactly_once(&sim(4, true), QoS::Reliable);
+}
+
+// ----- guaranteed delivery through the trait --------------------------------
+
+#[test]
+fn guaranteed_qos_all_drivers() {
+    for h in [inproc(4), udp(4, false), reactor(4, false), sim(4, false)] {
+        ordered_exactly_once(&h, QoS::Guaranteed);
+    }
+}

@@ -1,0 +1,312 @@
+//! End-to-end session lifecycle against a live [`ReactorBus`]: a thin
+//! client speaking raw `IBSS` datagrams from a plain [`UdpSocket`] —
+//! no bus library on the client side at all, which is the point of the
+//! edge tier.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use infobus_core::{BusConfig, QoS};
+use infobus_edge::{
+    decode_session_frame, encode_session_frame, EdgeConfig, ReactorBus, SessionFrame, SESSION_PROTO,
+};
+use infobus_types::Value;
+
+const TOKEN: u64 = 0xCAFE;
+
+fn fast() -> BusConfig {
+    BusConfig::default()
+        .with_batch_enabled(false)
+        .with_nak_delay_us(2_000)
+        .with_nak_check_us(1_000)
+        .with_sync_period_us(10_000)
+        .with_gd_retry_us(10_000)
+}
+
+/// A thin client: one UDP socket and the session frame codec.
+struct Client {
+    sock: UdpSocket,
+}
+
+impl Client {
+    fn connect(daemon: std::net::SocketAddr) -> Client {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(daemon).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        Client { sock }
+    }
+
+    fn send(&self, frame: &SessionFrame) {
+        self.sock.send(&encode_session_frame(frame)).unwrap();
+    }
+
+    /// Receives one frame, waiting up to ~10s.
+    fn recv(&self) -> SessionFrame {
+        self.try_recv().expect("no frame within deadline")
+    }
+
+    fn try_recv(&self) -> Option<SessionFrame> {
+        self.recv_within(50)
+    }
+
+    /// Receives one frame, giving up after `attempts` read timeouts
+    /// (200 ms each).
+    fn recv_within(&self, attempts: usize) -> Option<SessionFrame> {
+        let mut buf = [0u8; 64 * 1024];
+        for _ in 0..attempts {
+            match self.sock.recv(&mut buf) {
+                Ok(n) => return Some(decode_session_frame(&buf[..n]).unwrap()),
+                Err(_) => continue,
+            }
+        }
+        None
+    }
+
+    /// Drains every queued `Deliver` cursor, stopping after ~600 ms of
+    /// silence. Panics on any other frame (an `Evict` here would mean
+    /// the session died mid-test).
+    fn drain_delivers(&self) -> Vec<u64> {
+        let mut cursors = Vec::new();
+        while let Some(frame) = self.recv_within(3) {
+            match frame {
+                SessionFrame::Deliver { cursor, .. } => cursors.push(cursor),
+                other => panic!("unexpected frame while draining: {other:?}"),
+            }
+        }
+        cursors
+    }
+
+    fn hello(&self) {
+        self.send(&SessionFrame::Hello {
+            proto: SESSION_PROTO.into(),
+            token: TOKEN,
+            client: "thin".into(),
+        });
+        match self.recv() {
+            SessionFrame::Welcome { .. } => {}
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn handshake_subscribe_deliver_ack_and_fan_in() {
+    let edge = ReactorBus::bind(
+        EdgeConfig::new(1)
+            .with_bus(fast())
+            .with_session_token(TOKEN),
+    )
+    .unwrap();
+    let client = Client::connect(edge.local_addr());
+    client.hello();
+
+    client.send(&SessionFrame::Subscribe {
+        sub: 1,
+        filter: "live.>".into(),
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Daemon-side publish fans out to the session, cursor-stamped from 1.
+    let n = edge
+        .publish("live.tick", &Value::I64(7), QoS::Reliable)
+        .unwrap();
+    assert_eq!(n, 1, "the session is the only local match");
+    match client.recv() {
+        SessionFrame::Deliver {
+            cursor,
+            subject,
+            redelivery,
+            ..
+        } => {
+            assert_eq!((cursor, redelivery), (1, false));
+            assert_eq!(subject, "live.tick");
+        }
+        other => panic!("expected Deliver, got {other:?}"),
+    }
+    client.send(&SessionFrame::Ack { cursor: 1 });
+
+    edge.publish("live.tick", &Value::I64(8), QoS::Reliable)
+        .unwrap();
+    match client.recv() {
+        SessionFrame::Deliver { cursor, .. } => assert_eq!(cursor, 2),
+        other => panic!("expected Deliver, got {other:?}"),
+    }
+    client.send(&SessionFrame::Ack { cursor: 2 });
+
+    // Fan-in: a session publish enters the bus like a local publish and
+    // reaches API subscribers on the daemon.
+    let (_sub, rx) = edge.subscribe("orders.>").unwrap();
+    let payload = {
+        let reg = infobus_types::TypeRegistry::with_fundamentals();
+        infobus_types::wire::marshal_self_describing(&Value::str("buy"), &reg).unwrap()
+    };
+    client.send(&SessionFrame::Publish {
+        subject: "orders.new".into(),
+        qos: QoS::Reliable,
+        payload,
+    });
+    let msg = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(msg.subject, "orders.new");
+    assert_eq!(msg.value().unwrap(), Value::str("buy"));
+
+    client.send(&SessionFrame::Bye);
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = edge.stats();
+    assert_eq!(stats.sess_opened, 1);
+    assert_eq!(stats.sess_closed, 1);
+    assert_eq!(stats.sess_active, 0);
+    assert_eq!(stats.sess_published, 1);
+    assert_eq!(stats.sess_delivered, 2);
+}
+
+#[test]
+fn capability_gate_rejects_and_unknown_sessions_get_evict() {
+    let edge = ReactorBus::bind(
+        EdgeConfig::new(1)
+            .with_bus(fast())
+            .with_session_token(TOKEN),
+    )
+    .unwrap();
+
+    // Wrong token → Reject.
+    let bad = Client::connect(edge.local_addr());
+    bad.send(&SessionFrame::Hello {
+        proto: SESSION_PROTO.into(),
+        token: TOKEN + 1,
+        client: "mallory".into(),
+    });
+    match bad.recv() {
+        SessionFrame::Reject { reason } => assert!(reason.contains("token"), "{reason}"),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // Frames without a handshake → Evict notice, so a restarted client
+    // knows to re-hello.
+    let lost = Client::connect(edge.local_addr());
+    lost.send(&SessionFrame::Heartbeat);
+    match lost.recv() {
+        SessionFrame::Evict { reason } => assert!(reason.contains("unknown"), "{reason}"),
+        other => panic!("expected Evict, got {other:?}"),
+    }
+
+    let stats = edge.stats();
+    assert_eq!(stats.sess_rejected, 1);
+    assert_eq!(stats.sess_active, 0);
+}
+
+#[test]
+fn missed_heartbeats_evict_the_session() {
+    let edge = ReactorBus::bind(
+        EdgeConfig::new(1)
+            .with_bus(
+                fast()
+                    .with_session_timeout_us(300_000)
+                    .with_heartbeat_period_us(100_000),
+            )
+            .with_session_token(TOKEN),
+    )
+    .unwrap();
+    let client = Client::connect(edge.local_addr());
+    client.hello();
+    assert_eq!(edge.stats().sess_active, 1);
+
+    // Go silent: past the timeout, the freshness scan evicts and says so.
+    match client.recv() {
+        SessionFrame::Evict { reason } => assert!(reason.contains("heartbeat"), "{reason}"),
+        other => panic!("expected Evict, got {other:?}"),
+    }
+    let stats = edge.stats();
+    assert_eq!(stats.sess_evicted, 1);
+    assert_eq!(stats.sess_active, 0);
+
+    // A heartbeating client stays: reopen and keep the session fresh.
+    let keeper = Client::connect(edge.local_addr());
+    keeper.hello();
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(100));
+        keeper.send(&SessionFrame::Heartbeat);
+    }
+    let stats = edge.stats();
+    assert_eq!(stats.sess_evicted, 1, "fresh session must not be evicted");
+    assert_eq!(stats.sess_active, 1);
+    assert!(stats.sess_heartbeats >= 5);
+}
+
+#[test]
+fn backpressure_pauses_then_drops_with_stats() {
+    let edge = ReactorBus::bind(
+        EdgeConfig::new(1)
+            // A long session timeout: this client is deliberately
+            // silent between bursts and must not be evicted mid-test.
+            .with_bus(
+                fast()
+                    .with_session_cursor_lag(4)
+                    .with_session_timeout_us(60_000_000),
+            )
+            .with_session_token(TOKEN),
+    )
+    .unwrap();
+    let client = Client::connect(edge.local_addr());
+    client.hello();
+    client.send(&SessionFrame::Subscribe {
+        sub: 1,
+        filter: "burst.>".into(),
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    // 40 publications into a never-acking session with lag ceiling 4 and
+    // backlog cap 16: exactly 4 sent, 16 buffered, 20 dropped.
+    for i in 0..40i64 {
+        edge.publish("burst.k", &Value::I64(i), QoS::Reliable)
+            .unwrap();
+    }
+    let got = client.drain_delivers();
+    assert_eq!(got, vec![1, 2, 3, 4], "lag ceiling must pause the stream");
+    let stats = edge.stats();
+    assert_eq!(stats.sess_paused, 1);
+    assert_eq!(stats.sess_dropped, 20);
+
+    // Acking reopens the window: the backlog flushes gaplessly (the
+    // drops above never consumed cursors).
+    client.send(&SessionFrame::Ack { cursor: 4 });
+    assert_eq!(client.drain_delivers(), vec![5, 6, 7, 8]);
+}
+
+#[test]
+fn session_interest_draws_cross_daemon_traffic() {
+    // The session's filter is announced to peers like any API
+    // subscription: a publish on a *remote* daemon reaches the thin
+    // client through the edge daemon.
+    let remote = ReactorBus::bind(EdgeConfig::new(1).with_bus(fast()).with_app("remote")).unwrap();
+    let edge = ReactorBus::bind(
+        EdgeConfig::new(2)
+            .with_bus(fast())
+            .with_app("edge")
+            .with_session_token(TOKEN),
+    )
+    .unwrap();
+    remote.add_peer(2, edge.local_addr()).unwrap();
+    edge.add_peer(1, remote.local_addr()).unwrap();
+
+    let client = Client::connect(edge.local_addr());
+    client.hello();
+    client.send(&SessionFrame::Subscribe {
+        sub: 1,
+        filter: "wan.>".into(),
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    remote
+        .publish("wan.quote", &Value::I64(99), QoS::Reliable)
+        .unwrap();
+    match client.recv() {
+        SessionFrame::Deliver {
+            cursor, subject, ..
+        } => {
+            assert_eq!(cursor, 1);
+            assert_eq!(subject, "wan.quote");
+        }
+        other => panic!("expected Deliver, got {other:?}"),
+    }
+}

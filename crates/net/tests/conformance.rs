@@ -185,7 +185,7 @@ fn run_inproc(shards: usize) -> RunResult {
     // Interleave the two streams, as two senders would.
     for i in 0..COUNT {
         for subject in STREAMS {
-            bus.publish(subject, &Value::I64(i)).unwrap();
+            bus.publish(subject, &Value::I64(i), QoS::Reliable).unwrap();
         }
     }
     let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();
@@ -335,7 +335,7 @@ fn inproc_cross_shard_per_subject_order() {
     let (_sub, rx) = bus.subscribe(">").unwrap();
     for i in 0..COUNT {
         for subject in SPREAD {
-            bus.publish(subject, &Value::I64(i)).unwrap();
+            bus.publish(subject, &Value::I64(i), QoS::Reliable).unwrap();
         }
     }
     let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();

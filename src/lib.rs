@@ -21,6 +21,7 @@
 //! | [`netsim`] | `infobus-netsim` | deterministic network + host simulator |
 //! | [`bus`] | `infobus-core` | daemons, QoS, discovery, RMI, routers |
 //! | [`net`] | `infobus-net` | real UDP socket transport (wall-clock driver of the engine) |
+//! | [`edge`] | `infobus-edge` | poll-based reactor daemon + thin-client session broker |
 //! | [`repo`] | `infobus-repo` | relational engine + the Object Repository |
 //! | [`adapters`] | `infobus-adapters` | news feeds, legacy WIP terminal, Keyword Generator |
 //! | [`builder`] | `infobus-builder` | views, scripted apps, News Monitor, auto-UIs |
@@ -73,6 +74,7 @@
 pub use infobus_adapters as adapters;
 pub use infobus_builder as builder;
 pub use infobus_core as bus;
+pub use infobus_edge as edge;
 pub use infobus_net as net;
 pub use infobus_netsim as netsim;
 pub use infobus_repo as repo;
