@@ -1,5 +1,9 @@
 //! Tunable parameters of a bus daemon.
 
+use std::path::PathBuf;
+
+use infobus_wal::FsyncPolicy;
+
 use crate::engine::Micros;
 
 /// Configuration of one [`BusDaemon`](crate::BusDaemon).
@@ -98,6 +102,26 @@ pub struct BusConfig {
     /// counted ([`BusStats::sess_dropped`](crate::BusStats::sess_dropped)).
     /// Defaults to `64`.
     pub session_cursor_lag: u64,
+    /// Directory of the durable guaranteed-delivery ledger. `None` (the
+    /// default) keeps the persist map in memory — guaranteed delivery
+    /// then survives engine restarts but not process death. When set,
+    /// wall-clock drivers write every `Persist`/`Unpersist` action
+    /// through a per-shard write-ahead ledger under
+    /// `<durable_dir>/shard-<n>` and replay it at start-up (see
+    /// `infobus-wal`).
+    pub durable_dir: Option<PathBuf>,
+    /// Rotation threshold of one ledger segment file, in bytes.
+    /// Defaults to 1 MiB.
+    pub segment_bytes: u64,
+    /// When ledger frames are pushed to stable storage. Defaults to
+    /// [`FsyncPolicy::Always`] (the paper's log-before-send contract
+    /// taken literally); relax for benches.
+    pub fsync: FsyncPolicy,
+    /// Ceiling on ledger payload bytes mirrored in memory; entries past
+    /// it are kept as disk references and read back on demand, so a
+    /// slow subscriber cannot grow the persist map without bound.
+    /// `0` keeps every live payload in memory. Defaults to 1 MiB.
+    pub durable_mem_bytes: usize,
 }
 
 impl Default for BusConfig {
@@ -123,6 +147,10 @@ impl Default for BusConfig {
             session_timeout_us: 3_000_000,
             heartbeat_period_us: 1_000_000,
             session_cursor_lag: 64,
+            durable_dir: None,
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::Always,
+            durable_mem_bytes: 1 << 20,
         }
     }
 }
@@ -272,11 +300,38 @@ impl BusConfig {
         self.session_cursor_lag = lag;
         self
     }
+
+    /// Sets the durable guaranteed-delivery ledger directory (per-shard
+    /// write-ahead segments live under it).
+    pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the ledger segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the ledger fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the in-memory ceiling of the durable persist map (`0` =
+    /// keep every live payload in memory).
+    pub fn with_durable_mem_bytes(mut self, bytes: usize) -> Self {
+        self.durable_mem_bytes = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn setters_chain_and_presets_hold() {
@@ -300,7 +355,11 @@ mod tests {
             .with_shards(15)
             .with_session_timeout_us(16)
             .with_heartbeat_period_us(17)
-            .with_session_cursor_lag(18);
+            .with_session_cursor_lag(18)
+            .with_durable_dir("/tmp/ledger")
+            .with_segment_bytes(19)
+            .with_fsync(FsyncPolicy::OnRotate)
+            .with_durable_mem_bytes(20);
         assert!(cfg.batch_enabled);
         assert_eq!(cfg.batch_bytes, 999);
         assert_eq!(cfg.rmi_max_attempts, 8);
@@ -310,6 +369,14 @@ mod tests {
         assert_eq!(cfg.session_timeout_us, 16);
         assert_eq!(cfg.heartbeat_period_us, 17);
         assert_eq!(cfg.session_cursor_lag, 18);
+        assert_eq!(cfg.durable_dir.as_deref(), Some(Path::new("/tmp/ledger")));
+        assert_eq!(cfg.segment_bytes, 19);
+        assert_eq!(cfg.fsync, FsyncPolicy::OnRotate);
+        assert_eq!(cfg.durable_mem_bytes, 20);
+        assert_eq!(BusConfig::default().durable_dir, None);
+        assert_eq!(BusConfig::default().segment_bytes, 1 << 20);
+        assert_eq!(BusConfig::default().fsync, FsyncPolicy::Always);
+        assert_eq!(BusConfig::default().durable_mem_bytes, 1 << 20);
         assert_eq!(BusConfig::default().stats_period_us, 0);
         assert_eq!(BusConfig::default().subscriber_queue_cap, 0);
         assert_eq!(BusConfig::default().shards, 1);

@@ -36,6 +36,7 @@ use crate::envelope::{Envelope, EnvelopeKind};
 use crate::interest::SubTarget;
 use crate::links::RouterLink;
 use crate::msg::{Packet, RmiMsg, RouterMsg, SyncEntry};
+use crate::nvstore::NvStore;
 use crate::rmi::{RmiError, ServiceObject};
 use crate::{BusError, QoS};
 
@@ -128,12 +129,25 @@ pub(crate) struct DaemonState {
     pub(crate) pending_services: Vec<(usize, Box<dyn ServiceObject>)>,
     /// Service indices withdrawn during a handler.
     pub(crate) dropped_services: Vec<usize>,
+    /// Optional write-ahead-ledger mirror of the simulator's
+    /// non-volatile store, opened when [`BusConfig::durable_dir`] is
+    /// set. The simulated store stays authoritative (it survives
+    /// simulated crashes by construction); the mirror receives every
+    /// `Persist`/`Unpersist` so determinism checks can compare real
+    /// on-disk ledger contents across seeded runs. Give each simulated
+    /// daemon its own directory.
+    pub(crate) nv_mirror: Option<NvStore>,
 }
 
 impl DaemonState {
     fn new(cfg: BusConfig) -> Self {
+        let nv_mirror = cfg
+            .durable_dir
+            .is_some()
+            .then(|| NvStore::open(&cfg).expect("open guaranteed-delivery ledger mirror"));
         DaemonState {
             engine: ShardedEngine::new(cfg, 0),
+            nv_mirror,
             host32: 0,
             seg0: None,
             registry: Rc::new(RefCell::new(TypeRegistry::with_fundamentals())),
@@ -511,10 +525,16 @@ impl Transport for DaemonTransport<'_, '_> {
     }
 
     fn persist(&mut self, key: String, bytes: Vec<u8>) {
+        if let Some(nv) = &mut self.d.nv_mirror {
+            nv.persist(0, &key, &bytes);
+        }
         self.net.nv_put(&key, bytes);
     }
 
     fn unpersist(&mut self, key: &str) {
+        if let Some(nv) = &mut self.d.nv_mirror {
+            nv.unpersist(0, key);
+        }
         self.net.nv_delete(key);
     }
 }
@@ -522,6 +542,20 @@ impl Transport for DaemonTransport<'_, '_> {
 impl ShardTransport for DaemonTransport<'_, '_> {
     fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind) {
         self.net.set_timer(delay_us, shard_token(shard, timer));
+    }
+
+    fn persist_shard(&mut self, shard: ShardId, key: String, bytes: Vec<u8>) {
+        if let Some(nv) = &mut self.d.nv_mirror {
+            nv.persist(shard, &key, &bytes);
+        }
+        self.net.nv_put(&key, bytes);
+    }
+
+    fn unpersist_shard(&mut self, shard: ShardId, key: &str) {
+        if let Some(nv) = &mut self.d.nv_mirror {
+            nv.unpersist(shard, key);
+        }
+        self.net.nv_delete(key);
     }
 }
 
@@ -554,13 +588,21 @@ impl BusDaemon {
 
     /// The daemon's protocol counters, merged across engine shards.
     pub fn stats(&self) -> BusStats {
-        self.state.engine.merged_stats()
+        let mut stats = self.state.engine.merged_stats();
+        if let Some(nv) = &self.state.nv_mirror {
+            nv.stamp_stats(&mut stats);
+        }
+        stats
     }
 
     /// The merged counters together with the per-shard breakdown (depth
     /// and occupancy maxima survive only in the breakdown).
     pub fn sharded_stats(&self) -> ShardedStats {
-        self.state.engine.sharded_stats()
+        let mut stats = self.state.engine.sharded_stats();
+        if let Some(nv) = &self.state.nv_mirror {
+            nv.stamp_stats(&mut stats.merged);
+        }
+        stats
     }
 
     /// The daemon's shared type registry.

@@ -148,6 +148,22 @@ impl ShardedStats {
 pub trait ShardTransport: Transport {
     /// Arm a one-shot protocol timer owned by `shard`.
     fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind);
+
+    /// Write a ledger entry on behalf of `shard`. Drivers with a
+    /// per-shard durable ledger override this to route the write to the
+    /// owning shard's segment files; the default forwards to the
+    /// shard-agnostic [`Transport::persist`].
+    fn persist_shard(&mut self, shard: ShardId, key: String, bytes: Vec<u8>) {
+        let _ = shard;
+        self.persist(key, bytes);
+    }
+
+    /// Delete a ledger entry on behalf of `shard` (see
+    /// [`ShardTransport::persist_shard`]).
+    fn unpersist_shard(&mut self, shard: ShardId, key: &str) {
+        let _ = shard;
+        self.unpersist(key);
+    }
 }
 
 /// Performs a batch of shard-tagged actions, in order, against a
@@ -162,8 +178,8 @@ pub fn run_sharded_actions(actions: Vec<(ShardId, Action)>, t: &mut impl ShardTr
             Action::SetTimer { delay_us, timer } => t.set_shard_timer(shard, delay_us, timer),
             Action::Deliver(env) => t.deliver(env),
             Action::DeliverGd(env) => t.deliver_gd(env),
-            Action::Persist { key, bytes } => t.persist(key, bytes),
-            Action::Unpersist { key } => t.unpersist(&key),
+            Action::Persist { key, bytes } => t.persist_shard(shard, key, bytes),
+            Action::Unpersist { key } => t.unpersist_shard(shard, &key),
         }
     }
 }

@@ -194,6 +194,20 @@ pub struct BusStats {
     /// Buffered deliveries dropped (oldest first) after a paused session's
     /// buffer overflowed its bound.
     pub sess_dropped: u64,
+    /// Guaranteed envelopes appended to the durable ledger (drivers with
+    /// [`BusConfig::durable_dir`](crate::BusConfig::durable_dir) set).
+    pub gd_ledger_appends: u64,
+    /// Bytes written to durable ledger segments (frames of both kinds).
+    pub gd_ledger_bytes: u64,
+    /// Ledger segment files currently on disk (a gauge, summed across
+    /// shards).
+    pub gd_ledger_segments: u64,
+    /// Ledger compaction passes performed.
+    pub gd_ledger_compactions: u64,
+    /// Valid ledger frames replayed by open-time recovery.
+    pub gd_ledger_recovered: u64,
+    /// Torn or corrupt ledger tails truncated during recovery.
+    pub gd_ledger_truncations: u64,
 }
 
 /// Attribute names of the `"BusStats"` descriptor, in declaration order.
@@ -244,6 +258,12 @@ const STATS_COUNTERS: &[&str] = &[
     "sess_delivered",
     "sess_paused",
     "sess_dropped",
+    "gd_ledger_appends",
+    "gd_ledger_bytes",
+    "gd_ledger_segments",
+    "gd_ledger_compactions",
+    "gd_ledger_recovered",
+    "gd_ledger_truncations",
 ];
 
 impl BusStats {
@@ -329,6 +349,12 @@ impl BusStats {
             "sess_delivered" => self.sess_delivered,
             "sess_paused" => self.sess_paused,
             "sess_dropped" => self.sess_dropped,
+            "gd_ledger_appends" => self.gd_ledger_appends,
+            "gd_ledger_bytes" => self.gd_ledger_bytes,
+            "gd_ledger_segments" => self.gd_ledger_segments,
+            "gd_ledger_compactions" => self.gd_ledger_compactions,
+            "gd_ledger_recovered" => self.gd_ledger_recovered,
+            "gd_ledger_truncations" => self.gd_ledger_truncations,
             _ => 0,
         }
     }
@@ -380,6 +406,12 @@ impl BusStats {
             "sess_delivered" => &mut self.sess_delivered,
             "sess_paused" => &mut self.sess_paused,
             "sess_dropped" => &mut self.sess_dropped,
+            "gd_ledger_appends" => &mut self.gd_ledger_appends,
+            "gd_ledger_bytes" => &mut self.gd_ledger_bytes,
+            "gd_ledger_segments" => &mut self.gd_ledger_segments,
+            "gd_ledger_compactions" => &mut self.gd_ledger_compactions,
+            "gd_ledger_recovered" => &mut self.gd_ledger_recovered,
+            "gd_ledger_truncations" => &mut self.gd_ledger_truncations,
             _ => return None,
         })
     }

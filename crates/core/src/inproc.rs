@@ -53,6 +53,7 @@ use crate::engine::{
 };
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::msg::Packet;
+use crate::nvstore::NvStore;
 use crate::queue::{sub_queue, SubReceiver, SubSender};
 use crate::{BusError, QoS};
 
@@ -100,6 +101,10 @@ struct Inner {
     /// Monotonic protocol time (the engine is sans-I/O and never reads a
     /// clock; one tick per publication is plenty for a lossless loop).
     now: AtomicU64,
+    /// Guaranteed-delivery non-volatile store: in-memory by default, a
+    /// per-shard write-ahead ledger when [`BusConfig::durable_dir`] is
+    /// set (replayed into the shard engines at construction).
+    nv: Mutex<NvStore>,
     /// Per-subscriber queue cap (0 = unbounded), from
     /// [`BusConfig::subscriber_queue_cap`].
     queue_cap: usize,
@@ -133,17 +138,20 @@ impl InprocBus {
 
     /// Creates an empty bus with the given configuration (notably
     /// [`BusConfig::subscriber_queue_cap`], the backpressure bound for
-    /// slow subscribers).
+    /// slow subscribers, and [`BusConfig::durable_dir`], which puts the
+    /// guaranteed-delivery ledger on disk and replays it here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable ledger directory cannot be opened
+    /// (fail-stop; see [`NvStore`]).
     pub fn with_config(cfg: BusConfig) -> Self {
         let queue_cap = cfg.subscriber_queue_cap;
-        let shards: Vec<Mutex<Engine>> = ShardedEngine::new_loopback(cfg, INPROC_HOST)
-            .into_shards()
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let (shards, nv) = build_shards(cfg);
         InprocBus {
             inner: Arc::new(Inner {
                 shards,
+                nv: Mutex::new(nv),
                 trie: RwLock::new(SubjectTrie::new()),
                 registry: Mutex::new(TypeRegistry::with_fundamentals()),
                 now: AtomicU64::new(0),
@@ -176,13 +184,14 @@ impl InprocBus {
     /// - publications still queued when the last bus handle drops are
     ///   discarded (the workers exit as their channels disconnect).
     ///   Call [`InprocBus::drain`] first for a clean shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable ledger directory cannot be opened
+    /// (fail-stop; see [`NvStore`]).
     pub fn with_workers(cfg: BusConfig) -> Self {
         let queue_cap = cfg.subscriber_queue_cap;
-        let shards: Vec<Mutex<Engine>> = ShardedEngine::new_loopback(cfg, INPROC_HOST)
-            .into_shards()
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let (shards, nv) = build_shards(cfg);
         let inner = Arc::new_cyclic(|weak: &Weak<Inner>| {
             let txs = (0..shards.len())
                 .map(|shard| {
@@ -197,6 +206,7 @@ impl InprocBus {
                 .collect();
             Inner {
                 shards,
+                nv: Mutex::new(nv),
                 trie: RwLock::new(SubjectTrie::new()),
                 registry: Mutex::new(TypeRegistry::with_fundamentals()),
                 now: AtomicU64::new(0),
@@ -332,9 +342,9 @@ impl InprocBus {
             },
         );
         let mut delivered = 0usize;
-        self.loopback(&mut engine, now, actions, &mut delivered);
+        self.loopback(&mut engine, shard, now, actions, &mut delivered);
         if qos == QoS::Guaranteed {
-            self.gd_rounds(&mut engine, now, &mut delivered);
+            self.gd_rounds(&mut engine, shard, now, &mut delivered);
         }
         delivered
     }
@@ -346,7 +356,7 @@ impl InprocBus {
     /// just-attached subscriber its redelivery window, the second
     /// completes the entry. Single host, so the interest snapshot maps
     /// every pending subject to "no remote hosts".
-    fn gd_rounds(&self, engine: &mut Engine, now: Micros, delivered: &mut usize) {
+    fn gd_rounds(&self, engine: &mut Engine, shard: usize, now: Micros, delivered: &mut usize) {
         for _ in 0..2 {
             let interest: HashMap<String, Vec<u32>> = engine
                 .gd_subjects()
@@ -357,7 +367,7 @@ impl InprocBus {
                 return;
             }
             let actions = engine.handle(now, Event::GdRetry { interest });
-            self.loopback(engine, now, actions, delivered);
+            self.loopback(engine, shard, now, actions, delivered);
         }
     }
 
@@ -388,13 +398,16 @@ impl InprocBus {
     /// Performs engine actions in loopback: broadcasts feed straight back
     /// into the engine's receive path and deliveries fan out to
     /// subscriber channels; local delivery doubles as the guaranteed
-    /// acknowledgment. Timers and the non-volatile ledger have no
-    /// substrate here and are dropped — with a lossless in-memory loop
-    /// there is never a gap to scan for, and guaranteed retry rounds run
-    /// synchronously after each guaranteed publish instead.
+    /// acknowledgment. `Persist`/`Unpersist` land on the shared
+    /// [`NvStore`] on behalf of `shard` — the write-ahead ledger when
+    /// the bus is durable. Timers have no substrate here and are
+    /// dropped — with a lossless in-memory loop there is never a gap to
+    /// scan for, and guaranteed retry rounds run synchronously after
+    /// each guaranteed publish instead.
     fn loopback(
         &self,
         engine: &mut Engine,
+        shard: usize,
         now: Micros,
         actions: Vec<Action>,
         delivered: &mut usize,
@@ -410,7 +423,7 @@ impl InprocBus {
                                 entitled: true,
                             },
                         );
-                        self.loopback(engine, now, next, delivered);
+                        self.loopback(engine, shard, now, next, delivered);
                     }
                 }
                 Action::Broadcast(_) => {}
@@ -437,7 +450,21 @@ impl InprocBus {
                         engine.gd_local_done(&env);
                     }
                 }
-                Action::SetTimer { .. } | Action::Persist { .. } | Action::Unpersist { .. } => {}
+                Action::Persist { key, bytes } => {
+                    self.inner
+                        .nv
+                        .lock()
+                        .expect("lock poisoned")
+                        .persist(shard, &key, &bytes);
+                }
+                Action::Unpersist { key } => {
+                    self.inner
+                        .nv
+                        .lock()
+                        .expect("lock poisoned")
+                        .unpersist(shard, &key);
+                }
+                Action::SetTimer { .. } => {}
             }
         }
     }
@@ -498,8 +525,38 @@ impl InprocBus {
         trie.for_each(|_, _, tx| depth += tx.queued() as u64);
         merged.sub_queue_depth = depth;
         merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        self.inner
+            .nv
+            .lock()
+            .expect("lock poisoned")
+            .stamp_stats(&mut merged);
         ShardedStats { merged, per_shard }
     }
+}
+
+/// Opens the non-volatile store `cfg` asks for, builds the loopback
+/// shard engines, and replays any recovered ledger entries onto their
+/// owning shards (the arming actions a daemon would run are dropped —
+/// the in-process loop retries synchronously instead).
+fn build_shards(cfg: BusConfig) -> (Vec<Mutex<Engine>>, NvStore) {
+    let nv = NvStore::open(&cfg).expect("open guaranteed-delivery ledger");
+    let recovered = nv
+        .recovered_envelopes()
+        .expect("read guaranteed-delivery ledger");
+    let mut engines = ShardedEngine::new_loopback(cfg, INPROC_HOST).into_shards();
+    if !recovered.is_empty() {
+        let n = engines.len();
+        let mut by_shard: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+        for env in recovered {
+            by_shard[shard_of_subject(&env.subject, n)].push(env);
+        }
+        for (shard, envs) in by_shard.into_iter().enumerate() {
+            if !envs.is_empty() {
+                let _ = engines[shard].gd_load(envs);
+            }
+        }
+    }
+    (engines.into_iter().map(Mutex::new).collect(), nv)
 }
 
 impl Default for InprocBus {
@@ -810,6 +867,42 @@ mod tests {
         let stats = bus.stats();
         assert_eq!(stats.gd_pending, 0);
         assert_eq!(stats.gd_completed, 2);
+    }
+
+    /// Restart durability: a durable bus "dies" with an unacknowledged
+    /// guaranteed publication on its ledger; a fresh bus over the same
+    /// directory replays it and redelivers to a new subscriber.
+    #[test]
+    fn durable_bus_replays_ledger_across_restart() {
+        let dir = infobus_wal::scratch::ScratchDir::new("inproc-durable");
+        let cfg = || BusConfig::default().with_durable_dir(dir.path());
+        {
+            let bus = InprocBus::with_config(cfg());
+            bus.publish("gd.orphan", &Value::I64(1), QoS::Guaranteed)
+                .unwrap();
+            assert_eq!(bus.stats().gd_pending, 1);
+            assert!(bus.stats().gd_ledger_appends >= 1);
+        }
+        let bus = InprocBus::with_config(cfg());
+        let stats = bus.stats();
+        assert_eq!(stats.gd_pending, 1, "ledger entry must reload");
+        assert_eq!(stats.gd_ledger_recovered, 1);
+        // A subscriber appears; the next guaranteed publish runs a retry
+        // round, which redelivers the recovered entry — flagged.
+        let (_sub, rx) = bus.subscribe("gd.>").unwrap();
+        bus.publish("gd.other", &Value::I64(2), QoS::Guaranteed)
+            .unwrap();
+        let msgs: Vec<_> = rx.try_iter().collect();
+        let orphan = msgs
+            .iter()
+            .find(|m| m.subject == "gd.orphan")
+            .expect("recovered entry redelivered");
+        assert!(orphan.redelivery);
+        assert_eq!(bus.stats().gd_pending, 0);
+        // Completion tombstoned the replayed entry: a third restart has
+        // nothing to recover.
+        drop(bus);
+        assert_eq!(InprocBus::with_config(cfg()).stats().gd_pending, 0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod inproc;
 mod interest;
 mod links;
 pub mod msg;
+pub mod nvstore;
 pub mod queue;
 mod rmi;
 pub mod router;
@@ -76,6 +77,8 @@ pub use engine::{
 };
 pub use envelope::{Envelope, EnvelopeKind, StreamKey};
 pub use fabric::BusFabric;
+pub use infobus_wal::FsyncPolicy;
+pub use nvstore::NvStore;
 pub use rmi::{CallId, RetryMode, RmiError, SelectionPolicy, ServiceObject};
 
 use std::fmt;

@@ -1,0 +1,303 @@
+//! The driver-side non-volatile store behind `Persist`/`Unpersist`.
+//!
+//! The engine logs every guaranteed envelope *before* it is sent by
+//! emitting [`Action::Persist`](crate::engine::Action) and releases it
+//! with `Unpersist` once acknowledged; what those actions land on is the
+//! driver's choice. [`NvStore`] is that choice, shared by every
+//! wall-clock driver:
+//!
+//! * **`Mem`** — the historical in-memory map. Guaranteed delivery
+//!   survives engine restarts (tests hand the map back to
+//!   [`Engine::gd_load`](crate::engine::Engine::gd_load)) but not
+//!   process death.
+//! * **`Durable`** — one [`WalLedger`] per engine shard under
+//!   [`BusConfig::durable_dir`], laid out as `<dir>/shard-<n>`. Because
+//!   [`shard_of_subject`](crate::engine::shard_of_subject) is stable
+//!   across restarts, a restarted daemon replays each shard's ledger
+//!   directory onto exactly the shard that wrote it.
+//!
+//! Ledger I/O failures on the write path are fail-stop (a panic): a
+//! daemon that cannot log a guaranteed message must not pretend it can
+//! guarantee it.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use infobus_wal::{LedgerOptions, LedgerStats, WalLedger};
+
+use crate::config::BusConfig;
+use crate::engine::{BusStats, ShardId};
+use crate::envelope::Envelope;
+
+/// The non-volatile store a driver performs ledger actions against.
+/// See the module docs.
+pub enum NvStore {
+    /// In-memory stand-in for the paper's non-volatile store (the
+    /// default, when [`BusConfig::durable_dir`] is unset).
+    Mem(BTreeMap<String, Vec<u8>>),
+    /// Per-shard write-ahead ledgers, indexed by [`ShardId`].
+    Durable(Vec<WalLedger>),
+}
+
+/// The per-shard ledger directory under a durable root.
+pub fn shard_dir(root: &Path, shard: ShardId) -> std::path::PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+impl NvStore {
+    /// Opens the store `cfg` asks for: in-memory when
+    /// [`BusConfig::durable_dir`] is unset, otherwise one recovered
+    /// [`WalLedger`] per engine shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger I/O failures (corrupt content is recovered,
+    /// not an error).
+    pub fn open(cfg: &BusConfig) -> io::Result<NvStore> {
+        let Some(root) = &cfg.durable_dir else {
+            return Ok(NvStore::Mem(BTreeMap::new()));
+        };
+        let opts = LedgerOptions::default()
+            .with_segment_bytes(cfg.segment_bytes)
+            .with_fsync(cfg.fsync)
+            .with_mem_bytes(cfg.durable_mem_bytes);
+        let ledgers = (0..cfg.shards.max(1))
+            .map(|shard| WalLedger::open(shard_dir(root, shard), opts))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(NvStore::Durable(ledgers))
+    }
+
+    /// Whether this store writes to disk.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, NvStore::Durable(_))
+    }
+
+    /// Records `key → bytes` on behalf of `shard` (the `Persist`
+    /// action).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ledger I/O failure — see the module docs on fail-stop.
+    pub fn persist(&mut self, shard: ShardId, key: &str, bytes: &[u8]) {
+        match self {
+            NvStore::Mem(map) => {
+                map.insert(key.to_owned(), bytes.to_vec());
+            }
+            NvStore::Durable(ledgers) => ledgers[shard]
+                .append(key, bytes)
+                .expect("guaranteed-delivery ledger append failed"),
+        }
+    }
+
+    /// Releases `key` on behalf of `shard` (the `Unpersist` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ledger I/O failure — see the module docs on fail-stop.
+    pub fn unpersist(&mut self, shard: ShardId, key: &str) {
+        match self {
+            NvStore::Mem(map) => {
+                map.remove(key);
+            }
+            NvStore::Durable(ledgers) => {
+                ledgers[shard]
+                    .remove(key)
+                    .expect("guaranteed-delivery ledger tombstone failed");
+            }
+        }
+    }
+
+    /// Decodes every stored entry back into an envelope — the restart
+    /// replay input for
+    /// [`ShardedEngine::gd_load`](crate::engine::ShardedEngine::gd_load).
+    /// Entries whose payload no longer decodes (version skew across a
+    /// restart) are skipped rather than fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures reading spilled ledger entries.
+    pub fn recovered_envelopes(&self) -> io::Result<Vec<Envelope>> {
+        let mut envs = Vec::new();
+        match self {
+            NvStore::Mem(map) => {
+                for bytes in map.values() {
+                    if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                        envs.push(env);
+                    }
+                }
+            }
+            NvStore::Durable(ledgers) => {
+                for ledger in ledgers {
+                    for (_, bytes) in ledger.entries()? {
+                        if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                            envs.push(env);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(envs)
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        match self {
+            NvStore::Mem(map) => map.len(),
+            NvStore::Durable(ledgers) => ledgers.iter().map(WalLedger::len).sum(),
+        }
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ledger counters summed across shards (all zero for the
+    /// in-memory store).
+    pub fn ledger_stats(&self) -> LedgerStats {
+        let mut total = LedgerStats::default();
+        if let NvStore::Durable(ledgers) = self {
+            for ledger in ledgers {
+                total.merge_from(&ledger.stats());
+            }
+        }
+        total
+    }
+
+    /// Stamps the `gd_ledger_*` counters of a stats snapshot from this
+    /// store (drivers call this when assembling their merged view).
+    pub fn stamp_stats(&self, stats: &mut BusStats) {
+        let ls = self.ledger_stats();
+        stats.gd_ledger_appends = ls.appends;
+        stats.gd_ledger_bytes = ls.bytes;
+        stats.gd_ledger_segments = ls.segments;
+        stats.gd_ledger_compactions = ls.compactions;
+        stats.gd_ledger_recovered = ls.recovered;
+        stats.gd_ledger_truncations = ls.truncations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Event};
+    use crate::{QoS, StreamKey};
+    use infobus_wal::scratch::ScratchDir;
+
+    fn env(subject: &str, seq: u64) -> Envelope {
+        Envelope {
+            stream: StreamKey {
+                app: "t".into(),
+                host: 1,
+                inc: 1,
+            },
+            subject: subject.into(),
+            seq,
+            qos: QoS::Guaranteed,
+            kind: crate::EnvelopeKind::Data,
+            corr: 0,
+            stream_start: 0,
+            redelivery: false,
+            payload: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn mem_store_round_trips_envelopes() {
+        let mut nv = NvStore::open(&BusConfig::default()).unwrap();
+        assert!(!nv.is_durable());
+        let mut bytes = Vec::new();
+        env("a.b", 1).encode(&mut bytes);
+        nv.persist(0, "gd/t/a.b/1", &bytes);
+        assert_eq!(nv.len(), 1);
+        let envs = nv.recovered_envelopes().unwrap();
+        assert_eq!(envs.len(), 1);
+        assert_eq!(envs[0].subject, "a.b");
+        nv.unpersist(0, "gd/t/a.b/1");
+        assert!(nv.is_empty());
+    }
+
+    #[test]
+    fn durable_store_replays_across_reopen_per_shard() {
+        let dir = ScratchDir::new("nv-replay");
+        let cfg = BusConfig::default()
+            .with_shards(4)
+            .with_durable_dir(dir.path());
+        {
+            let mut nv = NvStore::open(&cfg).unwrap();
+            assert!(nv.is_durable());
+            for (shard, subject) in [(0, "a.x"), (1, "b.x"), (2, "c.x"), (3, "d.x")] {
+                let mut bytes = Vec::new();
+                env(subject, 1).encode(&mut bytes);
+                nv.persist(shard, &format!("gd/t/{subject}/1"), &bytes);
+            }
+        }
+        // Each shard's entries landed in that shard's directory.
+        for shard in 0..4 {
+            assert!(shard_dir(dir.path(), shard).is_dir());
+        }
+        let nv = NvStore::open(&cfg).unwrap();
+        assert_eq!(nv.len(), 4);
+        let mut subjects: Vec<String> = nv
+            .recovered_envelopes()
+            .unwrap()
+            .into_iter()
+            .map(|e| e.subject)
+            .collect();
+        subjects.sort();
+        assert_eq!(subjects, ["a.x", "b.x", "c.x", "d.x"]);
+        assert_eq!(nv.ledger_stats().recovered, 4);
+    }
+
+    /// The full restart loop: a publisher engine persists guaranteed
+    /// envelopes through a durable store, "dies", and a fresh engine
+    /// reloads the store's envelopes as pending redeliveries.
+    #[test]
+    fn engine_restart_replays_durable_ledger() {
+        let dir = ScratchDir::new("nv-engine");
+        let cfg = BusConfig::default().with_durable_dir(dir.path());
+        let mut nv = NvStore::open(&cfg).unwrap();
+        {
+            let mut eng = Engine::new(cfg.clone(), 7);
+            let source = crate::engine::PubSource {
+                app: "t".into(),
+                inc: 1,
+            };
+            let (env, actions) = eng.publish(
+                0,
+                &source,
+                "g.x",
+                QoS::Guaranteed,
+                crate::EnvelopeKind::Data,
+                0,
+                vec![9],
+            );
+            let mut found_persist = false;
+            for a in actions.into_iter().chain(eng.enqueue(&env)) {
+                if let crate::engine::Action::Persist { key, bytes } = a {
+                    nv.persist(0, &key, &bytes);
+                    found_persist = true;
+                }
+            }
+            assert!(found_persist, "guaranteed publish must persist");
+        }
+        drop(nv);
+        let nv = NvStore::open(&cfg).unwrap();
+        let envs = nv.recovered_envelopes().unwrap();
+        assert_eq!(envs.len(), 1);
+        let mut eng = Engine::new(cfg, 7);
+        eng.gd_load(envs);
+        assert_eq!(eng.stats.gd_pending, 1);
+        assert_eq!(eng.gd_subjects(), vec!["g.x".to_string()]);
+        // The reloaded entry retries as a redelivery.
+        let mut interest = std::collections::HashMap::new();
+        interest.insert("g.x".to_string(), vec![2u32]);
+        let actions = eng.handle(1_000_000, Event::GdRetry { interest });
+        let resent = actions.iter().any(|a| {
+            matches!(a, crate::engine::Action::Broadcast(crate::msg::Packet::Data { envelopes, .. })
+                if envelopes.iter().any(|e| e.redelivery))
+        });
+        assert!(resent, "reloaded entry must retransmit flagged");
+    }
+}

@@ -23,11 +23,11 @@
 //! frames, and session [`Publish`](SessionFrame::Publish) frames (fan-in)
 //! enter the engine exactly like local API publishes.
 //!
-//! Lock order is `engine → {trie, peers, peer_subs, timers, ledger,
+//! Lock order is `engine → {trie, peers, peer_subs, timers, nv,
 //! broker, conns}`; inner locks never take the engine lock, so the
 //! caller-thread publish path and the reactor thread cannot deadlock.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -41,7 +41,7 @@ use infobus_core::engine::{
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubSender};
 use infobus_core::{
-    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, QoS,
+    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
     SubscriptionHandle,
 };
 use infobus_net::clock::MonoClock;
@@ -171,8 +171,10 @@ struct Inner {
     timers: Mutex<TimerWheel>,
     peers: RwLock<HashMap<u32, SocketAddr>>,
     peer_subs: Mutex<HashMap<u32, HashMap<String, SubjectFilter>>>,
-    /// In-memory stand-in for the paper's non-volatile ledger.
-    ledger: Mutex<BTreeMap<String, Vec<u8>>>,
+    /// Guaranteed-delivery non-volatile store: in-memory by default, a
+    /// per-shard write-ahead ledger when `BusConfig::durable_dir` is
+    /// set (replayed into the engine at bind).
+    nv: Mutex<NvStore>,
     broker: Mutex<SessionBroker>,
     /// Session transport mappings (`addr ↔ conn`), driver-owned: the
     /// broker only ever sees the opaque [`ConnId`].
@@ -241,6 +243,9 @@ impl ReactorBus {
         let shards = cfg.bus.shards.max(1);
         let sess_scan_us = cfg.bus.heartbeat_period_us;
         let broker = SessionBroker::new(&cfg.bus, cfg.session_token);
+        // Open (and recover) the non-volatile store before any traffic.
+        let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
+        let recovered = nv.recovered_envelopes().map_err(net_err)?;
         let inner = Arc::new(Inner {
             host: cfg.host,
             app: cfg.app,
@@ -253,7 +258,7 @@ impl ReactorBus {
             timers: Mutex::new(TimerWheel::new(shards)),
             peers: RwLock::new(cfg.peers.into_iter().collect()),
             peer_subs: Mutex::new(HashMap::new()),
-            ledger: Mutex::new(BTreeMap::new()),
+            nv: Mutex::new(nv),
             broker: Mutex::new(broker),
             conns: Mutex::new(ConnTable::default()),
             running: AtomicBool::new(true),
@@ -277,6 +282,12 @@ impl ReactorBus {
             }
             let host = inner.host;
             inner.send_broadcast_packet(&Packet::SubResync { host }, &mut engine.stats);
+            // Restart replay: recovered ledger envelopes re-enter their
+            // owning shards as pending redeliveries.
+            if !recovered.is_empty() {
+                let actions = engine.gd_load(recovered);
+                inner.run_engine_actions(&mut engine, now, actions);
+            }
         }
 
         let rd = Arc::clone(&inner);
@@ -447,6 +458,7 @@ impl ReactorBus {
         stats.merged.sub_queue_depth = depth;
         stats.merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
         poisoned(self.inner.broker.lock()).stats_into(&mut stats.merged);
+        poisoned(self.inner.nv.lock()).stamp_stats(&mut stats.merged);
         stats
     }
 
@@ -993,17 +1005,27 @@ impl Transport for EdgeTransport<'_> {
     }
 
     fn persist(&mut self, key: String, bytes: Vec<u8>) {
-        poisoned(self.inner.ledger.lock()).insert(key, bytes);
+        // Untagged fallback (only reachable when actions bypass the
+        // shard router).
+        poisoned(self.inner.nv.lock()).persist(0, &key, &bytes);
     }
 
     fn unpersist(&mut self, key: &str) {
-        poisoned(self.inner.ledger.lock()).remove(key);
+        poisoned(self.inner.nv.lock()).unpersist(0, key);
     }
 }
 
 impl ShardTransport for EdgeTransport<'_> {
     fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind) {
         poisoned(self.inner.timers.lock()).arm(self.now + delay_us, shard, timer);
+    }
+
+    fn persist_shard(&mut self, shard: ShardId, key: String, bytes: Vec<u8>) {
+        poisoned(self.inner.nv.lock()).persist(shard, &key, &bytes);
+    }
+
+    fn unpersist_shard(&mut self, shard: ShardId, key: &str) {
+        poisoned(self.inner.nv.lock()).unpersist(shard, key);
     }
 }
 

@@ -15,15 +15,19 @@
 //! first segments so the sharded engine actually exercises multiple
 //! shards.
 
+use std::fs;
+use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
-use infobus_core::{Bus, BusConfig, QoS};
+use infobus_core::{shard_of_subject, Bus, BusConfig, QoS};
 use infobus_edge::{EdgeConfig, ReactorBus, SimBus, SimConfig};
 use infobus_net::{UdpBus, UdpConfig};
 use infobus_netsim::FaultPlan;
 use infobus_types::Value;
+use infobus_wal::scratch::ScratchDir;
 
 /// Four distinct first segments → four distinct shards at `shards = 4`.
 const SUBJECTS: [&str; 4] = ["c0.feed", "c1.feed", "c2.feed", "c3.feed"];
@@ -269,4 +273,220 @@ fn guaranteed_qos_all_drivers() {
     for h in [inproc(4), udp(4, false), reactor(4, false), sim(4, false)] {
         ordered_exactly_once(&h, QoS::Guaranteed);
     }
+}
+
+// ----- durable guaranteed delivery: restart replay matrix -------------------
+//
+// Every wall-clock driver of the trait accepts a durable ledger
+// directory; a bus that dies with guaranteed envelopes unacknowledged
+// must replay them — and only them — when reopened over the same
+// directory. Recovery is per shard: wiping one `shard-<n>` directory
+// loses exactly that shard's slice, never its neighbours'.
+
+fn durable_inproc(dir: &Path, shards: usize) -> Arc<dyn Bus> {
+    Arc::new(InprocBus::with_config(fast(shards).with_durable_dir(dir)))
+}
+
+fn durable_udp(dir: &Path, shards: usize) -> Arc<dyn Bus> {
+    let cfg = UdpConfig::new(9)
+        .with_bus(fast(shards).with_durable_dir(dir))
+        .with_app("dur");
+    Arc::new(UdpBus::bind(cfg).unwrap())
+}
+
+fn durable_reactor(dir: &Path, shards: usize) -> Arc<dyn Bus> {
+    let cfg = EdgeConfig::new(9)
+        .with_bus(fast(shards).with_durable_dir(dir))
+        .with_app("dur");
+    Arc::new(ReactorBus::bind(cfg).unwrap())
+}
+
+/// The shared durable-restart body: publish orphaned guaranteed
+/// messages (no subscriber anywhere, so nothing can acknowledge them),
+/// drop the bus, and check that restarts over the same directory replay
+/// the ledger — all of it, then all of it minus a wiped shard.
+fn durable_restart_replays(make: &dyn Fn(&Path, usize) -> Arc<dyn Bus>, shards: usize) {
+    let scratch = ScratchDir::new("conf-durable");
+    let dir = scratch.path();
+    let total = (SUBJECTS.len() as i64 * PER_SUBJECT) as u64;
+    {
+        let bus = make(dir, shards);
+        for seq in 0..PER_SUBJECT {
+            for subject in SUBJECTS {
+                bus.publish(subject, &Value::I64(seq), QoS::Guaranteed)
+                    .unwrap();
+            }
+        }
+        bus.drain();
+        let stats = bus.stats();
+        assert_eq!(
+            stats.gd_pending, total,
+            "orphan guaranteed publishes must stay pending"
+        );
+        assert!(stats.gd_ledger_appends >= total);
+    }
+    // First restart: every shard replays its slice of the ledger.
+    {
+        let bus = make(dir, shards);
+        let stats = bus.stats();
+        assert_eq!(stats.gd_pending, total, "restart must replay the ledger");
+        assert!(stats.gd_ledger_recovered >= total);
+    }
+    // Wipe one shard's directory: the next restart replays only the
+    // surviving shards' ledgers — recovery is per shard, not
+    // all-or-nothing.
+    let victim = shard_of_subject(SUBJECTS[0], shards);
+    let lost = SUBJECTS
+        .iter()
+        .filter(|s| shard_of_subject(s, shards) == victim)
+        .count() as u64
+        * PER_SUBJECT as u64;
+    fs::remove_dir_all(dir.join(format!("shard-{victim}"))).unwrap();
+    let bus = make(dir, shards);
+    assert_eq!(
+        bus.stats().gd_pending,
+        total - lost,
+        "wiping shard {victim} must lose exactly that shard's slice"
+    );
+    if shards > 1 {
+        assert!(lost < total, "spread subjects collapsed into one shard");
+    }
+}
+
+#[test]
+fn inproc_durable_restart_shard1() {
+    durable_restart_replays(&durable_inproc, 1);
+}
+
+#[test]
+fn inproc_durable_restart_shard4() {
+    durable_restart_replays(&durable_inproc, 4);
+}
+
+#[test]
+fn udp_durable_restart_shard1() {
+    durable_restart_replays(&durable_udp, 1);
+}
+
+#[test]
+fn udp_durable_restart_shard4() {
+    durable_restart_replays(&durable_udp, 4);
+}
+
+#[test]
+fn reactor_durable_restart_shard1() {
+    durable_restart_replays(&durable_reactor, 1);
+}
+
+#[test]
+fn reactor_durable_restart_shard4() {
+    durable_restart_replays(&durable_reactor, 4);
+}
+
+/// Subject-level version of the wipe for the socket drivers: after one
+/// shard's directory is destroyed, a restarted publisher facing a live
+/// subscriber redelivers every *surviving* subject (flagged as
+/// redelivery) and nothing on the wiped shard's subject — then its
+/// ledger drains to empty.
+fn durable_wipe_redelivers_survivors(
+    orphan: &dyn Fn(&Path) -> Arc<dyn Bus>,
+    subscriber: &dyn Fn() -> (Arc<dyn Bus>, SocketAddr),
+    restart: &dyn Fn(&Path, SocketAddr) -> Arc<dyn Bus>,
+) {
+    const SHARDS: usize = 4;
+    let scratch = ScratchDir::new("conf-durable-wipe");
+    let dir = scratch.path();
+    {
+        let bus = orphan(dir);
+        for subject in SUBJECTS {
+            bus.publish(subject, &Value::I64(7), QoS::Guaranteed)
+                .unwrap();
+        }
+        bus.drain();
+        assert_eq!(bus.stats().gd_pending, SUBJECTS.len() as u64);
+    }
+    let victim = shard_of_subject(SUBJECTS[0], SHARDS);
+    fs::remove_dir_all(dir.join(format!("shard-{victim}"))).unwrap();
+
+    // Subscribe before the publisher exists, so the announce the
+    // publisher's peer handshake elicits already carries the interest.
+    let (sub, sub_addr) = subscriber();
+    let mut rxs = Vec::new();
+    for (i, _) in SUBJECTS.iter().enumerate() {
+        let (_s, rx) = sub.subscribe(&format!("c{i}.>")).unwrap();
+        rxs.push(rx);
+    }
+    let publisher = restart(dir, sub_addr);
+
+    // The replayed ledger must drain: every surviving entry delivered
+    // and acknowledged.
+    let end = Instant::now() + Duration::from_secs(30);
+    while publisher.stats().gd_pending > 0 {
+        assert!(Instant::now() < end, "replayed ledger never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    sub.drain();
+    for (i, rx) in rxs.iter().enumerate() {
+        let msgs: Vec<_> = rx.try_iter().collect();
+        let on_victim = shard_of_subject(SUBJECTS[i], SHARDS) == victim;
+        if on_victim {
+            assert!(
+                msgs.is_empty(),
+                "{}: wiped shard's subject was redelivered",
+                SUBJECTS[i]
+            );
+        } else {
+            assert!(
+                msgs.iter().any(|m| m.redelivery),
+                "{}: surviving entry never redelivered",
+                SUBJECTS[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn udp_durable_wipe_redelivers_survivors() {
+    durable_wipe_redelivers_survivors(
+        &|dir| durable_udp(dir, 4),
+        &|| {
+            let s = UdpBus::bind(UdpConfig::new(8).with_bus(fast(4)).with_app("wsub")).unwrap();
+            let addr = s.local_addr();
+            (Arc::new(s) as Arc<dyn Bus>, addr)
+        },
+        &|dir, addr| {
+            let p = UdpBus::bind(
+                UdpConfig::new(9)
+                    .with_bus(fast(4).with_durable_dir(dir))
+                    .with_app("dur"),
+            )
+            .unwrap();
+            p.add_peer(8, addr).unwrap();
+            Arc::new(p)
+        },
+    );
+}
+
+#[test]
+fn reactor_durable_wipe_redelivers_survivors() {
+    durable_wipe_redelivers_survivors(
+        &|dir| durable_reactor(dir, 4),
+        &|| {
+            let s =
+                ReactorBus::bind(EdgeConfig::new(8).with_bus(fast(4)).with_app("wsub")).unwrap();
+            let addr = s.local_addr();
+            (Arc::new(s) as Arc<dyn Bus>, addr)
+        },
+        &|dir, addr| {
+            let p = ReactorBus::bind(
+                EdgeConfig::new(9)
+                    .with_bus(fast(4).with_durable_dir(dir))
+                    .with_app("dur"),
+            )
+            .unwrap();
+            p.add_peer(8, addr).unwrap();
+            Arc::new(p)
+        },
+    );
 }

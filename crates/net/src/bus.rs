@@ -15,12 +15,12 @@
 //!   subscription tables for broadcast fallback and guaranteed-delivery
 //!   interest.
 //!
-//! Lock order is `engine → {trie, peers, peer_subs, timers, ledger}`;
+//! Lock order is `engine → {trie, peers, peer_subs, timers, nv}`;
 //! none of the inner locks is ever held while taking the engine lock, so
 //! the publish path (caller thread) and the reader thread cannot
 //! deadlock.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -34,7 +34,7 @@ use infobus_core::engine::{
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubReceiver, SubSender};
 use infobus_core::{
-    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, QoS,
+    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
     SubscriptionHandle,
 };
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
@@ -199,9 +199,11 @@ struct Inner {
     /// Remote subscription tables from `SubAnnounce` packets, for
     /// guaranteed-delivery interest snapshots.
     peer_subs: Mutex<HashMap<u32, HashMap<String, SubjectFilter>>>,
-    /// Guaranteed-delivery ledger. In-memory stand-in for the paper's
-    /// non-volatile store; keyed exactly like the daemon's.
-    ledger: Mutex<BTreeMap<String, Vec<u8>>>,
+    /// Guaranteed-delivery non-volatile store: in-memory by default, a
+    /// per-shard write-ahead ledger when
+    /// [`BusConfig::durable_dir`](infobus_core::BusConfig::durable_dir)
+    /// is set (replayed into the engine at bind).
+    nv: Mutex<NvStore>,
     running: AtomicBool,
     multicast: Option<SocketAddrV4>,
     recv_loss: f64,
@@ -210,6 +212,12 @@ struct Inner {
     send_backoff_us: u64,
     queue_cap: usize,
     queue_dropped: Arc<AtomicU64>,
+    /// Soft-state refresh period ([`BusConfig::announce_period_us`]);
+    /// `0` disables the periodic resync.
+    announce_us: Micros,
+    /// Deadline of the next periodic resync, written only by the reader
+    /// thread.
+    next_announce: AtomicU64,
 }
 
 /// A bus daemon speaking the wire protocol over real UDP sockets.
@@ -242,6 +250,12 @@ impl UdpBus {
         let local = socket.local_addr().map_err(net_err)?;
         let queue_cap = cfg.bus.subscriber_queue_cap;
         let shards = cfg.bus.shards.max(1);
+        // Open (and recover) the non-volatile store before any traffic:
+        // a durable daemon re-enters the segment owing every guaranteed
+        // envelope it logged before dying.
+        let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
+        let recovered = nv.recovered_envelopes().map_err(net_err)?;
+        let announce_us = cfg.bus.announce_period_us;
         let inner = Arc::new(Inner {
             host: cfg.host,
             app: cfg.app,
@@ -254,7 +268,7 @@ impl UdpBus {
             timers: Mutex::new(TimerWheel::new(shards)),
             peers: RwLock::new(cfg.peers.into_iter().collect()),
             peer_subs: Mutex::new(HashMap::new()),
-            ledger: Mutex::new(BTreeMap::new()),
+            nv: Mutex::new(nv),
             running: AtomicBool::new(true),
             multicast: cfg.multicast,
             recv_loss: cfg.recv_loss,
@@ -263,6 +277,8 @@ impl UdpBus {
             send_backoff_us: cfg.send_backoff_us,
             queue_cap,
             queue_dropped: Arc::new(AtomicU64::new(0)),
+            announce_us,
+            next_announce: AtomicU64::new(0),
         });
 
         // Arm the standing protocol timers and resynchronize soft state,
@@ -282,6 +298,16 @@ impl UdpBus {
             }
             let host = inner.host;
             inner.send_broadcast_packet(&Packet::SubResync { host }, &mut engine.stats);
+            inner
+                .next_announce
+                .store(now + inner.announce_us, Ordering::Relaxed);
+            // Restart replay: hand the recovered ledger envelopes back
+            // to their owning shards as pending redeliveries (arms the
+            // retry timer; the retry rounds rebroadcast them).
+            if !recovered.is_empty() {
+                let actions = engine.gd_load(recovered);
+                inner.run_engine_actions(&mut engine, now, actions);
+            }
         }
 
         let rd = Arc::clone(&inner);
@@ -462,6 +488,7 @@ impl UdpBus {
         trie.for_each(|_, _, e| depth += e.tx.queued() as u64);
         stats.merged.sub_queue_depth = depth;
         stats.merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        poisoned(self.inner.nv.lock()).stamp_stats(&mut stats.merged);
         stats
     }
 
@@ -681,7 +708,32 @@ impl Inner {
                 Err(_) => std::thread::sleep(Duration::from_millis(1)),
             }
             self.fire_due_timers();
+            self.fire_resync();
         }
+    }
+
+    /// Periodic soft-state refresh ([`BusConfig::announce_period_us`]):
+    /// re-broadcasts `SubResync` plus the full local announce, exactly
+    /// like the simulated daemon's announce timer. Without it a single
+    /// lost announcement packet can wedge guaranteed-delivery interest
+    /// forever — e.g. a restarted durable publisher whose bind-time
+    /// resync was dropped would never learn who wants its replayed
+    /// ledger. Only the reader thread writes `next_announce`.
+    fn fire_resync(&self) {
+        if self.announce_us == 0 {
+            return;
+        }
+        let now = self.clock.now_us();
+        if now < self.next_announce.load(Ordering::Relaxed) {
+            return;
+        }
+        self.next_announce
+            .store(now + self.announce_us, Ordering::Relaxed);
+        let mut engine = poisoned(self.engine.lock());
+        let host = self.host;
+        self.send_broadcast_packet(&Packet::SubResync { host }, &mut engine.stats);
+        let announce = self.full_announce();
+        self.send_broadcast_packet(&announce, &mut engine.stats);
     }
 
     fn fire_due_timers(&self) {
@@ -885,17 +937,27 @@ impl Transport for UdpTransport<'_> {
     }
 
     fn persist(&mut self, key: String, bytes: Vec<u8>) {
-        poisoned(self.inner.ledger.lock()).insert(key, bytes);
+        // Untagged fallback, like `set_timer` (only reachable when
+        // actions bypass the shard router).
+        poisoned(self.inner.nv.lock()).persist(0, &key, &bytes);
     }
 
     fn unpersist(&mut self, key: &str) {
-        poisoned(self.inner.ledger.lock()).remove(key);
+        poisoned(self.inner.nv.lock()).unpersist(0, key);
     }
 }
 
 impl ShardTransport for UdpTransport<'_> {
     fn set_shard_timer(&mut self, shard: ShardId, delay_us: Micros, timer: TimerKind) {
         poisoned(self.inner.timers.lock()).arm(self.now + delay_us, shard, timer);
+    }
+
+    fn persist_shard(&mut self, shard: ShardId, key: String, bytes: Vec<u8>) {
+        poisoned(self.inner.nv.lock()).persist(shard, &key, &bytes);
+    }
+
+    fn unpersist_shard(&mut self, shard: ShardId, key: &str) {
+        poisoned(self.inner.nv.lock()).unpersist(shard, key);
     }
 }
 

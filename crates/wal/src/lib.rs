@@ -1,0 +1,47 @@
+//! Crash-safe write-ahead ledger for guaranteed delivery.
+//!
+//! The paper's guaranteed-delivery contract rests on non-volatile
+//! storage: "the message is logged to non-volatile storage *before* it
+//! is sent". The protocol engine already emits that contract as
+//! [`Persist`](https://docs.rs/infobus-core)/`Unpersist` actions; this
+//! crate is the storage those actions land on when a driver is
+//! configured with a durable directory.
+//!
+//! A [`WalLedger`] is a directory of CRC-framed append-only segment
+//! files:
+//!
+//! * **Append-only segments** — every `persist` appends a framed record
+//!   (`[len][crc32][body]`), every `unpersist` appends a tombstone.
+//!   Nothing is ever overwritten in place, so a crash can only lose the
+//!   *tail* of the newest segment, never corrupt history.
+//! * **Rotation** — when the active segment exceeds
+//!   [`LedgerOptions::segment_bytes`] the ledger seals it and opens the
+//!   next (monotonically numbered) segment.
+//! * **Compaction** — once enough tombstoned garbage accumulates, the
+//!   live entries are rewritten into fresh segments and the old files
+//!   deleted. Compaction writes the new segments *before* removing the
+//!   old ones, so a crash mid-compaction replays to the same state
+//!   (duplicate appends of the same key are idempotent).
+//! * **Replay-on-open recovery** — [`WalLedger::open`] replays every
+//!   segment in order, truncating a torn tail and cutting a segment at
+//!   the first corrupt (CRC-mismatched or undecodable) frame. Recovery
+//!   is deterministic: the same bytes on disk always produce the same
+//!   live map, complete up to the last durable frame.
+//!
+//! Durability against power loss is governed by [`FsyncPolicy`];
+//! durability against process death (the SIGKILL drill in CI) holds
+//! under every policy, because written pages survive the process.
+//!
+//! The frame codec mirrors the relational engine's WAL records
+//! (`infobus-repo`'s `reldb`): length-prefixed fields via
+//! `infobus_types::wire`, one tag byte selecting the record shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod ledger;
+pub mod scratch;
+
+pub use crc::crc32;
+pub use ledger::{FsyncPolicy, LedgerOptions, LedgerStats, WalLedger};

@@ -1,0 +1,88 @@
+//! Self-cleaning scratch directories for ledger tests and drills.
+//!
+//! The workspace is std-only (no `tempfile` crate), so durability tests
+//! across this repository share this helper: a uniquely named directory
+//! under the system temp dir, removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory that removes itself (recursively) on drop.
+///
+/// The name embeds the process id, a per-process counter, and a clock
+/// sample, so concurrent tests and leftover directories from killed
+/// processes never collide.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Creates a fresh scratch directory tagged `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a
+    /// test precondition, not a recoverable failure.
+    pub fn new(tag: &str) -> ScratchDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "infobus-{tag}-{}-{}-{nanos}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path, keep: false }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarms the drop-time removal (crash drills that hand the
+    /// directory to a child process across a SIGKILL call this, then
+    /// clean up explicitly).
+    pub fn keep(mut self) -> PathBuf {
+        self.keep = true;
+        self.path.clone()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_distinct_and_removed() {
+        let a = ScratchDir::new("t");
+        let b = ScratchDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let path = a.path().to_path_buf();
+        drop(a);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn keep_disarms_removal() {
+        let d = ScratchDir::new("k");
+        let path = d.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).expect("manual cleanup");
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`netsim`] | `infobus-netsim` | deterministic network + host simulator |
 //! | [`bus`] | `infobus-core` | daemons, QoS, discovery, RMI, routers |
 //! | [`net`] | `infobus-net` | real UDP socket transport (wall-clock driver of the engine) |
+//! | [`wal`] | `infobus-wal` | crash-safe write-ahead ledger behind durable guaranteed delivery |
 //! | [`edge`] | `infobus-edge` | poll-based reactor daemon + thin-client session broker |
 //! | [`repo`] | `infobus-repo` | relational engine + the Object Repository |
 //! | [`adapters`] | `infobus-adapters` | news feeds, legacy WIP terminal, Keyword Generator |
@@ -81,3 +82,4 @@ pub use infobus_repo as repo;
 pub use infobus_subject as subject;
 pub use infobus_tdl as tdl;
 pub use infobus_types as types;
+pub use infobus_wal as wal;
