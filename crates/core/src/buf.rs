@@ -1,0 +1,440 @@
+//! Hot-path buffer discipline: shared byte slices ([`Bytes`]) and a
+//! recycling marshal-buffer pool ([`BufPool`]).
+//!
+//! Before this module every publish marshalled into a fresh `Vec<u8>`,
+//! cloned it into each envelope hop, and wrapped it in a new `Arc` for
+//! every subscriber fan-out — three allocations per message that the
+//! paper's sub-microsecond latency budget cannot afford. The discipline
+//! here is:
+//!
+//! * a payload is written **once**, into a buffer borrowed from a
+//!   [`BufPool`] ([`BufPool::take`] → [`PooledBuf`]);
+//! * freezing the buffer ([`PooledBuf::freeze`]) produces a [`Bytes`]
+//!   handle — a reference-counted slice that clones by pointer bump —
+//!   and simultaneously parks the allocation back in the pool;
+//! * once every `Bytes` clone is dropped the parked allocation becomes
+//!   the sole owner again and the next [`BufPool::take`] reuses it
+//!   **without allocating** — the pool never calls `Arc::new` on a hit,
+//!   it recycles the same `Arc<Vec<u8>>` end to end.
+//!
+//! The pool tracks hits and misses; drivers surface them as the
+//! `buf_pool_hits`/`buf_pool_misses`-backed `BusStats` counters.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// A cheaply cloneable, immutable byte slice: a reference-counted
+/// buffer plus an offset/length window into it.
+///
+/// Cloning bumps a reference count; no bytes are copied. Equality and
+/// hashing follow the visible bytes, so `Bytes` drops into maps and
+/// assertions exactly like the `Vec<u8>` payloads it replaces.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty slice. Does not allocate after first use.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: empty_arc(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps an owned vector without copying.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Wraps an already-shared vector without copying.
+    pub fn from_arc(data: Arc<Vec<u8>>) -> Bytes {
+        let len = data.len();
+        Bytes { data, off: 0, len }
+    }
+
+    /// Copies `b` into a fresh allocation.
+    pub fn copy_from_slice(b: &[u8]) -> Bytes {
+        Bytes::from_vec(b.to_vec())
+    }
+
+    /// A sub-window of this slice, sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// The visible bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the visible bytes into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(b)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len)
+    }
+}
+
+/// A recycling pool of marshal buffers.
+///
+/// The pool is a cloneable handle; all clones share the same slots and
+/// counters. See the module docs for the take → write → freeze → reuse
+/// lifecycle. Buffers whose every [`Bytes`] reference has been dropped
+/// are reused in place; buffers still referenced stay parked (the pool
+/// holds at most [`BufPool::DEFAULT_SLOTS`] unless built
+/// [`with_slots`](BufPool::with_slots)).
+#[derive(Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    /// Parked allocations in park order (oldest in front). A slot whose
+    /// `Arc` strong count is back to 1 has no outstanding `Bytes`
+    /// references and may be recycled. Because references are released
+    /// roughly in park order (the retransmission window rolls oldest
+    /// first), the front of the deque is the most likely free slot —
+    /// [`BufPool::take`] probes only the first few entries, keeping the
+    /// hit path O(1) regardless of pool size.
+    slots: Mutex<VecDeque<Arc<Vec<u8>>>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufPool {
+    /// Default number of parked buffers a pool retains.
+    pub const DEFAULT_SLOTS: usize = 32;
+
+    /// A pool retaining up to [`BufPool::DEFAULT_SLOTS`] buffers.
+    pub fn new() -> BufPool {
+        BufPool::with_slots(BufPool::DEFAULT_SLOTS)
+    }
+
+    /// A pool retaining up to `cap` parked buffers.
+    ///
+    /// Size `cap` to cover the references that pin frozen buffers —
+    /// drivers use the engine's retransmission window plus slack — so
+    /// that at steady state there is always a released slot to recycle.
+    pub fn with_slots(cap: usize) -> BufPool {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                slots: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// How many parked slots [`BufPool::take`] probes before giving up
+    /// and allocating. Frees happen roughly in park order, so the free
+    /// slot is almost always at the front; a small probe bounds the
+    /// worst case without losing the common one.
+    const TAKE_PROBES: usize = 8;
+
+    /// Borrows an empty, writable buffer — recycled if a parked
+    /// allocation near the front of the pool is free, freshly allocated
+    /// otherwise.
+    pub fn take(&self) -> PooledBuf {
+        let mut slots = self.inner.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut found = None;
+        for _ in 0..Self::TAKE_PROBES.min(slots.len()) {
+            let arc = slots.pop_front().expect("probe bounded by len");
+            if Arc::strong_count(&arc) == 1 {
+                found = Some(arc);
+                break;
+            }
+            // Still referenced: re-park behind the newer slots; it will
+            // be free well before it reaches the front again.
+            slots.push_back(arc);
+        }
+        let buf = match found {
+            Some(mut arc) => {
+                // We hold the only reference, so the vector is writable
+                // in place: clear it (keeping capacity) and hand it out.
+                Arc::get_mut(&mut arc)
+                    .expect("sole owner after strong_count==1 check")
+                    .clear();
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                arc
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Vec::new())
+            }
+        };
+        drop(slots);
+        PooledBuf {
+            buf: Some(buf),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Buffers served from a parked allocation (no heap allocation).
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffers that had to be freshly allocated.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> BufPool {
+        BufPool::new()
+    }
+}
+
+impl fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BufPool(hits={}, misses={})", self.hits(), self.misses())
+    }
+}
+
+/// A writable buffer checked out of a [`BufPool`].
+///
+/// Write through [`vec_mut`](PooledBuf::vec_mut), then
+/// [`freeze`](PooledBuf::freeze) into an immutable
+/// [`Bytes`]. Dropping without freezing parks the buffer for reuse.
+pub struct PooledBuf {
+    buf: Option<Arc<Vec<u8>>>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuf {
+    /// The underlying vector, for writing.
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(self.buf.as_mut().expect("buffer present until freeze/drop"))
+            .expect("PooledBuf is sole owner until frozen")
+    }
+
+    /// Freezes the written bytes into a shared [`Bytes`] slice and
+    /// parks the allocation back in the pool. No allocation happens
+    /// here: the returned `Bytes` and the parked slot share the same
+    /// `Arc`, and once every `Bytes` clone drops the slot is recyclable.
+    pub fn freeze(mut self) -> Bytes {
+        let arc = self.buf.take().expect("buffer present until freeze/drop");
+        let out = Bytes::from_arc(Arc::clone(&arc));
+        park(&self.pool, arc);
+        out
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.buf.as_ref().expect("buffer present until freeze/drop")
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(arc) = self.buf.take() {
+            park(&self.pool, arc);
+        }
+    }
+}
+
+fn park(pool: &PoolInner, arc: Arc<Vec<u8>>) {
+    let mut slots = pool.slots.lock().unwrap_or_else(|e| e.into_inner());
+    if slots.len() < pool.cap {
+        slots.push_back(arc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_window_and_equality() {
+        let b = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let mid = b.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mid2 = mid.slice(1..2);
+        assert_eq!(&mid2[..], &[3]);
+        assert_eq!(mid, Bytes::from_vec(vec![2, 3, 4]));
+        assert_eq!(b, vec![1, 2, 3, 4, 5]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_once_bytes_drop() {
+        let pool = BufPool::with_slots(4);
+
+        let mut pb = pool.take();
+        pb.vec_mut().extend_from_slice(b"hello");
+        let frozen = pool_ptr(&pb);
+        let bytes = pb.freeze();
+        assert_eq!(&bytes[..], b"hello");
+        assert_eq!(pool.misses(), 1);
+
+        // Still referenced: a second take must allocate fresh.
+        let pb2 = pool.take();
+        assert_eq!(pool.misses(), 2);
+        drop(pb2);
+
+        // Dropping the last Bytes frees the slot; the next take reuses
+        // the exact same allocation.
+        drop(bytes);
+        let pb3 = pool.take();
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool_ptr(&pb3), frozen);
+        assert!(pb3.is_empty());
+    }
+
+    fn pool_ptr(pb: &PooledBuf) -> *const Vec<u8> {
+        Arc::as_ptr(pb.buf.as_ref().unwrap())
+    }
+
+    #[test]
+    fn steady_state_take_freeze_never_allocates_new_arcs() {
+        let pool = BufPool::with_slots(2);
+        // Warm up: one miss.
+        let b = {
+            let mut pb = pool.take();
+            pb.vec_mut().push(7);
+            pb.freeze()
+        };
+        drop(b);
+        assert_eq!(pool.misses(), 1);
+        // Steady state: consumer drops the payload before the next
+        // publish, so every take is a hit.
+        for i in 0..100u8 {
+            let mut pb = pool.take();
+            pb.vec_mut().push(i);
+            let frozen = pb.freeze();
+            assert_eq!(frozen[0], i);
+        }
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 100);
+    }
+
+    #[test]
+    fn drop_without_freeze_parks_buffer() {
+        let pool = BufPool::with_slots(2);
+        {
+            let mut pb = pool.take();
+            pb.vec_mut().extend_from_slice(&[1, 2, 3]);
+        }
+        assert_eq!(pool.misses(), 1);
+        let pb = pool.take();
+        assert_eq!(pool.hits(), 1);
+        assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn pool_cap_bounds_parked_buffers() {
+        let pool = BufPool::with_slots(1);
+        let a = pool.take();
+        let b = pool.take();
+        drop(a);
+        drop(b); // second park is discarded, not retained
+        let slots = pool.inner.slots.lock().unwrap();
+        assert_eq!(slots.len(), 1);
+    }
+}

@@ -26,12 +26,13 @@
 //!   and iterate drivers.
 
 use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
-use std::sync::Arc;
 use std::time::Duration;
 
+use infobus_subject::InternedSubject;
 use infobus_types::{wire, TypeRegistry, Value, WireError};
 
 use crate::app::SubscriptionHandle;
+use crate::buf::Bytes;
 use crate::engine::BusStats;
 use crate::queue::SubReceiver;
 use crate::{BusError, QoS};
@@ -40,15 +41,17 @@ use crate::{BusError, QoS};
 ///
 /// Communication is anonymous (the paper's P4): the delivery carries the
 /// subject and the self-describing marshalled payload, never the
-/// producer's identity or location. The payload is shared
-/// (`Arc<Vec<u8>>`) because one matched publication fans out to any
-/// number of subscriber queues without copying.
+/// producer's identity or location. Both fields are shared handles — the
+/// subject is interned ([`InternedSubject`], compares like its text) and
+/// the payload is a reference-counted [`Bytes`] slice — because one
+/// matched publication fans out to any number of subscriber queues
+/// without copying a byte.
 #[derive(Debug, Clone)]
 pub struct Delivery {
     /// The subject the object was published under.
-    pub subject: String,
+    pub subject: InternedSubject,
     /// The marshalled self-describing payload.
-    pub payload: Arc<Vec<u8>>,
+    pub payload: Bytes,
     /// `true` if this may be a repeat (guaranteed-delivery redelivery
     /// after a publisher restart). Always `false` on drivers without a
     /// redelivery path (the in-process bus).
@@ -200,8 +203,8 @@ mod tests {
         let reg = TypeRegistry::with_fundamentals();
         let bytes = wire::marshal_self_describing(&v, &reg).expect("marshal");
         let d = Delivery {
-            subject: "a.b".into(),
-            payload: Arc::new(bytes),
+            subject: infobus_subject::SubjectTable::new().intern("a.b").unwrap(),
+            payload: bytes.into(),
             redelivery: false,
         };
         assert_eq!(d.value().expect("unmarshal"), v);

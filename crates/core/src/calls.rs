@@ -111,12 +111,10 @@ impl DaemonState {
     /// A "Who's out there?" query arrived: matching responders publish
     /// "I am" on the same subject.
     pub(crate) fn answer_discovery(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
+        let subject = &env.subject;
         let responders: Vec<(usize, Value)> = self
             .trie
-            .matches(&subject)
+            .matches(subject)
             .filter_map(|(_, t)| match t {
                 SubTarget::Responder { app_idx, info } => Some((*app_idx, info.clone())),
                 _ => None,
@@ -126,7 +124,7 @@ impl DaemonState {
             let _ = self.publish_payload(
                 net,
                 app_idx,
-                &subject,
+                subject,
                 QoS::Reliable,
                 EnvelopeKind::DiscoverAnnounce,
                 env.corr,
@@ -202,12 +200,10 @@ impl DaemonState {
     /// An RMI query arrived: local services matching the subject publish
     /// their point-to-point address.
     pub(crate) fn answer_rmi_query(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
+        let subject = &env.subject;
         let services: Vec<usize> = self
             .trie
-            .matches(&subject)
+            .matches(subject)
             .filter_map(|(_, t)| match t {
                 SubTarget::Service { svc_idx } => Some(*svc_idx),
                 _ => None,
@@ -226,7 +222,7 @@ impl DaemonState {
             let _ = self.publish_payload(
                 net,
                 app_idx,
-                &subject,
+                subject,
                 QoS::Reliable,
                 EnvelopeKind::RmiOffer,
                 env.corr,

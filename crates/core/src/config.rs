@@ -30,8 +30,16 @@ pub struct BusConfig {
     /// Bus has a batch parameter that increases throughput by delaying
     /// small messages, and gathering them together").
     pub batch_enabled: bool,
-    /// Flush the batch once this many payload bytes are queued.
+    /// Flush the batch once this many payload bytes are queued. Must fit
+    /// the frame budget of [`BusConfig::path_mtu`] (checked by
+    /// [`BusConfig::validate`] when a datagram driver opens).
     pub batch_bytes: usize,
+    /// The datagram size the path is assumed to carry without
+    /// fragmentation, in bytes. Batches are flushed so that one
+    /// [`Packet::Data`](crate::msg::Packet) frame —
+    /// header, wrapper, and envelopes — fits inside it. Defaults to
+    /// `1_472` (Ethernet MTU minus IPv4 + UDP headers).
+    pub path_mtu: usize,
     /// Flush the batch after this much delay even if not full.
     pub batch_delay_us: Micros,
     /// How long a receiver waits on a sequence gap before NAKing.
@@ -129,6 +137,7 @@ impl Default for BusConfig {
         BusConfig {
             batch_enabled: false,
             batch_bytes: 1_400,
+            path_mtu: 1_472,
             batch_delay_us: 2_000,
             nak_delay_us: 8_000,
             nak_check_us: 4_000,
@@ -182,6 +191,50 @@ impl BusConfig {
     pub fn with_batch_bytes(mut self, bytes: usize) -> Self {
         self.batch_bytes = bytes;
         self
+    }
+
+    /// Sets the assumed path MTU (the datagram size one framed batch
+    /// must fit into).
+    pub fn with_path_mtu(mut self, bytes: usize) -> Self {
+        self.path_mtu = bytes;
+        self
+    }
+
+    /// The largest batch payload that still fits one [`BusConfig::path_mtu`]
+    /// datagram after the frame header and the data-packet wrapper.
+    pub fn max_batch_payload(&self) -> usize {
+        self.path_mtu
+            .saturating_sub(crate::msg::FRAME_HEADER_LEN + crate::msg::DATA_PACKET_OVERHEAD)
+    }
+
+    /// How many marshal buffers a driver's `BufPool` should retain: the
+    /// retransmission window pins a payload reference per retained
+    /// envelope, so the pool must outsize the window (plus slack for
+    /// in-flight deliveries) for steady-state publishes to recycle
+    /// instead of allocate.
+    pub fn marshal_pool_slots(&self) -> usize {
+        self.retain_per_stream + 64
+    }
+
+    /// Checks cross-field invariants. Datagram drivers call this before
+    /// opening a socket, so a configuration that would emit
+    /// fragmenting frames is rejected up front instead of silently
+    /// degrading on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`](crate::BusError) (`Config`) when
+    /// [`BusConfig::batch_bytes`] exceeds the frame budget of
+    /// [`BusConfig::path_mtu`].
+    pub fn validate(&self) -> Result<(), crate::BusError> {
+        let budget = self.max_batch_payload();
+        if self.batch_bytes > budget {
+            return Err(crate::BusError::Config(format!(
+                "batch_bytes {} exceeds the {budget}-byte frame budget of path_mtu {}",
+                self.batch_bytes, self.path_mtu
+            )));
+        }
+        Ok(())
     }
 
     /// Sets the maximum delay before a partial batch is flushed.
@@ -385,5 +438,23 @@ mod tests {
         assert_eq!(BusConfig::default().session_cursor_lag, 64);
         assert!(BusConfig::throughput().batch_enabled);
         assert!(!BusConfig::latency().batch_enabled);
+        assert_eq!(BusConfig::default().path_mtu, 1_472);
+        assert_eq!(BusConfig::default().with_path_mtu(9_000).path_mtu, 9_000);
+    }
+
+    #[test]
+    fn batch_bytes_must_fit_the_frame_budget() {
+        // Default: 1400 payload bytes inside a 1472-byte datagram, with
+        // 15 bytes of frame header + data wrapper to spare.
+        let cfg = BusConfig::default();
+        assert_eq!(cfg.max_batch_payload(), 1_457);
+        assert!(cfg.validate().is_ok());
+        // A batch threshold the MTU cannot carry is rejected.
+        let bad = BusConfig::throughput().with_batch_bytes(1_458);
+        assert!(matches!(bad.validate(), Err(crate::BusError::Config(_))));
+        // Raising the path MTU restores it.
+        assert!(bad.with_path_mtu(9_000).validate().is_ok());
+        // Degenerate MTUs cannot underflow.
+        assert_eq!(BusConfig::default().with_path_mtu(8).max_batch_payload(), 0);
     }
 }

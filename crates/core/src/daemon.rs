@@ -233,13 +233,15 @@ impl DaemonState {
         qos: QoS,
         kind: EnvelopeKind,
         corr: u64,
-        payload: Vec<u8>,
+        payload: impl Into<crate::buf::Bytes>,
     ) -> Result<(), BusError> {
-        let (app_name, inc) = match self.app_meta.get(app_idx).and_then(|m| m.as_ref()) {
-            Some(m) => (m.name.clone(), m.inc),
-            None if app_idx == APP_STATS => ("_daemon".to_owned(), self.daemon_inc),
-            None => ("router".to_owned(), self.daemon_inc),
-        };
+        let payload: crate::buf::Bytes = payload.into();
+        let (app_name, inc): (std::sync::Arc<str>, u64) =
+            match self.app_meta.get(app_idx).and_then(|m| m.as_ref()) {
+                Some(m) => (m.name.as_str().into(), m.inc),
+                None if app_idx == APP_STATS => ("_daemon".into(), self.daemon_inc),
+                None => ("router".into(), self.daemon_inc),
+            };
         // Model the application→daemon IPC hop.
         let ipc = net.host_config().ipc_cost(payload.len());
         net.charge_cpu(ipc);
@@ -247,15 +249,10 @@ impl DaemonState {
         // pre-send actions log to non-volatile storage *before* the
         // message hits the wire.
         let source = PubSource { app: app_name, inc };
-        let (env, actions) = self.engine.publish(
-            net.now(),
-            &source,
-            subject.as_str(),
-            qos,
-            kind,
-            corr,
-            payload,
-        );
+        let subject = self.engine.table().intern_subject(subject);
+        let (env, actions) =
+            self.engine
+                .publish(net.now(), &source, &subject, qos, kind, corr, payload);
         self.apply(net, actions);
 
         // Local delivery to co-resident subscribers (excluding the
@@ -291,10 +288,7 @@ impl DaemonState {
         if env.stream.host == self.host32 {
             return; // Our own broadcast looped back; locals were served directly.
         }
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
-        if !self.trie.matches_any(&subject) && !self.link_interested(&subject) {
+        if !self.trie.matches_any(&env.subject) && !self.link_interested(&env.subject) {
             // The cheap filter: nothing on this host (or linked bus) cares.
             self.engine.stats.filtered += 1;
             return;
@@ -304,7 +298,7 @@ impl DaemonState {
         // subscription we are owed it from sequence 1 (losses of early
         // messages are NAKed); otherwise we take it from here.
         let entitled = self
-            .earliest_matching_sub(&subject)
+            .earliest_matching_sub(&env.subject)
             .is_some_and(|sub_at| env.stream_start >= sub_at);
         let actions = self
             .engine
@@ -318,10 +312,7 @@ impl DaemonState {
             if entry.stream.host == self.host32 {
                 continue;
             }
-            let Ok(subject) = Subject::new(&entry.subject) else {
-                continue;
-            };
-            let sub_at = self.earliest_matching_sub(&subject);
+            let sub_at = self.earliest_matching_sub(&entry.subject);
             let actions = self
                 .engine
                 .handle(net.now(), Event::Digest { entry, sub_at });
@@ -356,12 +347,9 @@ impl DaemonState {
         if env.kind != EnvelopeKind::Data {
             return 0;
         }
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return 0;
-        };
         let targets: Vec<usize> = self
             .trie
-            .matches(&subject)
+            .matches(&env.subject)
             .filter_map(|(_, t)| match t {
                 SubTarget::App { app_idx } if Some(*app_idx) != exclude_app => Some(*app_idx),
                 _ => None,
@@ -387,7 +375,7 @@ impl DaemonState {
             self.pending.push_back(AppEvent::Msg {
                 app_idx,
                 msg: crate::app::BusMessage {
-                    subject: subject.clone(),
+                    subject: env.subject.subject().clone(),
                     value: value.clone(),
                     qos: env.qos,
                     redelivery: env.redelivery,
@@ -404,7 +392,7 @@ impl DaemonState {
         let mut envs = Vec::new();
         for key in net.nv_keys("gd/") {
             if let Some(bytes) = net.nv_get(&key) {
-                if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                if let Ok(env) = Envelope::decode(&mut bytes.as_slice(), self.engine.table()) {
                     envs.push(env);
                 }
             }
@@ -655,7 +643,7 @@ impl Process for BusDaemon {
     }
 
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Ok(packet) = Packet::decode(&dgram.payload) else {
+        let Ok(packet) = Packet::decode(&dgram.payload, self.state.engine.table()) else {
             return;
         };
         match packet {
@@ -793,7 +781,7 @@ impl Process for BusDaemon {
             }
             ConnEvent::Connected { .. } => {}
             ConnEvent::Data { conn, msg } => {
-                if let Ok(Some(rmsg)) = RouterMsg::decode(&msg) {
+                if let Ok(Some(rmsg)) = RouterMsg::decode(&msg, self.state.engine.table()) {
                     self.state.handle_router_msg(ctx, conn, rmsg);
                     self.drain(ctx);
                     return;

@@ -30,25 +30,36 @@ impl Batcher {
 
     /// Appends a sequenced envelope; flushes when the byte threshold is
     /// reached, otherwise arms the flush timer.
+    ///
+    /// Framing is MTU-aware: if appending would push the gathered
+    /// payload past the frame budget of [`BusConfig::path_mtu`], the
+    /// current batch is flushed *first*, so every emitted `Data` packet
+    /// fits one datagram on the configured path. (A single envelope
+    /// larger than the budget still goes out alone — envelopes are the
+    /// unit of retransmission and cannot be split.)
     pub(super) fn push(
         &mut self,
         env: &Envelope,
         cfg: &BusConfig,
         stats: &mut BusStats,
     ) -> Vec<Action> {
-        self.payload += env.wire_size();
+        let size = env.wire_size();
+        let mut out = Vec::new();
+        if !self.queue.is_empty() && self.payload + size > cfg.max_batch_payload() {
+            out.extend(self.flush(stats));
+        }
+        self.payload += size;
         self.queue.push(env.clone());
         if self.payload >= cfg.batch_bytes {
-            self.flush(stats)
+            out.extend(self.flush(stats));
         } else if !self.timer_armed {
             self.timer_armed = true;
-            vec![Action::SetTimer {
+            out.push(Action::SetTimer {
                 delay_us: cfg.batch_delay_us,
                 timer: TimerKind::Batch,
-            }]
-        } else {
-            Vec::new()
+            });
         }
+        out
     }
 
     /// The flush timer fired: send whatever gathered.

@@ -8,6 +8,9 @@
 //! interest snapshot (which hosts subscribe) at each retry round.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use infobus_subject::InternedSubject;
 
 use crate::config::BusConfig;
 use crate::envelope::Envelope;
@@ -29,11 +32,11 @@ struct GdEntry {
 /// Pending guaranteed envelopes, keyed (app, subject, seq) for a
 /// deterministic retry order.
 pub(super) struct GdLedger {
-    pending: BTreeMap<(String, String, u64), GdEntry>,
+    pending: BTreeMap<(Arc<str>, InternedSubject, u64), GdEntry>,
     timer_armed: bool,
 }
 
-fn gd_key(env: &Envelope) -> (String, String, u64) {
+fn gd_key(env: &Envelope) -> (Arc<str>, InternedSubject, u64) {
     (env.stream.app.clone(), env.subject.clone(), env.seq)
 }
 
@@ -126,12 +129,12 @@ impl GdLedger {
     pub(super) fn ack_received(
         &mut self,
         stream: &crate::envelope::StreamKey,
-        subject: &str,
+        subject: &InternedSubject,
         seq: u64,
         from: u32,
         stats: &mut BusStats,
     ) {
-        let key = (stream.app.clone(), subject.to_owned(), seq);
+        let key = (stream.app.clone(), subject.clone(), seq);
         stats.gd_acks_received += 1;
         if let Some(entry) = self.pending.get_mut(&key) {
             entry.acked.insert(from);
@@ -151,7 +154,7 @@ impl GdLedger {
         let mut subjects: Vec<String> = Vec::new();
         for (_, subject, _) in self.pending.keys() {
             if subjects.last().map(String::as_str) != Some(subject.as_str()) {
-                subjects.push(subject.clone());
+                subjects.push(subject.as_str().to_owned());
             }
         }
         subjects.sort();
@@ -173,11 +176,11 @@ impl GdLedger {
         stats: &mut BusStats,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
-        let mut completed: Vec<(String, String, u64)> = Vec::new();
+        let mut completed: Vec<(Arc<str>, InternedSubject, u64)> = Vec::new();
         let mut to_send: Vec<Envelope> = Vec::new();
         let mut to_deliver_locally: Vec<Envelope> = Vec::new();
         for (key, entry) in self.pending.iter_mut() {
-            let Some(interested) = interest.get(&entry.env.subject) else {
+            let Some(interested) = interest.get(entry.env.subject.as_str()) else {
                 // Malformed subject: nobody can ever subscribe to it.
                 completed.push(key.clone());
                 continue;

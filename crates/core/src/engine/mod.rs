@@ -35,12 +35,16 @@ pub mod reliable;
 pub mod sharded;
 pub mod stats;
 
+use crate::buf::Bytes;
 use crate::config::BusConfig;
 use crate::envelope::{Envelope, EnvelopeKind, StreamKey};
 use crate::msg::{Packet, SyncEntry};
 use crate::QoS;
 
+use infobus_subject::{InternedSubject, SubjectTable};
+
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub use sharded::{
     run_sharded_actions, shard_of_subject, ShardId, ShardTransport, ShardedEngine, ShardedStats,
@@ -55,10 +59,12 @@ pub type Micros = u64;
 /// Identity of the publishing application within its daemon: the stream
 /// namespace is `(host, app, incarnation)` and the engine supplies the
 /// host half itself.
+/// The name is a shared `Arc<str>`: drivers build one `PubSource` per
+/// application and clone it per publish as a reference-count bump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PubSource {
     /// Application name (or a reserved name like `"router"`).
-    pub app: String,
+    pub app: Arc<str>,
     /// Incarnation number distinguishing restarts of the same name.
     pub inc: u64,
 }
@@ -94,8 +100,8 @@ pub enum Event {
     Publish {
         /// The publishing application.
         source: PubSource,
-        /// Subject text (already validated by the driver).
-        subject: String,
+        /// Subject, interned by the driver in the engine's table.
+        subject: InternedSubject,
         /// Requested delivery quality of service.
         qos: QoS,
         /// Payload interpretation (data or a control publication).
@@ -103,7 +109,7 @@ pub enum Event {
         /// Correlation id for control envelopes (0 for data).
         corr: u64,
         /// Marshalled payload bytes.
-        payload: Vec<u8>,
+        payload: Bytes,
     },
     /// A data envelope arrived from the wire. `entitled` is the driver's
     /// first-contact verdict: `true` if this receiver's earliest matching
@@ -121,7 +127,7 @@ pub enum Event {
         /// The stream being repaired.
         stream: StreamKey,
         /// The stream's subject.
-        subject: String,
+        subject: InternedSubject,
         /// Host asking for the retransmission.
         requester: u32,
         /// The missing sequence numbers.
@@ -133,7 +139,7 @@ pub enum Event {
         /// The stream being skipped forward.
         stream: StreamKey,
         /// The stream's subject.
-        subject: String,
+        subject: InternedSubject,
         /// Last unavailable sequence number.
         through: u64,
     },
@@ -142,7 +148,7 @@ pub enum Event {
         /// The acknowledged stream.
         stream: StreamKey,
         /// The acknowledged subject.
-        subject: String,
+        subject: InternedSubject,
         /// The acknowledged sequence number.
         seq: u64,
         /// The acknowledging host.
@@ -258,6 +264,7 @@ pub struct Engine {
     cfg: BusConfig,
     host32: u32,
     loopback: bool,
+    table: SubjectTable,
     out: reliable::Publisher,
     inb: reliable::Receiver,
     batch: batch::Batcher,
@@ -270,12 +277,21 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine for the daemon on `host32`.
+    /// Creates an engine for the daemon on `host32`, with its own
+    /// private intern table.
     pub fn new(cfg: BusConfig, host32: u32) -> Engine {
+        Engine::with_table(cfg, host32, SubjectTable::new())
+    }
+
+    /// Creates an engine sharing `table` — shards of one daemon share a
+    /// single table so a [`SubjectId`](infobus_subject::SubjectId) means
+    /// the same thing on every shard.
+    pub fn with_table(cfg: BusConfig, host32: u32, table: SubjectTable) -> Engine {
         Engine {
             cfg,
             host32,
             loopback: false,
+            table,
             out: reliable::Publisher::new(),
             inb: reliable::Receiver::new(),
             batch: batch::Batcher::new(),
@@ -311,8 +327,27 @@ impl Engine {
         &self.cfg
     }
 
+    /// The daemon's subject intern table. Drivers intern subjects here
+    /// once (at the API or frame boundary) and hand the engine
+    /// [`InternedSubject`] values.
+    pub fn table(&self) -> &SubjectTable {
+        &self.table
+    }
+
     /// Handles one event, returning the actions to perform (in order).
     pub fn handle(&mut self, now: Micros, event: Event) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_into(now, event, &mut out);
+        out
+    }
+
+    /// Handles one event, appending the actions (in order) to `out`.
+    ///
+    /// This is the allocation-disciplined entry point: drivers that
+    /// process events in a loop keep one scratch `Vec<Action>` and clear
+    /// it between events, so the steady state allocates nothing for
+    /// action plumbing.
+    pub fn handle_into(&mut self, now: Micros, event: Event, out: &mut Vec<Action>) {
         match event {
             Event::Publish {
                 source,
@@ -322,36 +357,44 @@ impl Engine {
                 corr,
                 payload,
             } => {
-                let (env, mut actions) =
-                    self.publish(now, &source, &subject, qos, kind, corr, payload);
-                actions.extend(self.enqueue(&env));
-                actions
+                let env = self.publish_into(now, &source, &subject, qos, kind, corr, payload, out);
+                self.enqueue_into(&env, out);
             }
             Event::Envelope { env, entitled } => {
                 if !self.loopback && env.stream.host == self.host32 {
                     // Our own broadcast looped back; locals were already
                     // served on the publish path.
-                    return Vec::new();
+                    return;
                 }
                 self.inb
-                    .accept(now, env, entitled, self.host32, &mut self.stats)
+                    .accept(now, env, entitled, self.host32, &mut self.stats, out);
             }
             Event::Nak {
                 stream,
                 subject,
                 requester,
                 missing,
-            } => self
-                .out
-                .handle_nak(now, stream, subject, requester, missing, &mut self.stats),
+            } => out.extend(self.out.handle_nak(
+                now,
+                stream,
+                subject,
+                requester,
+                missing,
+                &mut self.stats,
+            )),
             Event::GapSkip {
                 stream,
                 subject,
                 through,
-            } => {
-                self.inb
-                    .handle_gapskip(now, stream, subject, through, self.host32, &mut self.stats)
-            }
+            } => self.inb.handle_gapskip(
+                now,
+                stream,
+                subject,
+                through,
+                self.host32,
+                &mut self.stats,
+                out,
+            ),
             Event::Ack {
                 stream,
                 subject,
@@ -360,24 +403,26 @@ impl Engine {
             } => {
                 self.gd
                     .ack_received(&stream, &subject, seq, from_host, &mut self.stats);
-                Vec::new()
             }
             Event::Digest { entry, sub_at } => {
                 self.inb
                     .handle_digest(now, entry, sub_at, self.host32, self.loopback);
-                Vec::new()
             }
-            Event::Timer(TimerKind::Batch) => self.batch.timer_fired(&mut self.stats),
+            Event::Timer(TimerKind::Batch) => out.extend(self.batch.timer_fired(&mut self.stats)),
             Event::Timer(TimerKind::NakScan) => {
-                self.inb
-                    .scan_gaps(now, self.host32, &self.cfg, &mut self.stats)
+                out.extend(
+                    self.inb
+                        .scan_gaps(now, self.host32, &self.cfg, &mut self.stats),
+                );
             }
-            Event::Timer(TimerKind::Sync) => self.out.sync_round(now, self.host32, &self.cfg),
+            Event::Timer(TimerKind::Sync) => {
+                out.extend(self.out.sync_round(now, self.host32, &self.cfg));
+            }
             // GdRetry needs the interest snapshot; drivers report it via
             // Event::GdRetry. A bare timer event is a no-op.
-            Event::Timer(TimerKind::GdRetry) => Vec::new(),
+            Event::Timer(TimerKind::GdRetry) => {}
             Event::GdRetry { interest } => {
-                self.gd.retry_round(&interest, &self.cfg, &mut self.stats)
+                out.extend(self.gd.retry_round(&interest, &self.cfg, &mut self.stats));
             }
         }
     }
@@ -395,12 +440,33 @@ impl Engine {
         &mut self,
         now: Micros,
         source: &PubSource,
-        subject: &str,
+        subject: &InternedSubject,
         qos: QoS,
         kind: EnvelopeKind,
         corr: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) -> (Envelope, Vec<Action>) {
+        let mut actions = Vec::new();
+        let env = self.publish_into(now, source, subject, qos, kind, corr, payload, &mut actions);
+        (env, actions)
+    }
+
+    /// [`Engine::publish`] with the pre-send actions appended to `out`
+    /// instead of freshly allocated — the hot-path form (a reliable
+    /// publish appends nothing, so the caller's scratch vector is all
+    /// the plumbing there is).
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_into(
+        &mut self,
+        now: Micros,
+        source: &PubSource,
+        subject: &InternedSubject,
+        qos: QoS,
+        kind: EnvelopeKind,
+        corr: u64,
+        payload: Bytes,
+        out: &mut Vec<Action>,
+    ) -> Envelope {
         let env = self.out.sequence(
             now,
             self.host32,
@@ -413,25 +479,30 @@ impl Engine {
             &self.cfg,
             &mut self.stats,
         );
-        let actions = if qos == QoS::Guaranteed {
-            self.gd.persist(&env, &self.cfg, &mut self.stats)
-        } else {
-            Vec::new()
-        };
-        (env, actions)
+        if qos == QoS::Guaranteed {
+            out.extend(self.gd.persist(&env, &self.cfg, &mut self.stats));
+        }
+        env
     }
 
     /// Queues a sequenced envelope for transmission: appends to the
     /// current batch (flushing or arming the flush timer as needed) or
     /// emits an immediate broadcast when batching is off.
     pub fn enqueue(&mut self, env: &Envelope) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.enqueue_into(env, &mut out);
+        out
+    }
+
+    /// [`Engine::enqueue`], appending to the caller's scratch vector.
+    pub fn enqueue_into(&mut self, env: &Envelope, out: &mut Vec<Action>) {
         if self.cfg.batch_enabled {
-            self.batch.push(env, &self.cfg, &mut self.stats)
+            out.extend(self.batch.push(env, &self.cfg, &mut self.stats));
         } else {
-            vec![Action::Broadcast(Packet::Data {
+            out.push(Action::Broadcast(Packet::Data {
                 envelopes: vec![env.clone()],
                 retrans: false,
-            })]
+            }));
         }
     }
 

@@ -10,7 +10,11 @@
 //! `(now, event data)`, outputs are [`Action`]s.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
+use infobus_subject::InternedSubject;
+
+use crate::buf::Bytes;
 use crate::config::BusConfig;
 use crate::envelope::{Envelope, EnvelopeKind, StreamKey};
 use crate::msg::{Packet, SyncEntry};
@@ -49,7 +53,10 @@ const RETRANS_SUPPRESS_US: Micros = 20_000;
 
 /// The outbound half of reliable delivery.
 pub(super) struct Publisher {
-    streams: HashMap<(String, String), OutStream>,
+    /// Keyed by (application, subject). Both halves are shared handles
+    /// (`Arc<str>` / interned subject), so building a lookup key per
+    /// publish is two reference-count bumps, never a string copy.
+    streams: HashMap<(Arc<str>, InternedSubject), OutStream>,
 }
 
 impl Publisher {
@@ -68,15 +75,15 @@ impl Publisher {
         now: Micros,
         host32: u32,
         source: &PubSource,
-        subject: &str,
+        subject: &InternedSubject,
         qos: QoS,
         kind: EnvelopeKind,
         corr: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
         cfg: &BusConfig,
         stats: &mut BusStats,
     ) -> Envelope {
-        let key = (source.app.clone(), subject.to_owned());
+        let key = (source.app.clone(), subject.clone());
         let sync_rounds = cfg.sync_rounds;
         let stream = self.streams.entry(key).or_insert(OutStream {
             inc: source.inc,
@@ -97,7 +104,7 @@ impl Publisher {
             },
             seq: stream.next_seq,
             stream_start: stream.started,
-            subject: subject.to_owned(),
+            subject: subject.clone(),
             qos,
             kind,
             corr,
@@ -105,6 +112,9 @@ impl Publisher {
             payload,
         };
         stream.next_seq += 1;
+        // Steady-state alloc-free: once the deque has grown past the
+        // retention cap its capacity is never shrunk, so this push/pop
+        // cycle recycles the same ring.
         stream.retain.push_back(env.clone());
         while stream.retain.len() > cfg.retain_per_stream {
             stream.retain.pop_front();
@@ -122,7 +132,7 @@ impl Publisher {
         &mut self,
         now: Micros,
         stream: StreamKey,
-        subject: String,
+        subject: InternedSubject,
         requester: u32,
         missing: Vec<u64>,
         stats: &mut BusStats,
@@ -244,7 +254,7 @@ impl Publisher {
 
 /// The inbound half of reliable delivery.
 pub(super) struct Receiver {
-    streams: HashMap<(StreamKey, String), InStream>,
+    streams: HashMap<(StreamKey, InternedSubject), InStream>,
 }
 
 impl Receiver {
@@ -264,8 +274,8 @@ impl Receiver {
         entitled: bool,
         host32: u32,
         stats: &mut BusStats,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        actions: &mut Vec<Action>,
+    ) {
         let skey = (env.stream.clone(), env.subject.clone());
         // First contact with a stream: if it began after our earliest
         // matching subscription, we are entitled to it from sequence 1
@@ -287,33 +297,37 @@ impl Receiver {
                     // lost with a restart, so deliver out of band rather
                     // than dedup. At-least-once permits the duplicate.
                     actions.push(Action::Deliver(env));
-                    return actions;
+                    return;
                 }
             }
             stats.dups_dropped += 1;
-            return actions;
+            return;
         }
         if env.seq == st.expected {
             // Saturating: `seq` is wire data, and `expected` can be
             // pinned at `u64::MAX` by a (hostile) GapSkip.
             st.expected = st.expected.saturating_add(1);
+            // The in-order envelope goes straight onto the action list —
+            // no intermediate `ready` vector, so the common case (no
+            // holdback) touches the heap only through the caller's
+            // reusable scratch vector.
+            if env.qos == QoS::Guaranteed {
+                actions.push(ack_action(&env, host32, stats));
+            }
+            actions.push(Action::Deliver(env));
             // Drain any consecutive held-back envelopes.
-            let mut ready = vec![env];
             loop {
                 if let Some(e) = st.holdback.remove(&st.expected) {
                     st.expected = st.expected.saturating_add(1);
-                    ready.push(e);
+                    if e.qos == QoS::Guaranteed {
+                        actions.push(ack_action(&e, host32, stats));
+                    }
+                    actions.push(Action::Deliver(e));
                 } else {
                     let gap = !st.holdback.is_empty() || st.expected <= st.known_top;
                     st.gap_since = if gap { Some(now) } else { None };
                     break;
                 }
-            }
-            for e in ready {
-                if e.qos == QoS::Guaranteed {
-                    actions.push(ack_action(&e, host32, stats));
-                }
-                actions.push(Action::Deliver(e));
             }
         } else {
             if st.gap_since.is_none() {
@@ -321,24 +335,24 @@ impl Receiver {
             }
             st.holdback.insert(env.seq, env);
         }
-        actions
     }
 
     /// Handles a gap-skip from the publisher: abandons unavailable
     /// sequences and drains whatever became deliverable.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn handle_gapskip(
         &mut self,
         now: Micros,
         stream: StreamKey,
-        subject: String,
+        subject: InternedSubject,
         through: u64,
         host32: u32,
         stats: &mut BusStats,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        actions: &mut Vec<Action>,
+    ) {
         let key = (stream, subject);
         let Some(st) = self.streams.get_mut(&key) else {
-            return actions;
+            return;
         };
         // `through` rides in from the wire; saturate so a hostile
         // `u64::MAX` can't overflow the +1 (it pins `expected` at MAX,
@@ -362,7 +376,6 @@ impl Receiver {
             }
             actions.push(Action::Deliver(e));
         }
-        actions
     }
 
     /// Handles one received stream digest: opens/extends gap detection

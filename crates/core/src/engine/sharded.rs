@@ -62,6 +62,9 @@
 
 use std::collections::HashMap;
 
+use infobus_subject::{InternedSubject, SubjectTable};
+
+use crate::buf::Bytes;
 use crate::config::BusConfig;
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::QoS;
@@ -212,13 +215,14 @@ impl ShardedEngine {
 
     fn build(cfg: BusConfig, host32: u32, loopback: bool) -> ShardedEngine {
         let n = cfg.shards.max(1);
+        // One intern table for the whole daemon: a SubjectId assigned on
+        // any shard (or at the driver boundary) is valid on every shard.
+        let table = SubjectTable::new();
         let shards = (0..n)
             .map(|_| {
-                if loopback {
-                    Engine::new_loopback(cfg.clone(), host32)
-                } else {
-                    Engine::new(cfg.clone(), host32)
-                }
+                let mut e = Engine::with_table(cfg.clone(), host32, table.clone());
+                e.loopback = loopback;
+                e
             })
             .collect();
         ShardedEngine {
@@ -274,6 +278,11 @@ impl ShardedEngine {
         self.shards[0].config()
     }
 
+    /// The daemon-wide subject intern table (shared by every shard).
+    pub fn table(&self) -> &SubjectTable {
+        self.shards[0].table()
+    }
+
     /// Handles one event, returning shard-tagged actions to perform in
     /// order.
     ///
@@ -287,7 +296,7 @@ impl ShardedEngine {
             Event::Publish { subject, .. }
             | Event::Nak { subject, .. }
             | Event::GapSkip { subject, .. }
-            | Event::Ack { subject, .. } => Some(self.shard_of(subject)),
+            | Event::Ack { subject, .. } => Some(self.shard_of(subject.as_str())),
             Event::Envelope { env, .. } => Some(self.shard_of(env.subject.as_str())),
             Event::Digest { entry, .. } => Some(self.shard_of(entry.subject.as_str())),
             Event::Timer(_) | Event::GdRetry { .. } => None,
@@ -353,13 +362,13 @@ impl ShardedEngine {
         &mut self,
         now: Micros,
         source: &PubSource,
-        subject: &str,
+        subject: &InternedSubject,
         qos: QoS,
         kind: EnvelopeKind,
         corr: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) -> (Envelope, Vec<(ShardId, Action)>) {
-        let shard = self.shard_of(subject);
+        let shard = self.shard_of(subject.as_str());
         let (env, actions) =
             self.shards[shard].publish(now, source, subject, qos, kind, corr, payload);
         (env, actions.into_iter().map(|a| (shard, a)).collect())

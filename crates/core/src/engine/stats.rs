@@ -208,6 +208,15 @@ pub struct BusStats {
     pub gd_ledger_recovered: u64,
     /// Torn or corrupt ledger tails truncated during recovery.
     pub gd_ledger_truncations: u64,
+    /// Distinct subjects interned in the daemon's
+    /// [`SubjectTable`](infobus_subject::SubjectTable) (a gauge, sampled
+    /// at snapshot time).
+    pub subj_interned: u64,
+    /// Marshal buffers served by recycling a pooled allocation
+    /// ([`BufPool`](crate::buf::BufPool) hits; real-thread drivers).
+    pub buf_pool_hits: u64,
+    /// Marshal buffers that required a fresh allocation (pool misses).
+    pub buf_pool_misses: u64,
 }
 
 /// Attribute names of the `"BusStats"` descriptor, in declaration order.
@@ -264,6 +273,9 @@ const STATS_COUNTERS: &[&str] = &[
     "gd_ledger_compactions",
     "gd_ledger_recovered",
     "gd_ledger_truncations",
+    "subj_interned",
+    "buf_pool_hits",
+    "buf_pool_misses",
 ];
 
 impl BusStats {
@@ -355,6 +367,9 @@ impl BusStats {
             "gd_ledger_compactions" => self.gd_ledger_compactions,
             "gd_ledger_recovered" => self.gd_ledger_recovered,
             "gd_ledger_truncations" => self.gd_ledger_truncations,
+            "subj_interned" => self.subj_interned,
+            "buf_pool_hits" => self.buf_pool_hits,
+            "buf_pool_misses" => self.buf_pool_misses,
             _ => 0,
         }
     }
@@ -412,6 +427,9 @@ impl BusStats {
             "gd_ledger_compactions" => &mut self.gd_ledger_compactions,
             "gd_ledger_recovered" => &mut self.gd_ledger_recovered,
             "gd_ledger_truncations" => &mut self.gd_ledger_truncations,
+            "subj_interned" => &mut self.subj_interned,
+            "buf_pool_hits" => &mut self.buf_pool_hits,
+            "buf_pool_misses" => &mut self.buf_pool_misses,
             _ => return None,
         })
     }

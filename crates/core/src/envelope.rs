@@ -1,10 +1,14 @@
 //! Envelopes: the unit of publication carried by the bus protocol.
 
+use std::sync::Arc;
+
+use infobus_subject::{InternedSubject, SubjectTable};
 use infobus_types::wire::{
     get_byte_vec, get_string, get_u32, get_u64, get_u8, put_bytes, put_string, put_u32, put_u64,
 };
 use infobus_types::WireError;
 
+use crate::buf::Bytes;
 use crate::QoS;
 
 /// Identity of a publisher stream: one application incarnation on one
@@ -15,12 +19,16 @@ use crate::QoS;
 /// its new sequence numbers with the old ones (at-most-once across
 /// crashes). Stream identity is internal to the protocol — applications
 /// never see who published (principle P4).
+///
+/// The application name is a shared `Arc<str>`: every envelope of one
+/// stream aliases the same allocation, so cloning a key on the hot path
+/// is a reference-count bump, not a string copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamKey {
     /// Numeric id of the publishing host.
     pub host: u32,
     /// Name of the publishing application on that host.
-    pub app: String,
+    pub app: Arc<str>,
     /// Incarnation (start counter) of the application.
     pub inc: u64,
 }
@@ -65,8 +73,26 @@ impl EnvelopeKind {
     }
 }
 
+/// Interns a subject string pulled off the wire, mapping validation
+/// failure to a [`WireError`] (malformed frames must not panic).
+pub(crate) fn intern_wire_subject(
+    table: &SubjectTable,
+    text: &str,
+) -> Result<InternedSubject, WireError> {
+    table
+        .intern(text)
+        .map_err(|_| WireError::BadSubject(text.to_owned()))
+}
+
 /// One publication in flight: subject, stream identity, sequence number,
 /// quality of service, and the marshalled payload.
+///
+/// Both heavy fields are shared handles: the subject is an
+/// [`InternedSubject`] (one validated `Subject` per distinct subject per
+/// daemon, plus a dense per-daemon id for `u32`-keyed caches) and the
+/// payload is a [`Bytes`] slice (reference-counted, usually borrowed
+/// from a [`BufPool`](crate::buf::BufPool)). Cloning an envelope on the
+/// hot path copies no subject text and no payload bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// The publisher stream.
@@ -78,8 +104,10 @@ pub struct Envelope {
     /// to the whole stream (it started after they subscribed) or only to
     /// messages from their first sighting onward.
     pub stream_start: u64,
-    /// The subject this object was published under.
-    pub subject: String,
+    /// The subject this object was published under, interned in the
+    /// owning daemon's [`SubjectTable`]. The id never crosses the wire —
+    /// encode writes the text, decode re-interns on the receiving side.
+    pub subject: InternedSubject,
     /// Delivery quality of service.
     pub qos: QoS,
     /// Envelope kind (data or protocol control).
@@ -90,24 +118,24 @@ pub struct Envelope {
     /// publisher restart (consumers may see such messages more than once).
     pub redelivery: bool,
     /// Marshalled payload (see [`infobus_types::wire`]).
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Envelope {
-    /// Approximate wire size of this envelope in bytes.
+    /// Exact wire size of this envelope in bytes (the batcher's MTU
+    /// budget depends on exactness).
     pub fn wire_size(&self) -> usize {
-        4 + self.stream.app.len()
-            + 8
-            + 8
-            + 8
-            + 4
-            + self.subject.len()
-            + 1
-            + 1
-            + 8
-            + 1
-            + 4
-            + self.payload.len()
+        4 // stream.host
+            + 4 + self.stream.app.len() // length-prefixed app
+            + 8 // stream.inc
+            + 8 // seq
+            + 8 // stream_start
+            + 4 + self.subject.as_str().len() // length-prefixed subject
+            + 1 // qos
+            + 1 // kind
+            + 8 // corr
+            + 1 // redelivery
+            + 4 + self.payload.len() // length-prefixed payload
     }
 
     /// Encodes this envelope onto `buf`.
@@ -117,7 +145,7 @@ impl Envelope {
         put_u64(buf, self.stream.inc);
         put_u64(buf, self.seq);
         put_u64(buf, self.stream_start);
-        put_string(buf, &self.subject);
+        put_string(buf, self.subject.as_str());
         buf.push(match self.qos {
             QoS::Reliable => 0,
             QoS::Guaranteed => 1,
@@ -128,18 +156,21 @@ impl Envelope {
         put_bytes(buf, &self.payload);
     }
 
-    /// Decodes one envelope from `buf`.
+    /// Decodes one envelope from `buf`, interning its subject into
+    /// `table` (ids are per-daemon; the wire carries only text).
     ///
     /// # Errors
     ///
-    /// Returns a [`WireError`] on malformed input.
-    pub fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+    /// Returns a [`WireError`] on malformed input, including a subject
+    /// string that fails validation.
+    pub fn decode(buf: &mut &[u8], table: &SubjectTable) -> Result<Self, WireError> {
         let host = get_u32(buf)?;
         let app = get_string(buf)?;
         let inc = get_u64(buf)?;
         let seq = get_u64(buf)?;
         let stream_start = get_u64(buf)?;
         let subject = get_string(buf)?;
+        let subject = intern_wire_subject(table, &subject)?;
         let qos = match get_u8(buf)? {
             0 => QoS::Reliable,
             1 => QoS::Guaranteed,
@@ -148,9 +179,13 @@ impl Envelope {
         let kind = EnvelopeKind::from_u8(get_u8(buf)?)?;
         let corr = get_u64(buf)?;
         let redelivery = get_u8(buf)? != 0;
-        let payload = get_byte_vec(buf)?;
+        let payload = Bytes::from_vec(get_byte_vec(buf)?);
         Ok(Envelope {
-            stream: StreamKey { host, app, inc },
+            stream: StreamKey {
+                host,
+                app: app.into(),
+                inc,
+            },
             seq,
             stream_start,
             subject,
@@ -168,6 +203,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Envelope {
+        let table = SubjectTable::new();
         Envelope {
             stream: StreamKey {
                 host: 3,
@@ -176,12 +212,12 @@ mod tests {
             },
             seq: 42,
             stream_start: 1_000,
-            subject: "news.equity.gmc".into(),
+            subject: table.intern("news.equity.gmc").unwrap(),
             qos: QoS::Guaranteed,
             kind: EnvelopeKind::Data,
             corr: 0,
             redelivery: true,
-            payload: vec![1, 2, 3, 4, 5],
+            payload: Bytes::from_vec(vec![1, 2, 3, 4, 5]),
         }
     }
 
@@ -191,9 +227,25 @@ mod tests {
         let mut buf = Vec::new();
         e.encode(&mut buf);
         let mut slice = &buf[..];
-        let back = Envelope::decode(&mut slice).unwrap();
+        let back = Envelope::decode(&mut slice, &SubjectTable::new()).unwrap();
         assert_eq!(e, back);
         assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn decode_interns_into_receiver_table() {
+        let e = sample();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let rx_table = SubjectTable::new();
+        rx_table.intern("zz.skew").unwrap(); // receiver ids differ from sender's
+        let back = Envelope::decode(&mut &buf[..], &rx_table).unwrap();
+        assert_eq!(back.subject, "news.equity.gmc");
+        assert_ne!(back.subject.id(), e.subject.id());
+        assert_eq!(
+            rx_table.get("news.equity.gmc").unwrap().id(),
+            back.subject.id()
+        );
     }
 
     #[test]
@@ -209,7 +261,12 @@ mod tests {
             e.kind = kind;
             let mut buf = Vec::new();
             e.encode(&mut buf);
-            assert_eq!(Envelope::decode(&mut &buf[..]).unwrap().kind, kind);
+            assert_eq!(
+                Envelope::decode(&mut &buf[..], &SubjectTable::new())
+                    .unwrap()
+                    .kind,
+                kind
+            );
         }
     }
 
@@ -217,21 +274,34 @@ mod tests {
     fn truncation_errors() {
         let mut buf = Vec::new();
         sample().encode(&mut buf);
+        let table = SubjectTable::new();
         for cut in 0..buf.len() {
-            assert!(Envelope::decode(&mut &buf[..cut]).is_err());
+            assert!(Envelope::decode(&mut &buf[..cut], &table).is_err());
         }
     }
 
     #[test]
-    fn wire_size_close_to_actual() {
+    fn bad_wire_subject_is_an_error_not_a_panic() {
         let e = sample();
         let mut buf = Vec::new();
         e.encode(&mut buf);
-        let est = e.wire_size();
-        assert!(
-            (est as i64 - buf.len() as i64).abs() < 16,
-            "est {est}, actual {}",
-            buf.len()
-        );
+        // The subject text sits after host(4+4) + app(4+4) + inc/seq/start(24).
+        // Corrupt its first byte into a separator, making it invalid.
+        let subject_off = 4 + 4 + e.stream.app.len() + 8 + 8 + 8 + 4;
+        buf[subject_off] = b'.';
+        match Envelope::decode(&mut &buf[..], &SubjectTable::new()) {
+            Err(WireError::BadSubject(_)) => {}
+            other => panic!("expected BadSubject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_size_is_exact() {
+        // The batcher's MTU budget depends on this being exact, not an
+        // estimate: a frame must never exceed the configured path MTU.
+        let e = sample();
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(e.wire_size(), buf.len());
     }
 }

@@ -14,6 +14,22 @@
 //! a buggy caller would be dropped, exactly as on the wire. Protocol time
 //! is a monotonic counter — the engine never reads a clock.
 //!
+//! # Hot-path memory discipline
+//!
+//! A steady-state reliable publish allocates **nothing**:
+//!
+//! * the subject is interned once at the API boundary
+//!   ([`SubjectTable`]); every envelope, map key, and [`Delivery`]
+//!   aliases the same `Arc<str>`;
+//! * the payload is marshalled into a buffer recycled from a
+//!   [`BufPool`] and frozen into a shared [`Bytes`] slice — subscriber
+//!   fan-out clones reference counts, never bytes;
+//! * engine actions append into a per-shard scratch vector whose
+//!   capacity persists across publishes;
+//! * fan-out targets come from a subject-id-keyed cache (rebuilt lazily
+//!   when the subscription set changes), so the trie walk and its
+//!   temporary vectors are off the steady-state path entirely.
+//!
 //! By default `publish` runs that whole chain synchronously on the
 //! calling thread. [`InprocBus::with_workers`] instead runs one worker
 //! thread per engine shard: publishers marshal and hand off to the
@@ -41,10 +57,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 
-use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+use infobus_subject::{InternedSubject, SubjectFilter, SubjectTable, SubjectTrie};
 use infobus_types::{wire, TypeRegistry, Value};
 
 use crate::app::SubscriptionHandle;
+use crate::buf::{BufPool, Bytes};
 use crate::bus::{Bus, BusReceiver, Delivery};
 use crate::config::BusConfig;
 use crate::engine::{
@@ -71,17 +88,38 @@ pub type InprocMessage = Delivery;
 const INPROC_HOST: u32 = 1;
 
 /// Work handed from a publishing thread to a shard's worker thread
-/// (worker mode only; see [`InprocBus::with_workers`]).
+/// (worker mode only; see [`InprocBus::with_workers`]). Both fields are
+/// shared handles — the hand-off copies no subject text and no payload
+/// bytes.
 enum Job {
-    /// A subject-validated, already-marshalled publication.
+    /// An interned-subject, already-marshalled publication.
     Publish {
-        subject: String,
-        payload: Vec<u8>,
+        subject: InternedSubject,
+        payload: Bytes,
         qos: QoS,
     },
     /// A drain marker: the worker acks once every job queued before it
     /// has been fully processed (the hand-off channel is FIFO).
     Flush(mpsc::Sender<()>),
+}
+
+/// One engine shard plus its reusable action scratch vector. The scratch
+/// lives under the same mutex as the engine, so the fast path drains and
+/// refills it without ever releasing its capacity.
+struct ShardSlot {
+    engine: Engine,
+    scratch: Vec<Action>,
+}
+
+/// The fan-out cache: dense subject id → the subscriber senders matching
+/// that subject, valid for one subscription generation. Keeping senders
+/// (not trie positions) means a steady-state delivery is a read-lock, a
+/// map probe, and a refcount bump — the trie and its temporary vectors
+/// are only walked when the subscription set changed.
+struct MatchCache {
+    /// The subscription generation this map was built against.
+    gen: u64,
+    map: HashMap<u32, Arc<[SubSender<InprocMessage>]>>,
 }
 
 // Lock discipline: every `.expect("lock poisoned")` below is deliberate.
@@ -95,7 +133,7 @@ struct Inner {
     /// on subjects owned by different shards take different locks and
     /// stop contending on one state machine ([`BusConfig::shards`]
     /// shards; one — the unsharded bus — by default).
-    shards: Vec<Mutex<Engine>>,
+    shards: Vec<Mutex<ShardSlot>>,
     trie: RwLock<SubjectTrie<SubSender<InprocMessage>>>,
     registry: Mutex<TypeRegistry>,
     /// Monotonic protocol time (the engine is sans-I/O and never reads a
@@ -110,12 +148,56 @@ struct Inner {
     queue_cap: usize,
     /// Cumulative drop-oldest evictions across all subscriber queues.
     queue_dropped: Arc<AtomicU64>,
+    /// The daemon-wide subject intern table (shared with every shard
+    /// engine): subjects are interned once at the publish boundary.
+    table: SubjectTable,
+    /// Recycled marshal buffers — see [`BufPool`].
+    pool: BufPool,
+    /// The one publisher identity of this bus, cached so a publish
+    /// clones an `Arc<str>` instead of allocating a fresh string.
+    source: PubSource,
+    /// Bumped by every subscribe/unsubscribe; invalidates `match_cache`.
+    sub_gen: AtomicU64,
+    match_cache: RwLock<MatchCache>,
     /// Worker mode: one hand-off channel per shard, indexed by shard id.
     /// `None` in the default synchronous mode. Workers hold only a
     /// [`Weak`] back-reference, so dropping the last bus handle drops
     /// these senders, which disconnects the receivers and lets every
     /// worker thread exit.
     workers: Option<Vec<mpsc::Sender<Job>>>,
+}
+
+impl Inner {
+    fn new(cfg: BusConfig, workers: Option<Vec<mpsc::Sender<Job>>>) -> (Self, usize) {
+        let queue_cap = cfg.subscriber_queue_cap;
+        let pool_slots = cfg.marshal_pool_slots();
+        let (shards, nv, table) = build_shards(cfg);
+        let n = shards.len();
+        (
+            Inner {
+                shards,
+                nv: Mutex::new(nv),
+                trie: RwLock::new(SubjectTrie::new()),
+                registry: Mutex::new(TypeRegistry::with_fundamentals()),
+                now: AtomicU64::new(0),
+                queue_cap,
+                queue_dropped: Arc::new(AtomicU64::new(0)),
+                table,
+                pool: BufPool::with_slots(pool_slots),
+                source: PubSource {
+                    app: "inproc".into(),
+                    inc: 1,
+                },
+                sub_gen: AtomicU64::new(0),
+                match_cache: RwLock::new(MatchCache {
+                    gen: 0,
+                    map: HashMap::new(),
+                }),
+                workers,
+            },
+            n,
+        )
+    }
 }
 
 /// A thread-safe publish/subscribe bus within one process, driving the
@@ -146,19 +228,9 @@ impl InprocBus {
     /// Panics if a durable ledger directory cannot be opened
     /// (fail-stop; see [`NvStore`]).
     pub fn with_config(cfg: BusConfig) -> Self {
-        let queue_cap = cfg.subscriber_queue_cap;
-        let (shards, nv) = build_shards(cfg);
+        let (inner, _) = Inner::new(cfg, None);
         InprocBus {
-            inner: Arc::new(Inner {
-                shards,
-                nv: Mutex::new(nv),
-                trie: RwLock::new(SubjectTrie::new()),
-                registry: Mutex::new(TypeRegistry::with_fundamentals()),
-                now: AtomicU64::new(0),
-                queue_cap,
-                queue_dropped: Arc::new(AtomicU64::new(0)),
-                workers: None,
-            }),
+            inner: Arc::new(inner),
         }
     }
 
@@ -190,10 +262,9 @@ impl InprocBus {
     /// Panics if a durable ledger directory cannot be opened
     /// (fail-stop; see [`NvStore`]).
     pub fn with_workers(cfg: BusConfig) -> Self {
-        let queue_cap = cfg.subscriber_queue_cap;
-        let (shards, nv) = build_shards(cfg);
         let inner = Arc::new_cyclic(|weak: &Weak<Inner>| {
-            let txs = (0..shards.len())
+            let (inner, shard_count) = Inner::new(cfg, None);
+            let txs = (0..shard_count)
                 .map(|shard| {
                     let (tx, rx) = mpsc::channel::<Job>();
                     let weak = weak.clone();
@@ -205,14 +276,8 @@ impl InprocBus {
                 })
                 .collect();
             Inner {
-                shards,
-                nv: Mutex::new(nv),
-                trie: RwLock::new(SubjectTrie::new()),
-                registry: Mutex::new(TypeRegistry::with_fundamentals()),
-                now: AtomicU64::new(0),
-                queue_cap,
-                queue_dropped: Arc::new(AtomicU64::new(0)),
                 workers: Some(txs),
+                ..inner
             }
         });
         InprocBus { inner }
@@ -251,6 +316,7 @@ impl InprocBus {
             .write()
             .expect("lock poisoned")
             .insert(&filter, tx);
+        self.bump_subscriptions();
         Ok((SubscriptionHandle(id), rx))
     }
 
@@ -261,6 +327,52 @@ impl InprocBus {
             .write()
             .expect("lock poisoned")
             .remove(handle.0);
+        self.bump_subscriptions();
+    }
+
+    /// Advances the subscription generation and eagerly clears the
+    /// fan-out cache, dropping its sender clones — an unsubscribed
+    /// queue must disconnect now, not at the next cache rebuild.
+    fn bump_subscriptions(&self) {
+        let mut cache = self.inner.match_cache.write().expect("lock poisoned");
+        self.inner.sub_gen.fetch_add(1, Ordering::Release);
+        cache.map.clear();
+    }
+
+    /// The subscriber senders matching `subject`, served from the
+    /// fan-out cache on the steady state (read-lock, id probe, refcount
+    /// bump — no allocation) and rebuilt from the trie when the
+    /// subscription set changed.
+    fn matching_senders(&self, subject: &InternedSubject) -> Arc<[SubSender<InprocMessage>]> {
+        let gen = self.inner.sub_gen.load(Ordering::Acquire);
+        {
+            let cache = self.inner.match_cache.read().expect("lock poisoned");
+            if cache.gen == gen {
+                if let Some(senders) = cache.map.get(&subject.id().0) {
+                    return Arc::clone(senders);
+                }
+            }
+        }
+        // Miss: walk the trie and memoize under the subject's dense id.
+        let senders: Arc<[SubSender<InprocMessage>]> = {
+            let trie = self.inner.trie.read().expect("lock poisoned");
+            trie.matches(subject)
+                .map(|(_, tx)| tx.clone())
+                .collect::<Vec<_>>()
+                .into()
+        };
+        let mut cache = self.inner.match_cache.write().expect("lock poisoned");
+        if cache.gen != gen {
+            cache.map.clear();
+            cache.gen = gen;
+        }
+        // Only memoize if no subscribe/unsubscribe raced the trie walk;
+        // a racing bump clears the map after we release the write lock,
+        // so a stale entry can never outlive the generation it matched.
+        if self.inner.sub_gen.load(Ordering::Acquire) == gen {
+            cache.map.insert(subject.id().0, Arc::clone(&senders));
+        }
+        senders
     }
 
     /// Publishes a value with the requested delivery guarantee; the
@@ -281,25 +393,58 @@ impl InprocBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
-        let parsed = Subject::new(subject)?;
+        let subject = self.inner.table.intern(subject)?;
         let payload = {
+            let mut buf = self.inner.pool.take();
             let registry = self.inner.registry.lock().expect("lock poisoned");
-            wire::marshal_self_describing(value, &registry)
-                .map_err(|e| BusError::Marshal(e.to_string()))?
+            wire::marshal_self_describing_into(buf.vec_mut(), value, &registry)
+                .map_err(|e| BusError::Marshal(e.to_string()))?;
+            buf.freeze()
         };
-        let shard = shard_of_subject(subject, self.inner.shards.len());
+        self.dispatch(&subject, payload, qos)
+    }
+
+    /// Publishes bytes already marshalled with
+    /// [`wire::marshal_self_describing`] (or [`wire::marshal_value`]),
+    /// skipping the registry and the marshaller — the zero-copy entry
+    /// point for callers that pre-marshal or forward payloads verbatim.
+    /// The bytes are copied once into a pooled buffer; everything
+    /// downstream shares that buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for an invalid subject.
+    pub fn publish_marshaled(
+        &self,
+        subject: &str,
+        payload: &[u8],
+        qos: QoS,
+    ) -> Result<usize, BusError> {
+        let subject = self.inner.table.intern(subject)?;
+        let mut buf = self.inner.pool.take();
+        buf.vec_mut().extend_from_slice(payload);
+        self.dispatch(&subject, buf.freeze(), qos)
+    }
+
+    /// Routes an interned, marshalled publication to the owning shard —
+    /// synchronously in the default mode, over the hand-off channel in
+    /// worker mode.
+    fn dispatch(
+        &self,
+        subject: &InternedSubject,
+        payload: Bytes,
+        qos: QoS,
+    ) -> Result<usize, BusError> {
+        let shard = shard_of_subject(subject.as_str(), self.inner.shards.len());
         if let Some(workers) = &self.inner.workers {
             // Worker mode: count the matching subscribers now (the
             // caller's view at hand-off time), then let the owning
             // shard's worker run the protocol and delivery off the
             // caller's thread.
-            let count = {
-                let trie = self.inner.trie.read().expect("lock poisoned");
-                trie.matches(&parsed).count()
-            };
+            let count = self.matching_senders(subject).len();
             workers[shard]
                 .send(Job::Publish {
-                    subject: subject.to_owned(),
+                    subject: subject.clone(),
                     payload,
                     qos,
                 })
@@ -309,42 +454,72 @@ impl InprocBus {
         Ok(self.publish_on_shard(shard, subject, payload, qos))
     }
 
-    /// Publishes with [`QoS::Reliable`] — the pre-redesign signature,
-    /// kept one release for callers that have not migrated.
-    #[deprecated(note = "use `publish(subject, value, qos)` (the unified `Bus` surface)")]
-    pub fn publish_reliable(&self, subject: &str, value: &Value) -> Result<usize, BusError> {
-        self.publish(subject, value, QoS::Reliable)
-    }
-
     /// The synchronous tail of a publish: sequence the marshalled
-    /// payload through the owning shard's engine and loop the resulting
-    /// actions back until delivery. Runs on the calling thread in the
-    /// default mode and on the shard's worker thread in worker mode.
+    /// payload through the owning shard's engine and perform the
+    /// resulting actions until delivery. Runs on the calling thread in
+    /// the default mode and on the shard's worker thread in worker mode.
     /// Returns the number of subscribers the message was handed to.
-    fn publish_on_shard(&self, shard: usize, subject: &str, payload: Vec<u8>, qos: QoS) -> usize {
+    fn publish_on_shard(
+        &self,
+        shard: usize,
+        subject: &InternedSubject,
+        payload: Bytes,
+        qos: QoS,
+    ) -> usize {
         let now = self.inner.now.fetch_add(1, Ordering::Relaxed) + 1;
         // Only the owning shard's lock is taken: the entire publish →
         // loopback → deliver chain for a subject happens inside one
         // shard, so publishers on other shards proceed in parallel.
-        let mut engine = self.inner.shards[shard].lock().expect("lock poisoned");
-        let actions = engine.handle(
-            now,
-            Event::Publish {
-                source: PubSource {
-                    app: "inproc".to_owned(),
-                    inc: 1,
-                },
-                subject: subject.to_owned(),
-                qos,
-                kind: EnvelopeKind::Data,
-                corr: 0,
-                payload,
-            },
-        );
+        let mut slot = self.inner.shards[shard].lock().expect("lock poisoned");
+        let slot = &mut *slot;
         let mut delivered = 0usize;
-        self.loopback(&mut engine, shard, now, actions, &mut delivered);
+        if slot.engine.config().batch_enabled {
+            // Batched: the classic publish → enqueue → loopback chain,
+            // so batch accounting and flush behavior stay exact.
+            let actions = slot.engine.handle(
+                now,
+                Event::Publish {
+                    source: self.inner.source.clone(),
+                    subject: subject.clone(),
+                    qos,
+                    kind: EnvelopeKind::Data,
+                    corr: 0,
+                    payload,
+                },
+            );
+            self.loopback(&mut slot.engine, shard, now, actions, &mut delivered);
+        } else {
+            // Fast path: sequence, then feed the envelope straight back
+            // into the receive path — the same engine transitions the
+            // broadcast wrapper would produce, minus the packet and its
+            // single-envelope vector. The scratch's capacity persists
+            // across publishes, so the steady state allocates nothing.
+            let mut scratch = std::mem::take(&mut slot.scratch);
+            let env = slot.engine.publish_into(
+                now,
+                &self.inner.source,
+                subject,
+                qos,
+                EnvelopeKind::Data,
+                0,
+                payload,
+                &mut scratch,
+            );
+            slot.engine.handle_into(
+                now,
+                Event::Envelope {
+                    env,
+                    entitled: true,
+                },
+                &mut scratch,
+            );
+            for action in scratch.drain(..) {
+                self.perform(&mut slot.engine, shard, now, action, &mut delivered);
+            }
+            slot.scratch = scratch;
+        }
         if qos == QoS::Guaranteed {
-            self.gd_rounds(&mut engine, shard, now, &mut delivered);
+            self.gd_rounds(&mut slot.engine, shard, now, &mut delivered);
         }
         delivered
     }
@@ -395,15 +570,9 @@ impl InprocBus {
         }
     }
 
-    /// Performs engine actions in loopback: broadcasts feed straight back
-    /// into the engine's receive path and deliveries fan out to
-    /// subscriber channels; local delivery doubles as the guaranteed
-    /// acknowledgment. `Persist`/`Unpersist` land on the shared
-    /// [`NvStore`] on behalf of `shard` — the write-ahead ledger when
-    /// the bus is durable. Timers have no substrate here and are
-    /// dropped — with a lossless in-memory loop there is never a gap to
-    /// scan for, and guaranteed retry rounds run synchronously after
-    /// each guaranteed publish instead.
+    /// Performs engine actions in loopback (the cold-path form taking an
+    /// owned action vector; the fast path drains the shard's scratch
+    /// through [`InprocBus::perform`] directly).
     fn loopback(
         &self,
         engine: &mut Engine,
@@ -413,74 +582,92 @@ impl InprocBus {
         delivered: &mut usize,
     ) {
         for action in actions {
-            match action {
-                Action::Broadcast(Packet::Data { envelopes, .. }) => {
-                    for env in envelopes {
-                        let next = engine.handle(
-                            now,
-                            Event::Envelope {
-                                env,
-                                entitled: true,
-                            },
-                        );
-                        self.loopback(engine, shard, now, next, delivered);
-                    }
+            self.perform(engine, shard, now, action, delivered);
+        }
+    }
+
+    /// Performs one engine action: broadcasts feed straight back into
+    /// the engine's receive path and deliveries fan out to subscriber
+    /// channels; local delivery doubles as the guaranteed
+    /// acknowledgment. `Persist`/`Unpersist` land on the shared
+    /// [`NvStore`] on behalf of `shard` — the write-ahead ledger when
+    /// the bus is durable. Timers have no substrate here and are
+    /// dropped — with a lossless in-memory loop there is never a gap to
+    /// scan for, and guaranteed retry rounds run synchronously after
+    /// each guaranteed publish instead.
+    fn perform(
+        &self,
+        engine: &mut Engine,
+        shard: usize,
+        now: Micros,
+        action: Action,
+        delivered: &mut usize,
+    ) {
+        match action {
+            Action::Broadcast(Packet::Data { envelopes, .. }) => {
+                for env in envelopes {
+                    let next = engine.handle(
+                        now,
+                        Event::Envelope {
+                            env,
+                            entitled: true,
+                        },
+                    );
+                    self.loopback(engine, shard, now, next, delivered);
                 }
-                Action::Broadcast(_) => {}
-                // Unicasts here can only be acks for our own guaranteed
-                // envelopes, looped back from the receive path. A real
-                // daemon never hears its own broadcast, so feeding the
-                // self-ack back would complete ledger entries nobody
-                // received; on a single host, local delivery (below) is
-                // the only acknowledgment that counts.
-                Action::Unicast { .. } => {}
-                Action::Deliver(env) => {
-                    let count = self.fan_out(engine, &env);
-                    // The loopback receive path delivers guaranteed
-                    // envelopes as ordinary in-order deliveries; report
-                    // them into the ledger like the daemon driver does at
-                    // publish time.
-                    if env.qos == QoS::Guaranteed && count > 0 {
-                        engine.gd_local_done(&env);
-                    }
-                    *delivered += count;
-                }
-                Action::DeliverGd(env) => {
-                    if self.fan_out(engine, &env) > 0 {
-                        engine.gd_local_done(&env);
-                    }
-                }
-                Action::Persist { key, bytes } => {
-                    self.inner
-                        .nv
-                        .lock()
-                        .expect("lock poisoned")
-                        .persist(shard, &key, &bytes);
-                }
-                Action::Unpersist { key } => {
-                    self.inner
-                        .nv
-                        .lock()
-                        .expect("lock poisoned")
-                        .unpersist(shard, &key);
-                }
-                Action::SetTimer { .. } => {}
             }
+            Action::Broadcast(_) => {}
+            // Unicasts here can only be acks for our own guaranteed
+            // envelopes, looped back from the receive path. A real
+            // daemon never hears its own broadcast, so feeding the
+            // self-ack back would complete ledger entries nobody
+            // received; on a single host, local delivery (below) is
+            // the only acknowledgment that counts.
+            Action::Unicast { .. } => {}
+            Action::Deliver(env) => {
+                let count = self.fan_out(engine, &env);
+                // The loopback receive path delivers guaranteed
+                // envelopes as ordinary in-order deliveries; report
+                // them into the ledger like the daemon driver does at
+                // publish time.
+                if env.qos == QoS::Guaranteed && count > 0 {
+                    engine.gd_local_done(&env);
+                }
+                *delivered += count;
+            }
+            Action::DeliverGd(env) => {
+                if self.fan_out(engine, &env) > 0 {
+                    engine.gd_local_done(&env);
+                }
+            }
+            Action::Persist { key, bytes } => {
+                self.inner
+                    .nv
+                    .lock()
+                    .expect("lock poisoned")
+                    .persist(shard, &key, &bytes);
+            }
+            Action::Unpersist { key } => {
+                self.inner
+                    .nv
+                    .lock()
+                    .expect("lock poisoned")
+                    .unpersist(shard, &key);
+            }
+            Action::SetTimer { .. } => {}
         }
     }
 
     /// Hands an in-order envelope to every matching subscriber channel.
+    /// Everything cloned here is a shared handle: the interned subject,
+    /// the payload slice, the cached sender list.
     fn fan_out(&self, engine: &mut Engine, env: &Envelope) -> usize {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return 0;
-        };
-        let payload = Arc::new(env.payload.clone());
-        let trie = self.inner.trie.read().expect("lock poisoned");
+        let senders = self.matching_senders(&env.subject);
         let mut count = 0usize;
-        for (_, tx) in trie.matches(&subject) {
+        for tx in senders.iter() {
             let msg = Delivery {
                 subject: env.subject.clone(),
-                payload: payload.clone(),
+                payload: env.payload.clone(),
                 redelivery: env.redelivery,
             };
             if tx.send(msg).is_ok() {
@@ -510,14 +697,15 @@ impl InprocBus {
     }
 
     /// The merged counters plus the per-shard breakdown. The queue
-    /// gauges live on the bus, not a shard, and are folded into the
-    /// merged snapshot only.
+    /// gauges, the intern-table size, and the buffer-pool counters live
+    /// on the bus, not a shard, and are folded into the merged snapshot
+    /// only.
     pub fn sharded_stats(&self) -> ShardedStats {
         let per_shard: Vec<BusStats> = self
             .inner
             .shards
             .iter()
-            .map(|m| m.lock().expect("lock poisoned").stats.clone())
+            .map(|m| m.lock().expect("lock poisoned").engine.stats.clone())
             .collect();
         let mut merged = BusStats::merged(per_shard.iter());
         let trie = self.inner.trie.read().expect("lock poisoned");
@@ -525,6 +713,9 @@ impl InprocBus {
         trie.for_each(|_, _, tx| depth += tx.queued() as u64);
         merged.sub_queue_depth = depth;
         merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        merged.subj_interned = self.inner.table.len() as u64;
+        merged.buf_pool_hits = self.inner.pool.hits();
+        merged.buf_pool_misses = self.inner.pool.misses();
         self.inner
             .nv
             .lock()
@@ -535,20 +726,23 @@ impl InprocBus {
 }
 
 /// Opens the non-volatile store `cfg` asks for, builds the loopback
-/// shard engines, and replays any recovered ledger entries onto their
-/// owning shards (the arming actions a daemon would run are dropped —
-/// the in-process loop retries synchronously instead).
-fn build_shards(cfg: BusConfig) -> (Vec<Mutex<Engine>>, NvStore) {
+/// shard engines (sharing one subject intern table), and replays any
+/// recovered ledger entries onto their owning shards (the arming actions
+/// a daemon would run are dropped — the in-process loop retries
+/// synchronously instead).
+fn build_shards(cfg: BusConfig) -> (Vec<Mutex<ShardSlot>>, NvStore, SubjectTable) {
     let nv = NvStore::open(&cfg).expect("open guaranteed-delivery ledger");
+    let sharded = ShardedEngine::new_loopback(cfg, INPROC_HOST);
+    let table = sharded.table().clone();
     let recovered = nv
-        .recovered_envelopes()
+        .recovered_envelopes(&table)
         .expect("read guaranteed-delivery ledger");
-    let mut engines = ShardedEngine::new_loopback(cfg, INPROC_HOST).into_shards();
+    let mut engines = sharded.into_shards();
     if !recovered.is_empty() {
         let n = engines.len();
         let mut by_shard: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
         for env in recovered {
-            by_shard[shard_of_subject(&env.subject, n)].push(env);
+            by_shard[shard_of_subject(env.subject.as_str(), n)].push(env);
         }
         for (shard, envs) in by_shard.into_iter().enumerate() {
             if !envs.is_empty() {
@@ -556,7 +750,16 @@ fn build_shards(cfg: BusConfig) -> (Vec<Mutex<Engine>>, NvStore) {
             }
         }
     }
-    (engines.into_iter().map(Mutex::new).collect(), nv)
+    let slots = engines
+        .into_iter()
+        .map(|engine| {
+            Mutex::new(ShardSlot {
+                engine,
+                scratch: Vec::new(),
+            })
+        })
+        .collect();
+    (slots, nv, table)
 }
 
 impl Default for InprocBus {
@@ -650,6 +853,43 @@ mod tests {
         );
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(bus.subscription_count(), 0);
+    }
+
+    #[test]
+    fn publish_marshaled_bypasses_the_marshaller() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus.subscribe("pre.>").unwrap();
+        let registry = TypeRegistry::with_fundamentals();
+        let bytes = wire::marshal_self_describing(&Value::I64(11), &registry).unwrap();
+        assert_eq!(
+            bus.publish_marshaled("pre.k", &bytes, QoS::Reliable)
+                .unwrap(),
+            1
+        );
+        assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(11));
+    }
+
+    #[test]
+    fn steady_state_publishes_hit_the_buffer_pool() {
+        // A small retain window so the reliable layer releases old
+        // payloads during the test: a pooled buffer becomes reusable
+        // only once the retransmission window rolls past it.
+        let bus = InprocBus::with_config(BusConfig::default().with_retain_per_stream(4));
+        let (_sub, rx) = bus.subscribe("pool.>").unwrap();
+        for i in 0..50i64 {
+            bus.publish("pool.k", &Value::I64(i), QoS::Reliable)
+                .unwrap();
+            // Drop the delivery so the pooled buffer is free again.
+            let _ = rx.recv().unwrap();
+        }
+        let stats = bus.stats();
+        assert_eq!(stats.subj_interned, 1);
+        assert!(
+            stats.buf_pool_hits >= 40,
+            "expected near-total pool reuse, got hits={} misses={}",
+            stats.buf_pool_hits,
+            stats.buf_pool_misses
+        );
     }
 
     #[test]
@@ -862,7 +1102,10 @@ mod tests {
         let (_sub, rx) = bus.subscribe("gd.>").unwrap();
         bus.publish("gd.other", &Value::I64(2), QoS::Guaranteed)
             .unwrap();
-        let subjects: Vec<String> = rx.try_iter().map(|m| m.subject).collect();
+        let subjects: Vec<String> = rx
+            .try_iter()
+            .map(|m| m.subject.as_str().to_owned())
+            .collect();
         assert!(subjects.contains(&"gd.orphan".to_owned()), "{subjects:?}");
         let stats = bus.stats();
         assert_eq!(stats.gd_pending, 0);
@@ -916,15 +1159,6 @@ mod tests {
         let msgs: Vec<Delivery> = rx.try_iter().collect();
         let redelivered = msgs.iter().find(|m| m.redelivery).expect("a redelivery");
         assert_eq!(redelivered.value().unwrap(), Value::I64(1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_publish_reliable_still_works() {
-        let bus = InprocBus::new();
-        let (_sub, rx) = bus.subscribe("old.api").unwrap();
-        assert_eq!(bus.publish_reliable("old.api", &Value::I64(3)).unwrap(), 1);
-        assert_eq!(rx.recv().unwrap().value().unwrap(), Value::I64(3));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 mod app;
 mod apps;
+pub mod buf;
 pub mod bus;
 mod calls;
 mod config;
@@ -69,6 +70,7 @@ mod rmi;
 pub mod router;
 
 pub use app::{BusApp, BusCtx, BusMessage, DiscoveryReply, SubscriptionHandle};
+pub use buf::{BufPool, Bytes, PooledBuf};
 pub use bus::{Bus, BusReceiver, Delivery, Receiver};
 pub use config::BusConfig;
 pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
@@ -129,6 +131,11 @@ pub enum BusError {
     NotFound(String),
     /// A remote method invocation failed.
     Rmi(RmiError),
+    /// The configuration violates a cross-field invariant (e.g.
+    /// [`BusConfig::batch_bytes`] exceeding the frame budget of
+    /// [`BusConfig::path_mtu`]). Rejected when a driver opens, before
+    /// any traffic.
+    Config(String),
 }
 
 impl fmt::Display for BusError {
@@ -140,6 +147,7 @@ impl fmt::Display for BusError {
             BusError::Duplicate(n) => write!(f, "duplicate name {n:?}"),
             BusError::NotFound(n) => write!(f, "not found: {n}"),
             BusError::Rmi(e) => write!(f, "rmi: {e}"),
+            BusError::Config(e) => write!(f, "config: {e}"),
         }
     }
 }

@@ -41,19 +41,16 @@ impl DaemonState {
         if env.kind != EnvelopeKind::Data {
             return;
         }
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return;
-        };
-        let targets: Vec<(ConnId, String)> = self
+        let targets: Vec<(ConnId, Subject)> = self
             .router_links
             .iter()
             .filter(|(conn, _)| Some(**conn) != from_link)
-            .filter_map(|(conn, link)| link_wants(link, &subject).map(|s| (*conn, s)))
+            .filter_map(|(conn, link)| link_wants(link, &env.subject).map(|s| (*conn, s)))
             .collect();
         self.engine.stats.router_forwarded += targets.len() as u64;
         for (conn, forwarded_subject) in targets {
             let mut fwd = env.clone();
-            fwd.subject = forwarded_subject;
+            fwd.subject = self.engine.table().intern_subject(&forwarded_subject);
             let _ = net.conn_send(conn, RouterMsg::Forward { env: fwd }.encode());
         }
     }
@@ -136,12 +133,10 @@ impl DaemonState {
                 if !self.router_links.contains_key(&conn) {
                     return;
                 }
-                let Ok(subject) = Subject::new(&env.subject) else {
-                    return;
-                };
                 // Re-publish on this bus as a fresh publication from the
                 // router; never forward it back where it came from.
                 self.forward_horizon = Some(conn);
+                let subject = env.subject.subject().clone();
                 let _ = self.publish_payload(
                     net,
                     usize::MAX,
@@ -160,16 +155,13 @@ impl DaemonState {
 /// Decides whether `link`'s remote side subscribes to this subject,
 /// returning the subject to forward under (rewritten if the link has a
 /// matching rewrite rule).
-fn link_wants(link: &RouterLink, subject: &Subject) -> Option<String> {
-    let forwarded: String = match &link.rewrite {
-        Some(rule) => rule
-            .apply(subject.as_str())
-            .unwrap_or_else(|| subject.as_str().to_owned()),
-        None => subject.as_str().to_owned(),
+fn link_wants(link: &RouterLink, subject: &Subject) -> Option<Subject> {
+    let fsubj: Subject = match &link.rewrite {
+        Some(rule) => match rule.apply(subject.as_str()) {
+            Some(rewritten) => Subject::new(&rewritten).ok()?,
+            None => subject.clone(),
+        },
+        None => subject.clone(),
     };
-    let fsubj = Subject::new(&forwarded).ok()?;
-    link.subs
-        .iter()
-        .any(|f| f.matches(&fsubj))
-        .then_some(forwarded)
+    link.subs.iter().any(|f| f.matches(&fsubj)).then_some(fsubj)
 }

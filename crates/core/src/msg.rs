@@ -1,11 +1,14 @@
 //! Daemon-to-daemon packets and RMI connection messages.
 
+use std::sync::Arc;
+
+use infobus_subject::{InternedSubject, SubjectTable};
 use infobus_types::wire::{
     get_byte_vec, get_string, get_u32, get_u64, get_u8, put_bytes, put_string, put_u32, put_u64,
 };
 use infobus_types::WireError;
 
-use crate::envelope::{Envelope, StreamKey};
+use crate::envelope::{intern_wire_subject, Envelope, StreamKey};
 
 /// A packet exchanged between bus daemons over the datagram layer.
 ///
@@ -26,7 +29,7 @@ pub enum Packet {
     /// sequence numbers of one `(stream, subject)`.
     Nak {
         stream: StreamKey,
-        subject: String,
+        subject: InternedSubject,
         requester: u32,
         missing: Vec<u64>,
     },
@@ -34,13 +37,13 @@ pub enum Packet {
     /// including `through` are no longer available (receiver must skip).
     GapSkip {
         stream: StreamKey,
-        subject: String,
+        subject: InternedSubject,
         through: u64,
     },
     /// Acknowledgment of a guaranteed envelope.
     Ack {
         stream: StreamKey,
-        subject: String,
+        subject: InternedSubject,
         seq: u64,
         from_host: u32,
     },
@@ -65,12 +68,23 @@ pub struct SyncEntry {
     /// The publishing stream.
     pub stream: StreamKey,
     /// The stream's subject.
-    pub subject: String,
+    pub subject: InternedSubject,
     /// Highest sequence number published so far.
     pub top_seq: u64,
     /// Time the stream started (first-contact entitlement checks).
     pub stream_start: u64,
 }
+
+/// Bytes of datagram frame header a wall-clock driver prepends to every
+/// packet: 4-byte magic, 1-byte version, 4-byte sender host id (the
+/// layout `infobus-net`'s frame module implements). Lives here, next to
+/// the packet codec, so [`BusConfig::max_batch_payload`](crate::BusConfig::max_batch_payload)
+/// and the framing layer cannot drift apart.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Bytes a [`Packet::Data`] wrapper adds around its envelopes: the
+/// packet tag, the retransmission flag, and the envelope count.
+pub const DATA_PACKET_OVERHEAD: usize = 1 + 1 + 4;
 
 const PK_DATA: u8 = 1;
 const PK_NAK: u8 = 2;
@@ -89,7 +103,7 @@ fn put_stream(buf: &mut Vec<u8>, s: &StreamKey) {
 fn get_stream(buf: &mut &[u8]) -> Result<StreamKey, WireError> {
     Ok(StreamKey {
         host: get_u32(buf)?,
-        app: get_string(buf)?,
+        app: Arc::from(get_string(buf)?),
         inc: get_u64(buf)?,
     })
 }
@@ -115,7 +129,7 @@ impl Packet {
             } => {
                 buf.push(PK_NAK);
                 put_stream(&mut buf, stream);
-                put_string(&mut buf, subject);
+                put_string(&mut buf, subject.as_str());
                 put_u32(&mut buf, *requester);
                 put_u32(&mut buf, missing.len() as u32);
                 for m in missing {
@@ -129,7 +143,7 @@ impl Packet {
             } => {
                 buf.push(PK_GAPSKIP);
                 put_stream(&mut buf, stream);
-                put_string(&mut buf, subject);
+                put_string(&mut buf, subject.as_str());
                 put_u64(&mut buf, *through);
             }
             Packet::Ack {
@@ -140,7 +154,7 @@ impl Packet {
             } => {
                 buf.push(PK_ACK);
                 put_stream(&mut buf, stream);
-                put_string(&mut buf, subject);
+                put_string(&mut buf, subject.as_str());
                 put_u64(&mut buf, *seq);
                 put_u32(&mut buf, *from_host);
             }
@@ -171,7 +185,7 @@ impl Packet {
                 put_u32(&mut buf, entries.len() as u32);
                 for e in entries {
                     put_stream(&mut buf, &e.stream);
-                    put_string(&mut buf, &e.subject);
+                    put_string(&mut buf, e.subject.as_str());
                     put_u64(&mut buf, e.top_seq);
                     put_u64(&mut buf, e.stream_start);
                 }
@@ -180,8 +194,9 @@ impl Packet {
         buf
     }
 
-    /// Decodes a packet from the wire.
-    pub fn decode(mut buf: &[u8]) -> Result<Packet, WireError> {
+    /// Decodes a packet from the wire, interning subject fields into
+    /// `table` (ids are per-daemon; the wire carries only text).
+    pub fn decode(mut buf: &[u8], table: &SubjectTable) -> Result<Packet, WireError> {
         let buf = &mut buf;
         let kind = get_u8(buf)?;
         Ok(match kind {
@@ -193,13 +208,13 @@ impl Packet {
                 }
                 let mut envelopes = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    envelopes.push(Envelope::decode(buf)?);
+                    envelopes.push(Envelope::decode(buf, table)?);
                 }
                 Packet::Data { envelopes, retrans }
             }
             PK_NAK => {
                 let stream = get_stream(buf)?;
-                let subject = get_string(buf)?;
+                let subject = intern_wire_subject(table, &get_string(buf)?)?;
                 let requester = get_u32(buf)?;
                 let n = get_u32(buf)? as usize;
                 if n > 65_536 {
@@ -216,17 +231,25 @@ impl Packet {
                     missing,
                 }
             }
-            PK_GAPSKIP => Packet::GapSkip {
-                stream: get_stream(buf)?,
-                subject: get_string(buf)?,
-                through: get_u64(buf)?,
-            },
-            PK_ACK => Packet::Ack {
-                stream: get_stream(buf)?,
-                subject: get_string(buf)?,
-                seq: get_u64(buf)?,
-                from_host: get_u32(buf)?,
-            },
+            PK_GAPSKIP => {
+                let stream = get_stream(buf)?;
+                let subject = intern_wire_subject(table, &get_string(buf)?)?;
+                Packet::GapSkip {
+                    stream,
+                    subject,
+                    through: get_u64(buf)?,
+                }
+            }
+            PK_ACK => {
+                let stream = get_stream(buf)?;
+                let subject = intern_wire_subject(table, &get_string(buf)?)?;
+                Packet::Ack {
+                    stream,
+                    subject,
+                    seq: get_u64(buf)?,
+                    from_host: get_u32(buf)?,
+                }
+            }
             PK_SUB => {
                 let host = get_u32(buf)?;
                 let full = get_u8(buf)? != 0;
@@ -263,9 +286,11 @@ impl Packet {
                 }
                 let mut entries = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
+                    let stream = get_stream(buf)?;
+                    let subject = intern_wire_subject(table, &get_string(buf)?)?;
                     entries.push(SyncEntry {
-                        stream: get_stream(buf)?,
-                        subject: get_string(buf)?,
+                        stream,
+                        subject,
                         top_seq: get_u64(buf)?,
                         stream_start: get_u64(buf)?,
                     });
@@ -319,7 +344,7 @@ impl RouterMsg {
 
     /// Decodes a router message; returns `Ok(None)` if the buffer is an
     /// RMI message instead (the two share the connection port space).
-    pub fn decode(mut buf: &[u8]) -> Result<Option<RouterMsg>, WireError> {
+    pub fn decode(mut buf: &[u8], table: &SubjectTable) -> Result<Option<RouterMsg>, WireError> {
         let buf = &mut buf;
         Ok(match get_u8(buf)? {
             RT_HELLO => Some(RouterMsg::Hello {
@@ -337,7 +362,7 @@ impl RouterMsg {
                 Some(RouterMsg::Subs { filters })
             }
             RT_FORWARD => Some(RouterMsg::Forward {
-                env: Envelope::decode(buf)?,
+                env: Envelope::decode(buf, table)?,
             }),
             _ => None,
         })
@@ -449,7 +474,16 @@ impl RmiMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buf::Bytes;
     use crate::{EnvelopeKind, QoS};
+
+    fn table() -> SubjectTable {
+        SubjectTable::new()
+    }
+
+    fn subj(text: &str) -> InternedSubject {
+        table().intern(text).unwrap()
+    }
 
     fn env(seq: u64) -> Envelope {
         Envelope {
@@ -460,12 +494,12 @@ mod tests {
             },
             seq,
             stream_start: 5,
-            subject: "x.y".into(),
+            subject: subj("x.y"),
             qos: QoS::Reliable,
             kind: EnvelopeKind::Data,
             corr: 0,
             redelivery: false,
-            payload: vec![9; 10],
+            payload: Bytes::from_vec(vec![9; 10]),
         }
     }
 
@@ -487,18 +521,18 @@ mod tests {
             },
             Packet::Nak {
                 stream: stream.clone(),
-                subject: "a.b".into(),
+                subject: subj("a.b"),
                 requester: 9,
                 missing: vec![4, 5, 6],
             },
             Packet::GapSkip {
                 stream: stream.clone(),
-                subject: "a.b".into(),
+                subject: subj("a.b"),
                 through: 17,
             },
             Packet::Ack {
                 stream,
-                subject: "a.b".into(),
+                subject: subj("a.b"),
                 seq: 8,
                 from_host: 4,
             },
@@ -516,15 +550,16 @@ mod tests {
                         app: "a".into(),
                         inc: 1,
                     },
-                    subject: "x.y".into(),
+                    subject: subj("x.y"),
                     top_seq: 9,
                     stream_start: 5,
                 }],
             },
         ];
+        let t = table();
         for p in cases {
             let buf = p.encode();
-            assert_eq!(Packet::decode(&buf).unwrap(), p, "{p:?}");
+            assert_eq!(Packet::decode(&buf, &t).unwrap(), p, "{p:?}");
         }
     }
 
@@ -561,9 +596,10 @@ mod tests {
             },
             RouterMsg::Forward { env: env(5) },
         ];
+        let t = table();
         for m in cases {
             let buf = m.encode();
-            assert_eq!(RouterMsg::decode(&buf).unwrap(), Some(m));
+            assert_eq!(RouterMsg::decode(&buf, &t).unwrap(), Some(m));
         }
         // RMI tags are not router messages.
         let rmi = RmiMsg::Reply {
@@ -572,13 +608,13 @@ mod tests {
             value: Vec::new(),
             error: String::new(),
         };
-        assert_eq!(RouterMsg::decode(&rmi.encode()).unwrap(), None);
+        assert_eq!(RouterMsg::decode(&rmi.encode(), &table()).unwrap(), None);
     }
 
     #[test]
     fn garbage_rejected() {
-        assert!(Packet::decode(&[]).is_err());
-        assert!(Packet::decode(&[99, 0, 0]).is_err());
+        assert!(Packet::decode(&[], &table()).is_err());
+        assert!(Packet::decode(&[99, 0, 0], &table()).is_err());
         assert!(RmiMsg::decode(&[7]).is_err());
     }
 }

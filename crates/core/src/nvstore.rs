@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+use infobus_subject::SubjectTable;
 use infobus_wal::{LedgerOptions, LedgerStats, WalLedger};
 
 use crate::config::BusConfig;
@@ -117,12 +118,12 @@ impl NvStore {
     /// # Errors
     ///
     /// Propagates I/O failures reading spilled ledger entries.
-    pub fn recovered_envelopes(&self) -> io::Result<Vec<Envelope>> {
+    pub fn recovered_envelopes(&self, table: &SubjectTable) -> io::Result<Vec<Envelope>> {
         let mut envs = Vec::new();
         match self {
             NvStore::Mem(map) => {
                 for bytes in map.values() {
-                    if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                    if let Ok(env) = Envelope::decode(&mut bytes.as_slice(), table) {
                         envs.push(env);
                     }
                 }
@@ -130,7 +131,7 @@ impl NvStore {
             NvStore::Durable(ledgers) => {
                 for ledger in ledgers {
                     for (_, bytes) in ledger.entries()? {
-                        if let Ok(env) = Envelope::decode(&mut bytes.as_slice()) {
+                        if let Ok(env) = Envelope::decode(&mut bytes.as_slice(), table) {
                             envs.push(env);
                         }
                     }
@@ -181,6 +182,7 @@ impl NvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buf::Bytes;
     use crate::engine::{Engine, Event};
     use crate::{QoS, StreamKey};
     use infobus_wal::scratch::ScratchDir;
@@ -192,14 +194,14 @@ mod tests {
                 host: 1,
                 inc: 1,
             },
-            subject: subject.into(),
+            subject: SubjectTable::new().intern(subject).unwrap(),
             seq,
             qos: QoS::Guaranteed,
             kind: crate::EnvelopeKind::Data,
             corr: 0,
             stream_start: 0,
             redelivery: false,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from_vec(vec![1, 2, 3]),
         }
     }
 
@@ -211,7 +213,7 @@ mod tests {
         env("a.b", 1).encode(&mut bytes);
         nv.persist(0, "gd/t/a.b/1", &bytes);
         assert_eq!(nv.len(), 1);
-        let envs = nv.recovered_envelopes().unwrap();
+        let envs = nv.recovered_envelopes(&SubjectTable::new()).unwrap();
         assert_eq!(envs.len(), 1);
         assert_eq!(envs[0].subject, "a.b");
         nv.unpersist(0, "gd/t/a.b/1");
@@ -240,10 +242,10 @@ mod tests {
         let nv = NvStore::open(&cfg).unwrap();
         assert_eq!(nv.len(), 4);
         let mut subjects: Vec<String> = nv
-            .recovered_envelopes()
+            .recovered_envelopes(&SubjectTable::new())
             .unwrap()
             .into_iter()
-            .map(|e| e.subject)
+            .map(|e| e.subject.as_str().to_owned())
             .collect();
         subjects.sort();
         assert_eq!(subjects, ["a.x", "b.x", "c.x", "d.x"]);
@@ -264,14 +266,15 @@ mod tests {
                 app: "t".into(),
                 inc: 1,
             };
+            let subject = eng.table().intern("g.x").unwrap();
             let (env, actions) = eng.publish(
                 0,
                 &source,
-                "g.x",
+                &subject,
                 QoS::Guaranteed,
                 crate::EnvelopeKind::Data,
                 0,
-                vec![9],
+                Bytes::from_vec(vec![9]),
             );
             let mut found_persist = false;
             for a in actions.into_iter().chain(eng.enqueue(&env)) {
@@ -284,9 +287,9 @@ mod tests {
         }
         drop(nv);
         let nv = NvStore::open(&cfg).unwrap();
-        let envs = nv.recovered_envelopes().unwrap();
-        assert_eq!(envs.len(), 1);
         let mut eng = Engine::new(cfg, 7);
+        let envs = nv.recovered_envelopes(eng.table()).unwrap();
+        assert_eq!(envs.len(), 1);
         eng.gd_load(envs);
         assert_eq!(eng.stats.gd_pending, 1);
         assert_eq!(eng.gd_subjects(), vec!["g.x".to_string()]);

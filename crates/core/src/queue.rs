@@ -19,7 +19,7 @@
 //! bounded queue is call-site compatible.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -38,6 +38,10 @@ struct Shared<T> {
     /// Cumulative drop-oldest evictions, shared with the owning bus so
     /// they surface in its stats snapshot.
     dropped: Arc<AtomicU64>,
+    /// Live [`SubSender`] clones; the queue disconnects (receivers see
+    /// `tx_alive == false`) only when the last one drops. Drivers clone
+    /// senders into fan-out caches, so a single drop must not disconnect.
+    senders: AtomicUsize,
 }
 
 /// Creates a subscriber queue. `cap` bounds the number of queued
@@ -53,6 +57,7 @@ pub fn sub_queue<T>(cap: usize, dropped: Arc<AtomicU64>) -> (SubSender<T>, SubRe
         cv: Condvar::new(),
         cap,
         dropped,
+        senders: AtomicUsize::new(1),
     });
     (
         SubSender {
@@ -99,8 +104,20 @@ impl<T> SubSender<T> {
     }
 }
 
+impl<T> Clone for SubSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        SubSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
 impl<T> Drop for SubSender<T> {
     fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return; // other sender clones keep the queue connected
+        }
         if let Ok(mut st) = self.shared.state.lock() {
             st.tx_alive = false;
         }
@@ -243,6 +260,18 @@ mod tests {
         let (tx, rx) = sub_queue::<i32>(0, dropped);
         drop(rx);
         assert_eq!(tx.send(5), Err(5));
+    }
+
+    #[test]
+    fn cloned_sender_keeps_queue_connected() {
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sub_queue(0, dropped);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        drop(tx2); // last clone: now the queue disconnects
+        assert!(rx.recv().is_err());
     }
 
     #[test]

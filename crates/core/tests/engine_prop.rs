@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use infobus_core::engine::{Action, Engine, Event, Micros, PubSource};
 use infobus_core::msg::Packet;
-use infobus_core::{BusConfig, Envelope, EnvelopeKind, QoS};
+use infobus_core::{BusConfig, Bytes, Envelope, EnvelopeKind, QoS};
 use infobus_netsim::SimRng;
 
 const SUBJECT: &str = "prop.stream";
@@ -56,9 +56,10 @@ fn naks(actions: &[Action]) -> Vec<Packet> {
 /// envelopes in transmission order.
 fn publish_n(publisher: &mut Engine, n: u64, now: &mut Micros) -> Vec<Envelope> {
     let source = PubSource {
-        app: "prop".to_owned(),
+        app: "prop".into(),
         inc: 1,
     };
+    let subject = publisher.table().intern(SUBJECT).unwrap();
     let mut wire = Vec::new();
     for i in 0..n {
         *now += 10;
@@ -66,11 +67,11 @@ fn publish_n(publisher: &mut Engine, n: u64, now: &mut Micros) -> Vec<Envelope> 
             *now,
             Event::Publish {
                 source: source.clone(),
-                subject: SUBJECT.to_owned(),
+                subject: subject.clone(),
                 qos: QoS::Reliable,
                 kind: EnvelopeKind::Data,
                 corr: 0,
-                payload: vec![(i & 0xff) as u8],
+                payload: Bytes::from_vec(vec![(i & 0xff) as u8]),
             },
         );
         wire.extend(broadcast_envelopes(&actions));
@@ -405,9 +406,10 @@ fn publisher_crash_restart_redrives_guaranteed_ledger() {
         let mut ledger = std::collections::BTreeMap::new();
         let mut now: Micros = 0;
         let source = PubSource {
-            app: "prop".to_owned(),
+            app: "prop".into(),
             inc: 1,
         };
+        let subject = publisher.table().intern(SUBJECT).unwrap();
 
         let n = 3 + rng.gen_range_inclusive(0, 17);
         let mut wire = Vec::new();
@@ -417,11 +419,11 @@ fn publisher_crash_restart_redrives_guaranteed_ledger() {
                 now,
                 Event::Publish {
                     source: source.clone(),
-                    subject: SUBJECT.to_owned(),
+                    subject: subject.clone(),
                     qos: QoS::Guaranteed,
                     kind: EnvelopeKind::Data,
                     corr: 0,
-                    payload: vec![(i & 0xff) as u8],
+                    payload: Bytes::from_vec(vec![(i & 0xff) as u8]),
                 },
             );
             apply_ledger(&mut ledger, &actions);
@@ -435,15 +437,18 @@ fn publisher_crash_restart_redrives_guaranteed_ledger() {
         let prefix: Vec<Envelope> = wire[..k].to_vec();
         let mut seen: Vec<Vec<u8>> = receive_all(&mut receiver, prefix, &mut now)
             .into_iter()
-            .map(|e| e.payload)
+            .map(|e| e.payload.to_vec())
             .collect();
 
         // Crash: the engine is dropped; only the ledger survives.
         drop(publisher);
         let mut restarted = Engine::new(cfg(), 1);
+        let table = restarted.table().clone();
         let recovered: Vec<Envelope> = ledger
             .values()
-            .map(|bytes| Envelope::decode(&mut bytes.as_slice()).expect("ledger entry decodes"))
+            .map(|bytes| {
+                Envelope::decode(&mut bytes.as_slice(), &table).expect("ledger entry decodes")
+            })
             .collect();
         let load_actions = restarted.gd_load(recovered);
         assert!(
@@ -479,7 +484,11 @@ fn publisher_crash_restart_redrives_guaranteed_ledger() {
                         entitled: true,
                     },
                 );
-                seen.extend(delivered(&r_actions).into_iter().map(|e| e.payload));
+                seen.extend(
+                    delivered(&r_actions)
+                        .into_iter()
+                        .map(|e| e.payload.to_vec()),
+                );
                 for ack in acks(&r_actions) {
                     let Packet::Ack {
                         stream,
@@ -667,25 +676,29 @@ mod shard_prop {
             let mut now: Micros = 0;
             let n = 20 + rng.gen_range_inclusive(1, 60);
             let source = PubSource {
-                app: "prop".to_owned(),
+                app: "prop".into(),
                 inc: 1,
             };
+            let interned: Vec<_> = SPREAD
+                .iter()
+                .map(|s| publisher.table().intern(s).unwrap())
+                .collect();
             let mut wire = Vec::new();
             for i in 0..n {
-                for subject in SPREAD {
+                for subject in &interned {
                     now += 10;
                     let actions = publisher.handle(
                         now,
                         Event::Publish {
                             source: source.clone(),
-                            subject: subject.to_owned(),
+                            subject: subject.clone(),
                             qos: QoS::Reliable,
                             kind: EnvelopeKind::Data,
                             corr: 0,
-                            payload: vec![(i & 0xff) as u8],
+                            payload: Bytes::from_vec(vec![(i & 0xff) as u8]),
                         },
                     );
-                    let owner = shard_of_subject(subject, SHARDS);
+                    let owner = shard_of_subject(subject.as_str(), SHARDS);
                     assert!(
                         actions.iter().all(|(s, _)| *s == owner),
                         "publish actions must carry the owning shard's tag"
@@ -721,7 +734,7 @@ mod shard_prop {
             let mut per_subject: HashMap<&str, Vec<u64>> = HashMap::new();
             for env in &got {
                 per_subject
-                    .entry(SPREAD.iter().find(|s| **s == env.subject).unwrap())
+                    .entry(SPREAD.iter().find(|s| env.subject == **s).unwrap())
                     .or_default()
                     .push(env.seq);
             }
@@ -745,24 +758,28 @@ mod shard_prop {
             let mut receiver = ShardedEngine::new(cfg.clone(), 2);
             let mut now: Micros = 0;
             let source = PubSource {
-                app: "prop".to_owned(),
+                app: "prop".into(),
                 inc: 1,
             };
             let n = 3 + rng.gen_range_inclusive(0, 9);
+            let interned: Vec<_> = SPREAD
+                .iter()
+                .map(|s| publisher.table().intern(s).unwrap())
+                .collect();
             let mut ledgers: Vec<std::collections::BTreeMap<String, Vec<u8>>> =
                 vec![Default::default(); SHARDS];
             for i in 0..n {
-                for subject in SPREAD {
+                for subject in &interned {
                     now += 10;
                     let actions = publisher.handle(
                         now,
                         Event::Publish {
                             source: source.clone(),
-                            subject: subject.to_owned(),
+                            subject: subject.clone(),
                             qos: QoS::Guaranteed,
                             kind: EnvelopeKind::Data,
                             corr: 0,
-                            payload: vec![(i & 0xff) as u8],
+                            payload: Bytes::from_vec(vec![(i & 0xff) as u8]),
                         },
                     );
                     apply_sharded_ledger(&mut ledgers, &actions);
@@ -788,9 +805,12 @@ mod shard_prop {
             drop(publisher);
             let target = shard_of_subject(SPREAD[0], SHARDS);
             let mut restarted = ShardedEngine::new(cfg, 1);
+            let table = restarted.table().clone();
             let recovered: Vec<Envelope> = ledgers[target]
                 .values()
-                .map(|bytes| Envelope::decode(&mut bytes.as_slice()).expect("ledger entry decodes"))
+                .map(|bytes| {
+                    Envelope::decode(&mut bytes.as_slice(), &table).expect("ledger entry decodes")
+                })
                 .collect();
             let load_actions = restarted.gd_load(recovered);
             assert!(
@@ -827,7 +847,7 @@ mod shard_prop {
                 for env in broadcast_envelopes(&untag(actions)) {
                     assert!(env.redelivery, "post-restart copies must be flagged");
                     assert_eq!(
-                        shard_of_subject(&env.subject, SHARDS),
+                        shard_of_subject(env.subject.as_str(), SHARDS),
                         target,
                         "unreplayed shards must not redrive anything"
                     );
@@ -919,9 +939,11 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
         let stream_start = wire[0].stream_start;
         let phantom_stream = StreamKey {
             host: 9,
-            app: "ghost".to_owned(),
+            app: "ghost".into(),
             inc: 3,
         };
+        let real_subject = receiver.table().intern(SUBJECT).unwrap();
+        let ghost_subject = receiver.table().intern("ghost.subject").unwrap();
 
         let mangled = mangle(&mut rng, wire, 0.2, 0.2);
         let mut got = Vec::new();
@@ -941,7 +963,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                     // Digest for a stream nobody publishes.
                     let entry = SyncEntry {
                         stream: phantom_stream.clone(),
-                        subject: "ghost.subject".to_owned(),
+                        subject: ghost_subject.clone(),
                         top_seq: rng.gen_range_inclusive(1, 1000),
                         stream_start: now,
                     };
@@ -952,7 +974,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                     // Stale digest: lower top_seq than already observed.
                     let entry = SyncEntry {
                         stream: real_stream.clone(),
-                        subject: SUBJECT.to_owned(),
+                        subject: real_subject.clone(),
                         top_seq: 1,
                         stream_start,
                     };
@@ -970,7 +992,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                         now,
                         Event::Nak {
                             stream: real_stream.clone(),
-                            subject: SUBJECT.to_owned(),
+                            subject: real_subject.clone(),
                             requester: 2,
                             missing: vec![n + 50, n + 51, u64::MAX],
                         },
@@ -982,7 +1004,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                         now,
                         Event::Nak {
                             stream: phantom_stream.clone(),
-                            subject: "ghost.subject".to_owned(),
+                            subject: ghost_subject.clone(),
                             requester: 2,
                             missing: vec![1, 2, 3],
                         },
@@ -996,7 +1018,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                         now,
                         Event::GapSkip {
                             stream: real_stream.clone(),
-                            subject: SUBJECT.to_owned(),
+                            subject: real_subject.clone(),
                             through: 0,
                         },
                     );
@@ -1010,7 +1032,7 @@ fn adversarial_digests_and_naks_do_not_corrupt_state() {
                         now,
                         Event::GapSkip {
                             stream: phantom_stream.clone(),
-                            subject: "ghost.subject".to_owned(),
+                            subject: ghost_subject.clone(),
                             through: u64::MAX,
                         },
                     );

@@ -594,11 +594,12 @@ fn durable_mirror_tracks_ledger_and_is_deterministic_across_seeded_runs() {
         assert!(stats.gd_ledger_appends >= 5, "mirror logged every persist");
         drop(sim);
         let nv = NvStore::open(&cfg).unwrap();
+        let table = infobus_subject::SubjectTable::new();
         let mut envs: Vec<(String, u64, Vec<u8>)> = nv
-            .recovered_envelopes()
+            .recovered_envelopes(&table)
             .unwrap()
             .into_iter()
-            .map(|e| (e.subject, e.seq, e.payload))
+            .map(|e| (e.subject.as_str().to_owned(), e.seq, e.payload.to_vec()))
             .collect();
         envs.sort();
         envs

@@ -41,8 +41,8 @@ use infobus_core::engine::{
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubSender};
 use infobus_core::{
-    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
-    SubscriptionHandle,
+    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, Delivery, Envelope, EnvelopeKind,
+    NvStore, QoS, SubscriptionHandle,
 };
 use infobus_net::clock::MonoClock;
 use infobus_net::frame::{decode_frame, encode_frame};
@@ -162,6 +162,8 @@ struct SubEntry {
 struct Inner {
     host: u32,
     app: String,
+    /// Recycled marshal buffers — see [`BufPool`].
+    pool: BufPool,
     socket: UdpSocket,
     local: SocketAddr,
     clock: MonoClock,
@@ -236,23 +238,29 @@ impl ReactorBus {
     /// Returns [`BusError::Net`] if the socket cannot be bound or put
     /// into non-blocking mode.
     pub fn bind(cfg: EdgeConfig) -> Result<ReactorBus, BusError> {
+        cfg.bus.validate()?;
         let socket = UdpSocket::bind(cfg.bind).map_err(net_err)?;
         socket.set_nonblocking(true).map_err(net_err)?;
         let local = socket.local_addr().map_err(net_err)?;
         let queue_cap = cfg.bus.subscriber_queue_cap;
         let shards = cfg.bus.shards.max(1);
         let sess_scan_us = cfg.bus.heartbeat_period_us;
+        let pool_slots = cfg.bus.marshal_pool_slots();
         let broker = SessionBroker::new(&cfg.bus, cfg.session_token);
         // Open (and recover) the non-volatile store before any traffic.
         let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
-        let recovered = nv.recovered_envelopes().map_err(net_err)?;
+        // The engine owns the daemon-wide subject intern table; ledger
+        // recovery interns its replayed subjects into it.
+        let engine = ShardedEngine::new(cfg.bus, cfg.host);
+        let recovered = nv.recovered_envelopes(engine.table()).map_err(net_err)?;
         let inner = Arc::new(Inner {
             host: cfg.host,
             app: cfg.app,
+            pool: BufPool::with_slots(pool_slots),
             socket,
             local,
             clock: MonoClock::new(),
-            engine: Mutex::new(ShardedEngine::new(cfg.bus, cfg.host)),
+            engine: Mutex::new(engine),
             trie: RwLock::new(SubjectTrie::new()),
             registry: Mutex::new(TypeRegistry::with_fundamentals()),
             timers: Mutex::new(TimerWheel::new(shards)),
@@ -432,9 +440,11 @@ impl ReactorBus {
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
         let payload = {
+            let mut buf = self.inner.pool.take();
             let registry = poisoned(self.inner.registry.lock());
-            wire::marshal_self_describing(value, &registry)
-                .map_err(|e| BusError::Marshal(e.to_string()))?
+            wire::marshal_self_describing_into(buf.vec_mut(), value, &registry)
+                .map_err(|e| BusError::Marshal(e.to_string()))?;
+            buf.freeze()
         };
         let now = self.inner.clock.now_us();
         let mut engine = poisoned(self.inner.engine.lock());
@@ -578,15 +588,23 @@ impl Inner {
         now: Micros,
         subject: &str,
         qos: QoS,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
         app: &str,
     ) -> Result<usize, BusError> {
-        Subject::new(subject)?;
+        let subject = engine.table().intern(subject)?;
         let source = PubSource {
-            app: app.to_owned(),
+            app: app.into(),
             inc: 1,
         };
-        let (env, pre) = engine.publish(now, &source, subject, qos, EnvelopeKind::Data, 0, payload);
+        let (env, pre) = engine.publish(
+            now,
+            &source,
+            &subject,
+            qos,
+            EnvelopeKind::Data,
+            0,
+            payload.into(),
+        );
         self.run_engine_actions(engine, now, pre);
         let delivered = self.fan_out(&mut engine.stats, &env);
         if qos == QoS::Guaranteed && delivered > 0 {
@@ -628,17 +646,13 @@ impl Inner {
     /// `stats.delivered` counts API-queue deliveries; session deliveries
     /// are tracked by the broker's `sess_delivered`.
     fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> usize {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return 0;
-        };
-        let payload = Arc::new(env.payload.clone());
         let mut count = 0usize;
         {
             let trie = poisoned(self.trie.read());
-            for (_, entry) in trie.matches(&subject) {
+            for (_, entry) in trie.matches(&env.subject) {
                 let msg = Delivery {
                     subject: env.subject.clone(),
-                    payload: Arc::clone(&payload),
+                    payload: env.payload.clone(),
                     redelivery: env.redelivery,
                 };
                 if entry.tx.send(msg).is_ok() {
@@ -651,8 +665,8 @@ impl Inner {
         // Session fan-out: the broker stamps cursors and applies
         // backpressure; all we perform here are the resulting sends.
         let outs = poisoned(self.broker.lock()).on_deliver(
-            &subject,
             &env.subject,
+            env.subject.as_str(),
             &env.payload,
             env.redelivery,
         );
@@ -841,18 +855,19 @@ impl Inner {
     }
 
     fn on_peer_datagram(&self, src: SocketAddr, datagram: &[u8]) {
-        let (from_host, packet) = match decode_frame(datagram) {
+        let now = self.clock.now_us();
+        let mut engine = poisoned(self.engine.lock());
+        // Decoding interns wire subjects into the daemon's table.
+        let (from_host, packet) = match decode_frame(datagram, engine.table()) {
             Ok(x) => x,
             Err(_) => {
-                poisoned(self.engine.lock()).stats.net_decode_errors += 1;
+                engine.stats.net_decode_errors += 1;
                 return;
             }
         };
         if from_host == self.host {
             return;
         }
-        let now = self.clock.now_us();
-        let mut engine = poisoned(self.engine.lock());
         engine.stats.net_rx_packets += 1;
         engine.stats.net_rx_bytes += datagram.len() as u64;
         poisoned(self.peers.write()).insert(from_host, src);
@@ -862,11 +877,7 @@ impl Inner {
                     if env.stream.host == self.host {
                         continue;
                     }
-                    let Ok(subject) = Subject::new(&env.subject) else {
-                        engine.stats.net_decode_errors += 1;
-                        continue;
-                    };
-                    let Some(sub_at) = self.earliest_matching_sub(&subject) else {
+                    let Some(sub_at) = self.earliest_matching_sub(&env.subject) else {
                         engine.stats.filtered += 1;
                         continue;
                     };
@@ -929,9 +940,7 @@ impl Inner {
                     if entry.stream.host == self.host {
                         continue;
                     }
-                    let sub_at = Subject::new(&entry.subject)
-                        .ok()
-                        .and_then(|s| self.earliest_matching_sub(&s));
+                    let sub_at = self.earliest_matching_sub(&entry.subject);
                     let actions = engine.handle(now, Event::Digest { entry, sub_at });
                     self.run_engine_actions(&mut engine, now, actions);
                 }

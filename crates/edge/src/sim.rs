@@ -32,11 +32,11 @@ use std::time::Duration;
 use infobus_core::engine::BusStats;
 use infobus_core::queue::{sub_queue, SubSender};
 use infobus_core::{
-    Bus, BusApp, BusConfig, BusCtx, BusError, BusFabric, BusMessage, BusReceiver, Delivery, QoS,
-    SubscriptionHandle,
+    Bus, BusApp, BusConfig, BusCtx, BusError, BusFabric, BusMessage, BusReceiver, Bytes, Delivery,
+    QoS, SubscriptionHandle,
 };
 use infobus_netsim::{EtherConfig, FaultPlan, HostId, Micros, NetBuilder, Sim};
-use infobus_subject::SubjectFilter;
+use infobus_subject::{SubjectFilter, SubjectTable};
 use infobus_types::{wire, Value};
 
 /// Configuration for a [`SimBus`].
@@ -146,6 +146,9 @@ struct AppPublish {
 #[derive(Default)]
 struct Collector {
     subs: Vec<(SubscriptionHandle, SubjectFilter, SubSender<Delivery>)>,
+    /// Interns subjects crossing out of the simulation (deliveries
+    /// carry [`InternedSubject`](infobus_subject::InternedSubject)).
+    table: SubjectTable,
 }
 
 impl BusApp for Collector {
@@ -156,12 +159,12 @@ impl BusApp for Collector {
         let Ok(payload) = wire::marshal_self_describing(&msg.value, &registry.borrow()) else {
             return;
         };
-        let payload = Arc::new(payload);
+        let payload = Bytes::from_vec(payload);
         for (_, filter, tx) in &self.subs {
             if filter.matches(&msg.subject) {
                 let _ = tx.send(Delivery {
-                    subject: msg.subject.to_string(),
-                    payload: Arc::clone(&payload),
+                    subject: self.table.intern_subject(&msg.subject),
+                    payload: payload.clone(),
                     redelivery: msg.redelivery,
                 });
             }

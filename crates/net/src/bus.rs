@@ -34,7 +34,7 @@ use infobus_core::engine::{
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubReceiver, SubSender};
 use infobus_core::{
-    Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
+    BufPool, Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
     SubscriptionHandle,
 };
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
@@ -183,7 +183,11 @@ struct SubEntry {
 
 struct Inner {
     host: u32,
-    app: String,
+    /// The one publisher identity of this daemon, cached so a publish
+    /// clones an `Arc<str>` instead of allocating a fresh string.
+    source: PubSource,
+    /// Recycled marshal buffers — see [`BufPool`].
+    pool: BufPool,
     socket: UdpSocket,
     local: SocketAddr,
     clock: MonoClock,
@@ -238,6 +242,7 @@ impl UdpBus {
     /// Returns [`BusError::Net`] if the socket cannot be bound or the
     /// multicast group cannot be joined.
     pub fn bind(cfg: UdpConfig) -> Result<UdpBus, BusError> {
+        cfg.bus.validate()?;
         let socket = UdpSocket::bind(cfg.bind).map_err(net_err)?;
         if let Some(group) = cfg.multicast {
             socket
@@ -254,15 +259,23 @@ impl UdpBus {
         // a durable daemon re-enters the segment owing every guaranteed
         // envelope it logged before dying.
         let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
-        let recovered = nv.recovered_envelopes().map_err(net_err)?;
         let announce_us = cfg.bus.announce_period_us;
+        let pool_slots = cfg.bus.marshal_pool_slots();
+        // The engine owns the daemon-wide subject intern table; ledger
+        // recovery interns its replayed subjects into it.
+        let engine = ShardedEngine::new(cfg.bus, cfg.host);
+        let recovered = nv.recovered_envelopes(engine.table()).map_err(net_err)?;
         let inner = Arc::new(Inner {
             host: cfg.host,
-            app: cfg.app,
+            source: PubSource {
+                app: cfg.app.into(),
+                inc: 1,
+            },
+            pool: BufPool::with_slots(pool_slots),
             socket,
             local,
             clock: MonoClock::new(),
-            engine: Mutex::new(ShardedEngine::new(cfg.bus, cfg.host)),
+            engine: Mutex::new(engine),
             trie: RwLock::new(SubjectTrie::new()),
             registry: Mutex::new(TypeRegistry::with_fundamentals()),
             timers: Mutex::new(TimerWheel::new(shards)),
@@ -447,19 +460,25 @@ impl UdpBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
-        Subject::new(subject)?;
         let payload = {
+            let mut buf = self.inner.pool.take();
             let registry = poisoned(self.inner.registry.lock());
-            wire::marshal_self_describing(value, &registry)
-                .map_err(|e| BusError::Marshal(e.to_string()))?
+            wire::marshal_self_describing_into(buf.vec_mut(), value, &registry)
+                .map_err(|e| BusError::Marshal(e.to_string()))?;
+            buf.freeze()
         };
         let now = self.inner.clock.now_us();
-        let source = PubSource {
-            app: self.inner.app.clone(),
-            inc: 1,
-        };
         let mut engine = poisoned(self.inner.engine.lock());
-        let (env, pre) = engine.publish(now, &source, subject, qos, EnvelopeKind::Data, 0, payload);
+        let subject = engine.table().intern(subject)?;
+        let (env, pre) = engine.publish(
+            now,
+            &self.inner.source,
+            &subject,
+            qos,
+            EnvelopeKind::Data,
+            0,
+            payload,
+        );
         // Pre-actions (persist-before-broadcast for guaranteed QoS).
         self.inner.run_engine_actions(&mut engine, now, pre);
         let delivered = self.inner.fan_out(&mut engine.stats, &env);
@@ -627,18 +646,15 @@ impl Inner {
         delivered
     }
 
-    /// Hands an envelope to every matching subscriber queue.
+    /// Hands an envelope to every matching subscriber queue. Subject and
+    /// payload are shared handles — fan-out copies no bytes.
     fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> usize {
-        let Ok(subject) = Subject::new(&env.subject) else {
-            return 0;
-        };
-        let payload = Arc::new(env.payload.clone());
         let trie = poisoned(self.trie.read());
         let mut count = 0usize;
-        for (_, entry) in trie.matches(&subject) {
+        for (_, entry) in trie.matches(&env.subject) {
             let msg = NetMessage {
                 subject: env.subject.clone(),
-                payload: Arc::clone(&payload),
+                payload: env.payload.clone(),
                 redelivery: env.redelivery,
             };
             if entry.tx.send(msg).is_ok() {
@@ -756,14 +772,17 @@ impl Inner {
     }
 
     fn on_datagram(&self, src: SocketAddr, datagram: &[u8], loss: &mut LossRng) {
+        let now = self.clock.now_us();
+        let mut engine = poisoned(self.engine.lock());
         if self.recv_loss > 0.0 && loss.gen_f64() < self.recv_loss {
-            poisoned(self.engine.lock()).stats.net_recv_dropped += 1;
+            engine.stats.net_recv_dropped += 1;
             return;
         }
-        let (from_host, packet) = match decode_frame(datagram) {
+        // Decoding interns wire subjects into the daemon's table.
+        let (from_host, packet) = match decode_frame(datagram, engine.table()) {
             Ok(x) => x,
             Err(_) => {
-                poisoned(self.engine.lock()).stats.net_decode_errors += 1;
+                engine.stats.net_decode_errors += 1;
                 return;
             }
         };
@@ -771,8 +790,6 @@ impl Inner {
             // Our own multicast loopback.
             return;
         }
-        let now = self.clock.now_us();
-        let mut engine = poisoned(self.engine.lock());
         engine.stats.net_rx_packets += 1;
         engine.stats.net_rx_bytes += datagram.len() as u64;
         // Address learning: any frame teaches us where its sender lives.
@@ -783,11 +800,7 @@ impl Inner {
                     if env.stream.host == self.host {
                         continue;
                     }
-                    let Ok(subject) = Subject::new(&env.subject) else {
-                        engine.stats.net_decode_errors += 1;
-                        continue;
-                    };
-                    let Some(sub_at) = self.earliest_matching_sub(&subject) else {
+                    let Some(sub_at) = self.earliest_matching_sub(&env.subject) else {
                         // Cheap filtering at the daemon boundary, as in
                         // the paper: nothing local matches.
                         engine.stats.filtered += 1;
@@ -852,9 +865,7 @@ impl Inner {
                     if entry.stream.host == self.host {
                         continue;
                     }
-                    let sub_at = Subject::new(&entry.subject)
-                        .ok()
-                        .and_then(|s| self.earliest_matching_sub(&s));
+                    let sub_at = self.earliest_matching_sub(&entry.subject);
                     let actions = engine.handle(now, Event::Digest { entry, sub_at });
                     self.run_engine_actions(&mut engine, now, actions);
                 }

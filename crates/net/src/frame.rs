@@ -18,19 +18,30 @@
 //! bounds-checked by the underlying wire readers and a short buffer
 //! yields [`WireError::UnexpectedEof`], never a panic or an
 //! out-of-bounds read.
+//!
+//! Framing is MTU-aware: the engine's batcher flushes against
+//! [`BusConfig::max_batch_payload`](infobus_core::BusConfig::max_batch_payload),
+//! which subtracts [`FRAME_HEADER_LEN`] and
+//! [`DATA_PACKET_OVERHEAD`] from
+//! [`BusConfig::path_mtu`](infobus_core::BusConfig::path_mtu), so a
+//! batched `Data` frame always fits one datagram on the configured path.
+//!
+//! Subjects travel as text — interned subject ids are a per-daemon
+//! optimization and never cross the wire — so decoding interns each
+//! subject into the receiving daemon's [`SubjectTable`].
 
 use infobus_core::msg::Packet;
+use infobus_subject::SubjectTable;
 use infobus_types::wire::{get_u32, get_u8};
 use infobus_types::WireError;
+
+pub use infobus_core::msg::{DATA_PACKET_OVERHEAD, FRAME_HEADER_LEN};
 
 /// Frame magic: the first four bytes of every bus datagram.
 pub const FRAME_MAGIC: [u8; 4] = *b"IBUS";
 
 /// Current frame version.
 pub const FRAME_VERSION: u8 = 1;
-
-/// Bytes of frame header preceding the packet body.
-pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
 
 /// Encodes a packet from `host` into a framed datagram.
 pub fn encode_frame(host: u32, packet: &Packet) -> Vec<u8> {
@@ -43,13 +54,15 @@ pub fn encode_frame(host: u32, packet: &Packet) -> Vec<u8> {
     buf
 }
 
-/// Decodes a framed datagram into `(sender host, packet)`.
+/// Decodes a framed datagram into `(sender host, packet)`, interning
+/// subjects into `table`.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] for truncated input, wrong magic, an
-/// unsupported version, or a malformed packet body.
-pub fn decode_frame(datagram: &[u8]) -> Result<(u32, Packet), WireError> {
+/// unsupported version, or a malformed packet body (including invalid
+/// subject text).
+pub fn decode_frame(datagram: &[u8], table: &SubjectTable) -> Result<(u32, Packet), WireError> {
     let buf = &mut &datagram[..];
     let mut magic = [0u8; 4];
     for b in &mut magic {
@@ -63,16 +76,16 @@ pub fn decode_frame(datagram: &[u8]) -> Result<(u32, Packet), WireError> {
         return Err(WireError::BadTag(version));
     }
     let host = get_u32(buf)?;
-    let packet = Packet::decode(buf)?;
+    let packet = Packet::decode(buf, table)?;
     Ok((host, packet))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use infobus_core::{Envelope, EnvelopeKind, QoS, StreamKey};
+    use infobus_core::{BusConfig, Bytes, Envelope, EnvelopeKind, QoS, StreamKey};
 
-    fn sample_packet() -> Packet {
+    fn sample_packet(table: &SubjectTable) -> Packet {
         Packet::Data {
             envelopes: vec![Envelope {
                 stream: StreamKey {
@@ -82,12 +95,12 @@ mod tests {
                 },
                 seq: 5,
                 stream_start: 100,
-                subject: "news.x".into(),
+                subject: table.intern("news.x").unwrap(),
                 qos: QoS::Guaranteed,
                 kind: EnvelopeKind::Data,
                 corr: 0,
                 redelivery: false,
-                payload: vec![1, 2, 3],
+                payload: Bytes::from_vec(vec![1, 2, 3]),
             }],
             retrans: false,
         }
@@ -95,35 +108,121 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let p = sample_packet();
+        let table = SubjectTable::new();
+        let p = sample_packet(&table);
         let buf = encode_frame(7, &p);
-        let (host, back) = decode_frame(&buf).unwrap();
+        let (host, back) = decode_frame(&buf, &table).unwrap();
         assert_eq!(host, 7);
         assert_eq!(back, p);
     }
 
     #[test]
+    fn decode_interns_into_the_receiver_table() {
+        let sender = SubjectTable::new();
+        let receiver = SubjectTable::new();
+        let buf = encode_frame(7, &sample_packet(&sender));
+        let (_, back) = decode_frame(&buf, &receiver).unwrap();
+        let Packet::Data { envelopes, .. } = back else {
+            panic!("wrong packet kind")
+        };
+        // The receiver's table now owns the subject; the id round-trips.
+        let again = receiver.intern("news.x").unwrap();
+        assert_eq!(envelopes[0].subject.id(), again.id());
+    }
+
+    #[test]
     fn every_truncation_errors() {
-        let buf = encode_frame(7, &sample_packet());
+        let table = SubjectTable::new();
+        let buf = encode_frame(7, &sample_packet(&table));
         for cut in 0..buf.len() {
-            assert!(decode_frame(&buf[..cut]).is_err(), "cut at {cut}");
+            assert!(decode_frame(&buf[..cut], &table).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
     fn bad_magic_and_version_rejected() {
-        let mut buf = encode_frame(7, &sample_packet());
+        let table = SubjectTable::new();
+        let mut buf = encode_frame(7, &sample_packet(&table));
         buf[0] = b'X';
-        assert!(decode_frame(&buf).is_err());
-        let mut buf = encode_frame(7, &sample_packet());
+        assert!(decode_frame(&buf, &table).is_err());
+        let mut buf = encode_frame(7, &sample_packet(&table));
         buf[4] = FRAME_VERSION + 1;
-        assert!(decode_frame(&buf).is_err());
+        assert!(decode_frame(&buf, &table).is_err());
     }
 
     #[test]
     fn garbage_rejected() {
-        assert!(decode_frame(&[]).is_err());
-        assert!(decode_frame(&[0xff; 64]).is_err());
-        assert!(decode_frame(b"IBUS").is_err());
+        let table = SubjectTable::new();
+        assert!(decode_frame(&[], &table).is_err());
+        assert!(decode_frame(&[0xff; 64], &table).is_err());
+        assert!(decode_frame(b"IBUS", &table).is_err());
+    }
+
+    /// The header constants the MTU budget is computed from match the
+    /// bytes the codecs actually emit.
+    #[test]
+    fn frame_budget_constants_match_the_codec() {
+        let empty = Packet::Data {
+            envelopes: vec![],
+            retrans: false,
+        };
+        assert_eq!(empty.encode().len(), DATA_PACKET_OVERHEAD);
+        assert_eq!(
+            encode_frame(7, &empty).len(),
+            FRAME_HEADER_LEN + DATA_PACKET_OVERHEAD
+        );
+        // A batch flushed at the default budget therefore fits the
+        // default path MTU exactly.
+        let cfg = BusConfig::default();
+        assert_eq!(
+            cfg.max_batch_payload() + FRAME_HEADER_LEN + DATA_PACKET_OVERHEAD,
+            cfg.path_mtu
+        );
+    }
+
+    /// End to end: a batch of envelopes flushed by the engine's batcher
+    /// never frames larger than the configured path MTU.
+    #[test]
+    fn batched_frames_fit_the_path_mtu() {
+        use infobus_core::engine::{Action, Engine, Event, PubSource};
+        let cfg = BusConfig::throughput()
+            .with_path_mtu(600)
+            .with_batch_bytes(500);
+        cfg.validate().unwrap();
+        let path_mtu = cfg.path_mtu;
+        let mut eng = Engine::new_loopback(cfg, 1);
+        let source = PubSource {
+            app: "mtu".into(),
+            inc: 1,
+        };
+        let subject = eng.table().intern("mtu.t").unwrap();
+        let mut frames = 0usize;
+        for i in 0..200u64 {
+            // Payload sizes that do not divide the budget evenly.
+            let payload = Bytes::from_vec(vec![0u8; 40 + (i % 7) as usize * 13]);
+            let actions = eng.handle(
+                i,
+                Event::Publish {
+                    source: source.clone(),
+                    subject: subject.clone(),
+                    qos: QoS::Reliable,
+                    kind: EnvelopeKind::Data,
+                    corr: 0,
+                    payload,
+                },
+            );
+            for a in actions {
+                if let Action::Broadcast(pkt) = a {
+                    let frame = encode_frame(1, &pkt);
+                    assert!(
+                        frame.len() <= path_mtu,
+                        "frame of {} bytes exceeds path MTU {path_mtu}",
+                        frame.len()
+                    );
+                    frames += 1;
+                }
+            }
+        }
+        assert!(frames > 10, "batcher never flushed");
     }
 }

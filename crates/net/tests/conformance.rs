@@ -191,7 +191,10 @@ fn run_inproc(shards: usize) -> RunResult {
     let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();
     while let Ok(msg) = rx.try_recv() {
         if let Ok(Value::I64(v)) = msg.value() {
-            by_subject.entry(msg.subject.clone()).or_default().push(v);
+            by_subject
+                .entry(msg.subject.as_str().to_owned())
+                .or_default()
+                .push(v);
         }
     }
     let stats = bus.stats();
@@ -259,7 +262,10 @@ fn run_udp(recv_loss: f64, shards: usize) -> RunResult {
     while have < COUNT * 2 && Instant::now() < end {
         if let Ok(msg) = rx.recv_timeout(Duration::from_millis(200)) {
             if let Ok(Value::I64(v)) = msg.value() {
-                by_subject.entry(msg.subject.clone()).or_default().push(v);
+                by_subject
+                    .entry(msg.subject.as_str().to_owned())
+                    .or_default()
+                    .push(v);
                 have += 1;
             }
         }
@@ -341,7 +347,10 @@ fn inproc_cross_shard_per_subject_order() {
     let mut by_subject: BTreeMap<String, Vec<i64>> = BTreeMap::new();
     while let Ok(msg) = rx.try_recv() {
         if let Ok(Value::I64(v)) = msg.value() {
-            by_subject.entry(msg.subject.clone()).or_default().push(v);
+            by_subject
+                .entry(msg.subject.as_str().to_owned())
+                .or_default()
+                .push(v);
         }
     }
     assert_cross_shard(&by_subject);
@@ -374,7 +383,10 @@ fn udp_cross_shard_per_subject_order() {
     while have < SPREAD.len() * COUNT as usize && Instant::now() < end {
         if let Ok(msg) = rx.recv_timeout(Duration::from_millis(200)) {
             if let Ok(Value::I64(v)) = msg.value() {
-                by_subject.entry(msg.subject.clone()).or_default().push(v);
+                by_subject
+                    .entry(msg.subject.as_str().to_owned())
+                    .or_default()
+                    .push(v);
                 have += 1;
             }
         }

@@ -38,11 +38,13 @@
 
 mod error;
 mod filter;
+mod intern;
 mod name;
 mod trie;
 
 pub use error::SubjectError;
 pub use filter::{FilterElement, SubjectFilter};
+pub use intern::{InternedSubject, SubjectId, SubjectTable};
 pub use name::Subject;
 pub use trie::{SubjectTrie, SubscriptionId};
 

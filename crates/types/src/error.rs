@@ -118,6 +118,8 @@ pub enum WireError {
     SchemaConflict(String),
     /// Trailing bytes remained after the value was decoded.
     TrailingBytes(usize),
+    /// A subject field carried by a protocol message failed validation.
+    BadSubject(String),
 }
 
 impl fmt::Display for WireError {
@@ -140,6 +142,7 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::BadSubject(s) => write!(f, "invalid subject on the wire: {s}"),
         }
     }
 }

@@ -466,6 +466,28 @@ pub fn marshal_self_describing(
     value: &Value,
     registry: &TypeRegistry,
 ) -> Result<Vec<u8>, crate::TypeError> {
+    let mut buf = Vec::with_capacity(value.approx_size() + 8);
+    marshal_self_describing_into(&mut buf, value, registry)?;
+    Ok(buf)
+}
+
+/// [`marshal_self_describing`] writing into a caller-supplied buffer —
+/// the hot-path form: with a recycled buffer and a value that uses no
+/// object types, marshalling allocates nothing.
+///
+/// Appends to `buf` (callers hand in a cleared, reusable vector).
+///
+/// # Errors
+///
+/// Returns [`crate::TypeError::UnknownType`] if the value references a
+/// type absent from `registry`.
+pub fn marshal_self_describing_into(
+    buf: &mut Vec<u8>,
+    value: &Value,
+    registry: &TypeRegistry,
+) -> Result<(), crate::TypeError> {
+    // `Vec::new()` does not allocate, so scalar values (no object types
+    // anywhere) keep both vectors empty and heap-free.
     let mut used = Vec::new();
     collect_type_names(value, &mut used);
     // Expand to full lineages, supertypes first, deduplicated.
@@ -478,15 +500,14 @@ pub fn marshal_self_describing(
             }
         }
     }
-    let mut buf = Vec::with_capacity(value.approx_size() + 64 * ordered.len() + 8);
     buf.put_u8(MAGIC_SCHEMA);
-    put_u32(&mut buf, ordered.len() as u32);
+    put_u32(buf, ordered.len() as u32);
     for name in &ordered {
         let d = registry.get(name).expect("lineage types are registered");
-        put_descriptor(&mut buf, &d);
+        put_descriptor(buf, &d);
     }
-    put_value(&mut buf, value);
-    Ok(buf)
+    put_value(buf, value);
+    Ok(())
 }
 
 /// Unmarshals a message produced by [`marshal_value`] or
