@@ -1,0 +1,144 @@
+//! Figure 9 — "Federation cost vs segment count": a chain of bus
+//! segments spliced by information routers, a timestamped publisher at
+//! one end and a subscriber at the other, so every delivery crosses the
+//! whole federation.
+//!
+//! Two quantities per chain length: end-to-end delivery latency (the
+//! publisher stamps simulated time into the payload; the far subscriber
+//! differences it on receipt), and the forwarded-message ratio — how
+//! many router republications the federation performs per publication
+//! delivered at the far end. On a chain of `n` segments the ratio should
+//! sit at `n - 1` (one crossing per router, no loops), so the column
+//! doubles as a conservation check while the latency column shows the
+//! per-hop cost compounding.
+
+use infobus_bench::{emit_table, BenchConsumer, BenchPublisher};
+use infobus_core::{BusConfig, BusFabric};
+use infobus_netsim::time::secs;
+use infobus_netsim::{EtherConfig, HostId, NetBuilder};
+
+/// Chain lengths swept (number of segments, 2..=16).
+const SEGMENTS: &[usize] = &[2, 4, 8, 12, 16];
+/// Timestamped publications per run (after convergence).
+const MSGS: u64 = 400;
+/// Publication pacing, so the chain is unloaded (Figure 5 methodology).
+const PERIOD_US: u64 = 5_000;
+/// Payload size in bytes.
+const SIZE: usize = 256;
+
+struct RunStats {
+    segments: usize,
+    delivered: u64,
+    mean_ms: f64,
+    p99_ms: f64,
+    forwarded: u64,
+    ratio: f64,
+}
+
+/// One chain run: `n` LAN segments, router `r_i` on segment `i` dialed
+/// to `r_(i+1)` over a point-to-point WAN segment, publisher on segment
+/// 0, subscriber on segment `n - 1`.
+fn run_chain(seed: u64, n: usize) -> RunStats {
+    let mut b = NetBuilder::new(seed);
+    let segs: Vec<_> = (0..n)
+        .map(|_| b.segment(EtherConfig::lan_10mbps()))
+        .collect();
+    let wans: Vec<_> = (0..n - 1)
+        .map(|_| b.segment(EtherConfig::lan_10mbps()))
+        .collect();
+    let apps: Vec<HostId> = (0..n)
+        .map(|i| b.host(&format!("h{i}"), &[segs[i]]))
+        .collect();
+    let routers: Vec<HostId> = (0..n)
+        .map(|i| {
+            let mut on = vec![segs[i]];
+            if i < n - 1 {
+                on.push(wans[i]);
+            }
+            if i > 0 {
+                on.push(wans[i - 1]);
+            }
+            b.host(&format!("r{i}"), &on)
+        })
+        .collect();
+    let mut sim = b.build();
+
+    let cfg = BusConfig::default()
+        .with_announce_period_us(secs(1))
+        .with_router_stabilize_us(secs(1));
+    let all: Vec<HostId> = apps.iter().chain(routers.iter()).copied().collect();
+    let fabric = BusFabric::install(&mut sim, &all, cfg);
+    for i in 0..n - 1 {
+        fabric.link_buses(&mut sim, routers[i], routers[i + 1], None);
+    }
+
+    // Far-end subscriber first, then let interest summaries ripple down
+    // the whole chain before the publisher starts.
+    fabric.attach_app(
+        &mut sim,
+        apps[n - 1],
+        "con",
+        Box::new(BenchConsumer::new(vec!["fed.tick".into()])),
+    );
+    sim.run_for(secs(3));
+
+    fabric.attach_app(
+        &mut sim,
+        apps[0],
+        "pub",
+        Box::new(BenchPublisher::new(vec!["fed.tick".into()], SIZE, PERIOD_US, true).limited(MSGS)),
+    );
+    sim.run_for(MSGS * PERIOD_US + secs(2));
+
+    let (delivered, mut lat) = fabric
+        .with_app::<BenchConsumer, (u64, Vec<u64>)>(&mut sim, apps[n - 1], "con", |c| {
+            (c.received, c.latencies.clone())
+        })
+        .expect("consumer stats");
+    lat.sort_unstable();
+    let mean_ms = if lat.is_empty() {
+        0.0
+    } else {
+        lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1_000.0
+    };
+    let p99_ms = lat
+        .get((lat.len().saturating_sub(1)) * 99 / 100)
+        .map_or(0.0, |&us| us as f64 / 1_000.0);
+
+    let mut forwarded = 0;
+    for &r in &routers {
+        forwarded += fabric
+            .daemon_stats(&mut sim, r)
+            .expect("router stats")
+            .router_forwarded;
+    }
+    RunStats {
+        segments: n,
+        delivered,
+        mean_ms,
+        p99_ms,
+        forwarded,
+        ratio: if delivered == 0 {
+            0.0
+        } else {
+            forwarded as f64 / delivered as f64
+        },
+    }
+}
+
+fn main() {
+    let header = format!(
+        "{:>9} {:>10} {:>11} {:>10} {:>10} {:>8}",
+        "segments", "delivered", "mean (ms)", "p99 (ms)", "forwards", "fwd/msg"
+    );
+    let mut rows = Vec::new();
+    for (i, &n) in SEGMENTS.iter().enumerate() {
+        let s = run_chain(9_000 + i as u64, n);
+        rows.push(format!(
+            "{:>9} {:>10} {:>11.3} {:>10.3} {:>10} {:>8.2}",
+            s.segments, s.delivered, s.mean_ms, s.p99_ms, s.forwarded, s.ratio
+        ));
+    }
+    println!("FIGURE 9: Federated delivery across a router chain (2..16 segments)\n");
+    emit_table("fig9_federation", &header, &rows);
+}

@@ -32,10 +32,25 @@ pub(crate) struct AppSlot {
 }
 
 pub(crate) enum TimerTarget {
-    App { app_idx: usize, token: u64 },
-    DiscoveryClose { corr: u64 },
-    OfferWindowClose { call: u64 },
-    RmiTimeout { call: u64 },
+    App {
+        app_idx: usize,
+        token: u64,
+    },
+    DiscoveryClose {
+        corr: u64,
+    },
+    OfferWindowClose {
+        call: u64,
+    },
+    RmiTimeout {
+        call: u64,
+    },
+    /// Redial a router link this daemon initiated, after its connection
+    /// broke (partition, peer crash). The rewrite rule is looked up in
+    /// `link_rules` at fire time.
+    LinkRedial {
+        peer: u32,
+    },
 }
 
 /// Work queued for delivery to applications or services.

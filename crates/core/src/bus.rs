@@ -56,6 +56,16 @@ pub struct Delivery {
     /// after a publisher restart). Always `false` on drivers without a
     /// redelivery path (the in-process bus).
     pub redelivery: bool,
+    /// The publication's quality of service, preserved so a consumer
+    /// re-publishing the message (an information router crossing
+    /// segments) keeps its delivery contract.
+    pub qos: QoS,
+    /// Federation route stamp carried by a forwarded copy; `None` for
+    /// ordinary intra-segment traffic. An information router feeding a
+    /// delivery back into a
+    /// [`RouterEngine`](infobus_router::RouterEngine) passes it along so
+    /// loop suppression survives the republish hop.
+    pub route: Option<crate::router::RouteStamp>,
 }
 
 impl Delivery {
@@ -206,6 +216,8 @@ mod tests {
             subject: infobus_subject::SubjectTable::new().intern("a.b").unwrap(),
             payload: bytes.into(),
             redelivery: false,
+            qos: QoS::Reliable,
+            route: None,
         };
         assert_eq!(d.value().expect("unmarshal"), v);
         let mut reg2 = TypeRegistry::with_fundamentals();

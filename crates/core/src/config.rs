@@ -110,6 +110,15 @@ pub struct BusConfig {
     /// counted ([`BusStats::sess_dropped`](crate::BusStats::sess_dropped)).
     /// Defaults to `64`.
     pub session_cursor_lag: u64,
+    /// Period of the information router's self-stabilization pass: every
+    /// `router_stabilize_us` a routing daemon revalidates its route and
+    /// summary tables against locally-derivable truth, rebuilds what
+    /// fails, and rotates its loop-suppression epoch. Defaults to
+    /// `2_000_000` (2 s). Only daemons with router links run the pass.
+    pub router_stabilize_us: Micros,
+    /// Hop budget a routing daemon stamps onto publications entering the
+    /// federation; each router crossing spends one hop. Defaults to `16`.
+    pub router_max_hops: u8,
     /// Directory of the durable guaranteed-delivery ledger. `None` (the
     /// default) keeps the persist map in memory — guaranteed delivery
     /// then survives engine restarts but not process death. When set,
@@ -156,6 +165,8 @@ impl Default for BusConfig {
             session_timeout_us: 3_000_000,
             heartbeat_period_us: 1_000_000,
             session_cursor_lag: 64,
+            router_stabilize_us: 2_000_000,
+            router_max_hops: 16,
             durable_dir: None,
             segment_bytes: 1 << 20,
             fsync: FsyncPolicy::Always,
@@ -354,6 +365,20 @@ impl BusConfig {
         self
     }
 
+    /// Sets the period of the information router's self-stabilization
+    /// pass (route/summary-table revalidation and epoch rotation).
+    pub fn with_router_stabilize_us(mut self, us: Micros) -> Self {
+        self.router_stabilize_us = us;
+        self
+    }
+
+    /// Sets the hop budget stamped onto publications entering the
+    /// federation through this daemon's router links.
+    pub fn with_router_max_hops(mut self, hops: u8) -> Self {
+        self.router_max_hops = hops;
+        self
+    }
+
     /// Sets the durable guaranteed-delivery ledger directory (per-shard
     /// write-ahead segments live under it).
     pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> Self {
@@ -409,6 +434,8 @@ mod tests {
             .with_session_timeout_us(16)
             .with_heartbeat_period_us(17)
             .with_session_cursor_lag(18)
+            .with_router_stabilize_us(21)
+            .with_router_max_hops(22)
             .with_durable_dir("/tmp/ledger")
             .with_segment_bytes(19)
             .with_fsync(FsyncPolicy::OnRotate)
@@ -422,6 +449,8 @@ mod tests {
         assert_eq!(cfg.session_timeout_us, 16);
         assert_eq!(cfg.heartbeat_period_us, 17);
         assert_eq!(cfg.session_cursor_lag, 18);
+        assert_eq!(cfg.router_stabilize_us, 21);
+        assert_eq!(cfg.router_max_hops, 22);
         assert_eq!(cfg.durable_dir.as_deref(), Some(Path::new("/tmp/ledger")));
         assert_eq!(cfg.segment_bytes, 19);
         assert_eq!(cfg.fsync, FsyncPolicy::OnRotate);
@@ -436,6 +465,8 @@ mod tests {
         assert_eq!(BusConfig::default().session_timeout_us, 3_000_000);
         assert_eq!(BusConfig::default().heartbeat_period_us, 1_000_000);
         assert_eq!(BusConfig::default().session_cursor_lag, 64);
+        assert_eq!(BusConfig::default().router_stabilize_us, 2_000_000);
+        assert_eq!(BusConfig::default().router_max_hops, 16);
         assert!(BusConfig::throughput().batch_enabled);
         assert!(!BusConfig::latency().batch_enabled);
         assert_eq!(BusConfig::default().path_mtu, 1_472);

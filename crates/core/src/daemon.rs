@@ -22,6 +22,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use infobus_netsim::{ConnEvent, ConnId, Ctx, Datagram, Process, SegmentId, SockAddr};
+use infobus_router::{ForwardTarget, LinkId, RouteStamp, RouterEngine, RouterTimer};
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
 use infobus_types::{wire, TypeRegistry, Value};
 
@@ -34,7 +35,6 @@ use crate::engine::{
 };
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::interest::SubTarget;
-use crate::links::RouterLink;
 use crate::msg::{Packet, RmiMsg, RouterMsg, SyncEntry};
 use crate::nvstore::NvStore;
 use crate::rmi::{RmiError, ServiceObject};
@@ -50,6 +50,10 @@ pub const RMI_PORT: u16 = 76;
 const TOK_ANNOUNCE: u64 = 4;
 pub(crate) const TOK_ANN_FLUSH: u64 = 6;
 const TOK_STATS: u64 = 7;
+/// Router summary refresh + route aging.
+pub(crate) const TOK_RT_SUMMARY: u64 = 8;
+/// Router self-stabilization pass.
+pub(crate) const TOK_RT_STAB: u64 = 9;
 /// Dynamic timer tokens start here.
 const TOK_DYN: u64 = 10;
 /// Shard-tagged engine timers start here: token =
@@ -115,10 +119,26 @@ pub(crate) struct DaemonState {
     pub(crate) services: HashMap<String, usize>,
     pub(crate) svc_meta: Vec<Option<SvcMeta>>,
     pub(crate) server_conns: HashSet<ConnId>,
-    pub(crate) router_links: HashMap<ConnId, RouterLink>,
-    /// Link the currently re-published forwarded envelope arrived on
-    /// (split horizon: never forward it back there).
-    pub(crate) forward_horizon: Option<ConnId>,
+    /// The federation router engine, created lazily when this daemon
+    /// opens or accepts its first link.
+    pub(crate) router: Option<RouterEngine>,
+    /// Link id for each router connection, and the reverse index.
+    pub(crate) conn_links: HashMap<ConnId, LinkId>,
+    pub(crate) link_conns: HashMap<LinkId, ConnId>,
+    pub(crate) next_link_id: LinkId,
+    /// Peers this daemon dialed (vs. accepted): these links self-heal by
+    /// redialing after their connection breaks.
+    pub(crate) link_dials: HashMap<ConnId, u32>,
+    /// The rewrite rule for each dialed peer, kept across redials.
+    pub(crate) link_rules: HashMap<u32, Option<crate::router::RewriteRule>>,
+    /// The [`RouteStamp`] the currently re-published forwarded envelope
+    /// must carry (threaded into the engine via
+    /// [`PubSource`](crate::engine::PubSource) so NAK repairs and
+    /// guaranteed-delivery ledgers keep it).
+    pub(crate) forward_stamp: Option<RouteStamp>,
+    /// The already-routed forwarding decision for that envelope,
+    /// consumed by `maybe_forward` instead of routing a second time.
+    pub(crate) pending_forward: Option<(Option<RouteStamp>, Vec<ForwardTarget>)>,
     pub(crate) daemon_inc: u64,
     pub(crate) timer_targets: HashMap<u64, TimerTarget>,
     pub(crate) next_dyn_token: u64,
@@ -164,8 +184,14 @@ impl DaemonState {
             services: HashMap::new(),
             svc_meta: Vec::new(),
             server_conns: HashSet::new(),
-            router_links: HashMap::new(),
-            forward_horizon: None,
+            router: None,
+            conn_links: HashMap::new(),
+            link_conns: HashMap::new(),
+            next_link_id: 0,
+            link_dials: HashMap::new(),
+            link_rules: HashMap::new(),
+            forward_stamp: None,
+            pending_forward: None,
             daemon_inc: 1,
             timer_targets: HashMap::new(),
             next_dyn_token: TOK_DYN,
@@ -248,7 +274,11 @@ impl DaemonState {
         // Sequence through the engine; for guaranteed publications the
         // pre-send actions log to non-volatile storage *before* the
         // message hits the wire.
-        let source = PubSource { app: app_name, inc };
+        let source = PubSource {
+            app: app_name,
+            inc,
+            route: self.forward_stamp,
+        };
         let subject = self.engine.table().intern_subject(subject);
         let (env, actions) =
             self.engine
@@ -276,9 +306,9 @@ impl DaemonState {
         let send_actions = self.engine.enqueue(&env);
         self.apply(net, send_actions);
         // Forward locally published traffic to linked buses whose remote
-        // side subscribes (split horizon for re-published forwards).
-        let horizon = self.forward_horizon;
-        self.maybe_forward(net, &env, horizon);
+        // side subscribes (re-published forwards consume their pending,
+        // already-routed decision instead).
+        self.maybe_forward(net, &env);
         Ok(())
     }
 
@@ -327,7 +357,7 @@ impl DaemonState {
         match env.kind {
             EnvelopeKind::Data => {
                 self.deliver_local(net, env, None);
-                self.maybe_forward(net, env, None);
+                self.maybe_forward(net, env);
             }
             EnvelopeKind::DiscoverQuery => self.answer_discovery(net, env),
             EnvelopeKind::DiscoverAnnounce => self.engine.discovery_collect(env),
@@ -458,10 +488,9 @@ impl DaemonState {
         let host = Self::subject_element(&net.host_name());
         let daemon = self.stats_daemon_name();
         // The published snapshot fans the shards in: one merged object.
-        let obj = self
-            .engine
-            .merged_stats()
-            .to_object(&host, &daemon, net.now());
+        let mut stats = self.engine.merged_stats();
+        self.stamp_route_stats(&mut stats);
+        let obj = stats.to_object(&host, &daemon, net.now());
         let text = format!("{STATS_SUBJECT_PREFIX}.{host}.{daemon}");
         if let Ok(subject) = Subject::new(&text) {
             let value = Value::Object(Box::new(obj));
@@ -580,6 +609,7 @@ impl BusDaemon {
         if let Some(nv) = &self.state.nv_mirror {
             nv.stamp_stats(&mut stats);
         }
+        self.state.stamp_route_stats(&mut stats);
         stats
     }
 
@@ -590,7 +620,18 @@ impl BusDaemon {
         if let Some(nv) = &self.state.nv_mirror {
             nv.stamp_stats(&mut stats.merged);
         }
+        self.state.stamp_route_stats(&mut stats.merged);
         stats
+    }
+
+    /// Deterministic fault injection for federation tests: garbles this
+    /// daemon's router tables, stamp counters, and dedup windows. The
+    /// next self-stabilization pass must detect and repair all of it.
+    /// No-op on daemons that run no router.
+    pub fn scramble_router(&mut self, seed: u64) {
+        if let Some(r) = self.state.router.as_mut() {
+            r.scramble(seed);
+        }
     }
 
     /// The daemon's shared type registry.
@@ -740,9 +781,10 @@ impl Process for BusDaemon {
             TOK_ANN_FLUSH => self.state.flush_announcements(ctx),
             TOK_ANNOUNCE => {
                 self.state.announce_full(ctx);
-                self.state.send_link_subs(ctx, None);
                 ctx.set_timer(self.state.engine.config().announce_period_us, TOK_ANNOUNCE);
             }
+            TOK_RT_SUMMARY => self.state.router_timer(ctx, RouterTimer::Summary),
+            TOK_RT_STAB => self.state.router_timer(ctx, RouterTimer::Stabilize),
             dyn_token => {
                 let Some(target) = self.state.timer_targets.remove(&dyn_token) else {
                     return;
@@ -756,6 +798,14 @@ impl Process for BusDaemon {
                     TimerTarget::DiscoveryClose { corr } => self.state.close_discovery(ctx, corr),
                     TimerTarget::OfferWindowClose { call } => {
                         self.state.offer_window_closed(ctx, call)
+                    }
+                    TimerTarget::LinkRedial { peer } => {
+                        // Only redial while no live dial to this peer
+                        // exists (a racing reconnect may have won).
+                        if !self.state.link_dials.values().any(|p| *p == peer) {
+                            let rewrite = self.state.link_rules.get(&peer).cloned().unwrap_or(None);
+                            self.state.open_link(ctx, peer, rewrite);
+                        }
                     }
                     TimerTarget::RmiTimeout { call } => {
                         let waiting = self
@@ -826,7 +876,7 @@ impl Process for BusDaemon {
             }
             ConnEvent::Closed { conn } => {
                 self.state.server_conns.remove(&conn);
-                self.state.router_links.remove(&conn);
+                self.state.close_link(ctx, conn);
                 if let Some(call_id) = self.state.conn_calls.remove(&conn) {
                     let waiting = self
                         .state

@@ -67,6 +67,11 @@ pub struct PubSource {
     pub app: Arc<str>,
     /// Incarnation number distinguishing restarts of the same name.
     pub inc: u64,
+    /// Federation stamp to carry on the envelope. Always `None` for
+    /// application publishers; a routing daemon republishing a forwarded
+    /// publication sets the stamp so the copy keeps its loop-suppression
+    /// identity (and so NAK repairs and ledger redeliveries keep it too).
+    pub route: Option<infobus_router::RouteStamp>,
 }
 
 /// Protocol timers the engine asks its driver to arm.

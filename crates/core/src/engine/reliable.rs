@@ -109,6 +109,7 @@ impl Publisher {
             kind,
             corr,
             redelivery: false,
+            route: source.route,
             payload,
         };
         stream.next_seq += 1;

@@ -139,6 +139,18 @@ pub struct BusStats {
     pub rmi_latency: RmiLatency,
     /// Envelopes forwarded over information-router links.
     pub router_forwarded: u64,
+    /// Subscription summaries sent over router links.
+    pub route_summaries_sent: u64,
+    /// Subscription summaries received from router links.
+    pub route_summaries_recv: u64,
+    /// Forwarded publications dropped by the router's loop suppression
+    /// (origin check, dedup window, hop exhaustion).
+    pub route_loops_suppressed: u64,
+    /// Route entries flushed because their summary aged out without a
+    /// soft-state refresh.
+    pub route_stale_aged: u64,
+    /// Router tables rebuilt by the self-stabilization pass.
+    pub route_stab_repairs: u64,
     /// Stats snapshots published on the observability plane.
     pub stats_published: u64,
     /// Messages currently queued across subscriber queues (a gauge,
@@ -246,6 +258,11 @@ const STATS_COUNTERS: &[&str] = &[
     "rmi_served",
     "rmi_deduped",
     "router_forwarded",
+    "route_summaries_sent",
+    "route_summaries_recv",
+    "route_loops_suppressed",
+    "route_stale_aged",
+    "route_stab_repairs",
     "stats_published",
     "sub_queue_depth",
     "sub_queue_dropped",
@@ -340,6 +357,11 @@ impl BusStats {
             "rmi_served" => self.rmi_served,
             "rmi_deduped" => self.rmi_deduped,
             "router_forwarded" => self.router_forwarded,
+            "route_summaries_sent" => self.route_summaries_sent,
+            "route_summaries_recv" => self.route_summaries_recv,
+            "route_loops_suppressed" => self.route_loops_suppressed,
+            "route_stale_aged" => self.route_stale_aged,
+            "route_stab_repairs" => self.route_stab_repairs,
             "stats_published" => self.stats_published,
             "sub_queue_depth" => self.sub_queue_depth,
             "sub_queue_dropped" => self.sub_queue_dropped,
@@ -400,6 +422,11 @@ impl BusStats {
             "rmi_served" => &mut self.rmi_served,
             "rmi_deduped" => &mut self.rmi_deduped,
             "router_forwarded" => &mut self.router_forwarded,
+            "route_summaries_sent" => &mut self.route_summaries_sent,
+            "route_summaries_recv" => &mut self.route_summaries_recv,
+            "route_loops_suppressed" => &mut self.route_loops_suppressed,
+            "route_stale_aged" => &mut self.route_stale_aged,
+            "route_stab_repairs" => &mut self.route_stab_repairs,
             "stats_published" => &mut self.stats_published,
             "sub_queue_depth" => &mut self.sub_queue_depth,
             "sub_queue_dropped" => &mut self.sub_queue_dropped,

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use infobus_router::RouteStamp;
 use infobus_subject::{InternedSubject, SubjectTable};
 use infobus_types::wire::{
     get_byte_vec, get_string, get_u32, get_u64, get_u8, put_bytes, put_string, put_u32, put_u64,
@@ -117,6 +118,12 @@ pub struct Envelope {
     /// `true` when re-sent from a guaranteed-delivery ledger after a
     /// publisher restart (consumers may see such messages more than once).
     pub redelivery: bool,
+    /// Federation stamp: present once the publication has crossed (or is
+    /// about to cross) a router link. Routers deduplicate on it to keep
+    /// cyclic topologies loop-free; plain daemons carry it untouched, so
+    /// a republished copy keeps its identity through NAK repair and
+    /// guaranteed-delivery ledgers.
+    pub route: Option<RouteStamp>,
     /// Marshalled payload (see [`infobus_types::wire`]).
     pub payload: Bytes,
 }
@@ -135,6 +142,7 @@ impl Envelope {
             + 1 // kind
             + 8 // corr
             + 1 // redelivery
+            + 1 + if self.route.is_some() { 21 } else { 0 } // route flag + stamp
             + 4 + self.payload.len() // length-prefixed payload
     }
 
@@ -153,6 +161,16 @@ impl Envelope {
         buf.push(self.kind.to_u8());
         put_u64(buf, self.corr);
         buf.push(u8::from(self.redelivery));
+        match &self.route {
+            None => buf.push(0),
+            Some(s) => {
+                buf.push(1);
+                put_u32(buf, s.origin);
+                put_u64(buf, s.epoch);
+                put_u64(buf, s.seq);
+                buf.push(s.ttl);
+            }
+        }
         put_bytes(buf, &self.payload);
     }
 
@@ -179,6 +197,16 @@ impl Envelope {
         let kind = EnvelopeKind::from_u8(get_u8(buf)?)?;
         let corr = get_u64(buf)?;
         let redelivery = get_u8(buf)? != 0;
+        let route = match get_u8(buf)? {
+            0 => None,
+            1 => Some(RouteStamp {
+                origin: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+                seq: get_u64(buf)?,
+                ttl: get_u8(buf)?,
+            }),
+            other => return Err(WireError::BadTag(other)),
+        };
         let payload = Bytes::from_vec(get_byte_vec(buf)?);
         Ok(Envelope {
             stream: StreamKey {
@@ -193,6 +221,7 @@ impl Envelope {
             kind,
             corr,
             redelivery,
+            route,
             payload,
         })
     }
@@ -217,6 +246,12 @@ mod tests {
             kind: EnvelopeKind::Data,
             corr: 0,
             redelivery: true,
+            route: Some(RouteStamp {
+                origin: 9,
+                epoch: 17,
+                seq: 4,
+                ttl: 12,
+            }),
             payload: Bytes::from_vec(vec![1, 2, 3, 4, 5]),
         }
     }
@@ -230,6 +265,17 @@ mod tests {
         let back = Envelope::decode(&mut slice, &SubjectTable::new()).unwrap();
         assert_eq!(e, back);
         assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn unrouted_round_trip() {
+        let mut e = sample();
+        e.route = None;
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        assert_eq!(e.wire_size(), buf.len());
+        let back = Envelope::decode(&mut &buf[..], &SubjectTable::new()).unwrap();
+        assert_eq!(e, back);
     }
 
     #[test]

@@ -124,8 +124,12 @@ impl BusFabric {
     /// Opens an information-router link from the daemon on `a` to the
     /// daemon on `b` (their hosts must share a segment — usually a
     /// dedicated WAN link). Publications flow both ways, filtered by each
-    /// side's aggregate subscriptions; `rewrite` transforms subjects
-    /// crossing from `a` to `b`'s side… applied on `a`'s outbound traffic.
+    /// side's aggregate subscription summary; `rewrite` is applied only
+    /// to traffic crossing from `a`'s side to `b`'s side (for the reverse
+    /// direction, link from `b` with its own rule). Links may form cycles:
+    /// forwarded publications carry a
+    /// [`RouteStamp`](crate::router::RouteStamp) that routers use to
+    /// suppress loop duplicates.
     ///
     /// # Panics
     ///

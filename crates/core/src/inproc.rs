@@ -187,6 +187,7 @@ impl Inner {
                 source: PubSource {
                     app: "inproc".into(),
                     inc: 1,
+                    route: None,
                 },
                 sub_gen: AtomicU64::new(0),
                 match_cache: RwLock::new(MatchCache {
@@ -669,6 +670,8 @@ impl InprocBus {
                 subject: env.subject.clone(),
                 payload: env.payload.clone(),
                 redelivery: env.redelivery,
+                qos: env.qos,
+                route: env.route,
             };
             if tx.send(msg).is_ok() {
                 count += 1;

@@ -1,142 +1,285 @@
-//! Information-router links: application-level bridges that splice bus
-//! segments into the illusion of one large bus, forwarding only subjects
-//! the remote side subscribes to.
+//! Information-router links: the netsim driver of the federation
+//! [`RouterEngine`](infobus_router::RouterEngine).
+//!
+//! Each daemon that opens (or accepts) a router link runs one engine.
+//! This module translates between the two worlds: connection events and
+//! [`RouterMsg`]s become [`RouterEvent`]s, and the engine's
+//! [`RouterAction`]s become connection sends and daemon timers. The data
+//! path threads through [`DaemonState::maybe_forward`]: every data
+//! envelope this daemon publishes or receives is offered to the engine's
+//! `route` decision, and forwarded copies carry the engine's
+//! [`RouteStamp`] so cyclic router topologies stay loop-free.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use infobus_netsim::{ConnId, Ctx, SockAddr};
-use infobus_subject::{Subject, SubjectFilter};
+use infobus_router::{
+    ForwardTarget, LinkId, RouteStamp, RouterAction, RouterConfig, RouterEngine, RouterEvent,
+    RouterTimer,
+};
+use infobus_subject::Subject;
 
-use crate::daemon::{DaemonState, RMI_PORT};
+use crate::config::BusConfig;
+use crate::daemon::{DaemonState, RMI_PORT, TOK_RT_STAB, TOK_RT_SUMMARY};
+use crate::engine::BusStats;
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::msg::RouterMsg;
 use crate::router::RewriteRule;
 
-/// One information-router link to a peer bus.
-pub(crate) struct RouterLink {
-    /// Peer daemon's host (kept for tracing/diagnostics).
-    #[allow(dead_code)]
-    peer_host: u32,
-    /// The remote bus's aggregate subscription set (what to forward).
-    subs: Vec<SubjectFilter>,
-    /// Subject rewriting applied to publications we forward out.
-    rewrite: Option<RewriteRule>,
+/// Derives the router engine's tuning from the bus configuration: the
+/// summary refresh rides the subscription-announce cadence, routes age
+/// out after five missed refreshes, and the stabilization pass and hop
+/// budget come from their dedicated knobs.
+fn router_config(cfg: &BusConfig) -> RouterConfig {
+    RouterConfig {
+        summary_period_us: cfg.announce_period_us,
+        route_ttl_us: 5 * cfg.announce_period_us,
+        stabilize_period_us: cfg.router_stabilize_us,
+        max_hops: cfg.router_max_hops,
+        ..RouterConfig::default()
+    }
 }
 
 impl DaemonState {
-    pub(crate) fn link_interested(&self, subject: &Subject) -> bool {
-        self.router_links
-            .values()
-            .any(|link| link_wants(link, subject).is_some())
+    /// Lazily creates the router engine the first time this daemon opens
+    /// or accepts a link, arming its periodic timers.
+    fn ensure_router(&mut self, net: &mut Ctx<'_>) {
+        if self.router.is_some() {
+            return;
+        }
+        let mut r = RouterEngine::new(self.host32, router_config(self.engine.config()));
+        let actions = r.start(net.now());
+        self.router = Some(r);
+        self.run_router_actions(net, actions);
     }
 
-    /// Forwards a data envelope over every link whose remote side
-    /// subscribes to its subject, except `from_link` (split horizon).
-    pub(crate) fn maybe_forward(
-        &mut self,
-        net: &mut Ctx<'_>,
-        env: &Envelope,
-        from_link: Option<ConnId>,
-    ) {
+    /// Allocates a fresh link id for a connection and indexes it both ways.
+    fn alloc_link(&mut self, conn: ConnId) -> LinkId {
+        let link = self.next_link_id;
+        self.next_link_id += 1;
+        self.conn_links.insert(conn, link);
+        self.link_conns.insert(link, conn);
+        link
+    }
+
+    /// Performs a batch of router-engine actions against the simulator.
+    fn run_router_actions(&mut self, net: &mut Ctx<'_>, actions: Vec<RouterAction>) {
+        for action in actions {
+            match action {
+                RouterAction::SendSummary { link, seq, filters } => {
+                    if let Some(&conn) = self.link_conns.get(&link) {
+                        let _ = net.conn_send(conn, RouterMsg::Summary { seq, filters }.encode());
+                    }
+                }
+                RouterAction::SendSummaryReq { link } => {
+                    if let Some(&conn) = self.link_conns.get(&link) {
+                        let _ = net.conn_send(conn, RouterMsg::SummaryReq.encode());
+                    }
+                }
+                RouterAction::SetTimer { timer, delay_us } => {
+                    let token = match timer {
+                        RouterTimer::Summary => TOK_RT_SUMMARY,
+                        RouterTimer::Stabilize => TOK_RT_STAB,
+                    };
+                    net.set_timer(delay_us, token);
+                }
+            }
+        }
+    }
+
+    /// Re-derives local interest from ground truth (this segment's own
+    /// subscriptions plus everything peers announced over broadcast) and
+    /// feeds it to the engine. Called at link setup and every summary
+    /// period — the periodic re-feed is what lets stabilization discard a
+    /// corrupted local-interest copy and heal.
+    fn feed_local_interest(&mut self, net: &mut Ctx<'_>) {
+        if self.router.is_none() {
+            return;
+        }
+        let mut set: BTreeSet<String> = self.my_filters.keys().cloned().collect();
+        for peers in self.peer_subs.values() {
+            set.extend(peers.keys().cloned());
+        }
+        let filters: Vec<String> = set.into_iter().collect();
+        let actions = self
+            .router
+            .as_mut()
+            .expect("router presence checked above")
+            .handle(net.now(), RouterEvent::LocalInterest { filters });
+        self.run_router_actions(net, actions);
+    }
+
+    /// Dispatches a fired router timer into the engine.
+    pub(crate) fn router_timer(&mut self, net: &mut Ctx<'_>, timer: RouterTimer) {
+        if self.router.is_none() {
+            return;
+        }
+        if timer == RouterTimer::Summary {
+            self.feed_local_interest(net);
+        }
+        let actions = self
+            .router
+            .as_mut()
+            .expect("router presence checked above")
+            .handle(net.now(), RouterEvent::Timer(timer));
+        self.run_router_actions(net, actions);
+    }
+
+    /// Tears down the link riding a closed connection. A link this
+    /// daemon dialed self-heals: a redial is armed one summary period
+    /// out, and keeps re-arming until the peer is reachable again.
+    pub(crate) fn close_link(&mut self, net: &mut Ctx<'_>, conn: ConnId) {
+        let Some(link) = self.conn_links.remove(&conn) else {
+            return;
+        };
+        self.link_conns.remove(&link);
+        if let Some(r) = self.router.as_mut() {
+            let actions = r.handle(net.now(), RouterEvent::LinkDown { link });
+            self.run_router_actions(net, actions);
+        }
+        if let Some(peer) = self.link_dials.remove(&conn) {
+            let delay = self.engine.config().announce_period_us;
+            self.dyn_timer(net, delay, crate::apps::TimerTarget::LinkRedial { peer });
+        }
+    }
+
+    /// The cheap accept filter: does any link's remote side subscribe?
+    pub(crate) fn link_interested(&self, subject: &Subject) -> bool {
+        self.router
+            .as_ref()
+            .is_some_and(|r| r.interested(subject.as_str()))
+    }
+
+    /// Offers a data envelope to the router's forwarding decision.
+    ///
+    /// Two paths converge here. A re-published forward (the `Forward`
+    /// handler below) already routed exactly once — its decision waits in
+    /// `pending_forward` and is consumed verbatim, because a second
+    /// `route` call would re-record the stamp in the dedup window and
+    /// suppress the message as its own duplicate. Everything else (local
+    /// publications, broadcast arrivals) routes fresh; a broadcast copy
+    /// re-published by a co-segment router carries its stamp in
+    /// `env.route`, which is how a second router on the same segment
+    /// recognizes traffic it must not re-forward.
+    pub(crate) fn maybe_forward(&mut self, net: &mut Ctx<'_>, env: &Envelope) {
         if env.kind != EnvelopeKind::Data {
             return;
         }
-        let targets: Vec<(ConnId, Subject)> = self
-            .router_links
-            .iter()
-            .filter(|(conn, _)| Some(**conn) != from_link)
-            .filter_map(|(conn, link)| link_wants(link, &env.subject).map(|s| (*conn, s)))
-            .collect();
-        self.engine.stats.router_forwarded += targets.len() as u64;
-        for (conn, forwarded_subject) in targets {
+        if let Some((stamp, targets)) = self.pending_forward.take() {
+            self.send_forwards(net, env, stamp, targets);
+            return;
+        }
+        let Some(router) = self.router.as_mut() else {
+            return;
+        };
+        let decision = router.route(net.now(), env.subject.as_str(), None, env.route);
+        if decision.accept && !decision.targets.is_empty() {
+            self.send_forwards(net, env, decision.stamp, decision.targets);
+        }
+    }
+
+    /// Transmits one forwarded copy per target link, stamped.
+    fn send_forwards(
+        &mut self,
+        net: &mut Ctx<'_>,
+        env: &Envelope,
+        stamp: Option<RouteStamp>,
+        targets: Vec<ForwardTarget>,
+    ) {
+        for target in targets {
+            let Some(&conn) = self.link_conns.get(&target.link) else {
+                continue;
+            };
+            let Ok(subject) = Subject::new(&target.subject) else {
+                continue;
+            };
             let mut fwd = env.clone();
-            fwd.subject = self.engine.table().intern_subject(&forwarded_subject);
+            fwd.subject = self.engine.table().intern_subject(&subject);
+            fwd.route = stamp;
+            self.engine.stats.router_forwarded += 1;
             let _ = net.conn_send(conn, RouterMsg::Forward { env: fwd }.encode());
         }
     }
 
-    /// Opens a router link to a peer daemon (driver command).
+    /// Opens a router link to a peer daemon (driver command, and the
+    /// redial path after a dialed link's connection broke).
     pub(crate) fn open_link(&mut self, net: &mut Ctx<'_>, peer: u32, rewrite: Option<RewriteRule>) {
+        self.ensure_router(net);
         let conn = net.connect(SockAddr::new(infobus_netsim::HostId(peer), RMI_PORT));
-        self.router_links.insert(
-            conn,
-            RouterLink {
-                peer_host: peer,
-                subs: Vec::new(),
-                rewrite,
-            },
-        );
+        self.link_dials.insert(conn, peer);
+        self.link_rules.insert(peer, rewrite.clone());
+        let link = self.alloc_link(conn);
         let _ = net.conn_send(conn, RouterMsg::Hello { host: self.host32 }.encode());
-        self.send_link_subs(net, Some(conn));
-    }
-
-    /// The subscription set advertised over `link`: everything this bus
-    /// knows locally or via broadcast announcements, plus the sets of all
-    /// *other* links (split-horizon aggregation for bus chains).
-    fn link_advertisement(&self, link: ConnId) -> Vec<String> {
-        let mut set: HashSet<String> = HashSet::new();
-        for f in self.my_filters.keys() {
-            set.insert(f.clone());
-        }
-        for peers in self.peer_subs.values() {
-            for f in peers.keys() {
-                set.insert(f.clone());
-            }
-        }
-        for (conn, other) in &self.router_links {
-            if *conn != link {
-                for f in &other.subs {
-                    set.insert(f.as_str().to_owned());
-                }
-            }
-        }
-        let mut v: Vec<String> = set.into_iter().collect();
-        v.sort();
-        v
-    }
-
-    /// Sends subscription advertisements over one or all links.
-    pub(crate) fn send_link_subs(&mut self, net: &mut Ctx<'_>, only: Option<ConnId>) {
-        let conns: Vec<ConnId> = self
-            .router_links
-            .keys()
-            .copied()
-            .filter(|c| only.is_none() || only == Some(*c))
-            .collect();
-        for conn in conns {
-            let filters = self.link_advertisement(conn);
-            let _ = net.conn_send(conn, RouterMsg::Subs { filters }.encode());
-        }
+        self.feed_local_interest(net);
+        let actions = self
+            .router
+            .as_mut()
+            .expect("ensure_router ran above")
+            .handle(net.now(), RouterEvent::LinkUp { link, rewrite });
+        self.run_router_actions(net, actions);
     }
 
     /// Handles a router message arriving on a connection.
     pub(crate) fn handle_router_msg(&mut self, net: &mut Ctx<'_>, conn: ConnId, msg: RouterMsg) {
         match msg {
-            RouterMsg::Hello { host } => {
+            RouterMsg::Hello { host: _ } => {
                 // The accepting side learns this connection is a link.
-                self.router_links.entry(conn).or_insert(RouterLink {
-                    peer_host: host,
-                    subs: Vec::new(),
-                    rewrite: None,
-                });
-                self.send_link_subs(net, Some(conn));
-            }
-            RouterMsg::Subs { filters } => {
-                if let Some(link) = self.router_links.get_mut(&conn) {
-                    link.subs = filters
-                        .iter()
-                        .filter_map(|f| SubjectFilter::new(f).ok())
-                        .collect();
-                }
-            }
-            RouterMsg::Forward { env } => {
-                if !self.router_links.contains_key(&conn) {
+                if self.conn_links.contains_key(&conn) {
                     return;
                 }
-                // Re-publish on this bus as a fresh publication from the
-                // router; never forward it back where it came from.
-                self.forward_horizon = Some(conn);
+                self.ensure_router(net);
+                let link = self.alloc_link(conn);
+                self.feed_local_interest(net);
+                let actions = self
+                    .router
+                    .as_mut()
+                    .expect("ensure_router ran above")
+                    .handle(
+                        net.now(),
+                        RouterEvent::LinkUp {
+                            link,
+                            rewrite: None,
+                        },
+                    );
+                self.run_router_actions(net, actions);
+            }
+            RouterMsg::Summary { seq, filters } => {
+                let Some(&link) = self.conn_links.get(&conn) else {
+                    return;
+                };
+                let Some(router) = self.router.as_mut() else {
+                    return;
+                };
+                let actions =
+                    router.handle(net.now(), RouterEvent::SummaryRecv { link, seq, filters });
+                self.run_router_actions(net, actions);
+            }
+            RouterMsg::SummaryReq => {
+                let Some(&link) = self.conn_links.get(&conn) else {
+                    return;
+                };
+                let Some(router) = self.router.as_mut() else {
+                    return;
+                };
+                let actions = router.handle(net.now(), RouterEvent::SummaryReq { link });
+                self.run_router_actions(net, actions);
+            }
+            RouterMsg::Forward { env } => {
+                let Some(&link) = self.conn_links.get(&conn) else {
+                    return;
+                };
+                let Some(router) = self.router.as_mut() else {
+                    return;
+                };
+                // Route exactly once; the decision is consumed by the
+                // maybe_forward at the end of the re-publication below.
+                let decision = router.route(net.now(), env.subject.as_str(), Some(link), env.route);
+                if !decision.accept {
+                    return; // A loop duplicate: dropped entirely.
+                }
                 let subject = env.subject.subject().clone();
+                self.forward_stamp = decision.stamp;
+                self.pending_forward = Some((decision.stamp, decision.targets));
                 let _ = self.publish_payload(
                     net,
                     usize::MAX,
@@ -146,22 +289,21 @@ impl DaemonState {
                     0,
                     env.payload,
                 );
-                self.forward_horizon = None;
+                self.forward_stamp = None;
+                self.pending_forward = None;
             }
         }
     }
-}
 
-/// Decides whether `link`'s remote side subscribes to this subject,
-/// returning the subject to forward under (rewritten if the link has a
-/// matching rewrite rule).
-fn link_wants(link: &RouterLink, subject: &Subject) -> Option<Subject> {
-    let fsubj: Subject = match &link.rewrite {
-        Some(rule) => match rule.apply(subject.as_str()) {
-            Some(rewritten) => Subject::new(&rewritten).ok()?,
-            None => subject.clone(),
-        },
-        None => subject.clone(),
-    };
-    link.subs.iter().any(|f| f.matches(&fsubj)).then_some(fsubj)
+    /// Copies the router engine's counters into a stats snapshot.
+    pub(crate) fn stamp_route_stats(&self, stats: &mut BusStats) {
+        if let Some(r) = &self.router {
+            let rs = r.stats();
+            stats.route_summaries_sent = rs.summaries_sent;
+            stats.route_summaries_recv = rs.summaries_recv;
+            stats.route_loops_suppressed = rs.loops_suppressed;
+            stats.route_stale_aged = rs.stale_aged;
+            stats.route_stab_repairs = rs.stab_repairs;
+        }
+    }
 }

@@ -307,17 +307,23 @@ impl Packet {
 pub(crate) enum RouterMsg {
     /// Link setup: identifies the connection as a router link (not RMI).
     Hello { host: u32 },
-    /// The sending side's aggregate subscription set (its bus's local and
-    /// broadcast-learned filters, plus those of its *other* links —
-    /// split-horizon aggregation).
-    Subs { filters: Vec<String> },
+    /// The sending side's subscription summary: an aggregated,
+    /// budget-bounded over-approximation of its bus's local and
+    /// broadcast-learned filters, plus those of its *other* links
+    /// (split-horizon aggregation). Soft state — re-sent periodically,
+    /// replaced wholesale on receipt.
+    Summary { seq: u64, filters: Vec<String> },
     /// A forwarded publication.
     Forward { env: Envelope },
+    /// "Re-send your summary now" — sent after route aging or a
+    /// stabilization repair flushed the stored copy.
+    SummaryReq,
 }
 
 const RT_HELLO: u8 = 10;
-const RT_SUBS: u8 = 11;
+const RT_SUMMARY: u8 = 11;
 const RT_FORWARD: u8 = 12;
+const RT_SUMMARY_REQ: u8 = 13;
 
 impl RouterMsg {
     pub fn encode(&self) -> Vec<u8> {
@@ -327,8 +333,9 @@ impl RouterMsg {
                 buf.push(RT_HELLO);
                 put_u32(&mut buf, *host);
             }
-            RouterMsg::Subs { filters } => {
-                buf.push(RT_SUBS);
+            RouterMsg::Summary { seq, filters } => {
+                buf.push(RT_SUMMARY);
+                put_u64(&mut buf, *seq);
                 put_u32(&mut buf, filters.len() as u32);
                 for f in filters {
                     put_string(&mut buf, f);
@@ -338,6 +345,7 @@ impl RouterMsg {
                 buf.push(RT_FORWARD);
                 env.encode(&mut buf);
             }
+            RouterMsg::SummaryReq => buf.push(RT_SUMMARY_REQ),
         }
         buf
     }
@@ -350,7 +358,8 @@ impl RouterMsg {
             RT_HELLO => Some(RouterMsg::Hello {
                 host: get_u32(buf)?,
             }),
-            RT_SUBS => {
+            RT_SUMMARY => {
+                let seq = get_u64(buf)?;
                 let n = get_u32(buf)? as usize;
                 if n > 65_536 {
                     return Err(WireError::BadLength(n as u64));
@@ -359,11 +368,12 @@ impl RouterMsg {
                 for _ in 0..n {
                     filters.push(get_string(buf)?);
                 }
-                Some(RouterMsg::Subs { filters })
+                Some(RouterMsg::Summary { seq, filters })
             }
             RT_FORWARD => Some(RouterMsg::Forward {
                 env: Envelope::decode(buf, table)?,
             }),
+            RT_SUMMARY_REQ => Some(RouterMsg::SummaryReq),
             _ => None,
         })
     }
@@ -499,6 +509,7 @@ mod tests {
             kind: EnvelopeKind::Data,
             corr: 0,
             redelivery: false,
+            route: None,
             payload: Bytes::from_vec(vec![9; 10]),
         }
     }
@@ -591,10 +602,12 @@ mod tests {
     fn router_msgs_round_trip() {
         let cases = vec![
             RouterMsg::Hello { host: 3 },
-            RouterMsg::Subs {
+            RouterMsg::Summary {
+                seq: 7,
                 filters: vec!["news.>".into(), "fab5.*".into()],
             },
             RouterMsg::Forward { env: env(5) },
+            RouterMsg::SummaryReq,
         ];
         let t = table();
         for m in cases {

@@ -201,6 +201,7 @@ mod tests {
             corr: 0,
             stream_start: 0,
             redelivery: false,
+            route: None,
             payload: Bytes::from_vec(vec![1, 2, 3]),
         }
     }
@@ -265,6 +266,7 @@ mod tests {
             let source = crate::engine::PubSource {
                 app: "t".into(),
                 inc: 1,
+                route: None,
             };
             let subject = eng.table().intern("g.x").unwrap();
             let (env, actions) = eng.publish(

@@ -13,45 +13,30 @@
 //! driver links two daemons with
 //! [`BusFabric::link_buses`](crate::BusFabric::link_buses), which opens a
 //! point-to-point connection between them (their hosts must share a
-//! segment — typically a dedicated "WAN" link segment). Each side
-//! periodically sends its bus's aggregate subscription table over the
-//! link (with split-horizon aggregation, so chains of buses work), and
-//! forwards exactly the publications the remote side has subscribers for.
-//! Re-published messages appear on the remote bus as fresh publications
-//! from the router — producers and consumers notice nothing (P4).
+//! segment — typically a dedicated "WAN" link segment). The routing state
+//! machine itself lives in the [`infobus_router`] crate as a sans-I/O
+//! [`infobus_router::RouterEngine`]; the daemon drives it.
+//! Each side periodically exchanges an aggregated subscription *summary*
+//! (subject-prefix filters, never raw subscriber lists; split-horizon
+//! aggregation makes chains of buses work), and forwards exactly the
+//! publications the remote side has subscribers for. Re-published
+//! messages appear on the remote bus as fresh publications from the
+//! router — producers and consumers notice nothing (P4).
 //!
-//! Cyclic router topologies are not supported (split horizon prevents
-//! two-bus echo and makes trees safe, but not rings); this matches the
-//! paper's tree-of-buses deployments.
+//! Cyclic router topologies are supported. Split horizon alone only makes
+//! trees safe, so every publication crossing its first link is stamped
+//! with a [`RouteStamp`] — `(origin router, epoch, sequence)` plus a hop
+//! budget — and every router suppresses copies it has already routed
+//! (dedup window), copies it stamped itself (ring returns), and refuses
+//! to forward a copy whose hop budget is spent. Route summaries age out
+//! unless refreshed (soft state), and a periodic self-stabilization pass
+//! revalidates every table against locally-derivable truth, rebuilding
+//! whatever fails. See `DESIGN.md` §Routers for the full contract.
 
-/// A subject-rewriting rule applied to publications crossing a link.
-///
-/// If a forwarded subject starts with `from_prefix` (element-wise), that
-/// prefix is replaced with `to_prefix`. For example,
-/// `{ from_prefix: "fab5", to_prefix: "hq.fab5" }` republishes
-/// `fab5.cc.litho8` as `hq.fab5.cc.litho8` on the remote bus.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RewriteRule {
-    /// Element-wise subject prefix to match.
-    pub from_prefix: String,
-    /// Replacement prefix.
-    pub to_prefix: String,
-}
-
-impl RewriteRule {
-    /// Applies the rule to a subject string; returns the rewritten
-    /// subject, or `None` if the prefix does not match.
-    pub fn apply(&self, subject: &str) -> Option<String> {
-        if subject == self.from_prefix {
-            return Some(self.to_prefix.clone());
-        }
-        let rest = subject.strip_prefix(&self.from_prefix)?;
-        if !rest.starts_with('.') {
-            return None;
-        }
-        Some(format!("{}{}", self.to_prefix, rest))
-    }
-}
+pub use infobus_router::{
+    ForwardTarget, LinkId, RewriteRule, RouteDecision, RouteStamp, RouteStats, RouterAction,
+    RouterConfig, RouterEngine, RouterEvent, RouterTimer,
+};
 
 #[cfg(test)]
 mod tests {

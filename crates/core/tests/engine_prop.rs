@@ -58,6 +58,7 @@ fn publish_n(publisher: &mut Engine, n: u64, now: &mut Micros) -> Vec<Envelope> 
     let source = PubSource {
         app: "prop".into(),
         inc: 1,
+        route: None,
     };
     let subject = publisher.table().intern(SUBJECT).unwrap();
     let mut wire = Vec::new();
@@ -408,6 +409,7 @@ fn publisher_crash_restart_redrives_guaranteed_ledger() {
         let source = PubSource {
             app: "prop".into(),
             inc: 1,
+            route: None,
         };
         let subject = publisher.table().intern(SUBJECT).unwrap();
 
@@ -678,6 +680,7 @@ mod shard_prop {
             let source = PubSource {
                 app: "prop".into(),
                 inc: 1,
+                route: None,
             };
             let interned: Vec<_> = SPREAD
                 .iter()
@@ -760,6 +763,7 @@ mod shard_prop {
             let source = PubSource {
                 app: "prop".into(),
                 inc: 1,
+                route: None,
             };
             let n = 3 + rng.gen_range_inclusive(0, 9);
             let interned: Vec<_> = SPREAD

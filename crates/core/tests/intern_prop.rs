@@ -100,6 +100,7 @@ fn envelopes_re_intern_across_daemon_tables() {
         let source = PubSource {
             app: "prop".into(),
             inc: 1,
+            route: None,
         };
         // Skew the sender's table so ids diverge between the daemons.
         for _ in 0..rng.gen_range_inclusive(1, 30) {

@@ -595,6 +595,7 @@ impl Inner {
         let source = PubSource {
             app: app.into(),
             inc: 1,
+            route: None,
         };
         let (env, pre) = engine.publish(
             now,
@@ -654,6 +655,8 @@ impl Inner {
                     subject: env.subject.clone(),
                     payload: env.payload.clone(),
                     redelivery: env.redelivery,
+                    qos: env.qos,
+                    route: env.route,
                 };
                 if entry.tx.send(msg).is_ok() {
                     count += 1;

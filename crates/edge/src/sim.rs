@@ -166,6 +166,8 @@ impl BusApp for Collector {
                     subject: self.table.intern_subject(&msg.subject),
                     payload: payload.clone(),
                     redelivery: msg.redelivery,
+                    qos: msg.qos,
+                    route: None,
                 });
             }
         }

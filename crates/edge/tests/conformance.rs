@@ -22,10 +22,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
-use infobus_core::{shard_of_subject, Bus, BusConfig, QoS};
+use infobus_core::{shard_of_subject, Bus, BusApp, BusConfig, BusCtx, BusFabric, BusMessage, QoS};
 use infobus_edge::{EdgeConfig, ReactorBus, SimBus, SimConfig};
 use infobus_net::{UdpBus, UdpConfig};
-use infobus_netsim::FaultPlan;
+use infobus_netsim::time::{millis, secs};
+use infobus_netsim::{EtherConfig, FaultPlan, NetBuilder};
 use infobus_types::Value;
 use infobus_wal::scratch::ScratchDir;
 
@@ -488,5 +489,112 @@ fn reactor_durable_wipe_redelivers_survivors() {
             p.add_peer(8, addr).unwrap();
             Arc::new(p)
         },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Federation: guaranteed delivery across segments through a router restart
+// ---------------------------------------------------------------------------
+// The cross-segment extension of the durable-restart contract above.
+// Information routers re-publish guaranteed traffic hop by hop, each hop
+// persisting the envelopes in its own ledger before sending — so a
+// guaranteed stream published in segment A must survive a crash of the
+// segment-B router that accepted it, and redeliver to segment B's
+// subscriber exactly once after the router restarts.
+
+/// Subscribes to `wip.>` at start; records everything it receives.
+#[derive(Default)]
+struct FedCollector {
+    messages: Vec<BusMessage>,
+}
+
+impl BusApp for FedCollector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.subscribe("wip.>").unwrap();
+    }
+    fn on_message(&mut self, _bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
+        self.messages.push(msg.clone());
+    }
+}
+
+/// Publishes six guaranteed integers on `wip.lot9`, 10 ms apart.
+#[derive(Default)]
+struct FedTicker {
+    sent: i64,
+}
+
+impl BusApp for FedTicker {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        bus.set_timer(millis(10), 0);
+    }
+    fn on_timer(&mut self, bus: &mut BusCtx<'_, '_>, _token: u64) {
+        if self.sent < 6 {
+            let v = Value::I64(self.sent);
+            self.sent += 1;
+            bus.publish("wip.lot9", &v, QoS::Guaranteed).unwrap();
+            bus.set_timer(millis(10), 0);
+        }
+    }
+}
+
+#[test]
+fn federation_gd_survives_router_restart() {
+    // Segment A {pa, ra} -- WAN {ra, rb} -- segment B {rb, sb}.
+    let mut b = NetBuilder::new(0x000f_ed6d);
+    let seg_a = b.segment(EtherConfig::lan_10mbps());
+    let seg_b = b.segment(EtherConfig::lan_10mbps());
+    let wan = b.segment(EtherConfig::lan_10mbps());
+    let pa = b.host("pa", &[seg_a]);
+    let ra = b.host("ra", &[seg_a, wan]);
+    let rb = b.host("rb", &[seg_b, wan]);
+    let sb = b.host("sb", &[seg_b]);
+    let mut sim = b.build();
+    let cfg = BusConfig::default()
+        .with_announce_period_us(secs(1))
+        .with_gd_retry_us(millis(100));
+    let mut fabric = BusFabric::install(&mut sim, &[pa, ra, rb, sb], cfg.clone());
+    fabric.link_buses(&mut sim, ra, rb, None);
+    fabric.attach_app(&mut sim, sb, "col", Box::new(FedCollector::default()));
+    sim.run_for(secs(3)); // announcements + route summaries converge
+
+    // Cut the subscriber off, then publish the guaranteed stream: it
+    // crosses the WAN and lands in rb's ledger, undeliverable.
+    sim.partition(&[&[pa, ra, rb], &[sb]]);
+    fabric.attach_app(&mut sim, pa, "pub", Box::new(FedTicker::default()));
+    sim.run_for(secs(1));
+    let stats = fabric.daemon_stats(&mut sim, rb).unwrap();
+    assert_eq!(
+        stats.gd_pending, 6,
+        "rb's ledger must hold the forwarded stream: {stats:?}"
+    );
+
+    // Crash the segment-B router with the stream unacknowledged, then
+    // restart it and heal the partition. The reloaded ledger plus the
+    // re-dialed link (ra redials automatically) must redeliver the
+    // stream to sb exactly once.
+    fabric.crash_daemon(&mut sim, rb);
+    sim.run_for(millis(500));
+    fabric.restart_daemon(&mut sim, rb, cfg);
+    sim.heal();
+    sim.run_for(secs(12));
+
+    let msgs = fabric
+        .with_app::<FedCollector, Vec<BusMessage>>(&mut sim, sb, "col", |c| c.messages.clone())
+        .unwrap();
+    let ints: Vec<i64> = msgs.iter().filter_map(|m| m.value.as_i64()).collect();
+    assert_eq!(
+        ints,
+        vec![0, 1, 2, 3, 4, 5],
+        "exactly-once cross-segment redelivery after router restart"
+    );
+    assert!(
+        msgs.iter()
+            .all(|m| m.qos == QoS::Guaranteed && m.redelivery),
+        "ledger redeliveries are flagged guaranteed"
+    );
+    let stats = fabric.daemon_stats(&mut sim, rb).unwrap();
+    assert_eq!(
+        stats.gd_pending, 0,
+        "rb's ledger drains once sb acknowledges: {stats:?}"
     );
 }

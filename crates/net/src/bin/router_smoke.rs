@@ -1,0 +1,251 @@
+//! Cross-process federation smoke test: a publisher process on segment
+//! A, a subscriber on segment B, and a [`UdpRouter`] bridging the two —
+//! all over loopback UDP, with 20% seeded inbound loss on both the
+//! router's segment-A foot and the subscriber, so NAK repair and
+//! guaranteed-delivery retry run on *each* hop of the federated path.
+//!
+//! "Segments" are loopback peer lists: the publisher only knows the
+//! router's A foot, the subscriber only knows the B foot — the only way
+//! a message crosses is through the router's route decision, including
+//! the subject rewrite (`wip.…` enters, `lot.…` leaves) and the release
+//! signal flowing the other way (subscriber → router → publisher).
+//!
+//! Run with no arguments: the parent hosts the router and the
+//! subscriber, then re-executes itself as the publishing child. Exit
+//! code 0 means every assertion held. CI runs this under a timeout.
+
+use std::net::SocketAddr;
+use std::process::{exit, Command};
+use std::time::{Duration, Instant};
+
+use infobus_core::router::{RewriteRule, RouterConfig};
+use infobus_core::{BusConfig, QoS};
+use infobus_net::{UdpBus, UdpConfig, UdpRouter, UdpRouterConfig};
+use infobus_types::Value;
+
+const RELIABLE_COUNT: i64 = 300;
+const GUARANTEED_COUNT: i64 = 30;
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// Protocol timers tightened so repair converges in smoke-test time.
+fn smoke_cfg() -> BusConfig {
+    BusConfig::default()
+        .with_batch_enabled(false)
+        .with_nak_delay_us(5_000)
+        .with_nak_check_us(2_000)
+        .with_sync_period_us(25_000)
+        .with_gd_retry_us(25_000)
+        .with_announce_period_us(100_000)
+        .with_retain_per_stream(4096)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        None => parent(),
+        Some("child") => child(args[2].parse().expect("router foot-A address")),
+        Some(other) => {
+            eprintln!("usage: router_smoke [child <foot-a-addr>]");
+            eprintln!("unexpected argument: {other}");
+            exit(2);
+        }
+    }
+}
+
+fn parent() {
+    // The router: foot A faces the publisher's segment (20% inbound
+    // loss there), foot B faces the subscriber's. Publications crossing
+    // into B are rewritten `wip.… → lot.…`.
+    let router = UdpRouter::bind(
+        99,
+        UdpConfig::new(10)
+            .with_bus(smoke_cfg())
+            .with_app("router-a")
+            .with_recv_loss(0.20, 7),
+        UdpConfig::new(11)
+            .with_bus(smoke_cfg())
+            .with_app("router-b"),
+        UdpRouterConfig {
+            router: RouterConfig {
+                summary_period_us: 50_000,
+                route_ttl_us: 250_000,
+                ..RouterConfig::default()
+            },
+            rewrite_to_a: None,
+            rewrite_to_b: Some(RewriteRule {
+                from_prefix: "wip".into(),
+                to_prefix: "lot".into(),
+            }),
+        },
+    )
+    .expect("bind router");
+
+    // The subscriber on segment B, with its own 20% inbound loss.
+    let bus = UdpBus::bind(
+        UdpConfig::new(20)
+            .with_bus(smoke_cfg())
+            .with_app("smoke-sub")
+            .with_recv_loss(0.20, 13),
+    )
+    .expect("bind subscriber");
+    bus.add_peer(11, router.foot_b().local_addr())
+        .expect("peer foot B");
+    let (_data_sub, data_rx) = bus.subscribe("lot.data.>").expect("subscribe data");
+    let (_gd_sub, gd_rx) = bus.subscribe("lot.gd.>").expect("subscribe gd");
+
+    // The child learns foot A from argv; foot A learns the child from
+    // its frames.
+    let mut child = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("child")
+        .arg(router.foot_a().local_addr().to_string())
+        .spawn()
+        .expect("spawn child");
+
+    let end = Instant::now() + DEADLINE;
+    let mut failures = Vec::new();
+
+    // Reliable stream, across both lossy hops: in order, exactly once,
+    // and rewritten at the crossing.
+    let mut expect = 0i64;
+    while expect < RELIABLE_COUNT && Instant::now() < end {
+        if let Ok(msg) = data_rx.recv_timeout(Duration::from_millis(500)) {
+            if msg.subject.as_str() != "lot.data.tick" {
+                failures.push(format!("unrewritten subject: {}", msg.subject.as_str()));
+                break;
+            }
+            let value = msg.value().expect("unmarshal");
+            if value != Value::I64(expect) {
+                failures.push(format!("data out of order: got {value:?} want {expect}"));
+                break;
+            }
+            expect += 1;
+        }
+    }
+    if expect != RELIABLE_COUNT {
+        failures.push(format!(
+            "reliable stream stalled at {expect}/{RELIABLE_COUNT}"
+        ));
+    }
+
+    // Guaranteed stream: at-least-once, every value seen.
+    let mut seen = vec![false; GUARANTEED_COUNT as usize];
+    while seen.iter().any(|s| !s) && Instant::now() < end {
+        if let Ok(msg) = gd_rx.recv_timeout(Duration::from_millis(500)) {
+            if let Value::I64(i) = msg.value().expect("unmarshal") {
+                if (0..GUARANTEED_COUNT).contains(&i) {
+                    seen[i as usize] = true;
+                }
+            }
+        }
+    }
+    let missing = seen.iter().filter(|s| !**s).count();
+    if missing > 0 {
+        failures.push(format!("{missing} guaranteed values never delivered"));
+    }
+
+    // Release the child through the router (segment B → segment A),
+    // repeating until it exits — the reverse routing direction is part
+    // of the test.
+    let status = loop {
+        bus.publish("ctl.done", &Value::I64(1), QoS::Reliable)
+            .expect("publish done");
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None if Instant::now() >= end => {
+                let _ = child.kill();
+                failures.push("child never exited".into());
+                break child.wait().expect("reap child");
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    if !failures.iter().any(|f| f.contains("never exited")) && !status.success() {
+        failures.push(format!("child failed: {status}"));
+    }
+
+    let rs = router.route_stats();
+    let foot_a = router.foot_a().stats();
+    let foot_b = router.foot_b().stats();
+    let sub = bus.stats();
+    println!(
+        "router stats: forwarded={} loops_suppressed={} summaries_recv={} \
+         footA(naks={} dropped={}) footB(fwd={}) sub(naks={} dropped={} dups={})",
+        rs.forwarded,
+        rs.loops_suppressed,
+        rs.summaries_recv,
+        foot_a.naks_sent,
+        foot_a.net_recv_dropped,
+        foot_b.router_forwarded,
+        sub.naks_sent,
+        sub.net_recv_dropped,
+        sub.dups_dropped,
+    );
+    if rs.forwarded < (RELIABLE_COUNT + GUARANTEED_COUNT) as u64 {
+        failures.push(format!("router forwarded too little: {}", rs.forwarded));
+    }
+    if foot_a.net_recv_dropped == 0 || sub.net_recv_dropped == 0 {
+        failures.push("loss injection never fired on a hop".into());
+    }
+    if foot_a.naks_sent == 0 {
+        failures.push("segment-A hop never NAK-repaired".into());
+    }
+    if sub.naks_sent == 0 {
+        failures.push("segment-B hop never NAK-repaired".into());
+    }
+
+    if failures.is_empty() {
+        println!("PASS: cross-process federation smoke");
+        exit(0);
+    }
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    exit(1);
+}
+
+fn child(foot_a_addr: SocketAddr) {
+    let bus = UdpBus::bind(
+        UdpConfig::new(1)
+            .with_bus(smoke_cfg())
+            .with_app("smoke-pub"),
+    )
+    .expect("bind child");
+    bus.add_peer(10, foot_a_addr).expect("add foot A peer");
+    let (_ctl_sub, ctl_rx) = bus.subscribe("ctl.>").expect("subscribe ctl");
+
+    // Give the router a summary period to learn the subscriber's
+    // interest before publishing, then pace the stream (see udp_smoke on
+    // why pacing keeps loopback kernel drops out of the picture).
+    std::thread::sleep(Duration::from_millis(300));
+    for i in 0..RELIABLE_COUNT {
+        bus.publish("wip.data.tick", &Value::I64(i), QoS::Reliable)
+            .expect("publish data");
+        if i % 20 == 19 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    for i in 0..GUARANTEED_COUNT {
+        bus.publish("wip.gd.order", &Value::I64(i), QoS::Guaranteed)
+            .expect("publish gd");
+        if i % 20 == 19 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Stay alive serving NAK retransmissions and guaranteed retries
+    // until the subscriber's release arrives back through the router.
+    let end = Instant::now() + DEADLINE;
+    loop {
+        if Instant::now() >= end {
+            eprintln!(
+                "child: never released (gd_pending={})",
+                bus.stats().gd_pending
+            );
+            exit(1);
+        }
+        let released = ctl_rx.recv_timeout(Duration::from_millis(50)).is_ok();
+        if released && bus.stats().gd_pending == 0 {
+            exit(0);
+        }
+    }
+}

@@ -33,9 +33,10 @@ use infobus_core::engine::{
 };
 use infobus_core::msg::Packet;
 use infobus_core::queue::{sub_queue, SubReceiver, SubSender};
+use infobus_core::router::RouteStamp;
 use infobus_core::{
-    BufPool, Bus, BusConfig, BusError, BusReceiver, Delivery, Envelope, EnvelopeKind, NvStore, QoS,
-    SubscriptionHandle,
+    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, Delivery, Envelope, EnvelopeKind,
+    NvStore, QoS, SubscriptionHandle,
 };
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
 use infobus_types::{wire, TypeRegistry, Value};
@@ -92,6 +93,11 @@ pub struct UdpConfig {
     pub send_retries: u32,
     /// Backoff before the first retry, doubling per attempt.
     pub send_backoff_us: u64,
+    /// Suppress delivery of this daemon's own publications to its own
+    /// local subscribers. Off by default; an information-router foot
+    /// turns it on because it subscribes broadly to *relay* traffic and
+    /// must not hear its own republications back.
+    pub no_local_echo: bool,
 }
 
 impl UdpConfig {
@@ -109,6 +115,7 @@ impl UdpConfig {
             loss_seed: 1,
             send_retries: 3,
             send_backoff_us: 200,
+            no_local_echo: false,
         }
     }
 
@@ -154,6 +161,12 @@ impl UdpConfig {
     pub fn with_send_retry(mut self, retries: u32, backoff_us: u64) -> Self {
         self.send_retries = retries;
         self.send_backoff_us = backoff_us;
+        self
+    }
+
+    /// Suppresses local echo (see [`UdpConfig::no_local_echo`]).
+    pub fn with_no_local_echo(mut self) -> Self {
+        self.no_local_echo = true;
         self
     }
 }
@@ -214,6 +227,8 @@ struct Inner {
     loss_seed: u64,
     send_retries: u32,
     send_backoff_us: u64,
+    /// See [`UdpConfig::no_local_echo`].
+    no_local_echo: bool,
     queue_cap: usize,
     queue_dropped: Arc<AtomicU64>,
     /// Soft-state refresh period ([`BusConfig::announce_period_us`]);
@@ -270,6 +285,7 @@ impl UdpBus {
             source: PubSource {
                 app: cfg.app.into(),
                 inc: 1,
+                route: None,
             },
             pool: BufPool::with_slots(pool_slots),
             socket,
@@ -288,6 +304,7 @@ impl UdpBus {
             loss_seed: cfg.loss_seed,
             send_retries: cfg.send_retries,
             send_backoff_us: cfg.send_backoff_us,
+            no_local_echo: cfg.no_local_echo,
             queue_cap,
             queue_dropped: Arc::new(AtomicU64::new(0)),
             announce_us,
@@ -467,27 +484,79 @@ impl UdpBus {
                 .map_err(|e| BusError::Marshal(e.to_string()))?;
             buf.freeze()
         };
+        self.publish_payload(subject, payload, qos, None)
+    }
+
+    /// Re-publishes an already marshalled payload as a *forwarded* copy
+    /// carrying a federation route stamp — the information-router
+    /// crossing. The payload is exactly what a [`NetMessage`] delivered
+    /// (self-describing wire bytes); `route` is the [`RouteStamp`] the
+    /// router's route decision produced, so downstream routers can
+    /// suppress loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] if `subject` is invalid.
+    pub fn forward(
+        &self,
+        subject: &str,
+        payload: Bytes,
+        qos: QoS,
+        route: Option<RouteStamp>,
+    ) -> Result<usize, BusError> {
+        let n = self.publish_payload(subject, payload, qos, route)?;
+        poisoned(self.inner.engine.lock()).stats.router_forwarded += 1;
+        Ok(n)
+    }
+
+    /// The shared publish tail: sequence, persist (guaranteed), fan out
+    /// locally (unless local echo is suppressed), and transmit.
+    fn publish_payload(
+        &self,
+        subject: &str,
+        payload: Bytes,
+        qos: QoS,
+        route: Option<RouteStamp>,
+    ) -> Result<usize, BusError> {
         let now = self.inner.clock.now_us();
         let mut engine = poisoned(self.inner.engine.lock());
         let subject = engine.table().intern(subject)?;
-        let (env, pre) = engine.publish(
-            now,
-            &self.inner.source,
-            &subject,
-            qos,
-            EnvelopeKind::Data,
-            0,
-            payload,
-        );
+        let source = if route.is_some() {
+            &PubSource {
+                app: Arc::clone(&self.inner.source.app),
+                inc: self.inner.source.inc,
+                route,
+            }
+        } else {
+            &self.inner.source
+        };
+        let (env, pre) = engine.publish(now, source, &subject, qos, EnvelopeKind::Data, 0, payload);
         // Pre-actions (persist-before-broadcast for guaranteed QoS).
         self.inner.run_engine_actions(&mut engine, now, pre);
-        let delivered = self.inner.fan_out(&mut engine.stats, &env);
+        let delivered = if self.inner.no_local_echo {
+            0
+        } else {
+            self.inner.fan_out(&mut engine.stats, &env)
+        };
         if qos == QoS::Guaranteed && delivered > 0 {
             engine.gd_local_done(&env);
         }
         let actions = engine.enqueue(&env);
         self.inner.run_engine_actions(&mut engine, now, actions);
         Ok(delivered)
+    }
+
+    /// A snapshot of every subscription filter announced by peers on
+    /// this segment (deduplicated, sorted) — the ground truth an
+    /// information router summarizes into remote interest for its other
+    /// foot.
+    pub fn peer_filters(&self) -> Vec<String> {
+        let peer_subs = poisoned(self.inner.peer_subs.lock());
+        let mut set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for filters in peer_subs.values() {
+            set.extend(filters.keys().cloned());
+        }
+        set.into_iter().collect()
     }
 
     /// A snapshot of the protocol counters merged across every shard,
@@ -656,6 +725,8 @@ impl Inner {
                 subject: env.subject.clone(),
                 payload: env.payload.clone(),
                 redelivery: env.redelivery,
+                qos: env.qos,
+                route: env.route,
             };
             if entry.tx.send(msg).is_ok() {
                 count += 1;

@@ -100,6 +100,7 @@ mod tests {
                 kind: EnvelopeKind::Data,
                 corr: 0,
                 redelivery: false,
+                route: None,
                 payload: Bytes::from_vec(vec![1, 2, 3]),
             }],
             retrans: false,
@@ -194,6 +195,7 @@ mod tests {
         let source = PubSource {
             app: "mtu".into(),
             inc: 1,
+            route: None,
         };
         let subject = eng.table().intern("mtu.t").unwrap();
         let mut frames = 0usize;

@@ -66,6 +66,8 @@ pub mod bus;
 pub mod clock;
 pub mod frame;
 pub mod loss;
+pub mod router;
 pub mod timers;
 
 pub use bus::{NetMessage, NetReceiver, UdpBus, UdpConfig};
+pub use router::{UdpRouter, UdpRouterConfig};

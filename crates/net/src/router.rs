@@ -1,0 +1,305 @@
+//! A wall-clock information router: two [`UdpBus`] feet on two real
+//! segments, spliced by the same sans-I/O
+//! [`RouterEngine`](infobus_core::router) that drives the simulated
+//! federation.
+//!
+//! Each foot is a full bus daemon on its segment — it speaks the normal
+//! wire protocol, announces a catch-all subscription, acks guaranteed
+//! traffic, and repairs losses with NAKs — so the router participates in
+//! every per-segment protocol without any new packet types. The engine
+//! sees each foot as one *link*: the filters peers announce on a foot
+//! become that link's remote-interest summary (re-fed every summary
+//! period, which is what keeps the soft state fresh and lets the
+//! stabilization pass discard corruption), and a publication delivered
+//! by one foot is offered to [`RouterEngine::route`] and re-published on
+//! the other foot when the far segment's summary matches. Forwarded
+//! copies carry the engine's [`RouteStamp`], so chains or cycles of
+//! routers stay loop-free exactly as in the simulator.
+//!
+//! Both feet run with
+//! [`no_local_echo`](crate::UdpConfig::no_local_echo): the catch-all
+//! relay subscription must never hear the router's own republications.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use infobus_core::router::{
+    ForwardTarget, LinkId, RewriteRule, RouteStamp, RouteStats, RouterConfig, RouterEngine,
+    RouterEvent, RouterTimer,
+};
+use infobus_core::{BusError, Delivery};
+
+use crate::bus::{NetReceiver, UdpBus, UdpConfig};
+use crate::clock::MonoClock;
+
+/// The two feet, as stable link ids fed to the engine.
+const LINK_A: LinkId = 1;
+const LINK_B: LinkId = 2;
+
+/// Configuration for a [`UdpRouter`].
+#[derive(Debug, Clone, Default)]
+pub struct UdpRouterConfig {
+    /// Engine tuning (summary refresh, route aging, stabilization
+    /// cadence, hop budget). The defaults suit loopback tests.
+    pub router: RouterConfig,
+    /// Subject rewrite applied to publications forwarded *into* segment
+    /// A (out on foot A).
+    pub rewrite_to_a: Option<RewriteRule>,
+    /// Subject rewrite applied to publications forwarded *into* segment
+    /// B (out on foot B).
+    pub rewrite_to_b: Option<RewriteRule>,
+}
+
+/// A running information router bridging two UDP segments.
+///
+/// Dropping the router stops its relay thread and closes both feet.
+pub struct UdpRouter {
+    foot_a: Arc<UdpBus>,
+    foot_b: Arc<UdpBus>,
+    engine: Arc<Mutex<RouterEngine>>,
+    running: Arc<AtomicBool>,
+    relay: Option<JoinHandle<()>>,
+}
+
+impl UdpRouter {
+    /// Binds both feet (their configs are forced to
+    /// [`no_local_echo`](UdpConfig::no_local_echo)) and starts the relay
+    /// thread. `id` is the router's federation identity — the origin
+    /// written into stamps it mints; it must differ from every other
+    /// router's id and from both feet's host ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if either foot fails to bind its socket.
+    pub fn bind(
+        id: u32,
+        foot_a: UdpConfig,
+        foot_b: UdpConfig,
+        cfg: UdpRouterConfig,
+    ) -> Result<UdpRouter, BusError> {
+        let foot_a = Arc::new(UdpBus::bind(foot_a.with_no_local_echo())?);
+        let foot_b = Arc::new(UdpBus::bind(foot_b.with_no_local_echo())?);
+        let (_sub_a, rx_a) = foot_a.subscribe(">")?;
+        let (_sub_b, rx_b) = foot_b.subscribe(">")?;
+
+        let clock = MonoClock::new();
+        let now = clock.now_us();
+        let mut engine = RouterEngine::new(id, cfg.router);
+        let mut timers = TimerDeadlines::default();
+        timers.absorb(now, engine.start(now));
+        timers.absorb(
+            now,
+            engine.handle(
+                now,
+                RouterEvent::LinkUp {
+                    link: LINK_A,
+                    rewrite: cfg.rewrite_to_a,
+                },
+            ),
+        );
+        timers.absorb(
+            now,
+            engine.handle(
+                now,
+                RouterEvent::LinkUp {
+                    link: LINK_B,
+                    rewrite: cfg.rewrite_to_b,
+                },
+            ),
+        );
+        let engine = Arc::new(Mutex::new(engine));
+        let running = Arc::new(AtomicBool::new(true));
+
+        let relay = {
+            let foot_a = Arc::clone(&foot_a);
+            let foot_b = Arc::clone(&foot_b);
+            let engine = Arc::clone(&engine);
+            let running = Arc::clone(&running);
+            std::thread::Builder::new()
+                .name(format!("udp-router-{id}"))
+                .spawn(move || {
+                    relay_loop(
+                        &foot_a, &foot_b, &rx_a, &rx_b, &engine, &clock, timers, &running,
+                    );
+                })
+                .expect("spawn router relay thread")
+        };
+        Ok(UdpRouter {
+            foot_a,
+            foot_b,
+            engine,
+            running,
+            relay: Some(relay),
+        })
+    }
+
+    /// The foot on segment A (to read its address or add peers).
+    pub fn foot_a(&self) -> &UdpBus {
+        &self.foot_a
+    }
+
+    /// The foot on segment B.
+    pub fn foot_b(&self) -> &UdpBus {
+        &self.foot_b
+    }
+
+    /// A snapshot of the engine's federation counters.
+    pub fn route_stats(&self) -> RouteStats {
+        match self.engine.lock() {
+            Ok(e) => e.stats(),
+            Err(e) => e.into_inner().stats(),
+        }
+    }
+
+    /// Stops the relay thread (also runs on drop).
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.relay.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for UdpRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Absolute fire times for the engine's two one-shot timers.
+#[derive(Default)]
+struct TimerDeadlines {
+    summary_at: Option<u64>,
+    stabilize_at: Option<u64>,
+}
+
+impl TimerDeadlines {
+    /// Records `SetTimer` actions; `SendSummary`/`SendSummaryReq` are
+    /// dropped — each foot's "peer" is its own segment, whose interest
+    /// the relay loop re-derives locally instead of exchanging wire
+    /// summaries with a far router.
+    fn absorb(&mut self, now: u64, actions: Vec<infobus_core::router::RouterAction>) {
+        use infobus_core::router::RouterAction;
+        for action in actions {
+            if let RouterAction::SetTimer { timer, delay_us } = action {
+                let at = Some(now + delay_us);
+                match timer {
+                    RouterTimer::Summary => self.summary_at = at,
+                    RouterTimer::Stabilize => self.stabilize_at = at,
+                }
+            }
+        }
+    }
+}
+
+/// The relay loop: refresh link summaries from each foot's announced
+/// peer filters, fire engine timers, and pump deliveries from each foot
+/// through the route decision onto the other foot.
+#[allow(clippy::too_many_arguments)]
+fn relay_loop(
+    foot_a: &UdpBus,
+    foot_b: &UdpBus,
+    rx_a: &NetReceiver,
+    rx_b: &NetReceiver,
+    engine: &Mutex<RouterEngine>,
+    clock: &MonoClock,
+    mut timers: TimerDeadlines,
+    running: &AtomicBool,
+) {
+    let mut seq = 0u64;
+    // Prime both links' interest before the first summary period.
+    refresh_interest(foot_a, foot_b, engine, clock, &mut seq, &mut timers);
+    while running.load(Ordering::SeqCst) {
+        let now = clock.now_us();
+        if timers.summary_at.is_some_and(|at| at <= now) {
+            timers.summary_at = None;
+            refresh_interest(foot_a, foot_b, engine, clock, &mut seq, &mut timers);
+            let actions = lock(engine).handle(now, RouterEvent::Timer(RouterTimer::Summary));
+            timers.absorb(now, actions);
+        }
+        if timers.stabilize_at.is_some_and(|at| at <= now) {
+            timers.stabilize_at = None;
+            let actions = lock(engine).handle(now, RouterEvent::Timer(RouterTimer::Stabilize));
+            timers.absorb(now, actions);
+        }
+        let mut moved = false;
+        while let Ok(msg) = rx_a.try_recv() {
+            moved = true;
+            pump(foot_b, LINK_A, LINK_B, engine, clock, &msg);
+        }
+        while let Ok(msg) = rx_b.try_recv() {
+            moved = true;
+            pump(foot_a, LINK_B, LINK_A, engine, clock, &msg);
+        }
+        if !moved {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Re-derives both links' remote interest from the filters peers have
+/// announced on each foot and feeds them to the engine as summaries.
+fn refresh_interest(
+    foot_a: &UdpBus,
+    foot_b: &UdpBus,
+    engine: &Mutex<RouterEngine>,
+    clock: &MonoClock,
+    seq: &mut u64,
+    timers: &mut TimerDeadlines,
+) {
+    let now = clock.now_us();
+    for (link, foot) in [(LINK_A, foot_a), (LINK_B, foot_b)] {
+        *seq += 1;
+        let actions = lock(engine).handle(
+            now,
+            RouterEvent::SummaryRecv {
+                link,
+                seq: *seq,
+                filters: foot.peer_filters(),
+            },
+        );
+        timers.absorb(now, actions);
+    }
+}
+
+/// Offers one delivery from `from` to the route decision and
+/// re-publishes it on `out_foot` when the far segment is interested.
+fn pump(
+    out_foot: &UdpBus,
+    from: LinkId,
+    out_link: LinkId,
+    engine: &Mutex<RouterEngine>,
+    clock: &MonoClock,
+    msg: &Delivery,
+) {
+    let now = clock.now_us();
+    let decision = lock(engine).route(now, msg.subject.as_str(), Some(from), msg.route);
+    if !decision.accept {
+        return;
+    }
+    for ForwardTarget { link, subject } in decision.targets {
+        if link != out_link {
+            continue;
+        }
+        forward_copy(out_foot, &subject, msg, decision.stamp);
+    }
+}
+
+/// One forwarded copy: the delivery's payload re-published under the
+/// (possibly rewritten) subject, stamped.
+fn forward_copy(foot: &UdpBus, subject: &str, msg: &Delivery, stamp: Option<RouteStamp>) {
+    let _ = foot.forward(subject, msg.payload.clone(), msg.qos, stamp);
+}
+
+fn lock(engine: &Mutex<RouterEngine>) -> std::sync::MutexGuard<'_, RouterEngine> {
+    match engine.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    }
+}

@@ -1,0 +1,1195 @@
+//! The sans-I/O router engine: every routing decision, no I/O.
+//!
+//! Drivers feed `(now_us, RouterEvent)` and perform the returned
+//! [`RouterAction`]s; the data path goes through [`RouterEngine::route`],
+//! which decides — for one publication — whether to accept it locally and
+//! which links to forward it on, under what subject, carrying what stamp.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use infobus_subject::{Subject, SubjectFilter};
+
+use crate::rewrite::{CompiledRewrite, RewriteRule};
+use crate::stamp::RouteStamp;
+use crate::summary::summarize;
+use crate::Micros;
+
+/// Identifies one router link, in a namespace chosen by the driver (the
+/// netsim daemon uses connection ids, the UDP router its two feet).
+pub type LinkId = u32;
+
+/// Tuning knobs for the router engine.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// How often each link's subscription summary is re-sent (soft-state
+    /// refresh), and how often stale links are checked.
+    pub summary_period_us: Micros,
+    /// A link whose summary has not been refreshed within this horizon is
+    /// flushed and re-requested (route aging).
+    pub route_ttl_us: Micros,
+    /// How often the self-stabilization pass revalidates every table and
+    /// rotates the stamp epoch.
+    pub stabilize_period_us: Micros,
+    /// Hop budget assigned when this router stamps a publication on
+    /// federation entry.
+    pub max_hops: u8,
+    /// Maximum number of filters in one link advertisement (deeper sets
+    /// are generalized, see [`summarize`]).
+    pub summary_budget: usize,
+    /// Per-`(origin, epoch)` dedup window size, in sequence numbers.
+    pub dedup_window: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            summary_period_us: 200_000,
+            route_ttl_us: 1_000_000,
+            stabilize_period_us: 1_000_000,
+            max_hops: 16,
+            summary_budget: 64,
+            dedup_window: 4096,
+        }
+    }
+}
+
+/// The two periodic timers the engine asks its driver to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterTimer {
+    /// Summary refresh + route aging.
+    Summary,
+    /// Self-stabilization pass.
+    Stabilize,
+}
+
+/// Inputs to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterEvent {
+    /// A link to a peer router came up.
+    LinkUp {
+        /// Driver-chosen link id.
+        link: LinkId,
+        /// Subject rewrite applied to publications forwarded *out* on
+        /// this link.
+        rewrite: Option<RewriteRule>,
+    },
+    /// A link went down; its routes are flushed immediately.
+    LinkDown {
+        /// The link that closed.
+        link: LinkId,
+    },
+    /// A subscription summary arrived from the peer on `link`.
+    SummaryRecv {
+        /// The link it arrived on.
+        link: LinkId,
+        /// Peer's advertisement sequence number (diagnostic; summaries
+        /// are soft state and always replace wholesale).
+        seq: u64,
+        /// The advertised filters, as subject-filter strings.
+        filters: Vec<String>,
+    },
+    /// The peer on `link` asked for a fresh summary.
+    SummaryReq {
+        /// The link the request arrived on.
+        link: LinkId,
+    },
+    /// The driver's current view of *local* interest: every subscription
+    /// on this router's own bus segment. Re-fed periodically from ground
+    /// truth, which is what lets stabilization discard a corrupted copy.
+    LocalInterest {
+        /// Local subscription filters, as subject-filter strings.
+        filters: Vec<String>,
+    },
+    /// A timer armed via [`RouterAction::SetTimer`] fired.
+    Timer(RouterTimer),
+}
+
+/// Outputs of the engine, performed by the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterAction {
+    /// Send a subscription summary to the peer on `link`.
+    SendSummary {
+        /// Destination link.
+        link: LinkId,
+        /// This router's advertisement sequence number for the link.
+        seq: u64,
+        /// Aggregated filters (at most `summary_budget` of them).
+        filters: Vec<String>,
+    },
+    /// Ask the peer on `link` to re-send its summary now (used after
+    /// aging or a stabilization repair flushed the stored copy).
+    SendSummaryReq {
+        /// Destination link.
+        link: LinkId,
+    },
+    /// Arm `timer` to fire after `delay_us`.
+    SetTimer {
+        /// Which timer.
+        timer: RouterTimer,
+        /// Delay from now, in microseconds.
+        delay_us: Micros,
+    },
+}
+
+/// One forwarding target from a [`RouteDecision`]: send the publication
+/// out on `link` under `subject` (rewritten if the link has a rule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardTarget {
+    /// The link to forward on.
+    pub link: LinkId,
+    /// The subject to forward under.
+    pub subject: String,
+}
+
+/// The engine's verdict on one publication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Whether to deliver/republish the message on the local segment.
+    /// `false` means the message is a loop duplicate — drop it entirely.
+    pub accept: bool,
+    /// The stamp outgoing copies (and a local republication) must carry.
+    /// `None` when the message never crossed a link and is not about to.
+    pub stamp: Option<RouteStamp>,
+    /// Links to forward on, with the subject for each.
+    pub targets: Vec<ForwardTarget>,
+}
+
+impl RouteDecision {
+    fn suppress() -> RouteDecision {
+        RouteDecision {
+            accept: false,
+            stamp: None,
+            targets: Vec::new(),
+        }
+    }
+}
+
+/// Federation counters, surfaced as `route_*` entries in bus stats.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Subscription summaries sent over links.
+    pub summaries_sent: u64,
+    /// Subscription summaries received from links.
+    pub summaries_recv: u64,
+    /// Publications forwarded out over links (one count per link copy).
+    pub forwarded: u64,
+    /// Publications dropped by loop suppression (origin check, dedup
+    /// window, or hop exhaustion never re-forwarding).
+    pub loops_suppressed: u64,
+    /// Route entries flushed because their summary aged out.
+    pub stale_aged: u64,
+    /// Tables rebuilt by the self-stabilization pass.
+    pub stab_repairs: u64,
+}
+
+/// Per-link soft state: the compiled rewrite and the peer's last summary.
+struct LinkState {
+    rewrite: Option<CompiledRewrite>,
+    /// Remote interest as `(raw text, parsed filter)` pairs, sorted and
+    /// deduplicated by text. Keeping both lets stabilization cross-check
+    /// one against the other.
+    remote: Vec<(String, SubjectFilter)>,
+    /// Peer's advertisement sequence number (diagnostic).
+    remote_seq: u64,
+    /// When the summary was last refreshed (drives route aging).
+    refreshed_at: Micros,
+    /// Our own advertisement sequence number for this link.
+    out_seq: u64,
+}
+
+/// Dedup window for one `(origin, epoch)` stamp stream: every sequence
+/// number `<= floor` or in `seen` has already been routed here.
+struct OriginWindow {
+    floor: u64,
+    seen: BTreeSet<u64>,
+    touched: Micros,
+}
+
+impl OriginWindow {
+    /// Records `seq`; returns `false` if it was already seen (a loop).
+    fn record(&mut self, seq: u64, window: usize, now: Micros) -> bool {
+        self.touched = now;
+        if seq <= self.floor || !self.seen.insert(seq) {
+            return false;
+        }
+        while self.seen.len() > window {
+            let lowest = *self.seen.iter().next().expect("window is non-empty");
+            self.seen.remove(&lowest);
+            self.floor = self.floor.max(lowest);
+        }
+        true
+    }
+}
+
+/// The information-router state machine. See the crate docs for the
+/// protocol; see [`RouterEngine::route`] for the data path.
+pub struct RouterEngine {
+    host: u32,
+    cfg: RouterConfig,
+    links: BTreeMap<LinkId, LinkState>,
+    /// Local interest, same representation as `LinkState::remote`.
+    local: Vec<(String, SubjectFilter)>,
+    /// Current stamp epoch (rotated each stabilization pass).
+    epoch: u64,
+    /// Next stamp sequence number within the current epoch.
+    next_seq: u64,
+    windows: HashMap<(u32, u64), OriginWindow>,
+    stats: RouteStats,
+}
+
+impl RouterEngine {
+    /// Creates an engine for the router daemon on `host`.
+    pub fn new(host: u32, cfg: RouterConfig) -> Self {
+        RouterEngine {
+            host,
+            cfg,
+            links: BTreeMap::new(),
+            local: Vec::new(),
+            epoch: 1,
+            next_seq: 1,
+            windows: HashMap::new(),
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// Starts the engine: seeds the stamp epoch from the clock and arms
+    /// both periodic timers.
+    pub fn start(&mut self, now: Micros) -> Vec<RouterAction> {
+        self.epoch = now.max(1);
+        vec![
+            RouterAction::SetTimer {
+                timer: RouterTimer::Summary,
+                delay_us: self.cfg.summary_period_us,
+            },
+            RouterAction::SetTimer {
+                timer: RouterTimer::Stabilize,
+                delay_us: self.cfg.stabilize_period_us,
+            },
+        ]
+    }
+
+    /// A snapshot of the federation counters.
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// Read-only check: does any link's remote side subscribe to
+    /// `subject`? Drivers use this as the cheap accept filter before
+    /// committing to payload copies.
+    pub fn interested(&self, subject: &str) -> bool {
+        let Ok(parsed) = Subject::new(subject) else {
+            return false;
+        };
+        self.links
+            .values()
+            .any(|st| link_wants(st, subject, &parsed).is_some())
+    }
+
+    /// The data path: decides the fate of one publication.
+    ///
+    /// `from` is the link the message arrived on (`None` for a local
+    /// publication — split horizon never forwards back out the arrival
+    /// link). `stamp` is the [`RouteStamp`] the message carried, if any.
+    ///
+    /// Loop suppression happens here: a stamp whose origin is this router,
+    /// or whose `(origin, epoch, seq)` this router has already routed, is
+    /// rejected (`accept: false`). A stamp with no hops left is accepted
+    /// locally but forwarded nowhere. A message that is about to cross its
+    /// first link gets a fresh stamp from this router's counter.
+    pub fn route(
+        &mut self,
+        now: Micros,
+        subject: &str,
+        from: Option<LinkId>,
+        stamp: Option<RouteStamp>,
+    ) -> RouteDecision {
+        let hopped = match stamp {
+            Some(s) => {
+                if s.origin == self.host {
+                    self.stats.loops_suppressed += 1;
+                    return RouteDecision::suppress();
+                }
+                let w = self
+                    .windows
+                    .entry((s.origin, s.epoch))
+                    .or_insert_with(|| OriginWindow {
+                        floor: 0,
+                        seen: BTreeSet::new(),
+                        touched: now,
+                    });
+                if !w.record(s.seq, self.cfg.dedup_window, now) {
+                    self.stats.loops_suppressed += 1;
+                    return RouteDecision::suppress();
+                }
+                if s.ttl == 0 {
+                    return RouteDecision {
+                        accept: true,
+                        stamp: Some(s),
+                        targets: Vec::new(),
+                    };
+                }
+                Some(s.hop())
+            }
+            None => None,
+        };
+        let Ok(parsed) = Subject::new(subject) else {
+            return RouteDecision {
+                accept: true,
+                stamp: hopped,
+                targets: Vec::new(),
+            };
+        };
+        let mut targets = Vec::new();
+        for (&link, st) in &self.links {
+            if Some(link) == from {
+                continue;
+            }
+            if let Some(out) = link_wants(st, subject, &parsed) {
+                targets.push(ForwardTarget { link, subject: out });
+            }
+        }
+        let out_stamp = if targets.is_empty() {
+            hopped
+        } else {
+            self.stats.forwarded += targets.len() as u64;
+            Some(hopped.unwrap_or_else(|| {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                RouteStamp {
+                    origin: self.host,
+                    epoch: self.epoch,
+                    seq,
+                    ttl: self.cfg.max_hops,
+                }
+            }))
+        };
+        RouteDecision {
+            accept: true,
+            stamp: out_stamp,
+            targets,
+        }
+    }
+
+    /// Feeds one control-plane event; returns the actions to perform.
+    pub fn handle(&mut self, now: Micros, event: RouterEvent) -> Vec<RouterAction> {
+        let mut out = Vec::new();
+        match event {
+            RouterEvent::LinkUp { link, rewrite } => {
+                self.links.insert(
+                    link,
+                    LinkState {
+                        rewrite: rewrite.as_ref().map(CompiledRewrite::new),
+                        remote: Vec::new(),
+                        remote_seq: 0,
+                        refreshed_at: now,
+                        out_seq: 0,
+                    },
+                );
+                self.advertise(None, &mut out);
+                out.push(RouterAction::SendSummaryReq { link });
+            }
+            RouterEvent::LinkDown { link } => {
+                if self.links.remove(&link).is_some() {
+                    self.advertise(None, &mut out);
+                }
+            }
+            RouterEvent::SummaryRecv { link, seq, filters } => {
+                self.stats.summaries_recv += 1;
+                if let Some(st) = self.links.get_mut(&link) {
+                    let parsed = parse_filters(&filters);
+                    let changed = st
+                        .remote
+                        .iter()
+                        .map(|(t, _)| t)
+                        .ne(parsed.iter().map(|(t, _)| t));
+                    st.remote = parsed;
+                    st.remote_seq = seq;
+                    st.refreshed_at = now;
+                    if changed {
+                        // Interest reachable through `link` changed, so the
+                        // aggregate we advertise elsewhere changed too.
+                        // Split horizon: never echo a summary back where it
+                        // came from — that is what quiesces bus chains.
+                        let others: Vec<LinkId> =
+                            self.links.keys().copied().filter(|l| *l != link).collect();
+                        for l in others {
+                            self.advertise(Some(l), &mut out);
+                        }
+                    }
+                }
+            }
+            RouterEvent::SummaryReq { link } => {
+                if self.links.contains_key(&link) {
+                    self.advertise(Some(link), &mut out);
+                }
+            }
+            RouterEvent::LocalInterest { filters } => {
+                let parsed = parse_filters(&filters);
+                if self
+                    .local
+                    .iter()
+                    .map(|(t, _)| t)
+                    .ne(parsed.iter().map(|(t, _)| t))
+                {
+                    self.local = parsed;
+                    self.advertise(None, &mut out);
+                }
+            }
+            RouterEvent::Timer(RouterTimer::Summary) => {
+                self.age_links(now, &mut out);
+                self.advertise(None, &mut out);
+                out.push(RouterAction::SetTimer {
+                    timer: RouterTimer::Summary,
+                    delay_us: self.cfg.summary_period_us,
+                });
+            }
+            RouterEvent::Timer(RouterTimer::Stabilize) => {
+                self.stabilize(now, &mut out);
+                out.push(RouterAction::SetTimer {
+                    timer: RouterTimer::Stabilize,
+                    delay_us: self.cfg.stabilize_period_us,
+                });
+            }
+        }
+        out
+    }
+
+    /// Deterministic fault injection for stabilization tests: garbles the
+    /// route tables, the compiled rewrites, the stamp counters, and the
+    /// dedup windows. Every corruption injected here is repaired within
+    /// one stabilization pass plus one summary exchange.
+    pub fn scramble(&mut self, seed: u64) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for st in self.links.values_mut() {
+            for (raw, _) in st.remote.iter_mut() {
+                // The raw text no longer matches the parsed filter.
+                raw.push(char::from(b'A' + (next() % 26) as u8));
+            }
+            st.remote.reverse();
+            st.remote_seq = next();
+            st.refreshed_at = u64::MAX;
+            if let Some(rw) = &mut st.rewrite {
+                rw.corrupt();
+            }
+        }
+        for (raw, _) in self.local.iter_mut() {
+            raw.push('~');
+        }
+        self.local.reverse();
+        // A stale epoch + rewound counter: fresh stamps collide with
+        // triples other routers already recorded, until rotation.
+        self.epoch = next() % 7;
+        self.next_seq = next() % 3;
+        // A saturated garbage window that would suppress everything from
+        // one (origin, epoch).
+        self.windows.insert(
+            (next() as u32, next()),
+            OriginWindow {
+                floor: u64::MAX,
+                seen: BTreeSet::new(),
+                touched: 0,
+            },
+        );
+    }
+
+    /// Emits a fresh advertisement on `only` (or every link): the summary
+    /// of local interest plus every *other* link's remote interest.
+    fn advertise(&mut self, only: Option<LinkId>, out: &mut Vec<RouterAction>) {
+        let ids: Vec<LinkId> = self
+            .links
+            .keys()
+            .copied()
+            .filter(|l| only.is_none() || only == Some(*l))
+            .collect();
+        for link in ids {
+            let mut filters: Vec<SubjectFilter> =
+                self.local.iter().map(|(_, f)| f.clone()).collect();
+            for (&other, st) in &self.links {
+                if other != link {
+                    filters.extend(st.remote.iter().map(|(_, f)| f.clone()));
+                }
+            }
+            let summary: Vec<String> = summarize(&filters, self.cfg.summary_budget)
+                .iter()
+                .map(|f| f.as_str().to_owned())
+                .collect();
+            let st = self.links.get_mut(&link).expect("link id from key scan");
+            st.out_seq += 1;
+            let seq = st.out_seq;
+            self.stats.summaries_sent += 1;
+            out.push(RouterAction::SendSummary {
+                link,
+                seq,
+                filters: summary,
+            });
+        }
+    }
+
+    /// Route aging: flushes links whose summary outlived the route TTL
+    /// and asks their peers for a fresh one.
+    fn age_links(&mut self, now: Micros, out: &mut Vec<RouterAction>) {
+        let ttl = self.cfg.route_ttl_us;
+        let mut aged = Vec::new();
+        for (&link, st) in self.links.iter_mut() {
+            if !st.remote.is_empty() && now.saturating_sub(st.refreshed_at) > ttl {
+                self.stats.stale_aged += st.remote.len() as u64;
+                st.remote.clear();
+                st.remote_seq = 0;
+                aged.push(link);
+            }
+        }
+        for link in aged {
+            out.push(RouterAction::SendSummaryReq { link });
+        }
+    }
+
+    /// The self-stabilization pass: validates every table against
+    /// locally-derivable truth and rebuilds what fails.
+    ///
+    /// * Remote route tables — raw filter text must reparse to exactly
+    ///   the stored parsed filter, entries must be sorted and unique, and
+    ///   the refresh time must not lie in the future. A failing table is
+    ///   flushed and re-requested from the peer (the peer's copy is the
+    ///   ground truth).
+    /// * Compiled rewrites — recompiled from their source rule whenever
+    ///   the compiled form disagrees with it.
+    /// * Local interest — same validation; a failing copy is discarded
+    ///   and rebuilt from the driver's next [`RouterEvent::LocalInterest`]
+    ///   feed (the driver re-derives it from ground truth every summary
+    ///   period).
+    /// * Stamp state — idle and saturated dedup windows are pruned, and
+    ///   the epoch is rotated past the clock so a corrupted sequence
+    ///   counter cannot keep colliding with triples other routers have
+    ///   already recorded.
+    fn stabilize(&mut self, now: Micros, out: &mut Vec<RouterAction>) {
+        if !table_valid(&self.local) {
+            self.local.clear();
+            self.stats.stab_repairs += 1;
+        }
+        let mut repair = Vec::new();
+        for (&link, st) in self.links.iter_mut() {
+            let mut bad = false;
+            if let Some(rw) = &mut st.rewrite {
+                if !rw.is_consistent() {
+                    let rule = rw.rule().clone();
+                    *rw = CompiledRewrite::new(&rule);
+                    bad = true;
+                }
+            }
+            if !table_valid(&st.remote) || st.refreshed_at > now {
+                st.remote.clear();
+                st.remote_seq = 0;
+                st.refreshed_at = now;
+                bad = true;
+            }
+            if bad {
+                self.stats.stab_repairs += 1;
+                repair.push(link);
+            }
+        }
+        for link in repair {
+            out.push(RouterAction::SendSummaryReq { link });
+        }
+        let idle = 2 * self.cfg.stabilize_period_us;
+        self.windows
+            .retain(|_, w| w.floor != u64::MAX && now.saturating_sub(w.touched) <= idle);
+        self.epoch = (self.epoch + 1).max(now.max(1));
+        self.next_seq = 1;
+    }
+}
+
+/// Whether `link`'s remote side subscribes to this subject, and under
+/// what (possibly rewritten) subject to forward it. A rewrite miss
+/// forwards the subject unchanged.
+fn link_wants(st: &LinkState, subject: &str, parsed: &Subject) -> Option<String> {
+    match &st.rewrite {
+        Some(rw) => match rw.apply(subject) {
+            Some(rewritten) => {
+                let subj = Subject::new(&rewritten).ok()?;
+                st.remote
+                    .iter()
+                    .any(|(_, f)| f.matches(&subj))
+                    .then_some(rewritten)
+            }
+            None => st
+                .remote
+                .iter()
+                .any(|(_, f)| f.matches(parsed))
+                .then(|| subject.to_owned()),
+        },
+        None => st
+            .remote
+            .iter()
+            .any(|(_, f)| f.matches(parsed))
+            .then(|| subject.to_owned()),
+    }
+}
+
+/// Parses, sorts and deduplicates a received filter list (unparseable
+/// entries are dropped — over-approximation elsewhere keeps this safe).
+fn parse_filters(filters: &[String]) -> Vec<(String, SubjectFilter)> {
+    let set: BTreeSet<&String> = filters.iter().collect();
+    set.into_iter()
+        .filter_map(|t| SubjectFilter::new(t).ok().map(|f| (t.clone(), f)))
+        .collect()
+}
+
+/// Structural validity of an interest table: sorted, unique, and every
+/// raw text reparses to exactly the stored filter.
+fn table_valid(table: &[(String, SubjectFilter)]) -> bool {
+    table.windows(2).all(|w| w[0].0 < w[1].0)
+        && table.iter().all(|(raw, parsed)| {
+            SubjectFilter::new(raw).is_ok_and(|f| f.as_str() == parsed.as_str())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(host: u32) -> RouterEngine {
+        RouterEngine::new(host, RouterConfig::default())
+    }
+
+    fn summaries(actions: &[RouterAction]) -> Vec<(LinkId, Vec<String>)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                RouterAction::SendSummary { link, filters, .. } => Some((*link, filters.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn has_req(actions: &[RouterAction], link: LinkId) -> bool {
+        actions
+            .iter()
+            .any(|a| matches!(a, RouterAction::SendSummaryReq { link: l } if *l == link))
+    }
+
+    #[test]
+    fn summary_exchange_then_forwarding() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 7,
+                rewrite: None,
+            },
+        );
+        assert!(!r.interested("news.x"));
+        r.handle(
+            10,
+            RouterEvent::SummaryRecv {
+                link: 7,
+                seq: 1,
+                filters: vec!["news.>".into()],
+            },
+        );
+        assert!(r.interested("news.x"));
+        assert!(!r.interested("fab5.cc"));
+
+        // A local publication the remote side wants: forwarded, freshly
+        // stamped by this router.
+        let d = r.route(20, "news.x", None, None);
+        assert!(d.accept);
+        assert_eq!(d.targets.len(), 1);
+        assert_eq!(d.targets[0].link, 7);
+        assert_eq!(d.targets[0].subject, "news.x");
+        let stamp = d.stamp.expect("crossing a link stamps the message");
+        assert_eq!(stamp.origin, 1);
+        assert_eq!(stamp.ttl, 16);
+
+        // One nobody wants: accepted locally, not forwarded, no stamp.
+        let d = r.route(21, "fab5.cc", None, None);
+        assert!(d.accept);
+        assert!(d.targets.is_empty());
+        assert!(d.stamp.is_none());
+
+        // Split horizon: a message arriving *on* link 7 never goes back
+        // out on link 7, even though the remote side matches.
+        let d = r.route(
+            22,
+            "news.y",
+            Some(7),
+            Some(RouteStamp {
+                origin: 9,
+                epoch: 1,
+                seq: 1,
+                ttl: 4,
+            }),
+        );
+        assert!(d.accept);
+        assert!(d.targets.is_empty());
+        // The traversal spends a hop even when nothing is forwarded: the
+        // republished copy keeps the dedup identity with one less hop.
+        assert_eq!(d.stamp.expect("stamp preserved").ttl, 3);
+        assert_eq!(r.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn origin_and_window_suppression() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+
+        // A copy stamped by *this* router came back around: suppressed.
+        let own = RouteStamp {
+            origin: 1,
+            epoch: 5,
+            seq: 3,
+            ttl: 9,
+        };
+        let d = r.route(10, "a.b", Some(1), Some(own));
+        assert!(!d.accept);
+
+        // A remote triple routes once, then never again.
+        let s = RouteStamp {
+            origin: 2,
+            epoch: 5,
+            seq: 3,
+            ttl: 9,
+        };
+        assert!(r.route(11, "a.b", Some(1), Some(s)).accept);
+        assert!(!r.route(12, "a.b", Some(1), Some(s)).accept);
+        assert_eq!(r.stats().loops_suppressed, 2);
+    }
+
+    #[test]
+    fn hop_exhaustion_accepts_but_stops_forwarding() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 2,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 2,
+                seq: 1,
+                filters: vec![">".into()],
+            },
+        );
+        let s = RouteStamp {
+            origin: 2,
+            epoch: 1,
+            seq: 1,
+            ttl: 0,
+        };
+        let d = r.route(5, "a.b", Some(1), Some(s));
+        assert!(d.accept, "hop exhaustion still delivers locally");
+        assert!(d.targets.is_empty(), "but forwards nowhere");
+        // With hops left the same shape forwards to link 2.
+        let s = RouteStamp {
+            origin: 2,
+            epoch: 1,
+            seq: 2,
+            ttl: 1,
+        };
+        let d = r.route(6, "a.b", Some(1), Some(s));
+        assert_eq!(d.targets.len(), 1);
+        assert_eq!(d.stamp.expect("hopped").ttl, 0);
+    }
+
+    #[test]
+    fn rewrite_applied_at_the_crossing() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 3,
+                rewrite: Some(RewriteRule {
+                    from_prefix: "fab5".into(),
+                    to_prefix: "hq.fab5".into(),
+                }),
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 3,
+                seq: 1,
+                filters: vec!["hq.>".into(), "ops.>".into()],
+            },
+        );
+        let d = r.route(5, "fab5.cc.litho8", None, None);
+        assert_eq!(d.targets[0].subject, "hq.fab5.cc.litho8");
+        // A miss forwards unchanged (remote still wants it under ops.>).
+        let d = r.route(6, "ops.alarm", None, None);
+        assert_eq!(d.targets[0].subject, "ops.alarm");
+        // A miss the remote does not want goes nowhere.
+        let d = r.route(7, "plant.temp", None, None);
+        assert!(d.targets.is_empty());
+    }
+
+    #[test]
+    fn split_horizon_aggregation_in_summaries() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 2,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            0,
+            RouterEvent::LocalInterest {
+                filters: vec!["local.>".into()],
+            },
+        );
+        let acts = r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec!["one.>".into()],
+            },
+        );
+        // Link 1's interest propagates to link 2 but never back to link 1.
+        let sums = summaries(&acts);
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].0, 2);
+        assert!(sums[0].1.contains(&"one.>".to_owned()));
+        // The periodic refresh advertises to both; link 1's copy carries
+        // local interest but not its own filters back.
+        let acts = r.handle(2, RouterEvent::Timer(RouterTimer::Summary));
+        let sums = summaries(&acts);
+        assert_eq!(sums.len(), 2);
+        let to_one = &sums.iter().find(|(l, _)| *l == 1).unwrap().1;
+        assert!(to_one.contains(&"local.>".to_owned()));
+        assert!(!to_one.contains(&"one.>".to_owned()), "{to_one:?}");
+    }
+
+    #[test]
+    fn route_aging_flushes_and_rerequests() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec!["news.>".into()],
+            },
+        );
+        // Within the TTL nothing ages.
+        let acts = r.handle(500_000, RouterEvent::Timer(RouterTimer::Summary));
+        assert!(!has_req(&acts, 1));
+        assert!(r.interested("news.x"));
+        // Past the TTL the route is flushed and re-requested.
+        let acts = r.handle(2_000_000, RouterEvent::Timer(RouterTimer::Summary));
+        assert!(has_req(&acts, 1));
+        assert!(!r.interested("news.x"));
+        assert_eq!(r.stats().stale_aged, 1);
+        // The refresh restores it.
+        r.handle(
+            2_000_001,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 2,
+                filters: vec!["news.>".into()],
+            },
+        );
+        assert!(r.interested("news.x"));
+    }
+
+    #[test]
+    fn stabilization_repairs_scrambled_state() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: Some(RewriteRule {
+                    from_prefix: "a".into(),
+                    to_prefix: "b.a".into(),
+                }),
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec!["b.>".into()],
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::LocalInterest {
+                filters: vec!["local.>".into()],
+            },
+        );
+        assert!(r.interested("a.x"));
+
+        r.scramble(42);
+
+        // The pass detects every corruption, rebuilds, and re-requests.
+        let acts = r.handle(1_000_000, RouterEvent::Timer(RouterTimer::Stabilize));
+        assert!(has_req(&acts, 1));
+        assert!(r.stats().stab_repairs >= 1);
+        // Fresh stamps no longer collide: epoch rotated past the clock.
+        r.handle(
+            1_000_001,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec!["b.>".into()],
+            },
+        );
+        let d = r.route(1_000_002, "a.x", None, None);
+        assert_eq!(d.targets[0].subject, "b.a.x", "rewrite recompiled");
+        let stamp = d.stamp.expect("stamped");
+        assert!(
+            stamp.epoch >= 1_000_000,
+            "epoch rotated, got {}",
+            stamp.epoch
+        );
+        // The garbage window is gone.
+        assert!(r.windows.values().all(|w| w.floor != u64::MAX));
+        // A second pass over healthy state repairs nothing further.
+        let before = r.stats().stab_repairs;
+        r.handle(
+            1_000_000,
+            RouterEvent::LocalInterest {
+                filters: vec!["local.>".into()],
+            },
+        );
+        r.handle(2_000_000, RouterEvent::Timer(RouterTimer::Stabilize));
+        assert_eq!(r.stats().stab_repairs, before);
+    }
+
+    #[test]
+    fn idempotent_stabilization_on_healthy_engine() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec!["x.>".into()],
+            },
+        );
+        let acts = r.handle(1_000_000, RouterEvent::Timer(RouterTimer::Stabilize));
+        assert!(!has_req(&acts, 1), "healthy tables are left alone");
+        assert_eq!(r.stats().stab_repairs, 0);
+        assert!(r.interested("x.y"));
+    }
+
+    /// An engine-level ring: N routers, each linked to both neighbors.
+    /// Summaries propagate until quiescent; then one publication enters
+    /// at router 0 and must reach every other router exactly once, with
+    /// the ring's returning copies suppressed and the process finite.
+    #[test]
+    fn ring_is_loop_free_and_delivers_exactly_once() {
+        const N: usize = 5;
+        // Link ids: on each router, link 0 = previous neighbor, link 1 =
+        // next neighbor (clockwise).
+        let mut ring: Vec<RouterEngine> = (0..N as u32).map(engine).collect();
+        let mut pending: Vec<(usize, RouterEvent)> = Vec::new();
+        for (i, r) in ring.iter_mut().enumerate() {
+            r.start(0);
+            for a in r
+                .handle(
+                    0,
+                    RouterEvent::LinkUp {
+                        link: 0,
+                        rewrite: None,
+                    },
+                )
+                .into_iter()
+                .chain(r.handle(
+                    0,
+                    RouterEvent::LinkUp {
+                        link: 1,
+                        rewrite: None,
+                    },
+                ))
+            {
+                queue_ctrl(i, a, &mut pending);
+            }
+        }
+        // Every router's segment subscribes to "news.>".
+        for (i, r) in ring.iter_mut().enumerate() {
+            for a in r.handle(
+                1,
+                RouterEvent::LocalInterest {
+                    filters: vec!["news.>".into()],
+                },
+            ) {
+                queue_ctrl(i, a, &mut pending);
+            }
+        }
+        // Run the control plane to quiescence (bounded: ping-pong would
+        // mean the summary protocol does not converge).
+        let mut rounds = 0;
+        while let Some((to, ev)) = pending.pop() {
+            rounds += 1;
+            assert!(rounds < 10_000, "summary exchange does not quiesce");
+            for a in ring[to].handle(2, ev) {
+                queue_ctrl(to, a, &mut pending);
+            }
+        }
+        for r in &ring {
+            assert!(r.interested("news.x"), "interest propagated ring-wide");
+        }
+
+        // Data plane: a publication enters at router 0.
+        let mut deliveries = vec![0usize; N];
+        let mut msgs: Vec<(usize, LinkId, Option<RouteStamp>)> = Vec::new();
+        let d = ring[0].route(10, "news.x", None, None);
+        deliveries[0] += 1; // it is already local at router 0
+        for t in &d.targets {
+            msgs.push((peer_of(0, t.link), arrival_link(t.link), d.stamp));
+        }
+        let mut hops = 0;
+        while let Some((at, from, stamp)) = msgs.pop() {
+            hops += 1;
+            assert!(hops < 1_000, "message circulates forever");
+            let d = ring[at].route(20 + hops, "news.x", Some(from), stamp);
+            if d.accept {
+                deliveries[at] += 1;
+            }
+            for t in &d.targets {
+                msgs.push((peer_of(at, t.link), arrival_link(t.link), d.stamp));
+            }
+        }
+        assert_eq!(deliveries, vec![1; N], "exactly one copy per segment");
+        let suppressed: u64 = ring.iter().map(|r| r.stats().loops_suppressed).sum();
+        assert!(suppressed >= 1, "the ring's returning copies were caught");
+        // Conservation: total forwards == deliveries beyond the origin
+        // plus the suppressed returning copies.
+        let forwarded: u64 = ring.iter().map(|r| r.stats().forwarded).sum();
+        assert_eq!(forwarded, (N as u64 - 1) + suppressed);
+
+        fn peer_of(i: usize, link: LinkId) -> usize {
+            match link {
+                0 => (i + N - 1) % N,
+                _ => (i + 1) % N,
+            }
+        }
+        // Arriving at the peer, the message comes in on the opposite foot.
+        fn arrival_link(out_link: LinkId) -> LinkId {
+            1 - out_link
+        }
+        fn queue_ctrl(i: usize, a: RouterAction, pending: &mut Vec<(usize, RouterEvent)>) {
+            match a {
+                RouterAction::SendSummary { link, seq, filters } => {
+                    let to = peer_of(i, link);
+                    pending.push((
+                        to,
+                        RouterEvent::SummaryRecv {
+                            link: arrival_link(link),
+                            seq,
+                            filters,
+                        },
+                    ));
+                }
+                RouterAction::SendSummaryReq { link } => {
+                    let to = peer_of(i, link);
+                    pending.push((
+                        to,
+                        RouterEvent::SummaryReq {
+                            link: arrival_link(link),
+                        },
+                    ));
+                }
+                RouterAction::SetTimer { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_window_floor_advances() {
+        let mut w = OriginWindow {
+            floor: 0,
+            seen: BTreeSet::new(),
+            touched: 0,
+        };
+        for seq in 1..=10 {
+            assert!(w.record(seq, 4, 0));
+        }
+        assert!(w.seen.len() <= 4);
+        assert!(w.floor >= 6);
+        // Everything at or below the floor reads as seen.
+        assert!(!w.record(2, 4, 0));
+        assert!(!w.record(w.floor, 4, 0));
+        assert!(w.record(11, 4, 0));
+    }
+
+    #[test]
+    fn link_down_flushes_interest() {
+        let mut r = engine(1);
+        r.start(0);
+        r.handle(
+            0,
+            RouterEvent::LinkUp {
+                link: 1,
+                rewrite: None,
+            },
+        );
+        r.handle(
+            1,
+            RouterEvent::SummaryRecv {
+                link: 1,
+                seq: 1,
+                filters: vec![">".into()],
+            },
+        );
+        assert!(r.interested("a"));
+        r.handle(2, RouterEvent::LinkDown { link: 1 });
+        assert!(!r.interested("a"));
+        let d = r.route(3, "a", None, None);
+        assert!(d.targets.is_empty());
+    }
+}

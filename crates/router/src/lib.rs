@@ -1,0 +1,52 @@
+//! Information routers: the WAN federation subsystem.
+//!
+//! "Our implementation uses application-level 'information routers' …
+//! Messages are received by one router using a subscription, transmitted
+//! to another router, and then re-published on another bus. The router is
+//! intelligent about which messages are sent to which routers: messages
+//! are only re-published on buses for which there exists a subscription on
+//! that subject; the router can also perform other functions, such as
+//! transforming subjects … Thus, the overall effect is to create the
+//! illusion of a single, large bus." (§3.1)
+//!
+//! This crate is the sans-I/O half of that story: a [`RouterEngine`] that
+//! consumes `(now_us, RouterEvent)` and emits [`RouterAction`]s, in the
+//! same style as the core protocol engine. Drivers (the netsim bus
+//! daemon, the wall-clock UDP router) own sockets and timers; the engine
+//! owns every routing decision:
+//!
+//! * **subscription summaries** — each link periodically receives an
+//!   aggregated subject-prefix summary ([`summarize`]) of everything the
+//!   local bus and the *other* links subscribe to (split-horizon
+//!   aggregation), never raw subscriber lists;
+//! * **loop freedom** — split horizon plus a per-message origin/hop
+//!   stamp ([`RouteStamp`]): the first router a publication crosses
+//!   stamps it, every router deduplicates on `(origin, epoch, seq)` and
+//!   decrements the hop budget, so cyclic topologies cannot echo;
+//! * **route aging** — a link whose summary is not refreshed within the
+//!   route TTL is flushed and re-requested (soft state);
+//! * **subject rewriting** — a [`RewriteRule`] per link, applied
+//!   element-wise at the crossing (see [`CompiledRewrite`]);
+//! * **self-stabilization** — a periodic pass re-validates every table
+//!   against locally-derivable truth, rebuilds what fails, and rotates
+//!   the stamp epoch, so arbitrarily corrupted route state converges
+//!   back to correct delivery within one stabilization period.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod rewrite;
+mod stamp;
+mod summary;
+
+pub use engine::{
+    ForwardTarget, LinkId, RouteDecision, RouteStats, RouterAction, RouterConfig, RouterEngine,
+    RouterEvent, RouterTimer,
+};
+pub use rewrite::{CompiledRewrite, RewriteRule};
+pub use stamp::RouteStamp;
+pub use summary::summarize;
+
+/// Microseconds, the time unit of the engine (matches the core engine).
+pub type Micros = u64;

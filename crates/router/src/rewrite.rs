@@ -1,0 +1,198 @@
+//! Subject rewriting at link crossings.
+
+use infobus_subject::Subject;
+
+/// A subject-rewriting rule applied to publications crossing a link.
+///
+/// If a forwarded subject starts with `from_prefix` (element-wise), that
+/// prefix is replaced with `to_prefix`. For example,
+/// `{ from_prefix: "fab5", to_prefix: "hq.fab5" }` republishes
+/// `fab5.cc.litho8` as `hq.fab5.cc.litho8` on the remote bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteRule {
+    /// Element-wise subject prefix to match.
+    pub from_prefix: String,
+    /// Replacement prefix.
+    pub to_prefix: String,
+}
+
+impl RewriteRule {
+    /// Whether the rule matches `subject` (element-wise prefix test).
+    /// Never allocates — use this on hot paths before [`apply`] commits
+    /// to building the rewritten string.
+    ///
+    /// [`apply`]: RewriteRule::apply
+    pub fn matches(&self, subject: &str) -> bool {
+        match subject.strip_prefix(self.from_prefix.as_str()) {
+            Some("") => true,
+            Some(rest) => rest.starts_with('.'),
+            None => false,
+        }
+    }
+
+    /// Applies the rule to a subject string; returns the rewritten
+    /// subject, or `None` if the prefix does not match. The miss path is
+    /// allocation-free (a prefix test on borrowed bytes); only a hit
+    /// builds the rewritten string.
+    pub fn apply(&self, subject: &str) -> Option<String> {
+        let rest = subject.strip_prefix(self.from_prefix.as_str())?;
+        if rest.is_empty() {
+            return Some(self.to_prefix.clone());
+        }
+        if !rest.starts_with('.') {
+            return None;
+        }
+        let mut out = String::with_capacity(self.to_prefix.len() + rest.len());
+        out.push_str(&self.to_prefix);
+        out.push_str(rest);
+        Some(out)
+    }
+}
+
+/// A [`RewriteRule`] compiled for element-wise application: the prefix is
+/// split into elements once at construction, so a router matching every
+/// forwarded subject against the rule compares elements instead of
+/// re-deriving boundaries from the string on each message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledRewrite {
+    from: Vec<String>,
+    to_prefix: String,
+    /// The source rule, kept for re-validation: a self-stabilization pass
+    /// can recompile and compare (see [`CompiledRewrite::is_consistent`]).
+    rule: RewriteRule,
+}
+
+impl CompiledRewrite {
+    /// Compiles a rule (splits `from_prefix` into elements once).
+    pub fn new(rule: &RewriteRule) -> Self {
+        CompiledRewrite {
+            from: rule.from_prefix.split('.').map(str::to_owned).collect(),
+            to_prefix: rule.to_prefix.clone(),
+            rule: rule.clone(),
+        }
+    }
+
+    /// The rule this was compiled from.
+    pub fn rule(&self) -> &RewriteRule {
+        &self.rule
+    }
+
+    /// Whether the compiled tables still agree with the source rule
+    /// (stabilization-pass validation; `false` after memory corruption).
+    pub fn is_consistent(&self) -> bool {
+        self.to_prefix == self.rule.to_prefix
+            && self
+                .from
+                .iter()
+                .map(String::as_str)
+                .eq(self.rule.from_prefix.split('.'))
+    }
+
+    /// Fault injection for stabilization tests: desynchronizes the
+    /// compiled tables from the source rule, after which
+    /// [`CompiledRewrite::is_consistent`] is `false` and a stabilization
+    /// pass recompiles from [`CompiledRewrite::rule`]. Never called on
+    /// healthy paths.
+    pub fn corrupt(&mut self) {
+        self.from.push(String::from("__corrupt"));
+    }
+
+    /// Element-wise apply: matches `elements` against the compiled prefix
+    /// and, on a hit, builds the rewritten subject string. The miss path
+    /// performs only slice comparisons.
+    pub fn apply_elements(&self, elements: &[&str]) -> Option<String> {
+        if elements.len() < self.from.len() {
+            return None;
+        }
+        if !self
+            .from
+            .iter()
+            .zip(elements)
+            .all(|(want, got)| want == got)
+        {
+            return None;
+        }
+        let tail = &elements[self.from.len()..];
+        let extra: usize = tail.iter().map(|e| e.len() + 1).sum();
+        let mut out = String::with_capacity(self.to_prefix.len() + extra);
+        out.push_str(&self.to_prefix);
+        for e in tail {
+            out.push('.');
+            out.push_str(e);
+        }
+        Some(out)
+    }
+
+    /// Applies the compiled rule to a parsed [`Subject`].
+    pub fn apply_subject(&self, subject: &Subject) -> Option<String> {
+        let elements: Vec<&str> = subject.elements().collect();
+        self.apply_elements(&elements)
+    }
+
+    /// Applies the compiled rule to a subject string (splits it, then
+    /// defers to [`CompiledRewrite::apply_elements`]).
+    pub fn apply(&self, subject: &str) -> Option<String> {
+        let elements: Vec<&str> = subject.split('.').collect();
+        self.apply_elements(&elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_on_element_boundaries() {
+        let r = RewriteRule {
+            from_prefix: "fab5".into(),
+            to_prefix: "hq.fab5".into(),
+        };
+        assert_eq!(r.apply("fab5.cc.litho8"), Some("hq.fab5.cc.litho8".into()));
+        assert_eq!(r.apply("fab5"), Some("hq.fab5".into()));
+        assert_eq!(r.apply("fab55.cc"), None, "no partial-element match");
+        assert_eq!(r.apply("news.fab5"), None);
+        assert!(r.matches("fab5.cc"));
+        assert!(!r.matches("fab55.cc"));
+    }
+
+    #[test]
+    fn multi_element_prefix() {
+        let r = RewriteRule {
+            from_prefix: "news.equity".into(),
+            to_prefix: "ny.equity".into(),
+        };
+        assert_eq!(r.apply("news.equity.gmc"), Some("ny.equity.gmc".into()));
+        assert_eq!(r.apply("news.bond.gmc"), None);
+    }
+
+    #[test]
+    fn compiled_agrees_on_fixed_cases() {
+        let r = RewriteRule {
+            from_prefix: "news.equity".into(),
+            to_prefix: "ny".into(),
+        };
+        let c = CompiledRewrite::new(&r);
+        for s in [
+            "news.equity.gmc",
+            "news.equity",
+            "news.equit",
+            "news.equityx.gmc",
+            "news",
+            "other.news.equity",
+        ] {
+            assert_eq!(c.apply(s), r.apply(s), "compiled vs string on {s}");
+        }
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_compilation_detected() {
+        let r = RewriteRule {
+            from_prefix: "a.b".into(),
+            to_prefix: "x".into(),
+        };
+        let mut c = CompiledRewrite::new(&r);
+        c.from[1] = "zz".into(); // simulated corruption
+        assert!(!c.is_consistent());
+    }
+}

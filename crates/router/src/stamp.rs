@@ -1,0 +1,42 @@
+//! Per-message origin/hop stamps: the loop-freedom mechanism.
+
+/// The federation stamp a publication carries once it has crossed (or is
+/// about to cross) a router link.
+///
+/// The first router that forwards a publication assigns the stamp from
+/// its own `(epoch, seq)` counter; every router the message subsequently
+/// reaches deduplicates on `(origin, epoch, seq)` and decrements `ttl`.
+/// Split horizon alone keeps trees quiet; the stamp is what makes cyclic
+/// topologies loop-free: a copy that travels all the way around a ring
+/// arrives back at its origin (suppressed by the origin check) or at a
+/// router that has already seen the triple (suppressed by the dedup
+/// window), and a copy that escapes both runs out of hops.
+///
+/// Epochs are rotated by the origin's self-stabilization pass, so a
+/// corrupted sequence counter can mis-stamp for at most one
+/// stabilization period before a fresh epoch gives every window a clean
+/// slate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStamp {
+    /// Host id of the router (or routing daemon) that stamped the
+    /// message on federation entry.
+    pub origin: u32,
+    /// The origin's stamp epoch at the time (rotated each stabilization
+    /// pass).
+    pub epoch: u64,
+    /// Sequence number within `(origin, epoch)`.
+    pub seq: u64,
+    /// Remaining hop budget; a router forwards only while `ttl > 0`,
+    /// decrementing per crossing.
+    pub ttl: u8,
+}
+
+impl RouteStamp {
+    /// The stamp with one hop spent.
+    pub fn hop(self) -> RouteStamp {
+        RouteStamp {
+            ttl: self.ttl.saturating_sub(1),
+            ..self
+        }
+    }
+}

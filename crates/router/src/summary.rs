@@ -1,0 +1,158 @@
+//! Subscription-summary aggregation: what a router advertises to a link.
+//!
+//! A link never carries raw subscriber lists. The advertisement is an
+//! *over-approximating summary*: duplicates collapse, filters covered by
+//! broader filters disappear, and — when the set still exceeds the entry
+//! budget — the deepest filters are generalized to `prefix.>` until it
+//! fits. Over-approximation is the safe direction for soft-state
+//! routing: a summary may pull a few extra messages across a link, but
+//! it can never starve a remote subscriber.
+
+use std::collections::BTreeSet;
+
+use infobus_subject::SubjectFilter;
+
+/// Aggregates a subscription set into at most `budget` filters whose
+/// union covers every input filter. Output is deterministic (sorted,
+/// deduplicated). A zero budget is treated as 1; an empty input summarizes
+/// to an empty advertisement.
+pub fn summarize(filters: &[SubjectFilter], budget: usize) -> Vec<SubjectFilter> {
+    let budget = budget.max(1);
+    // Dedupe + deterministic order.
+    let mut set: BTreeSet<String> = filters.iter().map(|f| f.as_str().to_owned()).collect();
+    drop_covered(&mut set);
+    // Generalize the deepest entries to `prefix.>` until within budget.
+    while set.len() > budget {
+        let deepest = set
+            .iter()
+            .max_by_key(|s| (s.matches('.').count(), s.len()))
+            .cloned()
+            .expect("non-empty set: len > budget >= 1");
+        set.remove(&deepest);
+        set.insert(generalize(&deepest));
+        drop_covered(&mut set);
+    }
+    set.iter()
+        .filter_map(|s| SubjectFilter::new(s).ok())
+        .collect()
+}
+
+/// One step up the generalization ladder: `a.b.c` → `a.b.>` → `a.>` →
+/// `>`. Strictly widens (the result covers the input) and strictly
+/// shortens, so the summarization loop always terminates.
+fn generalize(s: &str) -> String {
+    let trunk = s.strip_suffix(".>").unwrap_or(s);
+    match trunk.rsplit_once('.') {
+        Some((head, _)) => format!("{head}.>"),
+        None => ">".to_owned(),
+    }
+}
+
+/// Removes every filter covered by a different remaining filter.
+fn drop_covered(set: &mut BTreeSet<String>) {
+    let parsed: Vec<(String, SubjectFilter)> = set
+        .iter()
+        .filter_map(|s| SubjectFilter::new(s).ok().map(|f| (s.clone(), f)))
+        .collect();
+    let mut dropped: Vec<String> = Vec::new();
+    for (i, (text, f)) in parsed.iter().enumerate() {
+        let covered = parsed.iter().enumerate().any(|(j, (otext, other))| {
+            i != j && !dropped.contains(otext) && other.covers(f) && !f.covers(other)
+        });
+        // Of an exactly-equivalent pair only the BTreeSet dedupe applies
+        // (distinct texts with mutual cover both stay: rare and harmless).
+        if covered {
+            dropped.push(text.clone());
+        }
+    }
+    for d in dropped {
+        set.remove(&d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infobus_subject::Subject;
+
+    fn f(s: &str) -> SubjectFilter {
+        SubjectFilter::new(s).unwrap()
+    }
+
+    fn texts(filters: &[SubjectFilter]) -> Vec<String> {
+        filters.iter().map(|x| x.as_str().to_owned()).collect()
+    }
+
+    #[test]
+    fn dedupes_and_drops_covered() {
+        let out = summarize(
+            &[f("news.>"), f("news.equity.gmc"), f("news.>"), f("fab5.*")],
+            16,
+        );
+        assert_eq!(texts(&out), vec!["fab5.*", "news.>"]);
+    }
+
+    #[test]
+    fn generalizes_to_fit_budget() {
+        let input: Vec<SubjectFilter> =
+            (0..10).map(|i| f(&format!("plant.cell{i}.temp"))).collect();
+        let out = summarize(&input, 3);
+        assert!(out.len() <= 3, "{:?}", texts(&out));
+        // The summary must still cover every input filter.
+        for orig in &input {
+            assert!(
+                out.iter().any(|s| s.covers(orig)),
+                "{} not covered by {:?}",
+                orig.as_str(),
+                texts(&out)
+            );
+        }
+    }
+
+    #[test]
+    fn over_approximates_never_starves() {
+        // Whatever the budget, every subject matched by an input filter is
+        // matched by the summary.
+        let input = vec![
+            f("a.b.c"),
+            f("a.b.d"),
+            f("x.*.z"),
+            f("deep.a.b.c.d.e"),
+            f("q.>"),
+        ];
+        let subjects = ["a.b.c", "a.b.d", "x.k.z", "deep.a.b.c.d.e", "q.r.s"];
+        for budget in 1..=6 {
+            let out = summarize(&input, budget);
+            assert!(out.len() <= budget.max(1));
+            for s in subjects {
+                let subj = Subject::new(s).unwrap();
+                assert!(
+                    out.iter().any(|flt| flt.matches(&subj)),
+                    "budget {budget}: {s} lost from {:?}",
+                    texts(&out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_one_collapses_to_catch_all_when_needed() {
+        let out = summarize(&[f("alpha"), f("beta.x"), f("gamma.y.z")], 1);
+        assert_eq!(texts(&out), vec![">"]);
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let a = summarize(&[f("b.x"), f("a.y"), f("c.z.>")], 16);
+        let b = summarize(&[f("c.z.>"), f("b.x"), f("a.y")], 16);
+        assert_eq!(texts(&a), texts(&b));
+        let mut sorted = texts(&a);
+        sorted.sort();
+        assert_eq!(texts(&a), sorted);
+    }
+
+    #[test]
+    fn empty_input_is_empty_summary() {
+        assert!(summarize(&[], 8).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for subject rewriting: the compiled element-wise form
+//! must agree with the plain string rule on every input, and the miss
+//! path must never allocate a rewritten subject.
+
+use infobus_router::{CompiledRewrite, RewriteRule};
+
+/// A small deterministic generator (no external crates).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn pick<'a>(&mut self, items: &'a [&'a str]) -> &'a str {
+        items[(self.next() as usize) % items.len()]
+    }
+
+    /// A random dotted subject/prefix of 1..=depth elements.
+    fn dotted(&mut self, depth: usize) -> String {
+        const ELEMS: &[&str] = &[
+            "a", "b", "fab5", "cc", "litho8", "news", "equity", "gmc", "hq", "ops", "x", "ab",
+        ];
+        let n = 1 + (self.next() as usize) % depth;
+        (0..n)
+            .map(|_| self.pick(ELEMS))
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+#[test]
+fn compiled_form_agrees_with_rule_on_random_inputs() {
+    let mut rng = Lcg(0xfeed_beef);
+    for _ in 0..20_000 {
+        let rule = RewriteRule {
+            from_prefix: rng.dotted(3),
+            to_prefix: rng.dotted(3),
+        };
+        let compiled = CompiledRewrite::new(&rule);
+        let subject = rng.dotted(5);
+        assert_eq!(
+            compiled.apply(&subject),
+            rule.apply(&subject),
+            "rule {rule:?} disagrees on {subject:?}"
+        );
+    }
+}
+
+#[test]
+fn element_boundaries_never_match_partially() {
+    let mut rng = Lcg(0x5eed);
+    for _ in 0..5_000 {
+        let base = rng.dotted(3);
+        let rule = RewriteRule {
+            from_prefix: base.clone(),
+            to_prefix: rng.dotted(2),
+        };
+        // Extending the final element (no dot) must always miss: "fab5"
+        // is not a prefix of "fab55.x" element-wise.
+        let partial = format!("{base}5.tail");
+        assert_eq!(
+            rule.apply(&partial),
+            None,
+            "partial-element match: {rule:?}"
+        );
+        assert_eq!(CompiledRewrite::new(&rule).apply(&partial), None);
+    }
+}
+
+#[test]
+fn hits_rewrite_and_misses_pass_through() {
+    let mut rng = Lcg(7);
+    for _ in 0..5_000 {
+        let rule = RewriteRule {
+            from_prefix: rng.dotted(2),
+            to_prefix: rng.dotted(2),
+        };
+        let tail = rng.dotted(2);
+        let hit = format!("{}.{}", rule.from_prefix, tail);
+        assert_eq!(
+            rule.apply(&hit).as_deref(),
+            Some(format!("{}.{}", rule.to_prefix, tail).as_str())
+        );
+        // `matches` must agree with `apply(..).is_some()` everywhere.
+        let probe = rng.dotted(4);
+        assert_eq!(rule.matches(&probe), rule.apply(&probe).is_some());
+    }
+}
+
+#[test]
+fn recompilation_restores_a_corrupted_compiled_form() {
+    let rule = RewriteRule {
+        from_prefix: "news.equity".into(),
+        to_prefix: "ny.equity".into(),
+    };
+    let mut compiled = CompiledRewrite::new(&rule);
+    assert!(compiled.is_consistent());
+    compiled.corrupt();
+    assert!(!compiled.is_consistent());
+    let repaired = CompiledRewrite::new(compiled.rule());
+    assert!(repaired.is_consistent());
+    assert_eq!(
+        repaired.apply("news.equity.gmc").as_deref(),
+        Some("ny.equity.gmc")
+    );
+}
