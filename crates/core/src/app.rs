@@ -190,12 +190,36 @@ impl BusCtx<'_, '_> {
     ///
     /// Returns [`BusError::Subject`] for malformed filters.
     pub fn subscribe(&mut self, filter: &str) -> Result<SubscriptionHandle, BusError> {
-        let filter = SubjectFilter::new(filter)?;
-        Ok(SubscriptionHandle(self.d.subscribe_app(
+        Ok(SubscriptionHandle(self.d.subscribe_app_expanded(
             self.net,
             self.app_idx,
-            &filter,
-        )))
+            filter,
+            None,
+        )?))
+    }
+
+    /// Subscribes with a content predicate: only matching publications
+    /// whose payload satisfies `pred` are delivered, and the predicate
+    /// travels to *publishing* daemons so unanimously rejected
+    /// publications are suppressed before they are marshalled or sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters or
+    /// [`BusError::Filter`] if the predicate exceeds the compile bounds.
+    pub fn subscribe_filtered(
+        &mut self,
+        filter: &str,
+        pred: &crate::engine::filter::Predicate,
+    ) -> Result<SubscriptionHandle, BusError> {
+        let compiled =
+            std::sync::Arc::new(crate::engine::filter::CompiledPredicate::compile(pred)?);
+        Ok(SubscriptionHandle(self.d.subscribe_app_expanded(
+            self.net,
+            self.app_idx,
+            filter,
+            Some(compiled),
+        )?))
     }
 
     /// Cancels a subscription made with [`BusCtx::subscribe`].

@@ -174,6 +174,28 @@ pub trait Bus: Send + Sync {
     /// Returns [`BusError`] if the filter does not parse.
     fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError>;
 
+    /// Subscribes to every subject matching `filter` *and* whose payload
+    /// satisfies `pred` (see
+    /// [`Predicate`](crate::engine::filter::Predicate)).
+    ///
+    /// The predicate is compiled once here and enforced twice: at this
+    /// daemon's delivery gate (exact per-subscription semantics), and —
+    /// because it travels inside subscription announcements — at every
+    /// *publisher's* daemon, where a publication rejected by all matching
+    /// interest is suppressed before marshalling and fan-out
+    /// (`filt_pub_suppressed`). The match set a subscriber observes is
+    /// identical either way; only wire traffic differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if the filter does not parse or the
+    /// predicate exceeds the compile bounds.
+    fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &crate::engine::filter::Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError>;
+
     /// Publishes `value` on `subject` with the requested delivery
     /// guarantee, returning how many local subscriber queues matched at
     /// the publishing daemon (remote matches are not knowable

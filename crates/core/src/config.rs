@@ -1,7 +1,9 @@
 //! Tunable parameters of a bus daemon.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use infobus_router::SubjectMap;
 use infobus_wal::FsyncPolicy;
 
 use crate::engine::Micros;
@@ -139,6 +141,14 @@ pub struct BusConfig {
     /// slow subscriber cannot grow the persist map without bound.
     /// `0` keeps every live payload in memory. Defaults to 1 MiB.
     pub durable_mem_bytes: usize,
+    /// The semantic subject layer ([`SubjectMap`]): synonym aliases and
+    /// taxonomy broadening rules applied above the subject trie. Publish
+    /// subjects and subscription filters are canonicalized, and filters
+    /// covering a taxonomy category are expanded with the category's
+    /// semantic members, so publishers and subscribers with different
+    /// vocabularies share one fan-out path. Shared by `Arc` across every
+    /// daemon of a segment. `None` (the default) disables the layer.
+    pub subject_map: Option<Arc<SubjectMap>>,
 }
 
 impl Default for BusConfig {
@@ -171,6 +181,7 @@ impl Default for BusConfig {
             segment_bytes: 1 << 20,
             fsync: FsyncPolicy::Always,
             durable_mem_bytes: 1 << 20,
+            subject_map: None,
         }
     }
 }
@@ -403,6 +414,20 @@ impl BusConfig {
     pub fn with_durable_mem_bytes(mut self, bytes: usize) -> Self {
         self.durable_mem_bytes = bytes;
         self
+    }
+
+    /// Installs the semantic subject layer (synonym aliases + taxonomy
+    /// broadening; see [`SubjectMap`]). Pass the same `Arc` to every
+    /// daemon of a segment so all of them rewrite identically.
+    pub fn with_subject_map(mut self, map: Arc<SubjectMap>) -> Self {
+        self.subject_map = Some(map);
+        self
+    }
+
+    /// The semantic layer, if one is installed and non-empty (drivers
+    /// skip the rewrite path entirely otherwise).
+    pub fn semantic_map(&self) -> Option<&Arc<SubjectMap>> {
+        self.subject_map.as_ref().filter(|m| !m.is_empty())
     }
 }
 

@@ -103,8 +103,25 @@ pub(crate) struct DaemonState {
     pub(crate) registry: Rc<RefCell<TypeRegistry>>,
     pub(crate) trie: SubjectTrie<SubTarget>,
     pub(crate) app_meta: Vec<Option<AppMeta>>,
-    /// Aggregated filter strings announced to peers (refcounted).
-    pub(crate) my_filters: HashMap<String, u32>,
+    /// Filter strings announced to peers, each carrying its live local
+    /// subscriptions `(id, predicate)` — the list derives both the
+    /// refcount (empty = withdraw) and the announced predicate
+    /// ([`DaemonState::announced_pred_for`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) my_filters: HashMap<
+        String,
+        Vec<(
+            SubscriptionId,
+            Option<std::sync::Arc<crate::engine::filter::CompiledPredicate>>,
+        )>,
+    >,
+    /// Per-subscription compiled content predicates (the delivery gate).
+    pub(crate) sub_preds:
+        HashMap<SubscriptionId, std::sync::Arc<crate::engine::filter::CompiledPredicate>>,
+    /// Semantic expansion families: the head subscription id mapped to
+    /// the sibling ids the [`SubjectMap`](infobus_router::SubjectMap)
+    /// materialized; unsubscribing the head removes them all.
+    pub(crate) expansions: HashMap<SubscriptionId, Vec<SubscriptionId>>,
     /// Filters whose announcement is pending the debounce flush (batching
     /// thousands of subscriptions into one packet).
     pub(crate) pending_announce_add: Vec<String>,
@@ -113,7 +130,7 @@ pub(crate) struct DaemonState {
     /// Virtual time each live subscription was created (first-contact
     /// stream policy).
     pub(crate) sub_times: HashMap<SubscriptionId, Micros>,
-    pub(crate) peer_subs: HashMap<u32, HashMap<String, SubjectFilter>>,
+    pub(crate) peer_subs: HashMap<u32, HashMap<String, crate::interest::PeerInterest>>,
     pub(crate) calls: HashMap<u64, CallState>,
     pub(crate) conn_calls: HashMap<ConnId, u64>,
     pub(crate) services: HashMap<String, usize>,
@@ -131,6 +148,19 @@ pub(crate) struct DaemonState {
     pub(crate) link_dials: HashMap<ConnId, u32>,
     /// The rewrite rule for each dialed peer, kept across redials.
     pub(crate) link_rules: HashMap<u32, Option<crate::router::RewriteRule>>,
+    /// Predicate tables mirrored from each link's latest summary: the
+    /// remote side's filters (in the remote namespace) with their
+    /// content predicates (`None` = unfiltered). Gates forwarded copies
+    /// in `send_forwards` — a WAN copy matched only by rejecting
+    /// predicates never leaves this daemon.
+    #[allow(clippy::type_complexity)]
+    pub(crate) link_preds: HashMap<
+        LinkId,
+        Vec<(
+            SubjectFilter,
+            Option<std::sync::Arc<crate::engine::filter::CompiledPredicate>>,
+        )>,
+    >,
     /// The [`RouteStamp`] the currently re-published forwarded envelope
     /// must carry (threaded into the engine via
     /// [`PubSource`](crate::engine::PubSource) so NAK repairs and
@@ -174,6 +204,8 @@ impl DaemonState {
             trie: SubjectTrie::new(),
             app_meta: Vec::new(),
             my_filters: HashMap::new(),
+            sub_preds: HashMap::new(),
+            expansions: HashMap::new(),
             pending_announce_add: Vec::new(),
             pending_announce_remove: Vec::new(),
             announce_flush_armed: false,
@@ -190,6 +222,7 @@ impl DaemonState {
             next_link_id: 0,
             link_dials: HashMap::new(),
             link_rules: HashMap::new(),
+            link_preds: HashMap::new(),
             forward_stamp: None,
             pending_forward: None,
             daemon_inc: 1,
@@ -245,9 +278,97 @@ impl DaemonState {
         value: &Value,
         qos: QoS,
     ) -> Result<(), BusError> {
+        // Semantic layer: synonym subjects collapse to canonical form
+        // before the trie, the engine, or the wire see them.
+        let canon;
+        let subject = match self
+            .engine
+            .config()
+            .semantic_map()
+            .and_then(|m| m.canonicalize(subject.as_str()))
+        {
+            Some(c) => {
+                self.engine.stats.sem_canonicalized += 1;
+                canon = Subject::new(&c)?;
+                &canon
+            }
+            None => subject,
+        };
+        // Publish gate: when every matching interest — local data
+        // subscriptions and peer-announced filters — carries a rejecting
+        // predicate, the publication is suppressed before marshalling
+        // and sequencing. Link interest counts as unfiltered here; the
+        // per-link gate runs at the forward hop, where subjects are in
+        // the remote namespace.
+        if !self.publish_interest_accepts(subject, value) {
+            return Ok(());
+        }
         let payload = wire::marshal_self_describing(value, &self.registry.borrow())
             .map_err(|e| BusError::Marshal(e.to_string()))?;
         self.publish_payload(net, app_idx, subject, qos, EnvelopeKind::Data, 0, payload)
+    }
+
+    /// The publisher-side content gate (see
+    /// [`interest_accepts`](crate::engine::filter::interest_accepts) for
+    /// the suppression rule). Returns `true` when the publication must
+    /// be sent.
+    fn publish_interest_accepts(&mut self, subject: &Subject, value: &Value) -> bool {
+        let mut evals = 0u64;
+        let mut matched_any = false;
+        let mut accept = false;
+        for (id, t) in self.trie.matches(subject) {
+            if !matches!(t, crate::interest::SubTarget::App { .. }) {
+                continue;
+            }
+            matched_any = true;
+            match self.sub_preds.get(&id) {
+                None => {
+                    accept = true;
+                    break;
+                }
+                Some(p) => {
+                    evals += 1;
+                    if p.eval(value) {
+                        accept = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !accept {
+            'peers: for peers in self.peer_subs.values() {
+                for pi in peers.values() {
+                    if !pi.filter.matches(subject) {
+                        continue;
+                    }
+                    matched_any = true;
+                    match &pi.pred {
+                        None => {
+                            accept = true;
+                            break 'peers;
+                        }
+                        Some(p) => {
+                            evals += 1;
+                            if p.eval(value) {
+                                accept = true;
+                                break 'peers;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !accept && self.link_interested(subject) {
+            accept = true;
+        }
+        let send = accept || !matched_any;
+        self.engine.stats.filt_evals += evals;
+        if !send {
+            self.engine.stats.filt_pub_suppressed += 1;
+            self.engine.stats.filt_suppressed_bytes +=
+                crate::engine::filter::approx_wire_bytes(value) as u64;
+        }
+        send
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -377,11 +498,11 @@ impl DaemonState {
         if env.kind != EnvelopeKind::Data {
             return 0;
         }
-        let targets: Vec<usize> = self
+        let targets: Vec<(SubscriptionId, usize)> = self
             .trie
             .matches(&env.subject)
-            .filter_map(|(_, t)| match t {
-                SubTarget::App { app_idx } if Some(*app_idx) != exclude_app => Some(*app_idx),
+            .filter_map(|(id, t)| match t {
+                SubTarget::App { app_idx } if Some(*app_idx) != exclude_app => Some((id, *app_idx)),
                 _ => None,
             })
             .collect();
@@ -395,9 +516,24 @@ impl DaemonState {
                 return 0;
             }
         };
-        let delivered = targets.len();
+        // Delivery gate: each subscription's own predicate decides its
+        // copy. A rejected copy still counts as *consumed* for guaranteed
+        // delivery — the subscriber saw and declined it, so the ledger
+        // entry completes rather than retrying forever.
+        let mut delivered = 0usize;
+        let mut suppressed = 0usize;
         let ipc = net.host_config().ipc_cost(env.payload.len());
-        for app_idx in targets {
+        for (id, app_idx) in targets {
+            if let Some(p) = self.sub_preds.get(&id) {
+                self.engine.stats.filt_evals += 1;
+                if !p.eval(&value) {
+                    suppressed += 1;
+                    self.engine.stats.filt_delivery_suppressed += 1;
+                    self.engine.stats.filt_suppressed_bytes += env.payload.len() as u64;
+                    continue;
+                }
+            }
+            delivered += 1;
             // Model the daemon→application IPC hop per recipient.
             net.charge_cpu(ipc);
             self.engine.stats.delivered += 1;
@@ -412,7 +548,7 @@ impl DaemonState {
                 },
             });
         }
-        delivered
+        delivered + suppressed
     }
 
     // ----- guaranteed-delivery driver glue ----------------------------------------
@@ -446,7 +582,7 @@ impl DaemonState {
             let interested: Vec<u32> = self
                 .peer_subs
                 .iter()
-                .filter(|(_, filters)| filters.values().any(|f| f.matches(&subject)))
+                .filter(|(_, filters)| filters.values().any(|pi| pi.filter.matches(&subject)))
                 .map(|(h, _)| *h)
                 .collect();
             interest.insert(s, interested);

@@ -30,6 +30,7 @@
 
 pub mod batch;
 pub mod discovery;
+pub mod filter;
 pub mod guaranteed;
 pub mod reliable;
 pub mod sharded;

@@ -229,6 +229,26 @@ pub struct BusStats {
     pub buf_pool_hits: u64,
     /// Marshal buffers that required a fresh allocation (pool misses).
     pub buf_pool_misses: u64,
+    /// Content-predicate evaluations performed (publish gate + delivery
+    /// gate).
+    pub filt_evals: u64,
+    /// Publications suppressed at the publisher's daemon because every
+    /// matching interest carried a rejecting predicate — never framed,
+    /// never sequenced, never sent.
+    pub filt_pub_suppressed: u64,
+    /// Deliveries suppressed at the delivery gate (a matching
+    /// subscription's own predicate rejected the payload).
+    pub filt_delivery_suppressed: u64,
+    /// Approximate payload bytes the publish gate kept off the wire
+    /// (suppressed publications × approximate marshalled size).
+    pub filt_suppressed_bytes: u64,
+    /// Subjects and filters rewritten by the semantic
+    /// [`SubjectMap`](infobus_router::SubjectMap) (synonym
+    /// canonicalization at publish/subscribe boundaries).
+    pub sem_canonicalized: u64,
+    /// Extra trie insertions created by taxonomy broadening (one
+    /// subscription fanning out to additional semantic filters).
+    pub sem_expanded_filters: u64,
 }
 
 /// Attribute names of the `"BusStats"` descriptor, in declaration order.
@@ -293,6 +313,12 @@ const STATS_COUNTERS: &[&str] = &[
     "subj_interned",
     "buf_pool_hits",
     "buf_pool_misses",
+    "filt_evals",
+    "filt_pub_suppressed",
+    "filt_delivery_suppressed",
+    "filt_suppressed_bytes",
+    "sem_canonicalized",
+    "sem_expanded_filters",
 ];
 
 impl BusStats {
@@ -392,6 +418,12 @@ impl BusStats {
             "subj_interned" => self.subj_interned,
             "buf_pool_hits" => self.buf_pool_hits,
             "buf_pool_misses" => self.buf_pool_misses,
+            "filt_evals" => self.filt_evals,
+            "filt_pub_suppressed" => self.filt_pub_suppressed,
+            "filt_delivery_suppressed" => self.filt_delivery_suppressed,
+            "filt_suppressed_bytes" => self.filt_suppressed_bytes,
+            "sem_canonicalized" => self.sem_canonicalized,
+            "sem_expanded_filters" => self.sem_expanded_filters,
             _ => 0,
         }
     }
@@ -457,6 +489,12 @@ impl BusStats {
             "subj_interned" => &mut self.subj_interned,
             "buf_pool_hits" => &mut self.buf_pool_hits,
             "buf_pool_misses" => &mut self.buf_pool_misses,
+            "filt_evals" => &mut self.filt_evals,
+            "filt_pub_suppressed" => &mut self.filt_pub_suppressed,
+            "filt_delivery_suppressed" => &mut self.filt_delivery_suppressed,
+            "filt_suppressed_bytes" => &mut self.filt_suppressed_bytes,
+            "sem_canonicalized" => &mut self.sem_canonicalized,
+            "sem_expanded_filters" => &mut self.sem_expanded_filters,
             _ => return None,
         })
     }

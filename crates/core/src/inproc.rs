@@ -57,13 +57,17 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 
-use infobus_subject::{InternedSubject, SubjectFilter, SubjectTable, SubjectTrie};
+use infobus_router::SubjectMap;
+use infobus_subject::{InternedSubject, SubjectFilter, SubjectTable, SubjectTrie, SubscriptionId};
 use infobus_types::{wire, TypeRegistry, Value};
 
 use crate::app::SubscriptionHandle;
 use crate::buf::{BufPool, Bytes};
 use crate::bus::{Bus, BusReceiver, Delivery};
 use crate::config::BusConfig;
+use crate::engine::filter::{
+    self, approx_wire_bytes, CompiledPredicate, FilterCounters, Predicate,
+};
 use crate::engine::{
     shard_of_subject, Action, BusStats, Engine, Event, Micros, PubSource, ShardedEngine,
     ShardedStats,
@@ -111,15 +115,24 @@ struct ShardSlot {
     scratch: Vec<Action>,
 }
 
-/// The fan-out cache: dense subject id → the subscriber senders matching
-/// that subject, valid for one subscription generation. Keeping senders
-/// (not trie positions) means a steady-state delivery is a read-lock, a
-/// map probe, and a refcount bump — the trie and its temporary vectors
-/// are only walked when the subscription set changed.
+/// One subscription as stored in the trie: the subscriber's queue
+/// sender plus its compiled content predicate, if any — the per-entry
+/// delivery gate.
+#[derive(Clone)]
+struct SubEntry {
+    tx: SubSender<InprocMessage>,
+    pred: Option<Arc<CompiledPredicate>>,
+}
+
+/// The fan-out cache: dense subject id → the subscription entries
+/// matching that subject, valid for one subscription generation. Keeping
+/// entries (not trie positions) means a steady-state delivery is a
+/// read-lock, a map probe, and a refcount bump — the trie and its
+/// temporary vectors are only walked when the subscription set changed.
 struct MatchCache {
     /// The subscription generation this map was built against.
     gen: u64,
-    map: HashMap<u32, Arc<[SubSender<InprocMessage>]>>,
+    map: HashMap<u32, Arc<[SubEntry]>>,
 }
 
 // Lock discipline: every `.expect("lock poisoned")` below is deliberate.
@@ -134,7 +147,7 @@ struct Inner {
     /// stop contending on one state machine ([`BusConfig::shards`]
     /// shards; one — the unsharded bus — by default).
     shards: Vec<Mutex<ShardSlot>>,
-    trie: RwLock<SubjectTrie<SubSender<InprocMessage>>>,
+    trie: RwLock<SubjectTrie<SubEntry>>,
     registry: Mutex<TypeRegistry>,
     /// Monotonic protocol time (the engine is sans-I/O and never reads a
     /// clock; one tick per publication is plenty for a lossless loop).
@@ -159,6 +172,16 @@ struct Inner {
     /// Bumped by every subscribe/unsubscribe; invalidates `match_cache`.
     sub_gen: AtomicU64,
     match_cache: RwLock<MatchCache>,
+    /// Content-filter and semantic-mapping counters, folded into merged
+    /// stats snapshots (the gates run outside the shard locks).
+    filt: FilterCounters,
+    /// The semantic subject map from [`BusConfig::subject_map`]; `None`
+    /// when unset or empty (the common case — zero overhead).
+    semantic: Option<Arc<SubjectMap>>,
+    /// Extra trie insertions a semantic filter expansion created for a
+    /// subscription, keyed by the primary id so unsubscribe removes the
+    /// whole family.
+    expansions: Mutex<HashMap<SubscriptionId, Vec<SubscriptionId>>>,
     /// Worker mode: one hand-off channel per shard, indexed by shard id.
     /// `None` in the default synchronous mode. Workers hold only a
     /// [`Weak`] back-reference, so dropping the last bus handle drops
@@ -171,6 +194,7 @@ impl Inner {
     fn new(cfg: BusConfig, workers: Option<Vec<mpsc::Sender<Job>>>) -> (Self, usize) {
         let queue_cap = cfg.subscriber_queue_cap;
         let pool_slots = cfg.marshal_pool_slots();
+        let semantic = cfg.semantic_map().cloned();
         let (shards, nv, table) = build_shards(cfg);
         let n = shards.len();
         (
@@ -194,6 +218,9 @@ impl Inner {
                     gen: 0,
                     map: HashMap::new(),
                 }),
+                filt: FilterCounters::default(),
+                semantic,
+                expansions: Mutex::new(HashMap::new()),
                 workers,
             },
             n,
@@ -309,25 +336,100 @@ impl InprocBus {
         &self,
         filter: &str,
     ) -> Result<(SubscriptionHandle, InprocReceiver), BusError> {
-        let filter = SubjectFilter::new(filter)?;
-        let (tx, rx) = sub_queue(self.inner.queue_cap, self.inner.queue_dropped.clone());
-        let id = self
-            .inner
-            .trie
-            .write()
-            .expect("lock poisoned")
-            .insert(&filter, tx);
-        self.bump_subscriptions();
-        Ok((SubscriptionHandle(id), rx))
+        self.subscribe_entry(filter, None)
     }
 
-    /// Removes a subscription (its channel closes once drained).
+    /// Subscribes to a filter with a content predicate: only matching
+    /// publications whose payload satisfies `pred` reach the returned
+    /// channel. The predicate is compiled once here and evaluated at the
+    /// delivery gate; when *every* subscription matching a publication
+    /// carries a predicate and all reject, the publish gate suppresses
+    /// the publication before sequencing ([`BusStats::filt_pub_suppressed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters or
+    /// [`BusError::Filter`] if the predicate exceeds the compile bounds.
+    pub fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, InprocReceiver), BusError> {
+        let compiled = Arc::new(CompiledPredicate::compile(pred)?);
+        self.subscribe_entry(filter, Some(compiled))
+    }
+
+    /// The shared subscribe tail: applies the semantic map's filter
+    /// expansion (synonym aliases and taxonomy broadenings subscribe
+    /// alongside the canonical form), inserts one trie entry per
+    /// expanded filter — all sharing the queue sender and the predicate —
+    /// and records the extra ids so unsubscribe removes the family.
+    fn subscribe_entry(
+        &self,
+        filter: &str,
+        pred: Option<Arc<CompiledPredicate>>,
+    ) -> Result<(SubscriptionHandle, InprocReceiver), BusError> {
+        let expanded = match &self.inner.semantic {
+            Some(map) => map.expand_filter(filter),
+            None => Vec::new(),
+        };
+        let filters: Vec<SubjectFilter> = if expanded.is_empty() {
+            vec![SubjectFilter::new(filter)?]
+        } else {
+            expanded
+                .iter()
+                .map(|f| SubjectFilter::new(f))
+                .collect::<Result<_, _>>()?
+        };
+        if filters.len() > 1 {
+            use std::sync::atomic::Ordering::Relaxed;
+            self.inner
+                .filt
+                .sem_expanded
+                .fetch_add((filters.len() - 1) as u64, Relaxed);
+        }
+        let (tx, rx) = sub_queue(self.inner.queue_cap, self.inner.queue_dropped.clone());
+        let (primary, extra) = {
+            let mut trie = self.inner.trie.write().expect("lock poisoned");
+            let mut ids = filters.iter().map(|f| {
+                trie.insert(
+                    f,
+                    SubEntry {
+                        tx: tx.clone(),
+                        pred: pred.clone(),
+                    },
+                )
+            });
+            let primary = ids.next().expect("at least one filter");
+            (primary, ids.collect::<Vec<_>>())
+        };
+        if !extra.is_empty() {
+            self.inner
+                .expansions
+                .lock()
+                .expect("lock poisoned")
+                .insert(primary, extra);
+        }
+        self.bump_subscriptions();
+        Ok((SubscriptionHandle(primary), rx))
+    }
+
+    /// Removes a subscription (its channel closes once drained),
+    /// including any trie entries the semantic expansion added for it.
     pub fn unsubscribe(&self, handle: SubscriptionHandle) {
-        self.inner
-            .trie
-            .write()
+        let extra = self
+            .inner
+            .expansions
+            .lock()
             .expect("lock poisoned")
-            .remove(handle.0);
+            .remove(&handle.0);
+        {
+            let mut trie = self.inner.trie.write().expect("lock poisoned");
+            trie.remove(handle.0);
+            for id in extra.into_iter().flatten() {
+                trie.remove(id);
+            }
+        }
         self.bump_subscriptions();
     }
 
@@ -340,25 +442,25 @@ impl InprocBus {
         cache.map.clear();
     }
 
-    /// The subscriber senders matching `subject`, served from the
+    /// The subscription entries matching `subject`, served from the
     /// fan-out cache on the steady state (read-lock, id probe, refcount
     /// bump — no allocation) and rebuilt from the trie when the
     /// subscription set changed.
-    fn matching_senders(&self, subject: &InternedSubject) -> Arc<[SubSender<InprocMessage>]> {
+    fn matching_entries(&self, subject: &InternedSubject) -> Arc<[SubEntry]> {
         let gen = self.inner.sub_gen.load(Ordering::Acquire);
         {
             let cache = self.inner.match_cache.read().expect("lock poisoned");
             if cache.gen == gen {
-                if let Some(senders) = cache.map.get(&subject.id().0) {
-                    return Arc::clone(senders);
+                if let Some(entries) = cache.map.get(&subject.id().0) {
+                    return Arc::clone(entries);
                 }
             }
         }
         // Miss: walk the trie and memoize under the subject's dense id.
-        let senders: Arc<[SubSender<InprocMessage>]> = {
+        let entries: Arc<[SubEntry]> = {
             let trie = self.inner.trie.read().expect("lock poisoned");
             trie.matches(subject)
-                .map(|(_, tx)| tx.clone())
+                .map(|(_, e)| e.clone())
                 .collect::<Vec<_>>()
                 .into()
         };
@@ -371,9 +473,9 @@ impl InprocBus {
         // a racing bump clears the map after we release the write lock,
         // so a stale entry can never outlive the generation it matched.
         if self.inner.sub_gen.load(Ordering::Acquire) == gen {
-            cache.map.insert(subject.id().0, Arc::clone(&senders));
+            cache.map.insert(subject.id().0, Arc::clone(&entries));
         }
-        senders
+        entries
     }
 
     /// Publishes a value with the requested delivery guarantee; the
@@ -394,7 +496,25 @@ impl InprocBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
-        let subject = self.inner.table.intern(subject)?;
+        let subject = self.intern_canonical(subject)?;
+        // Publish gate: when every matching subscription carries a
+        // rejecting predicate, the publication is suppressed *here* —
+        // before marshalling, sequencing, and fan-out ever run.
+        let entries = self.matching_entries(&subject);
+        if entries.iter().any(|e| e.pred.is_some()) {
+            let mut evals = 0u64;
+            let sent = filter::interest_accepts(
+                value,
+                entries.iter().map(|e| e.pred.as_deref()),
+                &mut evals,
+            );
+            self.inner
+                .filt
+                .record_publish_gate(evals, sent, approx_wire_bytes(value));
+            if !sent {
+                return Ok(0);
+            }
+        }
         let payload = {
             let mut buf = self.inner.pool.take();
             let registry = self.inner.registry.lock().expect("lock poisoned");
@@ -421,10 +541,46 @@ impl InprocBus {
         payload: &[u8],
         qos: QoS,
     ) -> Result<usize, BusError> {
-        let subject = self.inner.table.intern(subject)?;
+        let subject = self.intern_canonical(subject)?;
+        // Publish gate for pre-marshalled bytes: the value only exists
+        // on the wire, so unmarshal lazily and only when the gate could
+        // actually suppress (some interest, all of it predicated). An
+        // unmarshalling failure sends — the conservative direction.
+        let entries = self.matching_entries(&subject);
+        if !entries.is_empty() && entries.iter().all(|e| e.pred.is_some()) {
+            let mut registry = TypeRegistry::with_fundamentals();
+            if let Ok(value) = wire::unmarshal(payload, &mut registry) {
+                let mut evals = 0u64;
+                let sent = filter::interest_accepts(
+                    &value,
+                    entries.iter().map(|e| e.pred.as_deref()),
+                    &mut evals,
+                );
+                self.inner
+                    .filt
+                    .record_publish_gate(evals, sent, payload.len());
+                if !sent {
+                    return Ok(0);
+                }
+            }
+        }
         let mut buf = self.inner.pool.take();
         buf.vec_mut().extend_from_slice(payload);
         self.dispatch(&subject, buf.freeze(), qos)
+    }
+
+    /// Interns a publish subject, first rewriting it to canonical form
+    /// when a [`SubjectMap`] is configured (synonym subjects collapse
+    /// before the trie or the wire ever see them).
+    fn intern_canonical(&self, subject: &str) -> Result<InternedSubject, BusError> {
+        if let Some(map) = &self.inner.semantic {
+            if let Some(canonical) = map.canonicalize(subject) {
+                use std::sync::atomic::Ordering::Relaxed;
+                self.inner.filt.sem_canonicalized.fetch_add(1, Relaxed);
+                return Ok(self.inner.table.intern(&canonical)?);
+            }
+        }
+        Ok(self.inner.table.intern(subject)?)
     }
 
     /// Routes an interned, marshalled publication to the owning shard —
@@ -442,7 +598,7 @@ impl InprocBus {
             // caller's view at hand-off time), then let the owning
             // shard's worker run the protocol and delivery off the
             // caller's thread.
-            let count = self.matching_senders(subject).len();
+            let count = self.matching_entries(subject).len();
             workers[shard]
                 .send(Job::Publish {
                     subject: subject.clone(),
@@ -626,18 +782,22 @@ impl InprocBus {
             // the only acknowledgment that counts.
             Action::Unicast { .. } => {}
             Action::Deliver(env) => {
-                let count = self.fan_out(engine, &env);
+                let (count, suppressed) = self.fan_out(engine, &env);
                 // The loopback receive path delivers guaranteed
                 // envelopes as ordinary in-order deliveries; report
                 // them into the ledger like the daemon driver does at
-                // publish time.
-                if env.qos == QoS::Guaranteed && count > 0 {
+                // publish time. A predicate rejection counts as
+                // consumption — the subscriber examined and declined
+                // the message — so filtered guaranteed streams
+                // complete instead of retrying forever.
+                if env.qos == QoS::Guaranteed && count + suppressed > 0 {
                     engine.gd_local_done(&env);
                 }
                 *delivered += count;
             }
             Action::DeliverGd(env) => {
-                if self.fan_out(engine, &env) > 0 {
+                let (count, suppressed) = self.fan_out(engine, &env);
+                if count + suppressed > 0 {
                     engine.gd_local_done(&env);
                 }
             }
@@ -659,13 +819,36 @@ impl InprocBus {
         }
     }
 
-    /// Hands an in-order envelope to every matching subscriber channel.
+    /// Hands an in-order envelope to every matching subscriber channel
+    /// whose predicate (if any) accepts the payload — the delivery gate.
     /// Everything cloned here is a shared handle: the interned subject,
-    /// the payload slice, the cached sender list.
-    fn fan_out(&self, engine: &mut Engine, env: &Envelope) -> usize {
-        let senders = self.matching_senders(&env.subject);
+    /// the payload slice, the cached entry list. The payload is
+    /// unmarshalled at most once, and only when some matching entry
+    /// actually carries a predicate. Returns `(delivered, suppressed)`.
+    fn fan_out(&self, engine: &mut Engine, env: &Envelope) -> (usize, usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let entries = self.matching_entries(&env.subject);
         let mut count = 0usize;
-        for tx in senders.iter() {
+        let mut suppressed = 0usize;
+        // Lazily unmarshalled payload: `None` until a predicate needs
+        // it; `Some(None)` if unmarshalling failed (then every
+        // predicate passes — delivering a payload the subscriber can
+        // diagnose beats silently eating it).
+        let mut value: Option<Option<Value>> = None;
+        for entry in entries.iter() {
+            if let Some(pred) = &entry.pred {
+                let v = value.get_or_insert_with(|| {
+                    let mut registry = TypeRegistry::with_fundamentals();
+                    wire::unmarshal(&env.payload, &mut registry).ok()
+                });
+                if let Some(v) = v {
+                    self.inner.filt.evals.fetch_add(1, Relaxed);
+                    if !pred.eval(v) {
+                        suppressed += 1;
+                        continue;
+                    }
+                }
+            }
             let msg = Delivery {
                 subject: env.subject.clone(),
                 payload: env.payload.clone(),
@@ -673,13 +856,19 @@ impl InprocBus {
                 qos: env.qos,
                 route: env.route,
             };
-            if tx.send(msg).is_ok() {
+            if entry.tx.send(msg).is_ok() {
                 count += 1;
             }
         }
+        if suppressed > 0 {
+            self.inner
+                .filt
+                .delivery_suppressed
+                .fetch_add(suppressed as u64, Relaxed);
+        }
         engine.stats.delivered += count as u64;
         engine.stats.delivered_bytes += (env.payload.len() * count) as u64;
-        count
+        (count, suppressed)
     }
 
     /// Number of active subscriptions.
@@ -713,12 +902,13 @@ impl InprocBus {
         let mut merged = BusStats::merged(per_shard.iter());
         let trie = self.inner.trie.read().expect("lock poisoned");
         let mut depth = 0u64;
-        trie.for_each(|_, _, tx| depth += tx.queued() as u64);
+        trie.for_each(|_, _, e| depth += e.tx.queued() as u64);
         merged.sub_queue_depth = depth;
         merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
         merged.subj_interned = self.inner.table.len() as u64;
         merged.buf_pool_hits = self.inner.pool.hits();
         merged.buf_pool_misses = self.inner.pool.misses();
+        self.inner.filt.fold_into(&mut merged);
         self.inner
             .nv
             .lock()
@@ -774,6 +964,14 @@ impl Default for InprocBus {
 impl Bus for InprocBus {
     fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
         InprocBus::subscribe(self, filter)
+    }
+
+    fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        InprocBus::subscribe_filtered(self, filter, pred)
     }
 
     fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
@@ -1162,6 +1360,185 @@ mod tests {
         let msgs: Vec<Delivery> = rx.try_iter().collect();
         let redelivered = msgs.iter().find(|m| m.redelivery).expect("a redelivery");
         assert_eq!(redelivered.value().unwrap(), Value::I64(1));
+    }
+
+    fn quote(sym: &str, price: f64) -> Value {
+        use infobus_types::DataObject;
+        Value::object(
+            DataObject::new("Quote")
+                .with("sym", sym)
+                .with("price", price),
+        )
+    }
+
+    fn quote_descriptor() -> infobus_types::TypeDescriptor {
+        use infobus_types::{TypeDescriptor, ValueType};
+        TypeDescriptor::builder("Quote")
+            .attribute("sym", ValueType::Str)
+            .attribute("price", ValueType::F64)
+            .build()
+    }
+
+    fn quote_bus() -> InprocBus {
+        let bus = InprocBus::new();
+        bus.register_type(quote_descriptor()).unwrap();
+        bus
+    }
+
+    #[test]
+    fn filtered_subscription_delivers_only_matching_payloads() {
+        let bus = quote_bus();
+        let (_sub, rx) = bus
+            .subscribe_filtered("q.>", &Predicate::gt("price", Value::F64(100.0)))
+            .unwrap();
+        bus.publish("q.ibm", &quote("IBM", 120.0), QoS::Reliable)
+            .unwrap();
+        bus.publish("q.gmc", &quote("GMC", 80.0), QoS::Reliable)
+            .unwrap();
+        bus.publish("q.ibm", &quote("IBM", 150.0), QoS::Reliable)
+            .unwrap();
+        let got: Vec<f64> = rx
+            .try_iter()
+            .map(|m| {
+                m.value()
+                    .unwrap()
+                    .as_object()
+                    .unwrap()
+                    .get("price")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(got, vec![120.0, 150.0]);
+    }
+
+    #[test]
+    fn unanimous_rejection_suppresses_at_the_publish_gate() {
+        let bus = quote_bus();
+        let (_sub, rx) = bus
+            .subscribe_filtered("g.>", &Predicate::eq("sym", Value::str("IBM")))
+            .unwrap();
+        // Rejected by the only matching predicate: suppressed before
+        // sequencing — nothing published, nothing delivered, no seq gap.
+        assert_eq!(
+            bus.publish("g.t", &quote("GMC", 1.0), QoS::Reliable)
+                .unwrap(),
+            0
+        );
+        let stats = bus.stats();
+        assert_eq!(stats.published, 0, "suppressed before sequencing");
+        assert_eq!(stats.filt_pub_suppressed, 1);
+        assert!(stats.filt_suppressed_bytes > 0);
+        assert!(stats.filt_evals >= 1);
+        // An accepted publication still flows, in order.
+        bus.publish("g.t", &quote("IBM", 2.0), QoS::Reliable)
+            .unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(bus.stats().published, 1);
+    }
+
+    #[test]
+    fn predicate_free_subscriber_defeats_the_publish_gate() {
+        let bus = quote_bus();
+        let (_all, all_rx) = bus.subscribe("m.>").unwrap();
+        let (_filtered, filt_rx) = bus
+            .subscribe_filtered("m.>", &Predicate::ge("price", Value::F64(100.0)))
+            .unwrap();
+        // The unfiltered subscriber forces the send; the filtered one is
+        // still gated per delivery.
+        bus.publish("m.k", &quote("GMC", 10.0), QoS::Reliable)
+            .unwrap();
+        bus.drain();
+        assert_eq!(all_rx.try_iter().count(), 1);
+        assert_eq!(filt_rx.try_iter().count(), 0);
+        let stats = bus.stats();
+        assert_eq!(stats.filt_pub_suppressed, 0);
+        assert_eq!(stats.filt_delivery_suppressed, 1);
+    }
+
+    #[test]
+    fn publish_marshaled_is_gated_too() {
+        let bus = InprocBus::new();
+        let (_sub, rx) = bus
+            .subscribe_filtered("pm.>", &Predicate::eq("sym", Value::str("IBM")))
+            .unwrap();
+        let mut registry = TypeRegistry::with_fundamentals();
+        registry.register(quote_descriptor()).unwrap();
+        let reject = wire::marshal_self_describing(&quote("GMC", 1.0), &registry).unwrap();
+        let accept = wire::marshal_self_describing(&quote("IBM", 2.0), &registry).unwrap();
+        assert_eq!(
+            bus.publish_marshaled("pm.k", &reject, QoS::Reliable)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            bus.publish_marshaled("pm.k", &accept, QoS::Reliable)
+                .unwrap(),
+            1
+        );
+        assert_eq!(rx.try_iter().count(), 1);
+        assert_eq!(bus.stats().filt_pub_suppressed, 1);
+    }
+
+    #[test]
+    fn guaranteed_filtered_rejection_counts_as_consumption() {
+        // Two subscribers: one unfiltered (so the publish gate sends),
+        // one whose predicate rejects. The guaranteed entry must
+        // complete — a predicate rejection is a consumption decision,
+        // not a delivery failure to retry.
+        let bus = quote_bus();
+        let (_all, all_rx) = bus.subscribe("gdf.>").unwrap();
+        let (_filtered, filt_rx) = bus
+            .subscribe_filtered("gdf.>", &Predicate::eq("sym", Value::str("IBM")))
+            .unwrap();
+        bus.publish("gdf.k", &quote("GMC", 5.0), QoS::Guaranteed)
+            .unwrap();
+        assert_eq!(all_rx.try_iter().count(), 1);
+        assert_eq!(filt_rx.try_iter().count(), 0);
+        let stats = bus.stats();
+        assert_eq!(stats.gd_pending, 0, "rejection must not strand the ledger");
+        assert_eq!(stats.gd_completed, 1);
+    }
+
+    #[test]
+    fn semantic_map_canonicalizes_publishes_and_expands_filters() {
+        let mut map = SubjectMap::new();
+        map.add_alias("NYSE.IBM", "tech.IBM").unwrap();
+        let bus = InprocBus::with_config(BusConfig::default().with_subject_map(Arc::new(map)));
+        // A subscriber on the canonical subject sees synonym publishes…
+        let (_canon, canon_rx) = bus.subscribe("tech.IBM").unwrap();
+        bus.publish("NYSE.IBM", &Value::I64(1), QoS::Reliable)
+            .unwrap();
+        assert_eq!(canon_rx.try_iter().count(), 1);
+        // …and a subscriber on the synonym sees canonical publishes
+        // (its filter was expanded to the canonical form).
+        let (_syn, syn_rx) = bus.subscribe("NYSE.IBM").unwrap();
+        bus.publish("tech.IBM", &Value::I64(2), QoS::Reliable)
+            .unwrap();
+        assert_eq!(syn_rx.try_iter().count(), 1);
+        let stats = bus.stats();
+        assert_eq!(stats.sem_canonicalized, 1);
+        assert!(stats.sem_expanded_filters >= 1);
+        // Delivered subjects are always canonical.
+    }
+
+    #[test]
+    fn semantic_expansion_unsubscribes_as_a_family() {
+        let mut map = SubjectMap::new();
+        map.add_alias("old.path", "new.path").unwrap();
+        let bus = InprocBus::with_config(BusConfig::default().with_subject_map(Arc::new(map)));
+        let (sub, rx) = bus.subscribe("old.path").unwrap();
+        bus.publish("old.path", &Value::I64(1), QoS::Reliable)
+            .unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        bus.unsubscribe(sub);
+        assert_eq!(bus.subscription_count(), 0, "expanded entries removed too");
+        assert_eq!(
+            bus.publish("new.path", &Value::I64(2), QoS::Reliable)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -7,14 +7,26 @@
 //! verdicts, per-subject interest snapshots).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use infobus_netsim::Ctx;
 use infobus_subject::{Subject, SubjectFilter, SubscriptionId};
 use infobus_types::Value;
 
 use crate::daemon::DaemonState;
+use crate::engine::filter::{announced_predicate, CompiledPredicate};
 use crate::engine::Micros;
-use crate::msg::Packet;
+use crate::msg::{AnnounceEntry, Packet};
+
+/// One peer daemon's announced filter: the parsed subject filter plus
+/// the content predicate it travels with (`None` = unfiltered). Feeds
+/// the publish gate: a publication matched only by predicated peer
+/// filters that all reject is never broadcast.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerInterest {
+    pub(crate) filter: SubjectFilter,
+    pub(crate) pred: Option<Arc<CompiledPredicate>>,
+}
 
 /// What a trie entry routes to.
 #[derive(Debug, Clone)]
@@ -34,16 +46,45 @@ pub(crate) enum SubTarget {
 const ANN_FLUSH_DELAY_US: Micros = 5_000;
 
 impl DaemonState {
-    fn announce_add(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
+    /// The predicate this daemon announces for `filter`: `None`
+    /// (unfiltered) if any local subscription on the filter is
+    /// predicate-free, the disjunction otherwise (see
+    /// [`announced_predicate`]).
+    pub(crate) fn announced_pred_for(&self, filter: &str) -> Option<Arc<CompiledPredicate>> {
+        let subs = self.my_filters.get(filter)?;
+        let preds: Vec<Option<Arc<CompiledPredicate>>> =
+            subs.iter().map(|(_, p)| p.clone()).collect();
+        announced_predicate(&preds)
+    }
+
+    /// The wire form of [`DaemonState::announced_pred_for`] (empty =
+    /// unfiltered).
+    fn announced_pred_bytes(&self, filter: &str) -> Vec<u8> {
+        self.announced_pred_for(filter)
+            .map_or_else(Vec::new, |p| p.to_bytes())
+    }
+
+    fn announce_add(
+        &mut self,
+        net: &mut Ctx<'_>,
+        filter: &SubjectFilter,
+        id: SubscriptionId,
+        pred: Option<Arc<CompiledPredicate>>,
+    ) {
+        let before = self.announced_pred_bytes(filter.as_str());
         let is_new = {
-            let count = self
+            let subs = self
                 .my_filters
                 .entry(filter.as_str().to_owned())
-                .or_insert(0);
-            *count += 1;
-            *count == 1
+                .or_default();
+            subs.push((id, pred));
+            subs.len() == 1
         };
-        if is_new {
+        // A later subscription can *change* what the filter announces
+        // (another predicate joins the disjunction, or a predicate-free
+        // subscriber widens it to unfiltered): re-announce, replacing
+        // the peers' stored entry.
+        if is_new || before != self.announced_pred_bytes(filter.as_str()) {
             self.pending_announce_add.push(filter.as_str().to_owned());
             self.arm_announce_flush(net);
         }
@@ -63,8 +104,23 @@ impl DaemonState {
         if self.pending_announce_add.is_empty() && self.pending_announce_remove.is_empty() {
             return;
         }
-        let add = std::mem::take(&mut self.pending_announce_add);
+        let mut add = std::mem::take(&mut self.pending_announce_add);
         let remove = std::mem::take(&mut self.pending_announce_remove);
+        // Re-announcements can queue a filter more than once; peers
+        // replace on receipt, so only the latest state matters.
+        add.sort();
+        add.dedup();
+        let add: Vec<AnnounceEntry> = add
+            .into_iter()
+            .filter(|f| self.my_filters.contains_key(f))
+            .map(|f| {
+                let pred = self.announced_pred_bytes(&f);
+                AnnounceEntry { filter: f, pred }
+            })
+            .collect();
+        if add.is_empty() && remove.is_empty() {
+            return;
+        }
         self.send_packet_broadcast(
             net,
             &Packet::SubAnnounce {
@@ -76,11 +132,12 @@ impl DaemonState {
         );
     }
 
-    fn announce_remove(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter) {
+    fn announce_remove(&mut self, net: &mut Ctx<'_>, filter: &SubjectFilter, id: SubscriptionId) {
+        let before = self.announced_pred_bytes(filter.as_str());
         let now_zero = match self.my_filters.get_mut(filter.as_str()) {
-            Some(count) => {
-                *count -= 1;
-                *count == 0
+            Some(subs) => {
+                subs.retain(|(sid, _)| *sid != id);
+                subs.is_empty()
             }
             None => false,
         };
@@ -89,11 +146,25 @@ impl DaemonState {
             self.pending_announce_remove
                 .push(filter.as_str().to_owned());
             self.arm_announce_flush(net);
+        } else if self.my_filters.contains_key(filter.as_str())
+            && before != self.announced_pred_bytes(filter.as_str())
+        {
+            // Still subscribed, but the announced predicate narrowed
+            // (the predicate-free subscriber left, say): re-announce.
+            self.pending_announce_add.push(filter.as_str().to_owned());
+            self.arm_announce_flush(net);
         }
     }
 
     pub(crate) fn announce_full(&mut self, net: &mut Ctx<'_>) {
-        let add: Vec<String> = self.my_filters.keys().cloned().collect();
+        let add: Vec<AnnounceEntry> = self
+            .my_filters
+            .keys()
+            .map(|f| AnnounceEntry {
+                filter: f.clone(),
+                pred: self.announced_pred_bytes(f),
+            })
+            .collect();
         self.send_packet_broadcast(
             net,
             &Packet::SubAnnounce {
@@ -105,18 +176,54 @@ impl DaemonState {
         );
     }
 
+    /// Subscribes an application, expanding the filter through the
+    /// configured [`SubjectMap`](infobus_router::SubjectMap) first: one
+    /// call on `EQUITY.IBM` may materialize sibling subscriptions on
+    /// every synonym/broadening of the filter. The returned id is the
+    /// *family head*; unsubscribing it removes the whole family.
+    pub(crate) fn subscribe_app_expanded(
+        &mut self,
+        net: &mut Ctx<'_>,
+        app_idx: usize,
+        filter: &str,
+        pred: Option<Arc<CompiledPredicate>>,
+    ) -> Result<SubscriptionId, crate::BusError> {
+        let expanded: Vec<String> = match self.engine.config().semantic_map() {
+            Some(m) => m.expand_filter(filter),
+            None => vec![filter.to_owned()],
+        };
+        let mut parsed = Vec::with_capacity(expanded.len());
+        for f in &expanded {
+            parsed.push(SubjectFilter::new(f)?);
+        }
+        let mut ids = Vec::with_capacity(parsed.len());
+        for f in &parsed {
+            ids.push(self.subscribe_app(net, app_idx, f, pred.clone()));
+        }
+        let primary = ids[0];
+        if ids.len() > 1 {
+            self.engine.stats.sem_expanded_filters += (ids.len() - 1) as u64;
+            self.expansions.insert(primary, ids.split_off(1));
+        }
+        Ok(primary)
+    }
+
     pub(crate) fn subscribe_app(
         &mut self,
         net: &mut Ctx<'_>,
         app_idx: usize,
         filter: &SubjectFilter,
+        pred: Option<Arc<CompiledPredicate>>,
     ) -> SubscriptionId {
         let id = self.trie.insert(filter, SubTarget::App { app_idx });
         self.sub_times.insert(id, net.now());
         if let Some(Some(meta)) = self.app_meta.get_mut(app_idx) {
             meta.subs.push(id);
         }
-        self.announce_add(net, filter);
+        if let Some(p) = &pred {
+            self.sub_preds.insert(id, Arc::clone(p));
+        }
+        self.announce_add(net, filter, id, pred);
         id
     }
 
@@ -128,11 +235,22 @@ impl DaemonState {
     ) -> SubscriptionId {
         let id = self.trie.insert(filter, target);
         self.sub_times.insert(id, net.now());
-        self.announce_add(net, filter);
+        self.announce_add(net, filter, id, None);
         id
     }
 
     pub(crate) fn unsubscribe(&mut self, net: &mut Ctx<'_>, id: SubscriptionId) {
+        // Semantic expansion families fall together: removing the head
+        // removes every sibling the SubjectMap materialized.
+        if let Some(extras) = self.expansions.remove(&id) {
+            for extra in extras {
+                self.unsubscribe_one(net, extra);
+            }
+        }
+        self.unsubscribe_one(net, id);
+    }
+
+    fn unsubscribe_one(&mut self, net: &mut Ctx<'_>, id: SubscriptionId) {
         let mut filter: Option<SubjectFilter> = None;
         self.trie.for_each(|sid, f, _| {
             if sid == id {
@@ -141,8 +259,9 @@ impl DaemonState {
         });
         if self.trie.remove(id).is_some() {
             self.sub_times.remove(&id);
+            self.sub_preds.remove(&id);
             if let Some(f) = filter {
-                self.announce_remove(net, &f);
+                self.announce_remove(net, &f, id);
             }
             for meta in self.app_meta.iter_mut().flatten() {
                 meta.subs.retain(|s| *s != id);
@@ -161,9 +280,9 @@ impl DaemonState {
             }
         }
         for peers in self.peer_subs.values() {
-            for (s, f) in peers {
+            for (s, pi) in peers {
                 if seen.insert(s.clone()) {
-                    out.push(f.clone());
+                    out.push(pi.filter.clone());
                 }
             }
         }
@@ -185,7 +304,7 @@ impl DaemonState {
         &mut self,
         host: u32,
         full: bool,
-        add: Vec<String>,
+        add: Vec<AnnounceEntry>,
         remove: Vec<String>,
     ) {
         if host == self.host32 {
@@ -195,9 +314,16 @@ impl DaemonState {
         if full {
             entry.clear();
         }
-        for f in add {
-            if let Ok(filter) = SubjectFilter::new(&f) {
-                entry.insert(f, filter);
+        for e in add {
+            if let Ok(filter) = SubjectFilter::new(&e.filter) {
+                // A malformed predicate decodes to `None` — unfiltered,
+                // the direction that can only over-deliver.
+                let pred = if e.pred.is_empty() {
+                    None
+                } else {
+                    CompiledPredicate::from_bytes(&e.pred).ok().map(Arc::new)
+                };
+                entry.insert(e.filter, PeerInterest { filter, pred });
             }
         }
         for f in remove {

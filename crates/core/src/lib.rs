@@ -74,11 +74,13 @@ pub use buf::{BufPool, Bytes, PooledBuf};
 pub use bus::{Bus, BusReceiver, Delivery, Receiver};
 pub use config::BusConfig;
 pub use daemon::{BusDaemon, DAEMON_PORT, RMI_PORT};
+pub use engine::filter::{CmpOp, CompiledPredicate, FilterError, Predicate};
 pub use engine::{
     shard_of_subject, BusStats, RmiLatency, ShardedEngine, ShardedStats, STATS_SUBJECT_PREFIX,
 };
 pub use envelope::{Envelope, EnvelopeKind, StreamKey};
 pub use fabric::BusFabric;
+pub use infobus_router::{SubjectMap, SubjectMapError};
 pub use infobus_wal::FsyncPolicy;
 pub use nvstore::NvStore;
 pub use rmi::{CallId, RetryMode, RmiError, SelectionPolicy, ServiceObject};
@@ -136,6 +138,9 @@ pub enum BusError {
     /// [`BusConfig::path_mtu`]). Rejected when a driver opens, before
     /// any traffic.
     Config(String),
+    /// A content predicate was rejected (too deep, too large, malformed
+    /// path — see [`engine::filter::FilterError`]).
+    Filter(engine::filter::FilterError),
 }
 
 impl fmt::Display for BusError {
@@ -148,6 +153,7 @@ impl fmt::Display for BusError {
             BusError::NotFound(n) => write!(f, "not found: {n}"),
             BusError::Rmi(e) => write!(f, "rmi: {e}"),
             BusError::Config(e) => write!(f, "config: {e}"),
+            BusError::Filter(e) => write!(f, "filter: {e}"),
         }
     }
 }
@@ -163,5 +169,11 @@ impl From<infobus_subject::SubjectError> for BusError {
 impl From<RmiError> for BusError {
     fn from(e: RmiError) -> Self {
         BusError::Rmi(e)
+    }
+}
+
+impl From<engine::filter::FilterError> for BusError {
+    fn from(e: engine::filter::FilterError) -> Self {
+        BusError::Filter(e)
     }
 }

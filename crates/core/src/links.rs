@@ -11,16 +11,19 @@
 //! [`RouteStamp`] so cyclic router topologies stay loop-free.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use infobus_netsim::{ConnId, Ctx, SockAddr};
 use infobus_router::{
     ForwardTarget, LinkId, RouteStamp, RouterAction, RouterConfig, RouterEngine, RouterEvent,
     RouterTimer,
 };
-use infobus_subject::Subject;
+use infobus_subject::{Subject, SubjectFilter};
+use infobus_types::{wire, Value};
 
 use crate::config::BusConfig;
 use crate::daemon::{DaemonState, RMI_PORT, TOK_RT_STAB, TOK_RT_SUMMARY};
+use crate::engine::filter::{announced_predicate, CompiledPredicate};
 use crate::engine::BusStats;
 use crate::envelope::{Envelope, EnvelopeKind};
 use crate::msg::RouterMsg;
@@ -68,7 +71,21 @@ impl DaemonState {
             match action {
                 RouterAction::SendSummary { link, seq, filters } => {
                     if let Some(&conn) = self.link_conns.get(&link) {
-                        let _ = net.conn_send(conn, RouterMsg::Summary { seq, filters }.encode());
+                        // Each filter travels with the content predicate
+                        // this side would apply (empty = unfiltered), so
+                        // the remote router can gate forwards at *its*
+                        // publish hop.
+                        let preds: Vec<Vec<u8>> =
+                            filters.iter().map(|f| self.summary_pred_bytes(f)).collect();
+                        let _ = net.conn_send(
+                            conn,
+                            RouterMsg::Summary {
+                                seq,
+                                filters,
+                                preds,
+                            }
+                            .encode(),
+                        );
                     }
                 }
                 RouterAction::SendSummaryReq { link } => {
@@ -85,6 +102,23 @@ impl DaemonState {
                 }
             }
         }
+    }
+
+    /// The predicate this side's summary attaches to `filter`: the
+    /// disjunction over every local subscription and peer announcement
+    /// on the exact filter string, or unfiltered (`None`) as soon as any
+    /// source is predicate-free (see [`announced_predicate`]).
+    fn summary_pred_bytes(&self, filter: &str) -> Vec<u8> {
+        let mut sources: Vec<Option<Arc<CompiledPredicate>>> = Vec::new();
+        if let Some(subs) = self.my_filters.get(filter) {
+            sources.extend(subs.iter().map(|(_, p)| p.clone()));
+        }
+        for peers in self.peer_subs.values() {
+            if let Some(pi) = peers.get(filter) {
+                sources.push(pi.pred.clone());
+            }
+        }
+        announced_predicate(&sources).map_or_else(Vec::new, |p| p.to_bytes())
     }
 
     /// Re-derives local interest from ground truth (this segment's own
@@ -133,6 +167,7 @@ impl DaemonState {
             return;
         };
         self.link_conns.remove(&link);
+        self.link_preds.remove(&link);
         if let Some(r) = self.router.as_mut() {
             let actions = r.handle(net.now(), RouterEvent::LinkDown { link });
             self.run_router_actions(net, actions);
@@ -186,6 +221,10 @@ impl DaemonState {
         stamp: Option<RouteStamp>,
         targets: Vec<ForwardTarget>,
     ) {
+        // Unmarshalled at most once, shared across target links; a
+        // payload that fails to unmarshal forwards unconditionally (the
+        // conservative direction).
+        let mut value: Option<Option<Value>> = None;
         for target in targets {
             let Some(&conn) = self.link_conns.get(&target.link) else {
                 continue;
@@ -193,6 +232,35 @@ impl DaemonState {
             let Ok(subject) = Subject::new(&target.subject) else {
                 continue;
             };
+            // Per-link publish gate: the remote summary's predicates are
+            // in the remote namespace, exactly like `target.subject`
+            // after rewrite. When every matching remote filter carries a
+            // rejecting predicate, this WAN copy never leaves.
+            if let Some(table) = self.link_preds.get(&target.link) {
+                let matching: Vec<&Option<Arc<CompiledPredicate>>> = table
+                    .iter()
+                    .filter(|(f, _)| f.matches(&subject))
+                    .map(|(_, p)| p)
+                    .collect();
+                if !matching.is_empty() && matching.iter().all(|p| p.is_some()) {
+                    let v = value.get_or_insert_with(|| {
+                        wire::unmarshal(&env.payload, &mut self.registry.borrow_mut()).ok()
+                    });
+                    if let Some(v) = v {
+                        let mut evals = 0u64;
+                        let rejected = !matching.iter().filter_map(|p| p.as_deref()).any(|p| {
+                            evals += 1;
+                            p.eval(v)
+                        });
+                        self.engine.stats.filt_evals += evals;
+                        if rejected {
+                            self.engine.stats.filt_pub_suppressed += 1;
+                            self.engine.stats.filt_suppressed_bytes += env.payload.len() as u64;
+                            continue;
+                        }
+                    }
+                }
+            }
             let mut fwd = env.clone();
             fwd.subject = self.engine.table().intern_subject(&subject);
             fwd.route = stamp;
@@ -243,10 +311,32 @@ impl DaemonState {
                     );
                 self.run_router_actions(net, actions);
             }
-            RouterMsg::Summary { seq, filters } => {
+            RouterMsg::Summary {
+                seq,
+                filters,
+                preds,
+            } => {
                 let Some(&link) = self.conn_links.get(&conn) else {
                     return;
                 };
+                // Mirror the remote's predicate table before the router
+                // engine consumes the filter list: it gates this side's
+                // forwarded copies in `send_forwards`. A malformed
+                // predicate decodes to unfiltered — over-delivery only.
+                let table: Vec<(SubjectFilter, Option<Arc<CompiledPredicate>>)> = filters
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, f)| {
+                        let filter = SubjectFilter::new(f).ok()?;
+                        let pred = preds
+                            .get(i)
+                            .filter(|p| !p.is_empty())
+                            .and_then(|p| CompiledPredicate::from_bytes(p).ok())
+                            .map(Arc::new);
+                        Some((filter, pred))
+                    })
+                    .collect();
+                self.link_preds.insert(link, table);
                 let Some(router) = self.router.as_mut() else {
                     return;
                 };

@@ -47,11 +47,13 @@ pub enum Packet {
         seq: u64,
         from_host: u32,
     },
-    /// A daemon announcing (part of) its subscription table.
+    /// A daemon announcing (part of) its subscription table. Each added
+    /// entry may carry a content predicate; `remove` is by filter text
+    /// alone (a removal always widens what the peer may send).
     SubAnnounce {
         host: u32,
         full: bool,
-        add: Vec<String>,
+        add: Vec<AnnounceEntry>,
         remove: Vec<String>,
     },
     /// A daemon asking everyone to re-announce their tables (sent at
@@ -60,6 +62,39 @@ pub enum Packet {
     /// Top sequence numbers of recently idle publisher streams, so
     /// receivers can detect (and NAK) losses at the tail of a stream.
     SeqSync { entries: Vec<SyncEntry> },
+}
+
+/// One added filter in a [`Packet::SubAnnounce`]: the subject filter
+/// plus the encoded content predicate announced for it
+/// ([`Predicate::encode`](crate::engine::filter::Predicate::encode)).
+/// Empty predicate bytes mean the filter is unfiltered — the publisher's
+/// daemon must send everything matching the subject. A re-announcement
+/// of the same filter replaces the stored predicate (soft state, like
+/// the rest of the subscription table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnounceEntry {
+    /// The subject filter, as text.
+    pub filter: String,
+    /// The encoded predicate; empty = unfiltered.
+    pub pred: Vec<u8>,
+}
+
+impl AnnounceEntry {
+    /// An unfiltered entry (subject match alone).
+    pub fn plain(filter: impl Into<String>) -> AnnounceEntry {
+        AnnounceEntry {
+            filter: filter.into(),
+            pred: Vec::new(),
+        }
+    }
+
+    /// An entry carrying an encoded predicate.
+    pub fn filtered(filter: impl Into<String>, pred: Vec<u8>) -> AnnounceEntry {
+        AnnounceEntry {
+            filter: filter.into(),
+            pred,
+        }
+    }
 }
 
 /// One stream digest in a [`Packet::SeqSync`].
@@ -168,8 +203,9 @@ impl Packet {
                 put_u32(&mut buf, *host);
                 buf.push(u8::from(*full));
                 put_u32(&mut buf, add.len() as u32);
-                for f in add {
-                    put_string(&mut buf, f);
+                for e in add {
+                    put_string(&mut buf, &e.filter);
+                    put_bytes(&mut buf, &e.pred);
                 }
                 put_u32(&mut buf, remove.len() as u32);
                 for f in remove {
@@ -259,7 +295,9 @@ impl Packet {
                 }
                 let mut add = Vec::with_capacity(na.min(1024));
                 for _ in 0..na {
-                    add.push(get_string(buf)?);
+                    let filter = get_string(buf)?;
+                    let pred = get_byte_vec(buf)?;
+                    add.push(AnnounceEntry { filter, pred });
                 }
                 let nr = get_u32(buf)? as usize;
                 if nr > 65_536 {
@@ -311,8 +349,18 @@ pub(crate) enum RouterMsg {
     /// budget-bounded over-approximation of its bus's local and
     /// broadcast-learned filters, plus those of its *other* links
     /// (split-horizon aggregation). Soft state — re-sent periodically,
-    /// replaced wholesale on receipt.
-    Summary { seq: u64, filters: Vec<String> },
+    /// replaced wholesale on receipt. `preds` parallels `filters`: the
+    /// encoded content predicate announced for that exact filter on the
+    /// sending bus, or empty when the filter is unfiltered *or* was
+    /// produced by prefix aggregation (aggregation drops predicates —
+    /// widening is always safe; exact filtering re-runs at the remote
+    /// delivery gate). An empty `preds` vector means "no predicate
+    /// info" and is equivalent to all-empty.
+    Summary {
+        seq: u64,
+        filters: Vec<String>,
+        preds: Vec<Vec<u8>>,
+    },
     /// A forwarded publication.
     Forward { env: Envelope },
     /// "Re-send your summary now" — sent after route aging or a
@@ -333,12 +381,17 @@ impl RouterMsg {
                 buf.push(RT_HELLO);
                 put_u32(&mut buf, *host);
             }
-            RouterMsg::Summary { seq, filters } => {
+            RouterMsg::Summary {
+                seq,
+                filters,
+                preds,
+            } => {
                 buf.push(RT_SUMMARY);
                 put_u64(&mut buf, *seq);
                 put_u32(&mut buf, filters.len() as u32);
-                for f in filters {
+                for (i, f) in filters.iter().enumerate() {
                     put_string(&mut buf, f);
+                    put_bytes(&mut buf, preds.get(i).map_or(&[][..], |p| p));
                 }
             }
             RouterMsg::Forward { env } => {
@@ -365,10 +418,16 @@ impl RouterMsg {
                     return Err(WireError::BadLength(n as u64));
                 }
                 let mut filters = Vec::with_capacity(n.min(1024));
+                let mut preds = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     filters.push(get_string(buf)?);
+                    preds.push(get_byte_vec(buf)?);
                 }
-                Some(RouterMsg::Summary { seq, filters })
+                Some(RouterMsg::Summary {
+                    seq,
+                    filters,
+                    preds,
+                })
             }
             RT_FORWARD => Some(RouterMsg::Forward {
                 env: Envelope::decode(buf, table)?,
@@ -550,7 +609,17 @@ mod tests {
             Packet::SubAnnounce {
                 host: 5,
                 full: true,
-                add: vec!["news.>".into(), "fab5.*.x".into()],
+                add: vec![
+                    AnnounceEntry::plain("news.>"),
+                    AnnounceEntry::filtered(
+                        "fab5.*.x",
+                        crate::engine::filter::Predicate::gt(
+                            "price",
+                            infobus_types::Value::F64(10.0),
+                        )
+                        .encode(),
+                    ),
+                ],
                 remove: vec!["old.sub".into()],
             },
             Packet::SubResync { host: 1 },
@@ -605,6 +674,11 @@ mod tests {
             RouterMsg::Summary {
                 seq: 7,
                 filters: vec!["news.>".into(), "fab5.*".into()],
+                preds: vec![
+                    Vec::new(),
+                    crate::engine::filter::Predicate::eq("sym", infobus_types::Value::str("IBM"))
+                        .encode(),
+                ],
             },
             RouterMsg::Forward { env: env(5) },
             RouterMsg::SummaryReq,

@@ -60,6 +60,7 @@ fn join(broker: &mut SessionBroker, now: u64, conn: ConnId, section: usize) {
         SessionFrame::Subscribe {
             sub: 1,
             filter: format!("stadium.s{section}.>"),
+            pred: vec![],
         },
     );
 }
@@ -96,7 +97,9 @@ fn main() {
             let text = format!("stadium.s{sec}.px");
             let subject = Subject::new(&text).expect("static subject");
             published += 1;
-            let outs = broker.on_deliver(&subject, &text, b"tick", false);
+            let outs = broker
+                .on_deliver(&subject, &text, b"tick", false, &mut || None)
+                .0;
             for out in outs {
                 if let SessOut::Send {
                     conn,
@@ -132,7 +135,7 @@ fn main() {
             if let SessOut::Publish { subject, .. } = out {
                 let parsed = Subject::new(&subject).expect("session subject");
                 published += 1;
-                broker.on_deliver(&parsed, &subject, b"roar", false);
+                broker.on_deliver(&parsed, &subject, b"roar", false, &mut || None);
             }
         }
     }

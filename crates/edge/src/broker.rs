@@ -22,11 +22,13 @@
 //! costs itself, never the bus — queue growth is capped per session, as
 //! the paper's daemon caps per-subscriber queues.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use infobus_core::engine::{BusStats, Micros};
-use infobus_core::{BusConfig, QoS};
+use infobus_core::{BusConfig, CompiledPredicate, QoS};
 use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
+use infobus_types::Value;
 
 use crate::session::{SessionFrame, SESSION_PROTO};
 
@@ -100,6 +102,8 @@ pub struct SessionBroker {
     filter_refs: HashMap<String, usize>,
     /// Trie id → canonical filter text (drives the refcounts above).
     sub_texts: HashMap<SubscriptionId, String>,
+    /// Trie id → content predicate, for predicated session subs only.
+    sub_preds: HashMap<SubscriptionId, Arc<CompiledPredicate>>,
     next_session_id: u64,
     opened: u64,
     rejected: u64,
@@ -110,6 +114,9 @@ pub struct SessionBroker {
     delivered: u64,
     paused: u64,
     dropped: u64,
+    filt_evals: u64,
+    filt_suppressed: u64,
+    filt_suppressed_bytes: u64,
 }
 
 impl SessionBroker {
@@ -125,6 +132,7 @@ impl SessionBroker {
             trie: SubjectTrie::new(),
             filter_refs: HashMap::new(),
             sub_texts: HashMap::new(),
+            sub_preds: HashMap::new(),
             next_session_id: 1,
             opened: 0,
             rejected: 0,
@@ -135,6 +143,9 @@ impl SessionBroker {
             published: 0,
             paused: 0,
             dropped: 0,
+            filt_evals: 0,
+            filt_suppressed: 0,
+            filt_suppressed_bytes: 0,
         }
     }
 
@@ -235,11 +246,18 @@ impl SessionBroker {
                     },
                 });
             }
-            SessionFrame::Subscribe { sub, filter } => match SubjectFilter::new(&filter) {
+            SessionFrame::Subscribe { sub, filter, pred } => match SubjectFilter::new(&filter) {
                 Ok(f) => {
                     let text = f.as_str().to_owned();
                     let trie_id = self.trie.insert(&f, (conn, now));
                     self.sub_texts.insert(trie_id, text.clone());
+                    // Malformed predicate bytes degrade to unfiltered —
+                    // over-delivery, never a lost message.
+                    if !pred.is_empty() {
+                        if let Ok(p) = CompiledPredicate::from_bytes(&pred) {
+                            self.sub_preds.insert(trie_id, Arc::new(p));
+                        }
+                    }
                     let refs = self.filter_refs.entry(text.clone()).or_insert(0);
                     *refs += 1;
                     if *refs == 1 {
@@ -324,16 +342,51 @@ impl SessionBroker {
     /// `subject` must be the parsed form of `text`. Sessions with
     /// multiple matching filters get one copy. Paused sessions buffer
     /// (bounded, drop-oldest) instead of sending.
+    ///
+    /// `value_of` unmarshals `payload` on demand; it is called at most
+    /// once, and only when some matching subscription carries a content
+    /// predicate. A session gets the copy if *any* of its matching
+    /// subscriptions accepts (predicate-free subscriptions always
+    /// accept); if the payload does not unmarshal, everyone does.
+    ///
+    /// Returns the actions plus the number of sessions whose every
+    /// matching predicate rejected the payload — for guaranteed QoS a
+    /// rejection still counts as consumption.
     pub fn on_deliver(
         &mut self,
         subject: &Subject,
         text: &str,
         payload: &[u8],
         redelivery: bool,
-    ) -> Vec<SessOut> {
+        value_of: &mut dyn FnMut() -> Option<Value>,
+    ) -> (Vec<SessOut>, usize) {
         let mut out = Vec::new();
-        let conns: BTreeSet<ConnId> = self.trie.matches(subject).map(|(_, (c, _))| *c).collect();
-        for conn in conns {
+        let mut rejected = 0usize;
+        let mut value: Option<Option<Value>> = None;
+        let mut accepts: BTreeMap<ConnId, bool> = BTreeMap::new();
+        for (trie_id, (conn, _)) in self.trie.matches(subject) {
+            let entry = accepts.entry(*conn).or_insert(false);
+            if *entry {
+                continue;
+            }
+            *entry = match self.sub_preds.get(&trie_id) {
+                None => true,
+                Some(p) => {
+                    self.filt_evals += 1;
+                    match value.get_or_insert_with(&mut *value_of) {
+                        Some(v) => p.eval(v),
+                        None => true,
+                    }
+                }
+            };
+        }
+        for (conn, accept) in accepts {
+            if !accept {
+                rejected += 1;
+                self.filt_suppressed += 1;
+                self.filt_suppressed_bytes += payload.len() as u64;
+                continue;
+            }
             let lag_cap = self.cursor_lag;
             let Some(sess) = self.sessions.get_mut(&conn) else {
                 continue;
@@ -371,7 +424,7 @@ impl SessionBroker {
                 self.paused += 1;
             }
         }
-        out
+        (out, rejected)
     }
 
     /// Freshness scan: evicts every session silent for longer than the
@@ -410,12 +463,18 @@ impl SessionBroker {
         stats.sess_delivered = self.delivered;
         stats.sess_paused = self.paused;
         stats.sess_dropped = self.dropped;
+        // Session-side filter suppression composes with the engine's own
+        // `filt_*` counters, so accumulate rather than overwrite.
+        stats.filt_evals += self.filt_evals;
+        stats.filt_delivery_suppressed += self.filt_suppressed;
+        stats.filt_suppressed_bytes += self.filt_suppressed_bytes;
     }
 
     fn drop_trie_sub(&mut self, trie_id: SubscriptionId, out: &mut Vec<SessOut>) {
         if self.trie.remove(trie_id).is_none() {
             return;
         }
+        self.sub_preds.remove(&trie_id);
         let Some(text) = self.sub_texts.remove(&trie_id) else {
             return;
         };
@@ -497,12 +556,13 @@ mod tests {
             SessionFrame::Subscribe {
                 sub: 1,
                 filter: "m.>".into(),
+                pred: vec![],
             },
         );
         assert_eq!(out, vec![SessOut::FilterAdded("m.>".into())]);
         let subject = Subject::new("m.x").unwrap();
         for want in 1..=3u64 {
-            let out = b.on_deliver(&subject, "m.x", b"p", false);
+            let out = b.on_deliver(&subject, "m.x", b"p", false, &mut || None).0;
             match &out[0] {
                 SessOut::Send {
                     frame: SessionFrame::Deliver { cursor, .. },
@@ -525,12 +585,16 @@ mod tests {
             SessionFrame::Subscribe {
                 sub: 1,
                 filter: "m.x".into(),
+                pred: vec![],
             },
         );
         let subject = Subject::new("m.x").unwrap();
         let mut sent = 0;
         for _ in 0..40 {
-            sent += b.on_deliver(&subject, "m.x", b"p", false).len();
+            sent += b
+                .on_deliver(&subject, "m.x", b"p", false, &mut || None)
+                .0
+                .len();
         }
         // Lag ceiling 4: exactly 4 sent, the rest buffered/dropped.
         assert_eq!(sent, 4);
@@ -586,6 +650,7 @@ mod tests {
             SessionFrame::Subscribe {
                 sub: 1,
                 filter: "m.>".into(),
+                pred: vec![],
             },
         );
         let out = b.handle_frame(1, ConnId(1), SessionFrame::Bye);

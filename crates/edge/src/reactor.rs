@@ -34,21 +34,22 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use infobus_core::engine::filter::{announced_predicate, approx_wire_bytes, FilterCounters};
 use infobus_core::engine::{
     run_sharded_actions, Action, BusStats, Event, Micros, PubSource, ShardId, ShardTransport,
     ShardedEngine, ShardedStats, TimerKind, Transport,
 };
-use infobus_core::msg::Packet;
+use infobus_core::msg::{AnnounceEntry, Packet};
 use infobus_core::queue::{sub_queue, SubSender};
 use infobus_core::{
-    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, Delivery, Envelope, EnvelopeKind,
-    NvStore, QoS, SubscriptionHandle,
+    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, CompiledPredicate, Delivery, Envelope,
+    EnvelopeKind, NvStore, Predicate, QoS, SubjectMap, SubscriptionHandle,
 };
 use infobus_net::clock::MonoClock;
 use infobus_net::frame::{decode_frame, encode_frame};
 use infobus_net::loss::LossRng;
 use infobus_net::timers::TimerWheel;
-use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
 use infobus_types::{wire, TypeRegistry, Value};
 
 use crate::broker::{ConnId, SessOut, SessionBroker};
@@ -152,11 +153,39 @@ impl EdgeConfig {
 }
 
 /// One local API subscription: its queue, creation time (first-contact
-/// entitlement), and canonical filter text (announcements).
+/// entitlement), canonical filter text (announcements), and optional
+/// content predicate (the delivery gate).
 struct SubEntry {
     tx: SubSender<Delivery>,
     since: Micros,
     filter: String,
+    pred: Option<Arc<CompiledPredicate>>,
+}
+
+/// One filter a peer daemon announced, with the content predicate it
+/// travels with (`None` = unfiltered).
+struct PeerFilter {
+    filter: SubjectFilter,
+    pred: Option<Arc<CompiledPredicate>>,
+}
+
+/// The wire predicate this daemon's *API* subscriptions currently imply
+/// for filter `text`: `None` when no API subscription uses the filter,
+/// otherwise the combined announced-predicate bytes (empty =
+/// unfiltered). Session subscriptions announce separately (always
+/// unfiltered — the broker enforces their predicates at fan-out).
+fn announced_pred_state(trie: &SubjectTrie<SubEntry>, text: &str) -> Option<Vec<u8>> {
+    let mut preds: Vec<Option<Arc<CompiledPredicate>>> = Vec::new();
+    trie.for_each(|_, _, e| {
+        if e.filter == text {
+            preds.push(e.pred.clone());
+        }
+    });
+    if preds.is_empty() {
+        None
+    } else {
+        Some(announced_predicate(&preds).map_or_else(Vec::new, |p| p.to_bytes()))
+    }
 }
 
 struct Inner {
@@ -172,7 +201,16 @@ struct Inner {
     registry: Mutex<TypeRegistry>,
     timers: Mutex<TimerWheel>,
     peers: RwLock<HashMap<u32, SocketAddr>>,
-    peer_subs: Mutex<HashMap<u32, HashMap<String, SubjectFilter>>>,
+    peer_subs: Mutex<HashMap<u32, HashMap<String, PeerFilter>>>,
+    /// Semantic subject layer ([`BusConfig::subject_map`]): canonicalizes
+    /// published subjects, expands subscribed filters.
+    semantic: Option<Arc<SubjectMap>>,
+    /// Semantic expansion families: head subscription id → sibling ids,
+    /// removed together.
+    expansions: Mutex<HashMap<SubscriptionId, Vec<SubscriptionId>>>,
+    /// Content-filter and semantic-layer counters (atomics: the gates
+    /// run on caller and reactor threads alike).
+    filt: FilterCounters,
     /// Guaranteed-delivery non-volatile store: in-memory by default, a
     /// per-shard write-ahead ledger when `BusConfig::durable_dir` is
     /// set (replayed into the engine at bind).
@@ -246,6 +284,7 @@ impl ReactorBus {
         let shards = cfg.bus.shards.max(1);
         let sess_scan_us = cfg.bus.heartbeat_period_us;
         let pool_slots = cfg.bus.marshal_pool_slots();
+        let semantic = cfg.bus.semantic_map().cloned();
         let broker = SessionBroker::new(&cfg.bus, cfg.session_token);
         // Open (and recover) the non-volatile store before any traffic.
         let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
@@ -266,6 +305,9 @@ impl ReactorBus {
             timers: Mutex::new(TimerWheel::new(shards)),
             peers: RwLock::new(cfg.peers.into_iter().collect()),
             peer_subs: Mutex::new(HashMap::new()),
+            semantic,
+            expansions: Mutex::new(HashMap::new()),
+            filt: FilterCounters::default(),
             nv: Mutex::new(nv),
             broker: Mutex::new(broker),
             conns: Mutex::new(ConnTable::default()),
@@ -356,76 +398,139 @@ impl ReactorBus {
     ///
     /// Returns [`BusError::Subject`] for malformed filters.
     pub fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
-        let filter = SubjectFilter::new(filter)?;
-        let text = filter.as_str().to_owned();
-        let now = self.inner.clock.now_us();
-        let mut engine = poisoned(self.inner.engine.lock());
-        let (tx, rx) = sub_queue(self.inner.queue_cap, Arc::clone(&self.inner.queue_dropped));
-        let announce = {
-            let mut trie = poisoned(self.inner.trie.write());
-            let mut fresh = true;
-            trie.for_each(|_, _, e| fresh &= e.filter != text);
-            let id = trie.insert(
-                &filter,
-                SubEntry {
-                    tx,
-                    since: now,
-                    filter: text.clone(),
-                },
-            );
-            fresh.then_some(id)
-        };
-        let id = match announce {
-            Some(id) => {
-                let pkt = Packet::SubAnnounce {
-                    host: self.inner.host,
-                    full: false,
-                    add: vec![text],
-                    remove: vec![],
-                };
-                self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
-                id
-            }
-            None => {
-                let trie = poisoned(self.inner.trie.read());
-                let mut found = None;
-                trie.for_each(|id, _, e| {
-                    if e.filter == text {
-                        found = Some(id);
-                    }
-                });
-                found.expect("just inserted")
-            }
-        };
-        Ok((SubscriptionHandle::from_raw(id), rx))
+        self.subscribe_entry(filter, None)
     }
 
-    /// Removes a subscription (its queue closes once drained); announces
-    /// the removal if neither a sibling subscription nor a session still
-    /// holds the filter.
-    pub fn unsubscribe(&self, handle: SubscriptionHandle) {
-        let mut engine = poisoned(self.inner.engine.lock());
-        let gone = {
-            let mut trie = poisoned(self.inner.trie.write());
-            let Some(entry) = trie.remove(handle.raw()) else {
-                return;
-            };
-            let mut last = true;
-            trie.for_each(|_, _, e| last &= e.filter != entry.filter);
-            last.then_some(entry.filter)
+    /// Subscribes with a content predicate: only matching publications
+    /// whose payload satisfies `pred` are delivered, and the predicate
+    /// travels in the announcement so *publishing* daemons can suppress
+    /// unanimously rejected publications before framing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters or
+    /// [`BusError::Filter`] if the predicate exceeds the compile bounds.
+    pub fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        let compiled = Arc::new(CompiledPredicate::compile(pred)?);
+        self.subscribe_entry(filter, Some(compiled))
+    }
+
+    fn subscribe_entry(
+        &self,
+        filter: &str,
+        pred: Option<Arc<CompiledPredicate>>,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        // Semantic expansion: one call may materialize sibling
+        // subscriptions on every synonym/broadening of the filter.
+        let expanded: Vec<String> = match &self.inner.semantic {
+            Some(m) => m.expand_filter(filter),
+            None => vec![filter.to_owned()],
         };
-        if let Some(filter) = gone {
-            if poisoned(self.inner.broker.lock())
-                .filters()
-                .contains(&filter)
-            {
-                return;
+        let mut parsed = Vec::with_capacity(expanded.len());
+        for f in &expanded {
+            parsed.push(SubjectFilter::new(f)?);
+        }
+        let now = self.inner.clock.now_us();
+        // Filters some session also holds stay announced unfiltered —
+        // the broker enforces session predicates at fan-out.
+        let sess_filters = poisoned(self.inner.broker.lock()).filters();
+        let mut engine = poisoned(self.inner.engine.lock());
+        let (tx, rx) = sub_queue(self.inner.queue_cap, Arc::clone(&self.inner.queue_dropped));
+        let mut add: Vec<AnnounceEntry> = Vec::new();
+        let mut ids = Vec::with_capacity(parsed.len());
+        {
+            let mut trie = poisoned(self.inner.trie.write());
+            for (f, text) in parsed.iter().zip(&expanded) {
+                let before = announced_pred_state(&trie, text);
+                ids.push(trie.insert(
+                    f,
+                    SubEntry {
+                        tx: tx.clone(),
+                        since: now,
+                        filter: text.clone(),
+                        pred: pred.clone(),
+                    },
+                ));
+                // Announce new filters, and *re*-announce when a sibling
+                // changed what the filter's combined predicate says
+                // (peers replace on receipt). A filter some session
+                // holds is already announced unfiltered and stays that
+                // way.
+                let after = announced_pred_state(&trie, text).expect("filter just inserted");
+                if before.as_ref() != Some(&after) && !sess_filters.contains(text) {
+                    add.push(AnnounceEntry {
+                        filter: text.clone(),
+                        pred: after,
+                    });
+                }
             }
+        }
+        if !add.is_empty() {
             let pkt = Packet::SubAnnounce {
                 host: self.inner.host,
                 full: false,
-                add: vec![],
-                remove: vec![filter],
+                add,
+                remove: vec![],
+            };
+            self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
+        }
+        let primary = ids[0];
+        if ids.len() > 1 {
+            self.inner
+                .filt
+                .sem_expanded
+                .fetch_add((ids.len() - 1) as u64, Ordering::Relaxed);
+            poisoned(self.inner.expansions.lock()).insert(primary, ids.split_off(1));
+        }
+        Ok((SubscriptionHandle::from_raw(primary), rx))
+    }
+
+    /// Removes a subscription (its queue closes once drained) together
+    /// with any semantic expansion siblings; announces each removal if
+    /// neither a sibling subscription nor a session still holds the
+    /// filter, or re-announces the filter's remaining combined
+    /// predicate.
+    pub fn unsubscribe(&self, handle: SubscriptionHandle) {
+        let mut targets = vec![handle.raw()];
+        if let Some(extras) = poisoned(self.inner.expansions.lock()).remove(&handle.raw()) {
+            targets.extend(extras);
+        }
+        let sess_filters = poisoned(self.inner.broker.lock()).filters();
+        let mut engine = poisoned(self.inner.engine.lock());
+        let mut add: Vec<AnnounceEntry> = Vec::new();
+        let mut remove: Vec<String> = Vec::new();
+        {
+            let mut trie = poisoned(self.inner.trie.write());
+            for id in targets {
+                let Some(entry) = trie.remove(id) else {
+                    continue;
+                };
+                if sess_filters.contains(&entry.filter) {
+                    // Sessions keep the filter alive (and unfiltered).
+                    continue;
+                }
+                match announced_pred_state(&trie, &entry.filter) {
+                    None => remove.push(entry.filter),
+                    // A sibling remains: re-announce unconditionally (the
+                    // departing subscription may have widened or narrowed
+                    // the combined predicate; peers replace on receipt).
+                    Some(after) => add.push(AnnounceEntry {
+                        filter: entry.filter,
+                        pred: after,
+                    }),
+                }
+            }
+        }
+        if !add.is_empty() || !remove.is_empty() {
+            let pkt = Packet::SubAnnounce {
+                host: self.inner.host,
+                full: false,
+                add,
+                remove,
             };
             self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
         }
@@ -439,6 +544,32 @@ impl ReactorBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
+        // Semantic layer: synonym subjects collapse to canonical form
+        // before the trie, the engine, or the wire see them.
+        let canon;
+        let subject = match self
+            .inner
+            .semantic
+            .as_ref()
+            .and_then(|m| m.canonicalize(subject))
+        {
+            Some(c) => {
+                self.inner
+                    .filt
+                    .sem_canonicalized
+                    .fetch_add(1, Ordering::Relaxed);
+                canon = c;
+                canon.as_str()
+            }
+            None => subject,
+        };
+        // Publish gate: when every matching interest — local
+        // subscriptions, sessions, and peer-announced filters — carries
+        // a rejecting predicate, the publication is suppressed before it
+        // is ever marshalled, sequenced, or framed.
+        if !self.inner.publish_interest_accepts(subject, value)? {
+            return Ok(0);
+        }
         let payload = {
             let mut buf = self.inner.pool.take();
             let registry = poisoned(self.inner.registry.lock());
@@ -467,6 +598,7 @@ impl ReactorBus {
         trie.for_each(|_, _, e| depth += e.tx.queued() as u64);
         stats.merged.sub_queue_depth = depth;
         stats.merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        self.inner.filt.fold_into(&mut stats.merged);
         poisoned(self.inner.broker.lock()).stats_into(&mut stats.merged);
         poisoned(self.inner.nv.lock()).stamp_stats(&mut stats.merged);
         stats
@@ -495,6 +627,14 @@ impl Drop for ReactorBus {
 impl Bus for ReactorBus {
     fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
         ReactorBus::subscribe(self, filter)
+    }
+
+    fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        ReactorBus::subscribe_filtered(self, filter, pred)
     }
 
     fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
@@ -560,22 +700,107 @@ impl Inner {
     }
 
     /// A full `SubAnnounce` of every locally subscribed filter — API
-    /// subscriptions and session subscriptions alike.
+    /// subscriptions (with their combined announced predicate) and
+    /// session subscriptions (always unfiltered: the broker enforces
+    /// session predicates at fan-out) alike.
     fn full_announce(&self) -> Packet {
+        let sess_filters: BTreeSet<String> =
+            poisoned(self.broker.lock()).filters().into_iter().collect();
         let trie = poisoned(self.trie.read());
         let mut filters = BTreeSet::new();
         trie.for_each(|_, _, e| {
             filters.insert(e.filter.clone());
         });
-        for f in poisoned(self.broker.lock()).filters() {
-            filters.insert(f);
+        let mut add: Vec<AnnounceEntry> = filters
+            .iter()
+            .map(|f| {
+                if sess_filters.contains(f) {
+                    return AnnounceEntry::plain(f.clone());
+                }
+                let pred = announced_pred_state(&trie, f).unwrap_or_default();
+                AnnounceEntry {
+                    filter: f.clone(),
+                    pred,
+                }
+            })
+            .collect();
+        for f in sess_filters {
+            if !filters.contains(&f) {
+                add.push(AnnounceEntry::plain(f));
+            }
         }
         Packet::SubAnnounce {
             host: self.host,
             full: true,
-            add: filters.into_iter().collect(),
+            add,
             remove: vec![],
         }
+    }
+
+    /// The publisher-side content gate: `false` means every matching
+    /// interest carries a rejecting predicate — the publication is
+    /// suppressed. Session interest counts as unfiltered (the broker
+    /// gates per session at fan-out); zero matching interest sends.
+    fn publish_interest_accepts(&self, subject: &str, value: &Value) -> Result<bool, BusError> {
+        let subject = Subject::new(subject)?;
+        let mut evals = 0u64;
+        let mut matched_any = false;
+        let mut accept = false;
+        {
+            let trie = poisoned(self.trie.read());
+            for (_, e) in trie.matches(&subject) {
+                matched_any = true;
+                match &e.pred {
+                    None => {
+                        accept = true;
+                        break;
+                    }
+                    Some(p) => {
+                        evals += 1;
+                        if p.eval(value) {
+                            accept = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !accept
+            && poisoned(self.broker.lock())
+                .earliest_matching_sub(&subject)
+                .is_some()
+        {
+            matched_any = true;
+            accept = true;
+        }
+        if !accept {
+            let peer_subs = poisoned(self.peer_subs.lock());
+            'peers: for table in peer_subs.values() {
+                for pf in table.values() {
+                    if !pf.filter.matches(&subject) {
+                        continue;
+                    }
+                    matched_any = true;
+                    match &pf.pred {
+                        None => {
+                            accept = true;
+                            break 'peers;
+                        }
+                        Some(p) => {
+                            evals += 1;
+                            if p.eval(value) {
+                                accept = true;
+                                break 'peers;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let send = accept || !matched_any;
+        self.filt
+            .record_publish_gate(evals, send, approx_wire_bytes(value));
+        Ok(send)
     }
 
     // ----- engine plumbing --------------------------------------------------
@@ -607,8 +832,11 @@ impl Inner {
             payload.into(),
         );
         self.run_engine_actions(engine, now, pre);
-        let delivered = self.fan_out(&mut engine.stats, &env);
-        if qos == QoS::Guaranteed && delivered > 0 {
+        let (delivered, suppressed) = self.fan_out(&mut engine.stats, &env);
+        // A predicate rejection counts as consumption: the subscriber
+        // saw and declined the envelope, so guaranteed delivery
+        // completes instead of retrying forever.
+        if qos == QoS::Guaranteed && delivered + suppressed > 0 {
             engine.gd_local_done(&env);
         }
         let actions = engine.enqueue(&env);
@@ -643,14 +871,40 @@ impl Inner {
     }
 
     /// Hands an envelope to every matching API subscriber queue *and*
-    /// every matching session. Returns total local deliveries.
+    /// every matching session. Returns `(delivered, suppressed)`:
+    /// predicated subscriptions (or sessions) whose predicate rejects
+    /// the payload are skipped, and for guaranteed QoS the rejection
+    /// still counts as consumption. The payload is unmarshalled at most
+    /// once, and only when some predicated interest matches; a payload
+    /// that fails to unmarshal delivers unconditionally.
     /// `stats.delivered` counts API-queue deliveries; session deliveries
     /// are tracked by the broker's `sess_delivered`.
-    fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> usize {
+    fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> (usize, usize) {
         let mut count = 0usize;
+        let mut suppressed = 0usize;
+        let mut value: Option<Option<Value>> = None;
         {
             let trie = poisoned(self.trie.read());
             for (_, entry) in trie.matches(&env.subject) {
+                if let Some(p) = &entry.pred {
+                    let v = value.get_or_insert_with(|| {
+                        let mut registry = poisoned(self.registry.lock());
+                        wire::unmarshal(&env.payload, &mut registry).ok()
+                    });
+                    if let Some(v) = v {
+                        self.filt.evals.fetch_add(1, Ordering::Relaxed);
+                        if !p.eval(v) {
+                            suppressed += 1;
+                            self.filt
+                                .delivery_suppressed
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.filt
+                                .suppressed_bytes
+                                .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                }
                 let msg = Delivery {
                     subject: env.subject.clone(),
                     payload: env.payload.clone(),
@@ -665,21 +919,32 @@ impl Inner {
         }
         stats.delivered += count as u64;
         stats.delivered_bytes += (env.payload.len() * count) as u64;
-        // Session fan-out: the broker stamps cursors and applies
-        // backpressure; all we perform here are the resulting sends.
-        let outs = poisoned(self.broker.lock()).on_deliver(
+        // Session fan-out: the broker stamps cursors, applies
+        // backpressure, and gates predicated session subscriptions; all
+        // we perform here are the resulting sends. The broker reuses the
+        // value this fan-out may already have unmarshalled.
+        let mut unmarshal = || match value.take() {
+            Some(v) => v,
+            None => {
+                let mut registry = poisoned(self.registry.lock());
+                wire::unmarshal(&env.payload, &mut registry).ok()
+            }
+        };
+        let (outs, sess_rejected) = poisoned(self.broker.lock()).on_deliver(
             &env.subject,
             env.subject.as_str(),
             &env.payload,
             env.redelivery,
+            &mut unmarshal,
         );
+        suppressed += sess_rejected;
         for out in outs {
             if let SessOut::Send { conn, frame } = out {
                 self.send_session_frame(conn, &frame, stats);
                 count += 1;
             }
         }
-        count
+        (count, suppressed)
     }
 
     /// Creation time of the earliest local interest (API subscription or
@@ -705,7 +970,7 @@ impl Inner {
             };
             let hosts: Vec<u32> = peer_subs
                 .iter()
-                .filter(|(_, filters)| filters.values().any(|f| f.matches(&subject)))
+                .filter(|(_, filters)| filters.values().any(|pf| pf.filter.matches(&subject)))
                 .map(|(&h, _)| h)
                 .collect();
             interest.insert(text, hosts);
@@ -791,35 +1056,57 @@ impl Inner {
                 } => {
                     // Fan-in: a session publish enters the engine like a
                     // local API publish, attributed to the client name.
-                    let _ = self.publish_payload(engine, now, &subject, qos, payload, &client);
+                    // Synonym subjects collapse to canonical form first.
+                    let canon;
+                    let subject = match self
+                        .semantic
+                        .as_ref()
+                        .and_then(|m| m.canonicalize(&subject))
+                    {
+                        Some(c) => {
+                            self.filt.sem_canonicalized.fetch_add(1, Ordering::Relaxed);
+                            canon = c;
+                            canon.as_str()
+                        }
+                        None => subject.as_str(),
+                    };
+                    let _ = self.publish_payload(engine, now, subject, qos, payload, &client);
                 }
                 SessOut::FilterAdded(f) => {
+                    // Session interest announces unfiltered: whatever
+                    // predicate an API sibling carries, the aggregate is
+                    // now wider (the broker gates sessions at fan-out).
                     let pkt = Packet::SubAnnounce {
                         host: self.host,
                         full: false,
-                        add: vec![f],
+                        add: vec![AnnounceEntry::plain(f)],
                         remove: vec![],
                     };
                     self.send_broadcast_packet(&pkt, &mut engine.stats);
                 }
                 SessOut::FilterRemoved(f) => {
-                    // Only announce the removal if no API subscription
-                    // still holds the filter.
-                    let api_holds = {
+                    // If API subscriptions still hold the filter,
+                    // re-announce their combined predicate (the aggregate
+                    // may narrow back down); otherwise announce removal.
+                    let api_state = {
                         let trie = poisoned(self.trie.read());
-                        let mut holds = false;
-                        trie.for_each(|_, _, e| holds |= e.filter == f);
-                        holds
+                        announced_pred_state(&trie, &f)
                     };
-                    if !api_holds {
-                        let pkt = Packet::SubAnnounce {
+                    let pkt = match api_state {
+                        Some(pred) => Packet::SubAnnounce {
+                            host: self.host,
+                            full: false,
+                            add: vec![AnnounceEntry { filter: f, pred }],
+                            remove: vec![],
+                        },
+                        None => Packet::SubAnnounce {
                             host: self.host,
                             full: false,
                             add: vec![],
                             remove: vec![f],
-                        };
-                        self.send_broadcast_packet(&pkt, &mut engine.stats);
-                    }
+                        },
+                    };
+                    self.send_broadcast_packet(&pkt, &mut engine.stats);
                 }
                 SessOut::Closed { conn } => {
                     poisoned(self.conns.lock()).forget(conn);
@@ -959,9 +1246,16 @@ impl Inner {
                 if full {
                     table.clear();
                 }
-                for text in add {
-                    if let Ok(f) = SubjectFilter::new(&text) {
-                        table.insert(text, f);
+                for e in add {
+                    if let Ok(f) = SubjectFilter::new(&e.filter) {
+                        // A malformed predicate decodes to unfiltered —
+                        // the direction that can only over-deliver.
+                        let pred = if e.pred.is_empty() {
+                            None
+                        } else {
+                            CompiledPredicate::from_bytes(&e.pred).ok().map(Arc::new)
+                        };
+                        table.insert(e.filter, PeerFilter { filter: f, pred });
                     }
                 }
                 for text in remove {
@@ -1006,12 +1300,13 @@ impl Transport for EdgeTransport<'_> {
 
     fn deliver(&mut self, env: Envelope) {
         if env.kind == EnvelopeKind::Data {
-            self.delivered += self.inner.fan_out(self.stats, &env);
+            self.delivered += self.inner.fan_out(self.stats, &env).0;
         }
     }
 
     fn deliver_gd(&mut self, env: Envelope) {
-        if self.inner.fan_out(self.stats, &env) > 0 {
+        let (delivered, suppressed) = self.inner.fan_out(self.stats, &env);
+        if delivered + suppressed > 0 {
             self.gd_done.push(env);
         }
     }

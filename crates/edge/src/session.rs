@@ -104,6 +104,10 @@ pub enum SessionFrame {
         sub: u64,
         /// Subject filter text.
         filter: String,
+        /// Wire-encoded content predicate
+        /// ([`CompiledPredicate::to_bytes`](infobus_core::CompiledPredicate::to_bytes));
+        /// empty means unfiltered.
+        pred: Vec<u8>,
     },
     /// Client → daemon: drop subscription `sub`.
     Unsubscribe {
@@ -204,10 +208,11 @@ pub fn encode_session_frame(frame: &SessionFrame) -> Vec<u8> {
             buf.push(TAG_REJECT);
             put_string(&mut buf, reason);
         }
-        SessionFrame::Subscribe { sub, filter } => {
+        SessionFrame::Subscribe { sub, filter, pred } => {
             buf.push(TAG_SUBSCRIBE);
             put_u64(&mut buf, *sub);
             put_string(&mut buf, filter);
+            put_bytes(&mut buf, pred);
         }
         SessionFrame::Unsubscribe { sub } => {
             buf.push(TAG_UNSUBSCRIBE);
@@ -286,6 +291,7 @@ pub fn decode_session_frame(datagram: &[u8]) -> Result<SessionFrame, WireError> 
         TAG_SUBSCRIBE => Ok(SessionFrame::Subscribe {
             sub: get_u64(buf)?,
             filter: get_string(buf)?,
+            pred: get_byte_vec(buf)?,
         }),
         TAG_UNSUBSCRIBE => Ok(SessionFrame::Unsubscribe { sub: get_u64(buf)? }),
         TAG_PUBLISH => Ok(SessionFrame::Publish {
@@ -334,6 +340,7 @@ mod tests {
             SessionFrame::Subscribe {
                 sub: 1,
                 filter: "market.>".into(),
+                pred: vec![4, 2],
             },
             SessionFrame::Unsubscribe { sub: 1 },
             SessionFrame::Publish {

@@ -23,6 +23,7 @@
 //! horizon* of virtual time synchronously, which is this driver's
 //! delivery barrier — generous enough to cover repair under loss.
 
+use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
@@ -33,10 +34,10 @@ use infobus_core::engine::BusStats;
 use infobus_core::queue::{sub_queue, SubSender};
 use infobus_core::{
     Bus, BusApp, BusConfig, BusCtx, BusError, BusFabric, BusMessage, BusReceiver, Bytes, Delivery,
-    QoS, SubscriptionHandle,
+    Predicate, QoS, SubscriptionHandle,
 };
 use infobus_netsim::{EtherConfig, FaultPlan, HostId, Micros, NetBuilder, Sim};
-use infobus_subject::{SubjectFilter, SubjectTable};
+use infobus_subject::SubjectTable;
 use infobus_types::{wire, Value};
 
 /// Configuration for a [`SimBus`].
@@ -105,6 +106,7 @@ const CMD_SLICE_US: Micros = 5_000;
 enum Cmd {
     Subscribe {
         filter: String,
+        pred: Option<Predicate>,
         reply: mpsc::Sender<Result<(SubscriptionHandle, BusReceiver), BusError>>,
     },
     Publish {
@@ -124,12 +126,6 @@ enum Cmd {
 
 // ----- in-sim app commands: pump thread → applications ---------------------
 
-struct AppSubscribe {
-    filter: String,
-    tx: SubSender<Delivery>,
-    reply: mpsc::Sender<Result<SubscriptionHandle, BusError>>,
-}
-
 struct AppUnsubscribe {
     handle: SubscriptionHandle,
 }
@@ -141,17 +137,34 @@ struct AppPublish {
     reply: mpsc::Sender<Result<usize, BusError>>,
 }
 
-/// The sub-host application: holds the subscriber queues and forwards
-/// matching publications out of the simulation.
-#[derive(Default)]
+/// A sub-host application holding exactly ONE subscription and its
+/// out-of-sim queue. One app per subscription makes the daemon's
+/// per-(subscription, app) dispatch the single source of delivery
+/// truth: subject matching, semantic expansion, and predicate gating
+/// all happen daemon-side, and everything this app receives belongs to
+/// its queue — overlapping subscriptions on other apps can never
+/// duplicate into it.
 struct Collector {
-    subs: Vec<(SubscriptionHandle, SubjectFilter, SubSender<Delivery>)>,
+    filter: String,
+    pred: Option<Predicate>,
+    tx: SubSender<Delivery>,
+    reply: Option<mpsc::Sender<Result<SubscriptionHandle, BusError>>>,
     /// Interns subjects crossing out of the simulation (deliveries
     /// carry [`InternedSubject`](infobus_subject::InternedSubject)).
     table: SubjectTable,
 }
 
 impl BusApp for Collector {
+    fn on_start(&mut self, bus: &mut BusCtx<'_, '_>) {
+        let result = match &self.pred {
+            Some(p) => bus.subscribe_filtered(&self.filter, p),
+            None => bus.subscribe(&self.filter),
+        };
+        if let Some(reply) = self.reply.take() {
+            let _ = reply.send(result);
+        }
+    }
+
     fn on_message(&mut self, bus: &mut BusCtx<'_, '_>, msg: &BusMessage) {
         // Re-marshal: the queue carries wire bytes so the out-of-sim
         // subscriber unmarshals lazily, exactly like the other drivers.
@@ -159,41 +172,18 @@ impl BusApp for Collector {
         let Ok(payload) = wire::marshal_self_describing(&msg.value, &registry.borrow()) else {
             return;
         };
-        let payload = Bytes::from_vec(payload);
-        for (_, filter, tx) in &self.subs {
-            if filter.matches(&msg.subject) {
-                let _ = tx.send(Delivery {
-                    subject: self.table.intern_subject(&msg.subject),
-                    payload: payload.clone(),
-                    redelivery: msg.redelivery,
-                    qos: msg.qos,
-                    route: None,
-                });
-            }
-        }
+        let _ = self.tx.send(Delivery {
+            subject: self.table.intern_subject(&msg.subject),
+            payload: Bytes::from_vec(payload),
+            redelivery: msg.redelivery,
+            qos: msg.qos,
+            route: None,
+        });
     }
 
     fn on_command(&mut self, bus: &mut BusCtx<'_, '_>, cmd: Box<dyn std::any::Any>) {
-        match cmd.downcast::<AppSubscribe>() {
-            Ok(sub) => {
-                let sub = *sub;
-                let result = SubjectFilter::new(&sub.filter)
-                    .map_err(BusError::from)
-                    .and_then(|f| bus.subscribe(&sub.filter).map(|h| (h, f)));
-                let _ = sub.reply.send(match result {
-                    Ok((handle, filter)) => {
-                        self.subs.push((handle, filter, sub.tx));
-                        Ok(handle)
-                    }
-                    Err(e) => Err(e),
-                });
-            }
-            Err(cmd) => {
-                if let Ok(unsub) = cmd.downcast::<AppUnsubscribe>() {
-                    bus.unsubscribe(unsub.handle);
-                    self.subs.retain(|(h, _, _)| *h != unsub.handle);
-                }
-            }
+        if let Ok(unsub) = cmd.downcast::<AppUnsubscribe>() {
+            bus.unsubscribe(unsub.handle);
         }
     }
 }
@@ -225,6 +215,10 @@ struct Pump {
     queue_cap: usize,
     queue_dropped: Arc<AtomicU64>,
     settle_us: Micros,
+    /// One collector app per subscription; this names the next one.
+    next_sub_app: usize,
+    /// Live subscription → its collector app, for unsubscribe routing.
+    sub_apps: HashMap<u64, String>,
 }
 
 impl Pump {
@@ -246,13 +240,8 @@ impl Pump {
             Self::PUB_APP,
             Box::<Publisher>::default(),
         );
-        fabric.attach_app(
-            &mut sim,
-            sub_host,
-            Self::SUB_APP,
-            Box::<Collector>::default(),
-        );
         // Let the daemons start and exchange subscription tables.
+        // Collector apps attach per subscription, not here.
         sim.run_for(50_000);
         Pump {
             sim,
@@ -262,6 +251,8 @@ impl Pump {
             queue_cap: cfg.bus.subscriber_queue_cap,
             queue_dropped: Arc::new(AtomicU64::new(0)),
             settle_us: cfg.settle_us,
+            next_sub_app: 0,
+            sub_apps: HashMap::new(),
         }
     }
 
@@ -279,22 +270,34 @@ impl Pump {
 
     fn handle(&mut self, cmd: Cmd) {
         match cmd {
-            Cmd::Subscribe { filter, reply } => {
+            Cmd::Subscribe {
+                filter,
+                pred,
+                reply,
+            } => {
                 let (tx, rx) = sub_queue(self.queue_cap, Arc::clone(&self.queue_dropped));
                 let (app_tx, app_rx) = mpsc::channel();
-                self.fabric.send_app_command(
+                let name = format!("{}-{}", Self::SUB_APP, self.next_sub_app);
+                self.next_sub_app += 1;
+                self.fabric.attach_app(
                     &mut self.sim,
                     self.sub_host,
-                    Self::SUB_APP,
-                    Box::new(AppSubscribe {
+                    &name,
+                    Box::new(Collector {
                         filter,
+                        pred,
                         tx,
-                        reply: app_tx,
+                        reply: Some(app_tx),
+                        table: SubjectTable::default(),
                     }),
                 );
                 self.sim.run_for(CMD_SLICE_US);
                 let result = match app_rx.try_recv() {
-                    Ok(r) => r.map(|handle| (handle, rx)),
+                    Ok(Ok(handle)) => {
+                        self.sub_apps.insert(handle.id(), name);
+                        Ok((handle, rx))
+                    }
+                    Ok(Err(e)) => Err(e),
                     Err(_) => Err(BusError::Net("sim subscribe lost".into())),
                 };
                 let _ = reply.send(result);
@@ -325,13 +328,15 @@ impl Pump {
                 let _ = reply.send(result);
             }
             Cmd::Unsubscribe(handle) => {
-                self.fabric.send_app_command(
-                    &mut self.sim,
-                    self.sub_host,
-                    Self::SUB_APP,
-                    Box::new(AppUnsubscribe { handle }),
-                );
-                self.sim.run_for(CMD_SLICE_US);
+                if let Some(name) = self.sub_apps.remove(&handle.id()) {
+                    self.fabric.send_app_command(
+                        &mut self.sim,
+                        self.sub_host,
+                        &name,
+                        Box::new(AppUnsubscribe { handle }),
+                    );
+                    self.sim.run_for(CMD_SLICE_US);
+                }
             }
             Cmd::Drain { reply } => {
                 self.sim.run_for(self.settle_us);
@@ -417,6 +422,21 @@ impl Bus for SimBus {
         let (reply, rx) = mpsc::channel();
         self.send(Cmd::Subscribe {
             filter: filter.to_owned(),
+            pred: None,
+            reply,
+        });
+        self.ask(&rx, "subscribe")?
+    }
+
+    fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        let (reply, rx) = mpsc::channel();
+        self.send(Cmd::Subscribe {
+            filter: filter.to_owned(),
+            pred: Some(pred.clone()),
             reply,
         });
         self.ask(&rx, "subscribe")?

@@ -22,12 +22,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use infobus_core::inproc::InprocBus;
-use infobus_core::{shard_of_subject, Bus, BusApp, BusConfig, BusCtx, BusFabric, BusMessage, QoS};
+use infobus_core::{
+    shard_of_subject, Bus, BusApp, BusConfig, BusCtx, BusFabric, BusMessage, Delivery, Predicate,
+    QoS, SubjectMap,
+};
 use infobus_edge::{EdgeConfig, ReactorBus, SimBus, SimConfig};
 use infobus_net::{UdpBus, UdpConfig};
 use infobus_netsim::time::{millis, secs};
 use infobus_netsim::{EtherConfig, FaultPlan, NetBuilder};
-use infobus_types::Value;
+use infobus_types::{DataObject, Value};
 use infobus_wal::scratch::ScratchDir;
 
 /// Four distinct first segments → four distinct shards at `shards = 4`.
@@ -57,8 +60,8 @@ struct Harness {
     settle: Duration,
 }
 
-fn inproc(shards: usize) -> Harness {
-    let bus: Arc<dyn Bus> = Arc::new(InprocBus::with_config(fast(shards)));
+fn inproc_cfg(cfg: BusConfig) -> Harness {
+    let bus: Arc<dyn Bus> = Arc::new(InprocBus::with_config(cfg));
     Harness {
         publisher: Arc::clone(&bus),
         subscriber: bus,
@@ -66,9 +69,13 @@ fn inproc(shards: usize) -> Harness {
     }
 }
 
-fn udp(shards: usize, loss: bool) -> Harness {
-    let mut pub_cfg = UdpConfig::new(1).with_bus(fast(shards)).with_app("pub");
-    let mut sub_cfg = UdpConfig::new(2).with_bus(fast(shards)).with_app("sub");
+fn inproc(shards: usize) -> Harness {
+    inproc_cfg(fast(shards))
+}
+
+fn udp_cfg(cfg: BusConfig, loss: bool) -> Harness {
+    let mut pub_cfg = UdpConfig::new(1).with_bus(cfg.clone()).with_app("pub");
+    let mut sub_cfg = UdpConfig::new(2).with_bus(cfg).with_app("sub");
     if loss {
         // Loss on the subscriber's inbound path: data datagrams drop and
         // only NAK repair can restore order and completeness.
@@ -86,9 +93,13 @@ fn udp(shards: usize, loss: bool) -> Harness {
     }
 }
 
-fn reactor(shards: usize, loss: bool) -> Harness {
-    let mut pub_cfg = EdgeConfig::new(1).with_bus(fast(shards)).with_app("pub");
-    let mut sub_cfg = EdgeConfig::new(2).with_bus(fast(shards)).with_app("sub");
+fn udp(shards: usize, loss: bool) -> Harness {
+    udp_cfg(fast(shards), loss)
+}
+
+fn reactor_cfg(cfg: BusConfig, loss: bool) -> Harness {
+    let mut pub_cfg = EdgeConfig::new(1).with_bus(cfg.clone()).with_app("pub");
+    let mut sub_cfg = EdgeConfig::new(2).with_bus(cfg).with_app("sub");
     if loss {
         sub_cfg = sub_cfg.with_recv_loss(0.25, 7);
         pub_cfg = pub_cfg.with_recv_loss(0.10, 11);
@@ -104,7 +115,11 @@ fn reactor(shards: usize, loss: bool) -> Harness {
     }
 }
 
-fn sim(shards: usize, lossy: bool) -> Harness {
+fn reactor(shards: usize, loss: bool) -> Harness {
+    reactor_cfg(fast(shards), loss)
+}
+
+fn sim_cfg(cfg: BusConfig, lossy: bool) -> Harness {
     let faults = if lossy {
         FaultPlan::lossy()
     } else {
@@ -113,7 +128,7 @@ fn sim(shards: usize, lossy: bool) -> Harness {
     let bus: Arc<dyn Bus> = Arc::new(
         SimBus::start(
             SimConfig::new()
-                .with_bus(fast(shards))
+                .with_bus(cfg)
                 .with_faults(faults)
                 .with_seed(42),
         )
@@ -124,6 +139,10 @@ fn sim(shards: usize, lossy: bool) -> Harness {
         subscriber: bus,
         settle: Duration::ZERO,
     }
+}
+
+fn sim(shards: usize, lossy: bool) -> Harness {
+    sim_cfg(fast(shards), lossy)
 }
 
 /// The shared conformance body: subscribe to all four subject groups,
@@ -597,4 +616,329 @@ fn federation_gd_survives_router_restart() {
         stats.gd_pending, 0,
         "rb's ledger drains once sb acknowledges: {stats:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Content filters: identical predicate semantics on every driver
+// ---------------------------------------------------------------------------
+// A subscription carrying `seq >= FILTER_FLOOR` must yield exactly the
+// accepted suffix of each stream, in publish order, whether the
+// rejection happened at the publisher's gate (the predicate travels in
+// subscription announcements, so socket drivers suppress before the
+// wire) or at the subscriber's delivery gate. The observable match set
+// is the conformance contract; where the bytes died is a stats detail.
+
+const FILTER_FLOOR: i64 = 5;
+
+/// An empty attribute path predicates over the published value itself,
+/// which keeps this body free of type registration (the `Bus` trait has
+/// no registry surface); object-attribute paths get their own test
+/// below against the concrete drivers.
+fn tick(seq: i64) -> Value {
+    Value::I64(seq)
+}
+
+fn seq_of(msg: &Delivery) -> i64 {
+    msg.value().unwrap().as_i64().unwrap()
+}
+
+/// The shared filter-conformance body: every subscription carries the
+/// same predicate; each subject's stream must arrive as exactly
+/// `FILTER_FLOOR..PER_SUBJECT`, in order, with nothing the predicate
+/// rejected ever surfacing.
+fn filtered_ordered_exactly_once(h: &Harness, qos: QoS) {
+    let pred = Predicate::ge("", Value::I64(FILTER_FLOOR));
+    let mut rxs = Vec::new();
+    for (i, _) in SUBJECTS.iter().enumerate() {
+        let (_sub, rx) = h
+            .subscriber
+            .subscribe_filtered(&format!("c{i}.>"), &pred)
+            .unwrap();
+        rxs.push(rx);
+    }
+    std::thread::sleep(h.settle);
+
+    for seq in 0..PER_SUBJECT {
+        for subject in SUBJECTS {
+            h.publisher.publish(subject, &tick(seq), qos).unwrap();
+        }
+    }
+    h.publisher.drain();
+    h.subscriber.drain();
+
+    for (i, rx) in rxs.iter().enumerate() {
+        for want in FILTER_FLOOR..PER_SUBJECT {
+            let got = loop {
+                let msg = rx
+                    .recv_timeout(Duration::from_secs(60))
+                    .unwrap_or_else(|e| panic!("{}[{want}]: {e}", SUBJECTS[i]));
+                assert_eq!(msg.subject, SUBJECTS[i]);
+                let got = seq_of(&msg);
+                assert!(
+                    got >= FILTER_FLOOR,
+                    "{}: predicate-rejected seq {got} was delivered",
+                    SUBJECTS[i]
+                );
+                if qos == QoS::Guaranteed && msg.redelivery && got != want {
+                    continue; // at-least-once repeat of an earlier message
+                }
+                break got;
+            };
+            assert_eq!(got, want, "{} out of order", SUBJECTS[i]);
+        }
+    }
+    h.subscriber.drain();
+    std::thread::sleep(h.settle.max(Duration::from_millis(50)));
+    for (i, rx) in rxs.iter().enumerate() {
+        while let Ok(msg) = rx.try_recv() {
+            assert!(
+                qos == QoS::Guaranteed && msg.redelivery,
+                "{} delivered a duplicate",
+                SUBJECTS[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn inproc_filtered_shard1() {
+    filtered_ordered_exactly_once(&inproc(1), QoS::Reliable);
+}
+
+#[test]
+fn inproc_filtered_shard4() {
+    filtered_ordered_exactly_once(&inproc(4), QoS::Reliable);
+}
+
+#[test]
+fn udp_filtered_shard1() {
+    filtered_ordered_exactly_once(&udp(1, false), QoS::Reliable);
+}
+
+#[test]
+fn udp_filtered_shard4() {
+    filtered_ordered_exactly_once(&udp(4, false), QoS::Reliable);
+}
+
+#[test]
+fn reactor_filtered_shard1() {
+    filtered_ordered_exactly_once(&reactor(1, false), QoS::Reliable);
+}
+
+#[test]
+fn reactor_filtered_shard4() {
+    filtered_ordered_exactly_once(&reactor(4, false), QoS::Reliable);
+}
+
+#[test]
+fn sim_filtered_shard1() {
+    filtered_ordered_exactly_once(&sim(1, false), QoS::Reliable);
+}
+
+#[test]
+fn sim_filtered_shard4() {
+    filtered_ordered_exactly_once(&sim(4, false), QoS::Reliable);
+}
+
+/// Guaranteed-QoS filtered streams: the accepted suffix must arrive
+/// exactly once (modulo flagged redeliveries) and the publisher's
+/// ledger must drain — a predicate rejection counts as consumption,
+/// never as an undeliverable envelope stuck in retry.
+#[test]
+fn filtered_guaranteed_all_drivers() {
+    for h in [inproc(4), udp(4, false), reactor(4, false), sim(4, false)] {
+        filtered_ordered_exactly_once(&h, QoS::Guaranteed);
+        let end = Instant::now() + Duration::from_secs(30);
+        while h.publisher.stats().gd_pending > 0 {
+            assert!(
+                Instant::now() < end,
+                "guaranteed filtered stream stranded the ledger: {:?}",
+                h.publisher.stats()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// On the socket drivers the predicate crosses the wire inside the
+/// subscription announcement, so the *publisher's* daemon suppresses
+/// unanimously-rejected publications before marshalling: its own stats
+/// must show the suppression that the subscriber never saw.
+#[test]
+fn udp_filtered_suppresses_at_publisher() {
+    let h = udp(4, false);
+    filtered_ordered_exactly_once(&h, QoS::Reliable);
+    let stats = h.publisher.stats();
+    assert!(
+        stats.filt_pub_suppressed > 0,
+        "publisher never suppressed: {stats:?}"
+    );
+    assert!(stats.filt_suppressed_bytes > 0);
+}
+
+#[test]
+fn reactor_filtered_suppresses_at_publisher() {
+    let h = reactor(4, false);
+    filtered_ordered_exactly_once(&h, QoS::Reliable);
+    let stats = h.publisher.stats();
+    assert!(
+        stats.filt_pub_suppressed > 0,
+        "publisher never suppressed: {stats:?}"
+    );
+    assert!(stats.filt_suppressed_bytes > 0);
+}
+
+/// NAK repair under seeded loss must restore exactly the accepted
+/// suffix — retransmission never resurrects a suppressed publication.
+#[test]
+fn udp_filtered_nak_repair_shard4() {
+    filtered_ordered_exactly_once(&udp(4, true), QoS::Reliable);
+}
+
+#[test]
+fn reactor_filtered_nak_repair_shard4() {
+    filtered_ordered_exactly_once(&reactor(4, true), QoS::Reliable);
+}
+
+#[test]
+fn sim_filtered_lossy_shard4() {
+    filtered_ordered_exactly_once(&sim(4, true), QoS::Reliable);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic subject mapping: synonym aliases span every driver
+// ---------------------------------------------------------------------------
+// With the same SubjectMap configured on both daemons, a publish on a
+// synonym is canonicalized before sequencing and a subscription on a
+// synonym is expanded to the canonical form — so either spelling on
+// either side converges on one stream, always delivered under the
+// canonical subject.
+
+fn semantic_cfg(shards: usize) -> BusConfig {
+    let mut map = SubjectMap::new();
+    map.add_alias("nyse.ibm", "tech.ibm").unwrap();
+    fast(shards).with_subject_map(Arc::new(map))
+}
+
+fn semantic_alias_converges(h: &Harness) {
+    let (_alias, alias_rx) = h.subscriber.subscribe("nyse.ibm").unwrap();
+    let (_canon, canon_rx) = h.subscriber.subscribe("tech.ibm").unwrap();
+    std::thread::sleep(h.settle);
+    h.publisher
+        .publish("nyse.ibm", &Value::I64(1), QoS::Reliable)
+        .unwrap();
+    h.publisher
+        .publish("tech.ibm", &Value::I64(2), QoS::Reliable)
+        .unwrap();
+    h.publisher.drain();
+    h.subscriber.drain();
+    for (name, rx) in [("alias", alias_rx), ("canonical", canon_rx)] {
+        for want in [1, 2] {
+            let msg = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("{name} subscriber missed {want}: {e}"));
+            assert_eq!(
+                msg.subject, "tech.ibm",
+                "deliveries carry the canonical subject"
+            );
+            assert_eq!(msg.value().unwrap(), Value::I64(want));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(rx.try_recv().is_err(), "{name} subscriber saw a duplicate");
+    }
+}
+
+#[test]
+fn inproc_semantic_alias() {
+    semantic_alias_converges(&inproc_cfg(semantic_cfg(4)));
+}
+
+#[test]
+fn udp_semantic_alias() {
+    semantic_alias_converges(&udp_cfg(semantic_cfg(4), false));
+}
+
+#[test]
+fn reactor_semantic_alias() {
+    semantic_alias_converges(&reactor_cfg(semantic_cfg(4), false));
+}
+
+#[test]
+fn sim_semantic_alias() {
+    semantic_alias_converges(&sim_cfg(semantic_cfg(4), false));
+}
+
+// ---------------------------------------------------------------------------
+// Object-attribute predicates across the wire
+// ---------------------------------------------------------------------------
+// The trait-level body above predicates over the root value; this pins
+// the dotted-attribute form on the socket drivers, where the predicate
+// must survive announce encoding and gate publications of
+// self-describing objects at the remote publisher.
+
+fn quote_descriptor() -> infobus_types::TypeDescriptor {
+    use infobus_types::{TypeDescriptor, ValueType};
+    TypeDescriptor::builder("Quote")
+        .attribute("sym", ValueType::Str)
+        .attribute("price", ValueType::F64)
+        .build()
+}
+
+fn quote(sym: &str, price: f64) -> Value {
+    Value::object(
+        DataObject::new("Quote")
+            .with("sym", sym)
+            .with("price", price),
+    )
+}
+
+fn attribute_predicate_gates_remote_publisher(publisher: &dyn Bus, subscriber: &dyn Bus) {
+    let (_sub, rx) = subscriber
+        .subscribe_filtered("q.>", &Predicate::gt("price", Value::F64(100.0)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    publisher
+        .publish("q.ibm", &quote("IBM", 120.0), QoS::Reliable)
+        .unwrap();
+    publisher
+        .publish("q.gmc", &quote("GMC", 80.0), QoS::Reliable)
+        .unwrap();
+    publisher
+        .publish("q.ibm", &quote("IBM", 150.0), QoS::Reliable)
+        .unwrap();
+    publisher.drain();
+    let mut prices = Vec::new();
+    for _ in 0..2 {
+        let msg = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let v = msg.value().unwrap();
+        let obj = v.as_object().unwrap();
+        prices.push(obj.get("price").unwrap().as_f64().unwrap());
+    }
+    assert_eq!(prices, vec![120.0, 150.0]);
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(rx.try_recv().is_err(), "rejected quote was delivered");
+    assert!(
+        publisher.stats().filt_pub_suppressed >= 1,
+        "the rejected quote must die at the publisher's gate"
+    );
+}
+
+#[test]
+fn udp_attribute_predicate() {
+    let p = UdpBus::bind(UdpConfig::new(1).with_bus(fast(2)).with_app("pub")).unwrap();
+    let s = UdpBus::bind(UdpConfig::new(2).with_bus(fast(2)).with_app("sub")).unwrap();
+    p.add_peer(2, s.local_addr()).unwrap();
+    s.add_peer(1, p.local_addr()).unwrap();
+    p.register_type(quote_descriptor()).unwrap();
+    attribute_predicate_gates_remote_publisher(&p, &s);
+}
+
+#[test]
+fn reactor_attribute_predicate() {
+    let p = ReactorBus::bind(EdgeConfig::new(1).with_bus(fast(2)).with_app("pub")).unwrap();
+    let s = ReactorBus::bind(EdgeConfig::new(2).with_bus(fast(2)).with_app("sub")).unwrap();
+    p.add_peer(2, s.local_addr()).unwrap();
+    s.add_peer(1, p.local_addr()).unwrap();
+    p.register_type(quote_descriptor()).unwrap();
+    attribute_predicate_gates_remote_publisher(&p, &s);
 }

@@ -104,6 +104,7 @@ fn handshake_subscribe_deliver_ack_and_fan_in() {
     client.send(&SessionFrame::Subscribe {
         sub: 1,
         filter: "live.>".into(),
+        pred: vec![],
     });
     std::thread::sleep(Duration::from_millis(50));
 
@@ -252,6 +253,7 @@ fn backpressure_pauses_then_drops_with_stats() {
     client.send(&SessionFrame::Subscribe {
         sub: 1,
         filter: "burst.>".into(),
+        pred: vec![],
     });
     std::thread::sleep(Duration::from_millis(50));
 
@@ -294,6 +296,7 @@ fn session_interest_draws_cross_daemon_traffic() {
     client.send(&SessionFrame::Subscribe {
         sub: 1,
         filter: "wan.>".into(),
+        pred: vec![],
     });
     std::thread::sleep(Duration::from_millis(100));
 

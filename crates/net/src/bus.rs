@@ -27,18 +27,19 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use infobus_core::engine::filter::{announced_predicate, approx_wire_bytes, FilterCounters};
 use infobus_core::engine::{
     run_sharded_actions, Action, BusStats, Event, Micros, PubSource, ShardId, ShardTransport,
     ShardedEngine, ShardedStats, TimerKind, Transport,
 };
-use infobus_core::msg::Packet;
+use infobus_core::msg::{AnnounceEntry, Packet};
 use infobus_core::queue::{sub_queue, SubReceiver, SubSender};
 use infobus_core::router::RouteStamp;
 use infobus_core::{
-    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, Delivery, Envelope, EnvelopeKind,
-    NvStore, QoS, SubscriptionHandle,
+    BufPool, Bus, BusConfig, BusError, BusReceiver, Bytes, CompiledPredicate, Delivery, Envelope,
+    EnvelopeKind, NvStore, Predicate, QoS, SubjectMap, SubscriptionHandle,
 };
-use infobus_subject::{Subject, SubjectFilter, SubjectTrie};
+use infobus_subject::{Subject, SubjectFilter, SubjectTrie, SubscriptionId};
 use infobus_types::{wire, TypeRegistry, Value};
 
 use crate::clock::MonoClock;
@@ -187,11 +188,39 @@ pub type NetReceiver = SubReceiver<NetMessage>;
 pub type NetSubscription = SubscriptionHandle;
 
 /// One local subscription: its queue, creation time (first-contact
-/// entitlement), and canonical filter text (announcements).
+/// entitlement), canonical filter text (announcements), and optional
+/// content predicate (the delivery gate).
 struct SubEntry {
     tx: SubSender<NetMessage>,
     since: Micros,
     filter: String,
+    pred: Option<Arc<CompiledPredicate>>,
+}
+
+/// One filter a peer daemon announced: parsed, with the content
+/// predicate it travels with (`None` = unfiltered). Feeds the publish
+/// gate and guaranteed-delivery interest.
+struct PeerFilter {
+    filter: SubjectFilter,
+    pred: Option<Arc<CompiledPredicate>>,
+}
+
+/// The wire predicate this daemon currently announces for filter `text`:
+/// `None` when no local subscription uses the filter at all, otherwise
+/// the combined announced-predicate bytes (empty = unfiltered; see
+/// [`announced_predicate`]).
+fn announced_pred_state(trie: &SubjectTrie<SubEntry>, text: &str) -> Option<Vec<u8>> {
+    let mut preds: Vec<Option<Arc<CompiledPredicate>>> = Vec::new();
+    trie.for_each(|_, _, e| {
+        if e.filter == text {
+            preds.push(e.pred.clone());
+        }
+    });
+    if preds.is_empty() {
+        None
+    } else {
+        Some(announced_predicate(&preds).map_or_else(Vec::new, |p| p.to_bytes()))
+    }
 }
 
 struct Inner {
@@ -214,8 +243,17 @@ struct Inner {
     /// unknown host (every frame carries the sender's host id).
     peers: RwLock<HashMap<u32, SocketAddr>>,
     /// Remote subscription tables from `SubAnnounce` packets, for
-    /// guaranteed-delivery interest snapshots.
-    peer_subs: Mutex<HashMap<u32, HashMap<String, SubjectFilter>>>,
+    /// guaranteed-delivery interest snapshots and the publish gate.
+    peer_subs: Mutex<HashMap<u32, HashMap<String, PeerFilter>>>,
+    /// Semantic subject layer ([`BusConfig::subject_map`]): canonicalizes
+    /// published subjects, expands subscribed filters.
+    semantic: Option<Arc<SubjectMap>>,
+    /// Semantic expansion families: head subscription id → sibling ids,
+    /// removed together.
+    expansions: Mutex<HashMap<SubscriptionId, Vec<SubscriptionId>>>,
+    /// Content-filter and semantic-layer counters (atomics: the gates
+    /// run on caller and reader threads alike).
+    filt: FilterCounters,
     /// Guaranteed-delivery non-volatile store: in-memory by default, a
     /// per-shard write-ahead ledger when
     /// [`BusConfig::durable_dir`](infobus_core::BusConfig::durable_dir)
@@ -276,6 +314,7 @@ impl UdpBus {
         let nv = NvStore::open(&cfg.bus).map_err(net_err)?;
         let announce_us = cfg.bus.announce_period_us;
         let pool_slots = cfg.bus.marshal_pool_slots();
+        let semantic = cfg.bus.semantic_map().cloned();
         // The engine owns the daemon-wide subject intern table; ledger
         // recovery interns its replayed subjects into it.
         let engine = ShardedEngine::new(cfg.bus, cfg.host);
@@ -297,6 +336,9 @@ impl UdpBus {
             timers: Mutex::new(TimerWheel::new(shards)),
             peers: RwLock::new(cfg.peers.into_iter().collect()),
             peer_subs: Mutex::new(HashMap::new()),
+            semantic,
+            expansions: Mutex::new(HashMap::new()),
+            filt: FilterCounters::default(),
             nv: Mutex::new(nv),
             running: AtomicBool::new(true),
             multicast: cfg.multicast,
@@ -400,70 +442,128 @@ impl UdpBus {
     ///
     /// Returns [`BusError::Subject`] for malformed filters.
     pub fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, NetReceiver), BusError> {
-        let filter = SubjectFilter::new(filter)?;
-        let text = filter.as_str().to_owned();
+        self.subscribe_entry(filter, None)
+    }
+
+    /// Subscribes with a content predicate: only matching publications
+    /// whose payload satisfies `pred` are delivered, and the predicate
+    /// travels in the announcement so *publishing* daemons can suppress
+    /// unanimously rejected publications before framing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Subject`] for malformed filters or
+    /// [`BusError::Filter`] if the predicate exceeds the compile bounds.
+    pub fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, NetReceiver), BusError> {
+        let compiled = Arc::new(CompiledPredicate::compile(pred)?);
+        self.subscribe_entry(filter, Some(compiled))
+    }
+
+    fn subscribe_entry(
+        &self,
+        filter: &str,
+        pred: Option<Arc<CompiledPredicate>>,
+    ) -> Result<(SubscriptionHandle, NetReceiver), BusError> {
+        // Semantic expansion: one call may materialize sibling
+        // subscriptions on every synonym/broadening of the filter.
+        let expanded: Vec<String> = match &self.inner.semantic {
+            Some(m) => m.expand_filter(filter),
+            None => vec![filter.to_owned()],
+        };
+        let mut parsed = Vec::with_capacity(expanded.len());
+        for f in &expanded {
+            parsed.push(SubjectFilter::new(f)?);
+        }
         let now = self.inner.clock.now_us();
         let mut engine = poisoned(self.inner.engine.lock());
         let (tx, rx) = sub_queue(self.inner.queue_cap, Arc::clone(&self.inner.queue_dropped));
-        let announce = {
+        let mut add: Vec<AnnounceEntry> = Vec::new();
+        let mut ids = Vec::with_capacity(parsed.len());
+        {
             let mut trie = poisoned(self.inner.trie.write());
-            let mut fresh = true;
-            trie.for_each(|_, _, e| fresh &= e.filter != text);
-            let id = trie.insert(
-                &filter,
-                SubEntry {
-                    tx,
-                    since: now,
-                    filter: text.clone(),
-                },
-            );
-            fresh.then_some(id)
-        };
-        let id = match announce {
-            Some(id) => {
-                let pkt = Packet::SubAnnounce {
-                    host: self.inner.host,
-                    full: false,
-                    add: vec![text],
-                    remove: vec![],
-                };
-                self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
-                id
+            for (f, text) in parsed.iter().zip(&expanded) {
+                let before = announced_pred_state(&trie, text);
+                ids.push(trie.insert(
+                    f,
+                    SubEntry {
+                        tx: tx.clone(),
+                        since: now,
+                        filter: text.clone(),
+                        pred: pred.clone(),
+                    },
+                ));
+                // Announce new filters, and *re*-announce when a sibling
+                // changed what the filter's combined predicate says
+                // (peers replace on receipt).
+                let after = announced_pred_state(&trie, text).expect("filter just inserted");
+                if before.as_ref() != Some(&after) {
+                    add.push(AnnounceEntry {
+                        filter: text.clone(),
+                        pred: after,
+                    });
+                }
             }
-            None => {
-                // Filter already announced by a sibling subscription.
-                let trie = poisoned(self.inner.trie.read());
-                let mut found = None;
-                trie.for_each(|id, _, e| {
-                    if e.filter == text {
-                        found = Some(id);
-                    }
-                });
-                found.expect("just inserted")
-            }
-        };
-        Ok((SubscriptionHandle::from_raw(id), rx))
-    }
-
-    /// Removes a subscription (its queue closes once drained); announces
-    /// the removal if no sibling subscription shares the filter.
-    pub fn unsubscribe(&self, handle: SubscriptionHandle) {
-        let mut engine = poisoned(self.inner.engine.lock());
-        let gone = {
-            let mut trie = poisoned(self.inner.trie.write());
-            let Some(entry) = trie.remove(handle.raw()) else {
-                return;
-            };
-            let mut last = true;
-            trie.for_each(|_, _, e| last &= e.filter != entry.filter);
-            last.then_some(entry.filter)
-        };
-        if let Some(filter) = gone {
+        }
+        if !add.is_empty() {
             let pkt = Packet::SubAnnounce {
                 host: self.inner.host,
                 full: false,
-                add: vec![],
-                remove: vec![filter],
+                add,
+                remove: vec![],
+            };
+            self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
+        }
+        let primary = ids[0];
+        if ids.len() > 1 {
+            self.inner
+                .filt
+                .sem_expanded
+                .fetch_add((ids.len() - 1) as u64, Ordering::Relaxed);
+            poisoned(self.inner.expansions.lock()).insert(primary, ids.split_off(1));
+        }
+        Ok((SubscriptionHandle::from_raw(primary), rx))
+    }
+
+    /// Removes a subscription (its queue closes once drained) together
+    /// with any semantic expansion siblings; announces each removal if
+    /// no sibling subscription shares the filter, or re-announces the
+    /// filter's remaining combined predicate.
+    pub fn unsubscribe(&self, handle: SubscriptionHandle) {
+        let mut targets = vec![handle.raw()];
+        if let Some(extras) = poisoned(self.inner.expansions.lock()).remove(&handle.raw()) {
+            targets.extend(extras);
+        }
+        let mut engine = poisoned(self.inner.engine.lock());
+        let mut add: Vec<AnnounceEntry> = Vec::new();
+        let mut remove: Vec<String> = Vec::new();
+        {
+            let mut trie = poisoned(self.inner.trie.write());
+            for id in targets {
+                let Some(entry) = trie.remove(id) else {
+                    continue;
+                };
+                match announced_pred_state(&trie, &entry.filter) {
+                    None => remove.push(entry.filter),
+                    // A sibling remains: re-announce unconditionally (the
+                    // departing subscription may have widened or narrowed
+                    // the combined predicate; peers replace on receipt).
+                    Some(after) => add.push(AnnounceEntry {
+                        filter: entry.filter,
+                        pred: after,
+                    }),
+                }
+            }
+        }
+        if !add.is_empty() || !remove.is_empty() {
+            let pkt = Packet::SubAnnounce {
+                host: self.inner.host,
+                full: false,
+                add,
+                remove,
             };
             self.inner.send_broadcast_packet(&pkt, &mut engine.stats);
         }
@@ -477,6 +577,32 @@ impl UdpBus {
     ///
     /// Returns [`BusError::Subject`] or [`BusError::Marshal`].
     pub fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
+        // Semantic layer: synonym subjects collapse to canonical form
+        // before the trie, the engine, or the wire see them.
+        let canon;
+        let subject = match self
+            .inner
+            .semantic
+            .as_ref()
+            .and_then(|m| m.canonicalize(subject))
+        {
+            Some(c) => {
+                self.inner
+                    .filt
+                    .sem_canonicalized
+                    .fetch_add(1, Ordering::Relaxed);
+                canon = c;
+                canon.as_str()
+            }
+            None => subject,
+        };
+        // Publish gate: when every matching interest — local
+        // subscriptions and peer-announced filters — carries a rejecting
+        // predicate, the publication is suppressed before it is ever
+        // marshalled, sequenced, or framed.
+        if !self.inner.publish_interest_accepts(subject, value)? {
+            return Ok(0);
+        }
         let payload = {
             let mut buf = self.inner.pool.take();
             let registry = poisoned(self.inner.registry.lock());
@@ -533,12 +659,15 @@ impl UdpBus {
         let (env, pre) = engine.publish(now, source, &subject, qos, EnvelopeKind::Data, 0, payload);
         // Pre-actions (persist-before-broadcast for guaranteed QoS).
         self.inner.run_engine_actions(&mut engine, now, pre);
-        let delivered = if self.inner.no_local_echo {
-            0
+        let (delivered, suppressed) = if self.inner.no_local_echo {
+            (0, 0)
         } else {
             self.inner.fan_out(&mut engine.stats, &env)
         };
-        if qos == QoS::Guaranteed && delivered > 0 {
+        // A predicate rejection counts as consumption: the subscriber
+        // saw and declined the envelope, so guaranteed delivery
+        // completes instead of retrying forever.
+        if qos == QoS::Guaranteed && delivered + suppressed > 0 {
             engine.gd_local_done(&env);
         }
         let actions = engine.enqueue(&env);
@@ -576,6 +705,7 @@ impl UdpBus {
         trie.for_each(|_, _, e| depth += e.tx.queued() as u64);
         stats.merged.sub_queue_depth = depth;
         stats.merged.sub_queue_dropped = self.inner.queue_dropped.load(Ordering::Relaxed);
+        self.inner.filt.fold_into(&mut stats.merged);
         poisoned(self.inner.nv.lock()).stamp_stats(&mut stats.merged);
         stats
     }
@@ -602,6 +732,14 @@ impl Drop for UdpBus {
 impl Bus for UdpBus {
     fn subscribe(&self, filter: &str) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
         UdpBus::subscribe(self, filter)
+    }
+
+    fn subscribe_filtered(
+        &self,
+        filter: &str,
+        pred: &Predicate,
+    ) -> Result<(SubscriptionHandle, BusReceiver), BusError> {
+        UdpBus::subscribe_filtered(self, filter, pred)
     }
 
     fn publish(&self, subject: &str, value: &Value, qos: QoS) -> Result<usize, BusError> {
@@ -669,19 +807,85 @@ impl Inner {
         self.send_datagram(addr, &bytes, stats);
     }
 
-    /// A full `SubAnnounce` of every locally subscribed filter.
+    /// A full `SubAnnounce` of every locally subscribed filter, each
+    /// with its combined announced predicate.
     fn full_announce(&self) -> Packet {
         let trie = poisoned(self.trie.read());
         let mut filters = BTreeSet::new();
         trie.for_each(|_, _, e| {
             filters.insert(e.filter.clone());
         });
+        let add = filters
+            .into_iter()
+            .map(|f| {
+                let pred = announced_pred_state(&trie, &f).unwrap_or_default();
+                AnnounceEntry { filter: f, pred }
+            })
+            .collect();
         Packet::SubAnnounce {
             host: self.host,
             full: true,
-            add: filters.into_iter().collect(),
+            add,
             remove: vec![],
         }
+    }
+
+    /// The publisher-side content gate: `false` means every matching
+    /// interest (local subscription or peer-announced filter) carries a
+    /// rejecting predicate — the publication is suppressed. Zero
+    /// matching interest sends (remote daemons filter cheaply anyway).
+    fn publish_interest_accepts(&self, subject: &str, value: &Value) -> Result<bool, BusError> {
+        let subject = Subject::new(subject)?;
+        let mut evals = 0u64;
+        let mut matched_any = false;
+        let mut accept = false;
+        {
+            let trie = poisoned(self.trie.read());
+            for (_, e) in trie.matches(&subject) {
+                matched_any = true;
+                match &e.pred {
+                    None => {
+                        accept = true;
+                        break;
+                    }
+                    Some(p) => {
+                        evals += 1;
+                        if p.eval(value) {
+                            accept = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !accept {
+            let peer_subs = poisoned(self.peer_subs.lock());
+            'peers: for table in peer_subs.values() {
+                for pf in table.values() {
+                    if !pf.filter.matches(&subject) {
+                        continue;
+                    }
+                    matched_any = true;
+                    match &pf.pred {
+                        None => {
+                            accept = true;
+                            break 'peers;
+                        }
+                        Some(p) => {
+                            evals += 1;
+                            if p.eval(value) {
+                                accept = true;
+                                break 'peers;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let send = accept || !matched_any;
+        self.filt
+            .record_publish_gate(evals, send, approx_wire_bytes(value));
+        Ok(send)
     }
 
     // ----- engine plumbing --------------------------------------------------
@@ -716,11 +920,37 @@ impl Inner {
     }
 
     /// Hands an envelope to every matching subscriber queue. Subject and
-    /// payload are shared handles — fan-out copies no bytes.
-    fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> usize {
+    /// payload are shared handles — fan-out copies no bytes. Returns
+    /// `(delivered, suppressed)`: predicated subscriptions whose
+    /// predicate rejects the payload are skipped (and, for guaranteed
+    /// QoS, still count as consumption). The payload is unmarshalled at
+    /// most once, and only when a predicated subscription matches; a
+    /// payload that fails to unmarshal delivers unconditionally.
+    fn fan_out(&self, stats: &mut BusStats, env: &Envelope) -> (usize, usize) {
         let trie = poisoned(self.trie.read());
         let mut count = 0usize;
+        let mut suppressed = 0usize;
+        let mut value: Option<Option<Value>> = None;
         for (_, entry) in trie.matches(&env.subject) {
+            if let Some(p) = &entry.pred {
+                let v = value.get_or_insert_with(|| {
+                    let mut registry = poisoned(self.registry.lock());
+                    wire::unmarshal(&env.payload, &mut registry).ok()
+                });
+                if let Some(v) = v {
+                    self.filt.evals.fetch_add(1, Ordering::Relaxed);
+                    if !p.eval(v) {
+                        suppressed += 1;
+                        self.filt
+                            .delivery_suppressed
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.filt
+                            .suppressed_bytes
+                            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
             let msg = NetMessage {
                 subject: env.subject.clone(),
                 payload: env.payload.clone(),
@@ -734,7 +964,7 @@ impl Inner {
         }
         stats.delivered += count as u64;
         stats.delivered_bytes += (env.payload.len() * count) as u64;
-        count
+        (count, suppressed)
     }
 
     /// Creation time of the earliest local subscription matching
@@ -760,7 +990,7 @@ impl Inner {
             };
             let hosts: Vec<u32> = peer_subs
                 .iter()
-                .filter(|(_, filters)| filters.values().any(|f| f.matches(&subject)))
+                .filter(|(_, filters)| filters.values().any(|pf| pf.filter.matches(&subject)))
                 .map(|(&h, _)| h)
                 .collect();
             interest.insert(text, hosts);
@@ -952,9 +1182,16 @@ impl Inner {
                 if full {
                     table.clear();
                 }
-                for text in add {
-                    if let Ok(f) = SubjectFilter::new(&text) {
-                        table.insert(text, f);
+                for e in add {
+                    if let Ok(f) = SubjectFilter::new(&e.filter) {
+                        // A malformed predicate decodes to unfiltered —
+                        // the direction that can only over-deliver.
+                        let pred = if e.pred.is_empty() {
+                            None
+                        } else {
+                            CompiledPredicate::from_bytes(&e.pred).ok().map(Arc::new)
+                        };
+                        table.insert(e.filter, PeerFilter { filter: f, pred });
                     }
                 }
                 for text in remove {
@@ -1008,12 +1245,13 @@ impl Transport for UdpTransport<'_> {
         // Control envelopes (RMI, discovery) need co-resident protocol
         // handlers this driver does not host yet; only data fans out.
         if env.kind == EnvelopeKind::Data {
-            self.delivered += self.inner.fan_out(self.stats, &env);
+            self.delivered += self.inner.fan_out(self.stats, &env).0;
         }
     }
 
     fn deliver_gd(&mut self, env: Envelope) {
-        if self.inner.fan_out(self.stats, &env) > 0 {
+        let (delivered, suppressed) = self.inner.fan_out(self.stats, &env);
+        if delivered + suppressed > 0 {
             self.gd_done.push(env);
         }
     }

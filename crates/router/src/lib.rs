@@ -37,6 +37,7 @@
 
 mod engine;
 mod rewrite;
+mod semantic;
 mod stamp;
 mod summary;
 
@@ -45,6 +46,7 @@ pub use engine::{
     RouterEvent, RouterTimer,
 };
 pub use rewrite::{CompiledRewrite, RewriteRule};
+pub use semantic::{SubjectMap, SubjectMapError, MAX_REWRITE_STEPS};
 pub use stamp::RouteStamp;
 pub use summary::summarize;
 

@@ -1,0 +1,440 @@
+//! The semantic subject layer: synonym aliases and taxonomy broadening.
+//!
+//! Subject-based addressing only unifies parties that already agree on a
+//! vocabulary: a publisher on `NYSE.IBM` and a subscriber on
+//! `tech.hardware.IBM` never meet, even though they mean the same
+//! instrument. A [`SubjectMap`] sits *above* the subject trie and closes
+//! that gap with two rule kinds, both reusing the router's element-wise
+//! [`RewriteRule`] machinery:
+//!
+//! * **Aliases** (synonyms): `NYSE.IBM → tech.hardware.IBM` declares the
+//!   two prefixes equivalent. Publish subjects and subscription filters
+//!   are both *canonicalized* — rewritten to a fixpoint — so
+//!   semantically-equivalent subjects share one fan-out path, one
+//!   sequence stream, and one entry in every soft-state table.
+//! * **Broadenings** (taxonomy): `eq.ibm → tech.hardware.ibm` declares
+//!   that `eq.ibm` *is-a* `tech.hardware.ibm`. Canonicalization leaves
+//!   publishers untouched (the narrow subject keeps its identity), but a
+//!   subscription whose filter covers the broad prefix is *expanded*
+//!   with the narrow form too, so subscribing to the category also
+//!   receives its semantic members.
+//!
+//! Determinism and termination are load-bearing — the map runs inside
+//! every driver's subscribe and publish paths:
+//!
+//! * at most one alias per `from` prefix ([`SubjectMapError::Conflict`]),
+//! * the most-specific (longest) matching rule wins each step, so the
+//!   result is independent of rule insertion order (confluence),
+//! * inserting a rule that would make any canonicalization loop is
+//!   rejected ([`SubjectMapError::Cycle`]), and a defensive iteration cap
+//!   ([`MAX_REWRITE_STEPS`]) bounds the walk regardless.
+
+use std::fmt;
+
+use crate::rewrite::{CompiledRewrite, RewriteRule};
+
+/// Hard bound on rewrite steps per canonicalization; with cycle-checked
+/// inserts this is defensive, not load-bearing.
+pub const MAX_REWRITE_STEPS: usize = 32;
+
+/// Errors from building a [`SubjectMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubjectMapError {
+    /// Two alias rules share a `from` prefix with different targets;
+    /// which fires would depend on insertion order, so the second is
+    /// rejected.
+    Conflict(String),
+    /// The rule would make canonicalization of the named subject loop.
+    Cycle(String),
+    /// A rule prefix was empty or contained wildcard elements.
+    BadRule(String),
+}
+
+impl fmt::Display for SubjectMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubjectMapError::Conflict(p) => {
+                write!(f, "conflicting alias for prefix {p:?}")
+            }
+            SubjectMapError::Cycle(p) => {
+                write!(f, "alias rule would loop on {p:?}")
+            }
+            SubjectMapError::BadRule(p) => write!(f, "malformed rule prefix {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SubjectMapError {}
+
+/// Synonym aliases plus taxonomy broadening rules over subject prefixes.
+///
+/// Built once, shared read-only by every daemon on a segment (typically
+/// as an `Arc` inside the bus configuration). See the module docs for
+/// semantics.
+///
+/// ```
+/// use infobus_router::SubjectMap;
+///
+/// let mut map = SubjectMap::new();
+/// map.add_alias("NYSE.IBM", "tech.hardware.IBM").unwrap();
+/// map.add_broadening("eq.ibm", "tech.hardware.ibm").unwrap();
+///
+/// assert_eq!(map.canonical("NYSE.IBM.trade"), "tech.hardware.IBM.trade");
+/// // A category subscription expands with its semantic members.
+/// assert_eq!(
+///     map.expand_filter("tech.hardware.ibm.>"),
+///     vec!["tech.hardware.ibm.>".to_owned(), "eq.ibm.>".to_owned()],
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubjectMap {
+    /// Synonym rules, kept sorted by descending `from` element count so
+    /// the most-specific match is found first (confluence).
+    aliases: Vec<CompiledRewrite>,
+    /// Taxonomy rules: `narrow is-a broad`, stored as narrow→broad.
+    broadenings: Vec<CompiledRewrite>,
+}
+
+impl SubjectMap {
+    /// An empty map (every subject is already canonical).
+    pub fn new() -> SubjectMap {
+        SubjectMap::default()
+    }
+
+    /// Whether the map holds no rules at all (the no-op fast path every
+    /// driver checks before touching subjects).
+    pub fn is_empty(&self) -> bool {
+        self.aliases.is_empty() && self.broadenings.is_empty()
+    }
+
+    /// Number of alias rules.
+    pub fn alias_count(&self) -> usize {
+        self.aliases.len()
+    }
+
+    /// Number of broadening rules.
+    pub fn broadening_count(&self) -> usize {
+        self.broadenings.len()
+    }
+
+    /// Declares `from` and `to` synonymous, canonical form `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubjectMapError::Conflict`] if an alias for `from` already
+    /// exists with a different target; [`SubjectMapError::Cycle`] if the
+    /// rule would make any canonicalization loop;
+    /// [`SubjectMapError::BadRule`] on empty or wildcard prefixes.
+    pub fn add_alias(&mut self, from: &str, to: &str) -> Result<(), SubjectMapError> {
+        validate_prefix(from)?;
+        validate_prefix(to)?;
+        if let Some(existing) = self.aliases.iter().find(|c| c.rule().from_prefix == from) {
+            return if existing.rule().to_prefix == to {
+                Ok(()) // idempotent re-insert
+            } else {
+                Err(SubjectMapError::Conflict(from.to_owned()))
+            };
+        }
+        let compiled = CompiledRewrite::new(&RewriteRule {
+            from_prefix: from.to_owned(),
+            to_prefix: to.to_owned(),
+        });
+        self.aliases.push(compiled);
+        self.sort_aliases();
+        // Cycle check: canonicalization must terminate from every rule
+        // endpoint with the new rule in place.
+        for probe in self
+            .aliases
+            .iter()
+            .flat_map(|c| [c.rule().from_prefix.clone(), c.rule().to_prefix.clone()])
+            .collect::<Vec<_>>()
+        {
+            if self.canonical_checked(&probe).is_none() {
+                self.aliases.retain(|c| c.rule().from_prefix != from);
+                return Err(SubjectMapError::Cycle(probe));
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares taxonomy membership: subjects under `narrow` are also
+    /// members of the category `broad`, so filters covering `broad`
+    /// expand with the `narrow` form.
+    ///
+    /// # Errors
+    ///
+    /// [`SubjectMapError::BadRule`] on empty or wildcard prefixes.
+    pub fn add_broadening(&mut self, narrow: &str, broad: &str) -> Result<(), SubjectMapError> {
+        validate_prefix(narrow)?;
+        validate_prefix(broad)?;
+        let rule = RewriteRule {
+            from_prefix: narrow.to_owned(),
+            to_prefix: broad.to_owned(),
+        };
+        if !self.broadenings.iter().any(|c| *c.rule() == rule) {
+            self.broadenings.push(CompiledRewrite::new(&rule));
+            // Deterministic expansion order regardless of insert order.
+            self.broadenings.sort_by(|a, b| {
+                (a.rule().from_prefix.as_str(), a.rule().to_prefix.as_str())
+                    .cmp(&(b.rule().from_prefix.as_str(), b.rule().to_prefix.as_str()))
+            });
+        }
+        Ok(())
+    }
+
+    fn sort_aliases(&mut self) {
+        // Longest (most elements, then longest text) first: the
+        // most-specific rule wins each rewrite step, making the result
+        // independent of insertion order.
+        self.aliases.sort_by(|a, b| {
+            let ka = (
+                b.rule().from_prefix.matches('.').count(),
+                b.rule().from_prefix.len(),
+            );
+            let kb = (
+                a.rule().from_prefix.matches('.').count(),
+                a.rule().from_prefix.len(),
+            );
+            ka.cmp(&kb)
+                .then_with(|| a.rule().from_prefix.cmp(&b.rule().from_prefix))
+        });
+    }
+
+    /// Canonicalizes a subject (or a filter whose leading elements are
+    /// concrete): applies the most-specific matching alias repeatedly
+    /// until no alias matches. Returns the input unchanged (no
+    /// allocation beyond the parse) when nothing matches.
+    pub fn canonical(&self, subject: &str) -> String {
+        self.canonical_checked(subject)
+            .unwrap_or_else(|| subject.to_owned())
+    }
+
+    /// Like [`SubjectMap::canonical`], reporting whether a rewrite
+    /// happened at all — drivers use this to count `sem_canonicalized`
+    /// without comparing strings.
+    pub fn canonicalize(&self, subject: &str) -> Option<String> {
+        let out = self.canonical_checked(subject)?;
+        if out == subject {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// `None` when the iteration cap is hit (a loop — unreachable after
+    /// cycle-checked inserts, kept as the defensive bound).
+    fn canonical_checked(&self, subject: &str) -> Option<String> {
+        let mut current = subject.to_owned();
+        for _ in 0..MAX_REWRITE_STEPS {
+            let next = self.aliases.iter().find_map(|c| c.apply(&current));
+            match next {
+                Some(n) => {
+                    if n == current {
+                        return Some(current); // self-alias: already canonical
+                    }
+                    current = n;
+                }
+                None => return Some(current),
+            }
+        }
+        None
+    }
+
+    /// Expands a subscription filter into the full semantic filter set:
+    /// the canonicalized filter first, then — deterministically ordered —
+    /// the narrow form of every broadening rule whose broad prefix the
+    /// filter covers, plus the alias `from` form of every alias whose
+    /// `to` side the filter covers (so traffic arriving over a router
+    /// link from a segment *without* this map still matches). The first
+    /// element is always the canonical filter; duplicates are removed.
+    pub fn expand_filter(&self, filter: &str) -> Vec<String> {
+        let canonical = self.canonical(filter);
+        let mut out = vec![canonical.clone()];
+        let mut push = |f: String| {
+            if !out.contains(&f) {
+                out.push(f);
+            }
+        };
+        for c in &self.broadenings {
+            if let Some(expanded) = reverse_apply_to_filter(&canonical, c.rule()) {
+                push(expanded);
+            }
+        }
+        for c in &self.aliases {
+            if let Some(expanded) = reverse_apply_to_filter(&canonical, c.rule()) {
+                push(expanded);
+            }
+        }
+        out
+    }
+}
+
+/// Rejects empty prefixes and wildcard elements in rule prefixes (rules
+/// rewrite concrete element prefixes only).
+fn validate_prefix(p: &str) -> Result<(), SubjectMapError> {
+    if p.is_empty() || p.split('.').any(|e| e.is_empty() || e == "*" || e == ">") {
+        return Err(SubjectMapError::BadRule(p.to_owned()));
+    }
+    Ok(())
+}
+
+/// Applies `rule` in reverse (`to → from`) to a *filter* string: if the
+/// filter's leading concrete elements start with the rule's `to` prefix
+/// (element-wise; a leading `>` wildcard also covers it), the prefix is
+/// replaced with `from`. `None` when the filter does not cover the `to`
+/// side.
+fn reverse_apply_to_filter(filter: &str, rule: &RewriteRule) -> Option<String> {
+    let to_elems: Vec<&str> = rule.to_prefix.split('.').collect();
+    let f_elems: Vec<&str> = filter.split('.').collect();
+    for (i, want) in to_elems.iter().enumerate() {
+        match f_elems.get(i) {
+            // `>` swallows the rest of the prefix: the filter covers the
+            // whole `to` subtree, so the narrow subtree is covered too.
+            Some(&">") => {
+                return Some(format!("{}.>", rule.from_prefix));
+            }
+            Some(&e) if e == *want || e == "*" => continue,
+            _ => return None,
+        }
+    }
+    let tail = &f_elems[to_elems.len()..];
+    let mut out = String::with_capacity(rule.from_prefix.len() + filter.len());
+    out.push_str(&rule.from_prefix);
+    for e in tail {
+        out.push('.');
+        out.push_str(e);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_canonicalization_reaches_fixpoint() {
+        let mut m = SubjectMap::new();
+        m.add_alias("NYSE.IBM", "tech.hardware.IBM").unwrap();
+        m.add_alias("tech", "sector").unwrap();
+        // Two steps: NYSE.IBM → tech.hardware.IBM → sector.hardware.IBM.
+        assert_eq!(m.canonical("NYSE.IBM.trade"), "sector.hardware.IBM.trade");
+        assert_eq!(m.canonical("unrelated.x"), "unrelated.x");
+        assert!(m.canonicalize("unrelated.x").is_none());
+    }
+
+    #[test]
+    fn most_specific_alias_wins_regardless_of_insert_order() {
+        let build = |order_flip: bool| {
+            let mut m = SubjectMap::new();
+            let rules: [(&str, &str); 2] = [("a", "x"), ("a.b", "y")];
+            let idx: [usize; 2] = if order_flip { [1, 0] } else { [0, 1] };
+            for i in idx {
+                m.add_alias(rules[i].0, rules[i].1).unwrap();
+            }
+            m
+        };
+        for flip in [false, true] {
+            let m = build(flip);
+            // `a.b.c` matches both `a` and `a.b`; the specific rule wins.
+            assert_eq!(m.canonical("a.b.c"), "y.c", "flip={flip}");
+            assert_eq!(m.canonical("a.z"), "x.z", "flip={flip}");
+        }
+    }
+
+    #[test]
+    fn conflicting_alias_rejected_idempotent_accepted() {
+        let mut m = SubjectMap::new();
+        m.add_alias("a", "b").unwrap();
+        assert_eq!(m.add_alias("a", "b"), Ok(()));
+        assert_eq!(
+            m.add_alias("a", "c"),
+            Err(SubjectMapError::Conflict("a".into()))
+        );
+        assert_eq!(m.alias_count(), 1);
+    }
+
+    #[test]
+    fn cycles_rejected_at_insert() {
+        let mut m = SubjectMap::new();
+        m.add_alias("a", "b").unwrap();
+        assert!(matches!(
+            m.add_alias("b", "a"),
+            Err(SubjectMapError::Cycle(_))
+        ));
+        // The rejected rule is fully rolled back.
+        assert_eq!(m.alias_count(), 1);
+        assert_eq!(m.canonical("b.x"), "b.x");
+        // Longer cycles too.
+        m.add_alias("b", "c").unwrap();
+        assert!(matches!(
+            m.add_alias("c", "a"),
+            Err(SubjectMapError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn wildcard_and_empty_rule_prefixes_rejected() {
+        let mut m = SubjectMap::new();
+        for bad in ["", "a.*", ">", "a..b"] {
+            assert!(matches!(
+                m.add_alias(bad, "x"),
+                Err(SubjectMapError::BadRule(_))
+            ));
+            assert!(matches!(
+                m.add_broadening("x", bad),
+                Err(SubjectMapError::BadRule(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn broadening_expands_covering_filters_only() {
+        let mut m = SubjectMap::new();
+        m.add_broadening("eq.ibm", "tech.hardware.ibm").unwrap();
+        assert_eq!(
+            m.expand_filter("tech.hardware.ibm.trade"),
+            vec!["tech.hardware.ibm.trade", "eq.ibm.trade"]
+        );
+        assert_eq!(
+            m.expand_filter("tech.>"),
+            vec!["tech.>", "eq.ibm.>"],
+            "`>` covers the broad prefix"
+        );
+        assert_eq!(
+            m.expand_filter("tech.*.ibm"),
+            vec!["tech.*.ibm", "eq.ibm"],
+            "`*` covers one element"
+        );
+        assert_eq!(m.expand_filter("bond.>"), vec!["bond.>"], "no coverage");
+    }
+
+    #[test]
+    fn alias_filters_expand_with_the_foreign_vocabulary() {
+        let mut m = SubjectMap::new();
+        m.add_alias("NYSE.IBM", "tech.hardware.IBM").unwrap();
+        // A canonical-side subscription also watches the alias form, so
+        // un-mapped traffic (a router link from a segment without the
+        // map) still matches.
+        assert_eq!(
+            m.expand_filter("tech.hardware.IBM.*"),
+            vec!["tech.hardware.IBM.*", "NYSE.IBM.*"]
+        );
+        // Subscribing by the alias canonicalizes first, then expands.
+        assert_eq!(
+            m.expand_filter("NYSE.IBM.*"),
+            vec!["tech.hardware.IBM.*", "NYSE.IBM.*"]
+        );
+    }
+
+    #[test]
+    fn expansion_deterministic_across_insert_order() {
+        let mut a = SubjectMap::new();
+        a.add_broadening("n1", "cat").unwrap();
+        a.add_broadening("n2", "cat").unwrap();
+        let mut b = SubjectMap::new();
+        b.add_broadening("n2", "cat").unwrap();
+        b.add_broadening("n1", "cat").unwrap();
+        assert_eq!(a.expand_filter("cat.>"), b.expand_filter("cat.>"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the semantic subject layer ([`SubjectMap`]).
+//!
+//! The properties that make the layer safe to put under every driver:
+//!
+//! * **order independence** — the canonical form and the expanded filter
+//!   set depend only on the rule *set*, never on insertion order;
+//! * **termination and idempotence** — canonicalization always returns,
+//!   and a canonical subject is a fixpoint;
+//! * **cycle and conflict rejection** — rule sets that could loop or
+//!   make canonicalization ambiguous never get in;
+//! * **expansion coherence** — every filter the map expands to
+//!   canonicalizes back to the same canonical form;
+//! * **link composition** — canonicalizing before a router link's
+//!   [`RewriteRule`] crossing agrees with canonicalizing after it, when
+//!   the destination map carries the translated rules (the federation
+//!   deployment shape).
+
+use infobus_router::{RewriteRule, SubjectMap, SubjectMapError};
+
+/// A small deterministic generator (no external crates).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn pick<'a>(&mut self, items: &'a [&'a str]) -> &'a str {
+        items[(self.next() as usize) % items.len()]
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = (self.next() as usize) % (i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random dotted subject of 1..=depth elements.
+    fn dotted(&mut self, depth: usize) -> String {
+        const ELEMS: &[&str] = &[
+            "n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "feed", "x", "deep", "q",
+        ];
+        let n = 1 + (self.next() as usize) % depth;
+        (0..n)
+            .map(|_| self.pick(ELEMS))
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+/// A conflict-free, acyclic alias set: each node aliases toward a
+/// strictly lower-numbered node, so every insertion order accepts every
+/// rule.
+fn forest_rules(rng: &mut Lcg) -> Vec<(String, String)> {
+    let mut rules = Vec::new();
+    for i in 1..8u32 {
+        if rng.next().is_multiple_of(3) {
+            continue; // this node stays canonical
+        }
+        let parent = (rng.next() % u64::from(i)) as u32;
+        rules.push((format!("n{i}"), format!("n{parent}")));
+    }
+    rules
+}
+
+#[test]
+fn insertion_order_is_irrelevant() {
+    for seed in 0..200u64 {
+        let mut rng = Lcg(0x5EED_0000 + seed);
+        let mut rules = forest_rules(&mut rng);
+        let mut reference: Option<SubjectMap> = None;
+        let probes: Vec<String> = (0..16).map(|_| rng.dotted(3)).collect();
+        for _ in 0..4 {
+            rng.shuffle(&mut rules);
+            let mut map = SubjectMap::new();
+            for (from, to) in &rules {
+                map.add_alias(from, to).unwrap();
+            }
+            if let Some(r) = &reference {
+                for p in &probes {
+                    assert_eq!(
+                        r.canonical(p),
+                        map.canonical(p),
+                        "seed {seed}: canonical form depends on insertion order"
+                    );
+                    assert_eq!(
+                        r.expand_filter(p),
+                        map.expand_filter(p),
+                        "seed {seed}: expansion depends on insertion order"
+                    );
+                }
+            } else {
+                reference = Some(map);
+            }
+        }
+    }
+}
+
+#[test]
+fn canonicalization_terminates_and_is_idempotent() {
+    for seed in 0..300u64 {
+        let mut rng = Lcg(0x1D3A_0000 + seed);
+        let mut map = SubjectMap::new();
+        // Arbitrary insertion attempts; rejections (cycles, conflicts)
+        // are part of the property — whatever gets in must behave.
+        for _ in 0..10 {
+            let from = rng.dotted(2);
+            let to = rng.dotted(2);
+            let _ = map.add_alias(&from, &to);
+            if rng.next().is_multiple_of(4) {
+                let _ = map.add_broadening(&rng.dotted(2), &rng.dotted(2));
+            }
+        }
+        for _ in 0..24 {
+            let s = rng.dotted(4);
+            let c = map.canonical(&s);
+            assert_eq!(
+                map.canonical(&c),
+                c,
+                "seed {seed}: canonical({s:?}) = {c:?} is not a fixpoint"
+            );
+            // A canonical subject reports "already canonical".
+            assert!(map.canonicalize(&c).is_none());
+        }
+    }
+}
+
+#[test]
+fn cycles_and_conflicts_are_rejected() {
+    let mut map = SubjectMap::new();
+    map.add_alias("a", "b").unwrap();
+    assert!(matches!(
+        map.add_alias("b", "a"),
+        Err(SubjectMapError::Cycle(_))
+    ));
+    // A rejected rule leaves the map working.
+    assert_eq!(map.canonical("a.x"), "b.x");
+
+    map.add_alias("b", "c").unwrap();
+    assert!(matches!(
+        map.add_alias("c", "a"),
+        Err(SubjectMapError::Cycle(_))
+    ));
+    assert_eq!(map.canonical("a.x"), "c.x", "chain a→b→c resolves fully");
+
+    assert!(matches!(
+        map.add_alias("a", "elsewhere"),
+        Err(SubjectMapError::Conflict(_))
+    ));
+    // Idempotent re-insert is not a conflict.
+    map.add_alias("a", "b").unwrap();
+
+    assert!(matches!(
+        map.add_alias("", "x"),
+        Err(SubjectMapError::BadRule(_))
+    ));
+    assert!(matches!(
+        map.add_alias("w.*", "x"),
+        Err(SubjectMapError::BadRule(_))
+    ));
+}
+
+#[test]
+fn expansions_canonicalize_back_to_the_same_form() {
+    for seed in 0..200u64 {
+        let mut rng = Lcg(0xE9A_0000 + seed);
+        let rules = forest_rules(&mut rng);
+        let mut map = SubjectMap::new();
+        for (from, to) in &rules {
+            map.add_alias(from, to).unwrap();
+        }
+        for _ in 0..16 {
+            let s = rng.dotted(3);
+            let canonical = map.canonical(&s);
+            let expanded = map.expand_filter(&s);
+            assert_eq!(
+                expanded[0], canonical,
+                "seed {seed}: first expansion must be the canonical filter"
+            );
+            for e in &expanded {
+                assert_eq!(
+                    map.canonical(e),
+                    canonical,
+                    "seed {seed}: expansion {e:?} of {s:?} canonicalizes elsewhere"
+                );
+            }
+        }
+    }
+}
+
+/// Two segments with a prefix-translating link between them, the
+/// federation shape: segment WEST speaks `west.…`, segment EAST speaks
+/// `east.…`, and the information-router link crossing applies
+/// `west → east`. EAST's map carries the translated image of WEST's
+/// alias rules, so canonicalizing before the crossing and after it
+/// converge on the same subject.
+#[test]
+fn canonicalization_commutes_with_link_rewrites() {
+    let crossing = RewriteRule {
+        from_prefix: "west".into(),
+        to_prefix: "east".into(),
+    };
+    for seed in 0..200u64 {
+        let mut rng = Lcg(0xC0_0000 + seed);
+        let mut west = SubjectMap::new();
+        let mut east = SubjectMap::new();
+        for (from, to) in forest_rules(&mut rng) {
+            west.add_alias(&format!("west.{from}"), &format!("west.{to}"))
+                .unwrap();
+            east.add_alias(&format!("east.{from}"), &format!("east.{to}"))
+                .unwrap();
+        }
+        for _ in 0..16 {
+            let s = format!("west.{}", rng.dotted(3));
+            let cross = |subj: &str| crossing.apply(subj).unwrap_or_else(|| subj.to_owned());
+            // Canonicalize in WEST, cross, settle in EAST…
+            let early = east.canonical(&cross(&west.canonical(&s)));
+            // …versus crossing raw and canonicalizing only in EAST.
+            let late = east.canonical(&cross(&s));
+            assert_eq!(
+                early, late,
+                "seed {seed}: link crossing broke semantic confluence for {s:?}"
+            );
+            assert_eq!(east.canonical(&early), early, "destination fixpoint");
+        }
+    }
+}
